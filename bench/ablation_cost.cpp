@@ -1,0 +1,41 @@
+// Ablation: the infeasibility-distance cost function (paper §3.3-3.4).
+//
+// Variants:
+//   full        — the paper's cost (λ^S=0.4, λ^T=0.6, λ^R=0.1, d^E on)
+//   no-dist     — infeasibility distance off (λ^S=λ^T=λ^R=0): solutions
+//                 compared by feasible-block count, then total pins only
+//                 (≈ the plain cut-driven selection of k-way.x [9])
+//   no-sizepen  — size-deviation penalty off (λ^R=0)
+//   no-extbal   — external I/O balancing key off
+#include <vector>
+
+#include "harness.hpp"
+
+using namespace fpart;
+using bench::AblationVariant;
+
+int main() {
+  bench::print_banner("Ablation: cost function",
+                      "Effect of the §3.3 infeasibility-distance cost "
+                      "components on the device count");
+
+  Options full;
+  Options no_dist;
+  no_dist.cost.lambda_s = 0.0;
+  no_dist.cost.lambda_t = 0.0;
+  no_dist.cost.lambda_r = 0.0;
+  Options no_sizepen;
+  no_sizepen.cost.lambda_r = 0.0;
+  Options no_extbal;
+  no_extbal.cost.lambda_e = 0.0;
+
+  const std::vector<AblationVariant> variants = {
+      {"full", full},
+      {"no-dist", no_dist},
+      {"no-sizepen", no_sizepen},
+      {"no-extbal", no_extbal},
+  };
+  const auto cases = bench::default_ablation_cases();
+  bench::run_and_print_ablation(variants, cases);
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Ablation: feasible-move regions (paper §3.5).
+//
+// Variants:
+//   paper    — ε²_min=0.95, ε*_min=0.30, ε_max=1.05
+//   no-viol  — ε_max=1.00: size-violating intermediate states forbidden
+//   loose2   — 2-block lower bound relaxed to the multiway value (0.30):
+//              cells drain into the remainder, the failure mode §3.5
+//              warns about
+//   wide     — very relaxed windows (ε_min=0.05, ε_max=1.50)
+#include <vector>
+
+#include "harness.hpp"
+
+using namespace fpart;
+using bench::AblationVariant;
+
+int main() {
+  bench::print_banner("Ablation: move regions",
+                      "Effect of the §3.5 feasible-move size windows");
+
+  Options paper;
+  Options no_viol;
+  no_viol.move_region.eps_max = 1.00;
+  Options loose2;
+  loose2.move_region.eps_min_two_block = 0.30;
+  Options wide;
+  wide.move_region.eps_min_two_block = 0.05;
+  wide.move_region.eps_min_multi = 0.05;
+  wide.move_region.eps_max = 1.50;
+
+  const std::vector<AblationVariant> variants = {
+      {"paper", paper},
+      {"no-viol", no_viol},
+      {"loose2", loose2},
+      {"wide", wide},
+  };
+  const auto cases = bench::default_ablation_cases();
+  bench::run_and_print_ablation(variants, cases);
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Ablation: the §3.1 improvement schedule.
+//
+// Variants:
+//   full       — all Algorithm-1 Improve() calls
+//   pair-only  — only Improve(R_k, P_k) (the k-way.x-style pairwise
+//                improvement FPART generalizes)
+//   no-all     — all-blocks pass off
+//   no-min     — P_MIN_size / P_MIN_IO / P_MIN_F passes off
+//   no-sweep   — final k = M pairwise sweep off
+#include <vector>
+
+#include "harness.hpp"
+
+using namespace fpart;
+using bench::AblationVariant;
+
+int main() {
+  bench::print_banner("Ablation: improvement schedule",
+                      "Contribution of each §3.1 improvement pass");
+
+  Options full;
+  Options pair_only;
+  pair_only.schedule.all_blocks = false;
+  pair_only.schedule.min_blocks = false;
+  pair_only.schedule.final_sweep = false;
+  Options no_all;
+  no_all.schedule.all_blocks = false;
+  Options no_min;
+  no_min.schedule.min_blocks = false;
+  Options no_sweep;
+  no_sweep.schedule.final_sweep = false;
+
+  const std::vector<AblationVariant> variants = {
+      {"full", full},         {"pair-only", pair_only},
+      {"no-all", no_all},     {"no-min", no_min},
+      {"no-sweep", no_sweep},
+  };
+  const auto cases = bench::default_ablation_cases();
+  bench::run_and_print_ablation(variants, cases);
+  return 0;
+}

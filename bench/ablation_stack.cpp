@@ -1,0 +1,27 @@
+// Ablation: solution-stack depth D_stack (paper §3.6).
+//
+// D_stack = 0 disables the restart phase entirely (pure first-series
+// FM); the paper uses 4, giving at most 2·D_stack+1 = 9 starting points
+// per Improve() call.
+#include <vector>
+
+#include "harness.hpp"
+
+using namespace fpart;
+using bench::AblationVariant;
+
+int main() {
+  bench::print_banner("Ablation: solution stacks",
+                      "Effect of the §3.6 stack depth D_stack on the "
+                      "device count and runtime");
+
+  std::vector<AblationVariant> variants;
+  for (std::size_t depth : {0u, 2u, 4u, 8u}) {
+    Options opt;
+    opt.refiner.stack_depth = depth;
+    variants.push_back({"D=" + std::to_string(depth), opt});
+  }
+  const auto cases = bench::default_ablation_cases();
+  bench::run_and_print_ablation(variants, cases);
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Extension bench: the paper's §5 future-work proposals, measured.
+//
+//   pin-gain    — drive the FM/Sanchis buckets by the real I/O pin gain
+//                 instead of the cut-net gain;
+//   early-stop  — abort passes that drift away from the feasible region
+//                 (24 consecutive non-improving moves);
+//   both        — the two combined.
+#include <vector>
+
+#include "harness.hpp"
+
+using namespace fpart;
+using bench::AblationVariant;
+
+int main() {
+  bench::print_banner("Extension: §5 future work",
+                      "Pin-count gains and infeasible-region early stop "
+                      "(the two directions the paper proposes)");
+
+  Options baseline;
+  Options pin_gain;
+  pin_gain.refiner.gain_mode = GainMode::kPinCount;
+  Options early_stop;
+  early_stop.refiner.infeasible_stop_window = 24;
+  Options both;
+  both.refiner.gain_mode = GainMode::kPinCount;
+  both.refiner.infeasible_stop_window = 24;
+
+  const std::vector<AblationVariant> variants = {
+      {"cut-gain", baseline},
+      {"pin-gain", pin_gain},
+      {"early-stop", early_stop},
+      {"both", both},
+  };
+  const auto cases = bench::default_ablation_cases();
+  bench::run_and_print_ablation(variants, cases);
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Extension bench: multistart FPART ("number of runs", §1's list of
+// classical FM parameters). Measures whether randomized constructive
+// seeds buy devices on the cases where the canonical run sits above the
+// lower bound.
+#include <cstdio>
+#include <vector>
+
+#include "core/fpart.hpp"
+#include "device/xilinx.hpp"
+#include "harness.hpp"
+#include "report/table.hpp"
+
+using namespace fpart;
+
+int main() {
+  bench::print_banner("Extension: multistart",
+                      "Randomized-seed restarts vs the canonical "
+                      "deterministic run");
+
+  struct Case {
+    const char* circuit;
+    Device device;
+  };
+  const std::vector<Case> cases = {
+      {"c6288", xilinx::xc3020()},  {"s13207", xilinx::xc3020()},
+      {"s38417", xilinx::xc3020()}, {"s38584", xilinx::xc3020()},
+  };
+
+  Table table({"Circuit", "Device", "1 start*", "4 starts*", "8 starts*",
+               "M", "time 8*"});
+  for (const auto& c : cases) {
+    const Hypergraph h = mcnc::generate(c.circuit, c.device.family());
+    const PartitionResult one = run_fpart_multistart(h, c.device, {}, 1);
+    const PartitionResult four = run_fpart_multistart(h, c.device, {}, 4);
+    const PartitionResult eight = run_fpart_multistart(h, c.device, {}, 8);
+    table.add_row({c.circuit, c.device.name(), fmt_int(one.k),
+                   fmt_int(four.k), fmt_int(eight.k),
+                   fmt_int(one.lower_bound),
+                   fmt_double(eight.seconds, 2)});
+  }
+  std::fputs(table.to_ascii().c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Extension bench: scaling sweep (supplemental — the paper has no such
+// figure). Generates circuits of growing size with fixed density and
+// reports devices + runtime for all three methods, exposing the
+// asymptotic behaviour Table 6 only samples.
+#include <cstdio>
+#include <vector>
+
+#include "baselines/kwayx.hpp"
+#include "core/fpart.hpp"
+#include "device/xilinx.hpp"
+#include "flow/fbb.hpp"
+#include "harness.hpp"
+#include "netlist/generator.hpp"
+#include "report/table.hpp"
+
+using namespace fpart;
+
+int main() {
+  bench::print_banner("Extension: scaling sweep",
+                      "Synthetic circuits, XC3042 (δ=0.9): devices and "
+                      "seconds vs circuit size");
+
+  const Device d = xilinx::xc3042();
+  Table table({"cells", "pads", "M", "kwayx k*", "fbb k*", "fpart k*",
+               "kwayx s*", "fbb s*", "fpart s*"});
+  for (std::uint32_t cells : {500u, 1000u, 2000u, 4000u}) {
+    GeneratorConfig config;
+    config.num_cells = cells;
+    config.num_terminals = cells / 20;
+    config.seed = 42 + cells;
+    const Hypergraph h = generate_circuit(config);
+    const PartitionResult rk = KwayxPartitioner().run(h, d);
+    const PartitionResult rf = FbbPartitioner().run(h, d);
+    const PartitionResult rp = FpartPartitioner().run(h, d);
+    table.add_row({fmt_int(cells), fmt_int(config.num_terminals),
+                   fmt_int(rp.lower_bound), fmt_int(rk.k), fmt_int(rf.k),
+                   fmt_int(rp.k), fmt_double(rk.seconds, 2),
+                   fmt_double(rf.seconds, 2), fmt_double(rp.seconds, 2)});
+  }
+  std::fputs(table.to_ascii().c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,165 @@
+#include "harness.hpp"
+
+#include <cstdio>
+
+#include "baselines/kwayx.hpp"
+#include "core/fpart.hpp"
+#include "device/xilinx.hpp"
+#include "flow/fbb.hpp"
+#include "report/csv.hpp"
+#include "report/table.hpp"
+#include "util/assert.hpp"
+
+namespace fpart::bench {
+
+MethodRuns run_methods(const mcnc::CircuitSpec& spec, const Device& device,
+                       std::uint64_t seed_salt) {
+  const Hypergraph h = mcnc::generate(spec, device.family(), seed_salt);
+  MethodRuns out;
+  out.kwayx = KwayxPartitioner().run(h, device);
+  out.fbb = FbbPartitioner().run(h, device);
+  out.fpart = FpartPartitioner().run(h, device);
+  out.m = out.fpart.lower_bound;
+  return out;
+}
+
+PartitionResult run_fpart(const mcnc::CircuitSpec& spec, const Device& device,
+                          std::uint64_t seed_salt) {
+  const Hypergraph h = mcnc::generate(spec, device.family(), seed_salt);
+  return FpartPartitioner().run(h, device);
+}
+
+void print_banner(const std::string& table_name,
+                  const std::string& description) {
+  std::printf("=== %s ===\n%s\n", table_name.c_str(), description.c_str());
+  std::printf(
+      "Workload: synthetic MCNC Partitioning93 stand-ins (Table 1 totals "
+      "exact; see DESIGN.md).\n"
+      "Columns marked '*' are measured by this build; unmarked columns "
+      "quote the paper.\n\n");
+}
+
+std::vector<MethodRuns> run_and_print_suite(
+    const Device& device, std::span<const mcnc::CircuitSpec> circuits,
+    std::span<const PublishedColumn> published, const char* csv_path) {
+  for (const auto& col : published) {
+    FPART_REQUIRE(col.values.size() == circuits.size(),
+                  "published column size mismatch: " + col.name);
+  }
+
+  std::vector<std::string> headers{"Circuit"};
+  for (const auto& col : published) headers.push_back(col.name);
+  headers.insert(headers.end(),
+                 {"k-way.x*", "FBB-MW*", "FPART*", "M"});
+  Table table(std::move(headers));
+
+  std::vector<MethodRuns> runs;
+  std::vector<std::int64_t> published_total(published.size(), 0);
+  std::vector<bool> published_complete(published.size(), true);
+  std::int64_t tk = 0, tf = 0, tp = 0, tm = 0;
+  double sk = 0, sf = 0, sp = 0;
+
+  for (std::size_t i = 0; i < circuits.size(); ++i) {
+    const auto& spec = circuits[i];
+    MethodRuns r = run_methods(spec, device);
+    std::vector<std::string> row{std::string(spec.name)};
+    for (std::size_t c = 0; c < published.size(); ++c) {
+      const auto& v = published[c].values[i];
+      row.push_back(fmt_opt_int(v.value_or(0), v.has_value()));
+      if (v.has_value()) {
+        published_total[c] += *v;
+      } else {
+        published_complete[c] = false;
+      }
+    }
+    row.push_back(fmt_int(r.kwayx.k));
+    row.push_back(fmt_int(r.fbb.k));
+    row.push_back(fmt_int(r.fpart.k));
+    row.push_back(fmt_int(r.m));
+    table.add_row(std::move(row));
+
+    tk += r.kwayx.k;
+    tf += r.fbb.k;
+    tp += r.fpart.k;
+    tm += r.m;
+    sk += r.kwayx.seconds;
+    sf += r.fbb.seconds;
+    sp += r.fpart.seconds;
+    FPART_REQUIRE(r.kwayx.feasible && r.fbb.feasible && r.fpart.feasible,
+                  "a method produced an infeasible partition");
+    runs.push_back(std::move(r));
+  }
+
+  table.add_separator();
+  std::vector<std::string> total{"Total"};
+  for (std::size_t c = 0; c < published.size(); ++c) {
+    total.push_back(
+        fmt_opt_int(published_total[c], published_complete[c]));
+  }
+  total.insert(total.end(),
+               {fmt_int(tk), fmt_int(tf), fmt_int(tp), fmt_int(tm)});
+  table.add_row(std::move(total));
+
+  std::fputs(table.to_ascii().c_str(), stdout);
+  std::printf(
+      "\nMeasured wall clock: k-way.x %.2fs | FBB-MW %.2fs | FPART %.2fs\n\n",
+      sk, sf, sp);
+  if (csv_path != nullptr) {
+    write_csv_file(csv_path, table);
+    std::printf("CSV written to %s\n", csv_path);
+  }
+  return runs;
+}
+
+std::vector<AblationCase> default_ablation_cases() {
+  return {
+      {"c6288", xilinx::xc3020()},   // large M, combinational
+      {"s13207", xilinx::xc3020()},  // large M, sequential
+      {"s15850", xilinx::xc3042()},  // mid M (all-blocks pass active)
+      {"s38417", xilinx::xc3090()},  // big circuit, small M
+  };
+}
+
+void run_and_print_ablation(std::span<const AblationVariant> variants,
+                            std::span<const AblationCase> cases) {
+  std::vector<std::string> headers{"Circuit", "Device"};
+  for (const auto& v : variants) headers.push_back(v.name + "*");
+  headers.push_back("M");
+  Table table(std::move(headers));
+
+  std::vector<std::int64_t> totals(variants.size(), 0);
+  std::vector<double> seconds(variants.size(), 0.0);
+  std::int64_t tm = 0;
+  for (const auto& c : cases) {
+    const auto& spec = mcnc::circuit(c.circuit);
+    const Hypergraph h = mcnc::generate(spec, c.device.family());
+    std::vector<std::string> row{c.circuit, c.device.name()};
+    std::uint32_t m = 0;
+    for (std::size_t v = 0; v < variants.size(); ++v) {
+      const PartitionResult r =
+          FpartPartitioner(variants[v].options).run(h, c.device);
+      FPART_REQUIRE(r.feasible, "ablation variant produced infeasible result");
+      row.push_back(fmt_int(r.k));
+      totals[v] += r.k;
+      seconds[v] += r.seconds;
+      m = r.lower_bound;
+    }
+    row.push_back(fmt_int(m));
+    tm += m;
+    table.add_row(std::move(row));
+  }
+  table.add_separator();
+  std::vector<std::string> total{"Total", ""};
+  for (std::int64_t t : totals) total.push_back(fmt_int(t));
+  total.push_back(fmt_int(tm));
+  table.add_row(std::move(total));
+  std::fputs(table.to_ascii().c_str(), stdout);
+
+  std::printf("\nRuntime per variant:");
+  for (std::size_t v = 0; v < variants.size(); ++v) {
+    std::printf(" %s=%.2fs", variants[v].name.c_str(), seconds[v]);
+  }
+  std::printf("\n\n");
+}
+
+}  // namespace fpart::bench

@@ -1,0 +1,86 @@
+// Shared driver for the table-reproduction bench binaries.
+//
+// Each bench binary regenerates one table of the paper: it runs the
+// measured methods (our k-way.x, FBB-MW and FPART implementations) on
+// the synthetic MCNC suite and prints the paper's published numbers
+// alongside. Measured columns are marked with '*'; published reference
+// columns cite the paper. Absolute agreement is not expected (the
+// netlists are synthetic stand-ins, see DESIGN.md) — the comparison
+// shows the SHAPE: who wins, by how much, and how close to the lower
+// bound M each method lands.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/options.hpp"
+#include "core/result.hpp"
+#include "device/device.hpp"
+#include "netlist/mcnc.hpp"
+
+namespace fpart::bench {
+
+struct MethodRuns {
+  PartitionResult kwayx;
+  PartitionResult fbb;
+  PartitionResult fpart;
+  std::uint32_t m = 0;
+};
+
+/// Runs all three measured methods on one circuit/device pair.
+MethodRuns run_methods(const mcnc::CircuitSpec& spec, const Device& device,
+                       std::uint64_t seed_salt = 0);
+
+/// Runs FPART only (Table 6 and the ablations).
+PartitionResult run_fpart(const mcnc::CircuitSpec& spec, const Device& device,
+                          std::uint64_t seed_salt = 0);
+
+/// Standard bench banner: what the binary reproduces and the caveat
+/// about synthetic workloads.
+void print_banner(const std::string& table_name,
+                  const std::string& description);
+
+/// One published (paper-quoted) column of a results table. Values align
+/// with the circuit list; nullopt renders as "-" (not reported).
+struct PublishedColumn {
+  std::string name;
+  std::vector<std::optional<int>> values;
+};
+
+/// Runs the three measured methods over `circuits` on `device`, prints
+/// the paper's published columns next to the measured ones plus the
+/// lower bound M, and a totals row. When `csv_path` is non-null the
+/// table is also written there as CSV (the table benches pass their
+/// first command-line argument through). Returns the measured runs (one
+/// per circuit) so callers can post-process.
+std::vector<MethodRuns> run_and_print_suite(
+    const Device& device, std::span<const mcnc::CircuitSpec> circuits,
+    std::span<const PublishedColumn> published,
+    const char* csv_path = nullptr);
+
+/// One FPART configuration variant for an ablation study.
+struct AblationVariant {
+  std::string name;
+  Options options;
+};
+
+/// One circuit/device pair an ablation runs on.
+struct AblationCase {
+  std::string circuit;
+  Device device;
+};
+
+/// The default ablation workload: a spread of sizes and devices chosen
+/// so every schedule branch (small-M all-blocks pass, large-M pairwise
+/// strategy, final sweep) is exercised.
+std::vector<AblationCase> default_ablation_cases();
+
+/// Runs every variant on every case and prints one k column per variant
+/// plus M and per-variant totals and total runtime.
+void run_and_print_ablation(std::span<const AblationVariant> variants,
+                            std::span<const AblationCase> cases);
+
+}  // namespace fpart::bench

@@ -1,0 +1,144 @@
+// Micro-benchmarks (google-benchmark) for the performance-critical
+// primitives: partition moves, gain computation, gain-bucket churn,
+// Dinic max-flow on the net-splitting gadget, the netlist generator and
+// the end-to-end partitioners on a mid-size circuit.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "baselines/kwayx.hpp"
+#include "core/fpart.hpp"
+#include "device/xilinx.hpp"
+#include "flow/fbb.hpp"
+#include "flow/hypergraph_flow.hpp"
+#include "fm/gain_bucket.hpp"
+#include "fm/gains.hpp"
+#include "netlist/generator.hpp"
+#include "netlist/mcnc.hpp"
+#include "partition/partition.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace fpart;
+
+const Hypergraph& test_graph() {
+  static const Hypergraph h = mcnc::generate("s13207", Family::kXC3000);
+  return h;
+}
+
+void BM_PartitionMove(benchmark::State& state) {
+  const Hypergraph& h = test_graph();
+  Partition p(h, 4);
+  Rng rng(7);
+  std::vector<NodeId> cells;
+  for (NodeId v = 0; v < h.num_nodes(); ++v) {
+    if (!h.is_terminal(v)) cells.push_back(v);
+  }
+  for (NodeId v : cells) p.move(v, static_cast<BlockId>(rng.index(4)));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const NodeId v = cells[i++ % cells.size()];
+    const BlockId to = static_cast<BlockId>((p.block_of(v) + 1) % 4);
+    p.move(v, to);
+    benchmark::DoNotOptimize(p.cut_size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_PartitionMove);
+
+void BM_MoveGain(benchmark::State& state) {
+  const Hypergraph& h = test_graph();
+  Partition p(h, 4);
+  Rng rng(7);
+  std::vector<NodeId> cells;
+  for (NodeId v = 0; v < h.num_nodes(); ++v) {
+    if (!h.is_terminal(v)) cells.push_back(v);
+  }
+  for (NodeId v : cells) p.move(v, static_cast<BlockId>(rng.index(4)));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const NodeId v = cells[i++ % cells.size()];
+    benchmark::DoNotOptimize(
+        move_gain(p, v, static_cast<BlockId>((p.block_of(v) + 1) % 4)));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MoveGain);
+
+void BM_GainBucketChurn(benchmark::State& state) {
+  const std::size_t n = 4096;
+  GainBucket bucket(n, 32);
+  Rng rng(13);
+  for (std::uint32_t id = 0; id < n; ++id) {
+    bucket.insert(id, static_cast<int>(rng.uniform(0, 64)) - 32);
+  }
+  std::uint32_t id = 0;
+  for (auto _ : state) {
+    bucket.update(id, static_cast<int>(rng.uniform(0, 64)) - 32);
+    benchmark::DoNotOptimize(bucket.best_gain());
+    id = (id + 1) % n;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_GainBucketChurn);
+
+void BM_DinicHypergraphCut(benchmark::State& state) {
+  const Hypergraph& h = test_graph();
+  std::vector<std::uint8_t> scope(h.num_nodes(), 0);
+  std::vector<NodeId> cells;
+  for (NodeId v = 0; v < h.num_nodes(); ++v) {
+    if (!h.is_terminal(v)) {
+      scope[v] = 1;
+      cells.push_back(v);
+    }
+  }
+  const std::vector<NodeId> src{cells.front()};
+  const std::vector<NodeId> snk{cells.back()};
+  for (auto _ : state) {
+    auto flow = build_hypergraph_flow(h, scope, src, snk);
+    benchmark::DoNotOptimize(flow.net.max_flow(flow.source, flow.sink));
+  }
+}
+BENCHMARK(BM_DinicHypergraphCut);
+
+void BM_GenerateCircuit(benchmark::State& state) {
+  GeneratorConfig config;
+  config.num_cells = static_cast<std::uint32_t>(state.range(0));
+  config.num_terminals = config.num_cells / 10;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(generate_circuit(config));
+  }
+}
+BENCHMARK(BM_GenerateCircuit)->Arg(500)->Arg(2000);
+
+void BM_FpartEndToEnd(benchmark::State& state) {
+  const Hypergraph h = mcnc::generate("s9234", Family::kXC3000);
+  const Device d = xilinx::xc3042();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(FpartPartitioner().run(h, d));
+  }
+}
+BENCHMARK(BM_FpartEndToEnd)->Unit(benchmark::kMillisecond);
+
+void BM_KwayxEndToEnd(benchmark::State& state) {
+  const Hypergraph h = mcnc::generate("s9234", Family::kXC3000);
+  const Device d = xilinx::xc3042();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(KwayxPartitioner().run(h, d));
+  }
+}
+BENCHMARK(BM_KwayxEndToEnd)->Unit(benchmark::kMillisecond);
+
+void BM_FbbEndToEnd(benchmark::State& state) {
+  const Hypergraph h = mcnc::generate("s9234", Family::kXC3000);
+  const Device d = xilinx::xc3042();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(FbbPartitioner().run(h, d));
+  }
+}
+BENCHMARK(BM_FbbEndToEnd)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,43 @@
+// Reproduces Table 1: benchmark circuit characteristics.
+//
+// Prints the published #IOBs / #CLBs alongside the actual node counts of
+// the synthetic stand-in netlists (which match by construction) plus
+// structural statistics of the generated circuits (nets, pins, average
+// net degree) so the workload is auditable.
+#include <cstdio>
+
+#include "harness.hpp"
+#include "netlist/mcnc.hpp"
+#include "netlist/rent.hpp"
+#include "report/table.hpp"
+
+using namespace fpart;
+
+int main() {
+  bench::print_banner(
+      "Table 1", "Benchmark circuits characteristics (MCNC Partitioning93)");
+
+  Table table({"Circuit", "#IOBs", "#CLBs XC2000", "#CLBs XC3000",
+               "gen IOBs", "gen CLBs 2k", "gen CLBs 3k", "nets 3k",
+               "pins 3k", "avg net deg", "Rent p"});
+  for (const auto& spec : mcnc::circuits()) {
+    const Hypergraph h2 = mcnc::generate(spec, Family::kXC2000);
+    const Hypergraph h3 = mcnc::generate(spec, Family::kXC3000);
+    const RentEstimate rent = estimate_rent(h3);
+    table.add_row({std::string(spec.name), fmt_int(spec.iobs),
+                   fmt_int(spec.clbs_xc2000), fmt_int(spec.clbs_xc3000),
+                   fmt_int(static_cast<std::int64_t>(h3.num_terminals())),
+                   fmt_int(static_cast<std::int64_t>(h2.num_interior())),
+                   fmt_int(static_cast<std::int64_t>(h3.num_interior())),
+                   fmt_int(static_cast<std::int64_t>(h3.num_nets())),
+                   fmt_int(static_cast<std::int64_t>(h3.num_pins())),
+                   fmt_double(h3.avg_net_degree(), 2),
+                   fmt_double(rent.exponent, 2)});
+  }
+  std::fputs(table.to_ascii().c_str(), stdout);
+  std::printf(
+      "\nThe published #IOBs/#CLBs reproduce exactly by construction; the "
+      "Rent exponent column audits that the generated structure has the "
+      "locality of real mapped circuits (empirical band ~0.45-0.85).\n");
+  return 0;
+}

@@ -1,0 +1,32 @@
+// Reproduces Table 2: results comparison on the XC3020 device
+// (S_ds = 64, T_MAX = 64, δ = 0.9).
+//
+// Published columns: k-way.x (p,p) [11], r+p.0 (p,r,p) [11],
+// PROP (p,o,p) and (p,r,o,p) [12], FBB-MW [16], FPART (the paper).
+// r+p.0 and PROP use logic replication and are quoted only; k-way.x,
+// FBB-MW and FPART are re-measured by this build.
+#include <vector>
+
+#include "device/xilinx.hpp"
+#include "harness.hpp"
+
+using namespace fpart;
+using bench::PublishedColumn;
+
+int main(int argc, char** argv) {
+  bench::print_banner("Table 2",
+                      "Results comparison on XC3020 devices "
+                      "(paper totals: 210/210/198/188/183/180, M=172)");
+
+  const std::vector<PublishedColumn> published = {
+      {"k-way.x[11]", {6, 9, 16, 10, 11, 10, 23, 19, 46, 60}},
+      {"r+p.0[11]", {6, 8, 16, 10, 10, 10, 23, 19, 48, 60}},
+      {"PROP(p,o,p)", {6, 9, 12, 9, 11, 9, 21, 17, 44, 60}},
+      {"PROP(p,r,o,p)", {6, 8, 12, 9, 9, 9, 19, 16, 44, 56}},
+      {"FBB-MW[16]", {6, 8, 15, 9, 9, 8, 18, 15, 41, 54}},
+      {"FPART", {6, 9, 15, 9, 9, 8, 18, 15, 39, 52}},
+  };
+  bench::run_and_print_suite(xilinx::xc3020(), mcnc::circuits(), published,
+                             argc > 1 ? argv[1] : nullptr);
+  return 0;
+}

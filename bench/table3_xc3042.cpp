@@ -1,0 +1,27 @@
+// Reproduces Table 3: results comparison on the XC3042 device
+// (S_ds = 144, T_MAX = 96, δ = 0.9).
+#include <vector>
+
+#include "device/xilinx.hpp"
+#include "harness.hpp"
+
+using namespace fpart;
+using bench::PublishedColumn;
+
+int main(int argc, char** argv) {
+  bench::print_banner("Table 3",
+                      "Results comparison on XC3042 devices "
+                      "(paper totals: 94/93/87/82/84/84, M=81)");
+
+  const std::vector<PublishedColumn> published = {
+      {"k-way.x[11]", {3, 5, 7, 4, 5, 4, 11, 8, 20, 27}},
+      {"r+p.0[11]", {3, 5, 7, 4, 4, 4, 10, 9, 20, 27}},
+      {"PROP(p,o,p)", {2, 4, 6, 5, 4, 4, 9, 8, 20, 25}},
+      {"PROP(p,r,o,p)", {2, 4, 5, 4, 4, 4, 8, 7, 19, 25}},
+      {"FBB-MW[16]", {3, 4, 7, 4, 4, 4, 9, 8, 18, 23}},
+      {"FPART", {3, 5, 7, 4, 4, 4, 9, 7, 18, 23}},
+  };
+  bench::run_and_print_suite(xilinx::xc3042(), mcnc::circuits(), published,
+                             argc > 1 ? argv[1] : nullptr);
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Reproduces Table 4: results comparison on the XC3090 device
+// (S_ds = 320, T_MAX = 144, δ = 0.9), including the SC [3] and WCDP [6]
+// published columns (quoted; '-' where the original did not report).
+#include <vector>
+
+#include "device/xilinx.hpp"
+#include "harness.hpp"
+
+using namespace fpart;
+using bench::PublishedColumn;
+
+int main(int argc, char** argv) {
+  bench::print_banner("Table 4",
+                      "Results comparison on XC3090 devices "
+                      "(paper totals small/large: 14/14 and "
+                      "34/26/33/29/27/27, M=14+26)");
+
+  // Paper row order: c3540, c5315, c6288, c7552, s5378, s9234 (small
+  // group), then s13207, s15850, s38417, s38584 (large group).
+  const std::vector<PublishedColumn> published = {
+      {"k-way.x[11]", {1, 3, 3, 3, 2, 2, 7, 4, 9, 14}},
+      {"r+p.0[11]", {1, 3, 3, 3, 2, 2, 4, 3, 8, 11}},
+      {"SC[3]",
+       {std::nullopt, std::nullopt, std::nullopt, std::nullopt, std::nullopt,
+        std::nullopt, 6, 3, 10, 14}},
+      {"WCDP[6]",
+       {std::nullopt, std::nullopt, std::nullopt, std::nullopt, std::nullopt,
+        std::nullopt, 6, 3, 8, 12}},
+      {"FBB-MW[16]",
+       {std::nullopt, std::nullopt, std::nullopt, std::nullopt, std::nullopt,
+        std::nullopt, 5, 3, 8, 11}},
+      {"FPART", {1, 3, 3, 3, 2, 2, 5, 3, 8, 11}},
+  };
+  bench::run_and_print_suite(xilinx::xc3090(), mcnc::circuits(), published,
+                             argc > 1 ? argv[1] : nullptr);
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Reproduces Table 5: results comparison on the XC2064 device
+// (S_ds = 64, T_MAX = 58, δ = 1.0; XC2000-family technology mapping).
+// The paper evaluates the four combinational circuits only.
+#include <vector>
+
+#include "device/xilinx.hpp"
+#include "harness.hpp"
+
+using namespace fpart;
+using bench::PublishedColumn;
+
+int main(int argc, char** argv) {
+  bench::print_banner("Table 5",
+                      "Results comparison on XC2064 devices "
+                      "(paper totals: 42/43/44/40/40, M=39)");
+
+  // Paper row order: c3540, c5315, c7552, c6288.
+  const std::vector<mcnc::CircuitSpec> circuits = {
+      mcnc::circuit("c3540"), mcnc::circuit("c5315"), mcnc::circuit("c7552"),
+      mcnc::circuit("c6288")};
+  const std::vector<PublishedColumn> published = {
+      {"k-way.x[11]", {6, 11, 11, 14}},
+      {"SC[3]", {6, 12, 11, 14}},
+      {"WCDP[6]", {7, 12, 11, 14}},
+      {"FBB-MW[16]", {6, 10, 10, 14}},
+      {"FPART", {6, 10, 10, 14}},
+  };
+  bench::run_and_print_suite(xilinx::xc2064(), circuits, published,
+                             argc > 1 ? argv[1] : nullptr);
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Reproduces Table 6: FPART execution time per circuit and device.
+//
+// The paper's times are on a 1998-era SUN Sparc Ultra 5; this build runs
+// on modern hardware, so absolute values differ by orders of magnitude.
+// The SHAPE to check: time grows with circuit size and with the final
+// block count k (small devices = more iterations = more time), and the
+// XC3090 column is the cheapest for every circuit.
+#include <cstdio>
+#include <optional>
+#include <vector>
+
+#include "device/xilinx.hpp"
+#include "harness.hpp"
+#include "report/table.hpp"
+
+using namespace fpart;
+
+int main() {
+  bench::print_banner("Table 6",
+                      "FPART execution time (seconds). Paper columns: "
+                      "SUN Ultra 5; measured columns: this machine.");
+
+  struct PaperTimes {
+    const char* circuit;
+    std::optional<double> t[4];  // XC3020, XC3042, XC3090, XC2064
+  };
+  const std::vector<PaperTimes> paper = {
+      {"c3540", {15.59, 2.75, 1.00, 11.2}},
+      {"c5315", {43.99, 16.12, 6.15, 34.74}},
+      {"c6288", {89.14, 36.45, 10.83, 64.62}},
+      {"c7552", {46.23, 14.11, 6.05, 40.89}},
+      {"s5378", {52.09, 22.01, 3.87, std::nullopt}},
+      {"s9234", {59.47, 23.65, 3.45, std::nullopt}},
+      {"s13207", {121.51, 95.18, 91.61, std::nullopt}},
+      {"s15850", {156.25, 61.54, 15.61, std::nullopt}},
+      {"s38417", {464.66, 131.48, 78.54, std::nullopt}},
+      {"s38584", {875.26, 258.73, 184.12, std::nullopt}},
+  };
+  const Device devices[4] = {xilinx::xc3020(), xilinx::xc3042(),
+                             xilinx::xc3090(), xilinx::xc2064()};
+
+  Table table({"Circuit", "3020 paper", "3020*", "3042 paper", "3042*",
+               "3090 paper", "3090*", "2064 paper", "2064*"});
+  double total_measured = 0.0;
+  for (const auto& row : paper) {
+    const auto& spec = mcnc::circuit(row.circuit);
+    std::vector<std::string> cells{row.circuit};
+    for (int d = 0; d < 4; ++d) {
+      cells.push_back(row.t[d] ? fmt_double(*row.t[d], 2) : "-");
+      if (row.t[d]) {
+        const PartitionResult r = bench::run_fpart(spec, devices[d]);
+        total_measured += r.seconds;
+        cells.push_back(fmt_double(r.seconds, 2));
+      } else {
+        cells.push_back("-");  // the paper skipped s* circuits on XC2064
+      }
+    }
+    table.add_row(std::move(cells));
+  }
+  std::fputs(table.to_ascii().c_str(), stdout);
+  std::printf("\nTotal measured FPART time: %.2fs\n", total_measured);
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Compare FPART against the reimplemented baselines (greedy k-way.x and
+// flow-based FBB-MW) on one circuit/device pair — a single-row slice of
+// the paper's Tables 2-5.
+//
+//   $ ./compare_methods --circuit s38584 --device XC3090
+#include <cstdio>
+
+#include "baselines/kwayx.hpp"
+#include "core/fpart.hpp"
+#include "device/xilinx.hpp"
+#include "flow/fbb.hpp"
+#include "netlist/mcnc.hpp"
+#include "report/table.hpp"
+#include "util/cli.hpp"
+
+using namespace fpart;
+
+int main(int argc, char** argv) {
+  CliParser cli;
+  cli.add_flag("circuit", "MCNC circuit name", "s13207");
+  cli.add_flag("device", "Xilinx device name", "XC3020");
+  if (!cli.parse(argc, argv)) {
+    std::fprintf(stderr, "%s\n%s", cli.error().c_str(),
+                 cli.usage("compare_methods").c_str());
+    return 2;
+  }
+
+  const Device device = xilinx::by_name(cli.get("device"));
+  const Hypergraph h = mcnc::generate(cli.get("circuit"), device.family());
+  std::printf("%s on %s (M=%u)\n\n", cli.get("circuit").c_str(),
+              device.name().c_str(), lower_bound_devices(h, device));
+
+  Table table({"Method", "devices k", "cut nets", "K-1 conn",
+               "iterations", "seconds", "feasible"});
+  auto add = [&](const char* name, const PartitionResult& r) {
+    table.add_row({name, fmt_int(r.k),
+                   fmt_int(static_cast<std::int64_t>(r.cut)),
+                   fmt_int(static_cast<std::int64_t>(r.km1)),
+                   fmt_int(r.iterations), fmt_double(r.seconds, 3),
+                   r.feasible ? "yes" : "no"});
+  };
+  add("k-way.x (greedy)", KwayxPartitioner().run(h, device));
+  add("FBB-MW (flow)", FbbPartitioner().run(h, device));
+  add("FPART (paper)", FpartPartitioner().run(h, device));
+  std::fputs(table.to_ascii().c_str(), stdout);
+  return 0;
+}

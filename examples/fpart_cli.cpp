@@ -1,0 +1,218 @@
+// fpart_cli — the kitchen-sink command-line driver tying the whole
+// library together for day-to-day use:
+//
+//   fpart_cli generate  --circuit s9234 --family XC3000 --out c.hgr
+//   fpart_cli generate  --cells 1200 --pads 80 --seed 3 --out c.hgr
+//   fpart_cli techmap   --blif design.blif --family XC3000 --out c.hgr
+//   fpart_cli partition --in c.hgr --device XC3042 [--method fpart]
+//                       [--starts 4] [--parts out.txt]
+//   fpart_cli verify    --in c.hgr --parts out.txt --device XC3042
+//   fpart_cli rent      --in c.hgr
+//
+// Every subcommand reads/writes the hMETIS-style .hgr interchange format
+// (netlist/hgr_io.hpp) so stages chain through files.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "baselines/kwayx.hpp"
+#include "core/clustered.hpp"
+#include "core/fpart.hpp"
+#include "device/xilinx.hpp"
+#include "flow/fbb.hpp"
+#include "netlist/generator.hpp"
+#include "netlist/hgr_io.hpp"
+#include "netlist/mcnc.hpp"
+#include "netlist/rent.hpp"
+#include "partition/verify.hpp"
+#include "techmap/blif_io.hpp"
+#include "techmap/clb_pack.hpp"
+#include "techmap/random_logic.hpp"
+#include "util/cli.hpp"
+
+using namespace fpart;
+
+namespace {
+
+Family parse_family(const std::string& name) {
+  if (name == "XC2000" || name == "xc2000") return Family::kXC2000;
+  if (name == "XC3000" || name == "xc3000") return Family::kXC3000;
+  FPART_REQUIRE(false, "unknown family: " + name);
+  return Family::kXC3000;
+}
+
+Device device_from_flags(const CliParser& cli) {
+  if (cli.has("smax") || cli.has("tmax")) {
+    FPART_REQUIRE(cli.has("smax") && cli.has("tmax"),
+                  "--smax and --tmax must be given together");
+    return Device("CUSTOM", Family::kXC3000,
+                  static_cast<std::uint32_t>(cli.get_int("smax")),
+                  static_cast<std::uint32_t>(cli.get_int("tmax")),
+                  cli.get_double("fill"));
+  }
+  return xilinx::by_name(cli.get("device")).with_fill(
+      cli.get_double("fill"));
+}
+
+int cmd_generate(const CliParser& cli) {
+  Hypergraph h = [&] {
+    if (cli.has("circuit")) {
+      return mcnc::generate(cli.get("circuit"),
+                            parse_family(cli.get("family")),
+                            static_cast<std::uint64_t>(cli.get_int("seed")));
+    }
+    GeneratorConfig config;
+    config.num_cells = static_cast<std::uint32_t>(cli.get_int("cells"));
+    config.num_terminals = static_cast<std::uint32_t>(cli.get_int("pads"));
+    config.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+    return generate_circuit(config);
+  }();
+  write_hgr_file(cli.get("out"), h);
+  std::printf("wrote %s: %zu cells, %zu pads, %zu nets\n",
+              cli.get("out").c_str(), h.num_interior(), h.num_terminals(),
+              h.num_nets());
+  return 0;
+}
+
+int cmd_genlogic(const CliParser& cli) {
+  techmap::LogicConfig config;
+  config.num_gates = static_cast<std::uint32_t>(cli.get_int("gates"));
+  config.num_inputs = static_cast<std::uint32_t>(cli.get_int("pads")) / 2;
+  config.num_outputs = config.num_inputs;
+  config.num_dffs = config.num_gates / 12;
+  config.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  const techmap::GateNetlist n = techmap::random_logic(config);
+  techmap::write_blif_file(cli.get("out"), n, "fpart_genlogic");
+  std::printf("wrote %s: %zu gates, %zu PIs, %zu POs, %zu DFFs\n",
+              cli.get("out").c_str(), n.num_gates(), n.inputs().size(),
+              n.outputs().size(), n.dffs().size());
+  return 0;
+}
+
+int cmd_techmap(const CliParser& cli) {
+  const techmap::GateNetlist gates =
+      techmap::read_blif_file(cli.get("blif"));
+  const Family family = parse_family(cli.get("family"));
+  const techmap::MappedCircuit mc = techmap::map_to_family(gates, family);
+  write_hgr_file(cli.get("out"), mc.circuit);
+  std::printf("%s: %zu gates -> %u LUTs + %u lone FFs = %u CLBs (%s); "
+              "wrote %s\n",
+              cli.get("blif").c_str(), gates.num_gates(), mc.num_luts,
+              mc.num_standalone_ffs, mc.num_clbs,
+              to_string(family).c_str(), cli.get("out").c_str());
+  return 0;
+}
+
+int cmd_partition(const CliParser& cli) {
+  const Hypergraph h = read_hgr_file(cli.get("in"));
+  const Device device = device_from_flags(cli);
+  const std::string method = cli.get("method");
+  const auto starts = static_cast<std::uint32_t>(cli.get_int("starts"));
+
+  PartitionResult r;
+  if (method == "fpart") {
+    r = starts > 1 ? run_fpart_multistart(h, device, {}, starts)
+                   : FpartPartitioner().run(h, device);
+  } else if (method == "clustered") {
+    r = ClusteredFpartPartitioner().run(h, device);
+  } else if (method == "kwayx") {
+    r = KwayxPartitioner().run(h, device);
+  } else if (method == "fbb") {
+    r = FbbPartitioner().run(h, device);
+  } else {
+    std::fprintf(stderr, "unknown --method %s\n", method.c_str());
+    return 2;
+  }
+  std::printf("%s on %s: k=%u (M=%u), cut=%llu, %.2fs, feasible=%s\n",
+              method.c_str(), device.name().c_str(), r.k, r.lower_bound,
+              static_cast<unsigned long long>(r.cut), r.seconds,
+              r.feasible ? "yes" : "no");
+  if (cli.has("parts")) {
+    std::ofstream os(cli.get("parts"));
+    FPART_REQUIRE(os.good(), "cannot write " + cli.get("parts"));
+    for (NodeId v = 0; v < h.num_nodes(); ++v) {
+      if (!h.is_terminal(v)) os << v << ' ' << r.assignment[v] << '\n';
+    }
+    std::printf("assignment written to %s\n", cli.get("parts").c_str());
+  }
+  return r.feasible ? 0 : 1;
+}
+
+int cmd_verify(const CliParser& cli) {
+  const Hypergraph h = read_hgr_file(cli.get("in"));
+  const Device device = device_from_flags(cli);
+  std::ifstream is(cli.get("parts"));
+  FPART_REQUIRE(is.good(), "cannot read " + cli.get("parts"));
+  std::vector<BlockId> assignment(h.num_nodes(), kInvalidBlock);
+  std::uint64_t node = 0;
+  std::uint64_t block = 0;
+  std::uint32_t k = 0;
+  while (is >> node >> block) {
+    FPART_REQUIRE(node < h.num_nodes(), "assignment node out of range");
+    assignment[node] = static_cast<BlockId>(block);
+    k = std::max(k, static_cast<std::uint32_t>(block) + 1);
+  }
+  const VerifyReport report = verify_partition(h, device, assignment, k);
+  std::printf("verification (%u blocks on %s): %s\n", k,
+              device.name().c_str(), report.summary().c_str());
+  for (const std::string& err : report.errors) {
+    std::printf("  - %s\n", err.c_str());
+  }
+  return report.ok ? 0 : 1;
+}
+
+int cmd_rent(const CliParser& cli) {
+  const Hypergraph h = read_hgr_file(cli.get("in"));
+  const RentEstimate r = estimate_rent(h);
+  std::printf("%s: Rent exponent p=%.3f, coefficient t=%.2f "
+              "(%zu samples)\n",
+              cli.get("in").c_str(), r.exponent, r.coefficient,
+              r.samples.size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli;
+  cli.add_flag("circuit", "MCNC circuit name (generate)", "");
+  cli.add_flag("family", "XC2000 | XC3000", "XC3000");
+  cli.add_flag("cells", "synthetic cell count (generate)", "1000");
+  cli.add_flag("gates", "gate count (genlogic)", "1000");
+  cli.add_flag("pads", "synthetic pad count (generate)", "60");
+  cli.add_flag("seed", "generator seed / salt", "1");
+  cli.add_flag("out", "output .hgr path", "/tmp/fpart_cli.hgr");
+  cli.add_flag("blif", "input BLIF path (techmap)", "");
+  cli.add_flag("in", "input .hgr path", "/tmp/fpart_cli.hgr");
+  cli.add_flag("device", "Xilinx device name", "XC3042");
+  cli.add_flag("smax", "custom device: datasheet cells", "");
+  cli.add_flag("tmax", "custom device: I/O pins", "");
+  cli.add_flag("fill", "filling ratio δ", "0.9");
+  cli.add_flag("method", "fpart | clustered | kwayx | fbb", "fpart");
+  cli.add_flag("starts", "multistart count (fpart only)", "1");
+  cli.add_flag("parts", "assignment file (partition out / verify in)", "");
+  if (!cli.parse(argc, argv) || cli.positional().size() != 1) {
+    std::fprintf(stderr,
+                 "usage: fpart_cli <generate|genlogic|techmap|partition|verify|rent>"
+                 " [flags]\n%s%s",
+                 cli.error().empty() ? "" : (cli.error() + "\n").c_str(),
+                 cli.usage("fpart_cli").c_str());
+    return 2;
+  }
+
+  const std::string& command = cli.positional()[0];
+  try {
+    if (command == "generate") return cmd_generate(cli);
+    if (command == "genlogic") return cmd_genlogic(cli);
+    if (command == "techmap") return cmd_techmap(cli);
+    if (command == "partition") return cmd_partition(cli);
+    if (command == "verify") return cmd_verify(cli);
+    if (command == "rent") return cmd_rent(cli);
+    std::fprintf(stderr, "unknown command: %s\n", command.c_str());
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

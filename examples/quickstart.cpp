@@ -1,0 +1,72 @@
+// Quickstart: build a small circuit by hand, partition it onto a small
+// FPGA device with FPART and inspect the result.
+//
+//   $ ./quickstart
+//
+// This walks the whole public API surface: HypergraphBuilder -> Device
+// -> FpartPartitioner -> PartitionResult.
+#include <cstdio>
+#include <vector>
+
+#include "core/fpart.hpp"
+#include "device/device.hpp"
+#include "hypergraph/builder.hpp"
+
+using namespace fpart;
+
+int main() {
+  // A toy circuit: two 6-cell "modules" of tightly coupled logic joined
+  // by a couple of nets, plus four primary I/O pads.
+  HypergraphBuilder b;
+  std::vector<NodeId> cells;
+  for (int i = 0; i < 12; ++i) {
+    cells.push_back(b.add_cell(/*size=*/1, "u" + std::to_string(i)));
+  }
+  // Dense local nets inside each module.
+  for (int m = 0; m < 2; ++m) {
+    const int base = m * 6;
+    for (int i = 0; i < 5; ++i) {
+      b.add_net({cells[base + i], cells[base + i + 1]});
+    }
+    b.add_net({cells[base], cells[base + 2], cells[base + 4]});
+  }
+  // Two nets crossing between the modules (the natural cut).
+  b.add_net({cells[2], cells[8]});
+  b.add_net({cells[5], cells[6]});
+  // Primary I/Os.
+  for (int m = 0; m < 2; ++m) {
+    b.add_net({cells[m * 6], b.add_terminal("in" + std::to_string(m))});
+    b.add_net({cells[m * 6 + 5], b.add_terminal("out" + std::to_string(m))});
+  }
+  const Hypergraph h = std::move(b).build();
+  std::printf("circuit: %zu cells, %zu pads, %zu nets\n", h.num_interior(),
+              h.num_terminals(), h.num_nets());
+
+  // A fictional small device: 8 logic cells, 6 I/O pins, 100%% fill.
+  const Device device("TOY8", Family::kXC3000, /*s_datasheet=*/8,
+                      /*t_max=*/6, /*fill=*/1.0);
+  std::printf("device: %s (S_MAX=%.0f, T_MAX=%u), lower bound M=%u\n",
+              device.name().c_str(), device.s_max(), device.t_max(),
+              lower_bound_devices(h, device));
+
+  const PartitionResult result = FpartPartitioner().run(h, device);
+  std::printf("FPART: k=%u device(s), feasible=%s, cut nets=%llu\n",
+              result.k, result.feasible ? "yes" : "no",
+              static_cast<unsigned long long>(result.cut));
+  for (std::size_t i = 0; i < result.blocks.size(); ++i) {
+    const BlockStats& blk = result.blocks[i];
+    std::printf("  block %zu: %u cells (S=%llu), %llu I/O pins, "
+                "%llu external pads\n",
+                i, blk.nodes, static_cast<unsigned long long>(blk.size),
+                static_cast<unsigned long long>(blk.pins),
+                static_cast<unsigned long long>(blk.ext));
+  }
+  std::printf("assignment:");
+  for (NodeId v = 0; v < h.num_nodes(); ++v) {
+    if (!h.is_terminal(v)) {
+      std::printf(" %s->%u", h.node_name(v).c_str(), result.assignment[v]);
+    }
+  }
+  std::printf("\n");
+  return result.feasible ? 0 : 1;
+}

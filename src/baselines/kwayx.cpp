@@ -1,0 +1,104 @@
+#include "baselines/kwayx.hpp"
+
+#include <limits>
+#include <vector>
+
+#include "fm/gain_bucket.hpp"
+#include "fm/gains.hpp"
+#include "fm/repair.hpp"
+#include "partition/partition.hpp"
+#include "util/assert.hpp"
+#include "util/timer.hpp"
+
+namespace fpart {
+
+namespace {
+
+constexpr BlockId kRem = 0;
+
+NodeId biggest_remainder_cell(const Partition& p) {
+  const Hypergraph& h = p.graph();
+  NodeId best = kInvalidNode;
+  for (NodeId v = 0; v < h.num_nodes(); ++v) {
+    if (h.is_terminal(v) || p.block_of(v) != kRem) continue;
+    if (best == kInvalidNode || h.node_size(v) > h.node_size(best) ||
+        (h.node_size(v) == h.node_size(best) &&
+         h.degree(v) > h.degree(best))) {
+      best = v;
+    }
+  }
+  return best;
+}
+
+/// Grows `block` from the remainder by best cut gain until the device
+/// size saturates (connectivity-driven greedy clustering).
+void grow_by_connectivity(Partition& p, const Device& d, BlockId block) {
+  const Hypergraph& h = p.graph();
+  const NodeId seed = biggest_remainder_cell(p);
+  FPART_ASSERT(seed != kInvalidNode);
+  p.move(seed, block);
+
+  GainBucket bucket(h.num_nodes(), static_cast<int>(h.max_node_degree()));
+  std::vector<std::uint8_t> queued(h.num_nodes(), 0);
+  auto enqueue_neighbours = [&](NodeId v) {
+    for (NetId e : h.nets(v)) {
+      for (NodeId w : h.interior_pins(e)) {
+        if (queued[w] || p.block_of(w) != kRem) continue;
+        queued[w] = 1;
+        bucket.insert(w, move_gain(p, w, block));
+      }
+    }
+  };
+  enqueue_neighbours(seed);
+
+  while (!bucket.empty() && p.block_node_count(kRem) > 0) {
+    // Best-gain frontier cell that fits the device size.
+    const auto id = bucket.find_first(
+        [&](std::uint32_t v, int) {
+          return d.size_ok(p.block_size(block) + h.node_size(v));
+        },
+        bucket.size());
+    if (!id) break;
+    const NodeId v = static_cast<NodeId>(*id);
+    bucket.remove(v);
+    p.move(v, block);
+    enqueue_neighbours(v);
+    for (NetId e : h.nets(v)) {
+      for (NodeId w : h.interior_pins(e)) {
+        if (bucket.contains(w) && p.block_of(w) == kRem) {
+          bucket.update(w, move_gain(p, w, block));
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+PartitionResult KwayxPartitioner::run(const Hypergraph& h,
+                                      const Device& device) const {
+  Timer timer;
+  const std::uint32_t m = lower_bound_devices(h, device);
+  Partition p(h, 1);
+
+  std::uint32_t iterations = 0;
+  while (!p.block_feasible(kRem, device) && p.block_node_count(kRem) > 0) {
+    ++iterations;
+    const BlockId pk = p.add_block();
+    grow_by_connectivity(p, device, pk);
+
+    // Classic FM polish between the new block and the remainder only —
+    // the defining limitation of the greedy paradigm.
+    const double keep =
+        config_.keep_fraction * static_cast<double>(p.block_size(pk));
+    FmBipartitioner fm(p, pk, kRem, config_.fm);
+    fm.run(SizeWindow{keep, device.s_max()},
+           SizeWindow{0.0, std::numeric_limits<double>::infinity()});
+
+    shrink_to_feasible(p, device, pk, kRem);
+  }
+  return summarize_partition(p, device, m, iterations,
+                             timer.elapsed_seconds());
+}
+
+}  // namespace fpart

@@ -1,0 +1,41 @@
+// k-way.x — the greedy recursive-bipartitioning baseline of Kuznar,
+// Brglez & Kozminski [9],[11] (the "(p,p)" flow: partition + pairwise
+// improvement, no replication, no re-optimization).
+//
+// Each iteration grows one device-sized cluster out of the remainder by
+// connectivity (best cut-gain frontier cell first), polishes it against
+// the remainder with classic FM [4] minimizing the cut-net count, and
+// repairs any pin violation by greedy shrinking. Blocks created at
+// earlier iterations are never revisited — the greedy weakness the
+// paper's §3 discusses and FPART removes.
+#pragma once
+
+#include "core/result.hpp"
+#include "device/device.hpp"
+#include "fm/fm_bipartitioner.hpp"
+#include "hypergraph/hypergraph.hpp"
+
+namespace fpart {
+
+struct KwayxConfig {
+  FmConfig fm;
+  /// FM lower size window for the grown block, as a fraction of its
+  /// post-growth size (prevents FM from draining the block back into
+  /// the remainder).
+  double keep_fraction = 0.9;
+};
+
+class KwayxPartitioner {
+ public:
+  explicit KwayxPartitioner(KwayxConfig config = {}) : config_(config) {}
+
+  const KwayxConfig& config() const { return config_; }
+
+  /// Partitions `h` greedily; the result is always feasible.
+  PartitionResult run(const Hypergraph& h, const Device& device) const;
+
+ private:
+  KwayxConfig config_;
+};
+
+}  // namespace fpart

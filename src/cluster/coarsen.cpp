@@ -1,0 +1,108 @@
+#include "cluster/coarsen.hpp"
+
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "hypergraph/builder.hpp"
+#include "util/assert.hpp"
+
+namespace fpart {
+
+std::vector<BlockId> Coarsening::project(
+    std::span<const BlockId> coarse_assignment) const {
+  FPART_REQUIRE(coarse_assignment.size() == coarse.num_nodes(),
+                "project: assignment does not match coarse node count");
+  std::vector<BlockId> fine(fine_to_coarse.size(), kInvalidBlock);
+  for (NodeId v = 0; v < fine_to_coarse.size(); ++v) {
+    const NodeId cv = fine_to_coarse[v];
+    fine[v] = coarse_assignment[cv];
+  }
+  return fine;
+}
+
+Coarsening coarsen(const Hypergraph& fine, const CoarsenConfig& config) {
+  const std::size_t n = fine.num_nodes();
+  std::vector<NodeId> match(n, kInvalidNode);
+
+  // Heavy-connectivity matching over interior nodes.
+  std::vector<double> weight(n, 0.0);
+  std::vector<NodeId> touched;
+  for (NodeId v = 0; v < n; ++v) {
+    if (fine.is_terminal(v) || match[v] != kInvalidNode) continue;
+    // Rate unmatched interior neighbours.
+    touched.clear();
+    for (NetId e : fine.nets(v)) {
+      const auto pins = fine.interior_pins(e);
+      if (pins.size() < 2) continue;
+      const double w = 1.0 / static_cast<double>(pins.size() - 1);
+      for (NodeId u : pins) {
+        if (u == v || match[u] != kInvalidNode || fine.is_terminal(u)) {
+          continue;
+        }
+        if (weight[u] == 0.0) touched.push_back(u);
+        weight[u] += w;
+      }
+    }
+    NodeId best = kInvalidNode;
+    for (NodeId u : touched) {
+      if (config.max_cluster_size != 0 &&
+          fine.node_size(v) + fine.node_size(u) > config.max_cluster_size) {
+        continue;
+      }
+      if (best == kInvalidNode || weight[u] > weight[best] ||
+          (weight[u] == weight[best] && u < best)) {
+        best = u;
+      }
+    }
+    if (best != kInvalidNode) {
+      match[v] = best;
+      match[best] = v;
+    }
+    for (NodeId u : touched) weight[u] = 0.0;
+  }
+
+  // Build the coarse circuit.
+  Coarsening out;
+  out.fine_to_coarse.assign(n, kInvalidNode);
+  HypergraphBuilder b;
+  for (NodeId v = 0; v < n; ++v) {
+    if (fine.is_terminal(v)) continue;
+    if (out.fine_to_coarse[v] != kInvalidNode) continue;  // already merged
+    std::uint32_t size = fine.node_size(v);
+    std::string name = fine.node_name(v);
+    if (match[v] != kInvalidNode) {
+      size += fine.node_size(match[v]);
+      name += "+" + fine.node_name(match[v]);
+    }
+    const NodeId cv = b.add_cell(size, std::move(name));
+    out.fine_to_coarse[v] = cv;
+    if (match[v] != kInvalidNode) out.fine_to_coarse[match[v]] = cv;
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    if (!fine.is_terminal(v)) continue;
+    out.fine_to_coarse[v] = b.add_terminal(fine.node_name(v));
+  }
+
+  std::vector<NodeId> pins;
+  for (NetId e = 0; e < fine.num_nets(); ++e) {
+    pins.clear();
+    bool has_terminal = false;
+    for (NodeId v : fine.pins(e)) {
+      pins.push_back(out.fine_to_coarse[v]);
+      has_terminal = has_terminal || fine.is_terminal(v);
+    }
+    std::sort(pins.begin(), pins.end());
+    pins.erase(std::unique(pins.begin(), pins.end()), pins.end());
+    // Nets entirely absorbed into one coarse cell (no pads) disappear —
+    // they can never be cut or demand a pin again.
+    if (pins.size() < 2 && !has_terminal) continue;
+    b.add_net(pins, fine.net_name(e));
+  }
+
+  out.coarse = std::move(b).build();
+  return out;
+}
+
+}  // namespace fpart

@@ -1,0 +1,49 @@
+// Connectivity clustering (coarsening) for partitioning.
+//
+// The FM-era studies the paper cites ([5],[7]) found clustering the
+// strongest lever on iterative-improvement quality: pairs of cells that
+// share many small nets are merged into a single coarse cell, the
+// partitioner runs on the (much smaller) coarse circuit, and the result
+// is projected back. This module implements one level of heavy-
+// connectivity matching with a size cap, plus the projection.
+//
+// Invariants (tested): total logic size, terminal pads and pin demands
+// are preserved — a coarse partition projected to the fine circuit has
+// EXACTLY the same block sizes, pin counts and cutset, so feasibility
+// transfers verbatim.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "hypergraph/hypergraph.hpp"
+
+namespace fpart {
+
+struct CoarsenConfig {
+  /// Upper bound on a coarse cell's size in technology cells
+  /// (0 = unlimited). Partitioning callers cap this well below S_MAX so
+  /// the coarse circuit still packs devices tightly.
+  std::uint32_t max_cluster_size = 0;
+};
+
+struct Coarsening {
+  Hypergraph coarse;
+  /// fine node id -> coarse node id (interior->interior, pad->pad).
+  std::vector<NodeId> fine_to_coarse;
+
+  /// Expands an assignment of coarse interior nodes to the fine nodes.
+  /// `coarse_assignment` is indexed by coarse node id (terminals
+  /// kInvalidBlock); the result is indexed by fine node id.
+  std::vector<BlockId> project(
+      std::span<const BlockId> coarse_assignment) const;
+};
+
+/// One level of heavy-connectivity matching. Pair weight is
+/// Σ 1/(pins(e)−1) over shared multi-pin nets (the classic heavy-edge
+/// rating). Deterministic: nodes are visited in id order, ties broken by
+/// lower partner id.
+Coarsening coarsen(const Hypergraph& fine, const CoarsenConfig& config = {});
+
+}  // namespace fpart

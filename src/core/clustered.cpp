@@ -1,0 +1,102 @@
+#include "core/clustered.hpp"
+
+#include <algorithm>
+#include <array>
+#include <vector>
+
+#include "partition/evaluator.hpp"
+#include "sanchis/refiner.hpp"
+#include "util/assert.hpp"
+#include "util/timer.hpp"
+
+namespace fpart {
+
+namespace {
+
+/// Fine-grain polish at one level: strict size regions over all blocks
+/// (all-blocks pass for small k, pairwise ring otherwise).
+void refine_level(Partition& p, const Device& device, std::uint32_t m,
+                  const ClusteredOptions& options) {
+  if (options.refine_passes <= 0 || p.num_blocks() < 2) return;
+  Evaluator eval(device, options.fpart.cost, m);
+  RefinerConfig refiner_config = options.fpart.refiner;
+  refiner_config.max_passes = options.refine_passes;
+  MultiwayRefiner refiner(p, eval, /*remainder=*/0, refiner_config);
+  MoveRegion strict =
+      make_move_region(p, device, /*remainder=*/0,
+                       /*two_block_pass=*/false,
+                       /*allow_size_violations=*/false,
+                       options.fpart.move_region);
+  // No remainder in play: clamp block 0 like the others.
+  strict.lo[0] = 0.0;
+  strict.hi[0] = device.s_max();
+
+  if (p.num_blocks() <= 16) {
+    std::vector<BlockId> all(p.num_blocks());
+    for (BlockId b = 0; b < p.num_blocks(); ++b) all[b] = b;
+    refiner.improve(all, strict);
+  } else {
+    for (BlockId b = 0; b + 1 < p.num_blocks(); ++b) {
+      const std::array<BlockId, 2> pair{b, b + 1};
+      refiner.improve(pair, strict);
+    }
+  }
+}
+
+}  // namespace
+
+PartitionResult ClusteredFpartPartitioner::run(const Hypergraph& h,
+                                               const Device& device) const {
+  FPART_REQUIRE(options_.levels >= 1, "clustered FPART needs >= 1 level");
+  Timer timer;
+  const std::uint32_t m = lower_bound_devices(h, device);
+
+  CoarsenConfig coarsen_config = options_.coarsen;
+  if (coarsen_config.max_cluster_size == 0) {
+    coarsen_config.max_cluster_size = std::max(
+        2u, static_cast<std::uint32_t>(device.s_max() / 16.0));
+  }
+
+  // Descend: coarsen until the requested depth or a matching stall.
+  std::vector<Coarsening> ladder;
+  const Hypergraph* current = &h;
+  for (std::uint32_t level = 0; level < options_.levels; ++level) {
+    Coarsening c = coarsen(*current, coarsen_config);
+    if (c.coarse.num_interior() >= current->num_interior()) break;  // stall
+    ladder.push_back(std::move(c));
+    current = &ladder.back().coarse;
+    if (current->num_interior() < 32) break;  // small enough
+  }
+
+  // Phase 1: FPART on the coarsest circuit.
+  const PartitionResult coarse_result =
+      FpartPartitioner(options_.fpart).run(*current, device);
+  FPART_ASSERT_MSG(coarse_result.feasible,
+                   "coarse FPART result must be feasible");
+  std::uint32_t iterations = coarse_result.iterations;
+
+  // Phase 2/3: project level by level, refining after each expansion
+  // (feasibility transfers exactly under projection — coarsen.hpp).
+  std::vector<BlockId> assignment = coarse_result.assignment;
+  for (auto it = ladder.rbegin(); it != ladder.rend(); ++it) {
+    assignment = it->project(assignment);
+    // The projected assignment refers to this coarsening's fine side:
+    // the original circuit for the first (outermost) coarsening, else
+    // the next-outer coarse graph.
+    const Hypergraph& target =
+        (it + 1 == ladder.rend()) ? h : (it + 1)->coarse;
+    Partition p(target, assignment, coarse_result.k);
+    FPART_ASSERT(p.classify(device) == FeasibilityClass::kFeasible);
+    refine_level(p, device, m, options_);
+    ++iterations;
+    assignment = p.snapshot().assignment;
+  }
+
+  // Materialize the final fine partition for the result record.
+  Partition p(h, assignment, coarse_result.k);
+  FPART_ASSERT(p.classify(device) == FeasibilityClass::kFeasible);
+  return summarize_partition(p, device, m, iterations,
+                             timer.elapsed_seconds());
+}
+
+}  // namespace fpart

@@ -1,0 +1,42 @@
+// Clustered (two-phase) FPART: coarsen → partition → project → refine.
+//
+// The clustering extension the FM literature ([5],[7]) recommends: one
+// level of heavy-connectivity matching shrinks the circuit ~2×, FPART
+// runs on the coarse circuit (same device — feasibility transfers
+// exactly under projection, see cluster/coarsen.hpp), the assignment is
+// projected back and a final fine-grain refinement polishes block
+// boundaries at single-cell granularity.
+#pragma once
+
+#include "cluster/coarsen.hpp"
+#include "core/fpart.hpp"
+
+namespace fpart {
+
+struct ClusteredOptions {
+  Options fpart;
+  CoarsenConfig coarsen;  // max_cluster_size 0 = auto: max(2, S_MAX/16)
+  /// Coarsening levels (multilevel V-cycle: coarsen `levels` times,
+  /// partition the coarsest circuit, then project + refine back level by
+  /// level). Matching stalls automatically stop the descent early.
+  std::uint32_t levels = 1;
+  /// Refinement passes at each uncoarsening level (0 disables).
+  int refine_passes = 4;
+};
+
+class ClusteredFpartPartitioner {
+ public:
+  explicit ClusteredFpartPartitioner(ClusteredOptions options = {})
+      : options_(std::move(options)) {}
+
+  const ClusteredOptions& options() const { return options_; }
+
+  /// Same contract as FpartPartitioner::run — the result is feasible and
+  /// refers to the FINE circuit's node ids.
+  PartitionResult run(const Hypergraph& h, const Device& device) const;
+
+ private:
+  ClusteredOptions options_;
+};
+
+}  // namespace fpart

@@ -1,0 +1,206 @@
+#include "core/fpart.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "core/initial_partition.hpp"
+#include "util/rng.hpp"
+#include "partition/evaluator.hpp"
+#include "sanchis/refiner.hpp"
+#include "util/assert.hpp"
+#include "util/log.hpp"
+#include "util/timer.hpp"
+
+namespace fpart {
+
+namespace {
+
+constexpr BlockId kRem = 0;  // the remainder keeps block id 0 throughout
+
+/// Selects arg-optimum over non-remainder blocks.
+template <typename Score>
+BlockId select_block(const Partition& p, Score score) {
+  BlockId best = kInvalidBlock;
+  double best_score = -std::numeric_limits<double>::infinity();
+  for (BlockId b = 1; b < p.num_blocks(); ++b) {
+    const double s = score(b);
+    if (best == kInvalidBlock || s > best_score) {
+      best = b;
+      best_score = s;
+    }
+  }
+  return best;
+}
+
+/// Free-space estimate F of §3.1 (bigger = more free).
+double free_space(const Partition& p, const Device& d, BlockId b,
+                  const Options& opt) {
+  const double s_free =
+      (d.s_max() - static_cast<double>(p.block_size(b))) / d.s_max();
+  const double t_free = (static_cast<double>(d.t_max()) -
+                         static_cast<double>(p.block_pins(b))) /
+                        static_cast<double>(d.t_max());
+  return opt.sigma1 * s_free + opt.sigma2 * t_free;
+}
+
+void improve_pair(MultiwayRefiner& refiner, Partition& p, const Device& d,
+                  BlockId other, bool allow_violations,
+                  const Options& opt) {
+  if (other == kInvalidBlock || other == kRem) return;
+  const MoveRegion region = make_move_region(
+      p, d, kRem, /*two_block_pass=*/true, allow_violations, opt.move_region);
+  const std::array<BlockId, 2> blocks{kRem, other};
+  refiner.improve(blocks, region);
+}
+
+}  // namespace
+
+PartitionResult FpartPartitioner::run(const Hypergraph& h,
+                                      const Device& device) const {
+  Timer timer;
+  const std::uint32_t m = lower_bound_devices(h, device);
+  // Every iteration permanently retires at least one cell into a
+  // feasible block, so num_interior() bounds the honest iteration count;
+  // the M term and constant absorb remainder re-designations. (On
+  // pin-critical instances the final k can exceed M by a large factor —
+  // M only tracks size and pad totals — so the cap must scale with the
+  // circuit, not with M.)
+  const std::uint32_t cap =
+      options_.max_iterations != 0
+          ? options_.max_iterations
+          : static_cast<std::uint32_t>(h.num_interior()) + 3 * m + 100;
+
+  Partition p(h, 1);
+  Evaluator eval(device, options_.cost, m);
+  MultiwayRefiner refiner(p, eval, kRem, options_.refiner);
+  Rng rng(options_.seed);
+  Rng* seed_rng = options_.seed != 0 ? &rng : nullptr;
+
+  std::uint32_t iterations = 0;
+  while (true) {
+    if (p.classify(device) == FeasibilityClass::kFeasible) break;
+
+    // Keep the remainder designation on the (unique) infeasible block of
+    // a semi-feasible solution: improvement passes may have shifted the
+    // violation to another block.
+    if (p.block_feasible(kRem, device)) {
+      for (BlockId b = 1; b < p.num_blocks(); ++b) {
+        if (!p.block_feasible(b, device)) {
+          p.swap_blocks(kRem, b);
+          break;
+        }
+      }
+    }
+
+    if (++iterations > cap) {
+      // Safety fallback: pure constructive peeling terminates because
+      // every bipartition yields a non-empty feasible block.
+      FPART_LOG(kWarn) << "FPART hit the iteration cap (" << cap
+                       << "); falling back to constructive peeling";
+      while (p.classify(device) != FeasibilityClass::kFeasible) {
+        bipartition_remainder(p, eval, kRem, options_, seed_rng);
+        ++iterations;
+      }
+      break;
+    }
+
+    const BlockId pk =
+        bipartition_remainder(p, eval, kRem, options_, seed_rng);
+    const std::uint32_t k_created = p.num_blocks() - 1;  // non-remainder
+    const bool allow_violations = k_created < m;
+
+    if (options_.verbose) {
+      FPART_LOG(kInfo) << "iteration " << iterations << ": k=" << k_created
+                       << " remainder size=" << p.block_size(kRem)
+                       << " pins=" << p.block_pins(kRem);
+    }
+
+    // Improve(R_k, P_k).
+    if (options_.schedule.last_pair) {
+      improve_pair(refiner, p, device, pk, allow_violations, options_);
+    }
+
+    // Improve over all blocks (small-M problems only). The M <= N_small
+    // guard assumes k stays near M; on pin-critical instances k can
+    // outgrow M by a large factor, so the CURRENT block count is checked
+    // too — the pass is quadratic in it.
+    if (options_.schedule.all_blocks && m <= options_.n_small &&
+        p.num_blocks() >= 3 &&
+        p.num_blocks() <= options_.n_small + 2) {
+      std::vector<BlockId> all(p.num_blocks());
+      for (BlockId b = 0; b < p.num_blocks(); ++b) all[b] = b;
+      const MoveRegion region =
+          make_move_region(p, device, kRem, /*two_block_pass=*/false,
+                           allow_violations, options_.move_region);
+      refiner.improve(all, region);
+    }
+
+    // Improve with the smallest, fewest-I/O and most-free-space blocks.
+    if (options_.schedule.min_blocks) {
+      improve_pair(refiner, p, device,
+                   select_block(p,
+                                [&](BlockId b) {
+                                  return -static_cast<double>(
+                                      p.block_size(b));
+                                }),
+                   allow_violations, options_);
+      improve_pair(refiner, p, device,
+                   select_block(p,
+                                [&](BlockId b) {
+                                  return -static_cast<double>(
+                                      p.block_pins(b));
+                                }),
+                   allow_violations, options_);
+      improve_pair(refiner, p, device,
+                   select_block(p,
+                                [&](BlockId b) {
+                                  return free_space(p, device, b, options_);
+                                }),
+                   allow_violations, options_);
+    }
+
+    // Final pairwise sweep when the lower bound is reached.
+    if (options_.schedule.final_sweep && k_created == m &&
+        m <= options_.n_small) {
+      for (BlockId b = 1; b < p.num_blocks(); ++b) {
+        improve_pair(refiner, p, device, b, allow_violations, options_);
+      }
+    }
+  }
+
+  return summarize_partition(p, device, m, iterations,
+                             timer.elapsed_seconds());
+}
+
+PartitionResult run_fpart_multistart(const Hypergraph& h,
+                                     const Device& device,
+                                     const Options& base,
+                                     std::uint32_t num_starts) {
+  FPART_REQUIRE(num_starts >= 1, "multistart needs at least one start");
+  Timer timer;
+  PartitionResult best;
+  std::uint64_t total_pins_best = 0;
+  for (std::uint32_t start = 0; start < num_starts; ++start) {
+    Options opt = base;
+    // Start 0 keeps the caller's seed (canonical when 0); later starts
+    // mix the start index into the seed stream.
+    if (start > 0) opt.seed = base.seed ^ (0x9E3779B9ull * start + start);
+    PartitionResult r = FpartPartitioner(opt).run(h, device);
+    std::uint64_t total_pins = 0;
+    for (const BlockStats& blk : r.blocks) total_pins += blk.pins;
+    const bool better =
+        start == 0 || r.k < best.k || (r.k == best.k && r.cut < best.cut) ||
+        (r.k == best.k && r.cut == best.cut &&
+         total_pins < total_pins_best);
+    if (better) {
+      best = std::move(r);
+      total_pins_best = total_pins;
+    }
+    if (best.k == best.lower_bound) break;  // cannot improve on M
+  }
+  best.seconds = timer.elapsed_seconds();
+  return best;
+}
+
+}  // namespace fpart

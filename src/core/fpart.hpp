@@ -1,0 +1,52 @@
+// FPART — the paper's multi-way FPGA partitioner (Algorithm 1).
+//
+// Recursive paradigm: each iteration bipartitions the remainder into a
+// feasible block P_k and a new remainder R_k, then runs a schedule of
+// Sanchis improvement passes:
+//
+//   Improve(R_k, P_k)                      — the two lately created blocks
+//   Improve(P_1 .. P_k, R_k)               — all blocks, only if M <= N_small
+//   Improve(P_MIN_size, R_k)               — smallest block
+//   Improve(P_MIN_IO,   R_k)               — fewest-I/O block
+//   Improve(P_MIN_F,    R_k)               — max-free-space block
+//   Improve(P_i, R_k) for all i            — final sweep when k = M and
+//                                            M <= N_small
+//
+// The loop ends when the whole partition is feasible; the result is the
+// minimal k the search found (never below the lower bound M).
+#pragma once
+
+#include "core/options.hpp"
+#include "core/result.hpp"
+#include "device/device.hpp"
+#include "hypergraph/hypergraph.hpp"
+
+namespace fpart {
+
+class FpartPartitioner {
+ public:
+  explicit FpartPartitioner(Options options = {}) : options_(options) {}
+
+  const Options& options() const { return options_; }
+
+  /// Partitions `h` into the minimum number of `device`-feasible blocks
+  /// the search can find. The result is always feasible (the fix-up
+  /// paths guarantee termination with every block within constraints).
+  PartitionResult run(const Hypergraph& h, const Device& device) const;
+
+ private:
+  Options options_;
+};
+
+/// Multistart FPART — "number of runs", one of the classical FM
+/// parameters the paper lists in §1. Start 0 is the canonical
+/// deterministic run; further starts randomize the constructive seed
+/// choice (Options::seed = start index). The best result wins,
+/// lexicographically by (k, cut, total pins). Deterministic for a fixed
+/// (circuit, device, base options, num_starts).
+PartitionResult run_fpart_multistart(const Hypergraph& h,
+                                     const Device& device,
+                                     const Options& base = {},
+                                     std::uint32_t num_starts = 4);
+
+}  // namespace fpart

@@ -1,0 +1,104 @@
+#include "core/hetero.hpp"
+
+#include <utility>
+#include <vector>
+
+#include "core/initial_partition.hpp"
+#include "partition/evaluator.hpp"
+#include "util/assert.hpp"
+#include "util/timer.hpp"
+
+namespace fpart {
+
+namespace {
+
+std::vector<std::pair<std::uint64_t, std::uint64_t>> block_demands(
+    const Partition& p) {
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> demands;
+  demands.reserve(p.num_blocks());
+  for (BlockId b = 0; b < p.num_blocks(); ++b) {
+    demands.emplace_back(p.block_size(b), p.block_pins(b));
+  }
+  return demands;
+}
+
+double block_cost(const Partition& p, BlockId b, const DeviceSet& set) {
+  const auto fit = set.cheapest_fit(p.block_size(b), p.block_pins(b));
+  FPART_ASSERT_MSG(fit.has_value(), "block does not fit any library device");
+  return set.devices()[*fit].cost;
+}
+
+}  // namespace
+
+HeteroResult partition_heterogeneous(const Hypergraph& h,
+                                     const DeviceSet& set,
+                                     const HeteroOptions& options) {
+  Timer timer;
+  const Device& target = set.largest().device;
+
+  // Step 1: minimize the block count against the biggest device.
+  PartitionResult base = FpartPartitioner(options.fpart).run(h, target);
+  FPART_ASSERT(base.feasible);
+
+  // Rebuild mutable state for the downsizing pass.
+  Partition p(h, base.assignment, base.k);
+
+  HeteroResult result;
+
+  // Step 3 (optional): split expensive blocks when two smaller devices
+  // price lower than one large one.
+  if (options.downsize && set.size() > 1) {
+    double min_cost = set.devices()[0].cost;
+    for (const auto& pd : set.devices()) {
+      min_cost = std::min(min_cost, pd.cost);
+    }
+    bool changed = true;
+    std::uint32_t guard = 4 * p.num_blocks() + 16;
+    while (changed && guard-- > 0) {
+      changed = false;
+      for (BlockId b = 0; b < p.num_blocks(); ++b) {
+        const double old_cost = block_cost(p, b, set);
+        if (old_cost <= min_cost || p.block_node_count(b) < 2) continue;
+        // Try to carve a piece that fits each cheaper device, cheapest
+        // first; keep the first split that lowers the bill.
+        for (std::size_t di = 0; di < set.size(); ++di) {
+          const auto& pd = set.devices()[di];
+          if (pd.cost >= old_cost) continue;
+          const auto snapshot = p.snapshot();
+          const Evaluator eval(pd.device, options.fpart.cost, 2);
+          const BlockId nb = bipartition_remainder(p, eval, b,
+                                                   options.fpart);
+          const auto rest_fit =
+              set.cheapest_fit(p.block_size(b), p.block_pins(b));
+          const auto new_fit =
+              set.cheapest_fit(p.block_size(nb), p.block_pins(nb));
+          const bool better =
+              rest_fit && new_fit && p.block_node_count(b) > 0 &&
+              set.devices()[*rest_fit].cost + set.devices()[*new_fit].cost <
+                  old_cost;
+          if (better) {
+            ++result.splits;
+            changed = true;
+            break;
+          }
+          p.restore(snapshot);
+        }
+      }
+    }
+  }
+
+  result.partition = summarize_partition(p, target, base.lower_bound,
+                                         base.iterations + result.splits,
+                                         timer.elapsed_seconds());
+
+  // Step 2 (final): price every block.
+  Partition final_p(h, result.partition.assignment, result.partition.k);
+  const auto demands = block_demands(final_p);
+  result.devices = assign_cheapest_devices(demands, set);
+  FPART_ASSERT_MSG(result.devices.ok,
+                   "every block must fit some library device");
+  result.total_cost = result.devices.total_cost;
+  return result;
+}
+
+}  // namespace fpart

@@ -1,0 +1,40 @@
+// Heterogeneous (cost-minimizing) partitioning flow, after the problem
+// of Kuznar et al. [10],[11]: given a LIBRARY of priced devices, find a
+// partition minimizing total device cost.
+//
+// Strategy (peel-then-price with downsizing):
+//   1. run FPART against the library's largest device — it minimizes the
+//      block count, which dominates cost;
+//   2. price every block with the cheapest fitting device;
+//   3. downsizing pass: while a block is priced into an expensive
+//      device, try to split it in two (via the constructive bipartition)
+//      if the two halves price cheaper than the whole — capturing the
+//      cases where two small devices undercut one large one.
+#pragma once
+
+#include "core/fpart.hpp"
+#include "core/options.hpp"
+#include "device/device_set.hpp"
+
+namespace fpart {
+
+struct HeteroResult {
+  PartitionResult partition;       // against the largest library device
+  DeviceAssignment devices;        // per-block device choice
+  double total_cost = 0.0;
+  std::uint32_t splits = 0;        // downsizing splits applied
+};
+
+struct HeteroOptions {
+  Options fpart;
+  /// Enable the step-3 downsizing pass.
+  bool downsize = true;
+};
+
+/// Partitions `h` over the device library, minimizing total cost.
+/// The result's blocks are all feasible for their assigned devices.
+HeteroResult partition_heterogeneous(const Hypergraph& h,
+                                     const DeviceSet& set,
+                                     const HeteroOptions& options = {});
+
+}  // namespace fpart

@@ -1,0 +1,313 @@
+#include "core/initial_partition.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "fm/gain_bucket.hpp"
+#include "fm/gains.hpp"
+#include "fm/repair.hpp"
+#include "hypergraph/traversal.hpp"
+#include "util/assert.hpp"
+#include "util/log.hpp"
+
+namespace fpart {
+
+namespace {
+
+/// Seed pair for both constructive methods: the biggest cell of the
+/// remainder (ties: higher degree, then lower id) and the cell at
+/// maximal BFS distance from it within the remainder.
+std::pair<NodeId, NodeId> pick_seeds(const Partition& p, BlockId rem,
+                                     Rng* rng) {
+  const Hypergraph& h = p.graph();
+  NodeId s1 = kInvalidNode;
+  if (rng != nullptr) {
+    // Randomized variant (multistart): uniform over the remainder.
+    std::vector<NodeId> members;
+    for (NodeId v = 0; v < h.num_nodes(); ++v) {
+      if (!h.is_terminal(v) && p.block_of(v) == rem) members.push_back(v);
+    }
+    FPART_ASSERT_MSG(!members.empty(), "remainder has no interior nodes");
+    s1 = rng->pick(members);
+  } else {
+    for (NodeId v = 0; v < h.num_nodes(); ++v) {
+      if (h.is_terminal(v) || p.block_of(v) != rem) continue;
+      if (s1 == kInvalidNode || h.node_size(v) > h.node_size(s1) ||
+          (h.node_size(v) == h.node_size(s1) &&
+           h.degree(v) > h.degree(s1))) {
+        s1 = v;
+      }
+    }
+    FPART_ASSERT_MSG(s1 != kInvalidNode, "remainder has no interior nodes");
+  }
+  const NodeId s2 = farthest_interior_node(h, s1, [&](NodeId v) {
+    return !h.is_terminal(v) && p.block_of(v) == rem;
+  });
+  return {s1, s2};
+}
+
+/// Grows one cluster: picks the frontier candidate maximizing the merged
+/// density S/T, subject to the size constraint. Returns false when the
+/// block is saturated.
+class ClusterGrower {
+ public:
+  ClusterGrower(Partition& p, const Device& d, BlockId rem, BlockId block)
+      : p_(p), d_(d), rem_(rem), block_(block),
+        in_frontier_(p.graph().num_nodes(), 0) {}
+
+  void seed(NodeId v) {
+    p_.move(v, block_);
+    absorb_frontier(v);
+  }
+
+  /// One growth step; false = saturated (no candidate fits the size).
+  bool grow_once() {
+    const Hypergraph& h = p_.graph();
+    // Compact stale entries lazily and find the best candidate.
+    NodeId best = kInvalidNode;
+    double best_cost = -1.0;
+    std::size_t w = 0;
+    for (std::size_t r = 0; r < frontier_.size(); ++r) {
+      const NodeId v = frontier_[r];
+      if (p_.block_of(v) != rem_) {
+        in_frontier_[v] = 0;  // taken by some block meanwhile
+        continue;
+      }
+      frontier_[w++] = v;
+      if (!d_.size_ok(p_.block_size(block_) + h.node_size(v))) continue;
+      const double s = static_cast<double>(p_.block_size(block_)) +
+                       static_cast<double>(h.node_size(v));
+      const double t = std::max(
+          1.0, static_cast<double>(p_.block_pins(block_)) +
+                   static_cast<double>(pin_delta_if_added(p_, v, block_)));
+      const double cost = s / t;
+      if (cost > best_cost) {
+        best_cost = cost;
+        best = v;
+      }
+    }
+    frontier_.resize(w);
+
+    if (best == kInvalidNode) {
+      // Disconnected remainder: reseed from the biggest fitting cell not
+      // adjacent to the cluster, if the frontier is exhausted.
+      if (!frontier_.empty()) return false;
+      for (NodeId v = 0; v < h.num_nodes(); ++v) {
+        if (h.is_terminal(v) || p_.block_of(v) != rem_) continue;
+        if (!d_.size_ok(p_.block_size(block_) + h.node_size(v))) continue;
+        if (best == kInvalidNode || h.node_size(v) > h.node_size(best)) {
+          best = v;
+        }
+      }
+      if (best == kInvalidNode) return false;
+    }
+
+    in_frontier_[best] = 0;
+    p_.move(best, block_);
+    absorb_frontier(best);
+    return true;
+  }
+
+ private:
+  void absorb_frontier(NodeId v) {
+    const Hypergraph& h = p_.graph();
+    for (NetId e : h.nets(v)) {
+      for (NodeId w : h.interior_pins(e)) {
+        if (in_frontier_[w] || p_.block_of(w) != rem_) continue;
+        in_frontier_[w] = 1;
+        frontier_.push_back(w);
+      }
+    }
+  }
+
+  Partition& p_;
+  const Device& d_;
+  BlockId rem_;
+  BlockId block_;
+  std::vector<NodeId> frontier_;
+  std::vector<std::uint8_t> in_frontier_;
+};
+
+/// Greedy seeded merge pass. Leaves the partition split with the new
+/// block appended (id = old num_blocks) and returns its evaluation.
+SolutionEval greedy_merge_pass(Partition& p, const Evaluator& eval,
+                               BlockId rem, NodeId s1, NodeId s2) {
+  const Device& d = eval.device();
+  const BlockId a = p.add_block();
+  const BlockId b = p.add_block();
+
+  ClusterGrower grow_a(p, d, rem, a);
+  ClusterGrower grow_b(p, d, rem, b);
+  grow_a.seed(s1);
+  bool sat_b = s2 == kInvalidNode;
+  if (!sat_b) grow_b.seed(s2);
+
+  // Alternate growth: one node per block per round (paper §3.2 — growing
+  // both blocks together alleviates the greedy tendency of [1]).
+  bool sat_a = false;
+  while (!sat_a || !sat_b) {
+    if (!sat_a) sat_a = !grow_a.grow_once();
+    if (!sat_b) sat_b = !grow_b.grow_once();
+  }
+
+  // Bigger cluster becomes P_k; the other dissolves into the remainder.
+  BlockId winner = a;
+  BlockId loser = b;
+  if (p.block_size(b) > p.block_size(a)) {
+    p.swap_blocks(a, b);  // winner keeps id `a`
+  }
+  for (NodeId v : p.block_nodes(loser)) p.move(v, rem);
+  p.remove_last_block();  // `b` (== loser slot) is now empty and last
+
+  shrink_to_feasible(p, d, winner, rem);
+  return eval.evaluate(p, rem);
+}
+
+struct RatioPassResult {
+  double ratio = std::numeric_limits<double>::infinity();
+  bool any_feasible_prefix = false;
+};
+
+/// Ratio-cut sweep from one seed. Leaves the partition split with the
+/// new block appended and returns the achieved ratio.
+RatioPassResult ratio_cut_pass(Partition& p, const Evaluator& eval,
+                               BlockId rem, NodeId seed) {
+  const Hypergraph& h = p.graph();
+  const Device& d = eval.device();
+  const BlockId blk = p.add_block();
+
+  // Cross-net count between blk and rem, maintained incrementally.
+  auto net_crosses = [&](NetId e) {
+    return p.net_pins_in(e, blk) > 0 && p.net_pins_in(e, rem) > 0;
+  };
+  std::int64_t cross = 0;
+
+  auto move_tracked = [&](NodeId v, BlockId to) {
+    for (NetId e : h.nets(v)) cross -= net_crosses(e) ? 1 : 0;
+    p.move(v, to);
+    for (NetId e : h.nets(v)) cross += net_crosses(e) ? 1 : 0;
+  };
+
+  move_tracked(seed, blk);
+
+  GainBucket bucket(h.num_nodes(), static_cast<int>(h.max_node_degree()));
+  for (NodeId v = 0; v < h.num_nodes(); ++v) {
+    if (h.is_terminal(v) || p.block_of(v) != rem) continue;
+    bucket.insert(v, move_gain(p, v, blk));
+  }
+
+  RatioPassResult out;
+  std::vector<NodeId> log;
+  std::size_t best_len = 0;
+
+  auto consider = [&](std::size_t len) {
+    const std::uint64_t s_blk = p.block_size(blk);
+    const std::uint64_t s_rem = p.block_size(rem);
+    if (s_blk == 0 || s_rem == 0) return;
+    const bool one_side_ok =
+        p.block_feasible(blk, d) || p.block_feasible(rem, d);
+    if (!one_side_ok) return;
+    const double ratio = static_cast<double>(cross) /
+                         (static_cast<double>(s_blk) *
+                          static_cast<double>(s_rem));
+    if (!out.any_feasible_prefix || ratio < out.ratio) {
+      out.any_feasible_prefix = true;
+      out.ratio = ratio;
+      best_len = len;
+    }
+  };
+  consider(0);
+
+  while (p.block_node_count(rem) > 1 && !bucket.empty()) {
+    const auto id =
+        bucket.find_first([](std::uint32_t, int) { return true; }, 1);
+    if (!id) break;
+    const NodeId v = static_cast<NodeId>(*id);
+    bucket.remove(v);
+    move_tracked(v, blk);
+    log.push_back(v);
+    for (NetId e : h.nets(v)) {
+      for (NodeId w : h.interior_pins(e)) {
+        if (p.block_of(w) == rem && bucket.contains(w)) {
+          bucket.update(w, move_gain(p, w, blk));
+        }
+      }
+    }
+    consider(log.size());
+  }
+
+  // Roll back to the best prefix.
+  for (std::size_t i = log.size(); i > best_len; --i) {
+    move_tracked(log[i - 1], rem);
+  }
+
+  // Make sure the appended block is the feasible side.
+  if (!p.block_feasible(blk, d)) {
+    if (p.block_feasible(rem, d) && p.block_node_count(rem) > 0) {
+      p.swap_blocks(blk, rem);
+    } else {
+      shrink_to_feasible(p, d, blk, rem);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+BlockId bipartition_remainder(Partition& p, const Evaluator& eval,
+                              BlockId rem, const Options& opt, Rng* rng) {
+  (void)opt;
+  FPART_REQUIRE(rem < p.num_blocks(), "remainder out of range");
+  FPART_REQUIRE(p.block_node_count(rem) >= 1,
+                "remainder must hold at least one interior node");
+  const BlockId new_block = p.num_blocks();
+
+  // Degenerate remainder: move everything into the new block.
+  if (p.block_node_count(rem) == 1) {
+    const BlockId b = p.add_block();
+    for (NodeId v : p.block_nodes(rem)) p.move(v, b);
+    shrink_to_feasible(p, eval.device(), b, rem);
+    return b;
+  }
+
+  const auto pre = p.snapshot();
+  const auto [s1, s2] = pick_seeds(p, rem, rng);
+
+  // Method 1: greedy seeded merge.
+  const SolutionEval eval_greedy = greedy_merge_pass(p, eval, rem, s1, s2);
+  auto snap_greedy = p.snapshot();
+
+  // Method 2: ratio-cut sweep from each seed, best ratio wins.
+  p.restore(pre);
+  const RatioPassResult r1 = ratio_cut_pass(p, eval, rem, s1);
+  auto snap_ratio = p.snapshot();
+  double best_ratio = r1.ratio;
+  bool have_ratio = r1.any_feasible_prefix;
+  if (s2 != kInvalidNode && s2 != s1) {
+    p.restore(pre);
+    const RatioPassResult r2 = ratio_cut_pass(p, eval, rem, s2);
+    if (!have_ratio || (r2.any_feasible_prefix && r2.ratio < best_ratio)) {
+      snap_ratio = p.snapshot();
+      best_ratio = r2.ratio;
+      have_ratio = have_ratio || r2.any_feasible_prefix;
+    }
+  }
+  p.restore(snap_ratio);
+  const SolutionEval eval_ratio = eval.evaluate(p, rem);
+
+  // Keep the better of the two constructive methods (§3.2).
+  if (eval_greedy.better_than(eval_ratio)) {
+    p.restore(snap_greedy);
+  }
+
+  FPART_ASSERT(p.num_blocks() == new_block + 1);
+  FPART_ASSERT_MSG(p.block_node_count(new_block) > 0,
+                   "bipartition produced an empty block");
+  FPART_ASSERT_MSG(p.block_feasible(new_block, eval.device()),
+                   "bipartition postcondition: new block feasible");
+  return new_block;
+}
+
+}  // namespace fpart

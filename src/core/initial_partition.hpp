@@ -1,0 +1,47 @@
+// Constructive initial bipartition of the remainder (paper §3.2).
+//
+// Two constructive methods both split the remainder block of the global
+// partition in place, and the lexicographically better result is kept:
+//
+//  1. Greedy seeded merge (after Brasen/Hiol/Saucier [1]): two seed
+//     nodes — the biggest cell, and the cell at maximal BFS distance
+//     from it — grow two clusters simultaneously; at each step the
+//     frontier candidate maximizing the density cost S/T of the merged
+//     cluster is absorbed; growth stops when the device size constraint
+//     saturates. The bigger cluster becomes the new block P_k, the other
+//     one dissolves back into the remainder.
+//
+//  2. Ratio-cut sweep (after Wei/Cheng [15]): from each seed, cells are
+//     peeled one by one into a new block in best-gain order; the prefix
+//     minimizing the cut ratio C/(S(P)·S(R)) among prefixes with at
+//     least one feasible side is kept; the better of the two seed sweeps
+//     wins.
+//
+// A deterministic shrink fix-up then guarantees the new block meets the
+// device constraints (a single CLB always does, so this terminates), so
+// the partition leaves Bipartition() at worst semi-feasible.
+#pragma once
+
+#include "core/options.hpp"
+#include "device/device.hpp"
+#include "fm/repair.hpp"
+#include "partition/evaluator.hpp"
+#include "partition/partition.hpp"
+#include "util/rng.hpp"
+
+namespace fpart {
+
+/// Splits the remainder block `rem` of `p`: appends one new block,
+/// fills it per the method above and returns its id. Postconditions:
+/// the new block is non-empty and feasible for eval.device(); all other
+/// non-remainder blocks are untouched.
+///
+/// `rng` (optional) randomizes the first seed choice — used by the
+/// multistart driver; nullptr keeps the canonical deterministic seeding.
+///
+/// Requires the remainder to hold at least one interior node.
+BlockId bipartition_remainder(Partition& p, const Evaluator& eval,
+                              BlockId rem, const Options& opt,
+                              Rng* rng = nullptr);
+
+}  // namespace fpart

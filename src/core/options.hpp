@@ -1,0 +1,59 @@
+// All tunables of the FPART algorithm, with the paper's published
+// defaults (§4: "All the results of the FPART algorithm were obtained
+// with the following fixed values of the parameters").
+#pragma once
+
+#include <cstdint>
+
+#include "partition/cost.hpp"
+#include "sanchis/move_region.hpp"
+#include "sanchis/refiner.hpp"
+
+namespace fpart {
+
+struct Options {
+  /// λ^S = 0.4, λ^T = 0.6, λ^R = 0.1.
+  CostParams cost;
+
+  /// ε²_min = 0.95, ε*_min = 0.3, ε*_max = ε²_max = 1.05.
+  MoveRegionParams move_region;
+
+  /// D_stack = 4 plus engine knobs.
+  RefinerConfig refiner;
+
+  /// Free-space estimate coefficients σ1, σ2 for selecting P_MIN_F
+  /// (§3.1): F = σ1·(S_MAX−S_i)/S_MAX + σ2·(T_MAX−|Y_i|)/T_MAX.
+  double sigma1 = 0.5;
+  double sigma2 = 0.5;
+
+  /// N_small: problems with lower bound M ≤ N_small get the all-blocks
+  /// improvement pass and the final pairwise sweep at k = M.
+  std::uint32_t n_small = 15;
+
+  /// Seed for the randomized constructive-seed variant. 0 (default)
+  /// keeps the fully deterministic canonical seeding (biggest cell +
+  /// BFS-farthest); any other value randomizes the first seed choice —
+  /// the knob behind multistart ("number of runs", one of the classical
+  /// FM parameters the paper lists in §1).
+  std::uint64_t seed = 0;
+
+  /// Safety cap on Algorithm-1 iterations (0 = auto: 3·M + 100). The
+  /// algorithm terminates well before this in practice; the cap guards
+  /// against degenerate re-designation cycles.
+  std::uint32_t max_iterations = 0;
+
+  /// Which improvement passes of the §3.1 schedule to run. All on by
+  /// default; the schedule ablation bench switches parts off.
+  struct Schedule {
+    bool last_pair = true;   // Improve(R_k, P_k)
+    bool all_blocks = true;  // Improve(P_1..P_k, R_k) when M <= N_small
+    bool min_blocks = true;  // Improve(P_MIN_size / P_MIN_IO / P_MIN_F, R_k)
+    bool final_sweep = true; // Improve(P_i, R_k) for all i when k = M
+  };
+  Schedule schedule;
+
+  /// Emit per-iteration INFO logs.
+  bool verbose = false;
+};
+
+}  // namespace fpart

@@ -1,0 +1,43 @@
+#include "core/result.hpp"
+
+#include "partition/partition.hpp"
+
+namespace fpart {
+
+PartitionResult summarize_partition(Partition& p, const Device& d,
+                                    std::uint32_t lower_bound,
+                                    std::uint32_t iterations,
+                                    double seconds) {
+  // Drop empty blocks (a pool/remainder may end empty).
+  for (BlockId b = 0; b < p.num_blocks();) {
+    if (p.block_node_count(b) == 0 && p.num_blocks() > 1) {
+      p.swap_blocks(b, p.num_blocks() - 1);
+      p.remove_last_block();
+    } else {
+      ++b;
+    }
+  }
+
+  PartitionResult result;
+  result.k = p.num_blocks();
+  result.lower_bound = lower_bound;
+  result.feasible = p.classify(d) == FeasibilityClass::kFeasible;
+  result.cut = p.cut_size();
+  result.km1 = p.connectivity_km1();
+  result.iterations = iterations;
+  result.seconds = seconds;
+  result.assignment.assign(p.graph().num_nodes(), kInvalidBlock);
+  for (NodeId v = 0; v < p.graph().num_nodes(); ++v) {
+    if (!p.graph().is_terminal(v)) result.assignment[v] = p.block_of(v);
+  }
+  result.blocks.resize(p.num_blocks());
+  for (BlockId b = 0; b < p.num_blocks(); ++b) {
+    result.blocks[b] =
+        BlockStats{p.block_size(b), p.block_pins(b),
+                   p.block_external_pins(b), p.block_node_count(b),
+                   p.block_feasible(b, d)};
+  }
+  return result;
+}
+
+}  // namespace fpart

@@ -1,0 +1,49 @@
+// Result of a multi-way partitioning run (FPART or a baseline).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "device/device.hpp"
+#include "hypergraph/types.hpp"
+
+namespace fpart {
+
+class Partition;
+
+struct BlockStats {
+  std::uint64_t size = 0;   // S_i, technology cells
+  std::uint64_t pins = 0;   // T_i, I/O pin demand
+  std::uint64_t ext = 0;    // T^E_i, external primary I/Os
+  std::uint32_t nodes = 0;  // interior node count
+  bool feasible = false;
+};
+
+struct PartitionResult {
+  /// True iff every block meets the device constraints.
+  bool feasible = false;
+  /// Number of devices used (k).
+  std::uint32_t k = 0;
+  /// Lower bound M for this circuit/device pair.
+  std::uint32_t lower_bound = 0;
+  /// Per-node block assignment (terminals: kInvalidBlock).
+  std::vector<BlockId> assignment;
+  std::vector<BlockStats> blocks;
+  /// Cut nets (interior span >= 2).
+  std::uint64_t cut = 0;
+  /// K−1 connectivity: Σ over nets of (interior span − 1).
+  std::uint64_t km1 = 0;
+  /// Algorithm-1 iterations executed (FPART) or peel steps (baselines).
+  std::uint32_t iterations = 0;
+  /// Wall-clock seconds.
+  double seconds = 0.0;
+};
+
+/// Builds a PartitionResult from a finished partition: drops empty
+/// blocks, then records per-block stats, feasibility, cut and timing.
+/// Shared by FPART and the baseline partitioners.
+PartitionResult summarize_partition(Partition& p, const Device& d,
+                                    std::uint32_t lower_bound,
+                                    std::uint32_t iterations, double seconds);
+
+}  // namespace fpart

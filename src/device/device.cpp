@@ -1,0 +1,46 @@
+#include "device/device.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace fpart {
+
+std::string to_string(Family f) {
+  return f == Family::kXC2000 ? "XC2000" : "XC3000";
+}
+
+Device::Device(std::string name, Family family, std::uint32_t s_datasheet,
+               std::uint32_t t_max, double fill)
+    : name_(std::move(name)),
+      family_(family),
+      s_datasheet_(s_datasheet),
+      t_max_(t_max),
+      fill_(fill),
+      s_max_(static_cast<double>(s_datasheet) * fill) {
+  FPART_REQUIRE(s_datasheet >= 1, "device must have logic capacity");
+  FPART_REQUIRE(t_max >= 2, "device must have at least two I/O pins");
+  FPART_REQUIRE(fill > 0.0 && fill <= 1.0, "filling ratio must be in (0,1]");
+}
+
+Device Device::with_fill(double fill) const {
+  return Device(name_, family_, s_datasheet_, t_max_, fill);
+}
+
+std::uint32_t lower_bound_devices(std::uint64_t total_size,
+                                  std::uint64_t total_terminals,
+                                  const Device& d) {
+  const auto by_size = static_cast<std::uint32_t>(
+      std::ceil(static_cast<double>(total_size) / d.s_max()));
+  const auto by_pins = static_cast<std::uint32_t>(
+      std::ceil(static_cast<double>(total_terminals) /
+                static_cast<double>(d.t_max())));
+  return std::max<std::uint32_t>({1u, by_size, by_pins});
+}
+
+std::uint32_t lower_bound_devices(const Hypergraph& h, const Device& d) {
+  return lower_bound_devices(h.total_size(), h.num_terminals(), d);
+}
+
+}  // namespace fpart

@@ -1,0 +1,70 @@
+// FPGA device model (paper §2).
+//
+// A device is D = (S_MAX, T_MAX): logic capacity in technology cells and
+// terminal (I/O pin) capacity. S_MAX = S_ds * δ where S_ds is the
+// data-sheet cell count and δ the user-chosen filling ratio (≤ 1.0,
+// typically 0.9 to leave routing slack).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "hypergraph/hypergraph.hpp"
+
+namespace fpart {
+
+/// Which technology-mapping family a device's cell counts refer to
+/// (Table 1 gives per-circuit CLB counts for both Xilinx families).
+enum class Family { kXC2000, kXC3000 };
+
+std::string to_string(Family f);
+
+class Device {
+ public:
+  /// `s_datasheet`: data-sheet CLB count; `t_max`: IOB count;
+  /// `fill`: filling ratio δ in (0, 1].
+  Device(std::string name, Family family, std::uint32_t s_datasheet,
+         std::uint32_t t_max, double fill = 1.0);
+
+  const std::string& name() const { return name_; }
+  Family family() const { return family_; }
+  std::uint32_t s_datasheet() const { return s_datasheet_; }
+  std::uint32_t t_max() const { return t_max_; }
+  double fill() const { return fill_; }
+
+  /// Effective logic capacity S_MAX = S_ds * δ. Kept as a real number —
+  /// feasibility compares integer block sizes against it.
+  double s_max() const { return s_max_; }
+
+  /// Largest integer block size that fits: floor(S_MAX).
+  std::uint64_t s_max_cells() const {
+    return static_cast<std::uint64_t>(s_max_);
+  }
+
+  bool size_ok(std::uint64_t block_size) const {
+    return static_cast<double>(block_size) <= s_max_;
+  }
+  bool pins_ok(std::uint64_t block_pins) const { return block_pins <= t_max_; }
+
+  /// Returns a copy with a different filling ratio.
+  Device with_fill(double fill) const;
+
+ private:
+  std::string name_;
+  Family family_;
+  std::uint32_t s_datasheet_;
+  std::uint32_t t_max_;
+  double fill_;
+  double s_max_;
+};
+
+/// Lower bound M on the number of devices needed for circuit `h`:
+/// M = max(ceil(S0 / S_MAX), ceil(|Y0| / T_MAX)). Never less than 1.
+std::uint32_t lower_bound_devices(const Hypergraph& h, const Device& d);
+
+/// Same from raw totals (used by benches that know Table 1 numbers).
+std::uint32_t lower_bound_devices(std::uint64_t total_size,
+                                  std::uint64_t total_terminals,
+                                  const Device& d);
+
+}  // namespace fpart

@@ -1,0 +1,74 @@
+#include "device/device_set.hpp"
+
+#include "device/xilinx.hpp"
+#include "util/assert.hpp"
+
+namespace fpart {
+
+DeviceSet::DeviceSet(std::vector<PricedDevice> devices)
+    : devices_(std::move(devices)) {
+  FPART_REQUIRE(!devices_.empty(), "device set must not be empty");
+  for (const auto& pd : devices_) {
+    FPART_REQUIRE(pd.cost > 0.0, "device cost must be positive");
+    FPART_REQUIRE(pd.device.family() == devices_.front().device.family(),
+                  "device set must share one technology family");
+  }
+  for (std::size_t i = 1; i < devices_.size(); ++i) {
+    const Device& d = devices_[i].device;
+    const Device& best = devices_[largest_].device;
+    if (d.s_max() > best.s_max() ||
+        (d.s_max() == best.s_max() && d.t_max() > best.t_max())) {
+      largest_ = i;
+    }
+  }
+}
+
+std::optional<std::size_t> DeviceSet::cheapest_fit(
+    std::uint64_t block_size, std::uint64_t block_pins) const {
+  std::optional<std::size_t> best;
+  for (std::size_t i = 0; i < devices_.size(); ++i) {
+    const auto& pd = devices_[i];
+    if (!pd.device.size_ok(block_size) || !pd.device.pins_ok(block_pins)) {
+      continue;
+    }
+    if (!best || pd.cost < devices_[*best].cost ||
+        (pd.cost == devices_[*best].cost &&
+         pd.device.s_max() > devices_[*best].device.s_max())) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+DeviceAssignment assign_cheapest_devices(
+    std::span<const std::pair<std::uint64_t, std::uint64_t>> block_demands,
+    const DeviceSet& set) {
+  DeviceAssignment out;
+  out.ok = true;
+  out.device_of_block.reserve(block_demands.size());
+  for (const auto& [size, pins] : block_demands) {
+    const auto fit = set.cheapest_fit(size, pins);
+    if (!fit) {
+      out.device_of_block.push_back(DeviceAssignment::kNoFit);
+      out.ok = false;
+      continue;
+    }
+    out.device_of_block.push_back(*fit);
+    out.total_cost += set.devices()[*fit].cost;
+  }
+  return out;
+}
+
+namespace xilinx {
+
+DeviceSet xc3000_family_set(double fill) {
+  std::vector<PricedDevice> devices;
+  devices.push_back(PricedDevice{xc3020().with_fill(fill), 1.0});
+  devices.push_back(PricedDevice{xc3042().with_fill(fill), 2.1});
+  devices.push_back(PricedDevice{xc3090().with_fill(fill), 4.8});
+  return DeviceSet(std::move(devices));
+}
+
+}  // namespace xilinx
+
+}  // namespace fpart

@@ -1,0 +1,71 @@
+// Heterogeneous device libraries and per-block device choice.
+//
+// The paper's §2 fixes one device type for all blocks; the companion
+// line of work it builds on (Kuznar et al. [10],[11]) minimizes total
+// DEVICE COST over a heterogeneous library instead. This module provides
+// the library abstraction and the cheapest-fit assignment used by the
+// heterogeneous partitioning flow in core/hetero.hpp.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "device/device.hpp"
+
+namespace fpart {
+
+struct PricedDevice {
+  Device device;
+  /// Relative price (any consistent unit).
+  double cost = 1.0;
+};
+
+class DeviceSet {
+ public:
+  /// Requires at least one device; all devices must map the same
+  /// technology family (block sizes are technology-cell counts).
+  explicit DeviceSet(std::vector<PricedDevice> devices);
+
+  std::span<const PricedDevice> devices() const { return devices_; }
+  std::size_t size() const { return devices_.size(); }
+
+  /// Index of the cheapest device fitting a block of the given size and
+  /// pin demand (ties: larger capacity). nullopt if nothing fits.
+  std::optional<std::size_t> cheapest_fit(std::uint64_t block_size,
+                                          std::uint64_t block_pins) const;
+
+  /// The device with the largest logic capacity (ties: more pins) — the
+  /// partitioning target in the peel-then-price flow.
+  const PricedDevice& largest() const { return devices_[largest_]; }
+  std::size_t largest_index() const { return largest_; }
+
+ private:
+  std::vector<PricedDevice> devices_;
+  std::size_t largest_ = 0;
+};
+
+/// Per-block device choice for a finished partition.
+struct DeviceAssignment {
+  /// Index into the DeviceSet per block; kNoFit if nothing fits.
+  std::vector<std::size_t> device_of_block;
+  double total_cost = 0.0;
+  bool ok = false;  // every block got a device
+
+  static constexpr std::size_t kNoFit = static_cast<std::size_t>(-1);
+};
+
+/// Assigns the cheapest fitting device to each (size, pins) block.
+DeviceAssignment assign_cheapest_devices(
+    std::span<const std::pair<std::uint64_t, std::uint64_t>> block_demands,
+    const DeviceSet& set);
+
+namespace xilinx {
+/// The XC3000 evaluation devices priced by their relative 1998-era list
+/// positioning (indicative only; swap in real prices as needed):
+/// XC3020 = 1.0, XC3042 = 2.1, XC3090 = 4.8.
+DeviceSet xc3000_family_set(double fill = 0.9);
+}  // namespace xilinx
+
+}  // namespace fpart

@@ -1,0 +1,34 @@
+#include "device/xilinx.hpp"
+
+#include <array>
+#include <cctype>
+#include <string>
+
+#include "util/assert.hpp"
+
+namespace fpart::xilinx {
+
+Device xc3020() { return Device("XC3020", Family::kXC3000, 64, 64, 0.9); }
+Device xc3042() { return Device("XC3042", Family::kXC3000, 144, 96, 0.9); }
+Device xc3090() { return Device("XC3090", Family::kXC3000, 320, 144, 0.9); }
+Device xc2064() { return Device("XC2064", Family::kXC2000, 64, 58, 1.0); }
+
+Device by_name(std::string_view name) {
+  std::string upper;
+  upper.reserve(name.size());
+  for (char c : name) upper.push_back(static_cast<char>(std::toupper(c)));
+  if (upper == "XC3020") return xc3020();
+  if (upper == "XC3042") return xc3042();
+  if (upper == "XC3090") return xc3090();
+  if (upper == "XC2064") return xc2064();
+  FPART_REQUIRE(false, "unknown device: " + std::string(name));
+  return xc3020();  // unreachable
+}
+
+std::span<const Device> evaluation_devices() {
+  static const std::array<Device, 4> kDevices = {xc3020(), xc3042(), xc3090(),
+                                                 xc2064()};
+  return kDevices;
+}
+
+}  // namespace fpart::xilinx

@@ -1,0 +1,28 @@
+// Catalog of the Xilinx devices used in the paper's evaluation (§4):
+//   XC3020 (S_ds=64,  T_MAX=64),  δ=0.9
+//   XC3042 (S_ds=144, T_MAX=96),  δ=0.9
+//   XC3090 (S_ds=320, T_MAX=144), δ=0.9
+//   XC2064 (S_ds=64,  T_MAX=58),  δ=1.0
+#pragma once
+
+#include <span>
+#include <string_view>
+
+#include "device/device.hpp"
+
+namespace fpart::xilinx {
+
+/// Device with the paper's filling ratio baked in.
+Device xc3020();
+Device xc3042();
+Device xc3090();
+Device xc2064();
+
+/// Lookup by name ("XC3020", case-insensitive). Throws PreconditionError
+/// on unknown names.
+Device by_name(std::string_view name);
+
+/// All four evaluation devices, in the paper's table order.
+std::span<const Device> evaluation_devices();
+
+}  // namespace fpart::xilinx

@@ -1,0 +1,106 @@
+#include "flow/dinic.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "util/assert.hpp"
+
+namespace fpart {
+
+FlowNetwork::FlowNetwork(std::size_t num_vertices)
+    : head_(num_vertices, kNil) {}
+
+FlowNetwork::EdgeId FlowNetwork::add_edge(Vertex u, Vertex v,
+                                          Capacity capacity) {
+  FPART_REQUIRE(u < num_vertices() && v < num_vertices(),
+                "add_edge: vertex out of range");
+  FPART_REQUIRE(capacity >= 0, "add_edge: negative capacity");
+  const auto id = static_cast<EdgeId>(edges_.size());
+  edges_.push_back(Edge{v, capacity, head_[u]});
+  head_[u] = id;
+  edges_.push_back(Edge{u, 0, head_[v]});
+  head_[v] = id + 1;
+  original_cap_.push_back(capacity);
+  return id / 2;
+}
+
+FlowNetwork::Capacity FlowNetwork::flow(EdgeId id) const {
+  FPART_REQUIRE(static_cast<std::size_t>(id) < num_edges(),
+                "flow: edge out of range");
+  return original_cap_[id] - edges_[2 * id].cap;
+}
+
+bool FlowNetwork::bfs_levels(Vertex s, Vertex t) {
+  level_.assign(num_vertices(), kNil);
+  std::deque<Vertex> queue{s};
+  level_[s] = 0;
+  while (!queue.empty()) {
+    const Vertex v = queue.front();
+    queue.pop_front();
+    for (std::uint32_t e = head_[v]; e != kNil; e = edges_[e].next) {
+      if (edges_[e].cap > 0 && level_[edges_[e].to] == kNil) {
+        level_[edges_[e].to] = level_[v] + 1;
+        queue.push_back(edges_[e].to);
+      }
+    }
+  }
+  return level_[t] != kNil;
+}
+
+FlowNetwork::Capacity FlowNetwork::dfs_push(Vertex v, Vertex t,
+                                            Capacity limit) {
+  if (v == t) return limit;
+  Capacity pushed = 0;
+  for (std::uint32_t& e = iter_[v]; e != kNil; e = edges_[e].next) {
+    Edge& edge = edges_[e];
+    if (edge.cap <= 0 || level_[edge.to] != level_[v] + 1) continue;
+    const Capacity d =
+        dfs_push(edge.to, t, std::min(limit - pushed, edge.cap));
+    if (d > 0) {
+      edge.cap -= d;
+      edges_[e ^ 1].cap += d;
+      pushed += d;
+      if (pushed == limit) break;
+    } else {
+      level_[edge.to] = kNil;  // dead end
+    }
+  }
+  return pushed;
+}
+
+FlowNetwork::Capacity FlowNetwork::max_flow(Vertex s, Vertex t) {
+  FPART_REQUIRE(s < num_vertices() && t < num_vertices() && s != t,
+                "max_flow: bad terminals");
+  // Reset residual capacities.
+  for (std::size_t id = 0; id < num_edges(); ++id) {
+    edges_[2 * id].cap = original_cap_[id];
+    edges_[2 * id + 1].cap = 0;
+  }
+  Capacity total = 0;
+  while (bfs_levels(s, t)) {
+    iter_ = head_;
+    const Capacity pushed = dfs_push(s, t, kInf);
+    if (pushed == 0) break;
+    total += pushed;
+  }
+  return total;
+}
+
+std::vector<std::uint8_t> FlowNetwork::min_cut_source_side(Vertex s) const {
+  std::vector<std::uint8_t> side(num_vertices(), 0);
+  std::deque<Vertex> queue{s};
+  side[s] = 1;
+  while (!queue.empty()) {
+    const Vertex v = queue.front();
+    queue.pop_front();
+    for (std::uint32_t e = head_[v]; e != kNil; e = edges_[e].next) {
+      if (edges_[e].cap > 0 && !side[edges_[e].to]) {
+        side[edges_[e].to] = 1;
+        queue.push_back(edges_[e].to);
+      }
+    }
+  }
+  return side;
+}
+
+}  // namespace fpart

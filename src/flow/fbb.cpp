@@ -1,0 +1,294 @@
+#include "flow/fbb.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "flow/hypergraph_flow.hpp"
+#include "fm/gains.hpp"
+#include "fm/repair.hpp"
+#include "hypergraph/traversal.hpp"
+#include "partition/partition.hpp"
+#include "util/assert.hpp"
+#include "util/log.hpp"
+#include "util/timer.hpp"
+
+namespace fpart {
+
+namespace {
+
+constexpr BlockId kPool = 0;
+
+NodeId biggest_pool_cell(const Partition& p) {
+  const Hypergraph& h = p.graph();
+  NodeId best = kInvalidNode;
+  for (NodeId v = 0; v < h.num_nodes(); ++v) {
+    if (h.is_terminal(v) || p.block_of(v) != kPool) continue;
+    if (best == kInvalidNode || h.node_size(v) > h.node_size(best) ||
+        (h.node_size(v) == h.node_size(best) &&
+         h.degree(v) > h.degree(best))) {
+      best = v;
+    }
+  }
+  return best;
+}
+
+/// Greedily absorbs up to `budget` size units of outside cells into the
+/// side set, best-connected (most shared nets) first. Returns the nodes
+/// absorbed. `side` is updated in place.
+std::vector<NodeId> absorb_by_connectivity(
+    const Hypergraph& h, const std::vector<std::uint8_t>& in_scope,
+    const std::vector<std::uint8_t>& blocked, std::vector<std::uint8_t>& side,
+    double budget) {
+  // conn[w] = number of nets w shares with the side set.
+  std::vector<std::uint32_t> conn(h.num_nodes(), 0);
+  std::vector<std::uint8_t> net_in_side(h.num_nets(), 0);
+  auto mark_net = [&](NetId e) {
+    if (net_in_side[e]) return;
+    net_in_side[e] = 1;
+    for (NodeId w : h.interior_pins(e)) {
+      if (in_scope[w] && !side[w]) ++conn[w];
+    }
+  };
+  for (NodeId v = 0; v < h.num_nodes(); ++v) {
+    if (in_scope[v] && side[v]) {
+      for (NetId e : h.nets(v)) mark_net(e);
+    }
+  }
+
+  std::vector<NodeId> absorbed;
+  double used = 0.0;
+  while (used < budget) {
+    NodeId pick = kInvalidNode;
+    for (NodeId v = 0; v < h.num_nodes(); ++v) {
+      if (!in_scope[v] || side[v] || blocked[v] || conn[v] == 0) continue;
+      if (pick == kInvalidNode || conn[v] > conn[pick]) pick = v;
+    }
+    if (pick == kInvalidNode) {
+      // Disconnected pool: absorb the smallest-id free cell.
+      for (NodeId v = 0; v < h.num_nodes(); ++v) {
+        if (in_scope[v] && !side[v] && !blocked[v]) {
+          pick = v;
+          break;
+        }
+      }
+      if (pick == kInvalidNode) break;
+    }
+    side[pick] = 1;
+    used += static_cast<double>(h.node_size(pick));
+    absorbed.push_back(pick);
+    for (NetId e : h.nets(pick)) mark_net(e);
+  }
+  return absorbed;
+}
+
+/// One flow-balanced bipartition over the pool: returns the node set to
+/// peel (source side of the final min cut), with total size <= hi where
+/// achievable.
+std::vector<NodeId> fbb_source_side(const Partition& p, double lo,
+                                    double hi) {
+  const Hypergraph& h = p.graph();
+  std::vector<std::uint8_t> in_scope(h.num_nodes(), 0);
+  std::size_t pool_count = 0;
+  for (NodeId v = 0; v < h.num_nodes(); ++v) {
+    if (!h.is_terminal(v) && p.block_of(v) == kPool) {
+      in_scope[v] = 1;
+      ++pool_count;
+    }
+  }
+  FPART_ASSERT(pool_count >= 2);
+
+  const NodeId s = biggest_pool_cell(p);
+  const NodeId t = farthest_interior_node(h, s, [&](NodeId v) {
+    return in_scope[v] != 0;
+  });
+  FPART_ASSERT(t != kInvalidNode && t != s);
+
+  std::vector<NodeId> source_set{s};
+  std::vector<NodeId> sink_set{t};
+  std::vector<std::uint8_t> in_source(h.num_nodes(), 0);
+  std::vector<std::uint8_t> in_sink(h.num_nodes(), 0);
+  in_source[s] = 1;
+  in_sink[t] = 1;
+
+  std::vector<NodeId> best_side{s};
+
+  // Each round either accepts or merges one more node into a seed set,
+  // so at most pool_count rounds run.
+  for (std::size_t round = 0; round < pool_count; ++round) {
+    auto flow = build_hypergraph_flow(h, in_scope, source_set, sink_set);
+    flow.net.max_flow(flow.source, flow.sink);
+    const auto side = flow.source_side_nodes(h);
+
+    std::vector<NodeId> x;
+    double weight = 0.0;
+    for (NodeId v = 0; v < h.num_nodes(); ++v) {
+      if (in_scope[v] && side[v]) {
+        x.push_back(v);
+        weight += static_cast<double>(h.node_size(v));
+      }
+    }
+    best_side = x;
+
+    if (weight > hi) {
+      // Source side too heavy: pin one best-connected-to-the-outside
+      // boundary cell of X to the sink and re-flow.
+      NodeId pick = kInvalidNode;
+      std::uint32_t best_out = 0;
+      for (NodeId v : x) {
+        if (in_source[v]) continue;
+        std::uint32_t out = 0;
+        for (NetId e : h.nets(v)) {
+          for (NodeId w : h.interior_pins(e)) {
+            if (in_scope[w] && !side[w]) {
+              ++out;
+              break;
+            }
+          }
+        }
+        if (out > best_out) {
+          best_out = out;
+          pick = v;
+        }
+      }
+      if (pick == kInvalidNode) break;  // cannot shrink further
+      in_sink[pick] = 1;
+      sink_set.push_back(pick);
+      continue;
+    }
+
+    if (weight < lo) {
+      // Source side too light: collapse X into the source (the FBB merge
+      // step) and absorb a batch of best-connected outside cells before
+      // re-flowing. Batching trades a little cut quality for far fewer
+      // max-flow solves; the final cut is still flow-derived.
+      std::vector<std::uint8_t> grown = side;
+      const double budget = std::max(1.0, (lo - weight) / 3.0);
+      const auto absorbed =
+          absorb_by_connectivity(h, in_scope, in_sink, grown, budget);
+      if (absorbed.empty()) break;  // nothing left to absorb
+      source_set.clear();
+      for (NodeId v = 0; v < h.num_nodes(); ++v) {
+        if (in_scope[v] && grown[v] && !in_sink[v]) {
+          in_source[v] = 1;
+          source_set.push_back(v);
+        }
+      }
+      continue;
+    }
+
+    break;  // in the window — accept
+  }
+  return best_side;
+}
+
+/// Packs the freshly peeled block toward capacity: absorbs pool cells
+/// adjacent to the block (best cut gain first) while the block stays
+/// feasible. Mirrors FBB-MW's drive for maximally filled devices.
+void top_up_block(Partition& p, const Device& d, BlockId b) {
+  const Hypergraph& h = p.graph();
+  std::vector<std::uint8_t> in_frontier(h.num_nodes(), 0);
+  std::vector<NodeId> frontier;
+  auto absorb_frontier = [&](NodeId v) {
+    for (NetId e : h.nets(v)) {
+      for (NodeId w : h.interior_pins(e)) {
+        if (!in_frontier[w] && p.block_of(w) == kPool) {
+          in_frontier[w] = 1;
+          frontier.push_back(w);
+        }
+      }
+    }
+  };
+  for (NodeId v : p.block_nodes(b)) absorb_frontier(v);
+
+  while (true) {
+    NodeId best = kInvalidNode;
+    int best_gain = 0;
+    std::size_t w = 0;
+    for (std::size_t r = 0; r < frontier.size(); ++r) {
+      const NodeId v = frontier[r];
+      if (p.block_of(v) != kPool) {
+        in_frontier[v] = 0;
+        continue;
+      }
+      frontier[w++] = v;
+      if (!d.size_ok(p.block_size(b) + h.node_size(v))) continue;
+      const auto pins_after = static_cast<std::int64_t>(p.block_pins(b)) +
+                              pin_delta_if_added(p, v, b);
+      if (!d.pins_ok(static_cast<std::uint64_t>(std::max<std::int64_t>(
+              0, pins_after)))) {
+        continue;
+      }
+      const int g = move_gain(p, v, b);
+      if (best == kInvalidNode || g > best_gain) {
+        best = v;
+        best_gain = g;
+      }
+    }
+    frontier.resize(w);
+    if (best == kInvalidNode) break;
+    in_frontier[best] = 0;
+    p.move(best, b);
+    absorb_frontier(best);
+  }
+}
+
+/// Peels one feasible block off the pool; returns its id.
+BlockId peel_block(Partition& p, const Device& d, const FbbConfig& config) {
+  const Hypergraph& h = p.graph();
+
+  // Small pool that fits by size: take it all and repair pins.
+  if (d.size_ok(p.block_size(kPool)) || p.block_node_count(kPool) < 2) {
+    const BlockId b = p.add_block();
+    for (NodeId v : p.block_nodes(kPool)) p.move(v, b);
+    shrink_to_feasible(p, d, b, kPool);
+    return b;
+  }
+
+  double hi = d.s_max();
+  double lo = config.size_lo_frac * hi;
+  for (int attempt = 0;; ++attempt) {
+    const std::vector<NodeId> x = fbb_source_side(p, lo, hi);
+    FPART_ASSERT_MSG(!x.empty(), "FBB produced an empty peel");
+    const BlockId b = p.add_block();
+    for (NodeId v : x) p.move(v, b);
+    if (p.block_feasible(b, d)) {
+      top_up_block(p, d, b);
+      return b;
+    }
+    if (attempt >= config.pin_retries) {
+      shrink_to_feasible(p, d, b, kPool);
+      top_up_block(p, d, b);
+      return b;
+    }
+    // Undo and retry with a tighter window.
+    for (NodeId v : x) p.move(v, kPool);
+    p.remove_last_block();
+    hi *= config.retry_shrink;
+    lo *= config.retry_shrink;
+    FPART_LOG(kDebug) << "FBB pin retry " << attempt + 1 << ": window ["
+                      << lo << ", " << hi << "]";
+    if (hi < static_cast<double>(h.max_node_size())) {
+      hi = static_cast<double>(h.max_node_size());
+      lo = 0.0;
+    }
+  }
+}
+
+}  // namespace
+
+PartitionResult FbbPartitioner::run(const Hypergraph& h,
+                                    const Device& device) const {
+  Timer timer;
+  const std::uint32_t m = lower_bound_devices(h, device);
+  Partition p(h, 1);
+
+  std::uint32_t iterations = 0;
+  while (p.classify(device) != FeasibilityClass::kFeasible) {
+    ++iterations;
+    peel_block(p, device, config_);
+  }
+  return summarize_partition(p, device, m, iterations,
+                             timer.elapsed_seconds());
+}
+
+}  // namespace fpart

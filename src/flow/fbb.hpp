@@ -1,0 +1,54 @@
+// FBB-MW: network-flow-based multiway partitioning with area and pin
+// constraints, after Liu & Wong [16].
+//
+// The paradigm: repeatedly peel one device-feasible block off the
+// unassigned pool with a flow-balanced bipartition (FBB):
+//
+//   * build the net-splitting flow network over the pool
+//     (hypergraph_flow.hpp), seed a source (the biggest cell) and a sink
+//     (the cell at maximal BFS distance from it);
+//   * compute a min-cut; if the source side is lighter than the size
+//     window, collapse it into the source together with one cut-adjacent
+//     node and re-flow (the FBB node-merging step); if heavier, grow the
+//     sink side symmetrically;
+//   * once the source side lands in the window, check the pin
+//     constraint; on violation retry with a geometrically smaller window
+//     and finally fall back to a greedy shrink.
+//
+// Deliberate simplifications versus the original (documented in
+// DESIGN.md §4): flows are recomputed rather than incrementally reused,
+// and Liu–Wong's tie-breaking among equal cuts is replaced by
+// deterministic smallest-id choices.
+#pragma once
+
+#include "core/result.hpp"
+#include "device/device.hpp"
+#include "hypergraph/hypergraph.hpp"
+
+namespace fpart {
+
+struct FbbConfig {
+  /// Peel-size window is [size_lo_frac · S_MAX, S_MAX].
+  double size_lo_frac = 0.80;
+  /// Window-shrink retries when the peeled block violates the pin
+  /// constraint.
+  int pin_retries = 4;
+  /// Geometric window shrink factor per retry.
+  double retry_shrink = 0.85;
+};
+
+class FbbPartitioner {
+ public:
+  explicit FbbPartitioner(FbbConfig config = {}) : config_(config) {}
+
+  const FbbConfig& config() const { return config_; }
+
+  /// Partitions `h` into device-feasible blocks by flow-based peeling.
+  /// The result is always feasible.
+  PartitionResult run(const Hypergraph& h, const Device& device) const;
+
+ private:
+  FbbConfig config_;
+};
+
+}  // namespace fpart

@@ -1,0 +1,74 @@
+#include "flow/hypergraph_flow.hpp"
+
+#include "util/assert.hpp"
+
+namespace fpart {
+
+std::vector<std::uint8_t> HypergraphFlow::source_side_nodes(
+    const Hypergraph& h) const {
+  const auto side = net.min_cut_source_side(source);
+  std::vector<std::uint8_t> out(h.num_nodes(), 0);
+  for (NodeId v = 0; v < h.num_nodes(); ++v) {
+    if (node_vertex[v] != kNil && side[node_vertex[v]]) out[v] = 1;
+  }
+  return out;
+}
+
+HypergraphFlow build_hypergraph_flow(
+    const Hypergraph& h, const std::vector<std::uint8_t>& in_scope,
+    std::span<const NodeId> source_seeds, std::span<const NodeId> sink_seeds) {
+  FPART_REQUIRE(in_scope.size() == h.num_nodes(),
+                "in_scope size must match node count");
+  HypergraphFlow out;
+  out.node_vertex.assign(h.num_nodes(), HypergraphFlow::kNil);
+
+  // Vertex layout: [scope nodes][net gadget pairs][source][sink].
+  std::uint32_t next = 0;
+  for (NodeId v = 0; v < h.num_nodes(); ++v) {
+    if (!in_scope[v]) continue;
+    FPART_REQUIRE(!h.is_terminal(v), "scope must contain interior nodes");
+    out.node_vertex[v] = next++;
+  }
+
+  // Count gadget nets first (>= 2 in-scope pins).
+  std::vector<NetId> gadget_nets;
+  for (NetId e = 0; e < h.num_nets(); ++e) {
+    std::uint32_t inside = 0;
+    for (NodeId v : h.interior_pins(e)) {
+      if (in_scope[v] && ++inside >= 2) break;
+    }
+    if (inside >= 2) gadget_nets.push_back(e);
+  }
+
+  const std::uint32_t gadget_base = next;
+  next += 2 * static_cast<std::uint32_t>(gadget_nets.size());
+  out.source = next++;
+  out.sink = next++;
+  out.net = FlowNetwork(next);
+
+  for (std::size_t i = 0; i < gadget_nets.size(); ++i) {
+    const NetId e = gadget_nets[i];
+    const auto e1 = gadget_base + 2 * static_cast<std::uint32_t>(i);
+    const auto e2 = e1 + 1;
+    out.net.add_edge(e1, e2, 1);
+    for (NodeId v : h.interior_pins(e)) {
+      if (!in_scope[v]) continue;
+      out.net.add_edge(out.node_vertex[v], e1, FlowNetwork::kInf);
+      out.net.add_edge(e2, out.node_vertex[v], FlowNetwork::kInf);
+    }
+  }
+
+  for (NodeId v : source_seeds) {
+    FPART_REQUIRE(out.node_vertex[v] != HypergraphFlow::kNil,
+                  "source seed outside scope");
+    out.net.add_edge(out.source, out.node_vertex[v], FlowNetwork::kInf);
+  }
+  for (NodeId v : sink_seeds) {
+    FPART_REQUIRE(out.node_vertex[v] != HypergraphFlow::kNil,
+                  "sink seed outside scope");
+    out.net.add_edge(out.node_vertex[v], out.sink, FlowNetwork::kInf);
+  }
+  return out;
+}
+
+}  // namespace fpart

@@ -1,0 +1,43 @@
+// Hypergraph → flow-network transform (Yang/Wong net-splitting gadget,
+// as used by FBB and FBB-MW [16]).
+//
+// For every net e with >= 2 pins inside the scope, two gadget vertices
+// e1, e2 are created with a bridging edge e1→e2 of capacity 1; every
+// in-scope pin u of e gets edges u→e1 and e2→u of infinite capacity.
+// An s-t min cut of this network then equals the minimum number of
+// scope-internal nets separating the source seeds from the sink seeds.
+// Seed sets are tied to the super-source/super-sink with infinite-
+// capacity edges (node merging is expressed by growing the seed sets).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "flow/dinic.hpp"
+#include "hypergraph/hypergraph.hpp"
+
+namespace fpart {
+
+struct HypergraphFlow {
+  FlowNetwork net{0};
+  FlowNetwork::Vertex source = 0;
+  FlowNetwork::Vertex sink = 0;
+  /// hypergraph node id -> flow vertex (kNil if out of scope/terminal).
+  std::vector<std::uint32_t> node_vertex;
+
+  static constexpr std::uint32_t kNil = ~0u;
+
+  /// After net.max_flow(source, sink): which in-scope nodes are on the
+  /// source side of the min cut.
+  std::vector<std::uint8_t> source_side_nodes(const Hypergraph& h) const;
+};
+
+/// Builds the transform over `scope` (interior nodes; the membership
+/// flags must be 1 exactly for in-scope nodes). `source_seeds` and
+/// `sink_seeds` must be disjoint subsets of the scope.
+HypergraphFlow build_hypergraph_flow(const Hypergraph& h,
+                                     const std::vector<std::uint8_t>& in_scope,
+                                     std::span<const NodeId> source_seeds,
+                                     std::span<const NodeId> sink_seeds);
+
+}  // namespace fpart

@@ -1,0 +1,127 @@
+#include "fm/fm_bipartitioner.hpp"
+
+#include <vector>
+
+#include "fm/gain_bucket.hpp"
+#include "fm/gains.hpp"
+#include "util/assert.hpp"
+
+namespace fpart {
+
+FmBipartitioner::FmBipartitioner(Partition& p, BlockId a, BlockId b,
+                                 FmConfig config)
+    : p_(p), a_(a), b_(b), config_(config) {
+  FPART_REQUIRE(a < p.num_blocks() && b < p.num_blocks() && a != b,
+                "FM needs two distinct existing blocks");
+}
+
+bool FmBipartitioner::move_legal(NodeId v, BlockId from, const SizeWindow& wf,
+                                 const SizeWindow& wt) const {
+  const double s = static_cast<double>(p_.graph().node_size(v));
+  const BlockId to = from == a_ ? b_ : a_;
+  const double after_from = static_cast<double>(p_.block_size(from)) - s;
+  const double after_to = static_cast<double>(p_.block_size(to)) + s;
+  return after_from >= wf.lo && after_to <= wt.hi;
+}
+
+FmResult FmBipartitioner::run(const SizeWindow& window_a,
+                              const SizeWindow& window_b) {
+  FmResult result;
+  result.initial_cut = p_.cut_size();
+  for (int i = 0; i < config_.max_passes; ++i) {
+    ++result.passes;
+    if (!pass(window_a, window_b, result)) break;
+  }
+  result.final_cut = p_.cut_size();
+  return result;
+}
+
+bool FmBipartitioner::pass(const SizeWindow& wa, const SizeWindow& wb,
+                           FmResult& result) {
+  const Hypergraph& h = p_.graph();
+  const int max_gain = static_cast<int>(h.max_node_degree());
+  GainBucket to_b(h.num_nodes(), max_gain);  // cells in a, direction a->b
+  GainBucket to_a(h.num_nodes(), max_gain);  // cells in b, direction b->a
+
+  std::vector<std::uint8_t> locked(h.num_nodes(), 0);
+  for (NodeId v = 0; v < h.num_nodes(); ++v) {
+    if (h.is_terminal(v)) continue;
+    const BlockId blk = p_.block_of(v);
+    if (blk == a_) {
+      to_b.insert(v, move_gain(p_, v, b_));
+    } else if (blk == b_) {
+      to_a.insert(v, move_gain(p_, v, a_));
+    }
+  }
+
+  const std::uint64_t start_cut = p_.cut_size();
+  std::uint64_t best_cut = start_cut;
+  std::size_t best_len = 0;
+  std::vector<std::pair<NodeId, BlockId>> log;  // (node, previous block)
+
+  while (true) {
+    // Best legal candidate per direction.
+    auto probe = [&](GainBucket& bucket, BlockId from, const SizeWindow& wf,
+                     const SizeWindow& wt) {
+      return bucket.find_first(
+          [&](std::uint32_t v, int) {
+            return move_legal(static_cast<NodeId>(v), from, wf, wt);
+          },
+          config_.scan_limit);
+    };
+    const auto cand_ab = probe(to_b, a_, wa, wb);
+    const auto cand_ba = probe(to_a, b_, wb, wa);
+    if (!cand_ab && !cand_ba) break;
+
+    bool pick_ab;
+    if (cand_ab && cand_ba) {
+      const int ga = to_b.gain(*cand_ab);
+      const int gb = to_a.gain(*cand_ba);
+      if (ga != gb) {
+        pick_ab = ga > gb;
+      } else {
+        // Tie: move out of the larger side (balances sizes).
+        pick_ab = p_.block_size(a_) >= p_.block_size(b_);
+      }
+    } else {
+      pick_ab = cand_ab.has_value();
+    }
+
+    const NodeId v = pick_ab ? *cand_ab : *cand_ba;
+    const BlockId from = pick_ab ? a_ : b_;
+    const BlockId to = pick_ab ? b_ : a_;
+
+    (pick_ab ? to_b : to_a).remove(v);
+    locked[v] = 1;
+    p_.move(v, to);
+    log.emplace_back(v, from);
+    ++result.total_moves;
+
+    // Refresh gains of unlocked cells sharing a net with v.
+    for (NetId e : h.nets(v)) {
+      for (NodeId w : h.interior_pins(e)) {
+        if (locked[w]) continue;
+        const BlockId blk = p_.block_of(w);
+        if (blk == a_) {
+          to_b.update(w, move_gain(p_, w, b_));
+        } else if (blk == b_) {
+          to_a.update(w, move_gain(p_, w, a_));
+        }
+      }
+    }
+
+    if (p_.cut_size() < best_cut) {
+      best_cut = p_.cut_size();
+      best_len = log.size();
+    }
+  }
+
+  // Roll back the tail beyond the best prefix.
+  for (std::size_t i = log.size(); i > best_len; --i) {
+    p_.move(log[i - 1].first, log[i - 1].second);
+  }
+  FPART_ASSERT(p_.cut_size() == best_cut);
+  return best_cut < start_cut;
+}
+
+}  // namespace fpart

@@ -1,0 +1,65 @@
+// Classic Fiduccia–Mattheyses iterative-improvement bipartitioning [4].
+//
+// Operates on two designated blocks of a (possibly larger) partition:
+// all other blocks are frozen context, so this doubles as the pairwise
+// "Improve(R_k, P_k)" primitive of the greedy k-way.x baseline [9],[11].
+// The objective is the global cut-net count; moves respect per-side size
+// windows. Each pass moves every unlocked cell at most once, tracking the
+// best prefix (lowest cut, ties broken toward balanced sizes) and rolling
+// back the tail, and passes repeat until one yields no improvement.
+#pragma once
+
+#include <cstdint>
+
+#include "partition/partition.hpp"
+
+namespace fpart {
+
+struct FmConfig {
+  int max_passes = 10;
+  /// Bound on candidates inspected per direction when the bucket head is
+  /// blocked by the size window.
+  std::size_t scan_limit = 64;
+};
+
+struct FmResult {
+  std::uint64_t initial_cut = 0;
+  std::uint64_t final_cut = 0;
+  int passes = 0;
+  std::uint32_t total_moves = 0;
+};
+
+/// Size window for one side.
+struct SizeWindow {
+  double lo = 0.0;
+  double hi = 0.0;
+
+  bool allows(std::uint64_t size) const {
+    const double s = static_cast<double>(size);
+    return s >= lo && s <= hi;
+  }
+};
+
+class FmBipartitioner {
+ public:
+  /// Refines blocks `a` and `b` of `p` in place. The partition must
+  /// outlive the bipartitioner.
+  FmBipartitioner(Partition& p, BlockId a, BlockId b, FmConfig config = {});
+
+  /// Runs FM passes with the given size windows. A move from f to t is
+  /// legal iff f stays at or above its lower bound and t at or below its
+  /// upper bound (so an initially oversized side can always shed cells).
+  FmResult run(const SizeWindow& window_a, const SizeWindow& window_b);
+
+ private:
+  bool pass(const SizeWindow& wa, const SizeWindow& wb, FmResult& result);
+  bool move_legal(NodeId v, BlockId from, const SizeWindow& wf,
+                  const SizeWindow& wt) const;
+
+  Partition& p_;
+  BlockId a_;
+  BlockId b_;
+  FmConfig config_;
+};
+
+}  // namespace fpart

@@ -1,0 +1,108 @@
+#include "fm/gain_bucket.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace fpart {
+
+namespace {
+std::size_t bucket_count(int max_gain) {
+  FPART_REQUIRE(max_gain >= 0, "max_gain must be non-negative");
+  return 2 * static_cast<std::size_t>(max_gain) + 1;
+}
+}  // namespace
+
+GainBucket::GainBucket(std::size_t universe, int max_gain)
+    : max_gain_(max_gain),
+      best_(-max_gain),
+      head_(bucket_count(max_gain), kNil),
+      next_(universe, kNil),
+      prev_(universe, kNil),
+      gain_of_(universe, kAbsent) {}
+
+int GainBucket::clamp(int gain) const {
+  return std::clamp(gain, -max_gain_, max_gain_);
+}
+
+int GainBucket::gain(std::uint32_t id) const {
+  FPART_REQUIRE(contains(id), "gain: id not present");
+  return gain_of_[id];
+}
+
+void GainBucket::insert(std::uint32_t id, int gain) {
+  FPART_REQUIRE(id < gain_of_.size(), "insert: id out of universe");
+  FPART_REQUIRE(!contains(id), "insert: id already present");
+  gain = clamp(gain);
+  gain_of_[id] = gain;
+  const std::size_t slot = offset(gain);
+  next_[id] = head_[slot];
+  prev_[id] = kNil;
+  if (head_[slot] != kNil) prev_[head_[slot]] = id;
+  head_[slot] = id;
+  ++size_;
+  best_ = std::max(best_, gain);
+}
+
+void GainBucket::remove(std::uint32_t id) {
+  FPART_REQUIRE(contains(id), "remove: id not present");
+  const std::size_t slot = offset(gain_of_[id]);
+  if (prev_[id] != kNil) {
+    next_[prev_[id]] = next_[id];
+  } else {
+    head_[slot] = next_[id];
+  }
+  if (next_[id] != kNil) prev_[next_[id]] = prev_[id];
+  gain_of_[id] = kAbsent;
+  next_[id] = prev_[id] = kNil;
+  --size_;
+}
+
+void GainBucket::update(std::uint32_t id, int gain) {
+  if (contains(id)) {
+    if (gain_of_[id] == clamp(gain)) return;
+    remove(id);
+  }
+  insert(id, gain);
+}
+
+void GainBucket::clear() {
+  std::fill(head_.begin(), head_.end(), kNil);
+  std::fill(gain_of_.begin(), gain_of_.end(), kAbsent);
+  std::fill(next_.begin(), next_.end(), kNil);
+  std::fill(prev_.begin(), prev_.end(), kNil);
+  size_ = 0;
+  best_ = -max_gain_;
+}
+
+std::optional<int> GainBucket::best_gain() const {
+  if (size_ == 0) return std::nullopt;
+  while (best_ > -max_gain_ && head_[offset(best_)] == kNil) --best_;
+  if (head_[offset(best_)] == kNil) return std::nullopt;  // defensive
+  return best_;
+}
+
+void GainBucket::for_each_at_gain(
+    int gain, const std::function<bool(std::uint32_t)>& visit) const {
+  gain = clamp(gain);
+  for (std::uint32_t id = head_[offset(gain)]; id != kNil; id = next_[id]) {
+    if (visit(id)) return;
+  }
+}
+
+std::optional<std::uint32_t> GainBucket::find_first(
+    const std::function<bool(std::uint32_t, int)>& visit,
+    std::size_t scan_limit) const {
+  const auto top = best_gain();
+  if (!top) return std::nullopt;
+  std::size_t scanned = 0;
+  for (int g = *top; g >= -max_gain_; --g) {
+    for (std::uint32_t id = head_[offset(g)]; id != kNil; id = next_[id]) {
+      if (scanned++ >= scan_limit) return std::nullopt;
+      if (visit(id, g)) return id;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace fpart

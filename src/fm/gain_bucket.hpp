@@ -1,0 +1,75 @@
+// Classic Fiduccia–Mattheyses gain bucket structure.
+//
+// A doubly-linked bucket list over a fixed universe of item ids, indexed
+// by integer gain in [-max_gain, +max_gain]. Insertions are LIFO within a
+// bucket (the ordering FM's authors and later studies [5],[7] found to
+// work well), removal is O(1), and the maximum non-empty gain is tracked
+// with a descending pointer.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "hypergraph/types.hpp"
+
+namespace fpart {
+
+class GainBucket {
+ public:
+  /// `universe` ids in [0, universe); gains clamped to [-max_gain, max_gain].
+  GainBucket(std::size_t universe, int max_gain);
+
+  bool contains(std::uint32_t id) const { return gain_of_[id] != kAbsent; }
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
+  int gain(std::uint32_t id) const;
+
+  /// Inserts id with the given gain (id must not be present).
+  void insert(std::uint32_t id, int gain);
+
+  /// Removes id (must be present).
+  void remove(std::uint32_t id);
+
+  /// Re-inserts with a new gain (present or not).
+  void update(std::uint32_t id, int gain);
+
+  /// Removes all items.
+  void clear();
+
+  /// Highest gain currently present; nullopt when empty.
+  std::optional<int> best_gain() const;
+
+  /// Scans items from the best gain downward, LIFO within each bucket,
+  /// invoking `visit(id, gain)` until it returns true (found) or
+  /// `scan_limit` items have been visited. Returns the accepted id.
+  std::optional<std::uint32_t> find_first(
+      const std::function<bool(std::uint32_t, int)>& visit,
+      std::size_t scan_limit) const;
+
+  /// Visits the items stored at exactly `gain` in LIFO order until the
+  /// visitor returns true. Used for tie-break scans among equal-gain
+  /// candidates.
+  void for_each_at_gain(int gain,
+                        const std::function<bool(std::uint32_t)>& visit) const;
+
+ private:
+  static constexpr int kAbsent = INT32_MIN;
+  std::size_t offset(int gain) const {
+    return static_cast<std::size_t>(gain + max_gain_);
+  }
+  int clamp(int gain) const;
+
+  int max_gain_;
+  std::size_t size_ = 0;
+  mutable int best_ = 0;  // descending hint: no non-empty bucket above it
+  std::vector<std::uint32_t> head_;  // per gain bucket; kInvalid = empty
+  std::vector<std::uint32_t> next_;
+  std::vector<std::uint32_t> prev_;
+  std::vector<int> gain_of_;  // kAbsent when not present
+
+  static constexpr std::uint32_t kNil = ~0u;
+};
+
+}  // namespace fpart

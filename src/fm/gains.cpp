@@ -1,0 +1,43 @@
+#include "fm/gains.hpp"
+
+#include "util/assert.hpp"
+
+namespace fpart {
+
+int move_gain(const Partition& p, NodeId v, BlockId to) {
+  const Hypergraph& h = p.graph();
+  const BlockId from = p.block_of(v);
+  FPART_DASSERT(from != to);
+  int gain = 0;
+  for (NetId e : h.nets(v)) {
+    const std::uint32_t total = h.net_interior_pin_count(e);
+    if (total < 2) continue;
+    const std::uint32_t phi_f = p.net_pins_in(e, from);
+    if (phi_f == 1 && p.net_pins_in(e, to) == total - 1) {
+      ++gain;
+    } else if (phi_f == total) {
+      --gain;
+    }
+  }
+  return gain;
+}
+
+int move_gain_level2(const Partition& p, NodeId v, BlockId to) {
+  const Hypergraph& h = p.graph();
+  const BlockId from = p.block_of(v);
+  FPART_DASSERT(from != to);
+  int gain = 0;
+  for (NetId e : h.nets(v)) {
+    const std::uint32_t total = h.net_interior_pin_count(e);
+    if (total < 2) continue;
+    const std::uint32_t phi_f = p.net_pins_in(e, from);
+    if (total >= 3 && phi_f == 2 && p.net_pins_in(e, to) == total - 2) {
+      ++gain;
+    } else if (phi_f == total - 1) {
+      --gain;
+    }
+  }
+  return gain;
+}
+
+}  // namespace fpart

@@ -1,0 +1,29 @@
+// Move gain computation on the cut-net metric (shared by the classic FM
+// bipartitioner and the Sanchis multiway refiner).
+//
+// gain1(v, f→t): change in cutset size if v moves from its block f to t.
+// A net e (interior pin count P ≥ 2) contributes
+//   +1  if Φ(e,f) == 1 and Φ(e,t) == P−1   (e becomes uncut, inside t)
+//   −1  if Φ(e,f) == P                     (e was uncut inside f, now cut)
+//
+// gain2(v, f→t): bounded 2-level lookahead in the spirit of
+// Krishnamurthy [8] / Sanchis [14], used only for tie-breaking among
+// equal gain1 candidates:
+//   +1  if P ≥ 3 and Φ(e,f) == 2 and Φ(e,t) == P−2
+//       (after the move one further f→t move uncuts e)
+//   −1  if Φ(e,f) == P−1
+//       (f nearly owned e; moving v away pushes e further from uncut)
+#pragma once
+
+#include "hypergraph/hypergraph.hpp"
+#include "partition/partition.hpp"
+
+namespace fpart {
+
+/// First-level gain of moving v (interior) from its block to `to`.
+int move_gain(const Partition& p, NodeId v, BlockId to);
+
+/// Second-level (lookahead) gain, tie-break only.
+int move_gain_level2(const Partition& p, NodeId v, BlockId to);
+
+}  // namespace fpart

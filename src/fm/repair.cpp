@@ -1,0 +1,68 @@
+#include "fm/repair.hpp"
+
+#include "fm/gains.hpp"
+#include "util/assert.hpp"
+
+namespace fpart {
+
+int pin_delta_if_added(const Partition& p, NodeId v, BlockId b) {
+  const Hypergraph& h = p.graph();
+  int delta = 0;
+  for (NetId e : h.nets(v)) {
+    const std::uint32_t total = h.net_interior_pin_count(e);
+    const std::uint32_t term = h.net_terminal_count(e);
+    const std::uint32_t phi = p.net_pins_in(e, b);
+    const bool before = phi >= 1 && (term > 0 || phi < total);
+    const bool after = term > 0 || phi + 1 < total;  // phi+1 >= 1 always
+    delta += static_cast<int>(after) - static_cast<int>(before);
+  }
+  return delta;
+}
+
+int pin_delta_if_removed(const Partition& p, NodeId v, BlockId b) {
+  const Hypergraph& h = p.graph();
+  int delta = 0;
+  for (NetId e : h.nets(v)) {
+    const std::uint32_t total = h.net_interior_pin_count(e);
+    const std::uint32_t term = h.net_terminal_count(e);
+    const std::uint32_t phi = p.net_pins_in(e, b);
+    const bool before = phi >= 1 && (term > 0 || phi < total);
+    const bool after = phi - 1 >= 1 && (term > 0 || phi - 1 < total);
+    delta += static_cast<int>(after) - static_cast<int>(before);
+  }
+  return delta;
+}
+
+void shrink_to_feasible(Partition& p, const Device& d, BlockId block,
+                        BlockId sink) {
+  while (!p.block_feasible(block, d)) {
+    FPART_ASSERT_MSG(p.block_node_count(block) > 1,
+                     "single cell violates device constraints "
+                     "(cell degree exceeds T_MAX?)");
+    NodeId best = kInvalidNode;
+    int best_gain = 0;
+    int best_pin_delta = 0;
+    for (NodeId v : p.block_nodes(block)) {
+      const int g = move_gain(p, v, sink);
+      const int pd = pin_delta_if_removed(p, v, block);
+      bool better = false;
+      if (best == kInvalidNode) {
+        better = true;
+      } else if (g != best_gain) {
+        better = g > best_gain;
+      } else if (pd != best_pin_delta) {
+        better = pd < best_pin_delta;
+      } else {
+        better = p.graph().node_size(v) < p.graph().node_size(best);
+      }
+      if (better) {
+        best = v;
+        best_gain = g;
+        best_pin_delta = pd;
+      }
+    }
+    p.move(best, sink);
+  }
+}
+
+}  // namespace fpart

@@ -1,0 +1,23 @@
+// Feasibility repair helpers shared by FPART and the baselines.
+#pragma once
+
+#include "device/device.hpp"
+#include "partition/partition.hpp"
+
+namespace fpart {
+
+/// Moves cells from `block` to `sink` (best cut gain first, ties broken
+/// by largest pin-demand reduction, then smallest cell size, then lowest
+/// id) until `block` meets the device constraints. Terminates because a
+/// single cell is always feasible (cell degree never exceeds T_MAX on
+/// real CLB netlists; asserted).
+void shrink_to_feasible(Partition& p, const Device& d, BlockId block,
+                        BlockId sink);
+
+/// ΔT_b if interior node v (currently elsewhere) were added to block b.
+int pin_delta_if_added(const Partition& p, NodeId v, BlockId b);
+
+/// ΔT_b if interior node v (currently in b) left block b.
+int pin_delta_if_removed(const Partition& p, NodeId v, BlockId b);
+
+}  // namespace fpart

@@ -1,0 +1,101 @@
+#include "hypergraph/builder.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace fpart {
+
+NodeId HypergraphBuilder::add_cell(std::uint32_t size, std::string name) {
+  FPART_REQUIRE(size >= 1, "interior node size must be >= 1");
+  sizes_.push_back(size);
+  terminal_.push_back(0);
+  node_names_.push_back(std::move(name));
+  return static_cast<NodeId>(sizes_.size() - 1);
+}
+
+NodeId HypergraphBuilder::add_terminal(std::string name) {
+  sizes_.push_back(0);
+  terminal_.push_back(1);
+  node_names_.push_back(std::move(name));
+  return static_cast<NodeId>(sizes_.size() - 1);
+}
+
+NetId HypergraphBuilder::add_net(std::span<const NodeId> pins,
+                                 std::string name) {
+  FPART_REQUIRE(!pins.empty(), "net must have at least one pin");
+  for (NodeId p : pins) {
+    FPART_REQUIRE(p < sizes_.size(), "net pin refers to unknown node");
+  }
+  net_pins_.emplace_back(pins.begin(), pins.end());
+  net_names_.push_back(std::move(name));
+  return static_cast<NetId>(net_pins_.size() - 1);
+}
+
+Hypergraph HypergraphBuilder::build() && {
+  Hypergraph h;
+  const std::size_t n = sizes_.size();
+  h.node_size_ = std::move(sizes_);
+  h.is_terminal_ = std::move(terminal_);
+  h.node_name_ = std::move(node_names_);
+  h.net_name_ = std::move(net_names_);
+
+  for (std::size_t v = 0; v < n; ++v) {
+    if (h.is_terminal_[v]) {
+      h.terminal_ids_.push_back(static_cast<NodeId>(v));
+    } else {
+      ++h.num_interior_;
+      h.total_size_ += h.node_size_[v];
+      h.max_node_size_ = std::max(h.max_node_size_, h.node_size_[v]);
+    }
+  }
+
+  // Net CSR: dedupe pins, order interior first.
+  const std::size_t m = net_pins_.size();
+  h.net_offset_.assign(m + 1, 0);
+  h.net_interior_pins_.assign(m, 0);
+  for (std::size_t e = 0; e < m; ++e) {
+    auto& pins = net_pins_[e];
+    std::sort(pins.begin(), pins.end());
+    pins.erase(std::unique(pins.begin(), pins.end()), pins.end());
+    // Stable partition: interior pins before terminals.
+    std::stable_partition(pins.begin(), pins.end(),
+                          [&](NodeId v) { return !h.is_terminal_[v]; });
+    std::uint32_t interior = 0;
+    for (NodeId v : pins) {
+      if (!h.is_terminal_[v]) ++interior;
+    }
+    h.net_interior_pins_[e] = interior;
+    h.net_offset_[e + 1] = h.net_offset_[e] + pins.size();
+    h.max_net_degree_ = std::max(h.max_net_degree_, pins.size());
+  }
+  h.pins_flat_.reserve(h.net_offset_[m]);
+  for (const auto& pins : net_pins_) {
+    h.pins_flat_.insert(h.pins_flat_.end(), pins.begin(), pins.end());
+  }
+
+  // Node CSR (counting sort over the pin list).
+  h.node_offset_.assign(n + 1, 0);
+  for (std::size_t e = 0; e < m; ++e) {
+    for (std::size_t i = h.net_offset_[e]; i < h.net_offset_[e + 1]; ++i) {
+      ++h.node_offset_[h.pins_flat_[i] + 1];
+    }
+  }
+  for (std::size_t v = 0; v < n; ++v) {
+    h.node_offset_[v + 1] += h.node_offset_[v];
+    h.max_node_degree_ =
+        std::max(h.max_node_degree_,
+                 h.node_offset_[v + 1] - h.node_offset_[v]);
+  }
+  h.nets_flat_.assign(h.pins_flat_.size(), kInvalidNet);
+  std::vector<std::size_t> cursor(h.node_offset_.begin(),
+                                  h.node_offset_.end() - 1);
+  for (std::size_t e = 0; e < m; ++e) {
+    for (std::size_t i = h.net_offset_[e]; i < h.net_offset_[e + 1]; ++i) {
+      h.nets_flat_[cursor[h.pins_flat_[i]]++] = static_cast<NetId>(e);
+    }
+  }
+  return h;
+}
+
+}  // namespace fpart

@@ -1,0 +1,53 @@
+// Mutable construction front-end for Hypergraph.
+//
+// Usage:
+//   HypergraphBuilder b;
+//   NodeId a = b.add_cell(3, "u1");
+//   NodeId p = b.add_terminal("pad0");
+//   b.add_net({a, p}, "n0");
+//   Hypergraph h = std::move(b).build();
+//
+// build() deduplicates pins within a net, orders interior pins before
+// terminal pins, and constructs both CSR directions. Single-pin nets are
+// kept (they matter for terminal I/O accounting); empty nets are rejected.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "hypergraph/hypergraph.hpp"
+
+namespace fpart {
+
+class HypergraphBuilder {
+ public:
+  /// Adds an interior logic node of the given size (>= 1 technology cell).
+  NodeId add_cell(std::uint32_t size, std::string name = "");
+
+  /// Adds a terminal node (primary I/O pad), size 0.
+  NodeId add_terminal(std::string name = "");
+
+  /// Adds a net over the given pins. Duplicate pins are removed in
+  /// build(). Requires every pin id to refer to an existing node.
+  NetId add_net(std::span<const NodeId> pins, std::string name = "");
+  NetId add_net(std::initializer_list<NodeId> pins, std::string name = "") {
+    return add_net(std::span<const NodeId>(pins.begin(), pins.size()),
+                   std::move(name));
+  }
+
+  std::size_t num_nodes() const { return sizes_.size(); }
+  std::size_t num_nets() const { return net_pins_.size(); }
+
+  /// Finalizes into an immutable Hypergraph. The builder is consumed.
+  Hypergraph build() &&;
+
+ private:
+  std::vector<std::uint32_t> sizes_;
+  std::vector<std::uint8_t> terminal_;
+  std::vector<std::string> node_names_;
+  std::vector<std::vector<NodeId>> net_pins_;
+  std::vector<std::string> net_names_;
+};
+
+}  // namespace fpart

@@ -1,0 +1,68 @@
+#include "hypergraph/hypergraph.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace fpart {
+
+void Hypergraph::validate() const {
+  const std::size_t n = num_nodes();
+  const std::size_t m = num_nets();
+  FPART_ASSERT(node_size_.size() == n);
+  FPART_ASSERT(is_terminal_.size() == n);
+  FPART_ASSERT(node_offset_.size() == n + 1);
+  FPART_ASSERT(net_offset_.size() == (m == 0 ? net_offset_.size() : m + 1));
+  FPART_ASSERT(nets_flat_.size() == pins_flat_.size());
+
+  // Terminal nodes have size 0; interior nodes size >= 1; totals match.
+  std::uint64_t total = 0;
+  std::size_t interior = 0;
+  for (std::size_t v = 0; v < n; ++v) {
+    if (is_terminal_[v]) {
+      FPART_ASSERT_MSG(node_size_[v] == 0, "terminal with nonzero size");
+    } else {
+      FPART_ASSERT_MSG(node_size_[v] >= 1, "interior node with zero size");
+      total += node_size_[v];
+      ++interior;
+    }
+  }
+  FPART_ASSERT(total == total_size_);
+  FPART_ASSERT(interior == num_interior_);
+  FPART_ASSERT(terminal_ids_.size() == n - interior);
+
+  // Pin ordering invariant and per-net interior counts.
+  for (std::size_t e = 0; e < m; ++e) {
+    auto p = pins(static_cast<NetId>(e));
+    FPART_ASSERT_MSG(!p.empty(), "empty net");
+    const std::uint32_t ni = net_interior_pins_[e];
+    FPART_ASSERT(ni <= p.size());
+    for (std::size_t i = 0; i < p.size(); ++i) {
+      FPART_ASSERT(p[i] < n);
+      FPART_ASSERT_MSG(is_terminal_[p[i]] == (i >= ni),
+                       "interior-first pin ordering violated");
+    }
+    // No duplicate pins.
+    std::vector<NodeId> sorted(p.begin(), p.end());
+    std::sort(sorted.begin(), sorted.end());
+    FPART_ASSERT_MSG(
+        std::adjacent_find(sorted.begin(), sorted.end()) == sorted.end(),
+        "duplicate pin in net");
+  }
+
+  // CSR symmetry: v in pins(e) <=> e in nets(v).
+  std::vector<std::size_t> deg(n, 0);
+  for (std::size_t e = 0; e < m; ++e) {
+    for (NodeId v : pins(static_cast<NetId>(e))) ++deg[v];
+  }
+  for (std::size_t v = 0; v < n; ++v) {
+    FPART_ASSERT(deg[v] == degree(static_cast<NodeId>(v)));
+    for (NetId e : nets(static_cast<NodeId>(v))) {
+      auto p = pins(e);
+      FPART_ASSERT(std::find(p.begin(), p.end(), static_cast<NodeId>(v)) !=
+                   p.end());
+    }
+  }
+}
+
+}  // namespace fpart

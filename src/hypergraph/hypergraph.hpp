@@ -1,0 +1,117 @@
+// Immutable CSR hypergraph — the circuit model of the paper's §2.
+//
+// H = ({X, Y}, E): interior nodes X (logic cells, weighted by size in
+// technology cells), terminal nodes Y (primary I/O pads, size 0), nets E.
+// Construct with HypergraphBuilder (builder.hpp); once built the structure
+// is immutable and all queries are O(1) or return contiguous spans.
+//
+// Pin ordering invariant: within each net's pin array, interior pins come
+// first, terminal pins after — interior_pins(e) is a prefix of pins(e).
+// Partitioning code iterates interior pins only; terminal counts are
+// precomputed per net.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "hypergraph/types.hpp"
+
+namespace fpart {
+
+class HypergraphBuilder;
+
+class Hypergraph {
+ public:
+  Hypergraph() = default;
+
+  // --- Node queries -------------------------------------------------------
+  std::size_t num_nodes() const { return node_size_.size(); }
+  std::size_t num_interior() const { return num_interior_; }
+  std::size_t num_terminals() const { return num_nodes() - num_interior_; }
+  bool is_terminal(NodeId v) const { return is_terminal_[v]; }
+  /// Size in technology cells. 0 for terminals.
+  std::uint32_t node_size(NodeId v) const { return node_size_[v]; }
+  /// Sum of all interior node sizes (the paper's S0).
+  std::uint64_t total_size() const { return total_size_; }
+  /// Nets incident to node v.
+  std::span<const NetId> nets(NodeId v) const {
+    return {nets_flat_.data() + node_offset_[v],
+            node_offset_[v + 1] - node_offset_[v]};
+  }
+  std::size_t degree(NodeId v) const {
+    return node_offset_[v + 1] - node_offset_[v];
+  }
+  const std::string& node_name(NodeId v) const { return node_name_[v]; }
+
+  // --- Net queries --------------------------------------------------------
+  std::size_t num_nets() const { return net_offset_.empty() ? 0 : net_offset_.size() - 1; }
+  /// All pins of net e (interior pins first, then terminals).
+  std::span<const NodeId> pins(NetId e) const {
+    return {pins_flat_.data() + net_offset_[e],
+            net_offset_[e + 1] - net_offset_[e]};
+  }
+  /// Interior pins of net e (prefix of pins(e)).
+  std::span<const NodeId> interior_pins(NetId e) const {
+    return {pins_flat_.data() + net_offset_[e], net_interior_pins_[e]};
+  }
+  /// Number of interior pins of net e (the paper's P(e)).
+  std::uint32_t net_interior_pin_count(NetId e) const {
+    return net_interior_pins_[e];
+  }
+  /// Number of terminal pads on net e.
+  std::uint32_t net_terminal_count(NetId e) const {
+    return static_cast<std::uint32_t>(net_offset_[e + 1] - net_offset_[e]) -
+           net_interior_pins_[e];
+  }
+  std::size_t net_degree(NetId e) const {
+    return net_offset_[e + 1] - net_offset_[e];
+  }
+
+  // --- Aggregate stats ----------------------------------------------------
+  std::size_t num_pins() const { return pins_flat_.size(); }
+  std::size_t max_node_degree() const { return max_node_degree_; }
+  std::size_t max_net_degree() const { return max_net_degree_; }
+  std::uint32_t max_node_size() const { return max_node_size_; }
+  double avg_net_degree() const {
+    return num_nets() == 0 ? 0.0
+                           : static_cast<double>(num_pins()) /
+                                 static_cast<double>(num_nets());
+  }
+
+  /// All terminal node ids (the paper's Y0), ascending.
+  std::span<const NodeId> terminals() const { return terminal_ids_; }
+
+  /// Checks internal consistency (CSR symmetry, pin ordering, sizes).
+  /// Throws InvariantError on corruption. Intended for tests.
+  void validate() const;
+
+ private:
+  friend class HypergraphBuilder;
+
+  // Node side.
+  std::vector<std::uint32_t> node_size_;
+  std::vector<std::uint8_t> is_terminal_;
+  std::vector<std::string> node_name_;
+  std::vector<std::size_t> node_offset_;  // size num_nodes+1
+  std::vector<NetId> nets_flat_;
+  std::vector<NodeId> terminal_ids_;
+
+  // Net side.
+  std::vector<std::size_t> net_offset_;  // size num_nets+1
+  std::vector<NodeId> pins_flat_;
+  std::vector<std::uint32_t> net_interior_pins_;
+  std::vector<std::string> net_name_;
+
+  std::size_t num_interior_ = 0;
+  std::uint64_t total_size_ = 0;
+  std::size_t max_node_degree_ = 0;
+  std::size_t max_net_degree_ = 0;
+  std::uint32_t max_node_size_ = 0;
+
+ public:
+  const std::string& net_name(NetId e) const { return net_name_[e]; }
+};
+
+}  // namespace fpart

@@ -1,0 +1,44 @@
+#include "hypergraph/induce.hpp"
+
+#include <string>
+
+#include "hypergraph/builder.hpp"
+#include "util/assert.hpp"
+
+namespace fpart {
+
+InducedCircuit induce(const Hypergraph& h, std::span<const NodeId> nodes) {
+  InducedCircuit out;
+  out.to_new.assign(h.num_nodes(), kInvalidNode);
+
+  HypergraphBuilder b;
+  for (NodeId v : nodes) {
+    FPART_REQUIRE(v < h.num_nodes(), "induce: node out of range");
+    FPART_REQUIRE(!h.is_terminal(v), "induce: subset must be interior nodes");
+    FPART_REQUIRE(out.to_new[v] == kInvalidNode, "induce: duplicate node");
+    out.to_new[v] = b.add_cell(h.node_size(v), h.node_name(v));
+    out.to_old.push_back(v);
+  }
+
+  for (NetId e = 0; e < h.num_nets(); ++e) {
+    std::vector<NodeId> pins;
+    bool crosses = h.net_terminal_count(e) > 0;
+    for (NodeId v : h.interior_pins(e)) {
+      if (out.to_new[v] != kInvalidNode) {
+        pins.push_back(out.to_new[v]);
+      } else {
+        crosses = true;
+      }
+    }
+    if (pins.empty()) continue;  // net does not touch the subset
+    if (crosses) {
+      pins.push_back(b.add_terminal("cut:" + h.net_name(e)));
+    }
+    b.add_net(pins, h.net_name(e));
+  }
+
+  out.graph = std::move(b).build();
+  return out;
+}
+
+}  // namespace fpart

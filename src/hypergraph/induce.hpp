@@ -1,0 +1,31 @@
+// Induced-subcircuit extraction.
+//
+// Given a subset of interior nodes, builds the standalone subcircuit they
+// form. Nets entirely inside the subset are copied as-is. Nets crossing
+// the boundary (some pins outside, or carrying primary terminals) are
+// copied with their inside pins plus ONE fresh terminal pad representing
+// the off-circuit connection — this is exactly how a remainder block "sees"
+// the rest of a partition, so extracting a block of a partition yields a
+// circuit whose terminal count equals the block's pin count T_b.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "hypergraph/hypergraph.hpp"
+
+namespace fpart {
+
+struct InducedCircuit {
+  Hypergraph graph;
+  /// original node id -> new node id (kInvalidNode for nodes not taken).
+  std::vector<NodeId> to_new;
+  /// new interior node id -> original node id.
+  std::vector<NodeId> to_old;
+};
+
+/// Extracts the subcircuit induced by `nodes` (interior nodes of `h`;
+/// duplicates rejected). Nets with no pin in the subset are dropped.
+InducedCircuit induce(const Hypergraph& h, std::span<const NodeId> nodes);
+
+}  // namespace fpart

@@ -1,0 +1,80 @@
+#include "hypergraph/traversal.hpp"
+
+#include <deque>
+
+#include "util/assert.hpp"
+
+namespace fpart {
+
+std::vector<std::uint32_t> bfs_distances(const Hypergraph& h, NodeId source,
+                                         const NodeFilter& filter) {
+  FPART_REQUIRE(source < h.num_nodes(), "bfs source out of range");
+  FPART_REQUIRE(!filter || filter(source), "bfs source excluded by filter");
+  std::vector<std::uint32_t> dist(h.num_nodes(), kUnreachable);
+  std::deque<NodeId> queue;
+  dist[source] = 0;
+  queue.push_back(source);
+  while (!queue.empty()) {
+    const NodeId v = queue.front();
+    queue.pop_front();
+    for (NetId e : h.nets(v)) {
+      for (NodeId w : h.pins(e)) {
+        if (dist[w] != kUnreachable) continue;
+        if (filter && !filter(w)) continue;
+        dist[w] = dist[v] + 1;
+        queue.push_back(w);
+      }
+    }
+  }
+  return dist;
+}
+
+NodeId farthest_interior_node(const Hypergraph& h, NodeId source,
+                              const NodeFilter& filter) {
+  const auto dist = bfs_distances(h, source, filter);
+  NodeId best = kInvalidNode;
+  std::uint32_t best_dist = 0;
+  bool best_unreachable = false;
+  for (NodeId v = 0; v < h.num_nodes(); ++v) {
+    if (v == source || h.is_terminal(v)) continue;
+    if (filter && !filter(v)) continue;
+    const bool unreachable = dist[v] == kUnreachable;
+    // Unreachable beats reachable; otherwise larger distance wins.
+    const bool better =
+        best == kInvalidNode ||
+        (unreachable && !best_unreachable) ||
+        (unreachable == best_unreachable && !unreachable &&
+         dist[v] > best_dist);
+    if (better) {
+      best = v;
+      best_dist = unreachable ? 0 : dist[v];
+      best_unreachable = unreachable;
+    }
+  }
+  return best;
+}
+
+Components connected_components(const Hypergraph& h) {
+  Components out;
+  out.id.assign(h.num_nodes(), ~0u);
+  for (NodeId start = 0; start < h.num_nodes(); ++start) {
+    if (out.id[start] != ~0u) continue;
+    const auto comp = static_cast<std::uint32_t>(out.count++);
+    std::deque<NodeId> queue{start};
+    out.id[start] = comp;
+    while (!queue.empty()) {
+      const NodeId v = queue.front();
+      queue.pop_front();
+      for (NetId e : h.nets(v)) {
+        for (NodeId w : h.pins(e)) {
+          if (out.id[w] != ~0u) continue;
+          out.id[w] = comp;
+          queue.push_back(w);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace fpart

@@ -1,0 +1,44 @@
+// BFS-based traversal utilities over hypergraphs.
+//
+// Distances are measured in hops where two nodes are adjacent iff they
+// share a net. An optional node filter restricts the traversal to a
+// subset (used by the constructive bipartitioner to stay inside the
+// remainder block).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "hypergraph/hypergraph.hpp"
+
+namespace fpart {
+
+inline constexpr std::uint32_t kUnreachable = ~0u;
+
+/// Predicate restricting traversal to a node subset. Must be pure.
+using NodeFilter = std::function<bool(NodeId)>;
+
+/// BFS distances from `source` to every node (kUnreachable if not
+/// reached). If `filter` is set, only nodes satisfying it are visited
+/// (the source must satisfy it).
+std::vector<std::uint32_t> bfs_distances(const Hypergraph& h, NodeId source,
+                                         const NodeFilter& filter = nullptr);
+
+/// The interior node at maximal BFS distance from `source` among nodes
+/// satisfying `filter`; unreachable nodes are considered farther than any
+/// reachable one (matches the seed-selection intent of the paper's §3.2:
+/// pick a node "maximally distant" from the first seed). Ties broken by
+/// smallest id for determinism. Returns kInvalidNode if no candidate.
+NodeId farthest_interior_node(const Hypergraph& h, NodeId source,
+                              const NodeFilter& filter = nullptr);
+
+/// Connected components over all nodes (terminals included); returns a
+/// component id per node and the number of components.
+struct Components {
+  std::vector<std::uint32_t> id;
+  std::size_t count = 0;
+};
+Components connected_components(const Hypergraph& h);
+
+}  // namespace fpart

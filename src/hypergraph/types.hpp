@@ -1,0 +1,20 @@
+// Fundamental index types shared across the library.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace fpart {
+
+/// Index of a node (interior cell or terminal pad) in a Hypergraph.
+using NodeId = std::uint32_t;
+/// Index of a net (hyperedge) in a Hypergraph.
+using NetId = std::uint32_t;
+/// Index of a block (one FPGA device) in a Partition.
+using BlockId = std::uint32_t;
+
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+inline constexpr NetId kInvalidNet = std::numeric_limits<NetId>::max();
+inline constexpr BlockId kInvalidBlock = std::numeric_limits<BlockId>::max();
+
+}  // namespace fpart

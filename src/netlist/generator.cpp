@@ -1,0 +1,159 @@
+#include "netlist/generator.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "hypergraph/builder.hpp"
+#include "util/assert.hpp"
+
+namespace fpart {
+
+namespace {
+
+// Union-find over cell ids for the connectivity post-pass.
+class Dsu {
+ public:
+  explicit Dsu(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  std::size_t find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void unite(std::size_t a, std::size_t b) { parent_[find(a)] = find(b); }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+// Number of hierarchy levels needed to cover n cells.
+std::uint32_t hierarchy_levels(std::uint32_t n, std::uint32_t leaf,
+                               std::uint32_t branching) {
+  std::uint32_t levels = 1;
+  std::uint64_t span = leaf;
+  while (span < n) {
+    span *= branching;
+    ++levels;
+  }
+  return levels;
+}
+
+// Fanout of a regular (non-tail) net: 2–5 pins dominate, small chance of
+// 6–10. Matches mapped-netlist profiles (most nets are 2–3 pins).
+std::uint32_t sample_fanout(Rng& rng) {
+  const double r = rng.real();
+  if (r < 0.50) return 2;
+  if (r < 0.75) return 3;
+  if (r < 0.88) return 4;
+  if (r < 0.95) return 5;
+  return static_cast<std::uint32_t>(rng.uniform(6, 10));
+}
+
+}  // namespace
+
+Hypergraph generate_circuit(const GeneratorConfig& config) {
+  FPART_REQUIRE(config.num_cells >= 2, "need at least two cells");
+  FPART_REQUIRE(config.cell_size >= 1, "cell_size must be >= 1");
+  FPART_REQUIRE(config.branching >= 2, "branching must be >= 2");
+  FPART_REQUIRE(config.leaf_size >= 2, "leaf_size must be >= 2");
+  FPART_REQUIRE(config.net_ratio > 0.0, "net_ratio must be positive");
+  FPART_REQUIRE(config.max_fanout >= 8, "max_fanout must be >= 8");
+
+  Rng rng(config.seed);
+  const std::uint32_t n = config.num_cells;
+  const std::uint32_t levels =
+      hierarchy_levels(n, config.leaf_size, config.branching);
+
+  std::vector<std::vector<NodeId>> nets;
+  const auto target_nets = static_cast<std::size_t>(
+      config.net_ratio * static_cast<double>(n) + 0.5);
+  nets.reserve(target_nets + 16);
+
+  std::vector<std::size_t> cell_degree(n, 0);
+  Dsu dsu(n);
+
+  auto emit_net = [&](std::vector<NodeId> pins) {
+    for (NodeId p : pins) {
+      ++cell_degree[p];
+      dsu.unite(pins[0], p);
+    }
+    nets.push_back(std::move(pins));
+  };
+
+  for (std::size_t i = 0; i < target_nets; ++i) {
+    const auto source = static_cast<NodeId>(rng.index(n));
+    const std::size_t level =
+        rng.geometric_level(levels, config.locality_decay);
+    // Cluster [lo, hi) = ancestor of `source` at the chosen level.
+    std::uint64_t span = config.leaf_size;
+    for (std::size_t l = 0; l < level; ++l) span *= config.branching;
+    const std::uint64_t lo = (source / span) * span;
+    const std::uint64_t hi = std::min<std::uint64_t>(lo + span, n);
+    const auto cluster = static_cast<std::size_t>(hi - lo);
+
+    const bool tail = rng.chance(config.high_fanout_fraction);
+    std::uint32_t fanout =
+        tail ? static_cast<std::uint32_t>(rng.uniform(8, config.max_fanout))
+             : sample_fanout(rng);
+    fanout = std::min<std::uint32_t>(fanout,
+                                     static_cast<std::uint32_t>(cluster));
+    if (fanout < 2 && cluster >= 2) fanout = 2;
+
+    std::vector<NodeId> pins{source};
+    for (std::uint32_t p = 1; p < fanout; ++p) {
+      pins.push_back(static_cast<NodeId>(lo + rng.index(cluster)));
+    }
+    // The builder dedupes; a net collapsing to one pin is still valid.
+    emit_net(std::move(pins));
+  }
+
+  // Every cell must appear in at least one net.
+  for (NodeId v = 0; v < n; ++v) {
+    if (cell_degree[v] == 0) {
+      emit_net({v, static_cast<NodeId>((v + 1) % n)});
+    }
+  }
+
+  // Connect components with a chain of 2-pin nets between representatives.
+  std::vector<NodeId> reps;
+  {
+    std::vector<std::uint8_t> seen_root(n, 0);
+    for (NodeId v = 0; v < n; ++v) {
+      const std::size_t root = dsu.find(v);
+      if (!seen_root[root]) {
+        seen_root[root] = 1;
+        reps.push_back(v);
+      }
+    }
+  }
+  for (std::size_t i = 1; i < reps.size(); ++i) {
+    emit_net({reps[i - 1], reps[i]});
+  }
+
+  // Attach each terminal pad to a distinct net, spread uniformly.
+  FPART_REQUIRE(config.num_terminals <= nets.size(),
+                "more terminals than nets; raise net_ratio");
+  std::vector<std::size_t> net_order(nets.size());
+  std::iota(net_order.begin(), net_order.end(), 0);
+  rng.shuffle(net_order);
+
+  HypergraphBuilder b;
+  for (NodeId v = 0; v < n; ++v) {
+    b.add_cell(config.cell_size, "c" + std::to_string(v));
+  }
+  for (std::uint32_t t = 0; t < config.num_terminals; ++t) {
+    const NodeId pad = b.add_terminal("pad" + std::to_string(t));
+    nets[net_order[t]].push_back(pad);
+  }
+  for (std::size_t e = 0; e < nets.size(); ++e) {
+    b.add_net(nets[e], "n" + std::to_string(e));
+  }
+  return std::move(b).build();
+}
+
+}  // namespace fpart

@@ -1,0 +1,55 @@
+// Synthetic CLB-level netlist generator with Rent-style locality.
+//
+// Real technology-mapped circuits have two properties the partitioning
+// algorithms exploit: (1) a fanout distribution dominated by 2–5 pin nets
+// with a thin high-fanout tail, and (2) hierarchical locality — most nets
+// connect cells that are "close" in the design hierarchy, so good small
+// cuts exist (Rent's rule). The generator reproduces both:
+//
+//  * cells are leaves of an implicit balanced `branching`-ary hierarchy
+//    over the index range [0, num_cells);
+//  * each net picks a source cell, then a hierarchy level by a truncated
+//    geometric distribution (decay `locality_decay`; level 0 = leaf
+//    cluster, deeper levels = wider scopes), and draws its remaining pins
+//    uniformly from the chosen ancestor cluster;
+//  * terminal pads are attached to distinct nets spread across the
+//    hierarchy (each pad has exactly one net, matching how the partition
+//    layer counts external I/Os);
+//  * a post-pass guarantees the circuit is connected and every cell has
+//    at least one net.
+//
+// The output is deterministic in the seed.
+#pragma once
+
+#include <cstdint>
+
+#include "hypergraph/hypergraph.hpp"
+#include "util/rng.hpp"
+
+namespace fpart {
+
+struct GeneratorConfig {
+  std::uint32_t num_cells = 1000;
+  std::uint32_t num_terminals = 50;
+  /// nets ≈ net_ratio * num_cells (before the connectivity post-pass).
+  double net_ratio = 1.05;
+  /// All cells have this size (1 = CLB-level netlist).
+  std::uint32_t cell_size = 1;
+  /// Arity of the implicit hierarchy.
+  std::uint32_t branching = 4;
+  /// Cells per leaf cluster.
+  std::uint32_t leaf_size = 12;
+  /// P(level = l) ∝ locality_decay^l; smaller = more local nets.
+  double locality_decay = 0.4;
+  /// Fraction of nets drawn from the high-fanout tail (up to
+  /// max_fanout pins).
+  double high_fanout_fraction = 0.03;
+  std::uint32_t max_fanout = 24;
+  std::uint64_t seed = 1;
+};
+
+/// Generates a circuit per the config. The result has exactly
+/// `num_cells` interior nodes and `num_terminals` terminal pads.
+Hypergraph generate_circuit(const GeneratorConfig& config);
+
+}  // namespace fpart

@@ -1,0 +1,127 @@
+#include "netlist/hgr_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "hypergraph/builder.hpp"
+#include "util/assert.hpp"
+
+namespace fpart {
+
+void write_hgr(std::ostream& os, const Hypergraph& h) {
+  os << "% fpart-hgr v1";
+  if (h.num_terminals() > 0) os << " fpart-terminals";
+  os << '\n';
+  os << h.num_nets() << ' ' << h.num_nodes() << " 10\n";
+  for (NetId e = 0; e < h.num_nets(); ++e) {
+    bool first = true;
+    for (NodeId v : h.pins(e)) {
+      if (!first) os << ' ';
+      os << (v + 1);  // hMETIS ids are 1-based
+      first = false;
+    }
+    os << '\n';
+  }
+  for (NodeId v = 0; v < h.num_nodes(); ++v) {
+    os << h.node_size(v) << '\n';
+  }
+}
+
+void write_hgr_file(const std::string& path, const Hypergraph& h) {
+  std::ofstream os(path);
+  FPART_REQUIRE(os.good(), "cannot open for writing: " + path);
+  write_hgr(os, h);
+  FPART_REQUIRE(os.good(), "write failed: " + path);
+}
+
+namespace {
+
+// Returns the next non-comment, non-empty line; false at EOF.
+bool next_data_line(std::istream& is, std::string& line) {
+  while (std::getline(is, line)) {
+    std::size_t i = line.find_first_not_of(" \t\r");
+    if (i == std::string::npos) continue;
+    if (line[i] == '%') continue;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Hypergraph read_hgr(std::istream& is) {
+  std::string line;
+  FPART_REQUIRE(next_data_line(is, line), "hgr: empty file");
+  std::istringstream header(line);
+  std::uint64_t num_nets = 0;
+  std::uint64_t num_nodes = 0;
+  int fmt = 0;
+  header >> num_nets >> num_nodes;
+  FPART_REQUIRE(!header.fail(), "hgr: malformed header");
+  header >> fmt;  // optional
+  FPART_REQUIRE(fmt == 0 || fmt == 1 || fmt == 10 || fmt == 11,
+                "hgr: fmt must be one of 0, 1, 10, 11");
+  const bool net_weights = fmt == 1 || fmt == 11;
+  const bool node_weights = fmt == 10 || fmt == 11;
+
+  std::vector<std::vector<std::uint64_t>> nets(num_nets);
+  for (std::uint64_t e = 0; e < num_nets; ++e) {
+    FPART_REQUIRE(next_data_line(is, line), "hgr: missing net line");
+    std::istringstream ls(line);
+    if (net_weights) {
+      // The library's cut metric is unweighted; accept weight-1 files
+      // (written by common converters) and reject real weights loudly
+      // rather than silently dropping information.
+      std::uint64_t w = 0;
+      FPART_REQUIRE(static_cast<bool>(ls >> w),
+                    "hgr: missing net weight");
+      FPART_REQUIRE(w == 1,
+                    "hgr: weighted nets are not supported (all net "
+                    "weights must be 1)");
+    }
+    std::uint64_t pin = 0;
+    while (ls >> pin) {
+      FPART_REQUIRE(pin >= 1 && pin <= num_nodes,
+                    "hgr: pin id out of range");
+      nets[e].push_back(pin - 1);
+    }
+    FPART_REQUIRE(!nets[e].empty(), "hgr: empty net line");
+  }
+
+  std::vector<std::uint32_t> weights(num_nodes, 1);
+  if (node_weights) {
+    for (std::uint64_t v = 0; v < num_nodes; ++v) {
+      FPART_REQUIRE(next_data_line(is, line), "hgr: missing node weight");
+      std::istringstream ls(line);
+      std::uint64_t w = 0;
+      ls >> w;
+      FPART_REQUIRE(!ls.fail(), "hgr: malformed node weight");
+      weights[v] = static_cast<std::uint32_t>(w);
+    }
+  }
+  FPART_REQUIRE(!next_data_line(is, line), "hgr: trailing data");
+
+  HypergraphBuilder b;
+  for (std::uint64_t v = 0; v < num_nodes; ++v) {
+    if (weights[v] == 0) {
+      b.add_terminal();
+    } else {
+      b.add_cell(weights[v]);
+    }
+  }
+  for (auto& pins : nets) {
+    std::vector<NodeId> ids(pins.begin(), pins.end());
+    b.add_net(ids);
+  }
+  return std::move(b).build();
+}
+
+Hypergraph read_hgr_file(const std::string& path) {
+  std::ifstream is(path);
+  FPART_REQUIRE(is.good(), "cannot open for reading: " + path);
+  return read_hgr(is);
+}
+
+}  // namespace fpart

@@ -1,0 +1,34 @@
+// hMETIS-compatible hypergraph file IO with an FPART extension for
+// terminal pads.
+//
+// Format written (readable by hMETIS tooling):
+//   % comment lines start with '%'
+//   <num_nets> <num_nodes> 10        (fmt 10: node weights present)
+//   <pin> <pin> ...                  one line per net, 1-indexed node ids
+//   <weight>                         one line per node
+// Extension: node weight 0 marks a terminal pad (hMETIS itself requires
+// positive weights; fpart files carry '% fpart-terminals' in the header
+// to flag the convention).
+//
+// The reader additionally accepts fmt 0 (no weights), fmt 1 and fmt 11
+// (net weights — unit weights only; the cut metric here is unweighted
+// and real weights are rejected loudly rather than dropped).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "hypergraph/hypergraph.hpp"
+
+namespace fpart {
+
+/// Serializes `h` in the format above.
+void write_hgr(std::ostream& os, const Hypergraph& h);
+void write_hgr_file(const std::string& path, const Hypergraph& h);
+
+/// Parses the format above. Throws PreconditionError on malformed input
+/// (bad counts, out-of-range pins, trailing garbage).
+Hypergraph read_hgr(std::istream& is);
+Hypergraph read_hgr_file(const std::string& path);
+
+}  // namespace fpart

@@ -1,0 +1,70 @@
+#include "netlist/mcnc.hpp"
+
+#include <array>
+
+#include "netlist/generator.hpp"
+#include "util/assert.hpp"
+
+namespace fpart::mcnc {
+
+namespace {
+
+// Table 1 of the paper, verbatim.
+constexpr std::array<CircuitSpec, 10> kCircuits = {{
+    {"c3540", 72, 373, 283},
+    {"c5315", 301, 535, 377},
+    {"c6288", 64, 833, 833},
+    {"c7552", 313, 611, 489},
+    {"s5378", 86, 500, 381},
+    {"s9234", 43, 565, 454},
+    {"s13207", 154, 1038, 915},
+    {"s15850", 102, 1013, 842},
+    {"s38417", 136, 2763, 2221},
+    {"s38584", 292, 3956, 2904},
+}};
+
+// FNV-1a over the circuit name so seeds are stable across runs and
+// independent of table order.
+std::uint64_t name_hash(std::string_view name) {
+  std::uint64_t h = 0xCBF29CE484222325ull;
+  for (char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+std::span<const CircuitSpec> circuits() { return kCircuits; }
+
+const CircuitSpec& circuit(std::string_view name) {
+  for (const auto& spec : kCircuits) {
+    if (spec.name == name) return spec;
+  }
+  FPART_REQUIRE(false, "unknown MCNC circuit: " + std::string(name));
+  return kCircuits[0];  // unreachable
+}
+
+Hypergraph generate(const CircuitSpec& spec, Family family,
+                    std::uint64_t seed_salt) {
+  GeneratorConfig config;
+  config.num_cells = spec.clbs(family);
+  config.num_terminals = spec.iobs;
+  config.cell_size = 1;
+  config.seed = name_hash(spec.name) ^
+                (family == Family::kXC2000 ? 0x2000u : 0x3000u) ^
+                (seed_salt * 0x9E3779B97F4A7C15ull);
+  // Combinational ISCAS85 circuits (c*) are adder/multiplier-like with
+  // strong local structure; sequential ISCAS89 circuits (s*) have wider
+  // control nets. Reflect that mildly in the locality decay.
+  config.locality_decay = spec.name[0] == 'c' ? 0.35 : 0.45;
+  return generate_circuit(config);
+}
+
+Hypergraph generate(std::string_view name, Family family,
+                    std::uint64_t seed_salt) {
+  return generate(circuit(name), family, seed_salt);
+}
+
+}  // namespace fpart::mcnc

@@ -1,0 +1,78 @@
+#include "netlist/rent.hpp"
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "fm/fm_bipartitioner.hpp"
+#include "partition/partition.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace fpart {
+
+RentEstimate estimate_rent(const Hypergraph& h, const RentConfig& config) {
+  FPART_REQUIRE(config.min_region >= 2, "min_region must be >= 2");
+  RentEstimate out;
+  if (h.num_interior() < config.min_region) return out;
+
+  Partition p(h, 1);
+  Rng rng(config.seed);
+
+  // Level 0 sample: the whole circuit.
+  out.samples.push_back(
+      RentSample{0, p.block_node_count(0), p.block_pins(0)});
+
+  std::vector<BlockId> active{0};
+  for (std::uint32_t level = 1;
+       level <= config.max_levels && !active.empty(); ++level) {
+    std::vector<BlockId> next;
+    for (BlockId b : active) {
+      if (p.block_node_count(b) < config.min_region) continue;
+      // Split b in half: random half seeds the new block, FM refines.
+      const BlockId nb = p.add_block();
+      std::vector<NodeId> members = p.block_nodes(b);
+      rng.shuffle(members);
+      for (std::size_t i = 0; i < members.size() / 2; ++i) {
+        p.move(members[i], nb);
+      }
+      const double target = static_cast<double>(p.block_size(b)) +
+                            static_cast<double>(p.block_size(nb));
+      const SizeWindow window{0.40 * target / 2.0, 1.25 * target / 2.0};
+      FmBipartitioner fm(p, b, nb);
+      fm.run(window, window);
+      next.push_back(b);
+      next.push_back(nb);
+    }
+    for (BlockId b : next) {
+      out.samples.push_back(
+          RentSample{level, p.block_node_count(b), p.block_pins(b)});
+    }
+    active = std::move(next);
+  }
+
+  // Least-squares fit of log2(pins) = log2(t) + p · log2(cells).
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  std::size_t n = 0;
+  for (const RentSample& s : out.samples) {
+    if (s.cells < config.min_fit_cells || s.pins == 0) continue;
+    const double x = std::log2(static_cast<double>(s.cells));
+    const double y = std::log2(static_cast<double>(s.pins));
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+    ++n;
+  }
+  if (n >= 2) {
+    const double denom = static_cast<double>(n) * sxx - sx * sx;
+    if (std::abs(denom) > 1e-12) {
+      out.exponent = (static_cast<double>(n) * sxy - sx * sy) / denom;
+      out.coefficient =
+          std::exp2((sy - out.exponent * sx) / static_cast<double>(n));
+    }
+  }
+  return out;
+}
+
+}  // namespace fpart

@@ -1,0 +1,48 @@
+// Rent's-rule analysis: empirical estimate of the Rent exponent p in
+// T = t · B^p (region pin count vs region cell count).
+//
+// Technology-mapped circuits obey Rent's rule with p ≈ 0.5–0.75; that
+// locality is precisely what lets min-cut partitioners find small cuts,
+// and what the synthetic MCNC stand-ins must reproduce for the paper's
+// relative results to transfer. The estimator performs recursive FM
+// bisection, samples (cells, pins) for every region at every level, and
+// fits the exponent by least squares in log-log space.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hypergraph/hypergraph.hpp"
+
+namespace fpart {
+
+struct RentSample {
+  std::uint32_t level = 0;
+  std::uint64_t cells = 0;
+  std::uint64_t pins = 0;
+};
+
+struct RentEstimate {
+  /// Fitted Rent exponent p (slope in log-log space).
+  double exponent = 0.0;
+  /// Fitted Rent coefficient t (average pins of a single cell).
+  double coefficient = 0.0;
+  /// All (region size, region pins) samples used in the fit.
+  std::vector<RentSample> samples;
+};
+
+struct RentConfig {
+  /// Stop splitting when regions drop below this many cells.
+  std::uint32_t min_region = 6;
+  /// Maximum bisection levels.
+  std::uint32_t max_levels = 10;
+  /// Regions smaller than this are excluded from the fit (boundary
+  /// effects dominate tiny regions).
+  std::uint32_t min_fit_cells = 4;
+  std::uint64_t seed = 1;
+};
+
+/// Estimates the Rent exponent of `h`. Deterministic in the seed.
+RentEstimate estimate_rent(const Hypergraph& h, const RentConfig& config = {});
+
+}  // namespace fpart

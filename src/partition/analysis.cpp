@@ -1,0 +1,83 @@
+#include "partition/analysis.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace fpart {
+
+std::uint64_t WiringMatrix::total_wires() const {
+  std::uint64_t sum = 0;
+  for (BlockId a = 0; a < k; ++a) {
+    for (BlockId b = a + 1; b < k; ++b) sum += wires[a][b];
+  }
+  return sum;
+}
+
+std::pair<BlockId, BlockId> WiringMatrix::hottest_pair() const {
+  std::pair<BlockId, BlockId> best{kInvalidBlock, kInvalidBlock};
+  std::uint32_t hottest = 0;
+  for (BlockId a = 0; a < k; ++a) {
+    for (BlockId b = a + 1; b < k; ++b) {
+      if (best.first == kInvalidBlock || wires[a][b] > hottest) {
+        best = {a, b};
+        hottest = wires[a][b];
+      }
+    }
+  }
+  return best;
+}
+
+std::string WiringMatrix::to_ascii() const {
+  std::ostringstream os;
+  std::size_t width = 4;
+  for (const auto& row : wires) {
+    for (std::uint32_t w : row) {
+      width = std::max(width, std::to_string(w).size() + 1);
+    }
+  }
+  os << std::string(width, ' ');
+  for (BlockId b = 0; b < k; ++b) {
+    std::string head = "b" + std::to_string(b);
+    os << std::string(width - head.size(), ' ') << head;
+  }
+  os << "  pads\n";
+  for (BlockId a = 0; a < k; ++a) {
+    std::string head = "b" + std::to_string(a);
+    os << head << std::string(width - head.size(), ' ');
+    for (BlockId b = 0; b < k; ++b) {
+      const std::string cell =
+          a == b ? "." : std::to_string(wires[a][b]);
+      os << std::string(width - cell.size(), ' ') << cell;
+    }
+    os << "  " << pad_wires[a] << '\n';
+  }
+  return os.str();
+}
+
+WiringMatrix wiring_matrix(const Partition& p) {
+  const Hypergraph& h = p.graph();
+  WiringMatrix out;
+  out.k = p.num_blocks();
+  out.wires.assign(out.k, std::vector<std::uint32_t>(out.k, 0));
+  out.pad_wires.assign(out.k, 0);
+
+  std::vector<BlockId> touched;
+  for (NetId e = 0; e < h.num_nets(); ++e) {
+    touched.clear();
+    for (BlockId b = 0; b < out.k; ++b) {
+      if (p.net_pins_in(e, b) > 0) touched.push_back(b);
+    }
+    for (std::size_t i = 0; i < touched.size(); ++i) {
+      for (std::size_t j = i + 1; j < touched.size(); ++j) {
+        ++out.wires[touched[i]][touched[j]];
+        ++out.wires[touched[j]][touched[i]];
+      }
+    }
+    if (h.net_terminal_count(e) > 0) {
+      for (BlockId b : touched) ++out.pad_wires[b];
+    }
+  }
+  return out;
+}
+
+}  // namespace fpart

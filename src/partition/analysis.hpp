@@ -1,0 +1,40 @@
+// Post-partitioning analysis: board-level wiring demand.
+//
+// After a multi-FPGA partition, the board designer needs to know how
+// many signals run between each pair of devices (cable/connector
+// sizing — the concern behind the paper's pin constraint, and the whole
+// game in the logic-emulation systems of [3]). This module derives the
+// inter-block wiring matrix from a finished partition.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "partition/partition.hpp"
+
+namespace fpart {
+
+struct WiringMatrix {
+  std::uint32_t k = 0;
+  /// wires[a][b] = number of nets with interior pins in both a and b
+  /// (symmetric, zero diagonal). A net spanning 3+ blocks counts toward
+  /// every pair it touches (each pair needs the signal routed).
+  std::vector<std::vector<std::uint32_t>> wires;
+  /// Nets leaving each block toward pads (board connector demand).
+  std::vector<std::uint32_t> pad_wires;
+
+  std::uint32_t between(BlockId a, BlockId b) const { return wires[a][b]; }
+  /// Total inter-device signal pairs (upper triangle sum).
+  std::uint64_t total_wires() const;
+  /// The heaviest device pair (kInvalidBlock pair when k < 2).
+  std::pair<BlockId, BlockId> hottest_pair() const;
+
+  /// Fixed-width ASCII rendering of the matrix.
+  std::string to_ascii() const;
+};
+
+/// Computes the wiring matrix of `p`. O(E · span).
+WiringMatrix wiring_matrix(const Partition& p);
+
+}  // namespace fpart

@@ -1,0 +1,68 @@
+#include "partition/cost.hpp"
+
+#include "util/assert.hpp"
+
+namespace fpart {
+
+double block_infeasibility(std::uint64_t block_size, std::uint64_t block_pins,
+                           const Device& d, const CostParams& params) {
+  double dist = 0.0;
+  const double s = static_cast<double>(block_size);
+  if (s > d.s_max()) {
+    dist += params.lambda_s * (s - d.s_max()) / d.s_max();
+  }
+  const double t = static_cast<double>(block_pins);
+  const double t_max = static_cast<double>(d.t_max());
+  if (t > t_max) {
+    dist += params.lambda_t * (t - t_max) / t_max;
+  }
+  return dist;
+}
+
+double partition_infeasibility(const Partition& p, const Device& d,
+                               const CostParams& params) {
+  double sum = 0.0;
+  for (BlockId b = 0; b < p.num_blocks(); ++b) {
+    sum += block_infeasibility(p.block_size(b), p.block_pins(b), d, params);
+  }
+  return sum;
+}
+
+double size_deviation_penalty(std::uint64_t remainder_size,
+                              std::int64_t remaining_splits, const Device& d) {
+  if (remaining_splits <= 0) return 0.0;
+  const double s_avg = static_cast<double>(remainder_size) /
+                       static_cast<double>(remaining_splits);
+  if (s_avg <= d.s_max()) return 0.0;
+  return s_avg / d.s_max();
+}
+
+double solution_distance(const Partition& p, const Device& d,
+                         const CostParams& params, BlockId remainder,
+                         std::uint32_t lower_bound) {
+  FPART_REQUIRE(remainder < p.num_blocks(), "remainder out of range");
+  // Non-remainder blocks created so far: k in the paper's notation.
+  const std::int64_t k = static_cast<std::int64_t>(p.num_blocks()) - 1;
+  const std::int64_t remaining =
+      static_cast<std::int64_t>(lower_bound) - k + 1;
+  return partition_infeasibility(p, d, params) +
+         params.lambda_r *
+             size_deviation_penalty(p.block_size(remainder), remaining, d);
+}
+
+double external_balance_factor(const Partition& p,
+                               std::uint32_t lower_bound) {
+  FPART_REQUIRE(lower_bound >= 1, "lower bound must be >= 1");
+  const double total_ext =
+      static_cast<double>(p.graph().num_terminals());
+  if (total_ext == 0.0) return 0.0;
+  const double t_avg = total_ext / static_cast<double>(lower_bound);
+  double sum = 0.0;
+  for (BlockId b = 0; b < p.num_blocks(); ++b) {
+    const double t_ext = static_cast<double>(p.block_external_pins(b));
+    if (t_ext < t_avg) sum += (t_avg - t_ext) / t_avg;
+  }
+  return sum;
+}
+
+}  // namespace fpart

@@ -1,0 +1,59 @@
+// Infeasibility-distance cost functions (paper §3.3).
+//
+// A block is a point (T_i, S_i) in the 2-D space of Figure 2; its
+// infeasibility distance is a weighted, normalized measure of how far it
+// lies outside the device's feasible rectangle:
+//
+//   d_i = λ^S · max(0, (S_i − S_MAX)/S_MAX) + λ^T · max(0, (T_i − T_MAX)/T_MAX)
+//
+// The solution distance adds the size-deviation penalty λ^R·d_k^R, which
+// penalizes solutions whose remainder is too large to fit into the
+// minimal theoretical number of remaining devices (S_AVG = S(R_k)/(M−k+1)).
+#pragma once
+
+#include <cstdint>
+
+#include "device/device.hpp"
+#include "partition/partition.hpp"
+
+namespace fpart {
+
+struct CostParams {
+  double lambda_s = 0.4;  // λ^S — weight of the size distance
+  double lambda_t = 0.6;  // λ^T — weight of the I/O distance (I/O is the
+                          // critical constraint, so λ^T > λ^S)
+  double lambda_r = 0.1;  // λ^R — weight of the size-deviation penalty
+  /// Weight of the external I/O balancing key d_k^E in the solution
+  /// comparison (1 = the paper's behaviour, 0 disables the key — used by
+  /// the cost-function ablation bench).
+  double lambda_e = 1.0;
+};
+
+/// d_i for a single block given its size and pin demand.
+double block_infeasibility(std::uint64_t block_size, std::uint64_t block_pins,
+                           const Device& d, const CostParams& params);
+
+/// Σ_i d_i over all blocks of `p`.
+double partition_infeasibility(const Partition& p, const Device& d,
+                               const CostParams& params);
+
+/// The paper's d_k^R: with `remaining_splits` = M − k + 1, the average
+/// size the remainder would spread over if split into the minimal
+/// theoretical number of devices; positive penalty iff that average
+/// exceeds S_MAX. Returns 0 when remaining_splits <= 0 (k has reached M).
+double size_deviation_penalty(std::uint64_t remainder_size,
+                              std::int64_t remaining_splits, const Device& d);
+
+/// Full solution distance d_k = Σ d_i + λ^R · d_k^R, where the remainder
+/// block is `remainder` and `lower_bound` is M (see §3.3).
+double solution_distance(const Partition& p, const Device& d,
+                         const CostParams& params, BlockId remainder,
+                         std::uint32_t lower_bound);
+
+/// External I/O balancing factor d_k^E (paper §3.4): deficit of external
+/// primary I/Os per block w.r.t. the average T^E_AVG = |Y0| / M. Lower is
+/// better (blocks starved of external I/Os early force an I/O-saturated
+/// remainder later).
+double external_balance_factor(const Partition& p, std::uint32_t lower_bound);
+
+}  // namespace fpart

@@ -1,0 +1,44 @@
+#include "partition/evaluator.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace fpart {
+
+namespace {
+constexpr double kTol = 1e-9;
+}
+
+bool SolutionEval::better_than(const SolutionEval& other) const {
+  if (feasible_blocks != other.feasible_blocks) {
+    return feasible_blocks > other.feasible_blocks;
+  }
+  if (std::abs(distance - other.distance) > kTol) {
+    return distance < other.distance;
+  }
+  if (total_pins != other.total_pins) {
+    return total_pins < other.total_pins;
+  }
+  return ext_balance < other.ext_balance - kTol;
+}
+
+std::string SolutionEval::to_string() const {
+  std::ostringstream os;
+  os << "f=" << feasible_blocks << '/' << num_blocks << " d=" << distance
+     << " Tsum=" << total_pins << " dE=" << ext_balance;
+  return os.str();
+}
+
+SolutionEval Evaluator::evaluate(const Partition& p, BlockId remainder) const {
+  SolutionEval e;
+  e.num_blocks = p.num_blocks();
+  e.feasible_blocks = p.count_feasible(device_);
+  e.distance = solution_distance(p, device_, params_, remainder, lower_bound_);
+  std::uint64_t t_sum = 0;
+  for (BlockId b = 0; b < p.num_blocks(); ++b) t_sum += p.block_pins(b);
+  e.total_pins = t_sum;
+  e.ext_balance = params_.lambda_e * external_balance_factor(p, lower_bound_);
+  return e;
+}
+
+}  // namespace fpart

@@ -1,0 +1,56 @@
+// Lexicographic solution comparison (paper §3.4).
+//
+// Two solutions are ordered by (f, d_k, T_SUM, d_k^E):
+//   f      — number of feasible blocks (higher is better),
+//   d_k    — infeasibility distance incl. size-deviation penalty (lower),
+//   T_SUM  — total I/O pins over all blocks (lower),
+//   d_k^E  — external I/O balancing deficit (lower).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "device/device.hpp"
+#include "partition/cost.hpp"
+#include "partition/partition.hpp"
+
+namespace fpart {
+
+struct SolutionEval {
+  std::uint32_t feasible_blocks = 0;  // f
+  std::uint32_t num_blocks = 0;       // k (context, not a comparison key)
+  double distance = 0.0;              // d_k
+  std::uint64_t total_pins = 0;       // T_SUM
+  double ext_balance = 0.0;           // d_k^E
+
+  bool feasible() const { return feasible_blocks == num_blocks; }
+
+  /// Strictly better in the lexicographic order (with a small tolerance
+  /// on the real-valued keys so float noise cannot flip decisions).
+  bool better_than(const SolutionEval& other) const;
+
+  std::string to_string() const;
+};
+
+/// Context needed to score a partition: device, cost weights, which block
+/// is the remainder, and the lower bound M.
+class Evaluator {
+ public:
+  Evaluator(Device device, CostParams params, std::uint32_t lower_bound)
+      : device_(std::move(device)),
+        params_(params),
+        lower_bound_(lower_bound) {}
+
+  const Device& device() const { return device_; }
+  const CostParams& params() const { return params_; }
+  std::uint32_t lower_bound() const { return lower_bound_; }
+
+  SolutionEval evaluate(const Partition& p, BlockId remainder) const;
+
+ private:
+  Device device_;
+  CostParams params_;
+  std::uint32_t lower_bound_;
+};
+
+}  // namespace fpart

@@ -1,0 +1,231 @@
+#include "partition/partition.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace fpart {
+
+Partition::Partition(const Hypergraph& h, std::uint32_t initial_blocks)
+    : h_(&h) {
+  FPART_REQUIRE(initial_blocks >= 1, "partition needs at least one block");
+  FPART_REQUIRE(h.num_interior() >= 1, "circuit has no interior nodes");
+  assignment_.assign(h.num_nodes(), kInvalidBlock);
+  for (NodeId v = 0; v < h.num_nodes(); ++v) {
+    if (!h.is_terminal(v)) assignment_[v] = 0;
+  }
+  size_.assign(initial_blocks, 0);
+  pins_.assign(initial_blocks, 0);
+  ext_.assign(initial_blocks, 0);
+  node_count_.assign(initial_blocks, 0);
+  pin_count_.assign(h.num_nets(),
+                    std::vector<std::uint32_t>(initial_blocks, 0));
+  net_span_.assign(h.num_nets(), 0);
+  rebuild();
+}
+
+Partition::Partition(const Hypergraph& h,
+                     std::span<const BlockId> assignment, std::uint32_t k)
+    : Partition(h, k) {
+  FPART_REQUIRE(assignment.size() == h.num_nodes(),
+                "assignment size must match node count");
+  for (NodeId v = 0; v < h.num_nodes(); ++v) {
+    if (h.is_terminal(v)) {
+      FPART_REQUIRE(assignment[v] == kInvalidBlock,
+                    "terminals must carry kInvalidBlock");
+      continue;
+    }
+    FPART_REQUIRE(assignment[v] < k, "assignment block out of range");
+    assignment_[v] = assignment[v];
+  }
+  rebuild();
+}
+
+BlockId Partition::add_block() {
+  size_.push_back(0);
+  pins_.push_back(0);
+  ext_.push_back(0);
+  node_count_.push_back(0);
+  for (auto& counts : pin_count_) counts.push_back(0);
+  return static_cast<BlockId>(size_.size() - 1);
+}
+
+void Partition::remove_last_block() {
+  FPART_REQUIRE(num_blocks() > 1, "cannot remove the only block");
+  FPART_REQUIRE(node_count_.back() == 0, "removed block must be empty");
+  size_.pop_back();
+  pins_.pop_back();
+  ext_.pop_back();
+  node_count_.pop_back();
+  for (auto& counts : pin_count_) counts.pop_back();
+}
+
+void Partition::swap_blocks(BlockId a, BlockId b) {
+  FPART_REQUIRE(a < num_blocks() && b < num_blocks(),
+                "swap_blocks: block out of range");
+  if (a == b) return;
+  for (auto& blk : assignment_) {
+    if (blk == a) {
+      blk = b;
+    } else if (blk == b) {
+      blk = a;
+    }
+  }
+  std::swap(size_[a], size_[b]);
+  std::swap(pins_[a], pins_[b]);
+  std::swap(ext_[a], ext_[b]);
+  std::swap(node_count_[a], node_count_[b]);
+  for (auto& counts : pin_count_) std::swap(counts[a], counts[b]);
+}
+
+void Partition::move(NodeId v, BlockId to) {
+  FPART_REQUIRE(v < h_->num_nodes() && !h_->is_terminal(v),
+                "move: not an interior node");
+  FPART_REQUIRE(to < num_blocks(), "move: target block out of range");
+  const BlockId from = assignment_[v];
+  if (from == to) return;
+
+  for (NetId e : h_->nets(v)) {
+    auto& counts = pin_count_[e];
+    const std::uint32_t term = h_->net_terminal_count(e);
+    const std::uint32_t total = h_->net_interior_pin_count(e);
+    const std::uint32_t old_f = counts[from];
+    const std::uint32_t old_t = counts[to];
+
+    const bool req_f_old = old_f >= 1 && (term > 0 || old_f < total);
+    const bool req_t_old = old_t >= 1 && (term > 0 || old_t < total);
+
+    counts[from] = old_f - 1;
+    counts[to] = old_t + 1;
+
+    const std::uint32_t new_f = old_f - 1;
+    const std::uint32_t new_t = old_t + 1;
+    const bool req_f_new = new_f >= 1 && (term > 0 || new_f < total);
+    const bool req_t_new = new_t >= 1 && (term > 0 || new_t < total);
+
+    // Span and cutset.
+    const std::uint32_t old_span = net_span_[e];
+    std::uint32_t new_span = old_span;
+    if (old_f == 1) --new_span;
+    if (old_t == 0) ++new_span;
+    if (new_span != old_span) {
+      net_span_[e] = new_span;
+      if (old_span >= 2 && new_span < 2) --cut_;
+      if (old_span < 2 && new_span >= 2) ++cut_;
+      km1_ += (new_span >= 1 ? new_span - 1 : 0);
+      km1_ -= (old_span >= 1 ? old_span - 1 : 0);
+    }
+
+    // Pin demand.
+    if (req_f_old && !req_f_new) --pins_[from];
+    if (!req_f_old && req_f_new) ++pins_[from];
+    if (req_t_old && !req_t_new) --pins_[to];
+    if (!req_t_old && req_t_new) ++pins_[to];
+
+    // External terminal assignment.
+    if (term > 0) {
+      if (old_f == 1) ext_[from] -= term;  // from-block loses the net
+      if (old_t == 0) ext_[to] += term;    // to-block gains the net
+    }
+  }
+
+  const std::uint32_t s = h_->node_size(v);
+  size_[from] -= s;
+  size_[to] += s;
+  --node_count_[from];
+  ++node_count_[to];
+  assignment_[v] = to;
+}
+
+std::vector<NodeId> Partition::block_nodes(BlockId b) const {
+  std::vector<NodeId> out;
+  out.reserve(node_count_[b]);
+  for (NodeId v = 0; v < h_->num_nodes(); ++v) {
+    if (assignment_[v] == b) out.push_back(v);
+  }
+  return out;
+}
+
+std::uint32_t Partition::count_feasible(const Device& d) const {
+  std::uint32_t n = 0;
+  for (BlockId b = 0; b < num_blocks(); ++b) {
+    if (block_feasible(b, d)) ++n;
+  }
+  return n;
+}
+
+FeasibilityClass Partition::classify(const Device& d) const {
+  const std::uint32_t bad = num_blocks() - count_feasible(d);
+  if (bad == 0) return FeasibilityClass::kFeasible;
+  if (bad == 1) return FeasibilityClass::kSemiFeasible;
+  return FeasibilityClass::kInfeasible;
+}
+
+Partition::Snapshot Partition::snapshot() const {
+  return Snapshot{assignment_, num_blocks()};
+}
+
+void Partition::restore(const Snapshot& s) {
+  FPART_REQUIRE(s.assignment.size() == assignment_.size(),
+                "restore: snapshot from a different hypergraph");
+  FPART_REQUIRE(s.num_blocks >= 1, "restore: empty snapshot");
+  assignment_ = s.assignment;
+  size_.assign(s.num_blocks, 0);
+  pins_.assign(s.num_blocks, 0);
+  ext_.assign(s.num_blocks, 0);
+  node_count_.assign(s.num_blocks, 0);
+  for (auto& counts : pin_count_) counts.assign(s.num_blocks, 0);
+  rebuild();
+}
+
+void Partition::rebuild() {
+  const std::uint32_t k = num_blocks();
+  std::fill(size_.begin(), size_.end(), 0);
+  std::fill(pins_.begin(), pins_.end(), 0);
+  std::fill(ext_.begin(), ext_.end(), 0);
+  std::fill(node_count_.begin(), node_count_.end(), 0);
+  cut_ = 0;
+  km1_ = 0;
+
+  for (NodeId v = 0; v < h_->num_nodes(); ++v) {
+    if (h_->is_terminal(v)) continue;
+    const BlockId b = assignment_[v];
+    FPART_ASSERT_MSG(b < k, "node assigned to nonexistent block");
+    size_[b] += h_->node_size(v);
+    ++node_count_[b];
+  }
+
+  for (NetId e = 0; e < h_->num_nets(); ++e) {
+    auto& counts = pin_count_[e];
+    std::fill(counts.begin(), counts.end(), 0);
+    for (NodeId v : h_->interior_pins(e)) ++counts[assignment_[v]];
+    std::uint32_t span = 0;
+    for (std::uint32_t c : counts) {
+      if (c > 0) ++span;
+    }
+    net_span_[e] = span;
+    if (span >= 2) ++cut_;
+    if (span >= 1) km1_ += span - 1;
+    const std::uint32_t term = h_->net_terminal_count(e);
+    for (BlockId b = 0; b < k; ++b) {
+      if (requires_pin(e, b)) ++pins_[b];
+      if (term > 0 && counts[b] > 0) ext_[b] += term;
+    }
+  }
+}
+
+void Partition::check_consistency() const {
+  Partition fresh(*h_, num_blocks());
+  fresh.assignment_ = assignment_;
+  fresh.rebuild();
+  FPART_ASSERT_MSG(fresh.cut_ == cut_, "cut size diverged");
+  FPART_ASSERT_MSG(fresh.km1_ == km1_, "K-1 connectivity diverged");
+  FPART_ASSERT_MSG(fresh.size_ == size_, "block sizes diverged");
+  FPART_ASSERT_MSG(fresh.pins_ == pins_, "block pin counts diverged");
+  FPART_ASSERT_MSG(fresh.ext_ == ext_, "external pin counts diverged");
+  FPART_ASSERT_MSG(fresh.node_count_ == node_count_, "node counts diverged");
+  FPART_ASSERT_MSG(fresh.net_span_ == net_span_, "net spans diverged");
+  FPART_ASSERT_MSG(fresh.pin_count_ == pin_count_, "pin counts diverged");
+}
+
+}  // namespace fpart

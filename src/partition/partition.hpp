@@ -1,0 +1,138 @@
+// k-way partition state with incremental statistics (paper §2's model).
+//
+// Every interior node is assigned to exactly one block at all times; the
+// partition starts with all nodes in block 0 (FPART treats block 0 as the
+// remainder throughout Algorithm 1). Each node move updates, in
+// O(degree(v)) time:
+//
+//   * per-net, per-block interior pin counts Φ(e,b),
+//   * per-net interior span (number of blocks with Φ > 0),
+//   * cutset size C = #nets with span >= 2,
+//   * per-block size S_b,
+//   * per-block I/O pin demand T_b  (nets requiring a pin on b: Φ(e,b)>=1
+//     and (net has terminals or Φ(e,b) < P(e))),
+//   * per-block external I/O count T^E_b (terminal pads on nets touching
+//     b — the paper's assignment of Y0 pads to "one or more" blocks).
+//
+// The same quantities can be recomputed from scratch (rebuild()); the
+// property tests diff incremental against recomputed state after random
+// move sequences.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "device/device.hpp"
+#include "hypergraph/hypergraph.hpp"
+
+namespace fpart {
+
+/// Feasibility class of a whole partition w.r.t. a device (paper §2).
+enum class FeasibilityClass {
+  kFeasible,      // every block meets constraints
+  kSemiFeasible,  // exactly one block violates them
+  kInfeasible,    // two or more blocks violate them
+};
+
+class Partition {
+ public:
+  /// All interior nodes of `h` start in block 0. `h` must outlive *this.
+  explicit Partition(const Hypergraph& h, std::uint32_t initial_blocks = 1);
+
+  /// Builds a partition directly from a per-node assignment (interior
+  /// nodes in [0, k); terminals kInvalidBlock — as in
+  /// PartitionResult::assignment). O(n + pins).
+  Partition(const Hypergraph& h, std::span<const BlockId> assignment,
+            std::uint32_t k);
+
+  const Hypergraph& graph() const { return *h_; }
+  std::uint32_t num_blocks() const {
+    return static_cast<std::uint32_t>(size_.size());
+  }
+
+  // --- Mutation -----------------------------------------------------------
+  /// Appends a new empty block; returns its id.
+  BlockId add_block();
+
+  /// Removes the last block. It must be empty.
+  void remove_last_block();
+
+  /// Exchanges the identities of two blocks (O(nodes + nets)). Used to
+  /// keep the remainder at a stable id while dropping temporary blocks.
+  void swap_blocks(BlockId a, BlockId b);
+
+  /// Moves interior node v to block `to` (no-op if already there).
+  void move(NodeId v, BlockId to);
+
+  // --- Queries ------------------------------------------------------------
+  BlockId block_of(NodeId v) const { return assignment_[v]; }
+  std::uint64_t block_size(BlockId b) const { return size_[b]; }
+  /// I/O pin demand T_b of block b.
+  std::uint64_t block_pins(BlockId b) const { return pins_[b]; }
+  /// External primary I/Os T^E_b assigned to block b.
+  std::uint64_t block_external_pins(BlockId b) const { return ext_[b]; }
+  /// Number of interior nodes in block b.
+  std::uint32_t block_node_count(BlockId b) const { return node_count_[b]; }
+  /// Cutset size: nets whose interior pins span >= 2 blocks.
+  std::uint64_t cut_size() const { return cut_; }
+
+  /// Connectivity (K−1) metric: Σ over nets of (interior span − 1) — the
+  /// standard multiway alternative to the cut-net count, proportional to
+  /// the number of inter-device signal copies a router must realize.
+  std::uint64_t connectivity_km1() const { return km1_; }
+
+  /// Interior pin count Φ(e,b).
+  std::uint32_t net_pins_in(NetId e, BlockId b) const {
+    return pin_count_[e][b];
+  }
+  /// Number of blocks net e's interior pins span.
+  std::uint32_t net_span(NetId e) const { return net_span_[e]; }
+
+  /// Interior nodes currently in block b (O(num_nodes) scan).
+  std::vector<NodeId> block_nodes(BlockId b) const;
+
+  // --- Feasibility --------------------------------------------------------
+  bool block_feasible(BlockId b, const Device& d) const {
+    return d.size_ok(size_[b]) && d.pins_ok(pins_[b]);
+  }
+  std::uint32_t count_feasible(const Device& d) const;
+  FeasibilityClass classify(const Device& d) const;
+
+  // --- Snapshots ----------------------------------------------------------
+  struct Snapshot {
+    std::vector<BlockId> assignment;
+    std::uint32_t num_blocks = 0;
+  };
+  Snapshot snapshot() const;
+  /// Restores a snapshot taken from the same hypergraph. O(n + pins).
+  void restore(const Snapshot& s);
+
+  /// Recomputes all statistics from the assignment (oracle / restore
+  /// path). Also used by tests to cross-check the incremental updates.
+  void rebuild();
+
+  /// Verifies incremental state against a fresh recompute; throws
+  /// InvariantError on divergence. Test hook.
+  void check_consistency() const;
+
+ private:
+  bool requires_pin(NetId e, BlockId b) const {
+    const std::uint32_t phi = pin_count_[e][b];
+    return phi >= 1 && (h_->net_terminal_count(e) > 0 ||
+                        phi < h_->net_interior_pin_count(e));
+  }
+
+  const Hypergraph* h_;
+  std::vector<BlockId> assignment_;             // per node (terminals: invalid)
+  std::vector<std::vector<std::uint32_t>> pin_count_;  // [net][block]
+  std::vector<std::uint32_t> net_span_;
+  std::uint64_t cut_ = 0;
+  std::uint64_t km1_ = 0;
+  std::vector<std::uint64_t> size_;
+  std::vector<std::uint64_t> pins_;
+  std::vector<std::uint64_t> ext_;
+  std::vector<std::uint32_t> node_count_;
+};
+
+}  // namespace fpart

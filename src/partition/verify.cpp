@@ -1,0 +1,95 @@
+#include "partition/verify.hpp"
+
+#include <sstream>
+
+namespace fpart {
+
+std::string VerifyReport::summary() const {
+  if (ok) return "ok";
+  return errors.empty() ? "invalid (unspecified)" : errors.front();
+}
+
+VerifyReport verify_partition(const Hypergraph& h, const Device& d,
+                              std::span<const BlockId> assignment,
+                              std::uint32_t k) {
+  VerifyReport report;
+  auto fail = [&](const std::string& msg) { report.errors.push_back(msg); };
+
+  if (assignment.size() != h.num_nodes()) {
+    fail("assignment size does not match node count");
+    return report;
+  }
+  if (k == 0) {
+    fail("k must be at least 1");
+    return report;
+  }
+  report.blocks.assign(k, VerifiedBlock{});
+
+  // Structural checks + sizes.
+  for (NodeId v = 0; v < h.num_nodes(); ++v) {
+    const BlockId b = assignment[v];
+    if (h.is_terminal(v)) {
+      if (b != kInvalidBlock) {
+        std::ostringstream os;
+        os << "terminal " << v << " has a block assignment";
+        fail(os.str());
+      }
+      continue;
+    }
+    if (b >= k) {
+      std::ostringstream os;
+      os << "cell " << v << " assigned to invalid block " << b;
+      fail(os.str());
+      continue;
+    }
+    report.blocks[b].size += h.node_size(v);
+    ++report.blocks[b].nodes;
+  }
+
+  // Nets: spans, pin demands, external I/Os.
+  for (NetId e = 0; e < h.num_nets(); ++e) {
+    std::vector<std::uint32_t> phi(k, 0);
+    bool skip = false;
+    for (NodeId v : h.interior_pins(e)) {
+      const BlockId b = assignment[v];
+      if (b >= k) {
+        skip = true;  // already reported above
+        break;
+      }
+      ++phi[b];
+    }
+    if (skip) continue;
+    const std::uint32_t total = h.net_interior_pin_count(e);
+    const std::uint32_t term = h.net_terminal_count(e);
+    std::uint32_t span = 0;
+    for (BlockId b = 0; b < k; ++b) {
+      if (phi[b] == 0) continue;
+      ++span;
+      if (term > 0 || phi[b] < total) ++report.blocks[b].pins;
+      if (term > 0) report.blocks[b].ext += term;
+    }
+    if (span >= 2) ++report.cut;
+  }
+
+  // Device feasibility.
+  for (BlockId b = 0; b < k; ++b) {
+    VerifiedBlock& blk = report.blocks[b];
+    blk.feasible = d.size_ok(blk.size) && d.pins_ok(blk.pins);
+    if (!blk.feasible) {
+      std::ostringstream os;
+      os << "block " << b << " violates " << d.name() << ": S=" << blk.size
+         << "/" << d.s_max() << " T=" << blk.pins << "/" << d.t_max();
+      fail(os.str());
+    }
+    if (blk.nodes == 0) {
+      std::ostringstream os;
+      os << "block " << b << " is empty";
+      fail(os.str());
+    }
+  }
+
+  report.ok = report.errors.empty();
+  return report;
+}
+
+}  // namespace fpart

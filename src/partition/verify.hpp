@@ -1,0 +1,48 @@
+// Independent partition verification.
+//
+// Recomputes every per-block quantity straight from an assignment vector
+// — deliberately sharing no code with the incremental Partition class —
+// and checks device feasibility. Used by tests as an oracle and by
+// downstream users to validate results before committing to a board
+// design.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "device/device.hpp"
+#include "hypergraph/hypergraph.hpp"
+
+namespace fpart {
+
+struct VerifiedBlock {
+  std::uint64_t size = 0;
+  std::uint64_t pins = 0;
+  std::uint64_t ext = 0;
+  std::uint32_t nodes = 0;
+  bool feasible = false;
+};
+
+struct VerifyReport {
+  bool ok = false;
+  /// Human-readable violation descriptions (empty iff ok).
+  std::vector<std::string> errors;
+  /// Recomputed stats per block.
+  std::vector<VerifiedBlock> blocks;
+  std::uint64_t cut = 0;
+
+  /// Convenience: "ok" or the first error.
+  std::string summary() const;
+};
+
+/// Verifies that `assignment` (one entry per node of `h`; terminals must
+/// be kInvalidBlock) is a complete k-way partition where every block
+/// meets `d`. Structural errors (unassigned cells, out-of-range block
+/// ids, assigned terminals) are reported alongside capacity violations.
+VerifyReport verify_partition(const Hypergraph& h, const Device& d,
+                              std::span<const BlockId> assignment,
+                              std::uint32_t k);
+
+}  // namespace fpart

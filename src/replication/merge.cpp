@@ -1,0 +1,72 @@
+#include "replication/merge.hpp"
+
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace fpart {
+
+namespace {
+
+/// Pin demand of the union of blocks a and b, computed without mutating
+/// the partition: a net demands a pin on the union iff it touches a or b
+/// and (has pads or has interior pins outside a∪b).
+std::uint64_t union_pins(const Partition& p, BlockId a, BlockId b) {
+  const Hypergraph& h = p.graph();
+  std::uint64_t pins = 0;
+  for (NetId e = 0; e < h.num_nets(); ++e) {
+    const std::uint32_t inside = p.net_pins_in(e, a) + p.net_pins_in(e, b);
+    if (inside == 0) continue;
+    if (h.net_terminal_count(e) > 0 ||
+        inside < h.net_interior_pin_count(e)) {
+      ++pins;
+    }
+  }
+  return pins;
+}
+
+/// Cut nets running between a and b (the saving a merge realizes).
+std::uint64_t pair_cut(const Partition& p, BlockId a, BlockId b) {
+  const Hypergraph& h = p.graph();
+  std::uint64_t cut = 0;
+  for (NetId e = 0; e < h.num_nets(); ++e) {
+    if (p.net_pins_in(e, a) > 0 && p.net_pins_in(e, b) > 0) ++cut;
+  }
+  return cut;
+}
+
+}  // namespace
+
+MergeStats merge_feasible_blocks(Partition& p, const Device& d) {
+  MergeStats stats;
+  stats.k_before = p.num_blocks();
+
+  while (p.num_blocks() >= 2) {
+    BlockId best_a = kInvalidBlock;
+    BlockId best_b = kInvalidBlock;
+    std::uint64_t best_cut = 0;
+    for (BlockId a = 0; a < p.num_blocks(); ++a) {
+      for (BlockId b = a + 1; b < p.num_blocks(); ++b) {
+        if (!d.size_ok(p.block_size(a) + p.block_size(b))) continue;
+        if (!d.pins_ok(union_pins(p, a, b))) continue;
+        const std::uint64_t cut = pair_cut(p, a, b);
+        if (best_a == kInvalidBlock || cut > best_cut) {
+          best_a = a;
+          best_b = b;
+          best_cut = cut;
+        }
+      }
+    }
+    if (best_a == kInvalidBlock) break;
+    // Merge b into a, then drop the emptied block.
+    for (NodeId v : p.block_nodes(best_b)) p.move(v, best_a);
+    p.swap_blocks(best_b, p.num_blocks() - 1);
+    p.remove_last_block();
+    ++stats.merges;
+  }
+
+  stats.k_after = p.num_blocks();
+  return stats;
+}
+
+}  // namespace fpart

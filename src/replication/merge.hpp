@@ -1,0 +1,29 @@
+// Block-merging post-optimization.
+//
+// After a multi-way partition is found, pairs of under-filled blocks can
+// sometimes be fused into one device (their union may even need FEWER
+// pins, since nets running between them become internal). This pass
+// greedily merges feasible pairs until none remain — a cheap
+// re-optimization in the spirit of the "o" step of PROP's (p,o,p) flow,
+// and a direct way to claw back devices from any peeling method.
+#pragma once
+
+#include "core/result.hpp"
+#include "device/device.hpp"
+#include "hypergraph/hypergraph.hpp"
+#include "partition/partition.hpp"
+
+namespace fpart {
+
+struct MergeStats {
+  std::uint32_t merges = 0;
+  std::uint32_t k_before = 0;
+  std::uint32_t k_after = 0;
+};
+
+/// Greedily merges block pairs of `p` whose union still meets `d`
+/// (preferring the pair with the most cut nets between them, i.e. the
+/// largest pin saving). Mutates `p` in place.
+MergeStats merge_feasible_blocks(Partition& p, const Device& d);
+
+}  // namespace fpart

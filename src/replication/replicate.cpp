@@ -1,0 +1,260 @@
+#include "replication/replicate.hpp"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace fpart {
+
+namespace {
+
+/// Presence-aware pin accounting over one assignment + replica overlay.
+class ReplicationState {
+ public:
+  ReplicationState(const Hypergraph& h, const Device& d,
+                   std::span<const BlockId> assignment, std::uint32_t k,
+                   const ReplicationConfig& config)
+      : h_(h), d_(d), assignment_(assignment), k_(k) {
+    FPART_REQUIRE(config.block_size_budget.empty() ||
+                      config.block_size_budget.size() == k,
+                  "per-block size budgets must cover every block");
+    FPART_REQUIRE(config.block_pin_budget.empty() ||
+                      config.block_pin_budget.size() == k,
+                  "per-block pin budgets must cover every block");
+    size_budget_.assign(k, d.s_max_cells());
+    pin_budget_.assign(k, d.t_max());
+    for (std::size_t b = 0; b < config.block_size_budget.size(); ++b) {
+      size_budget_[b] = config.block_size_budget[b];
+    }
+    for (std::size_t b = 0; b < config.block_pin_budget.size(); ++b) {
+      pin_budget_[b] = config.block_pin_budget[b];
+    }
+    present_.assign(k, std::vector<std::uint8_t>(h.num_nodes(), 0));
+    replica_blocks_.assign(h.num_nodes(), {});
+    sizes_.assign(k, 0);
+    pins_.assign(k, 0);
+    for (NodeId v = 0; v < h.num_nodes(); ++v) {
+      if (h.is_terminal(v)) continue;
+      const BlockId b = assignment[v];
+      FPART_REQUIRE(b < k, "replication: invalid assignment");
+      present_[b][v] = 1;
+      sizes_[b] += h.node_size(v);
+    }
+    recompute_pins();
+  }
+
+  const Hypergraph& graph() const { return h_; }
+  std::uint32_t num_blocks() const { return k_; }
+  std::uint64_t block_pins(BlockId b) const { return pins_[b]; }
+  std::uint64_t block_size(BlockId b) const { return sizes_[b]; }
+  std::uint64_t total_pins() const {
+    std::uint64_t sum = 0;
+    for (auto p : pins_) sum += p;
+    return sum;
+  }
+  bool is_replica(BlockId b, NodeId v) const {
+    return present_[b][v] && assignment_[v] != b;
+  }
+  bool present(BlockId b, NodeId v) const { return present_[b][v] != 0; }
+
+  NodeId driver_of(NetId e) const { return h_.interior_pins(e)[0]; }
+
+  /// Blocks where any pin of `span` is present (assignment + replicas).
+  void collect_present_blocks(std::span<const NodeId> nodes,
+                              std::vector<std::uint8_t>& out) const {
+    for (NodeId v : nodes) {
+      out[assignment_[v]] = 1;
+      for (BlockId b : replica_blocks_[v]) out[b] = 1;
+    }
+  }
+
+  /// Adds net e's pin contributions (per the replication pin model) to
+  /// `acc` with the given sign.
+  void accumulate_net(NetId e, std::vector<std::int64_t>& acc,
+                      std::int64_t sign) const {
+    const auto pins = h_.interior_pins(e);
+    if (pins.empty()) return;
+    if (h_.net_terminal_count(e) > 0) {
+      // Pad nets: one pin per present block.
+      for (BlockId b = 0; b < k_; ++b) {
+        for (NodeId v : pins) {
+          if (present_[b][v]) {
+            acc[b] += sign;
+            break;
+          }
+        }
+      }
+      return;
+    }
+    if (pins.size() < 2) return;
+    const NodeId driver = pins[0];
+    const BlockId home = assignment_[driver];
+    bool any_importer = false;
+    for (BlockId b = 0; b < k_; ++b) {
+      if (present_[b][driver]) continue;
+      bool sink_here = false;
+      for (std::size_t i = 1; i < pins.size(); ++i) {
+        if (present_[b][pins[i]]) {
+          sink_here = true;
+          break;
+        }
+      }
+      if (sink_here) {
+        acc[b] += sign;  // import pin
+        any_importer = true;
+      }
+    }
+    if (any_importer) acc[home] += sign;  // one export pin at the home
+  }
+
+  void recompute_pins() {
+    std::vector<std::int64_t> acc(k_, 0);
+    for (NetId e = 0; e < h_.num_nets(); ++e) accumulate_net(e, acc, +1);
+    for (BlockId b = 0; b < k_; ++b) {
+      pins_[b] = static_cast<std::uint64_t>(acc[b]);
+    }
+  }
+
+  struct GainEval {
+    std::int64_t total_gain = 0;  // pins removed minus pins added
+    bool feasible = false;        // target block stays within the device
+    std::vector<std::int64_t> delta;  // per-block pin delta (after-before)
+  };
+
+  /// Evaluates replicating `driver` into block `b` (must not be present).
+  GainEval evaluate(NodeId driver, BlockId b) {
+    GainEval eval;
+    eval.delta.assign(k_, 0);
+    if (sizes_[b] + h_.node_size(driver) > size_budget_[b]) return eval;
+
+    std::vector<std::int64_t> before(k_, 0);
+    std::vector<std::int64_t> after(k_, 0);
+    for (NetId e : h_.nets(driver)) accumulate_net(e, before, +1);
+    present_[b][driver] = 1;
+    for (NetId e : h_.nets(driver)) accumulate_net(e, after, +1);
+    present_[b][driver] = 0;
+
+    eval.feasible = true;
+    for (BlockId blk = 0; blk < k_; ++blk) {
+      eval.delta[blk] = after[blk] - before[blk];
+      eval.total_gain -= eval.delta[blk];
+      const std::int64_t new_pins =
+          static_cast<std::int64_t>(pins_[blk]) + eval.delta[blk];
+      if (eval.delta[blk] > 0 &&
+          static_cast<std::uint64_t>(new_pins) > pin_budget_[blk]) {
+        eval.feasible = false;
+      }
+    }
+    return eval;
+  }
+
+  void apply(NodeId driver, BlockId b, const GainEval& eval) {
+    FPART_ASSERT(!present_[b][driver]);
+    present_[b][driver] = 1;
+    replica_blocks_[driver].push_back(b);
+    sizes_[b] += h_.node_size(driver);
+    for (BlockId blk = 0; blk < k_; ++blk) {
+      pins_[blk] = static_cast<std::uint64_t>(
+          static_cast<std::int64_t>(pins_[blk]) + eval.delta[blk]);
+    }
+  }
+
+  /// All (driver, importing block) pairs under the current overlay.
+  std::vector<std::pair<NodeId, BlockId>> candidates() const {
+    std::set<std::pair<NodeId, BlockId>> out;
+    std::vector<std::uint8_t> sink_blocks(k_, 0);
+    for (NetId e = 0; e < h_.num_nets(); ++e) {
+      if (h_.net_terminal_count(e) > 0) continue;  // pads pin regardless
+      const auto pins = h_.interior_pins(e);
+      if (pins.size() < 2) continue;
+      const NodeId driver = pins[0];
+      std::fill(sink_blocks.begin(), sink_blocks.end(), 0);
+      collect_present_blocks(pins.subspan(1), sink_blocks);
+      for (BlockId b = 0; b < k_; ++b) {
+        if (sink_blocks[b] && !present_[b][driver]) {
+          out.emplace(driver, b);
+        }
+      }
+    }
+    return {out.begin(), out.end()};
+  }
+
+  std::vector<std::vector<std::uint8_t>> replica_bitmaps() const {
+    auto maps = present_;
+    for (NodeId v = 0; v < h_.num_nodes(); ++v) {
+      if (!h_.is_terminal(v)) maps[assignment_[v]][v] = 0;  // keep replicas only
+    }
+    return maps;
+  }
+
+  bool all_feasible() const {
+    for (BlockId b = 0; b < k_; ++b) {
+      if (sizes_[b] > size_budget_[b] || pins_[b] > pin_budget_[b]) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  const std::vector<std::uint64_t>& pins_vector() const { return pins_; }
+  const std::vector<std::uint64_t>& sizes_vector() const { return sizes_; }
+
+ private:
+  const Hypergraph& h_;
+  const Device& d_;
+  std::span<const BlockId> assignment_;
+  std::uint32_t k_;
+  std::vector<std::vector<std::uint8_t>> present_;  // [block][node]
+  std::vector<std::vector<BlockId>> replica_blocks_;
+  std::vector<std::uint64_t> sizes_;
+  std::vector<std::uint64_t> pins_;
+  std::vector<std::uint64_t> size_budget_;
+  std::vector<std::uint64_t> pin_budget_;
+};
+
+}  // namespace
+
+ReplicationResult replicate_for_pins(const Hypergraph& h, const Device& d,
+                                     std::span<const BlockId> assignment,
+                                     std::uint32_t k,
+                                     const ReplicationConfig& config) {
+  FPART_REQUIRE(k >= 1, "replication: k must be >= 1");
+  FPART_REQUIRE(assignment.size() == h.num_nodes(),
+                "replication: assignment size mismatch");
+  ReplicationState state(h, d, assignment, k, config);
+
+  ReplicationResult result;
+  result.pins_before = state.total_pins();
+
+  while (config.max_replicas == 0 || result.replicas < config.max_replicas) {
+    NodeId best_driver = kInvalidNode;
+    BlockId best_block = kInvalidBlock;
+    ReplicationState::GainEval best_eval;
+    for (const auto& [driver, block] : state.candidates()) {
+      auto eval = state.evaluate(driver, block);
+      if (!eval.feasible || eval.total_gain <= 0) continue;
+      if (best_driver == kInvalidNode ||
+          eval.total_gain > best_eval.total_gain) {
+        best_driver = driver;
+        best_block = block;
+        best_eval = std::move(eval);
+      }
+    }
+    if (best_driver == kInvalidNode) break;
+    state.apply(best_driver, best_block, best_eval);
+    ++result.replicas;
+  }
+
+  result.pins_after = state.total_pins();
+  result.block_pins = state.pins_vector();
+  result.block_sizes = state.sizes_vector();
+  result.replica_in_block = state.replica_bitmaps();
+  result.feasible = state.all_feasible();
+  FPART_ASSERT_MSG(result.pins_after <= result.pins_before,
+                   "replication must never increase total pins");
+  return result;
+}
+
+}  // namespace fpart

@@ -1,0 +1,66 @@
+// Logic replication for I/O pin reduction (the technique of r+p.0 [11]
+// and PROP [12], which FPART deliberately avoids — reproduced here as an
+// optional post-pass so the trade-off can be measured).
+//
+// Direction convention: structural netlists carry no signal direction
+// (exactly the limitation the paper cites: "the functional replication
+// possibility depends on whether such functional information is
+// available in the used input format"). We adopt the standard structural
+// convention that the FIRST interior pin of a net is its driver and the
+// remaining pins are sinks.
+//
+// Pin model with replication, for a net e without pads:
+//   * a block holding a sink of e but no copy of e's driver IMPORTS the
+//     signal: +1 pin;
+//   * if at least one block imports, the driver's home block EXPORTS:
+//     +1 pin (one export serves all importers — board-level fanout);
+//   * blocks holding a driver copy serve their local sinks pin-free.
+// Nets with pads keep a pin in every block they touch (pad connection).
+//
+// The optimizer greedily replicates driver cells into importing blocks
+// while total pin demand strictly drops and the target block stays
+// device-feasible.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "device/device.hpp"
+#include "hypergraph/hypergraph.hpp"
+
+namespace fpart {
+
+struct ReplicationConfig {
+  /// Cap on accepted replicas (0 = until no gain remains).
+  std::uint32_t max_replicas = 0;
+  /// Per-block budget overrides for heterogeneous boards where blocks
+  /// sit on different devices (empty = use the Device passed to
+  /// replicate_for_pins for every block). Sizes in technology cells.
+  std::vector<std::uint64_t> block_size_budget;
+  std::vector<std::uint64_t> block_pin_budget;
+};
+
+struct ReplicationResult {
+  /// replica_in_block[b][v] == 1 iff cell v was copied into block b
+  /// (in addition to its home block).
+  std::vector<std::vector<std::uint8_t>> replica_in_block;
+  std::vector<std::uint64_t> block_pins;   // after replication
+  std::vector<std::uint64_t> block_sizes;  // including replicas
+  std::uint32_t replicas = 0;
+  std::uint64_t pins_before = 0;
+  std::uint64_t pins_after = 0;
+  /// All blocks still meet the device after replication (always true on
+  /// return — infeasible replications are never accepted).
+  bool feasible = true;
+};
+
+/// Runs the greedy replication pass on a feasible `k`-way assignment of
+/// `h` (terminals kInvalidBlock). The input assignment itself is not
+/// modified; replicas are reported on top of it.
+ReplicationResult replicate_for_pins(const Hypergraph& h, const Device& d,
+                                     std::span<const BlockId> assignment,
+                                     std::uint32_t k,
+                                     const ReplicationConfig& config = {});
+
+}  // namespace fpart

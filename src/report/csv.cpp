@@ -1,0 +1,16 @@
+#include "report/csv.hpp"
+
+#include <fstream>
+
+#include "util/assert.hpp"
+
+namespace fpart {
+
+void write_csv_file(const std::string& path, const Table& table) {
+  std::ofstream os(path);
+  FPART_REQUIRE(os.good(), "cannot open for writing: " + path);
+  os << table.to_csv();
+  FPART_REQUIRE(os.good(), "write failed: " + path);
+}
+
+}  // namespace fpart

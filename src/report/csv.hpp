@@ -1,0 +1,13 @@
+// File output helpers for bench results.
+#pragma once
+
+#include <string>
+
+#include "report/table.hpp"
+
+namespace fpart {
+
+/// Writes `table` as CSV to `path`. Throws PreconditionError on IO error.
+void write_csv_file(const std::string& path, const Table& table);
+
+}  // namespace fpart

@@ -1,0 +1,151 @@
+#include "report/table.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace fpart {
+
+namespace {
+
+bool looks_numeric(const std::string& s) {
+  if (s.empty() || s == "-") return true;  // "-" = absent number
+  std::size_t i = (s[0] == '-' || s[0] == '+') ? 1 : 0;
+  if (i == s.size()) return false;
+  bool digit_seen = false;
+  for (; i < s.size(); ++i) {
+    if (std::isdigit(static_cast<unsigned char>(s[i]))) {
+      digit_seen = true;
+    } else if (s[i] != '.' && s[i] != '*') {  // '*' marks measured columns
+      return false;
+    }
+  }
+  return digit_seen;
+}
+
+std::string csv_escape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  FPART_REQUIRE(!headers_.empty(), "table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  FPART_REQUIRE(cells.size() == headers_.size(),
+                "row width does not match header");
+  rows_.push_back(Row{false, std::move(cells)});
+}
+
+void Table::add_separator() { rows_.push_back(Row{true, {}}); }
+
+std::string Table::to_ascii() const {
+  const std::size_t n = headers_.size();
+  std::vector<std::size_t> width(n);
+  std::vector<bool> numeric(n, true);
+  for (std::size_t c = 0; c < n; ++c) width[c] = headers_[c].size();
+  for (const Row& row : rows_) {
+    if (row.separator) continue;
+    for (std::size_t c = 0; c < n; ++c) {
+      width[c] = std::max(width[c], row.cells[c].size());
+      if (!looks_numeric(row.cells[c])) numeric[c] = false;
+    }
+  }
+
+  std::ostringstream os;
+  auto emit_cells = [&](const std::vector<std::string>& cells,
+                        bool force_left) {
+    for (std::size_t c = 0; c < n; ++c) {
+      os << (c == 0 ? "| " : " ");
+      const std::string& s = cells[c];
+      const std::size_t pad = width[c] - s.size();
+      if (numeric[c] && !force_left) {
+        os << std::string(pad, ' ') << s;
+      } else {
+        os << s << std::string(pad, ' ');
+      }
+      os << " |";
+    }
+    os << '\n';
+  };
+  auto emit_rule = [&] {
+    for (std::size_t c = 0; c < n; ++c) {
+      os << (c == 0 ? "+" : "") << std::string(width[c] + 2, '-') << '+';
+    }
+    os << '\n';
+  };
+
+  emit_rule();
+  emit_cells(headers_, /*force_left=*/true);
+  emit_rule();
+  for (const Row& row : rows_) {
+    if (row.separator) {
+      emit_rule();
+    } else {
+      emit_cells(row.cells, false);
+    }
+  }
+  emit_rule();
+  return os.str();
+}
+
+std::string Table::to_markdown() const {
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    os << '|';
+    for (const auto& cell : cells) os << ' ' << cell << " |";
+    os << '\n';
+  };
+  emit(headers_);
+  os << '|';
+  for (std::size_t c = 0; c < headers_.size(); ++c) os << "---|";
+  os << '\n';
+  for (const Row& row : rows_) {
+    if (!row.separator) emit(row.cells);
+  }
+  return os.str();
+}
+
+std::string Table::to_csv() const {
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c != 0) os << ',';
+      os << csv_escape(cells[c]);
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  for (const Row& row : rows_) {
+    if (!row.separator) emit(row.cells);
+  }
+  return os.str();
+}
+
+std::string fmt_int(std::int64_t v) { return std::to_string(v); }
+
+std::string fmt_double(double v, int precision) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(precision);
+  os << v;
+  return os.str();
+}
+
+std::string fmt_opt_int(std::int64_t v, bool present) {
+  return present ? fmt_int(v) : "-";
+}
+
+}  // namespace fpart

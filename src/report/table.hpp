@@ -1,0 +1,50 @@
+// Plain-text table rendering for the benchmark harness (the bench
+// binaries print the paper's tables with measured columns alongside the
+// published reference numbers).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fpart {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  std::size_t num_columns() const { return headers_.size(); }
+  std::size_t num_rows() const { return rows_.size(); }
+
+  /// Adds a data row; must have exactly num_columns() cells.
+  void add_row(std::vector<std::string> cells);
+
+  /// Adds a horizontal separator line (rendered in ASCII output only).
+  void add_separator();
+
+  /// Fixed-width ASCII rendering with column alignment (numbers
+  /// right-aligned, text left-aligned, detected per column).
+  std::string to_ascii() const;
+
+  /// GitHub-flavored markdown rendering.
+  std::string to_markdown() const;
+
+  /// RFC-4180-ish CSV rendering (quotes cells containing , " or \n).
+  std::string to_csv() const;
+
+ private:
+  struct Row {
+    bool separator = false;
+    std::vector<std::string> cells;
+  };
+  std::vector<std::string> headers_;
+  std::vector<Row> rows_;
+};
+
+/// Formatting helpers shared by the bench drivers.
+std::string fmt_int(std::int64_t v);
+std::string fmt_double(double v, int precision);
+/// "-" for absent published numbers (matches the paper's tables).
+std::string fmt_opt_int(std::int64_t v, bool present);
+
+}  // namespace fpart

@@ -1,0 +1,33 @@
+#include "sanchis/move_region.hpp"
+
+#include <limits>
+
+#include "util/assert.hpp"
+
+namespace fpart {
+
+MoveRegion make_move_region(const Partition& p, const Device& d,
+                            BlockId remainder, bool two_block_pass,
+                            bool allow_size_violations,
+                            const MoveRegionParams& params) {
+  FPART_REQUIRE(remainder < p.num_blocks(), "remainder out of range");
+  const std::uint32_t k = p.num_blocks();
+  MoveRegion region;
+  region.lo.assign(k, 0.0);
+  region.hi.assign(k, 0.0);
+  const double eps_min =
+      two_block_pass ? params.eps_min_two_block : params.eps_min_multi;
+  for (BlockId b = 0; b < k; ++b) {
+    if (b == remainder) {
+      region.lo[b] = 0.0;
+      region.hi[b] = std::numeric_limits<double>::infinity();
+    } else {
+      region.lo[b] = eps_min * d.s_max();
+      region.hi[b] =
+          allow_size_violations ? params.eps_max * d.s_max() : d.s_max();
+    }
+  }
+  return region;
+}
+
+}  // namespace fpart

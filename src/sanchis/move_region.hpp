@@ -1,0 +1,56 @@
+// Feasible-move regions: per-block size windows for the multiway refiner
+// (paper §3.5, Figure 3).
+//
+// The paper bounds every non-remainder block's size to
+// [ε_min · S_MAX, ε_max · S_MAX] during iterative improvement, with no
+// upper limit on the remainder and no I/O-pin limit anywhere. The bounds
+// differ between 2-block and multi-block passes — the 2-block lower bound
+// is much stricter (0.95 vs 0.30) because otherwise cells drain into the
+// remainder — and size-violating states (ε_max > 1) are tolerated only
+// while the block count is still below the lower bound M.
+//
+// Note on notation: the paper prints the coefficients as the multipliers
+// themselves (ε²_min = 0.95, ε*_min = 0.3, ε_max = 1.05), i.e. the window
+// is [ε_min · S_MAX, ε_max · S_MAX]; we keep that convention.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "device/device.hpp"
+#include "partition/partition.hpp"
+
+namespace fpart {
+
+struct MoveRegionParams {
+  double eps_min_two_block = 0.95;  // ε²_min
+  double eps_min_multi = 0.30;      // ε*_min
+  double eps_max = 1.05;            // ε*_max = ε²_max
+};
+
+/// Per-block size windows; indexed by block id. Blocks not involved in a
+/// pass keep windows too (they are simply never moved against).
+struct MoveRegion {
+  std::vector<double> lo;
+  std::vector<double> hi;
+
+  bool allows_leave(BlockId b, double size_after) const {
+    return size_after >= lo[b];
+  }
+  bool allows_enter(BlockId b, double size_after) const {
+    return size_after <= hi[b];
+  }
+};
+
+/// Builds the paper's move region for a refinement pass.
+///   * remainder: lo = 0, hi = +inf (ε^R_max = ∞);
+///   * other blocks: lo = ε_min · S_MAX (two-block or multi variant),
+///     hi = ε_max · S_MAX while `allow_size_violations` (k < M), else
+///     exactly S_MAX.
+MoveRegion make_move_region(const Partition& p, const Device& d,
+                            BlockId remainder, bool two_block_pass,
+                            bool allow_size_violations,
+                            const MoveRegionParams& params = {});
+
+}  // namespace fpart

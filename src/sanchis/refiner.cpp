@@ -1,0 +1,350 @@
+#include "sanchis/refiner.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "fm/gains.hpp"
+#include "fm/repair.hpp"
+#include "util/assert.hpp"
+
+namespace fpart {
+
+MultiwayRefiner::MultiwayRefiner(Partition& p, const Evaluator& eval,
+                                 BlockId remainder, RefinerConfig config)
+    : p_(p), eval_(eval), remainder_(remainder), config_(config) {}
+
+bool MultiwayRefiner::move_legal(NodeId v, BlockId from, BlockId to,
+                                 const MoveRegion& region) const {
+  const double s = static_cast<double>(p_.graph().node_size(v));
+  return region.allows_leave(from,
+                             static_cast<double>(p_.block_size(from)) - s) &&
+         region.allows_enter(to,
+                             static_cast<double>(p_.block_size(to)) + s);
+}
+
+void MultiwayRefiner::compute_gains(NodeId v, std::vector<int>& out) const {
+  const Hypergraph& h = p_.graph();
+  const BlockId from = p_.block_of(v);
+  const std::size_t k = active_.size();
+  out.assign(k, 0);
+  if (config_.gain_mode == GainMode::kPinCount) {
+    // Future-work gain: the exact reduction in total I/O pin demand.
+    // Only the source and destination blocks' demands change, so
+    // gain = −(ΔT_from + ΔT_to).
+    const int delta_from = pin_delta_if_removed(p_, v, from);
+    for (std::size_t t = 0; t < k; ++t) {
+      const BlockId b = active_[t];
+      if (b == from) continue;
+      out[t] = -(delta_from + pin_delta_if_added(p_, v, b));
+    }
+    return;
+  }
+  int loss = 0;
+  for (NetId e : h.nets(v)) {
+    const std::uint32_t total = h.net_interior_pin_count(e);
+    if (total < 2) continue;
+    const std::uint32_t phi_f = p_.net_pins_in(e, from);
+    if (phi_f == total) {
+      ++loss;
+      continue;
+    }
+    if (phi_f == 1) {
+      // At most one block can hold the remaining total-1 pins.
+      for (std::size_t t = 0; t < k; ++t) {
+        const BlockId b = active_[t];
+        if (b == from) continue;
+        if (p_.net_pins_in(e, b) == total - 1) {
+          ++out[t];
+          break;
+        }
+      }
+    }
+  }
+  if (loss != 0) {
+    for (int& g : out) g -= loss;
+  }
+}
+
+void MultiwayRefiner::init_buckets() {
+  const Hypergraph& h = p_.graph();
+  const std::size_t k = active_.size();
+  for (auto& b : buckets_) b.clear();
+  std::fill(in_buckets_.begin(), in_buckets_.end(), 0);
+
+  std::vector<int> gains;
+  for (NodeId v = 0; v < h.num_nodes(); ++v) {
+    if (h.is_terminal(v)) continue;
+    const std::uint32_t f_idx = active_index_[p_.block_of(v)];
+    if (f_idx == kNone) continue;
+    compute_gains(v, gains);
+    for (std::size_t t = 0; t < k; ++t) {
+      if (t == f_idx) continue;
+      bucket(f_idx, t).insert(v, gains[t]);
+    }
+    in_buckets_[v] = 1;
+  }
+}
+
+void MultiwayRefiner::refresh_node(NodeId v) {
+  if (!in_buckets_[v]) return;
+  const std::size_t k = active_.size();
+  const std::uint32_t f_idx = active_index_[p_.block_of(v)];
+  FPART_DASSERT(f_idx != kNone);
+  std::vector<int> gains;
+  compute_gains(v, gains);
+  for (std::size_t t = 0; t < k; ++t) {
+    if (t == f_idx) continue;
+    bucket(f_idx, t).update(v, gains[t]);
+  }
+}
+
+MultiwayRefiner::Candidate MultiwayRefiner::select_move(
+    const MoveRegion& region) {
+  const std::size_t k = active_.size();
+  const double min_size =
+      1.0;  // interior nodes have size >= 1 by construction
+
+  // Per-direction champions (best legal candidate).
+  std::vector<Candidate> champions;
+  int max_gain = std::numeric_limits<int>::min();
+  for (std::size_t f = 0; f < k; ++f) {
+    const BlockId from = active_[f];
+    // Quick reject: no cell of any size can leave `from`.
+    if (static_cast<double>(p_.block_size(from)) - min_size <
+        region.lo[from]) {
+      continue;
+    }
+    for (std::size_t t = 0; t < k; ++t) {
+      if (t == f) continue;
+      const BlockId to = active_[t];
+      if (static_cast<double>(p_.block_size(to)) + min_size >
+          region.hi[to]) {
+        continue;  // nothing can enter `to`
+      }
+      GainBucket& bk = bucket(f, t);
+      if (bk.empty()) continue;
+      const auto top = bk.best_gain();
+      if (!top || *top < max_gain) continue;  // cannot beat current best
+      const auto id = bk.find_first(
+          [&](std::uint32_t v, int) {
+            return move_legal(static_cast<NodeId>(v), from, to, region);
+          },
+          config_.legality_scan_limit);
+      if (!id) continue;
+      Candidate c;
+      c.node = static_cast<NodeId>(*id);
+      c.from_idx = f;
+      c.to_idx = t;
+      c.gain = bk.gain(*id);
+      if (c.gain > max_gain) {
+        max_gain = c.gain;
+        champions.clear();
+      }
+      if (c.gain == max_gain) champions.push_back(c);
+    }
+  }
+  if (champions.empty()) return Candidate{};
+  if (champions.size() == 1 && !config_.use_level2_gains) {
+    return champions.front();
+  }
+
+  // Tie-break per §3.7: prefer FROM-remainder, then level-2 gain, then
+  // size balance MAX(S_FROM − S_TO); finally lowest direction index for
+  // determinism. Within one direction, equal-gain entries are scanned
+  // (bounded) for the best level-2 gain.
+  Candidate best;
+  bool best_from_rem = false;
+  int best_g2 = std::numeric_limits<int>::min();
+  double best_balance = -std::numeric_limits<double>::infinity();
+  for (Candidate& c : champions) {
+    const BlockId from = active_[c.from_idx];
+    const BlockId to = active_[c.to_idx];
+    int g2 = std::numeric_limits<int>::min();
+    NodeId pick = c.node;
+    if (config_.use_level2_gains) {
+      std::size_t scanned = 0;
+      bucket(c.from_idx, c.to_idx)
+          .for_each_at_gain(c.gain, [&](std::uint32_t v) {
+            if (scanned++ >= config_.tie_scan_limit) return true;
+            if (!move_legal(static_cast<NodeId>(v), from, to, region)) {
+              return false;
+            }
+            const int g = move_gain_level2(p_, static_cast<NodeId>(v), to);
+            if (g > g2) {
+              g2 = g;
+              pick = static_cast<NodeId>(v);
+            }
+            return false;
+          });
+    }
+    c.node = pick;
+    const bool from_rem =
+        config_.prefer_moves_from_remainder && from == remainder_;
+    const double balance = static_cast<double>(p_.block_size(from)) -
+                           static_cast<double>(p_.block_size(to));
+    bool better = false;
+    if (!best.valid()) {
+      better = true;
+    } else if (from_rem != best_from_rem) {
+      better = from_rem;
+    } else if (g2 != best_g2) {
+      better = g2 > best_g2;
+    } else if (balance != best_balance) {
+      better = balance > best_balance;
+    }
+    if (better) {
+      best = c;
+      best_from_rem = from_rem;
+      best_g2 = g2;
+      best_balance = balance;
+    }
+  }
+  return best;
+}
+
+bool MultiwayRefiner::pass(const MoveRegion& region, bool collect_stacks,
+                           RefineStats* stats) {
+  const Hypergraph& h = p_.graph();
+  const SolutionEval start = eval_.evaluate(p_, remainder_);
+  SolutionEval best = start;
+  std::size_t best_len = 0;
+
+  init_buckets();
+  std::vector<std::pair<NodeId, BlockId>> log;
+  std::uint32_t moves_since_best = 0;
+
+  while (true) {
+    if (config_.max_moves_per_pass != 0 &&
+        log.size() >= config_.max_moves_per_pass) {
+      break;
+    }
+    const Candidate c = select_move(region);
+    if (!c.valid()) break;
+    const NodeId v = c.node;
+    const BlockId from = active_[c.from_idx];
+    const BlockId to = active_[c.to_idx];
+
+    for (std::size_t t = 0; t < active_.size(); ++t) {
+      if (t != c.from_idx) bucket(c.from_idx, t).remove(v);
+    }
+    in_buckets_[v] = 0;  // locked for the rest of the pass
+    p_.move(v, to);
+    log.emplace_back(v, from);
+    if (stats != nullptr) ++stats->moves;
+
+    // Refresh gains of active, unlocked cells sharing a net with v.
+    ++epoch_;
+    for (NetId e : h.nets(v)) {
+      for (NodeId w : h.interior_pins(e)) {
+        if (w == v || node_epoch_[w] == epoch_) continue;
+        node_epoch_[w] = epoch_;
+        refresh_node(w);
+      }
+    }
+
+    const SolutionEval cur = eval_.evaluate(p_, remainder_);
+    if (collect_stacks && config_.stack_depth > 0 &&
+        cur.feasible_blocks + 2 <= cur.num_blocks &&
+        infeasible_stack_.would_accept(cur)) {
+      infeasible_stack_.offer(cur, p_);
+    }
+    if (cur.better_than(best)) {
+      best = cur;
+      best_len = log.size();
+      moves_since_best = 0;
+    } else {
+      ++moves_since_best;
+      // §5 future work: cut the pass short when the trajectory keeps
+      // drifting away from the feasible region.
+      if (config_.infeasible_stop_window != 0 &&
+          moves_since_best >= config_.infeasible_stop_window &&
+          cur.feasible_blocks < cur.num_blocks) {
+        break;
+      }
+    }
+  }
+
+  for (std::size_t i = log.size(); i > best_len; --i) {
+    p_.move(log[i - 1].first, log[i - 1].second);
+  }
+
+  if (collect_stacks && config_.stack_depth > 0 &&
+      best.feasible_blocks + 1 >= best.num_blocks) {
+    semi_stack_.offer(best, p_);
+  }
+  if (best.better_than(best_eval_)) {
+    best_eval_ = best;
+    best_snapshot_ = p_.snapshot();
+    if (stats != nullptr) stats->improved = true;
+  }
+  return best.better_than(start);
+}
+
+void MultiwayRefiner::run_series(const MoveRegion& region,
+                                 bool collect_stacks, RefineStats* stats) {
+  for (int i = 0; i < config_.max_passes; ++i) {
+    if (stats != nullptr) ++stats->passes;
+    if (!pass(region, collect_stacks, stats)) break;
+  }
+}
+
+SolutionEval MultiwayRefiner::improve(std::span<const BlockId> blocks,
+                                      const MoveRegion& region,
+                                      RefineStats* stats) {
+  FPART_REQUIRE(blocks.size() >= 2, "improve needs at least two blocks");
+  FPART_REQUIRE(region.lo.size() == p_.num_blocks(),
+                "move region size mismatch");
+
+  active_.assign(blocks.begin(), blocks.end());
+  active_index_.assign(p_.num_blocks(), kNone);
+  for (std::size_t i = 0; i < active_.size(); ++i) {
+    FPART_REQUIRE(active_[i] < p_.num_blocks(), "active block out of range");
+    FPART_REQUIRE(active_index_[active_[i]] == kNone,
+                  "duplicate active block");
+    active_index_[active_[i]] = static_cast<std::uint32_t>(i);
+  }
+
+  const Hypergraph& h = p_.graph();
+  const std::size_t k = active_.size();
+  // Pin-count gains can reach ±2·degree (both endpoints change demand).
+  const int max_gain = 2 * static_cast<int>(h.max_node_degree());
+  buckets_.clear();
+  buckets_.reserve(k * k);
+  for (std::size_t f = 0; f < k; ++f) {
+    for (std::size_t t = 0; t < k; ++t) {
+      if (f == t) {
+        buckets_.emplace_back(0, 0);  // unused diagonal placeholder
+      } else {
+        buckets_.emplace_back(h.num_nodes(), max_gain);
+      }
+    }
+  }
+  in_buckets_.assign(h.num_nodes(), 0);
+  node_epoch_.assign(h.num_nodes(), 0);
+  epoch_ = 0;
+
+  best_eval_ = eval_.evaluate(p_, remainder_);
+  best_snapshot_ = p_.snapshot();
+  semi_stack_ = SolutionStack(config_.stack_depth);
+  infeasible_stack_ = SolutionStack(config_.stack_depth);
+
+  run_series(region, /*collect_stacks=*/true, stats);
+
+  if (config_.stack_depth > 0) {
+    // The §3.6 restart phase: a series of passes from every stored
+    // solution, semi-feasible entries first, then infeasible ones.
+    std::vector<SolutionStack::Entry> starts = semi_stack_.entries();
+    const auto& inf = infeasible_stack_.entries();
+    starts.insert(starts.end(), inf.begin(), inf.end());
+    for (const auto& entry : starts) {
+      p_.restore(entry.snapshot);
+      if (stats != nullptr) ++stats->restarts;
+      run_series(region, /*collect_stacks=*/false, stats);
+    }
+  }
+
+  p_.restore(best_snapshot_);
+  return best_eval_;
+}
+
+}  // namespace fpart

@@ -1,0 +1,156 @@
+// Sanchis-style multiway iterative improvement [14], tuned per the paper.
+//
+// The refiner improves a designated subset of blocks ("active blocks")
+// of a partition in place — FPART's Improve(...) calls map 1:1 onto
+// improve() invocations with different subsets (the two lately created
+// blocks, all blocks, remainder + P_MIN_size, ...).
+//
+// Mechanics per pass:
+//   * one gain bucket per ordered pair of active blocks (k·(k−1)
+//     direction buckets), indexed by the exact level-1 cut-net gain;
+//   * candidate selection takes the best legal move across all
+//     directions; ties on gain are broken by (a) preferring moves FROM
+//     the remainder, (b) the 2-level lookahead gain, (c) the size
+//     balance MAX(S_FROM − S_TO) — the §3.7 rules;
+//   * legality = the feasible-move region (move_region.hpp); I/O pin
+//     violations are never constrained;
+//   * each cell is locked after its move; after the pass the move tail
+//     beyond the lexicographically best prefix (evaluator.hpp) is rolled
+//     back.
+//
+// Across passes, two depth-D_stack solution stacks (semi-feasible pass
+// results + infeasible mid-pass samples) are filled during the first
+// pass series, then a series of passes restarts from every entry and the
+// global best solution is restored — at most 2·D_stack+1 starting points
+// per improve() call, exactly the §3.6 budget.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "fm/gain_bucket.hpp"
+#include "partition/evaluator.hpp"
+#include "partition/partition.hpp"
+#include "sanchis/move_region.hpp"
+#include "sanchis/solution_stack.hpp"
+
+namespace fpart {
+
+/// Which quantity drives the move gain (the paper's §5 proposes pin
+/// gains as future work: "incorporate the real gain in I/O pin number of
+/// a block instead of the gain in number of cut nets").
+enum class GainMode {
+  kCutNets,   // classic FM/Sanchis: reduction in cut-net count
+  kPinCount,  // future-work: reduction in total I/O pin demand ΔT_f+ΔT_t
+};
+
+struct RefinerConfig {
+  /// Maximum FM passes per series (initial series and per stack restart).
+  int max_passes = 8;
+  /// Solution stack depth D_stack (0 disables the restart phase).
+  std::size_t stack_depth = 4;
+  /// Candidates inspected per direction when bucket heads are blocked by
+  /// the move region.
+  std::size_t legality_scan_limit = 64;
+  /// Equal-gain entries examined per direction for the level-2 /
+  /// balance tie-break.
+  std::size_t tie_scan_limit = 16;
+  /// §3.7: prefer moves FROM the remainder among equal-gain candidates.
+  bool prefer_moves_from_remainder = true;
+  /// Use the 2-level lookahead gain in tie-breaks.
+  bool use_level2_gains = true;
+  /// Safety valve: hard cap on moves per pass (0 = no cap beyond the
+  /// one-move-per-cell lock discipline).
+  std::uint32_t max_moves_per_pass = 0;
+
+  /// Gain definition driving bucket order (paper future work §5).
+  GainMode gain_mode = GainMode::kCutNets;
+
+  /// Future-work early stop (§5): abort the pass once this many
+  /// consecutive moves failed to improve the pass best while the current
+  /// solution is not fully feasible ("moves farther away from the
+  /// feasible region"). 0 disables.
+  std::uint32_t infeasible_stop_window = 0;
+};
+
+struct RefineStats {
+  int passes = 0;
+  std::uint32_t moves = 0;
+  std::uint32_t restarts = 0;
+  bool improved = false;
+};
+
+class MultiwayRefiner {
+ public:
+  /// `p` and `eval` must outlive the refiner. `remainder` is the block
+  /// FPART treats as R_k (cost function context + move preference).
+  MultiwayRefiner(Partition& p, const Evaluator& eval, BlockId remainder,
+                  RefinerConfig config = {});
+
+  /// Improves the active blocks in place within `region`. Returns the
+  /// evaluation of the final (best found) solution. The partition is
+  /// never left worse than it started (lexicographically).
+  SolutionEval improve(std::span<const BlockId> blocks,
+                       const MoveRegion& region, RefineStats* stats = nullptr);
+
+  BlockId remainder() const { return remainder_; }
+  void set_remainder(BlockId r) { remainder_ = r; }
+
+ private:
+  struct Candidate {
+    NodeId node = kInvalidNode;
+    std::size_t from_idx = 0;
+    std::size_t to_idx = 0;
+    int gain = 0;
+    bool valid() const { return node != kInvalidNode; }
+  };
+
+  std::size_t dir_index(std::size_t f, std::size_t t) const {
+    return f * active_.size() + t;
+  }
+  GainBucket& bucket(std::size_t f, std::size_t t) {
+    return buckets_[dir_index(f, t)];
+  }
+
+  /// Runs one series of passes from the current state; updates the
+  /// global best (best_eval_/best_snapshot_) and optionally feeds the
+  /// stacks (phase 1 only).
+  void run_series(const MoveRegion& region, bool collect_stacks,
+                  RefineStats* stats);
+
+  /// One FM pass. Returns true if the pass improved on its start.
+  bool pass(const MoveRegion& region, bool collect_stacks,
+            RefineStats* stats);
+
+  void init_buckets();
+  Candidate select_move(const MoveRegion& region);
+  bool move_legal(NodeId v, BlockId from, BlockId to,
+                  const MoveRegion& region) const;
+  void compute_gains(NodeId v, std::vector<int>& out) const;
+  void refresh_node(NodeId v);
+
+  Partition& p_;
+  const Evaluator& eval_;
+  BlockId remainder_;
+  RefinerConfig config_;
+
+  // Per-improve() working state.
+  std::vector<BlockId> active_;              // active block ids
+  std::vector<std::uint32_t> active_index_;  // block id -> idx or kNone
+  std::vector<GainBucket> buckets_;
+  // A cell is "locked" for the rest of a pass exactly when it has been
+  // removed from the buckets: in_buckets_ is the single source of truth.
+  std::vector<std::uint8_t> in_buckets_;
+  std::vector<std::uint32_t> node_epoch_;  // dedupe per-move gain refreshes
+  std::uint32_t epoch_ = 0;
+
+  SolutionEval best_eval_;
+  Partition::Snapshot best_snapshot_;
+  SolutionStack semi_stack_{0};
+  SolutionStack infeasible_stack_{0};
+
+  static constexpr std::uint32_t kNone = ~0u;
+};
+
+}  // namespace fpart

@@ -1,0 +1,31 @@
+#include "sanchis/solution_stack.hpp"
+
+namespace fpart {
+
+namespace {
+bool equal_eval(const SolutionEval& a, const SolutionEval& b) {
+  return !a.better_than(b) && !b.better_than(a);
+}
+}  // namespace
+
+bool SolutionStack::would_accept(const SolutionEval& eval) const {
+  if (depth_ == 0) return false;
+  for (const Entry& e : entries_) {
+    if (equal_eval(e.eval, eval)) return false;  // duplicate
+  }
+  if (entries_.size() < depth_) return true;
+  return eval.better_than(entries_.back().eval);
+}
+
+bool SolutionStack::offer(const SolutionEval& eval, const Partition& p) {
+  if (!would_accept(eval)) return false;
+  // Ordered insert, best first.
+  std::size_t pos = entries_.size();
+  while (pos > 0 && eval.better_than(entries_[pos - 1].eval)) --pos;
+  entries_.insert(entries_.begin() + static_cast<std::ptrdiff_t>(pos),
+                  Entry{eval, p.snapshot()});
+  if (entries_.size() > depth_) entries_.pop_back();
+  return true;
+}
+
+}  // namespace fpart

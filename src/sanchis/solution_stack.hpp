@@ -1,0 +1,51 @@
+// Bounded best-solution stack (paper §3.6).
+//
+// Keeps at most `depth` snapshots ordered best-first by the lexicographic
+// solution evaluation. A candidate is compared against the head and tail:
+// rejected when the stack is full and it does not beat the tail, inserted
+// in order otherwise. Exact duplicates (equal evaluation) are dropped so
+// the restart series does not waste passes on identical starting points.
+//
+// FPART runs two such stacks in parallel: one of semi-feasible solutions
+// (pass results) and one of infeasible solutions sampled mid-pass; a
+// series of FM passes is then restarted from every entry.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "partition/evaluator.hpp"
+#include "partition/partition.hpp"
+
+namespace fpart {
+
+class SolutionStack {
+ public:
+  struct Entry {
+    SolutionEval eval;
+    Partition::Snapshot snapshot;
+  };
+
+  explicit SolutionStack(std::size_t depth) : depth_(depth) {}
+
+  std::size_t depth() const { return depth_; }
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+  const std::vector<Entry>& entries() const { return entries_; }
+
+  /// Offers a candidate. Returns true if it was inserted.
+  bool offer(const SolutionEval& eval, const Partition& p);
+
+  /// True iff a candidate with this eval would be inserted — callers use
+  /// this to skip the O(n) snapshot when the offer would be rejected.
+  bool would_accept(const SolutionEval& eval) const;
+
+  void clear() { entries_.clear(); }
+
+ private:
+  std::size_t depth_;
+  std::vector<Entry> entries_;  // best first
+};
+
+}  // namespace fpart

@@ -1,0 +1,295 @@
+#include "techmap/blif_io.hpp"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace fpart::techmap {
+
+namespace {
+
+// One logical BLIF line (continuations joined, comments stripped),
+// split into whitespace tokens.
+std::vector<std::vector<std::string>> tokenize(std::istream& is) {
+  std::vector<std::vector<std::string>> lines;
+  std::string raw;
+  std::string pending;
+  while (std::getline(is, raw)) {
+    if (auto hash = raw.find('#'); hash != std::string::npos) {
+      raw.erase(hash);
+    }
+    // Continuation: trailing backslash joins with the next line.
+    std::string chunk = raw;
+    while (!chunk.empty() &&
+           (chunk.back() == ' ' || chunk.back() == '\t' ||
+            chunk.back() == '\r')) {
+      chunk.pop_back();
+    }
+    const bool continued = !chunk.empty() && chunk.back() == '\\';
+    if (continued) chunk.pop_back();
+    pending += chunk;
+    pending += ' ';
+    if (continued) continue;
+
+    std::istringstream ls(pending);
+    std::vector<std::string> tokens;
+    std::string token;
+    while (ls >> token) tokens.push_back(token);
+    if (!tokens.empty()) lines.push_back(std::move(tokens));
+    pending.clear();
+  }
+  FPART_REQUIRE(pending.find_first_not_of(" \t") == std::string::npos,
+                "blif: dangling continuation at end of file");
+  return lines;
+}
+
+struct NamesRecord {
+  std::vector<std::string> inputs;
+  std::string output;
+  std::size_t cover_lines = 0;
+};
+
+struct LatchRecord {
+  std::string input;
+  std::string output;
+};
+
+}  // namespace
+
+GateNetlist read_blif(std::istream& is) {
+  const auto lines = tokenize(is);
+
+  std::vector<std::string> input_names;
+  std::vector<std::string> output_names;
+  std::vector<NamesRecord> names;
+  std::vector<LatchRecord> latches;
+
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const auto& t = lines[i];
+    const std::string& cmd = t[0];
+    if (cmd == ".model") {
+      continue;  // name ignored
+    } else if (cmd == ".inputs") {
+      input_names.insert(input_names.end(), t.begin() + 1, t.end());
+    } else if (cmd == ".outputs") {
+      output_names.insert(output_names.end(), t.begin() + 1, t.end());
+    } else if (cmd == ".names") {
+      FPART_REQUIRE(t.size() >= 2, "blif: .names needs an output signal");
+      NamesRecord rec;
+      rec.inputs.assign(t.begin() + 1, t.end() - 1);
+      rec.output = t.back();
+      // Consume the cover lines that follow (validated for width).
+      while (i + 1 < lines.size() && lines[i + 1][0][0] != '.') {
+        const auto& cover = lines[++i];
+        if (rec.inputs.empty()) {
+          FPART_REQUIRE(cover.size() == 1,
+                        "blif: constant cover must be a single value");
+        } else {
+          FPART_REQUIRE(cover.size() == 2,
+                        "blif: cover line must be '<pattern> <value>'");
+          FPART_REQUIRE(cover[0].size() == rec.inputs.size(),
+                        "blif: cover width does not match input count");
+        }
+        ++rec.cover_lines;
+      }
+      names.push_back(std::move(rec));
+    } else if (cmd == ".latch") {
+      FPART_REQUIRE(t.size() >= 3, "blif: .latch needs input and output");
+      latches.push_back(LatchRecord{t[1], t[2]});
+    } else if (cmd == ".end") {
+      break;
+    } else if (cmd[0] == '.') {
+      FPART_REQUIRE(false, "blif: unsupported construct " + cmd);
+    } else {
+      FPART_REQUIRE(false, "blif: stray cover line outside .names");
+    }
+  }
+
+  GateNetlist netlist;
+  std::map<std::string, GateId> signal;
+
+  for (const std::string& name : input_names) {
+    FPART_REQUIRE(!signal.count(name), "blif: duplicate signal " + name);
+    signal[name] = netlist.add_input(name);
+  }
+  for (const LatchRecord& latch : latches) {
+    FPART_REQUIRE(!signal.count(latch.output),
+                  "blif: duplicate signal " + latch.output);
+    signal[latch.output] = netlist.add_dff_placeholder(latch.output);
+  }
+  // Constants (.names with no inputs) act as sources.
+  for (const NamesRecord& rec : names) {
+    if (rec.inputs.empty()) {
+      FPART_REQUIRE(!signal.count(rec.output),
+                    "blif: duplicate signal " + rec.output);
+      signal[rec.output] = netlist.add_input("const:" + rec.output);
+    }
+  }
+
+  // Create .names gates in dependency order (worklist until settled).
+  std::vector<bool> done(names.size(), false);
+  bool progress = true;
+  std::size_t remaining = 0;
+  for (const NamesRecord& rec : names) {
+    if (!rec.inputs.empty()) ++remaining;
+  }
+  while (remaining > 0 && progress) {
+    progress = false;
+    for (std::size_t i = 0; i < names.size(); ++i) {
+      if (done[i] || names[i].inputs.empty()) continue;
+      bool ready = true;
+      for (const std::string& in : names[i].inputs) {
+        if (!signal.count(in)) {
+          ready = false;
+          break;
+        }
+      }
+      if (!ready) continue;
+      std::vector<GateId> fanins;
+      for (const std::string& in : names[i].inputs) {
+        fanins.push_back(signal.at(in));
+      }
+      FPART_REQUIRE(!signal.count(names[i].output),
+                    "blif: duplicate signal " + names[i].output);
+      signal[names[i].output] =
+          netlist.add_gate(GateType::kTable, fanins, names[i].output);
+      done[i] = true;
+      --remaining;
+      progress = true;
+    }
+  }
+  if (remaining > 0) {
+    // Name the first offender for the diagnostic.
+    std::string offender;
+    for (std::size_t i = 0; i < names.size() && offender.empty(); ++i) {
+      if (!done[i] && !names[i].inputs.empty()) offender = names[i].output;
+    }
+    FPART_REQUIRE(false,
+                  "blif: unresolved .names '" + offender +
+                      "' (undefined signal or combinational cycle)");
+  }
+
+  for (const LatchRecord& latch : latches) {
+    FPART_REQUIRE(signal.count(latch.input),
+                  "blif: latch input undefined: " + latch.input);
+    netlist.connect_dff(signal.at(latch.output), signal.at(latch.input));
+  }
+  for (const std::string& name : output_names) {
+    FPART_REQUIRE(signal.count(name),
+                  "blif: output undefined: " + name);
+    netlist.add_output(signal.at(name), name);
+  }
+
+  netlist.validate();
+  return netlist;
+}
+
+GateNetlist read_blif_file(const std::string& path) {
+  std::ifstream is(path);
+  FPART_REQUIRE(is.good(), "cannot open for reading: " + path);
+  return read_blif(is);
+}
+
+namespace {
+
+/// Stable unique signal names for writing.
+std::vector<std::string> signal_names(const GateNetlist& n) {
+  std::vector<std::string> out(n.num_gates());
+  std::map<std::string, int> used;
+  for (GateId g = 0; g < n.num_gates(); ++g) {
+    std::string base = n.gate(g).name;
+    if (base.empty()) base = "n" + std::to_string(g);
+    if (auto [it, fresh] = used.emplace(base, 1); !fresh) {
+      base += "_" + std::to_string(g);
+      ++it->second;
+    }
+    out[g] = base;
+  }
+  return out;
+}
+
+}  // namespace
+
+void write_blif(std::ostream& os, const GateNetlist& netlist,
+                const std::string& model_name) {
+  const auto sig = signal_names(netlist);
+  os << ".model " << model_name << '\n';
+
+  os << ".inputs";
+  for (GateId g : netlist.inputs()) os << ' ' << sig[g];
+  os << '\n';
+
+  os << ".outputs";
+  for (GateId o : netlist.outputs()) os << ' ' << sig[o];
+  os << '\n';
+
+  for (GateId q : netlist.dffs()) {
+    os << ".latch " << sig[netlist.fanins(q)[0]] << ' ' << sig[q]
+       << " re clk 2\n";
+  }
+
+  for (GateId g = 0; g < netlist.num_gates(); ++g) {
+    const GateType type = netlist.type(g);
+    if (!is_combinational(type)) continue;
+    const auto fanins = netlist.fanins(g);
+    os << ".names";
+    for (GateId f : fanins) os << ' ' << sig[f];
+    os << ' ' << sig[g] << '\n';
+    switch (type) {
+      case GateType::kAnd:
+        os << std::string(fanins.size(), '1') << " 1\n";
+        break;
+      case GateType::kOr:
+        for (std::size_t i = 0; i < fanins.size(); ++i) {
+          std::string pattern(fanins.size(), '-');
+          pattern[i] = '1';
+          os << pattern << " 1\n";
+        }
+        break;
+      case GateType::kXor:
+        // Odd-parity cover (fanins are small: 2-4 in practice).
+        for (std::uint32_t mask = 0; mask < (1u << fanins.size());
+             ++mask) {
+          if (__builtin_popcount(mask) % 2 == 0) continue;
+          std::string pattern(fanins.size(), '0');
+          for (std::size_t i = 0; i < fanins.size(); ++i) {
+            if (mask & (1u << i)) pattern[i] = '1';
+          }
+          os << pattern << " 1\n";
+        }
+        break;
+      case GateType::kNot:
+        os << "0 1\n";
+        break;
+      case GateType::kBuf:
+        os << "1 1\n";
+        break;
+      case GateType::kTable:
+        // Original cover not retained; emit a structural placeholder.
+        os << std::string(fanins.size(), '1') << " 1\n";
+        break;
+      default:
+        break;
+    }
+  }
+
+  // Output markers: alias nets so .outputs names exist as signals.
+  for (GateId o : netlist.outputs()) {
+    os << ".names " << sig[netlist.fanins(o)[0]] << ' ' << sig[o]
+       << "\n1 1\n";
+  }
+  os << ".end\n";
+}
+
+void write_blif_file(const std::string& path, const GateNetlist& netlist,
+                     const std::string& model_name) {
+  std::ofstream os(path);
+  FPART_REQUIRE(os.good(), "cannot open for writing: " + path);
+  write_blif(os, netlist, model_name);
+  FPART_REQUIRE(os.good(), "write failed: " + path);
+}
+
+}  // namespace fpart::techmap

@@ -1,0 +1,43 @@
+// BLIF (Berkeley Logic Interchange Format) reader/writer for the
+// technology-mapping substrate.
+//
+// The original MCNC benchmark circuits are distributed as BLIF, so this
+// is the on-ramp for feeding real data into the map -> pack -> partition
+// flow. Supported subset (what MCNC-style structural files use):
+//
+//   .model NAME
+//   .inputs  a b c ...          (may repeat / continue with '\')
+//   .outputs x y ...
+//   .names in1 in2 ... out      followed by cover lines ("11 1", "-0 1")
+//   .latch input output [type clock] [init]
+//   .end
+//
+// Logic functions (.names) become structural kTable gates — the cover
+// is parsed only for arity validation; the mapper needs structure, not
+// truth tables. Constant .names (no inputs) become 0-ary tables modelled
+// as a BUF of a synthesized constant input... no: constants get a
+// dedicated primary-input-like source named after the signal.
+// Unsupported constructs (.subckt, .gate, .mlatch) are rejected loudly.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "techmap/gate_netlist.hpp"
+
+namespace fpart::techmap {
+
+/// Parses the BLIF subset above. Throws PreconditionError on malformed
+/// or unsupported input. The returned netlist validates.
+GateNetlist read_blif(std::istream& is);
+GateNetlist read_blif_file(const std::string& path);
+
+/// Writes `netlist` as BLIF (typed gates become .names with the
+/// equivalent cover; kTable gates are emitted with a conservative
+/// all-ones cover placeholder since the original table is not retained).
+void write_blif(std::ostream& os, const GateNetlist& netlist,
+                const std::string& model_name = "fpart");
+void write_blif_file(const std::string& path, const GateNetlist& netlist,
+                     const std::string& model_name = "fpart");
+
+}  // namespace fpart::techmap

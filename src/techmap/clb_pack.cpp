@@ -1,0 +1,99 @@
+#include "techmap/clb_pack.hpp"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "hypergraph/builder.hpp"
+#include "util/assert.hpp"
+
+namespace fpart::techmap {
+
+std::uint32_t family_lut_inputs(Family family) {
+  return family == Family::kXC2000 ? 4u : 5u;
+}
+
+MappedCircuit pack_to_clbs(const GateNetlist& netlist, const LutMapping& m) {
+  const auto num_luts = static_cast<std::uint32_t>(m.luts.size());
+  const auto num_standalone =
+      static_cast<std::uint32_t>(m.standalone_dffs.size());
+  constexpr std::uint32_t kNoClb = ~0u;
+
+  // Which CLB drives each signal (kNoClb for primary inputs).
+  std::vector<std::uint32_t> driver(netlist.num_gates(), kNoClb);
+  // CLB consumers per signal.
+  std::vector<std::vector<std::uint32_t>> consumers(netlist.num_gates());
+  // Primary-output markers attached to each signal.
+  std::vector<std::uint32_t> pad_count(netlist.num_gates(), 0);
+
+  for (std::uint32_t li = 0; li < num_luts; ++li) {
+    const MappedLut& lut = m.luts[li];
+    driver[lut.root] = li;
+    if (lut.packed_dff != kInvalidGate) driver[lut.packed_dff] = li;
+    for (GateId s : lut.inputs) consumers[s].push_back(li);
+  }
+  for (std::uint32_t j = 0; j < num_standalone; ++j) {
+    const GateId q = m.standalone_dffs[j];
+    const std::uint32_t clb = num_luts + j;
+    driver[q] = clb;
+    consumers[netlist.fanins(q)[0]].push_back(clb);
+  }
+  for (GateId o : netlist.outputs()) {
+    ++pad_count[netlist.fanins(o)[0]];
+  }
+
+  HypergraphBuilder b;
+  for (std::uint32_t li = 0; li < num_luts; ++li) {
+    b.add_cell(1, "lut" + std::to_string(li));
+  }
+  for (std::uint32_t j = 0; j < num_standalone; ++j) {
+    b.add_cell(1, "ff" + std::to_string(j));
+  }
+
+  MappedCircuit out;
+  out.num_luts = num_luts;
+  out.num_standalone_ffs = num_standalone;
+  for (const MappedLut& lut : m.luts) {
+    if (lut.packed_dff != kInvalidGate) ++out.num_packed_ffs;
+  }
+  out.num_clbs = num_luts + num_standalone;
+
+  // One net per signal that leaves a CLB or touches a pad.
+  for (GateId g = 0; g < netlist.num_gates(); ++g) {
+    const GateType type = netlist.type(g);
+    const bool is_signal =
+        type == GateType::kInput || type == GateType::kDff ||
+        (is_combinational(type) && m.lut_of[g] != LutMapping::kNone &&
+         m.luts[m.lut_of[g]].root == g);
+    if (!is_signal) continue;
+
+    std::vector<NodeId> pins;
+    if (driver[g] != kNoClb) pins.push_back(driver[g]);
+    for (std::uint32_t clb : consumers[g]) pins.push_back(clb);
+    std::sort(pins.begin(), pins.end());
+    pins.erase(std::unique(pins.begin(), pins.end()), pins.end());
+
+    const bool has_pads = type == GateType::kInput || pad_count[g] > 0;
+    if (pins.size() < 2 && !has_pads) continue;  // internal / dangling
+
+    if (type == GateType::kInput) {
+      pins.push_back(b.add_terminal("pad:" + netlist.gate(g).name));
+    }
+    for (std::uint32_t i = 0; i < pad_count[g]; ++i) {
+      pins.push_back(b.add_terminal("pad:po:" + netlist.gate(g).name +
+                                    ":" + std::to_string(i)));
+    }
+    b.add_net(pins, "sig:" + netlist.gate(g).name);
+  }
+
+  out.circuit = std::move(b).build();
+  return out;
+}
+
+MappedCircuit map_to_family(const GateNetlist& netlist, Family family) {
+  const LutMapping mapping =
+      map_to_luts(netlist, family_lut_inputs(family));
+  return pack_to_clbs(netlist, mapping);
+}
+
+}  // namespace fpart::techmap

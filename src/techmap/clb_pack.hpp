@@ -1,0 +1,37 @@
+// CLB packing: turns a LUT mapping into the CLB-level hypergraph the
+// partitioner consumes — one interior node per CLB (LUT + optional
+// packed flip-flop, or a standalone flip-flop), one net per signal that
+// leaves a CLB, terminal pads for the primary I/Os.
+//
+// This completes the "Map to XC2000 / XC3000 families" flow of the
+// paper's Table 1: map_to_family(netlist, kXC2000) uses K = 4 LUTs,
+// kXC3000 uses K = 5, so the same gate netlist yields two CLB circuits
+// with different CLB counts (XC3000 <= XC2000) but the same I/O pads.
+#pragma once
+
+#include "device/device.hpp"
+#include "hypergraph/hypergraph.hpp"
+#include "techmap/gate_netlist.hpp"
+#include "techmap/lut_map.hpp"
+
+namespace fpart::techmap {
+
+struct MappedCircuit {
+  Hypergraph circuit;
+  std::uint32_t num_luts = 0;
+  std::uint32_t num_packed_ffs = 0;
+  std::uint32_t num_standalone_ffs = 0;
+  std::uint32_t num_clbs = 0;
+};
+
+/// Builds the CLB hypergraph for a finished LUT mapping.
+MappedCircuit pack_to_clbs(const GateNetlist& netlist, const LutMapping& m);
+
+/// Convenience: LUT-map with the family's K (XC2000 = 4, XC3000 = 5) and
+/// pack.
+MappedCircuit map_to_family(const GateNetlist& netlist, Family family);
+
+/// The family's LUT input count.
+std::uint32_t family_lut_inputs(Family family);
+
+}  // namespace fpart::techmap

@@ -1,0 +1,190 @@
+#include "techmap/gate_netlist.hpp"
+
+#include <deque>
+
+#include "util/assert.hpp"
+
+namespace fpart::techmap {
+
+const char* to_string(GateType type) {
+  switch (type) {
+    case GateType::kInput:
+      return "INPUT";
+    case GateType::kOutput:
+      return "OUTPUT";
+    case GateType::kAnd:
+      return "AND";
+    case GateType::kOr:
+      return "OR";
+    case GateType::kXor:
+      return "XOR";
+    case GateType::kNot:
+      return "NOT";
+    case GateType::kBuf:
+      return "BUF";
+    case GateType::kTable:
+      return "TABLE";
+    case GateType::kDff:
+      return "DFF";
+  }
+  return "?";
+}
+
+bool is_combinational(GateType type) {
+  switch (type) {
+    case GateType::kAnd:
+    case GateType::kOr:
+    case GateType::kXor:
+    case GateType::kNot:
+    case GateType::kBuf:
+    case GateType::kTable:
+      return true;
+    default:
+      return false;
+  }
+}
+
+GateId GateNetlist::add(GateType type, std::vector<GateId> fanins,
+                        std::string name) {
+  for (GateId f : fanins) {
+    FPART_REQUIRE(f < gates_.size(), "fanin refers to unknown gate");
+    FPART_REQUIRE(gates_[f].type != GateType::kOutput,
+                  "output markers have no fanout");
+  }
+  gates_.push_back(Gate{type, std::move(fanins), std::move(name)});
+  fanout_valid_ = false;
+  return static_cast<GateId>(gates_.size() - 1);
+}
+
+GateId GateNetlist::add_input(std::string name) {
+  const GateId g = add(GateType::kInput, {}, std::move(name));
+  inputs_.push_back(g);
+  return g;
+}
+
+GateId GateNetlist::add_gate(GateType type, std::span<const GateId> fanins,
+                             std::string name) {
+  FPART_REQUIRE(is_combinational(type), "add_gate: combinational types only");
+  if (type == GateType::kNot || type == GateType::kBuf) {
+    FPART_REQUIRE(fanins.size() == 1, "NOT/BUF take exactly one fanin");
+  } else if (type == GateType::kTable) {
+    FPART_REQUIRE(!fanins.empty(), "TABLE takes one or more fanins");
+  } else {
+    FPART_REQUIRE(fanins.size() >= 2, "AND/OR/XOR take two or more fanins");
+  }
+  const GateId g = add(type, {fanins.begin(), fanins.end()},
+                       std::move(name));
+  ++num_combinational_;
+  return g;
+}
+
+GateId GateNetlist::add_dff(GateId d, std::string name) {
+  const GateId g = add(GateType::kDff, {d}, std::move(name));
+  dffs_.push_back(g);
+  return g;
+}
+
+GateId GateNetlist::add_dff_placeholder(std::string name) {
+  const GateId g = add(GateType::kDff, {}, std::move(name));
+  dffs_.push_back(g);
+  return g;
+}
+
+void GateNetlist::connect_dff(GateId dff, GateId d) {
+  FPART_REQUIRE(dff < gates_.size() && gates_[dff].type == GateType::kDff,
+                "connect_dff: not a DFF");
+  FPART_REQUIRE(gates_[dff].fanins.empty(),
+                "connect_dff: DFF already connected");
+  FPART_REQUIRE(d < gates_.size() && gates_[d].type != GateType::kOutput,
+                "connect_dff: bad driver");
+  gates_[dff].fanins.push_back(d);
+  fanout_valid_ = false;
+}
+
+GateId GateNetlist::add_output(GateId from, std::string name) {
+  const GateId g = add(GateType::kOutput, {from}, std::move(name));
+  outputs_.push_back(g);
+  return g;
+}
+
+void GateNetlist::build_fanouts() const {
+  const std::size_t n = gates_.size();
+  fanout_offset_.assign(n + 1, 0);
+  for (const Gate& g : gates_) {
+    for (GateId f : g.fanins) ++fanout_offset_[f + 1];
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    fanout_offset_[i + 1] += fanout_offset_[i];
+  }
+  fanout_flat_.assign(fanout_offset_[n], kInvalidGate);
+  std::vector<std::size_t> cursor(fanout_offset_.begin(),
+                                  fanout_offset_.end() - 1);
+  for (GateId g = 0; g < n; ++g) {
+    for (GateId f : gates_[g].fanins) {
+      fanout_flat_[cursor[f]++] = g;
+    }
+  }
+  fanout_valid_ = true;
+}
+
+std::span<const GateId> GateNetlist::fanouts(GateId g) const {
+  if (!fanout_valid_) build_fanouts();
+  return {fanout_flat_.data() + fanout_offset_[g],
+          fanout_offset_[g + 1] - fanout_offset_[g]};
+}
+
+std::vector<GateId> GateNetlist::topological_order() const {
+  // Kahn over combinational edges; DFF outputs count as sources (their
+  // fanin edge is sequential, not combinational).
+  const std::size_t n = gates_.size();
+  std::vector<std::uint32_t> pending(n, 0);
+  for (GateId g = 0; g < n; ++g) {
+    if (type(g) == GateType::kDff) continue;  // sequential edge
+    pending[g] = static_cast<std::uint32_t>(gates_[g].fanins.size());
+  }
+  std::deque<GateId> ready;
+  for (GateId g = 0; g < n; ++g) {
+    if (pending[g] == 0) ready.push_back(g);
+  }
+  std::vector<GateId> order;
+  order.reserve(n);
+  while (!ready.empty()) {
+    const GateId g = ready.front();
+    ready.pop_front();
+    order.push_back(g);
+    for (GateId consumer : fanouts(g)) {
+      if (type(consumer) == GateType::kDff) continue;
+      if (--pending[consumer] == 0) ready.push_back(consumer);
+    }
+  }
+  FPART_ASSERT_MSG(order.size() == n,
+                   "combinational cycle in gate netlist");
+  return order;
+}
+
+void GateNetlist::validate() const {
+  for (GateId g = 0; g < gates_.size(); ++g) {
+    const Gate& gate = gates_[g];
+    switch (gate.type) {
+      case GateType::kInput:
+        FPART_ASSERT(gate.fanins.empty());
+        break;
+      case GateType::kOutput:
+      case GateType::kDff:
+      case GateType::kNot:
+      case GateType::kBuf:
+        FPART_ASSERT(gate.fanins.size() == 1);
+        break;
+      case GateType::kTable:
+        FPART_ASSERT(!gate.fanins.empty());
+        break;
+      default:
+        FPART_ASSERT(gate.fanins.size() >= 2);
+        break;
+    }
+    for (GateId f : gate.fanins) FPART_ASSERT(f < gates_.size());
+  }
+  (void)topological_order();  // throws on cycles
+}
+
+}  // namespace fpart::techmap

@@ -1,0 +1,107 @@
+// Gate-level netlist model for the technology-mapping substrate.
+//
+// The paper's Table 1 reports per-circuit CLB counts "Map to XC2000 /
+// XC3000 families" — the benchmark netlists were technology-mapped
+// before partitioning. This module provides the upstream representation
+// that flow starts from: a structural netlist of simple gates and
+// D flip-flops with primary inputs/outputs.
+//
+// Combinational structure must be acyclic; DFFs are the only legal cycle
+// breakers (their outputs act as sources and their inputs as sinks of
+// the combinational DAG).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace fpart::techmap {
+
+using GateId = std::uint32_t;
+inline constexpr GateId kInvalidGate = ~0u;
+
+enum class GateType : std::uint8_t {
+  kInput,   // primary input (no fanins)
+  kOutput,  // primary output marker (one fanin)
+  kAnd,
+  kOr,
+  kXor,
+  kNot,
+  kBuf,
+  kTable,  // generic logic function of its fanins (BLIF .names); the
+           // mapper only needs the structure, not the truth table
+  kDff,    // D flip-flop (one fanin), breaks combinational cycles
+};
+
+const char* to_string(GateType type);
+
+/// True for AND/OR/XOR/NOT/BUF — the gates LUT mapping absorbs.
+bool is_combinational(GateType type);
+
+struct Gate {
+  GateType type;
+  std::vector<GateId> fanins;
+  std::string name;
+};
+
+class GateNetlist {
+ public:
+  GateId add_input(std::string name = "");
+  /// Combinational gate; AND/OR/XOR take 2+ fanins, NOT/BUF exactly 1.
+  GateId add_gate(GateType type, std::span<const GateId> fanins,
+                  std::string name = "");
+  GateId add_gate(GateType type, std::initializer_list<GateId> fanins,
+                  std::string name = "") {
+    return add_gate(type, std::span<const GateId>(fanins.begin(),
+                                                  fanins.size()),
+                    std::move(name));
+  }
+  GateId add_dff(GateId d, std::string name = "");
+  GateId add_output(GateId from, std::string name = "");
+
+  /// Sequential feedback support: a DFF whose D input is wired later
+  /// (its Q output can feed logic created in between). connect_dff()
+  /// must be called exactly once before validate()/topological_order().
+  GateId add_dff_placeholder(std::string name = "");
+  void connect_dff(GateId dff, GateId d);
+
+  std::size_t num_gates() const { return gates_.size(); }
+  const Gate& gate(GateId g) const { return gates_[g]; }
+  GateType type(GateId g) const { return gates_[g].type; }
+  std::span<const GateId> fanins(GateId g) const { return gates_[g].fanins; }
+
+  /// Gates consuming g's output (computed once, cached).
+  std::span<const GateId> fanouts(GateId g) const;
+  std::size_t fanout_count(GateId g) const { return fanouts(g).size(); }
+
+  std::span<const GateId> inputs() const { return inputs_; }
+  std::span<const GateId> outputs() const { return outputs_; }
+  std::span<const GateId> dffs() const { return dffs_; }
+  std::size_t num_combinational() const { return num_combinational_; }
+
+  /// Topological order of the combinational gates (inputs and DFF
+  /// outputs are sources and appear first; kOutput markers last).
+  /// Throws InvariantError if a combinational cycle exists.
+  std::vector<GateId> topological_order() const;
+
+  /// Structural checks: fanin arities, id ranges, acyclicity.
+  void validate() const;
+
+ private:
+  GateId add(GateType type, std::vector<GateId> fanins, std::string name);
+
+  std::vector<Gate> gates_;
+  std::vector<GateId> inputs_;
+  std::vector<GateId> outputs_;
+  std::vector<GateId> dffs_;
+  std::size_t num_combinational_ = 0;
+
+  // Fanout CSR cache (built lazily).
+  mutable bool fanout_valid_ = false;
+  mutable std::vector<std::size_t> fanout_offset_;
+  mutable std::vector<GateId> fanout_flat_;
+  void build_fanouts() const;
+};
+
+}  // namespace fpart::techmap

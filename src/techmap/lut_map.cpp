@@ -1,0 +1,162 @@
+#include "techmap/lut_map.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "util/assert.hpp"
+
+namespace fpart::techmap {
+
+namespace {
+
+/// Deduplicated leaf-input set if `absorb` were merged into a cone whose
+/// current inputs are `inputs`. Returns the new input list.
+std::vector<GateId> inputs_after_absorb(const std::vector<GateId>& inputs,
+                                        GateId absorb,
+                                        std::span<const GateId> fanins) {
+  std::vector<GateId> out;
+  out.reserve(inputs.size() + fanins.size());
+  for (GateId s : inputs) {
+    if (s != absorb) out.push_back(s);
+  }
+  for (GateId f : fanins) out.push_back(f);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace
+
+LutMapping map_to_luts(const GateNetlist& netlist, std::uint32_t k) {
+  FPART_REQUIRE(k >= 2, "LUTs need at least two inputs");
+  for (GateId g = 0; g < netlist.num_gates(); ++g) {
+    if (is_combinational(netlist.type(g))) {
+      FPART_REQUIRE(netlist.fanins(g).size() <= k,
+                    "gate arity exceeds the LUT input count");
+    }
+  }
+
+  LutMapping mapping;
+  mapping.k = k;
+  mapping.lut_of.assign(netlist.num_gates(), LutMapping::kNone);
+
+  const std::vector<GateId> topo = netlist.topological_order();
+
+  // Reverse-topological sweep: a gate no consumer absorbed becomes a
+  // LUT root and greedily swallows single-fanout fanin cones.
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    const GateId g = *it;
+    if (!is_combinational(netlist.type(g))) continue;
+    if (mapping.lut_of[g] != LutMapping::kNone) continue;
+
+    MappedLut lut;
+    lut.root = g;
+    lut.cone.push_back(g);
+    lut.inputs.assign(netlist.fanins(g).begin(), netlist.fanins(g).end());
+    std::sort(lut.inputs.begin(), lut.inputs.end());
+    lut.inputs.erase(std::unique(lut.inputs.begin(), lut.inputs.end()),
+                     lut.inputs.end());
+
+    while (true) {
+      GateId best = kInvalidGate;
+      std::vector<GateId> best_inputs;
+      for (GateId s : lut.inputs) {
+        if (!is_combinational(netlist.type(s))) continue;
+        if (mapping.lut_of[s] != LutMapping::kNone) continue;
+        // Single fanout: the sole consumer is inside this cone (we
+        // reached s through the cone's input frontier).
+        if (netlist.fanout_count(s) != 1) continue;
+        auto candidate =
+            inputs_after_absorb(lut.inputs, s, netlist.fanins(s));
+        if (candidate.size() > k) continue;
+        if (best == kInvalidGate ||
+            candidate.size() < best_inputs.size() ||
+            (candidate.size() == best_inputs.size() && s > best)) {
+          best = s;
+          best_inputs = std::move(candidate);
+        }
+      }
+      if (best == kInvalidGate) break;
+      lut.cone.push_back(best);
+      lut.inputs = std::move(best_inputs);
+    }
+
+    const auto lut_index = static_cast<std::uint32_t>(mapping.luts.size());
+    for (GateId member : lut.cone) mapping.lut_of[member] = lut_index;
+    mapping.luts.push_back(std::move(lut));
+  }
+
+  // FF absorption: a DFF fed exclusively by a LUT root with no other
+  // consumer of that root rides in the root's CLB.
+  std::vector<std::uint8_t> lut_has_ff(mapping.luts.size(), 0);
+  for (GateId q : netlist.dffs()) {
+    const GateId d = netlist.fanins(q)[0];
+    bool absorbed = false;
+    if (is_combinational(netlist.type(d)) &&
+        netlist.fanout_count(d) == 1) {
+      const std::uint32_t li = mapping.lut_of[d];
+      if (li != LutMapping::kNone && mapping.luts[li].root == d &&
+          !lut_has_ff[li]) {
+        mapping.luts[li].packed_dff = q;
+        lut_has_ff[li] = 1;
+        absorbed = true;
+      }
+    }
+    if (!absorbed) mapping.standalone_dffs.push_back(q);
+  }
+  return mapping;
+}
+
+void validate_mapping(const GateNetlist& netlist, const LutMapping& m) {
+  std::vector<std::uint32_t> owner(netlist.num_gates(), LutMapping::kNone);
+  for (std::uint32_t li = 0; li < m.luts.size(); ++li) {
+    const MappedLut& lut = m.luts[li];
+    FPART_ASSERT_MSG(lut.inputs.size() <= m.k, "LUT exceeds K inputs");
+    FPART_ASSERT_MSG(!lut.cone.empty(), "empty LUT cone");
+    std::set<GateId> cone(lut.cone.begin(), lut.cone.end());
+    FPART_ASSERT_MSG(cone.count(lut.root) == 1, "root outside its cone");
+    for (GateId g : lut.cone) {
+      FPART_ASSERT_MSG(is_combinational(netlist.type(g)),
+                       "non-combinational gate in a cone");
+      FPART_ASSERT_MSG(owner[g] == LutMapping::kNone,
+                       "gate covered by two LUTs");
+      owner[g] = li;
+      FPART_ASSERT_MSG(m.lut_of[g] == li, "lut_of inconsistent");
+      // Every fanin is either inside the cone or a declared input.
+      for (GateId f : netlist.fanins(g)) {
+        const bool inside = cone.count(f) == 1;
+        const bool declared =
+            std::find(lut.inputs.begin(), lut.inputs.end(), f) !=
+            lut.inputs.end();
+        FPART_ASSERT_MSG(inside || declared, "cone fanin unaccounted");
+      }
+      // Non-root cone members feed only the cone (no duplication).
+      if (g != lut.root) {
+        for (GateId consumer : netlist.fanouts(g)) {
+          FPART_ASSERT_MSG(cone.count(consumer) == 1,
+                           "cone member leaks outside its LUT");
+        }
+      }
+    }
+  }
+  for (GateId g = 0; g < netlist.num_gates(); ++g) {
+    if (is_combinational(netlist.type(g))) {
+      FPART_ASSERT_MSG(owner[g] != LutMapping::kNone, "gate not covered");
+    }
+  }
+  // Every DFF is either absorbed exactly once or standalone.
+  std::set<GateId> seen;
+  for (const MappedLut& lut : m.luts) {
+    if (lut.packed_dff != kInvalidGate) {
+      FPART_ASSERT_MSG(seen.insert(lut.packed_dff).second,
+                       "DFF packed twice");
+    }
+  }
+  for (GateId q : m.standalone_dffs) {
+    FPART_ASSERT_MSG(seen.insert(q).second, "DFF both packed and standalone");
+  }
+  FPART_ASSERT_MSG(seen.size() == netlist.dffs().size(),
+                   "DFF accounting mismatch");
+}
+
+}  // namespace fpart::techmap

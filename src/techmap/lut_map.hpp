@@ -1,0 +1,58 @@
+// Greedy cone-based LUT technology mapping.
+//
+// Covers the combinational gates of a netlist with K-input lookup
+// tables: every gate belongs to exactly one LUT cone; cones are grown
+// from their roots by absorbing single-fanout fanin gates while the
+// cone's leaf-input count stays within K (duplication-free fanout-free-
+// cone covering, the strategy of the Chortle family of mappers). A DFF
+// whose D input is the sole consumer of a LUT root is absorbed into that
+// LUT's CLB (the XC2000/XC3000 CLB flip-flop).
+//
+// Larger K absorbs more logic per LUT, so mapping the same netlist with
+// K = 5 (XC3000) yields fewer CLBs than K = 4 (XC2000) — the effect
+// behind the two CLB columns of the paper's Table 1.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "techmap/gate_netlist.hpp"
+
+namespace fpart::techmap {
+
+struct MappedLut {
+  GateId root = kInvalidGate;
+  /// Leaf signals feeding the LUT: primary inputs, DFF Qs or other LUT
+  /// roots. Deduplicated; size <= K.
+  std::vector<GateId> inputs;
+  /// Combinational gates covered (root included).
+  std::vector<GateId> cone;
+  /// DFF absorbed into this LUT's CLB (kInvalidGate if none).
+  GateId packed_dff = kInvalidGate;
+};
+
+struct LutMapping {
+  std::uint32_t k = 0;
+  std::vector<MappedLut> luts;
+  /// lut_of[g] = index into luts for combinational gate g (kNone else).
+  std::vector<std::uint32_t> lut_of;
+  /// DFFs that did not get absorbed (each needs its own CLB).
+  std::vector<GateId> standalone_dffs;
+
+  static constexpr std::uint32_t kNone = ~0u;
+
+  std::size_t num_clbs() const {
+    return luts.size() + standalone_dffs.size();
+  }
+};
+
+/// Maps `netlist` into K-input LUTs. Requires K >= the widest gate
+/// arity (every gate must fit a LUT by itself).
+LutMapping map_to_luts(const GateNetlist& netlist, std::uint32_t k);
+
+/// Checks covering invariants: every combinational gate in exactly one
+/// cone, all cone inputs within K, absorbed DFFs consistent. Throws
+/// InvariantError on violation. Test hook.
+void validate_mapping(const GateNetlist& netlist, const LutMapping& m);
+
+}  // namespace fpart::techmap

@@ -1,0 +1,129 @@
+#include "techmap/random_logic.hpp"
+
+#include <string>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace fpart::techmap {
+
+GateNetlist random_logic(const LogicConfig& config) {
+  FPART_REQUIRE(config.num_inputs >= 2, "need at least two inputs");
+  FPART_REQUIRE(config.num_gates >= 1, "need at least one gate");
+  FPART_REQUIRE(config.num_outputs >= 1, "need at least one output");
+  FPART_REQUIRE(config.locality >= 0.0 && config.locality <= 1.0,
+                "locality must be in [0,1]");
+  FPART_REQUIRE(config.locality_window >= 2, "window too small");
+
+  FPART_REQUIRE(config.fresh_bias >= 0.0 && config.fresh_bias <= 1.0,
+                "fresh_bias must be in [0,1]");
+  Rng rng(config.seed);
+  GateNetlist netlist;
+
+  // Signal pool: everything a new gate may read (inputs, DFF Qs, gates).
+  std::vector<GateId> signals;
+  std::vector<std::uint32_t> uses;  // consumption count per pool entry
+  auto push_signal = [&](GateId g) {
+    signals.push_back(g);
+    uses.push_back(0);
+  };
+  for (std::uint32_t i = 0; i < config.num_inputs; ++i) {
+    push_signal(netlist.add_input("pi" + std::to_string(i)));
+  }
+  std::vector<GateId> dffs;
+  for (std::uint32_t i = 0; i < config.num_dffs; ++i) {
+    const GateId q =
+        netlist.add_dff_placeholder("ff" + std::to_string(i));
+    dffs.push_back(q);
+    push_signal(q);  // Q feeds downstream logic (feedback)
+  }
+
+  // Hub signals: a handful of inputs and (later) a few gates that soak
+  // up the bulk of multi-fanout demand.
+  std::vector<GateId> hubs;
+  for (std::size_t i = 0; i < netlist.inputs().size() && i < 6; ++i) {
+    hubs.push_back(netlist.inputs()[i]);
+  }
+
+  // First fanins chase fresh (never-consumed) signals, producing the
+  // single-fanout chains cone mapping absorbs; later fanins draw from
+  // the whole pool, concentrating the remaining fanout on hub signals —
+  // together a realistic fanout distribution (most signals fanout 1, a
+  // few hubs fanout many).
+  auto pick_signal = [&](bool prefer_fresh) -> GateId {
+    std::size_t lo = 0;
+    if (rng.chance(config.locality) &&
+        signals.size() > config.locality_window) {
+      lo = signals.size() - config.locality_window;
+    }
+    const std::size_t span = signals.size() - lo;
+    std::size_t idx = lo + rng.index(span);
+    if (prefer_fresh && rng.chance(config.fresh_bias) && uses[idx] > 0) {
+      for (std::size_t probe = 0; probe < span; ++probe) {
+        const std::size_t candidate = lo + (idx - lo + probe) % span;
+        if (uses[candidate] == 0) {
+          idx = candidate;
+          break;
+        }
+      }
+    }
+    ++uses[idx];
+    return signals[idx];
+  };
+
+  for (std::uint32_t i = 0; i < config.num_gates; ++i) {
+    const double r = rng.real();
+    GateType type;
+    std::size_t arity;
+    if (r < 0.35) {
+      type = GateType::kAnd;
+      arity = 2;
+    } else if (r < 0.65) {
+      type = GateType::kOr;
+      arity = 2;
+    } else if (r < 0.80) {
+      type = GateType::kXor;
+      arity = 2;
+    } else if (r < 0.92) {
+      type = GateType::kNot;
+      arity = 1;
+    } else {
+      type = rng.chance(0.5) ? GateType::kAnd : GateType::kOr;
+      arity = 3 + rng.index(2);  // occasional wide gate
+    }
+    std::vector<GateId> fanins;
+    for (std::size_t f = 0; f < arity; ++f) {
+      // First fanin extends a fresh chain; later fanins draw from a
+      // small hub set half the time (concentrating multi-fanout on few
+      // signals, like clock-enable/select nets) else from the pool.
+      if (f > 0 && !hubs.empty() && rng.chance(0.55)) {
+        fanins.push_back(rng.pick(hubs));
+      } else {
+        fanins.push_back(pick_signal(/*prefer_fresh=*/f == 0));
+      }
+    }
+    if (arity >= 2 && fanins[0] == fanins[1]) {
+      fanins[1] = signals[rng.index(signals.size())];
+    }
+    const GateId g = netlist.add_gate(type, fanins, "g" + std::to_string(i));
+    push_signal(g);
+    if (hubs.size() < 8 + config.num_gates / 64 && rng.chance(0.02)) {
+      hubs.push_back(g);  // occasionally promote a gate to hub duty
+    }
+  }
+
+  // Close the sequential loops from late signals.
+  for (GateId q : dffs) {
+    netlist.connect_dff(q, pick_signal(true));
+  }
+
+  // Primary outputs from distinct late signals.
+  for (std::uint32_t i = 0; i < config.num_outputs; ++i) {
+    netlist.add_output(pick_signal(true), "po" + std::to_string(i));
+  }
+
+  netlist.validate();
+  return netlist;
+}
+
+}  // namespace fpart::techmap

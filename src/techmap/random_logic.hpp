@@ -1,0 +1,35 @@
+// Random gate-level circuit generator for the technology-mapping flow.
+//
+// Produces ISCAS-flavoured structure: a combinational DAG of 1-2 input
+// gates (plus a few wider ANDs/ORs) with locality-biased fanin choice,
+// optional D flip-flops forming sequential feedback, and primary
+// outputs drawn from late gates. Deterministic in the seed.
+#pragma once
+
+#include <cstdint>
+
+#include "techmap/gate_netlist.hpp"
+#include "util/rng.hpp"
+
+namespace fpart::techmap {
+
+struct LogicConfig {
+  std::uint32_t num_inputs = 16;
+  std::uint32_t num_outputs = 8;
+  std::uint32_t num_gates = 200;  // combinational gates
+  std::uint32_t num_dffs = 16;
+  /// Fanins are drawn from a window of the most recent signals with this
+  /// probability (locality), else uniformly from everything so far.
+  double locality = 0.8;
+  std::uint32_t locality_window = 24;
+  /// Within the locality window, prefer signals not consumed yet with
+  /// this probability. High values produce the long single-fanout chains
+  /// real synthesized logic has — the structure LUT cones absorb (low
+  /// values make everything multi-fanout and cap cones at one gate).
+  double fresh_bias = 0.7;
+  std::uint64_t seed = 1;
+};
+
+GateNetlist random_logic(const LogicConfig& config);
+
+}  // namespace fpart::techmap

@@ -1,0 +1,70 @@
+// Assertion macros for invariant and precondition checking.
+//
+// FPART_ASSERT is always on (the algorithms here are heuristic search; a
+// silently corrupted gain table produces plausible-looking garbage, so we
+// keep checks in release builds — they are cheap relative to the search).
+// FPART_DASSERT compiles out unless FPART_ENABLE_DEBUG_ASSERTS is defined;
+// use it in per-move hot paths.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace fpart {
+
+/// Thrown when an internal invariant is violated. Indicates a library bug.
+class InvariantError : public std::logic_error {
+ public:
+  explicit InvariantError(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Thrown when caller-supplied input violates a documented precondition.
+class PreconditionError : public std::invalid_argument {
+ public:
+  explicit PreconditionError(const std::string& what)
+      : std::invalid_argument(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void assert_fail(const char* kind, const char* expr,
+                                     const char* file, int line,
+                                     const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  if (kind[0] == 'P') throw PreconditionError(os.str());
+  throw InvariantError(os.str());
+}
+}  // namespace detail
+
+}  // namespace fpart
+
+#define FPART_ASSERT(expr)                                                  \
+  do {                                                                      \
+    if (!(expr))                                                            \
+      ::fpart::detail::assert_fail("Invariant", #expr, __FILE__, __LINE__,  \
+                                   "");                                     \
+  } while (false)
+
+#define FPART_ASSERT_MSG(expr, msg)                                         \
+  do {                                                                      \
+    if (!(expr))                                                            \
+      ::fpart::detail::assert_fail("Invariant", #expr, __FILE__, __LINE__,  \
+                                   (msg));                                  \
+  } while (false)
+
+#define FPART_REQUIRE(expr, msg)                                            \
+  do {                                                                      \
+    if (!(expr))                                                            \
+      ::fpart::detail::assert_fail("Precondition", #expr, __FILE__,         \
+                                   __LINE__, (msg));                        \
+  } while (false)
+
+#ifdef FPART_ENABLE_DEBUG_ASSERTS
+#define FPART_DASSERT(expr) FPART_ASSERT(expr)
+#else
+#define FPART_DASSERT(expr) \
+  do {                      \
+  } while (false)
+#endif

@@ -1,0 +1,105 @@
+#include "util/cli.hpp"
+
+#include <charconv>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace fpart {
+
+void CliParser::add_flag(const std::string& key, const std::string& help,
+                         const std::string& default_value) {
+  FPART_REQUIRE(!key.empty() && key.substr(0, 2) != "--",
+                "declare flags without leading dashes");
+  flags_[key] = Flag{help, default_value, false};
+}
+
+bool CliParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    std::string body = arg.substr(2);
+    std::string key;
+    std::string value;
+    bool has_value = false;
+    if (auto eq = body.find('='); eq != std::string::npos) {
+      key = body.substr(0, eq);
+      value = body.substr(eq + 1);
+      has_value = true;
+    } else {
+      key = body;
+    }
+    auto it = flags_.find(key);
+    if (it == flags_.end()) {
+      error_ = "unknown flag --" + key;
+      return false;
+    }
+    if (!has_value) {
+      // --key value form, unless the next token is another flag or absent
+      // (then it is a boolean switch).
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        value = argv[++i];
+      } else {
+        value = "true";
+      }
+    }
+    it->second.value = value;
+    it->second.set = true;
+  }
+  return true;
+}
+
+bool CliParser::has(const std::string& key) const {
+  auto it = flags_.find(key);
+  return it != flags_.end() && it->second.set;
+}
+
+std::string CliParser::get(const std::string& key) const {
+  auto it = flags_.find(key);
+  FPART_REQUIRE(it != flags_.end(), "flag not declared: " + key);
+  return it->second.value;
+}
+
+std::int64_t CliParser::get_int(const std::string& key) const {
+  const std::string v = get(key);
+  std::int64_t out = 0;
+  auto [ptr, ec] = std::from_chars(v.data(), v.data() + v.size(), out);
+  FPART_REQUIRE(ec == std::errc() && ptr == v.data() + v.size(),
+                "flag --" + key + " is not an integer: " + v);
+  return out;
+}
+
+double Cli_parse_double(const std::string& key, const std::string& v) {
+  std::size_t pos = 0;
+  double out = std::stod(v, &pos);
+  FPART_REQUIRE(pos == v.size(), "flag --" + key + " is not a number: " + v);
+  return out;
+}
+
+double CliParser::get_double(const std::string& key) const {
+  return Cli_parse_double(key, get(key));
+}
+
+bool CliParser::get_bool(const std::string& key) const {
+  const std::string v = get(key);
+  if (v == "true" || v == "1" || v == "yes") return true;
+  if (v == "false" || v == "0" || v == "no" || v.empty()) return false;
+  FPART_REQUIRE(false, "flag --" + key + " is not a boolean: " + v);
+  return false;
+}
+
+std::string CliParser::usage(const std::string& program) const {
+  std::ostringstream os;
+  os << "usage: " << program << " [flags]\n";
+  for (const auto& [key, flag] : flags_) {
+    os << "  --" << key;
+    if (!flag.value.empty() && !flag.set) os << " (default: " << flag.value << ")";
+    os << "\n      " << flag.help << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace fpart

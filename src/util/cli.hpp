@@ -1,0 +1,49 @@
+// Tiny command-line flag parser shared by the examples and bench drivers.
+//
+// Supported syntax: --key=value, --key value, --flag (boolean true),
+// positional arguments collected in order. Unknown keys are an error so
+// typos fail loudly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace fpart {
+
+class CliParser {
+ public:
+  /// Declares a flag. `help` is printed by usage(). Declaration is
+  /// required before parse(); undeclared keys are rejected.
+  void add_flag(const std::string& key, const std::string& help,
+                const std::string& default_value = "");
+
+  /// Parses argv. Returns false (and fills error()) on malformed input.
+  bool parse(int argc, const char* const* argv);
+
+  bool has(const std::string& key) const;
+  std::string get(const std::string& key) const;
+  std::int64_t get_int(const std::string& key) const;
+  double get_double(const std::string& key) const;
+  bool get_bool(const std::string& key) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+  const std::string& error() const { return error_; }
+
+  /// Formats a usage string: program name + declared flags with help text.
+  std::string usage(const std::string& program) const;
+
+ private:
+  struct Flag {
+    std::string help;
+    std::string value;
+    bool set = false;
+  };
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> positional_;
+  std::string error_;
+};
+
+}  // namespace fpart

@@ -1,0 +1,48 @@
+// Minimal leveled logger writing to stderr.
+//
+// The partitioner is a batch tool; logging is line-oriented and
+// synchronous. Verbosity is a process-global knob set once by the driver
+// (examples/benches expose --verbose).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace fpart {
+
+enum class LogLevel : int { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
+
+/// Sets the global verbosity. Messages above this level are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void log_line(LogLevel level, const std::string& msg);
+}
+
+/// Stream-style logging: FPART_LOG(kInfo) << "k=" << k;
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { detail::log_line(level_, os_.str()); }
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+
+}  // namespace fpart
+
+#define FPART_LOG(level)                                      \
+  if (static_cast<int>(::fpart::LogLevel::level) >            \
+      static_cast<int>(::fpart::log_level())) {               \
+  } else                                                      \
+    ::fpart::LogMessage(::fpart::LogLevel::level)

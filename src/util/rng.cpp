@@ -1,0 +1,87 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace fpart {
+
+namespace {
+// splitmix64: seeds the xoshiro state from a single 64-bit value.
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t s = seed;
+  for (auto& word : state_) word = splitmix64(s);
+}
+
+std::uint64_t Rng::operator()() {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::uniform(std::uint64_t lo, std::uint64_t hi) {
+  FPART_REQUIRE(lo <= hi, "uniform: lo > hi");
+  const std::uint64_t span = hi - lo;
+  if (span == ~0ull) return (*this)();
+  // Rejection sampling for unbiased bounded output.
+  const std::uint64_t n = span + 1;
+  const std::uint64_t limit = (~0ull) - ((~0ull) % n + 1) % n;
+  std::uint64_t x;
+  do {
+    x = (*this)();
+  } while (x > limit);
+  return lo + x % n;
+}
+
+std::size_t Rng::index(std::size_t n) {
+  FPART_REQUIRE(n > 0, "index: n == 0");
+  return static_cast<std::size_t>(uniform(0, n - 1));
+}
+
+double Rng::real() {
+  // 53 random mantissa bits.
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::chance(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return real() < p;
+}
+
+std::size_t Rng::geometric_level(std::size_t levels, double decay) {
+  FPART_REQUIRE(levels > 0, "geometric_level: levels == 0");
+  FPART_REQUIRE(decay > 0.0 && decay < 1.0, "geometric_level: decay range");
+  // Normalised truncated geometric distribution.
+  const double total = (1.0 - std::pow(decay, static_cast<double>(levels))) /
+                       (1.0 - decay);
+  double r = real() * total;
+  double w = 1.0;
+  for (std::size_t i = 0; i + 1 < levels; ++i) {
+    if (r < w) return i;
+    r -= w;
+    w *= decay;
+  }
+  return levels - 1;
+}
+
+Rng Rng::split() { return Rng((*this)() ^ 0xD1B54A32D192ED03ull); }
+
+}  // namespace fpart

@@ -1,0 +1,68 @@
+// Deterministic random number generation.
+//
+// All stochastic choices in the library flow through Rng so that a run is
+// fully reproducible from a single 64-bit seed. The engine is
+// xoshiro256**, small enough to copy by value when a component needs an
+// independent stream (see split()).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace fpart {
+
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  /// Raw 64-bit output (UniformRandomBitGenerator interface).
+  std::uint64_t operator()();
+  static constexpr std::uint64_t min() { return 0; }
+  static constexpr std::uint64_t max() { return ~0ull; }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::uint64_t uniform(std::uint64_t lo, std::uint64_t hi);
+
+  /// Uniform index in [0, n). Requires n > 0.
+  std::size_t index(std::size_t n);
+
+  /// Uniform real in [0, 1).
+  double real();
+
+  /// Bernoulli trial with success probability p in [0, 1].
+  bool chance(double p);
+
+  /// Geometric-ish level pick: returns i in [0, levels) with P(i) ∝ decay^i.
+  /// Used by the netlist generator to choose net locality depth.
+  std::size_t geometric_level(std::size_t levels, double decay);
+
+  /// Derives an independent generator (seeded from this stream).
+  Rng split();
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = index(i);
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Picks a uniformly random element. Requires non-empty.
+  template <typename T>
+  const T& pick(const std::vector<T>& v) {
+    FPART_REQUIRE(!v.empty(), "pick from empty vector");
+    return v[index(v.size())];
+  }
+
+ private:
+  std::array<std::uint64_t, 4> state_;
+};
+
+}  // namespace fpart

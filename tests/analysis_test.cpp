@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/fpart.hpp"
+#include "device/xilinx.hpp"
+#include "hypergraph/builder.hpp"
+#include "netlist/mcnc.hpp"
+#include "partition/analysis.hpp"
+#include "partition/partition.hpp"
+
+namespace fpart {
+namespace {
+
+// 6 cells over 3 blocks: nets crafted to give a known wiring matrix.
+//   blocks: {0,1} {2,3} {4,5}
+//   n0 = {0,2}       -> pair (0,1)
+//   n1 = {1,3}       -> pair (0,1)
+//   n2 = {3,4}       -> pair (1,2)
+//   n3 = {0,2,4,pad} -> pairs (0,1),(0,2),(1,2) + pad wires everywhere
+Hypergraph fixture() {
+  HypergraphBuilder b;
+  std::vector<NodeId> c;
+  for (int i = 0; i < 6; ++i) c.push_back(b.add_cell(1));
+  const NodeId pad = b.add_terminal();
+  b.add_net({c[0], c[2]});
+  b.add_net({c[1], c[3]});
+  b.add_net({c[3], c[4]});
+  b.add_net({c[0], c[2], c[4], pad});
+  return std::move(b).build();
+}
+
+Partition three_blocks(const Hypergraph& h) {
+  Partition p(h, 3);
+  p.move(2, 1);
+  p.move(3, 1);
+  p.move(4, 2);
+  p.move(5, 2);
+  return p;
+}
+
+TEST(WiringMatrixTest, CountsPairwiseNets) {
+  const Hypergraph h = fixture();
+  Partition p = three_blocks(h);
+  const WiringMatrix m = wiring_matrix(p);
+  ASSERT_EQ(m.k, 3u);
+  EXPECT_EQ(m.between(0, 1), 3u);  // n0, n1, n3
+  EXPECT_EQ(m.between(1, 0), 3u);  // symmetric
+  EXPECT_EQ(m.between(1, 2), 2u);  // n2, n3
+  EXPECT_EQ(m.between(0, 2), 1u);  // n3
+  EXPECT_EQ(m.between(0, 0), 0u);  // zero diagonal
+  EXPECT_EQ(m.total_wires(), 6u);
+}
+
+TEST(WiringMatrixTest, PadWires) {
+  const Hypergraph h = fixture();
+  Partition p = three_blocks(h);
+  const WiringMatrix m = wiring_matrix(p);
+  // n3 carries the pad and touches all three blocks.
+  EXPECT_EQ(m.pad_wires[0], 1u);
+  EXPECT_EQ(m.pad_wires[1], 1u);
+  EXPECT_EQ(m.pad_wires[2], 1u);
+}
+
+TEST(WiringMatrixTest, HottestPair) {
+  const Hypergraph h = fixture();
+  Partition p = three_blocks(h);
+  const WiringMatrix m = wiring_matrix(p);
+  EXPECT_EQ(m.hottest_pair(), (std::pair<BlockId, BlockId>{0, 1}));
+}
+
+TEST(WiringMatrixTest, SingleBlockHasNoWires) {
+  const Hypergraph h = fixture();
+  Partition p(h, 1);
+  const WiringMatrix m = wiring_matrix(p);
+  EXPECT_EQ(m.total_wires(), 0u);
+  EXPECT_EQ(m.hottest_pair().first, kInvalidBlock);
+  EXPECT_EQ(m.pad_wires[0], 1u);  // the pad net still reaches block 0
+}
+
+TEST(WiringMatrixTest, AsciiRendering) {
+  const Hypergraph h = fixture();
+  Partition p = three_blocks(h);
+  const std::string text = wiring_matrix(p).to_ascii();
+  EXPECT_NE(text.find("b0"), std::string::npos);
+  EXPECT_NE(text.find("pads"), std::string::npos);
+  EXPECT_NE(text.find("."), std::string::npos);  // diagonal marker
+}
+
+TEST(WiringMatrixTest, ConsistentWithKm1OnRealPartition) {
+  // Σ pairwise wires >= K−1 connectivity (a net spanning s blocks adds
+  // s·(s−1)/2 pair wires but only s−1 connectivity), with equality
+  // exactly when every cut net spans 2 blocks.
+  const Device d = xilinx::xc3042();
+  const Hypergraph h = mcnc::generate("s9234", d.family());
+  const PartitionResult r = FpartPartitioner().run(h, d);
+  Partition p(h, r.assignment, r.k);
+  const WiringMatrix m = wiring_matrix(p);
+  EXPECT_GE(m.total_wires(), p.connectivity_km1());
+}
+
+}  // namespace
+}  // namespace fpart

@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "techmap/blif_io.hpp"
+#include "techmap/clb_pack.hpp"
+#include "techmap/random_logic.hpp"
+#include "util/assert.hpp"
+
+namespace fpart::techmap {
+namespace {
+
+constexpr const char* kFullAdder = R"(
+# a BLIF full adder with a registered sum
+.model adder
+.inputs a b cin
+.outputs sum_out cout
+.names a b x1
+10 1
+01 1
+.names x1 cin sum
+10 1
+01 1
+.names a b g1
+11 1
+.names x1 cin g2
+11 1
+.names g1 g2 cout
+1- 1
+-1 1
+.latch sum sum_out re clk 2
+.end
+)";
+
+TEST(BlifReadTest, ParsesStructuralSubset) {
+  std::stringstream ss(kFullAdder);
+  const GateNetlist n = read_blif(ss);
+  EXPECT_EQ(n.inputs().size(), 3u);
+  EXPECT_EQ(n.outputs().size(), 2u);
+  EXPECT_EQ(n.dffs().size(), 1u);
+  EXPECT_EQ(n.num_combinational(), 5u);
+  n.validate();
+}
+
+TEST(BlifReadTest, HandlesOutOfOrderDefinitions) {
+  // g depends on h which is defined later.
+  std::stringstream ss(
+      ".model x\n.inputs a\n.outputs o\n"
+      ".names h g\n1 1\n.names a h\n0 1\n.end\n"
+      // `.outputs o` must resolve too:
+      );
+  // o is undefined -> loud error.
+  EXPECT_THROW(read_blif(ss), PreconditionError);
+  std::stringstream ok(
+      ".model x\n.inputs a\n.outputs g\n"
+      ".names h g\n1 1\n.names a h\n0 1\n.end\n");
+  const GateNetlist n = read_blif(ok);
+  EXPECT_EQ(n.num_combinational(), 2u);
+}
+
+TEST(BlifReadTest, ContinuationLinesAndComments) {
+  std::stringstream ss(
+      ".model x # trailing comment\n"
+      ".inputs a \\\n         b\n"
+      ".outputs o\n"
+      ".names a b o\n11 1\n.end\n");
+  const GateNetlist n = read_blif(ss);
+  EXPECT_EQ(n.inputs().size(), 2u);
+}
+
+TEST(BlifReadTest, ConstantsBecomeSources) {
+  std::stringstream ss(
+      ".model x\n.inputs a\n.outputs o\n"
+      ".names one\n1\n"
+      ".names a one o\n11 1\n.end\n");
+  const GateNetlist n = read_blif(ss);
+  // a + the constant source.
+  EXPECT_EQ(n.inputs().size(), 2u);
+  EXPECT_EQ(n.num_combinational(), 1u);
+}
+
+TEST(BlifReadTest, RejectsBadInput) {
+  {
+    std::stringstream ss(".model x\n.subckt foo a=b\n.end\n");
+    EXPECT_THROW(read_blif(ss), PreconditionError);  // unsupported
+  }
+  {
+    std::stringstream ss(".model x\n.inputs a\n11 1\n.end\n");
+    EXPECT_THROW(read_blif(ss), PreconditionError);  // stray cover
+  }
+  {
+    std::stringstream ss(
+        ".model x\n.inputs a\n.outputs o\n.names a b o\n11 1\n.end\n");
+    EXPECT_THROW(read_blif(ss), PreconditionError);  // b undefined
+  }
+  {
+    std::stringstream ss(
+        ".model x\n.inputs a\n.outputs o\n.names a o\n111 1\n.end\n");
+    EXPECT_THROW(read_blif(ss), PreconditionError);  // cover width
+  }
+  {
+    // Combinational cycle u -> v -> u.
+    std::stringstream ss(
+        ".model x\n.inputs a\n.outputs u\n"
+        ".names v u\n1 1\n.names u v\n1 1\n.end\n");
+    EXPECT_THROW(read_blif(ss), PreconditionError);
+  }
+  {
+    std::stringstream ss(
+        ".model x\n.inputs a a\n.outputs a\n.end\n");
+    EXPECT_THROW(read_blif(ss), PreconditionError);  // duplicate signal
+  }
+}
+
+TEST(BlifRoundTripTest, StructurePreserved) {
+  LogicConfig config;
+  config.num_gates = 250;
+  config.num_dffs = 16;
+  config.num_inputs = 14;
+  config.num_outputs = 9;
+  config.seed = 21;
+  const GateNetlist original = random_logic(config);
+
+  std::stringstream ss;
+  write_blif(ss, original, "roundtrip");
+  const GateNetlist back = read_blif(ss);
+
+  EXPECT_EQ(back.inputs().size(), original.inputs().size());
+  EXPECT_EQ(back.outputs().size(), original.outputs().size());
+  EXPECT_EQ(back.dffs().size(), original.dffs().size());
+  // Typed gates come back as kTable plus one alias gate per output
+  // marker (the writer materializes output names as buffers).
+  EXPECT_EQ(back.num_combinational(),
+            original.num_combinational() + original.outputs().size());
+  back.validate();
+}
+
+TEST(BlifRoundTripTest, MappingAgreesAcrossRoundTrip) {
+  LogicConfig config;
+  config.num_gates = 300;
+  config.seed = 33;
+  const GateNetlist original = random_logic(config);
+  std::stringstream ss;
+  write_blif(ss, original, "rt");
+  const GateNetlist back = read_blif(ss);
+
+  const MappedCircuit before = map_to_family(original, Family::kXC3000);
+  const MappedCircuit after = map_to_family(back, Family::kXC3000);
+  // The alias buffers are absorbed into cones, so CLB counts stay close.
+  EXPECT_LE(after.num_clbs, before.num_clbs + original.outputs().size());
+  EXPECT_EQ(after.circuit.num_terminals(),
+            before.circuit.num_terminals());
+}
+
+TEST(BlifFileTest, FileRoundTrip) {
+  LogicConfig config;
+  config.num_gates = 80;
+  config.seed = 41;
+  const GateNetlist n = random_logic(config);
+  const std::string path = ::testing::TempDir() + "/fpart_blif_test.blif";
+  write_blif_file(path, n, "filetest");
+  const GateNetlist back = read_blif_file(path);
+  EXPECT_EQ(back.inputs().size(), n.inputs().size());
+  EXPECT_THROW(read_blif_file("/nonexistent/x.blif"), PreconditionError);
+  EXPECT_THROW(write_blif_file("/nonexistent/dir/x.blif", n),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace fpart::techmap

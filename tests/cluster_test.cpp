@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cluster/coarsen.hpp"
+#include "core/clustered.hpp"
+#include "device/xilinx.hpp"
+#include "hypergraph/builder.hpp"
+#include "netlist/mcnc.hpp"
+#include "partition/partition.hpp"
+#include "partition/verify.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace fpart {
+namespace {
+
+TEST(CoarsenTest, MatchesStronglyConnectedPairs) {
+  // Two cells sharing three 2-pin nets must merge; the weakly attached
+  // third cell stays separate when the size cap forbids a triple.
+  HypergraphBuilder b;
+  const NodeId x = b.add_cell(2, "x");
+  const NodeId y = b.add_cell(2, "y");
+  const NodeId z = b.add_cell(2, "z");
+  b.add_net({x, y});
+  b.add_net({x, y});
+  b.add_net({x, y});
+  b.add_net({y, z});
+  const Hypergraph h = std::move(b).build();
+  CoarsenConfig config;
+  config.max_cluster_size = 4;
+  const Coarsening c = coarsen(h, config);
+  EXPECT_EQ(c.coarse.num_interior(), 2u);
+  EXPECT_EQ(c.fine_to_coarse[x], c.fine_to_coarse[y]);
+  EXPECT_NE(c.fine_to_coarse[x], c.fine_to_coarse[z]);
+  EXPECT_EQ(c.coarse.node_size(c.fine_to_coarse[x]), 4u);
+}
+
+TEST(CoarsenTest, PreservesTotalsAndTerminals) {
+  const Hypergraph h = mcnc::generate("s5378", Family::kXC3000);
+  const Coarsening c = coarsen(h);
+  c.coarse.validate();
+  EXPECT_EQ(c.coarse.total_size(), h.total_size());
+  EXPECT_EQ(c.coarse.num_terminals(), h.num_terminals());
+  // Matching at most halves the interior count.
+  EXPECT_GE(c.coarse.num_interior(), h.num_interior() / 2);
+  EXPECT_LT(c.coarse.num_interior(), h.num_interior());
+}
+
+TEST(CoarsenTest, RespectsSizeCap) {
+  HypergraphBuilder b;
+  const NodeId x = b.add_cell(5);
+  const NodeId y = b.add_cell(5);
+  b.add_net({x, y});
+  const Hypergraph h = std::move(b).build();
+  CoarsenConfig config;
+  config.max_cluster_size = 8;  // 5+5 > 8: no merge allowed
+  const Coarsening c = coarsen(h, config);
+  EXPECT_EQ(c.coarse.num_interior(), 2u);
+}
+
+TEST(CoarsenTest, DropsFullyAbsorbedNets) {
+  HypergraphBuilder b;
+  const NodeId x = b.add_cell(1);
+  const NodeId y = b.add_cell(1);
+  b.add_net({x, y});
+  b.add_net({x, y});
+  const Hypergraph h = std::move(b).build();
+  const Coarsening c = coarsen(h);
+  EXPECT_EQ(c.coarse.num_interior(), 1u);
+  EXPECT_EQ(c.coarse.num_nets(), 0u);  // both nets became internal
+}
+
+TEST(CoarsenTest, KeepsPadNetsEvenWhenAbsorbed) {
+  HypergraphBuilder b;
+  const NodeId x = b.add_cell(1);
+  const NodeId y = b.add_cell(1);
+  const NodeId pad = b.add_terminal();
+  b.add_net({x, y});
+  b.add_net({x, y, pad});
+  const Hypergraph h = std::move(b).build();
+  const Coarsening c = coarsen(h);
+  EXPECT_EQ(c.coarse.num_interior(), 1u);
+  // The pad net survives (the device still needs that I/O pin).
+  EXPECT_EQ(c.coarse.num_nets(), 1u);
+  EXPECT_EQ(c.coarse.net_terminal_count(0), 1u);
+}
+
+TEST(CoarsenTest, Deterministic) {
+  const Hypergraph h = mcnc::generate("s9234", Family::kXC3000);
+  const Coarsening a = coarsen(h);
+  const Coarsening b = coarsen(h);
+  EXPECT_EQ(a.fine_to_coarse, b.fine_to_coarse);
+  EXPECT_EQ(a.coarse.num_nets(), b.coarse.num_nets());
+}
+
+// The load-bearing invariant: a projected coarse partition has exactly
+// the coarse partition's block sizes, pin demands and cutset.
+TEST(CoarsenTest, ProjectionPreservesAllBlockStats) {
+  const Hypergraph h = mcnc::generate("s9234", Family::kXC3000);
+  const Coarsening c = coarsen(h);
+
+  const std::uint32_t k = 4;
+  Partition coarse_p(c.coarse, k);
+  Rng rng(7);
+  std::vector<BlockId> coarse_assignment(c.coarse.num_nodes(),
+                                         kInvalidBlock);
+  for (NodeId v = 0; v < c.coarse.num_nodes(); ++v) {
+    if (c.coarse.is_terminal(v)) continue;
+    const auto b = static_cast<BlockId>(rng.index(k));
+    coarse_p.move(v, b);
+    coarse_assignment[v] = b;
+  }
+
+  const std::vector<BlockId> fine_assignment =
+      c.project(coarse_assignment);
+  Partition fine_p(h, k);
+  for (NodeId v = 0; v < h.num_nodes(); ++v) {
+    if (!h.is_terminal(v)) fine_p.move(v, fine_assignment[v]);
+  }
+
+  EXPECT_EQ(fine_p.cut_size(), coarse_p.cut_size());
+  for (BlockId b = 0; b < k; ++b) {
+    EXPECT_EQ(fine_p.block_size(b), coarse_p.block_size(b));
+    EXPECT_EQ(fine_p.block_pins(b), coarse_p.block_pins(b));
+    EXPECT_EQ(fine_p.block_external_pins(b),
+              coarse_p.block_external_pins(b));
+  }
+}
+
+TEST(CoarsenTest, ProjectValidation) {
+  const Hypergraph h = mcnc::generate("c3540", Family::kXC3000);
+  const Coarsening c = coarsen(h);
+  const std::vector<BlockId> wrong(3, 0);
+  EXPECT_THROW(c.project(wrong), PreconditionError);
+}
+
+TEST(ClusteredFpartTest, FeasibleAndNearLowerBound) {
+  for (const char* circuit : {"c3540", "s9234", "s13207"}) {
+    const Device d = xilinx::xc3042();
+    const Hypergraph h = mcnc::generate(circuit, d.family());
+    const PartitionResult r = ClusteredFpartPartitioner().run(h, d);
+    EXPECT_TRUE(r.feasible) << circuit;
+    EXPECT_GE(r.k, r.lower_bound);
+    EXPECT_LE(r.k, r.lower_bound + r.lower_bound / 4 + 2) << circuit;
+    const VerifyReport report = verify_partition(h, d, r.assignment, r.k);
+    EXPECT_TRUE(report.ok) << circuit << ": " << report.summary();
+  }
+}
+
+TEST(ClusteredFpartTest, DeterministicAcrossRuns) {
+  const Device d = xilinx::xc3042();
+  const Hypergraph h = mcnc::generate("s9234", d.family());
+  const PartitionResult a = ClusteredFpartPartitioner().run(h, d);
+  const PartitionResult b = ClusteredFpartPartitioner().run(h, d);
+  EXPECT_EQ(a.k, b.k);
+  EXPECT_EQ(a.assignment, b.assignment);
+}
+
+TEST(ClusteredFpartTest, RefinePassesOffStillFeasible) {
+  const Device d = xilinx::xc3020();
+  const Hypergraph h = mcnc::generate("s5378", d.family());
+  ClusteredOptions options;
+  options.refine_passes = 0;
+  const PartitionResult r = ClusteredFpartPartitioner(options).run(h, d);
+  EXPECT_TRUE(r.feasible);
+}
+
+TEST(ClusteredFpartTest, MultilevelVCycle) {
+  const Device d = xilinx::xc3042();
+  const Hypergraph h = mcnc::generate("s13207", d.family());
+  for (std::uint32_t levels : {1u, 2u, 3u}) {
+    ClusteredOptions options;
+    options.levels = levels;
+    const PartitionResult r = ClusteredFpartPartitioner(options).run(h, d);
+    EXPECT_TRUE(r.feasible) << "levels " << levels;
+    EXPECT_GE(r.k, r.lower_bound);
+    EXPECT_LE(r.k, r.lower_bound + 2) << "levels " << levels;
+    const VerifyReport report = verify_partition(h, d, r.assignment, r.k);
+    EXPECT_TRUE(report.ok) << report.summary();
+  }
+}
+
+TEST(ClusteredFpartTest, DeepLevelsStopAtStall) {
+  // Absurd level count: the descent must stop when matching stalls or
+  // the circuit becomes tiny, not loop or crash.
+  const Device d = xilinx::xc3090();
+  const Hypergraph h = mcnc::generate("c3540", d.family());
+  ClusteredOptions options;
+  options.levels = 30;
+  const PartitionResult r = ClusteredFpartPartitioner(options).run(h, d);
+  EXPECT_TRUE(r.feasible);
+  EXPECT_THROW(
+      ClusteredFpartPartitioner([] {
+        ClusteredOptions bad;
+        bad.levels = 0;
+        return bad;
+      }())
+          .run(h, d),
+      PreconditionError);
+}
+
+}  // namespace
+}  // namespace fpart

@@ -1,0 +1,220 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "device/xilinx.hpp"
+#include "hypergraph/builder.hpp"
+#include "partition/cost.hpp"
+#include "partition/evaluator.hpp"
+#include "util/rng.hpp"
+
+namespace fpart {
+namespace {
+
+const Device kDev("T", Family::kXC3000, 100, 50, 1.0);  // S_MAX=100, T=50
+
+TEST(BlockInfeasibilityTest, ZeroInsideFeasibleRegion) {
+  const CostParams params;
+  EXPECT_DOUBLE_EQ(block_infeasibility(100, 50, kDev, params), 0.0);
+  EXPECT_DOUBLE_EQ(block_infeasibility(0, 0, kDev, params), 0.0);
+  EXPECT_DOUBLE_EQ(block_infeasibility(50, 25, kDev, params), 0.0);
+}
+
+TEST(BlockInfeasibilityTest, SizeComponent) {
+  const CostParams params;  // λ^S = 0.4
+  // d = 0.4 * (150-100)/100 = 0.2
+  EXPECT_DOUBLE_EQ(block_infeasibility(150, 10, kDev, params), 0.2);
+}
+
+TEST(BlockInfeasibilityTest, PinComponent) {
+  const CostParams params;  // λ^T = 0.6
+  // d = 0.6 * (75-50)/50 = 0.3
+  EXPECT_DOUBLE_EQ(block_infeasibility(10, 75, kDev, params), 0.3);
+}
+
+TEST(BlockInfeasibilityTest, ComponentsAdd) {
+  const CostParams params;
+  EXPECT_DOUBLE_EQ(block_infeasibility(150, 75, kDev, params), 0.5);
+}
+
+TEST(BlockInfeasibilityTest, PinViolationWeighsMore) {
+  // Same relative violation: I/O side must dominate (λ^T > λ^S).
+  const CostParams params;
+  EXPECT_GT(block_infeasibility(100, 60, kDev, params),
+            block_infeasibility(120, 50, kDev, params));
+}
+
+TEST(SizeDeviationTest, ZeroWhenRemainderFits) {
+  // S_AVG = 300/4 = 75 <= 100.
+  EXPECT_DOUBLE_EQ(size_deviation_penalty(300, 4, kDev), 0.0);
+}
+
+TEST(SizeDeviationTest, PenalizesOversizedAverage) {
+  // S_AVG = 500/4 = 125 > 100 -> penalty 1.25 (the paper's S_AVG/S_MAX).
+  EXPECT_DOUBLE_EQ(size_deviation_penalty(500, 4, kDev), 1.25);
+}
+
+TEST(SizeDeviationTest, ZeroWhenNoSplitsRemain) {
+  EXPECT_DOUBLE_EQ(size_deviation_penalty(500, 0, kDev), 0.0);
+  EXPECT_DOUBLE_EQ(size_deviation_penalty(500, -3, kDev), 0.0);
+}
+
+// A small circuit to drive partition-level cost functions.
+Hypergraph cost_fixture() {
+  HypergraphBuilder b;
+  std::vector<NodeId> c;
+  for (int i = 0; i < 6; ++i) c.push_back(b.add_cell(10));
+  const NodeId p0 = b.add_terminal();
+  const NodeId p1 = b.add_terminal();
+  b.add_net({c[0], c[1], p0});
+  b.add_net({c[2], c[3]});
+  b.add_net({c[4], c[5], p1});
+  b.add_net({c[1], c[2]});
+  b.add_net({c[3], c[4]});
+  return std::move(b).build();
+}
+
+TEST(SolutionDistanceTest, FeasiblePartitionHasZeroDistance) {
+  const Hypergraph h = cost_fixture();
+  Partition p(h, 2);
+  for (NodeId v = 3; v < 6; ++v) p.move(v, 1);
+  const CostParams params;
+  // Blocks of size 30 each, pins tiny: all feasible for kDev.
+  EXPECT_DOUBLE_EQ(partition_infeasibility(p, kDev, params), 0.0);
+  EXPECT_DOUBLE_EQ(solution_distance(p, kDev, params, 0, 1), 0.0);
+}
+
+TEST(SolutionDistanceTest, IncludesWeightedDeviationPenalty) {
+  const Hypergraph h = cost_fixture();  // total size 60
+  Partition p(h, 1);
+  const Device small("S", Family::kXC3000, 20, 50, 1.0);
+  const CostParams params;
+  // One block of 60 on a 20-cell device: d_block = 0.4*(60-20)/20 = 0.8.
+  // k = 0 non-remainder blocks; M=3 -> remaining = 3-0+1 = 4;
+  // S_AVG = 60/4 = 15 <= 20 -> no penalty.
+  EXPECT_DOUBLE_EQ(solution_distance(p, small, params, 0, 3), 0.8);
+  // With M=1: remaining = 2, S_AVG = 30 > 20 -> + 0.1 * 30/20 = 0.15.
+  EXPECT_DOUBLE_EQ(solution_distance(p, small, params, 0, 1), 0.95);
+}
+
+TEST(ExternalBalanceTest, ZeroWithoutTerminals) {
+  HypergraphBuilder b;
+  const NodeId a = b.add_cell(1);
+  const NodeId c = b.add_cell(1);
+  b.add_net({a, c});
+  const Hypergraph h = std::move(b).build();
+  Partition p(h, 2);
+  EXPECT_DOUBLE_EQ(external_balance_factor(p, 2), 0.0);
+}
+
+TEST(ExternalBalanceTest, PenalizesStarvedBlocks) {
+  const Hypergraph h = cost_fixture();  // 2 pads
+  Partition p(h, 2);
+  // All cells (and both pad nets) in block 0; block 1 empty.
+  // T_AVG^E = 2/2 = 1; block 0 has 2 (no deficit), block 1 has 0 ->
+  // deficit (1-0)/1 = 1.
+  EXPECT_DOUBLE_EQ(external_balance_factor(p, 2), 1.0);
+  // Move one pad net's cells (4,5) to block 1: both blocks hold one pad.
+  p.move(4, 1);
+  p.move(5, 1);
+  EXPECT_DOUBLE_EQ(external_balance_factor(p, 2), 0.0);
+}
+
+// --- Lexicographic evaluation (paper §3.4) --------------------------------
+
+SolutionEval make_eval(std::uint32_t f, double d, std::uint64_t t,
+                       double de) {
+  SolutionEval e;
+  e.feasible_blocks = f;
+  e.num_blocks = 4;
+  e.distance = d;
+  e.total_pins = t;
+  e.ext_balance = de;
+  return e;
+}
+
+TEST(SolutionEvalTest, FeasibleBlockCountDominates) {
+  EXPECT_TRUE(make_eval(3, 99.0, 999, 9.0)
+                  .better_than(make_eval(2, 0.0, 0, 0.0)));
+}
+
+TEST(SolutionEvalTest, DistanceBreaksFeasibleTies) {
+  EXPECT_TRUE(make_eval(2, 0.5, 999, 9.0)
+                  .better_than(make_eval(2, 0.7, 0, 0.0)));
+}
+
+TEST(SolutionEvalTest, PinsBreakDistanceTies) {
+  EXPECT_TRUE(make_eval(2, 0.5, 10, 9.0)
+                  .better_than(make_eval(2, 0.5, 11, 0.0)));
+}
+
+TEST(SolutionEvalTest, ExtBalanceIsLastResort) {
+  EXPECT_TRUE(make_eval(2, 0.5, 10, 0.1)
+                  .better_than(make_eval(2, 0.5, 10, 0.2)));
+}
+
+TEST(SolutionEvalTest, EqualEvalsAreNotBetter) {
+  const auto e = make_eval(2, 0.5, 10, 0.1);
+  EXPECT_FALSE(e.better_than(e));
+}
+
+TEST(SolutionEvalTest, FloatNoiseDoesNotFlip) {
+  const auto a = make_eval(2, 0.5, 10, 0.1);
+  const auto b = make_eval(2, 0.5 + 1e-12, 10, 0.1);
+  EXPECT_FALSE(a.better_than(b));
+  EXPECT_FALSE(b.better_than(a));
+}
+
+TEST(SolutionEvalTest, OrderIsAntisymmetricAndTransitiveOnSamples) {
+  Rng rng(1234);
+  std::vector<SolutionEval> samples;
+  for (int i = 0; i < 40; ++i) {
+    samples.push_back(make_eval(static_cast<std::uint32_t>(rng.index(3)),
+                                static_cast<double>(rng.index(3)) * 0.5,
+                                rng.index(3), static_cast<double>(
+                                    rng.index(3)) * 0.25));
+  }
+  for (const auto& a : samples) {
+    for (const auto& b : samples) {
+      EXPECT_FALSE(a.better_than(b) && b.better_than(a));
+      for (const auto& c : samples) {
+        if (a.better_than(b) && b.better_than(c)) {
+          EXPECT_TRUE(a.better_than(c));
+        }
+      }
+    }
+  }
+}
+
+TEST(SolutionEvalTest, FeasibleFlagAndToString) {
+  auto e = make_eval(4, 0.0, 10, 0.0);
+  EXPECT_TRUE(e.feasible());
+  e.feasible_blocks = 3;
+  EXPECT_FALSE(e.feasible());
+  EXPECT_NE(e.to_string().find("f=3/4"), std::string::npos);
+}
+
+TEST(EvaluatorTest, EvaluatesPartitionState) {
+  const Hypergraph h = cost_fixture();
+  Partition p(h, 2);
+  const Evaluator eval(kDev, CostParams{}, 2);
+  const SolutionEval e = eval.evaluate(p, 0);
+  EXPECT_EQ(e.num_blocks, 2u);
+  EXPECT_EQ(e.feasible_blocks, 2u);  // 60 cells, 2 pads: all fits
+  EXPECT_DOUBLE_EQ(e.distance, 0.0);
+  // block 0 pins: the two pad nets.
+  EXPECT_EQ(e.total_pins, 2u);
+  EXPECT_DOUBLE_EQ(e.ext_balance, 1.0);  // block 1 starved
+}
+
+TEST(EvaluatorTest, LambdaEDisablesExtBalance) {
+  const Hypergraph h = cost_fixture();
+  Partition p(h, 2);
+  CostParams params;
+  params.lambda_e = 0.0;
+  const Evaluator eval(kDev, params, 2);
+  EXPECT_DOUBLE_EQ(eval.evaluate(p, 0).ext_balance, 0.0);
+}
+
+}  // namespace
+}  // namespace fpart

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/hetero.hpp"
+#include "device/device_set.hpp"
+#include "device/xilinx.hpp"
+#include "netlist/mcnc.hpp"
+#include "partition/verify.hpp"
+#include "util/assert.hpp"
+
+namespace fpart {
+namespace {
+
+DeviceSet toy_set() {
+  std::vector<PricedDevice> devices;
+  devices.push_back({Device("SMALL", Family::kXC3000, 10, 10, 1.0), 1.0});
+  devices.push_back({Device("MED", Family::kXC3000, 25, 20, 1.0), 2.0});
+  devices.push_back({Device("BIG", Family::kXC3000, 60, 40, 1.0), 5.0});
+  return DeviceSet(std::move(devices));
+}
+
+TEST(DeviceSetTest, LargestSelection) {
+  const DeviceSet set = toy_set();
+  EXPECT_EQ(set.largest().device.name(), "BIG");
+  EXPECT_EQ(set.largest_index(), 2u);
+}
+
+TEST(DeviceSetTest, CheapestFitPicksByPrice) {
+  const DeviceSet set = toy_set();
+  EXPECT_EQ(set.cheapest_fit(8, 8), std::optional<std::size_t>(0));
+  EXPECT_EQ(set.cheapest_fit(20, 8), std::optional<std::size_t>(1));
+  EXPECT_EQ(set.cheapest_fit(8, 15), std::optional<std::size_t>(1));  // pins
+  EXPECT_EQ(set.cheapest_fit(50, 30), std::optional<std::size_t>(2));
+  EXPECT_FALSE(set.cheapest_fit(100, 5).has_value());
+  EXPECT_FALSE(set.cheapest_fit(5, 100).has_value());
+}
+
+TEST(DeviceSetTest, Validation) {
+  EXPECT_THROW(DeviceSet({}), PreconditionError);
+  std::vector<PricedDevice> bad_cost;
+  bad_cost.push_back({Device("X", Family::kXC3000, 10, 10, 1.0), 0.0});
+  EXPECT_THROW(DeviceSet(std::move(bad_cost)), PreconditionError);
+  std::vector<PricedDevice> mixed;
+  mixed.push_back({Device("A", Family::kXC3000, 10, 10, 1.0), 1.0});
+  mixed.push_back({Device("B", Family::kXC2000, 10, 10, 1.0), 1.0});
+  EXPECT_THROW(DeviceSet(std::move(mixed)), PreconditionError);
+}
+
+TEST(DeviceSetTest, AssignCheapestDevices) {
+  const DeviceSet set = toy_set();
+  const std::vector<std::pair<std::uint64_t, std::uint64_t>> demands = {
+      {8, 8}, {20, 15}, {55, 35}};
+  const DeviceAssignment a = assign_cheapest_devices(demands, set);
+  EXPECT_TRUE(a.ok);
+  EXPECT_EQ(a.device_of_block,
+            (std::vector<std::size_t>{0, 1, 2}));
+  EXPECT_DOUBLE_EQ(a.total_cost, 8.0);
+}
+
+TEST(DeviceSetTest, AssignFlagsUnfittable) {
+  const DeviceSet set = toy_set();
+  const std::vector<std::pair<std::uint64_t, std::uint64_t>> demands = {
+      {8, 8}, {500, 500}};
+  const DeviceAssignment a = assign_cheapest_devices(demands, set);
+  EXPECT_FALSE(a.ok);
+  EXPECT_EQ(a.device_of_block[1], DeviceAssignment::kNoFit);
+}
+
+TEST(DeviceSetTest, Xc3000FamilySet) {
+  const DeviceSet set = xilinx::xc3000_family_set();
+  EXPECT_EQ(set.size(), 3u);
+  EXPECT_EQ(set.largest().device.name(), "XC3090");
+  EXPECT_DOUBLE_EQ(set.devices()[0].cost, 1.0);
+}
+
+TEST(HeteroTest, CoversCircuitAtMinimalishCost) {
+  const DeviceSet set = xilinx::xc3000_family_set();
+  const Hypergraph h = mcnc::generate("s9234", Family::kXC3000);
+  const HeteroResult r = partition_heterogeneous(h, set);
+  EXPECT_TRUE(r.devices.ok);
+  EXPECT_GT(r.total_cost, 0.0);
+  // Every block fits its chosen device.
+  for (BlockId b = 0; b < r.partition.k; ++b) {
+    const std::size_t di = r.devices.device_of_block[b];
+    ASSERT_NE(di, DeviceAssignment::kNoFit);
+    const Device& d = set.devices()[di].device;
+    EXPECT_TRUE(d.size_ok(r.partition.blocks[b].size));
+    EXPECT_TRUE(d.pins_ok(r.partition.blocks[b].pins));
+  }
+  // Cost can never beat the size lower bound against the best
+  // cost-per-cell device in the library (XC3020: 1.0 / 57.6 cells).
+  const double min_cost_per_cell = 1.0 / (64 * 0.9);
+  EXPECT_GE(r.total_cost,
+            min_cost_per_cell * static_cast<double>(h.total_size()) - 1e-9);
+}
+
+TEST(HeteroTest, DownsizingNeverRaisesCost) {
+  const DeviceSet set = xilinx::xc3000_family_set();
+  const Hypergraph h = mcnc::generate("s13207", Family::kXC3000);
+  HeteroOptions without;
+  without.downsize = false;
+  const HeteroResult base = partition_heterogeneous(h, set, without);
+  const HeteroResult tuned = partition_heterogeneous(h, set);
+  EXPECT_LE(tuned.total_cost, base.total_cost + 1e-9);
+}
+
+TEST(HeteroTest, ResultVerifiesAgainstAssignedDevices) {
+  const DeviceSet set = xilinx::xc3000_family_set();
+  const Hypergraph h = mcnc::generate("c3540", Family::kXC3000);
+  const HeteroResult r = partition_heterogeneous(h, set);
+  // Verify against the largest device (every chosen device is at most
+  // that big, and per-block fits were already asserted above).
+  const VerifyReport report = verify_partition(
+      h, set.largest().device, r.partition.assignment, r.partition.k);
+  EXPECT_TRUE(report.ok) << report.summary();
+}
+
+}  // namespace
+}  // namespace fpart

@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "device/xilinx.hpp"
+#include "hypergraph/builder.hpp"
+#include "netlist/mcnc.hpp"
+#include "util/assert.hpp"
+
+namespace fpart {
+namespace {
+
+TEST(DeviceTest, EffectiveCapacityAppliesFillRatio) {
+  const Device d("X", Family::kXC3000, 100, 50, 0.9);
+  EXPECT_DOUBLE_EQ(d.s_max(), 90.0);
+  EXPECT_EQ(d.s_max_cells(), 90u);
+  EXPECT_TRUE(d.size_ok(90));
+  EXPECT_FALSE(d.size_ok(91));
+  EXPECT_TRUE(d.pins_ok(50));
+  EXPECT_FALSE(d.pins_ok(51));
+}
+
+TEST(DeviceTest, FractionalCapacityBoundary) {
+  // XC3020 with δ=0.9: S_MAX = 57.6 — 57 fits, 58 does not.
+  const Device d = xilinx::xc3020();
+  EXPECT_TRUE(d.size_ok(57));
+  EXPECT_FALSE(d.size_ok(58));
+}
+
+TEST(DeviceTest, WithFillRescales) {
+  const Device d = xilinx::xc2064().with_fill(0.5);
+  EXPECT_DOUBLE_EQ(d.s_max(), 32.0);
+  EXPECT_EQ(d.name(), "XC2064");
+  EXPECT_EQ(d.t_max(), 58u);
+}
+
+TEST(DeviceTest, ValidatesParameters) {
+  EXPECT_THROW(Device("bad", Family::kXC2000, 0, 10), PreconditionError);
+  EXPECT_THROW(Device("bad", Family::kXC2000, 10, 1), PreconditionError);
+  EXPECT_THROW(Device("bad", Family::kXC2000, 10, 10, 0.0),
+               PreconditionError);
+  EXPECT_THROW(Device("bad", Family::kXC2000, 10, 10, 1.5),
+               PreconditionError);
+}
+
+TEST(XilinxTest, CatalogMatchesPaper) {
+  EXPECT_EQ(xilinx::xc3020().s_datasheet(), 64u);
+  EXPECT_EQ(xilinx::xc3020().t_max(), 64u);
+  EXPECT_DOUBLE_EQ(xilinx::xc3020().fill(), 0.9);
+  EXPECT_EQ(xilinx::xc3042().s_datasheet(), 144u);
+  EXPECT_EQ(xilinx::xc3042().t_max(), 96u);
+  EXPECT_EQ(xilinx::xc3090().s_datasheet(), 320u);
+  EXPECT_EQ(xilinx::xc3090().t_max(), 144u);
+  EXPECT_EQ(xilinx::xc2064().s_datasheet(), 64u);
+  EXPECT_EQ(xilinx::xc2064().t_max(), 58u);
+  EXPECT_DOUBLE_EQ(xilinx::xc2064().fill(), 1.0);
+  EXPECT_EQ(xilinx::xc2064().family(), Family::kXC2000);
+  EXPECT_EQ(xilinx::xc3090().family(), Family::kXC3000);
+}
+
+TEST(XilinxTest, LookupByNameCaseInsensitive) {
+  EXPECT_EQ(xilinx::by_name("xc3042").name(), "XC3042");
+  EXPECT_EQ(xilinx::by_name("XC3090").name(), "XC3090");
+  EXPECT_THROW(xilinx::by_name("XC9999"), PreconditionError);
+}
+
+TEST(XilinxTest, EvaluationDeviceOrder) {
+  const auto devices = xilinx::evaluation_devices();
+  ASSERT_EQ(devices.size(), 4u);
+  EXPECT_EQ(devices[0].name(), "XC3020");
+  EXPECT_EQ(devices[3].name(), "XC2064");
+}
+
+TEST(LowerBoundTest, SizeDriven) {
+  const Device d("X", Family::kXC3000, 10, 100, 1.0);
+  EXPECT_EQ(lower_bound_devices(25, 5, d), 3u);
+  EXPECT_EQ(lower_bound_devices(30, 5, d), 3u);
+  EXPECT_EQ(lower_bound_devices(31, 5, d), 4u);
+}
+
+TEST(LowerBoundTest, PinDriven) {
+  const Device d("X", Family::kXC3000, 1000, 10, 1.0);
+  EXPECT_EQ(lower_bound_devices(5, 25, d), 3u);
+}
+
+TEST(LowerBoundTest, NeverBelowOne) {
+  const Device d("X", Family::kXC3000, 1000, 100, 1.0);
+  EXPECT_EQ(lower_bound_devices(1, 0, d), 1u);
+}
+
+TEST(LowerBoundTest, FromHypergraph) {
+  HypergraphBuilder b;
+  const NodeId a = b.add_cell(7);
+  const NodeId c = b.add_cell(8);
+  b.add_net({a, c});
+  const Hypergraph h = std::move(b).build();
+  const Device d("X", Family::kXC3000, 10, 100, 1.0);
+  EXPECT_EQ(lower_bound_devices(h, d), 2u);  // ceil(15/10)
+}
+
+// The M columns of Tables 2-5 must reproduce EXACTLY (they depend only
+// on the published Table 1 totals and the device parameters).
+using MCase = std::tuple<const char*, const char*, std::uint32_t>;
+class PaperLowerBoundTest : public ::testing::TestWithParam<MCase> {};
+
+TEST_P(PaperLowerBoundTest, MatchesPaperTable) {
+  const auto& [circuit, device_name, expected_m] = GetParam();
+  const Device d = xilinx::by_name(device_name);
+  const auto& spec = mcnc::circuit(circuit);
+  EXPECT_EQ(lower_bound_devices(spec.clbs(d.family()), spec.iobs, d),
+            expected_m);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table2_XC3020, PaperLowerBoundTest,
+    ::testing::Values(MCase{"c3540", "XC3020", 5}, MCase{"c5315", "XC3020", 7},
+                      MCase{"c6288", "XC3020", 15},
+                      MCase{"c7552", "XC3020", 9}, MCase{"s5378", "XC3020", 7},
+                      MCase{"s9234", "XC3020", 8},
+                      MCase{"s13207", "XC3020", 16},
+                      MCase{"s15850", "XC3020", 15},
+                      MCase{"s38417", "XC3020", 39},
+                      MCase{"s38584", "XC3020", 51}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Table3_XC3042, PaperLowerBoundTest,
+    ::testing::Values(MCase{"c3540", "XC3042", 3}, MCase{"c5315", "XC3042", 4},
+                      MCase{"c6288", "XC3042", 7}, MCase{"c7552", "XC3042", 4},
+                      MCase{"s5378", "XC3042", 3}, MCase{"s9234", "XC3042", 4},
+                      MCase{"s13207", "XC3042", 8},
+                      MCase{"s15850", "XC3042", 7},
+                      MCase{"s38417", "XC3042", 18},
+                      MCase{"s38584", "XC3042", 23}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Table4_XC3090, PaperLowerBoundTest,
+    ::testing::Values(MCase{"c3540", "XC3090", 1}, MCase{"c5315", "XC3090", 3},
+                      MCase{"c6288", "XC3090", 3}, MCase{"c7552", "XC3090", 3},
+                      MCase{"s5378", "XC3090", 2}, MCase{"s9234", "XC3090", 2},
+                      MCase{"s13207", "XC3090", 4},
+                      MCase{"s15850", "XC3090", 3},
+                      MCase{"s38417", "XC3090", 8},
+                      MCase{"s38584", "XC3090", 11}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Table5_XC2064, PaperLowerBoundTest,
+    ::testing::Values(MCase{"c3540", "XC2064", 6}, MCase{"c5315", "XC2064", 9},
+                      MCase{"c7552", "XC2064", 10},
+                      MCase{"c6288", "XC2064", 14}));
+
+}  // namespace
+}  // namespace fpart

@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "flow/dinic.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace fpart {
+namespace {
+
+TEST(DinicTest, SingleEdge) {
+  FlowNetwork net(2);
+  net.add_edge(0, 1, 5);
+  EXPECT_EQ(net.max_flow(0, 1), 5);
+}
+
+TEST(DinicTest, SeriesTakesMinimum) {
+  FlowNetwork net(3);
+  net.add_edge(0, 1, 5);
+  net.add_edge(1, 2, 3);
+  EXPECT_EQ(net.max_flow(0, 2), 3);
+}
+
+TEST(DinicTest, ParallelPathsAdd) {
+  FlowNetwork net(4);
+  net.add_edge(0, 1, 2);
+  net.add_edge(1, 3, 2);
+  net.add_edge(0, 2, 3);
+  net.add_edge(2, 3, 3);
+  EXPECT_EQ(net.max_flow(0, 3), 5);
+}
+
+TEST(DinicTest, ClassicTextbookNetwork) {
+  // CLRS-style example with a known max flow of 23.
+  FlowNetwork net(6);
+  net.add_edge(0, 1, 16);
+  net.add_edge(0, 2, 13);
+  net.add_edge(1, 2, 10);
+  net.add_edge(2, 1, 4);
+  net.add_edge(1, 3, 12);
+  net.add_edge(3, 2, 9);
+  net.add_edge(2, 4, 14);
+  net.add_edge(4, 3, 7);
+  net.add_edge(3, 5, 20);
+  net.add_edge(4, 5, 4);
+  EXPECT_EQ(net.max_flow(0, 5), 23);
+}
+
+TEST(DinicTest, DisconnectedGivesZero) {
+  FlowNetwork net(4);
+  net.add_edge(0, 1, 5);
+  net.add_edge(2, 3, 5);
+  EXPECT_EQ(net.max_flow(0, 3), 0);
+  const auto side = net.min_cut_source_side(0);
+  EXPECT_TRUE(side[0]);
+  EXPECT_TRUE(side[1]);
+  EXPECT_FALSE(side[2]);
+  EXPECT_FALSE(side[3]);
+}
+
+TEST(DinicTest, EdgeFlowsAreConsistent) {
+  FlowNetwork net(4);
+  const auto e1 = net.add_edge(0, 1, 4);
+  const auto e2 = net.add_edge(1, 2, 4);
+  const auto e3 = net.add_edge(2, 3, 2);
+  EXPECT_EQ(net.max_flow(0, 3), 2);
+  EXPECT_EQ(net.flow(e1), 2);
+  EXPECT_EQ(net.flow(e2), 2);
+  EXPECT_EQ(net.flow(e3), 2);
+}
+
+TEST(DinicTest, RerunResetsFlow) {
+  FlowNetwork net(3);
+  net.add_edge(0, 1, 5);
+  net.add_edge(1, 2, 3);
+  EXPECT_EQ(net.max_flow(0, 2), 3);
+  EXPECT_EQ(net.max_flow(0, 2), 3);  // same result, not additive
+  EXPECT_EQ(net.max_flow(0, 1), 5);  // different terminals
+}
+
+TEST(DinicTest, MinCutSeparatesTerminals) {
+  FlowNetwork net(5);
+  net.add_edge(0, 1, 10);
+  net.add_edge(1, 2, 1);  // bottleneck
+  net.add_edge(2, 3, 10);
+  net.add_edge(3, 4, 10);
+  EXPECT_EQ(net.max_flow(0, 4), 1);
+  const auto side = net.min_cut_source_side(0);
+  EXPECT_TRUE(side[0]);
+  EXPECT_TRUE(side[1]);
+  EXPECT_FALSE(side[2]);
+  EXPECT_FALSE(side[4]);
+}
+
+TEST(DinicTest, InfiniteCapacityEdges) {
+  FlowNetwork net(4);
+  net.add_edge(0, 1, FlowNetwork::kInf);
+  net.add_edge(1, 2, 7);
+  net.add_edge(2, 3, FlowNetwork::kInf);
+  EXPECT_EQ(net.max_flow(0, 3), 7);
+}
+
+TEST(DinicTest, Validation) {
+  FlowNetwork net(3);
+  EXPECT_THROW(net.add_edge(0, 9, 1), PreconditionError);
+  EXPECT_THROW(net.add_edge(0, 1, -2), PreconditionError);
+  EXPECT_THROW(net.max_flow(0, 0), PreconditionError);
+  EXPECT_THROW(net.max_flow(0, 9), PreconditionError);
+  EXPECT_THROW(net.flow(5), PreconditionError);
+}
+
+// Brute force: max flow == min cut over all s/t vertex bipartitions
+// (enumerable for tiny graphs).
+std::int64_t brute_force_min_cut(
+    std::size_t n, const std::vector<std::tuple<int, int, int>>& edges,
+    int s, int t) {
+  std::int64_t best = INT64_MAX;
+  for (std::uint32_t mask = 0; mask < (1u << n); ++mask) {
+    if (!(mask & (1u << s)) || (mask & (1u << t))) continue;
+    std::int64_t cut = 0;
+    for (const auto& [u, v, c] : edges) {
+      if ((mask & (1u << u)) && !(mask & (1u << v))) cut += c;
+    }
+    best = std::min(best, cut);
+  }
+  return best;
+}
+
+class DinicFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DinicFuzzTest, MatchesBruteForceMinCut) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 997 + 13);
+  for (int trial = 0; trial < 25; ++trial) {
+    const std::size_t n = 4 + rng.index(5);  // 4..8 vertices
+    const std::size_t m = 6 + rng.index(12);
+    std::vector<std::tuple<int, int, int>> edges;
+    FlowNetwork net(n);
+    for (std::size_t i = 0; i < m; ++i) {
+      const int u = static_cast<int>(rng.index(n));
+      int v = static_cast<int>(rng.index(n));
+      if (u == v) v = (v + 1) % static_cast<int>(n);
+      const int c = static_cast<int>(rng.uniform(1, 6));
+      edges.emplace_back(u, v, c);
+      net.add_edge(static_cast<FlowNetwork::Vertex>(u),
+                   static_cast<FlowNetwork::Vertex>(v), c);
+    }
+    const int s = 0;
+    const int t = static_cast<int>(n) - 1;
+    const std::int64_t expected = brute_force_min_cut(n, edges, s, t);
+    ASSERT_EQ(net.max_flow(0, static_cast<FlowNetwork::Vertex>(t)), expected)
+        << "trial " << trial;
+    // The reported cut side must actually achieve that cut value.
+    const auto side = net.min_cut_source_side(0);
+    std::int64_t side_cut = 0;
+    for (const auto& [u, v, c] : edges) {
+      if (side[static_cast<std::size_t>(u)] &&
+          !side[static_cast<std::size_t>(v)]) {
+        side_cut += c;
+      }
+    }
+    ASSERT_EQ(side_cut, expected);
+    ASSERT_TRUE(side[0]);
+    ASSERT_FALSE(side[static_cast<std::size_t>(t)]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DinicFuzzTest, ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace fpart

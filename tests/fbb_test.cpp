@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "device/xilinx.hpp"
+#include "flow/fbb.hpp"
+#include "hypergraph/builder.hpp"
+#include "netlist/mcnc.hpp"
+
+namespace fpart {
+namespace {
+
+using Case = std::tuple<const char*, const char*>;
+class FbbEndToEndTest : public ::testing::TestWithParam<Case> {};
+
+TEST_P(FbbEndToEndTest, ProducesFeasiblePartition) {
+  const auto& [circuit, device_name] = GetParam();
+  const Device d = xilinx::by_name(device_name);
+  const Hypergraph h = mcnc::generate(circuit, d.family());
+  const PartitionResult r = FbbPartitioner().run(h, d);
+  EXPECT_TRUE(r.feasible);
+  EXPECT_GE(r.k, r.lower_bound);
+  std::uint64_t total = 0;
+  for (const BlockStats& b : r.blocks) {
+    EXPECT_TRUE(b.feasible);
+    EXPECT_GT(b.nodes, 0u);
+    total += b.size;
+  }
+  EXPECT_EQ(total, h.total_size());
+  // Flow-based peeling should stay reasonably close to the bound.
+  EXPECT_LE(r.k, r.lower_bound + r.lower_bound / 4 + 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Circuits, FbbEndToEndTest,
+                         ::testing::Values(Case{"c3540", "XC3020"},
+                                           Case{"s5378", "XC3042"},
+                                           Case{"s9234", "XC3090"},
+                                           Case{"c7552", "XC2064"}));
+
+TEST(FbbTest, DeterministicAcrossRuns) {
+  const Device d = xilinx::xc3042();
+  const Hypergraph h = mcnc::generate("s5378", d.family());
+  const PartitionResult a = FbbPartitioner().run(h, d);
+  const PartitionResult b = FbbPartitioner().run(h, d);
+  EXPECT_EQ(a.k, b.k);
+  EXPECT_EQ(a.assignment, b.assignment);
+}
+
+TEST(FbbTest, SingleDeviceShortCircuit) {
+  const Device d = xilinx::xc3090();
+  const Hypergraph h = mcnc::generate("c3540", d.family());
+  const PartitionResult r = FbbPartitioner().run(h, d);
+  EXPECT_EQ(r.k, 1u);
+  EXPECT_TRUE(r.feasible);
+}
+
+TEST(FbbTest, TinyCircuitWithForcedCut) {
+  HypergraphBuilder b;
+  std::vector<NodeId> c;
+  for (int i = 0; i < 6; ++i) c.push_back(b.add_cell(2));
+  for (int i = 0; i < 5; ++i) b.add_net({c[i], c[i + 1]});
+  const Hypergraph h = std::move(b).build();  // 12 size units
+  const Device d("X", Family::kXC3000, 8, 8, 1.0);
+  const PartitionResult r = FbbPartitioner().run(h, d);
+  EXPECT_TRUE(r.feasible);
+  EXPECT_EQ(r.k, 2u);
+  EXPECT_EQ(r.cut, 1u);  // chain cut once
+}
+
+TEST(FbbTest, ConfigWindowIsRespectedOnAverage) {
+  // With a high lo fraction, peeled blocks should be well filled.
+  const Device d = xilinx::xc3020();
+  const Hypergraph h = mcnc::generate("s9234", d.family());
+  FbbConfig config;
+  config.size_lo_frac = 0.85;
+  const PartitionResult r = FbbPartitioner(config).run(h, d);
+  EXPECT_TRUE(r.feasible);
+  double avg_fill = 0.0;
+  for (const BlockStats& blk : r.blocks) {
+    avg_fill += static_cast<double>(blk.size) / d.s_max();
+  }
+  avg_fill /= static_cast<double>(r.blocks.size());
+  EXPECT_GT(avg_fill, 0.6);
+}
+
+TEST(FbbTest, PinTightDeviceForcesRetries) {
+  // Few pins relative to logic: exercises the pin-retry/shrink path.
+  HypergraphBuilder b;
+  std::vector<NodeId> c;
+  for (int i = 0; i < 40; ++i) c.push_back(b.add_cell(1));
+  // A mesh with many crossing nets.
+  for (int i = 0; i < 40; ++i) {
+    b.add_net({c[static_cast<std::size_t>(i)],
+               c[static_cast<std::size_t>((i + 7) % 40)],
+               c[static_cast<std::size_t>((i + 19) % 40)]});
+  }
+  const Hypergraph h = std::move(b).build();
+  const Device d("X", Family::kXC3000, 12, 8, 1.0);
+  const PartitionResult r = FbbPartitioner().run(h, d);
+  EXPECT_TRUE(r.feasible);
+  for (const BlockStats& blk : r.blocks) EXPECT_LE(blk.pins, 8u);
+}
+
+}  // namespace
+}  // namespace fpart

@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+#include "fm/fm_bipartitioner.hpp"
+#include "hypergraph/builder.hpp"
+#include "netlist/generator.hpp"
+#include "partition/partition.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace fpart {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Two 4-cell cliques joined by one bridge net: optimal bisection cut = 1.
+Hypergraph two_cliques() {
+  HypergraphBuilder b;
+  std::vector<NodeId> c;
+  for (int i = 0; i < 8; ++i) c.push_back(b.add_cell(1));
+  for (int m = 0; m < 2; ++m) {
+    const int base = m * 4;
+    for (int i = 0; i < 4; ++i) {
+      for (int j = i + 1; j < 4; ++j) {
+        b.add_net({c[base + i], c[base + j]});
+      }
+    }
+  }
+  b.add_net({c[0], c[4]});
+  return std::move(b).build();
+}
+
+TEST(FmTest, FindsOptimalCutOnTwoCliques) {
+  const Hypergraph h = two_cliques();
+  Partition p(h, 2);
+  // Bad start: both cliques split across the blocks.
+  p.move(0, 1);
+  p.move(1, 1);
+  p.move(4, 1);
+  p.move(5, 1);
+  // block1 = {0,1,4,5}, block0 = {2,3,6,7}.
+  const auto initial_cut = p.cut_size();
+  ASSERT_GT(initial_cut, 1u);
+
+  // Windows must leave room for one-cell-at-a-time transit (classic FM
+  // tolerates ±1 cell of imbalance mid-pass).
+  FmBipartitioner fm(p, 0, 1);
+  const FmResult r = fm.run(SizeWindow{3, 5}, SizeWindow{3, 5});
+  EXPECT_EQ(r.initial_cut, initial_cut);
+  EXPECT_EQ(r.final_cut, 1u);
+  EXPECT_EQ(p.cut_size(), 1u);
+  EXPECT_EQ(p.block_size(0), 4u);
+  EXPECT_EQ(p.block_size(1), 4u);
+}
+
+TEST(FmTest, NeverIncreasesCut) {
+  GeneratorConfig config;
+  config.num_cells = 120;
+  config.num_terminals = 12;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    config.seed = seed;
+    const Hypergraph h = generate_circuit(config);
+    Partition p(h, 2);
+    Rng rng(seed);
+    for (NodeId v = 0; v < h.num_nodes(); ++v) {
+      if (!h.is_terminal(v)) {
+        p.move(v, static_cast<BlockId>(rng.index(2)));
+      }
+    }
+    const auto before = p.cut_size();
+    FmBipartitioner fm(p, 0, 1);
+    const FmResult r = fm.run(SizeWindow{40, 80}, SizeWindow{40, 80});
+    EXPECT_LE(r.final_cut, before) << "seed " << seed;
+    EXPECT_EQ(r.final_cut, p.cut_size());
+    p.check_consistency();
+  }
+}
+
+TEST(FmTest, RespectsSizeWindows) {
+  GeneratorConfig config;
+  config.num_cells = 100;
+  config.num_terminals = 8;
+  config.seed = 9;
+  const Hypergraph h = generate_circuit(config);
+  Partition p(h, 2);
+  Rng rng(3);
+  for (NodeId v = 0; v < h.num_nodes(); ++v) {
+    if (!h.is_terminal(v)) p.move(v, static_cast<BlockId>(rng.index(2)));
+  }
+  FmBipartitioner fm(p, 0, 1);
+  fm.run(SizeWindow{35, 65}, SizeWindow{35, 65});
+  EXPECT_GE(p.block_size(0), 35u);
+  EXPECT_LE(p.block_size(0), 65u);
+  EXPECT_GE(p.block_size(1), 35u);
+  EXPECT_LE(p.block_size(1), 65u);
+}
+
+TEST(FmTest, UnboundedWindowsAllowDrainToZeroCut) {
+  const Hypergraph h = two_cliques();
+  Partition p(h, 2);
+  p.move(4, 1);  // lone clique-B cell in block 1
+  FmBipartitioner fm(p, 0, 1);
+  fm.run(SizeWindow{0, kInf}, SizeWindow{0, kInf});
+  EXPECT_EQ(p.cut_size(), 0u);
+}
+
+TEST(FmTest, MovesBoundedByCellCountPerPass) {
+  const Hypergraph h = two_cliques();
+  Partition p(h, 2);
+  for (NodeId v = 4; v < 8; ++v) p.move(v, 1);
+  FmConfig config;
+  config.max_passes = 1;
+  FmBipartitioner fm(p, 0, 1, config);
+  const FmResult r = fm.run(SizeWindow{0, kInf}, SizeWindow{0, kInf});
+  EXPECT_LE(r.total_moves, h.num_interior());
+}
+
+TEST(FmTest, ValidatesBlockIds) {
+  const Hypergraph h = two_cliques();
+  Partition p(h, 2);
+  EXPECT_THROW(FmBipartitioner(p, 0, 0), PreconditionError);
+  EXPECT_THROW(FmBipartitioner(p, 0, 5), PreconditionError);
+}
+
+TEST(FmTest, DoesNotDisturbOtherBlocks) {
+  GeneratorConfig config;
+  config.num_cells = 90;
+  config.num_terminals = 9;
+  config.seed = 17;
+  const Hypergraph h = generate_circuit(config);
+  Partition p(h, 3);
+  Rng rng(17);
+  for (NodeId v = 0; v < h.num_nodes(); ++v) {
+    if (!h.is_terminal(v)) p.move(v, static_cast<BlockId>(rng.index(3)));
+  }
+  const auto frozen = p.block_nodes(0);
+  FmBipartitioner fm(p, 1, 2);
+  fm.run(SizeWindow{0, kInf}, SizeWindow{0, kInf});
+  EXPECT_EQ(p.block_nodes(0), frozen);
+  p.check_consistency();
+}
+
+TEST(FmTest, PassCountBounded) {
+  GeneratorConfig config;
+  config.num_cells = 60;
+  config.num_terminals = 6;
+  config.seed = 23;
+  const Hypergraph h = generate_circuit(config);
+  Partition p(h, 2);
+  Rng rng(23);
+  for (NodeId v = 0; v < h.num_nodes(); ++v) {
+    if (!h.is_terminal(v)) p.move(v, static_cast<BlockId>(rng.index(2)));
+  }
+  FmConfig config_fm;
+  config_fm.max_passes = 3;
+  FmBipartitioner fm(p, 0, 1, config_fm);
+  const FmResult r = fm.run(SizeWindow{0, kInf}, SizeWindow{0, kInf});
+  EXPECT_LE(r.passes, 3);
+  EXPECT_GE(r.passes, 1);
+}
+
+TEST(FmTest, TightWindowsFreezeEverything) {
+  const Hypergraph h = two_cliques();
+  Partition p(h, 2);
+  for (NodeId v = 4; v < 8; ++v) p.move(v, 1);
+  const auto before = p.snapshot();
+  // Exact-size windows: no move can keep both sides legal.
+  FmBipartitioner fm(p, 0, 1);
+  const FmResult r = fm.run(SizeWindow{4, 4}, SizeWindow{4, 4});
+  EXPECT_EQ(r.total_moves, 0u);
+  EXPECT_EQ(p.snapshot().assignment, before.assignment);
+}
+
+}  // namespace
+}  // namespace fpart

@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/fpart.hpp"
+#include "device/xilinx.hpp"
+#include "hypergraph/builder.hpp"
+#include "netlist/mcnc.hpp"
+
+namespace fpart {
+namespace {
+
+void expect_well_formed(const PartitionResult& r, const Hypergraph& h,
+                        const Device& d) {
+  EXPECT_TRUE(r.feasible);
+  EXPECT_GE(r.k, r.lower_bound);
+  EXPECT_EQ(r.blocks.size(), r.k);
+  std::uint64_t total_size = 0;
+  for (const BlockStats& b : r.blocks) {
+    EXPECT_TRUE(b.feasible);
+    EXPECT_GT(b.nodes, 0u) << "no empty blocks in the result";
+    EXPECT_TRUE(d.size_ok(b.size));
+    EXPECT_TRUE(d.pins_ok(b.pins));
+    total_size += b.size;
+  }
+  EXPECT_EQ(total_size, h.total_size());
+  // Every interior node is assigned to a valid block.
+  for (NodeId v = 0; v < h.num_nodes(); ++v) {
+    if (h.is_terminal(v)) {
+      EXPECT_EQ(r.assignment[v], kInvalidBlock);
+    } else {
+      EXPECT_LT(r.assignment[v], r.k);
+    }
+  }
+}
+
+using Case = std::tuple<const char*, const char*>;
+class FpartEndToEndTest : public ::testing::TestWithParam<Case> {};
+
+TEST_P(FpartEndToEndTest, ProducesFeasiblePartitionAboveLowerBound) {
+  const auto& [circuit, device_name] = GetParam();
+  const Device d = xilinx::by_name(device_name);
+  const Hypergraph h = mcnc::generate(circuit, d.family());
+  const PartitionResult r = FpartPartitioner().run(h, d);
+  expect_well_formed(r, h, d);
+  // The iterative-improvement search should land near the lower bound on
+  // these locality-rich circuits (paper Tables 2-5: within ~10%+1).
+  EXPECT_LE(r.k, r.lower_bound + r.lower_bound / 8 + 1)
+      << circuit << " on " << device_name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SmallAndMid, FpartEndToEndTest,
+    ::testing::Values(Case{"c3540", "XC3020"}, Case{"c3540", "XC3090"},
+                      Case{"s5378", "XC3042"}, Case{"s9234", "XC3020"},
+                      Case{"c5315", "XC2064"}, Case{"s13207", "XC3042"},
+                      Case{"s15850", "XC3090"}, Case{"c7552", "XC3020"}));
+
+TEST(FpartTest, DeterministicAcrossRuns) {
+  const Device d = xilinx::xc3042();
+  const Hypergraph h = mcnc::generate("s9234", d.family());
+  const PartitionResult a = FpartPartitioner().run(h, d);
+  const PartitionResult b = FpartPartitioner().run(h, d);
+  EXPECT_EQ(a.k, b.k);
+  EXPECT_EQ(a.cut, b.cut);
+  EXPECT_EQ(a.assignment, b.assignment);
+}
+
+TEST(FpartTest, WholeCircuitFitsInOneDevice) {
+  const Device d = xilinx::xc3090();
+  const Hypergraph h = mcnc::generate("c3540", d.family());  // 283 cells
+  const PartitionResult r = FpartPartitioner().run(h, d);
+  EXPECT_EQ(r.k, 1u);
+  EXPECT_EQ(r.lower_bound, 1u);
+  EXPECT_TRUE(r.feasible);
+  EXPECT_EQ(r.cut, 0u);
+}
+
+TEST(FpartTest, TinyHandmadeCircuitExactK) {
+  // 4 cells of size 5 on a 10-cell device: k = 2 is forced and achievable.
+  HypergraphBuilder b;
+  std::vector<NodeId> c;
+  for (int i = 0; i < 4; ++i) c.push_back(b.add_cell(5));
+  b.add_net({c[0], c[1]});
+  b.add_net({c[2], c[3]});
+  b.add_net({c[1], c[2]});
+  const Hypergraph h = std::move(b).build();
+  const Device d("X", Family::kXC3000, 10, 10, 1.0);
+  const PartitionResult r = FpartPartitioner().run(h, d);
+  EXPECT_EQ(r.k, 2u);
+  EXPECT_TRUE(r.feasible);
+  EXPECT_EQ(r.cut, 1u);  // the natural middle cut
+}
+
+TEST(FpartTest, PinConstrainedCircuit) {
+  // Tiny logic, many pads: the partition is driven by T_MAX, not S_MAX.
+  HypergraphBuilder b;
+  std::vector<NodeId> c;
+  for (int i = 0; i < 12; ++i) c.push_back(b.add_cell(1));
+  for (int i = 0; i < 11; ++i) b.add_net({c[i], c[i + 1]});
+  for (int i = 0; i < 12; ++i) b.add_net({c[i], b.add_terminal()});
+  const Hypergraph h = std::move(b).build();
+  const Device d("X", Family::kXC3000, 100, 4, 1.0);  // only 4 pins!
+  const PartitionResult r = FpartPartitioner().run(h, d);
+  EXPECT_TRUE(r.feasible);
+  EXPECT_GE(r.k, 3u);  // ceil(12 pads / 4 pins)
+  for (const BlockStats& blk : r.blocks) EXPECT_LE(blk.pins, 4u);
+}
+
+TEST(FpartTest, ScheduleTogglesStillProduceFeasibleResults) {
+  const Device d = xilinx::xc3042();
+  const Hypergraph h = mcnc::generate("s5378", d.family());
+  for (int variant = 0; variant < 4; ++variant) {
+    Options opt;
+    opt.schedule.all_blocks = variant != 0;
+    opt.schedule.min_blocks = variant != 1;
+    opt.schedule.final_sweep = variant != 2;
+    const PartitionResult r = FpartPartitioner(opt).run(h, d);
+    EXPECT_TRUE(r.feasible) << "variant " << variant;
+    EXPECT_GE(r.k, r.lower_bound);
+  }
+}
+
+TEST(FpartTest, StackDepthZeroStillWorks) {
+  const Device d = xilinx::xc3020();
+  const Hypergraph h = mcnc::generate("s9234", d.family());
+  Options opt;
+  opt.refiner.stack_depth = 0;
+  const PartitionResult r = FpartPartitioner(opt).run(h, d);
+  EXPECT_TRUE(r.feasible);
+}
+
+TEST(FpartTest, ReportsIterationsAndTiming) {
+  const Device d = xilinx::xc3042();
+  const Hypergraph h = mcnc::generate("c3540", d.family());
+  const PartitionResult r = FpartPartitioner().run(h, d);
+  EXPECT_GT(r.iterations, 0u);
+  EXPECT_GE(r.seconds, 0.0);
+  // One bipartition per non-initial block (re-designations aside).
+  EXPECT_GE(r.iterations + 1, r.k);
+}
+
+TEST(FpartTest, DifferentSaltsGiveDifferentCircuitsButFeasibleResults) {
+  const Device d = xilinx::xc3042();
+  for (std::uint64_t salt = 0; salt < 3; ++salt) {
+    const Hypergraph h = mcnc::generate("s9234", d.family(), salt);
+    const PartitionResult r = FpartPartitioner().run(h, d);
+    EXPECT_TRUE(r.feasible) << "salt " << salt;
+    EXPECT_EQ(r.lower_bound, 4u);  // M depends only on totals
+  }
+}
+
+}  // namespace
+}  // namespace fpart

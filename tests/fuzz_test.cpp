@@ -1,0 +1,123 @@
+// Randomized end-to-end stress: random circuits × random (valid) devices
+// through every partitioner, with independent verification of each
+// result. These sweeps exist to hit the code paths the curated tests
+// don't: pin-critical devices, near-degenerate circuits, heavy fanout,
+// disconnected remainders.
+#include <gtest/gtest.h>
+
+#include "baselines/kwayx.hpp"
+#include "core/clustered.hpp"
+#include "core/fpart.hpp"
+#include "flow/fbb.hpp"
+#include "netlist/generator.hpp"
+#include "partition/verify.hpp"
+#include "util/rng.hpp"
+
+namespace fpart {
+namespace {
+
+struct FuzzInstance {
+  Hypergraph h;
+  Device device;
+};
+
+FuzzInstance make_instance(std::uint64_t seed) {
+  Rng rng(seed * 7919 + 37);
+  GeneratorConfig config;
+  config.num_cells = static_cast<std::uint32_t>(rng.uniform(40, 500));
+  config.num_terminals =
+      static_cast<std::uint32_t>(rng.uniform(2, config.num_cells / 5 + 2));
+  config.locality_decay = 0.3 + 0.4 * rng.real();
+  config.high_fanout_fraction = 0.1 * rng.real();
+  config.net_ratio = 0.9 + 0.5 * rng.real();
+  config.seed = rng();
+
+  Hypergraph h = generate_circuit(config);
+
+  // Device: capacity somewhere between "a few blocks" and "many blocks";
+  // pins high enough that (a) a single max-degree cell always fits (the
+  // documented library precondition) and (b) the pin/logic ratio stays
+  // in the realistic FPGA regime the method targets — T_MAX/S_MAX is
+  // 0.5..1.1 across the paper's four evaluation devices. Pathologically
+  // pin-starved devices (ratio << 0.5) put every method outside its
+  // design envelope.
+  const auto s_ds = static_cast<std::uint32_t>(
+      rng.uniform(std::max<std::uint64_t>(8, h.max_node_size() + 4),
+                  std::max<std::uint64_t>(16, config.num_cells / 2)));
+  const auto min_pins = std::max<std::uint32_t>(
+      static_cast<std::uint32_t>(h.max_node_degree()) + 2, s_ds / 2);
+  const auto t_max = static_cast<std::uint32_t>(
+      rng.uniform(min_pins, min_pins + 96));
+  const double fill = rng.chance(0.5) ? 1.0 : 0.9;
+  return FuzzInstance{std::move(h),
+                      Device("FUZZ", Family::kXC3000, s_ds, t_max, fill)};
+}
+
+class PartitionerFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PartitionerFuzzTest, AllMethodsProduceVerifiedFeasibleResults) {
+  const FuzzInstance inst = make_instance(
+      static_cast<std::uint64_t>(GetParam()));
+  SCOPED_TRACE("cells=" + std::to_string(inst.h.num_interior()) +
+               " pads=" + std::to_string(inst.h.num_terminals()) +
+               " S=" + std::to_string(inst.device.s_datasheet()) +
+               " T=" + std::to_string(inst.device.t_max()));
+
+  const PartitionResult results[] = {
+      FpartPartitioner().run(inst.h, inst.device),
+      ClusteredFpartPartitioner().run(inst.h, inst.device),
+      KwayxPartitioner().run(inst.h, inst.device),
+      FbbPartitioner().run(inst.h, inst.device),
+  };
+  const char* names[] = {"fpart", "clustered", "kwayx", "fbb"};
+  for (int i = 0; i < 4; ++i) {
+    const PartitionResult& r = results[i];
+    ASSERT_TRUE(r.feasible) << names[i];
+    ASSERT_GE(r.k, r.lower_bound) << names[i];
+    const VerifyReport report =
+        verify_partition(inst.h, inst.device, r.assignment, r.k);
+    ASSERT_TRUE(report.ok) << names[i] << ": " << report.summary();
+    ASSERT_EQ(report.cut, r.cut) << names[i];
+  }
+  // FPART should not lose badly to the greedy baseline even off-suite.
+  EXPECT_LE(results[0].k, results[2].k + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PartitionerFuzzTest,
+                         ::testing::Range(0, 20));
+
+class OptionFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(OptionFuzzTest, RandomOptionCombinationsStayCorrect) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729 + 3);
+  const FuzzInstance inst = make_instance(rng());
+
+  Options opt;
+  opt.refiner.stack_depth = rng.index(5);
+  opt.refiner.max_passes = 1 + static_cast<int>(rng.index(8));
+  opt.refiner.gain_mode =
+      rng.chance(0.5) ? GainMode::kCutNets : GainMode::kPinCount;
+  opt.refiner.infeasible_stop_window =
+      rng.chance(0.5) ? 0 : static_cast<std::uint32_t>(rng.uniform(4, 64));
+  opt.refiner.use_level2_gains = rng.chance(0.7);
+  opt.refiner.prefer_moves_from_remainder = rng.chance(0.8);
+  opt.schedule.all_blocks = rng.chance(0.8);
+  opt.schedule.min_blocks = rng.chance(0.8);
+  opt.schedule.final_sweep = rng.chance(0.8);
+  opt.n_small = static_cast<std::uint32_t>(rng.uniform(0, 30));
+  opt.seed = rng.chance(0.5) ? 0 : rng();
+  opt.cost.lambda_r = rng.chance(0.5) ? 0.1 : 0.0;
+  opt.cost.lambda_e = rng.chance(0.5) ? 1.0 : 0.0;
+
+  const PartitionResult r = FpartPartitioner(opt).run(inst.h, inst.device);
+  ASSERT_TRUE(r.feasible);
+  ASSERT_GE(r.k, r.lower_bound);
+  const VerifyReport report =
+      verify_partition(inst.h, inst.device, r.assignment, r.k);
+  ASSERT_TRUE(report.ok) << report.summary();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OptionFuzzTest, ::testing::Range(0, 16));
+
+}  // namespace
+}  // namespace fpart

@@ -1,0 +1,223 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "fm/gain_bucket.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace fpart {
+namespace {
+
+TEST(GainBucketTest, StartsEmpty) {
+  GainBucket b(10, 5);
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(b.size(), 0u);
+  EXPECT_FALSE(b.best_gain().has_value());
+  EXPECT_FALSE(b.contains(3));
+}
+
+TEST(GainBucketTest, InsertAndQuery) {
+  GainBucket b(10, 5);
+  b.insert(3, 2);
+  EXPECT_FALSE(b.empty());
+  EXPECT_TRUE(b.contains(3));
+  EXPECT_EQ(b.gain(3), 2);
+  EXPECT_EQ(b.best_gain(), std::optional<int>(2));
+}
+
+TEST(GainBucketTest, BestTracksMaximum) {
+  GainBucket b(10, 5);
+  b.insert(0, -3);
+  b.insert(1, 4);
+  b.insert(2, 1);
+  EXPECT_EQ(b.best_gain(), std::optional<int>(4));
+  b.remove(1);
+  EXPECT_EQ(b.best_gain(), std::optional<int>(1));
+  b.remove(2);
+  EXPECT_EQ(b.best_gain(), std::optional<int>(-3));
+  b.remove(0);
+  EXPECT_FALSE(b.best_gain().has_value());
+}
+
+TEST(GainBucketTest, BestRecoversAfterHigherInsert) {
+  GainBucket b(10, 5);
+  b.insert(0, -2);
+  EXPECT_EQ(b.best_gain(), std::optional<int>(-2));
+  b.insert(1, 3);
+  EXPECT_EQ(b.best_gain(), std::optional<int>(3));
+}
+
+TEST(GainBucketTest, LifoWithinBucket) {
+  GainBucket b(10, 5);
+  b.insert(0, 2);
+  b.insert(1, 2);
+  b.insert(2, 2);
+  std::vector<std::uint32_t> order;
+  b.find_first(
+      [&](std::uint32_t id, int) {
+        order.push_back(id);
+        return false;
+      },
+      100);
+  EXPECT_EQ(order, (std::vector<std::uint32_t>{2, 1, 0}));
+}
+
+TEST(GainBucketTest, UpdateMovesBetweenBuckets) {
+  GainBucket b(10, 5);
+  b.insert(0, 1);
+  b.update(0, 4);
+  EXPECT_EQ(b.gain(0), 4);
+  EXPECT_EQ(b.size(), 1u);
+  b.update(0, 4);  // same gain: no-op
+  EXPECT_EQ(b.size(), 1u);
+  b.update(7, -1);  // update of absent id inserts
+  EXPECT_TRUE(b.contains(7));
+}
+
+TEST(GainBucketTest, GainsClampToRange) {
+  GainBucket b(10, 3);
+  b.insert(0, 100);
+  b.insert(1, -100);
+  EXPECT_EQ(b.gain(0), 3);
+  EXPECT_EQ(b.gain(1), -3);
+}
+
+TEST(GainBucketTest, RemoveMiddleOfChain) {
+  GainBucket b(10, 5);
+  b.insert(0, 2);
+  b.insert(1, 2);
+  b.insert(2, 2);
+  b.remove(1);  // middle of the LIFO chain
+  std::vector<std::uint32_t> order;
+  b.find_first(
+      [&](std::uint32_t id, int) {
+        order.push_back(id);
+        return false;
+      },
+      100);
+  EXPECT_EQ(order, (std::vector<std::uint32_t>{2, 0}));
+}
+
+TEST(GainBucketTest, PreconditionViolations) {
+  GainBucket b(4, 5);
+  EXPECT_THROW(b.insert(9, 0), PreconditionError);  // out of universe
+  b.insert(1, 0);
+  EXPECT_THROW(b.insert(1, 2), PreconditionError);  // duplicate
+  EXPECT_THROW(b.remove(2), PreconditionError);     // absent
+  EXPECT_THROW(b.gain(2), PreconditionError);
+  EXPECT_THROW(GainBucket(4, -1), PreconditionError);
+}
+
+TEST(GainBucketTest, FindFirstHonoursPredicateAndDescends) {
+  GainBucket b(10, 5);
+  b.insert(0, 3);
+  b.insert(1, 2);
+  b.insert(2, 1);
+  const auto found = b.find_first(
+      [](std::uint32_t id, int) { return id == 2; }, 100);
+  EXPECT_EQ(found, std::optional<std::uint32_t>(2));
+}
+
+TEST(GainBucketTest, FindFirstScanLimit) {
+  GainBucket b(10, 5);
+  for (std::uint32_t id = 0; id < 6; ++id) b.insert(id, 0);
+  int visited = 0;
+  const auto found = b.find_first(
+      [&](std::uint32_t, int) {
+        ++visited;
+        return false;
+      },
+      3);
+  EXPECT_FALSE(found.has_value());
+  EXPECT_EQ(visited, 3);
+}
+
+TEST(GainBucketTest, FindFirstOnEmpty) {
+  GainBucket b(10, 5);
+  EXPECT_FALSE(
+      b.find_first([](std::uint32_t, int) { return true; }, 10).has_value());
+}
+
+TEST(GainBucketTest, ForEachAtGainVisitsOnlyThatBucket) {
+  GainBucket b(10, 5);
+  b.insert(0, 2);
+  b.insert(1, 2);
+  b.insert(2, 3);
+  std::set<std::uint32_t> seen;
+  b.for_each_at_gain(2, [&](std::uint32_t id) {
+    seen.insert(id);
+    return false;
+  });
+  EXPECT_EQ(seen, (std::set<std::uint32_t>{0, 1}));
+}
+
+TEST(GainBucketTest, ForEachAtGainEarlyStop) {
+  GainBucket b(10, 5);
+  b.insert(0, 2);
+  b.insert(1, 2);
+  int visits = 0;
+  b.for_each_at_gain(2, [&](std::uint32_t) {
+    ++visits;
+    return true;
+  });
+  EXPECT_EQ(visits, 1);
+}
+
+TEST(GainBucketTest, ClearResets) {
+  GainBucket b(10, 5);
+  b.insert(0, 1);
+  b.insert(1, 2);
+  b.clear();
+  EXPECT_TRUE(b.empty());
+  EXPECT_FALSE(b.contains(0));
+  b.insert(0, -4);  // usable after clear
+  EXPECT_EQ(b.best_gain(), std::optional<int>(-4));
+}
+
+// Randomized differential test against a trivially correct model.
+class GainBucketFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(GainBucketFuzzTest, MatchesNaiveModel) {
+  const std::size_t universe = 64;
+  const int max_gain = 8;
+  GainBucket bucket(universe, max_gain);
+  std::map<std::uint32_t, int> model;
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 131 + 17);
+
+  for (int step = 0; step < 3000; ++step) {
+    const auto id = static_cast<std::uint32_t>(rng.index(universe));
+    const int op = static_cast<int>(rng.index(3));
+    const int gain =
+        static_cast<int>(rng.uniform(0, 2 * max_gain)) - max_gain;
+    if (op == 0 && !model.count(id)) {
+      bucket.insert(id, gain);
+      model[id] = gain;
+    } else if (op == 1 && model.count(id)) {
+      bucket.remove(id);
+      model.erase(id);
+    } else if (op == 2) {
+      bucket.update(id, gain);
+      model[id] = gain;
+    }
+    ASSERT_EQ(bucket.size(), model.size());
+    int best = INT32_MIN;
+    for (const auto& [mid, mg] : model) best = std::max(best, mg);
+    if (model.empty()) {
+      ASSERT_FALSE(bucket.best_gain().has_value());
+    } else {
+      ASSERT_EQ(bucket.best_gain(), std::optional<int>(best));
+    }
+  }
+  for (const auto& [id, gain] : model) {
+    ASSERT_TRUE(bucket.contains(id));
+    ASSERT_EQ(bucket.gain(id), gain);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GainBucketFuzzTest, ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace fpart

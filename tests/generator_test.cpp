@@ -1,0 +1,217 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "hypergraph/traversal.hpp"
+#include "netlist/generator.hpp"
+#include "netlist/mcnc.hpp"
+#include "util/assert.hpp"
+
+namespace fpart {
+namespace {
+
+TEST(GeneratorTest, MatchesRequestedCounts) {
+  GeneratorConfig config;
+  config.num_cells = 250;
+  config.num_terminals = 33;
+  config.seed = 5;
+  const Hypergraph h = generate_circuit(config);
+  EXPECT_EQ(h.num_interior(), 250u);
+  EXPECT_EQ(h.num_terminals(), 33u);
+  EXPECT_EQ(h.total_size(), 250u);  // unit cells
+  h.validate();
+}
+
+TEST(GeneratorTest, DeterministicInSeed) {
+  GeneratorConfig config;
+  config.num_cells = 120;
+  config.num_terminals = 12;
+  config.seed = 77;
+  const Hypergraph a = generate_circuit(config);
+  const Hypergraph b = generate_circuit(config);
+  ASSERT_EQ(a.num_nets(), b.num_nets());
+  for (NetId e = 0; e < a.num_nets(); ++e) {
+    const auto pa = a.pins(e);
+    const auto pb = b.pins(e);
+    ASSERT_TRUE(std::equal(pa.begin(), pa.end(), pb.begin(), pb.end()));
+  }
+}
+
+TEST(GeneratorTest, DifferentSeedsDiffer) {
+  GeneratorConfig config;
+  config.num_cells = 120;
+  config.num_terminals = 12;
+  config.seed = 1;
+  const Hypergraph a = generate_circuit(config);
+  config.seed = 2;
+  const Hypergraph b = generate_circuit(config);
+  bool differ = a.num_nets() != b.num_nets();
+  if (!differ) {
+    for (NetId e = 0; e < a.num_nets() && !differ; ++e) {
+      const auto pa = a.pins(e);
+      const auto pb = b.pins(e);
+      differ = !std::equal(pa.begin(), pa.end(), pb.begin(), pb.end());
+    }
+  }
+  EXPECT_TRUE(differ);
+}
+
+TEST(GeneratorTest, CircuitIsConnected) {
+  GeneratorConfig config;
+  config.num_cells = 300;
+  config.num_terminals = 20;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    config.seed = seed;
+    const Hypergraph h = generate_circuit(config);
+    const Components comps = connected_components(h);
+    EXPECT_EQ(comps.count, 1u) << "seed " << seed;
+  }
+}
+
+TEST(GeneratorTest, EveryCellHasANet) {
+  GeneratorConfig config;
+  config.num_cells = 200;
+  config.num_terminals = 10;
+  config.seed = 9;
+  const Hypergraph h = generate_circuit(config);
+  for (NodeId v = 0; v < h.num_nodes(); ++v) {
+    EXPECT_GE(h.degree(v), 1u) << "node " << v;
+  }
+}
+
+TEST(GeneratorTest, TerminalsHaveExactlyOneNet) {
+  GeneratorConfig config;
+  config.num_cells = 200;
+  config.num_terminals = 40;
+  config.seed = 11;
+  const Hypergraph h = generate_circuit(config);
+  for (NodeId v : h.terminals()) {
+    EXPECT_EQ(h.degree(v), 1u);
+  }
+}
+
+TEST(GeneratorTest, TerminalsOnDistinctNets) {
+  GeneratorConfig config;
+  config.num_cells = 200;
+  config.num_terminals = 40;
+  config.seed = 13;
+  const Hypergraph h = generate_circuit(config);
+  std::set<NetId> pad_nets;
+  for (NodeId v : h.terminals()) {
+    pad_nets.insert(h.nets(v)[0]);
+  }
+  EXPECT_EQ(pad_nets.size(), 40u);
+}
+
+TEST(GeneratorTest, FanoutDistributionShape) {
+  GeneratorConfig config;
+  config.num_cells = 2000;
+  config.num_terminals = 100;
+  config.seed = 17;
+  const Hypergraph h = generate_circuit(config);
+  std::size_t small = 0;
+  std::size_t large = 0;
+  for (NetId e = 0; e < h.num_nets(); ++e) {
+    const auto deg = h.net_interior_pin_count(e);
+    if (deg <= 5) ++small;
+    if (deg >= 8) ++large;
+    EXPECT_LE(deg, config.max_fanout);
+  }
+  // 2-5 pin nets dominate; a thin high-fanout tail exists.
+  EXPECT_GT(small, h.num_nets() * 8 / 10);
+  EXPECT_GT(large, 0u);
+}
+
+TEST(GeneratorTest, CellSizeOption) {
+  GeneratorConfig config;
+  config.num_cells = 50;
+  config.num_terminals = 5;
+  config.cell_size = 3;
+  config.seed = 19;
+  const Hypergraph h = generate_circuit(config);
+  EXPECT_EQ(h.total_size(), 150u);
+  EXPECT_EQ(h.max_node_size(), 3u);
+}
+
+TEST(GeneratorTest, ValidatesConfig) {
+  GeneratorConfig config;
+  config.num_cells = 1;
+  EXPECT_THROW(generate_circuit(config), PreconditionError);
+  config.num_cells = 100;
+  config.cell_size = 0;
+  EXPECT_THROW(generate_circuit(config), PreconditionError);
+  config.cell_size = 1;
+  config.net_ratio = 0.0;
+  EXPECT_THROW(generate_circuit(config), PreconditionError);
+  config.net_ratio = 0.01;
+  config.num_terminals = 5000;  // far more pads than nets can exist
+  EXPECT_THROW(generate_circuit(config), PreconditionError);
+  config.num_terminals = 10;
+  config.net_ratio = 1.0;
+  config.branching = 1;
+  EXPECT_THROW(generate_circuit(config), PreconditionError);
+  config.branching = 4;
+  config.leaf_size = 1;
+  EXPECT_THROW(generate_circuit(config), PreconditionError);
+  config.leaf_size = 12;
+  config.max_fanout = 4;
+  EXPECT_THROW(generate_circuit(config), PreconditionError);
+}
+
+// --- MCNC table -----------------------------------------------------------
+
+TEST(McncTest, TableMatchesPaper) {
+  ASSERT_EQ(mcnc::circuits().size(), 10u);
+  const auto& c3540 = mcnc::circuit("c3540");
+  EXPECT_EQ(c3540.iobs, 72u);
+  EXPECT_EQ(c3540.clbs_xc2000, 373u);
+  EXPECT_EQ(c3540.clbs_xc3000, 283u);
+  const auto& s38584 = mcnc::circuit("s38584");
+  EXPECT_EQ(s38584.iobs, 292u);
+  EXPECT_EQ(s38584.clbs_xc2000, 3956u);
+  EXPECT_EQ(s38584.clbs_xc3000, 2904u);
+  EXPECT_THROW(mcnc::circuit("bogus"), PreconditionError);
+}
+
+TEST(McncTest, FamilySelectsClbCount) {
+  const auto& spec = mcnc::circuit("s5378");
+  EXPECT_EQ(spec.clbs(Family::kXC2000), 500u);
+  EXPECT_EQ(spec.clbs(Family::kXC3000), 381u);
+}
+
+class McncGenerateTest
+    : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(McncGenerateTest, GeneratedStatsMatchTable1) {
+  const auto& spec = mcnc::circuit(GetParam());
+  for (Family f : {Family::kXC2000, Family::kXC3000}) {
+    const Hypergraph h = mcnc::generate(spec, f);
+    EXPECT_EQ(h.num_interior(), spec.clbs(f));
+    EXPECT_EQ(h.num_terminals(), spec.iobs);
+    EXPECT_EQ(h.total_size(), spec.clbs(f));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCircuits, McncGenerateTest,
+                         ::testing::Values("c3540", "c5315", "c6288",
+                                           "c7552", "s5378", "s9234",
+                                           "s13207", "s15850", "s38417",
+                                           "s38584"));
+
+TEST(McncTest, SaltChangesNetlistNotTotals) {
+  const auto& spec = mcnc::circuit("s9234");
+  const Hypergraph a = mcnc::generate(spec, Family::kXC3000, 0);
+  const Hypergraph b = mcnc::generate(spec, Family::kXC3000, 1);
+  EXPECT_EQ(a.num_interior(), b.num_interior());
+  EXPECT_EQ(a.num_terminals(), b.num_terminals());
+  EXPECT_NE(a.num_pins(), b.num_pins());  // structure differs
+}
+
+TEST(McncTest, FamiliesProduceDifferentStructures) {
+  const Hypergraph a = mcnc::generate("s9234", Family::kXC2000);
+  const Hypergraph b = mcnc::generate("s9234", Family::kXC3000);
+  EXPECT_NE(a.num_interior(), b.num_interior());
+}
+
+}  // namespace
+}  // namespace fpart

@@ -1,0 +1,86 @@
+// Golden regression suite: pins the measured device counts of every
+// table cell (the canonical deterministic FPART run plus both measured
+// baselines) so that algorithmic drift — a tweaked tie-break, a changed
+// default — is caught immediately rather than silently shifting the
+// EXPERIMENTS.md record.
+//
+// If a deliberate algorithm change moves these numbers, re-run the bench
+// harness, update EXPERIMENTS.md, and refresh the goldens together.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "baselines/kwayx.hpp"
+#include "core/fpart.hpp"
+#include "device/xilinx.hpp"
+#include "flow/fbb.hpp"
+#include "netlist/mcnc.hpp"
+
+namespace fpart {
+namespace {
+
+// (circuit, device, kwayx k, fbb k, fpart k)
+using Golden =
+    std::tuple<const char*, const char*, std::uint32_t, std::uint32_t,
+               std::uint32_t>;
+
+class GoldenTest : public ::testing::TestWithParam<Golden> {};
+
+TEST_P(GoldenTest, MeasuredDeviceCountsAreStable) {
+  const auto& [circuit, device_name, k_kwayx, k_fbb, k_fpart] = GetParam();
+  const Device d = xilinx::by_name(device_name);
+  const Hypergraph h = mcnc::generate(circuit, d.family());
+  EXPECT_EQ(KwayxPartitioner().run(h, d).k, k_kwayx) << "kwayx";
+  EXPECT_EQ(FbbPartitioner().run(h, d).k, k_fbb) << "fbb";
+  EXPECT_EQ(FpartPartitioner().run(h, d).k, k_fpart) << "fpart";
+}
+
+// Values produced by the bench harness (see EXPERIMENTS.md).
+INSTANTIATE_TEST_SUITE_P(
+    Table2_XC3020, GoldenTest,
+    ::testing::Values(Golden{"c3540", "XC3020", 6, 5, 5},
+                      Golden{"c5315", "XC3020", 7, 7, 7},
+                      Golden{"c6288", "XC3020", 17, 16, 15},
+                      Golden{"c7552", "XC3020", 9, 9, 9},
+                      Golden{"s5378", "XC3020", 7, 7, 7},
+                      Golden{"s9234", "XC3020", 9, 8, 8},
+                      Golden{"s13207", "XC3020", 18, 17, 17},
+                      Golden{"s15850", "XC3020", 16, 16, 15},
+                      Golden{"s38417", "XC3020", 45, 42, 40},
+                      Golden{"s38584", "XC3020", 59, 54, 52}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Table3_XC3042, GoldenTest,
+    ::testing::Values(Golden{"c3540", "XC3042", 3, 3, 3},
+                      Golden{"c5315", "XC3042", 5, 4, 4},
+                      Golden{"c6288", "XC3042", 7, 7, 7},
+                      Golden{"c7552", "XC3042", 5, 5, 5},
+                      Golden{"s5378", "XC3042", 4, 3, 3},
+                      Golden{"s9234", "XC3042", 4, 4, 4},
+                      Golden{"s13207", "XC3042", 8, 8, 8},
+                      Golden{"s15850", "XC3042", 8, 7, 7},
+                      Golden{"s38417", "XC3042", 19, 19, 18},
+                      Golden{"s38584", "XC3042", 26, 25, 23}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Table4_XC3090, GoldenTest,
+    ::testing::Values(Golden{"c3540", "XC3090", 1, 1, 1},
+                      Golden{"c5315", "XC3090", 3, 3, 3},
+                      Golden{"c6288", "XC3090", 4, 3, 3},
+                      Golden{"c7552", "XC3090", 3, 3, 3},
+                      Golden{"s5378", "XC3090", 2, 2, 2},
+                      Golden{"s9234", "XC3090", 2, 2, 2},
+                      Golden{"s13207", "XC3090", 4, 4, 4},
+                      Golden{"s15850", "XC3090", 4, 4, 3},
+                      Golden{"s38417", "XC3090", 9, 9, 8},
+                      Golden{"s38584", "XC3090", 11, 11, 11}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Table5_XC2064, GoldenTest,
+    ::testing::Values(Golden{"c3540", "XC2064", 7, 6, 6},
+                      Golden{"c5315", "XC2064", 9, 9, 9},
+                      Golden{"c7552", "XC2064", 12, 11, 10},
+                      Golden{"c6288", "XC2064", 14, 14, 14}));
+
+}  // namespace
+}  // namespace fpart

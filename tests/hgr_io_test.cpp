@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "hypergraph/builder.hpp"
+#include "netlist/generator.hpp"
+#include "netlist/hgr_io.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace fpart {
+namespace {
+
+void expect_same_structure(const Hypergraph& a, const Hypergraph& b) {
+  ASSERT_EQ(a.num_nodes(), b.num_nodes());
+  ASSERT_EQ(a.num_nets(), b.num_nets());
+  ASSERT_EQ(a.num_interior(), b.num_interior());
+  ASSERT_EQ(a.num_terminals(), b.num_terminals());
+  for (NodeId v = 0; v < a.num_nodes(); ++v) {
+    EXPECT_EQ(a.node_size(v), b.node_size(v));
+    EXPECT_EQ(a.is_terminal(v), b.is_terminal(v));
+  }
+  for (NetId e = 0; e < a.num_nets(); ++e) {
+    const auto pa = a.pins(e);
+    const auto pb = b.pins(e);
+    ASSERT_EQ(pa.size(), pb.size());
+    EXPECT_TRUE(std::equal(pa.begin(), pa.end(), pb.begin()));
+  }
+}
+
+TEST(HgrIoTest, RoundTripSmall) {
+  HypergraphBuilder b;
+  const NodeId x = b.add_cell(2);
+  const NodeId y = b.add_cell(1);
+  const NodeId z = b.add_cell(4);
+  const NodeId pad = b.add_terminal();
+  b.add_net({x, y});
+  b.add_net({y, z, pad});
+  const Hypergraph h = std::move(b).build();
+
+  std::stringstream ss;
+  write_hgr(ss, h);
+  const Hypergraph h2 = read_hgr(ss);
+  expect_same_structure(h, h2);
+  h2.validate();
+}
+
+TEST(HgrIoTest, RoundTripGenerated) {
+  GeneratorConfig config;
+  config.num_cells = 150;
+  config.num_terminals = 18;
+  config.seed = 3;
+  const Hypergraph h = generate_circuit(config);
+  std::stringstream ss;
+  write_hgr(ss, h);
+  const Hypergraph h2 = read_hgr(ss);
+  expect_same_structure(h, h2);
+}
+
+TEST(HgrIoTest, WrittenFormatIsHmetisLike) {
+  HypergraphBuilder b;
+  const NodeId x = b.add_cell(2);
+  const NodeId y = b.add_cell(1);
+  b.add_net({x, y});
+  const Hypergraph h = std::move(b).build();
+  std::stringstream ss;
+  write_hgr(ss, h);
+  const std::string text = ss.str();
+  EXPECT_NE(text.find("% fpart-hgr"), std::string::npos);
+  EXPECT_NE(text.find("1 2 10"), std::string::npos);  // header
+  EXPECT_NE(text.find("1 2"), std::string::npos);     // 1-based pins
+}
+
+TEST(HgrIoTest, ReadsUnweightedFmt) {
+  std::stringstream ss("2 3\n1 2\n2 3\n");
+  const Hypergraph h = read_hgr(ss);
+  EXPECT_EQ(h.num_nodes(), 3u);
+  EXPECT_EQ(h.num_nets(), 2u);
+  EXPECT_EQ(h.num_terminals(), 0u);
+  EXPECT_EQ(h.node_size(0), 1u);  // default weight
+}
+
+TEST(HgrIoTest, SkipsCommentsAndBlankLines) {
+  std::stringstream ss(
+      "% a comment\n\n2 2 0\n% another\n1 2\n\n2 1\n% trailing comment\n");
+  const Hypergraph h = read_hgr(ss);
+  EXPECT_EQ(h.num_nets(), 2u);
+}
+
+TEST(HgrIoTest, ZeroWeightMeansTerminal) {
+  std::stringstream ss("1 2 10\n1 2\n3\n0\n");
+  const Hypergraph h = read_hgr(ss);
+  EXPECT_FALSE(h.is_terminal(0));
+  EXPECT_TRUE(h.is_terminal(1));
+  EXPECT_EQ(h.node_size(0), 3u);
+}
+
+TEST(HgrIoTest, ReadsUnitNetWeightFmt1) {
+  // fmt 1: each net line starts with a weight. Unit weights accepted.
+  std::stringstream ss("2 3 1\n1 1 2\n1 2 3\n");
+  const Hypergraph h = read_hgr(ss);
+  EXPECT_EQ(h.num_nets(), 2u);
+  EXPECT_EQ(h.net_degree(0), 2u);
+}
+
+TEST(HgrIoTest, ReadsFmt11WithBothWeightKinds) {
+  std::stringstream ss("1 2 11\n1 1 2\n4\n0\n");
+  const Hypergraph h = read_hgr(ss);
+  EXPECT_EQ(h.node_size(0), 4u);
+  EXPECT_TRUE(h.is_terminal(1));
+}
+
+TEST(HgrIoTest, RejectsNonUnitNetWeights) {
+  std::stringstream ss("1 2 1\n5 1 2\n");
+  EXPECT_THROW(read_hgr(ss), PreconditionError);
+}
+
+TEST(HgrIoTest, RejectsMalformedInput) {
+  {
+    std::stringstream ss("");
+    EXPECT_THROW(read_hgr(ss), PreconditionError);  // empty
+  }
+  {
+    std::stringstream ss("abc\n");
+    EXPECT_THROW(read_hgr(ss), PreconditionError);  // bad header
+  }
+  {
+    std::stringstream ss("2 2 0\n1 2\n");
+    EXPECT_THROW(read_hgr(ss), PreconditionError);  // missing net line
+  }
+  {
+    std::stringstream ss("1 2 0\n1 5\n");
+    EXPECT_THROW(read_hgr(ss), PreconditionError);  // pin out of range
+  }
+  {
+    std::stringstream ss("1 2 0\n1 2\n9 9\n");
+    EXPECT_THROW(read_hgr(ss), PreconditionError);  // trailing data
+  }
+  {
+    std::stringstream ss("1 2 7\n1 2\n");
+    EXPECT_THROW(read_hgr(ss), PreconditionError);  // unsupported fmt
+  }
+  {
+    std::stringstream ss("1 2 10\n1 2\n3\n");
+    EXPECT_THROW(read_hgr(ss), PreconditionError);  // missing weight
+  }
+}
+
+// Round-trip property sweep over varied generator shapes (net ratios,
+// locality, pad densities, cell sizes).
+class HgrRoundTripFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(HgrRoundTripFuzz, RoundTripPreservesStructure) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 131 + 7);
+  GeneratorConfig config;
+  config.num_cells = static_cast<std::uint32_t>(rng.uniform(10, 300));
+  config.num_terminals =
+      static_cast<std::uint32_t>(rng.uniform(1, config.num_cells / 3 + 1));
+  config.cell_size = static_cast<std::uint32_t>(rng.uniform(1, 5));
+  config.net_ratio = 0.8 + rng.real();
+  config.locality_decay = 0.2 + 0.7 * rng.real();
+  config.seed = rng();
+  const Hypergraph h = generate_circuit(config);
+  std::stringstream ss;
+  write_hgr(ss, h);
+  const Hypergraph h2 = read_hgr(ss);
+  expect_same_structure(h, h2);
+  h2.validate();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HgrRoundTripFuzz, ::testing::Range(0, 10));
+
+TEST(HgrIoTest, FileRoundTrip) {
+  GeneratorConfig config;
+  config.num_cells = 60;
+  config.num_terminals = 6;
+  config.seed = 8;
+  const Hypergraph h = generate_circuit(config);
+  const std::string path = ::testing::TempDir() + "/fpart_io_test.hgr";
+  write_hgr_file(path, h);
+  const Hypergraph h2 = read_hgr_file(path);
+  expect_same_structure(h, h2);
+  EXPECT_THROW(read_hgr_file("/nonexistent/dir/x.hgr"), PreconditionError);
+  EXPECT_THROW(write_hgr_file("/nonexistent/dir/x.hgr", h),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace fpart

@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "flow/hypergraph_flow.hpp"
+#include "hypergraph/builder.hpp"
+#include "netlist/generator.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace fpart {
+namespace {
+
+std::vector<std::uint8_t> full_scope(const Hypergraph& h) {
+  std::vector<std::uint8_t> scope(h.num_nodes(), 0);
+  for (NodeId v = 0; v < h.num_nodes(); ++v) {
+    if (!h.is_terminal(v)) scope[v] = 1;
+  }
+  return scope;
+}
+
+TEST(HypergraphFlowTest, SingleNetCutOnce) {
+  HypergraphBuilder b;
+  const NodeId x = b.add_cell(1);
+  const NodeId y = b.add_cell(1);
+  b.add_net({x, y});
+  const Hypergraph h = std::move(b).build();
+  auto flow = build_hypergraph_flow(h, full_scope(h), std::vector<NodeId>{x},
+                                    std::vector<NodeId>{y});
+  EXPECT_EQ(flow.net.max_flow(flow.source, flow.sink), 1);
+}
+
+TEST(HypergraphFlowTest, WideNetCountsOnce) {
+  // One 5-pin net: separating any seed pair cuts exactly that one net.
+  HypergraphBuilder b;
+  std::vector<NodeId> c;
+  for (int i = 0; i < 5; ++i) c.push_back(b.add_cell(1));
+  b.add_net(std::vector<NodeId>(c.begin(), c.end()));
+  const Hypergraph h = std::move(b).build();
+  auto flow = build_hypergraph_flow(h, full_scope(h),
+                                    std::vector<NodeId>{c[0]},
+                                    std::vector<NodeId>{c[4]});
+  EXPECT_EQ(flow.net.max_flow(flow.source, flow.sink), 1);
+}
+
+TEST(HypergraphFlowTest, ParallelNetsAdd) {
+  HypergraphBuilder b;
+  const NodeId x = b.add_cell(1);
+  const NodeId y = b.add_cell(1);
+  b.add_net({x, y});
+  b.add_net({x, y});
+  b.add_net({x, y});
+  const Hypergraph h = std::move(b).build();
+  auto flow = build_hypergraph_flow(h, full_scope(h), std::vector<NodeId>{x},
+                                    std::vector<NodeId>{y});
+  EXPECT_EQ(flow.net.max_flow(flow.source, flow.sink), 3);
+}
+
+TEST(HypergraphFlowTest, ChainBottleneck) {
+  // x -A- y -B- z: min cut between x and z is 1 (either net).
+  HypergraphBuilder b;
+  const NodeId x = b.add_cell(1);
+  const NodeId y = b.add_cell(1);
+  const NodeId z = b.add_cell(1);
+  b.add_net({x, y});
+  b.add_net({y, z});
+  const Hypergraph h = std::move(b).build();
+  auto flow = build_hypergraph_flow(h, full_scope(h), std::vector<NodeId>{x},
+                                    std::vector<NodeId>{z});
+  EXPECT_EQ(flow.net.max_flow(flow.source, flow.sink), 1);
+}
+
+TEST(HypergraphFlowTest, SourceSideNodesValid) {
+  HypergraphBuilder b;
+  const NodeId x = b.add_cell(1);
+  const NodeId y = b.add_cell(1);
+  const NodeId z = b.add_cell(1);
+  b.add_net({x, y});
+  b.add_net({y, z});
+  const Hypergraph h = std::move(b).build();
+  auto flow = build_hypergraph_flow(h, full_scope(h), std::vector<NodeId>{x},
+                                    std::vector<NodeId>{z});
+  flow.net.max_flow(flow.source, flow.sink);
+  const auto side = flow.source_side_nodes(h);
+  EXPECT_TRUE(side[x]);
+  EXPECT_FALSE(side[z]);
+}
+
+TEST(HypergraphFlowTest, ScopeExcludesOutsideNets) {
+  // Net {x, w} with w out of scope contributes no gadget (only one
+  // in-scope pin), so the x-y cut is just the {x,y} net.
+  HypergraphBuilder b;
+  const NodeId x = b.add_cell(1);
+  const NodeId y = b.add_cell(1);
+  const NodeId w = b.add_cell(1);
+  b.add_net({x, y});
+  b.add_net({x, w});
+  b.add_net({y, w});
+  const Hypergraph h = std::move(b).build();
+  std::vector<std::uint8_t> scope(h.num_nodes(), 0);
+  scope[x] = scope[y] = 1;
+  auto flow = build_hypergraph_flow(h, scope, std::vector<NodeId>{x},
+                                    std::vector<NodeId>{y});
+  EXPECT_EQ(flow.net.max_flow(flow.source, flow.sink), 1);
+}
+
+TEST(HypergraphFlowTest, SeedValidation) {
+  HypergraphBuilder b;
+  const NodeId x = b.add_cell(1);
+  const NodeId y = b.add_cell(1);
+  const NodeId pad = b.add_terminal();
+  b.add_net({x, y, pad});
+  const Hypergraph h = std::move(b).build();
+  std::vector<std::uint8_t> scope(h.num_nodes(), 0);
+  scope[x] = 1;
+  EXPECT_THROW(build_hypergraph_flow(h, scope, std::vector<NodeId>{x},
+                                     std::vector<NodeId>{y}),
+               PreconditionError);  // y out of scope
+  std::vector<std::uint8_t> bad(h.num_nodes() + 1, 1);
+  EXPECT_THROW(build_hypergraph_flow(h, bad, std::vector<NodeId>{x},
+                                     std::vector<NodeId>{y}),
+               PreconditionError);
+}
+
+// Brute-force equivalence: the flow value equals the minimum, over all
+// bipartitions separating the seeds, of the number of in-scope nets with
+// pins on both sides.
+class HypergraphFlowFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(HypergraphFlowFuzzTest, MatchesBruteForceNetCut) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 271 + 11);
+  for (int trial = 0; trial < 15; ++trial) {
+    const std::size_t n = 4 + rng.index(5);  // 4..8 cells
+    HypergraphBuilder b;
+    std::vector<NodeId> cells;
+    for (std::size_t i = 0; i < n; ++i) cells.push_back(b.add_cell(1));
+    const std::size_t m = 4 + rng.index(8);
+    std::vector<std::vector<std::size_t>> nets;
+    for (std::size_t e = 0; e < m; ++e) {
+      const std::size_t pins = 2 + rng.index(3);
+      std::vector<NodeId> net;
+      std::vector<std::size_t> raw;
+      for (std::size_t i = 0; i < pins; ++i) {
+        const std::size_t v = rng.index(n);
+        net.push_back(cells[v]);
+        raw.push_back(v);
+      }
+      b.add_net(net);
+      std::sort(raw.begin(), raw.end());
+      raw.erase(std::unique(raw.begin(), raw.end()), raw.end());
+      nets.push_back(raw);
+    }
+    const Hypergraph h = std::move(b).build();
+
+    const std::size_t s = 0;
+    const std::size_t t = n - 1;
+    auto flow = build_hypergraph_flow(h, full_scope(h),
+                                      std::vector<NodeId>{cells[s]},
+                                      std::vector<NodeId>{cells[t]});
+    const auto flow_value = flow.net.max_flow(flow.source, flow.sink);
+
+    std::int64_t best = INT64_MAX;
+    for (std::uint32_t mask = 0; mask < (1u << n); ++mask) {
+      if (!(mask & (1u << s)) || (mask & (1u << t))) continue;
+      std::int64_t cut = 0;
+      for (const auto& net : nets) {
+        bool in = false;
+        bool out = false;
+        for (std::size_t v : net) {
+          ((mask >> v) & 1u) ? in = true : out = true;
+        }
+        if (in && out) ++cut;
+      }
+      best = std::min(best, cut);
+    }
+    ASSERT_EQ(flow_value, best) << "trial " << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HypergraphFlowFuzzTest,
+                         ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace fpart

@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "hypergraph/builder.hpp"
+#include "hypergraph/hypergraph.hpp"
+#include "netlist/generator.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace fpart {
+namespace {
+
+Hypergraph small_circuit() {
+  // 4 cells (sizes 2,1,1,3), 2 pads, 3 nets.
+  HypergraphBuilder b;
+  const NodeId a = b.add_cell(2, "a");
+  const NodeId c = b.add_cell(1, "c");
+  const NodeId d = b.add_cell(1, "d");
+  const NodeId e = b.add_cell(3, "e");
+  const NodeId p0 = b.add_terminal("p0");
+  const NodeId p1 = b.add_terminal("p1");
+  b.add_net({a, c, p0}, "n0");
+  b.add_net({c, d, e}, "n1");
+  b.add_net({e, p1}, "n2");
+  return std::move(b).build();
+}
+
+TEST(BuilderTest, CountsAndSizes) {
+  const Hypergraph h = small_circuit();
+  EXPECT_EQ(h.num_nodes(), 6u);
+  EXPECT_EQ(h.num_interior(), 4u);
+  EXPECT_EQ(h.num_terminals(), 2u);
+  EXPECT_EQ(h.num_nets(), 3u);
+  EXPECT_EQ(h.total_size(), 7u);
+  EXPECT_EQ(h.max_node_size(), 3u);
+  EXPECT_EQ(h.node_size(0), 2u);
+  EXPECT_EQ(h.node_size(4), 0u);  // terminal
+}
+
+TEST(BuilderTest, TerminalFlagsAndList) {
+  const Hypergraph h = small_circuit();
+  EXPECT_FALSE(h.is_terminal(0));
+  EXPECT_TRUE(h.is_terminal(4));
+  EXPECT_TRUE(h.is_terminal(5));
+  ASSERT_EQ(h.terminals().size(), 2u);
+  EXPECT_EQ(h.terminals()[0], 4u);
+  EXPECT_EQ(h.terminals()[1], 5u);
+}
+
+TEST(BuilderTest, NamesPreserved) {
+  const Hypergraph h = small_circuit();
+  EXPECT_EQ(h.node_name(0), "a");
+  EXPECT_EQ(h.node_name(4), "p0");
+  EXPECT_EQ(h.net_name(1), "n1");
+}
+
+TEST(BuilderTest, InteriorPinsPrefix) {
+  const Hypergraph h = small_circuit();
+  // Net 0 = {a, c, p0}: interior pins first, terminal last.
+  const auto pins = h.pins(0);
+  ASSERT_EQ(pins.size(), 3u);
+  EXPECT_FALSE(h.is_terminal(pins[0]));
+  EXPECT_FALSE(h.is_terminal(pins[1]));
+  EXPECT_TRUE(h.is_terminal(pins[2]));
+  EXPECT_EQ(h.net_interior_pin_count(0), 2u);
+  EXPECT_EQ(h.net_terminal_count(0), 1u);
+  EXPECT_EQ(h.interior_pins(0).size(), 2u);
+}
+
+TEST(BuilderTest, NodeNetIncidence) {
+  const Hypergraph h = small_circuit();
+  // c (node 1) is on nets n0 and n1.
+  const auto nets = h.nets(1);
+  std::set<NetId> expect{0, 1};
+  EXPECT_EQ(std::set<NetId>(nets.begin(), nets.end()), expect);
+  EXPECT_EQ(h.degree(1), 2u);
+  EXPECT_EQ(h.degree(3), 2u);  // e on n1, n2
+}
+
+TEST(BuilderTest, DeduplicatesPinsWithinNet) {
+  HypergraphBuilder b;
+  const NodeId a = b.add_cell(1);
+  const NodeId c = b.add_cell(1);
+  b.add_net({a, c, a, c, a});
+  const Hypergraph h = std::move(b).build();
+  EXPECT_EQ(h.net_degree(0), 2u);
+  h.validate();
+}
+
+TEST(BuilderTest, SinglePinNetAllowed) {
+  HypergraphBuilder b;
+  const NodeId a = b.add_cell(1);
+  b.add_net({a});
+  const Hypergraph h = std::move(b).build();
+  EXPECT_EQ(h.num_nets(), 1u);
+  EXPECT_EQ(h.net_interior_pin_count(0), 1u);
+  h.validate();
+}
+
+TEST(BuilderTest, RejectsEmptyNet) {
+  HypergraphBuilder b;
+  b.add_cell(1);
+  EXPECT_THROW(b.add_net(std::initializer_list<NodeId>{}),
+               PreconditionError);
+}
+
+TEST(BuilderTest, RejectsUnknownPin) {
+  HypergraphBuilder b;
+  b.add_cell(1);
+  EXPECT_THROW(b.add_net({0, 5}), PreconditionError);
+}
+
+TEST(BuilderTest, RejectsZeroSizeCell) {
+  HypergraphBuilder b;
+  EXPECT_THROW(b.add_cell(0), PreconditionError);
+}
+
+TEST(BuilderTest, EmptyGraphQueries) {
+  HypergraphBuilder b;
+  b.add_cell(1);
+  const Hypergraph h = std::move(b).build();
+  EXPECT_EQ(h.num_nets(), 0u);
+  EXPECT_EQ(h.num_pins(), 0u);
+  EXPECT_EQ(h.degree(0), 0u);
+  EXPECT_DOUBLE_EQ(h.avg_net_degree(), 0.0);
+  h.validate();
+}
+
+TEST(BuilderTest, AggregateStats) {
+  const Hypergraph h = small_circuit();
+  EXPECT_EQ(h.num_pins(), 8u);
+  EXPECT_EQ(h.max_net_degree(), 3u);
+  EXPECT_EQ(h.max_node_degree(), 2u);
+  EXPECT_NEAR(h.avg_net_degree(), 8.0 / 3.0, 1e-12);
+}
+
+TEST(BuilderTest, ValidatePassesOnWellFormedGraph) {
+  EXPECT_NO_THROW(small_circuit().validate());
+}
+
+// Property sweep: generated circuits of many shapes validate, and the
+// two CSR directions are consistent.
+class HypergraphPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(HypergraphPropertyTest, GeneratedCircuitsAreConsistent) {
+  GeneratorConfig config;
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 977 + 5);
+  config.num_cells = static_cast<std::uint32_t>(rng.uniform(20, 400));
+  config.num_terminals = static_cast<std::uint32_t>(
+      rng.uniform(2, config.num_cells / 4 + 2));
+  config.seed = rng();
+  const Hypergraph h = generate_circuit(config);
+  ASSERT_NO_THROW(h.validate());
+
+  // Pin count identity: sum of node degrees == sum of net degrees.
+  std::size_t node_pins = 0;
+  for (NodeId v = 0; v < h.num_nodes(); ++v) node_pins += h.degree(v);
+  std::size_t net_pins = 0;
+  for (NetId e = 0; e < h.num_nets(); ++e) net_pins += h.net_degree(e);
+  EXPECT_EQ(node_pins, net_pins);
+  EXPECT_EQ(node_pins, h.num_pins());
+
+  // interior + terminal counts per net sum to degree.
+  for (NetId e = 0; e < h.num_nets(); ++e) {
+    EXPECT_EQ(h.net_interior_pin_count(e) + h.net_terminal_count(e),
+              h.net_degree(e));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HypergraphPropertyTest,
+                         ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace fpart

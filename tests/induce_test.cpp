@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "hypergraph/builder.hpp"
+#include "hypergraph/induce.hpp"
+#include "netlist/generator.hpp"
+#include "partition/partition.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace fpart {
+namespace {
+
+Hypergraph chain_with_pad() {
+  // cells 0-1-2-3 in a chain; pad on a net with cell 3.
+  HypergraphBuilder b;
+  std::vector<NodeId> cells;
+  for (int i = 0; i < 4; ++i) {
+    cells.push_back(b.add_cell(static_cast<std::uint32_t>(i + 1),
+                               "c" + std::to_string(i)));
+  }
+  b.add_net({cells[0], cells[1]}, "n01");
+  b.add_net({cells[1], cells[2]}, "n12");
+  b.add_net({cells[2], cells[3]}, "n23");
+  const NodeId pad = b.add_terminal("pad");
+  b.add_net({cells[3], pad}, "npad");
+  return std::move(b).build();
+}
+
+TEST(InduceTest, KeepsInternalNetsVerbatim) {
+  const Hypergraph h = chain_with_pad();
+  const std::vector<NodeId> subset{0, 1};
+  const InducedCircuit sub = induce(h, subset);
+  sub.graph.validate();
+  EXPECT_EQ(sub.graph.num_interior(), 2u);
+  // n01 stays internal; n12 crosses (1 fresh terminal).
+  EXPECT_EQ(sub.graph.num_nets(), 2u);
+  EXPECT_EQ(sub.graph.num_terminals(), 1u);
+}
+
+TEST(InduceTest, CrossingNetGetsFreshTerminal) {
+  const Hypergraph h = chain_with_pad();
+  const std::vector<NodeId> subset{3};
+  const InducedCircuit sub = induce(h, subset);
+  // Nets touching cell 3: n23 (crosses to cell 2) and npad (has a pad).
+  EXPECT_EQ(sub.graph.num_nets(), 2u);
+  EXPECT_EQ(sub.graph.num_terminals(), 2u);
+  for (NetId e = 0; e < sub.graph.num_nets(); ++e) {
+    EXPECT_EQ(sub.graph.net_terminal_count(e), 1u);
+  }
+}
+
+TEST(InduceTest, MappingsAreMutuallyInverse) {
+  const Hypergraph h = chain_with_pad();
+  const std::vector<NodeId> subset{1, 3};
+  const InducedCircuit sub = induce(h, subset);
+  ASSERT_EQ(sub.to_old.size(), 2u);
+  for (NodeId nv = 0; nv < sub.to_old.size(); ++nv) {
+    EXPECT_EQ(sub.to_new[sub.to_old[nv]], nv);
+  }
+  EXPECT_EQ(sub.to_new[0], kInvalidNode);
+  EXPECT_EQ(sub.to_new[2], kInvalidNode);
+}
+
+TEST(InduceTest, PreservesSizesAndNames) {
+  const Hypergraph h = chain_with_pad();
+  const std::vector<NodeId> subset{2, 3};
+  const InducedCircuit sub = induce(h, subset);
+  for (NodeId nv = 0; nv < sub.to_old.size(); ++nv) {
+    EXPECT_EQ(sub.graph.node_size(nv), h.node_size(sub.to_old[nv]));
+    EXPECT_EQ(sub.graph.node_name(nv), h.node_name(sub.to_old[nv]));
+  }
+}
+
+TEST(InduceTest, DropsUntouchedNets) {
+  const Hypergraph h = chain_with_pad();
+  const std::vector<NodeId> subset{0};
+  const InducedCircuit sub = induce(h, subset);
+  EXPECT_EQ(sub.graph.num_nets(), 1u);  // only n01 touches cell 0
+}
+
+TEST(InduceTest, RejectsBadSubsets) {
+  const Hypergraph h = chain_with_pad();
+  EXPECT_THROW(induce(h, std::vector<NodeId>{0, 0}), PreconditionError);
+  EXPECT_THROW(induce(h, std::vector<NodeId>{4}), PreconditionError);   // pad
+  EXPECT_THROW(induce(h, std::vector<NodeId>{99}), PreconditionError);
+}
+
+// Key semantic property: extracting a block of a partition yields a
+// subcircuit whose terminal count equals the block's pin demand T_b —
+// the induced circuit "sees" exactly the I/Os the block would need.
+class InducePartitionTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(InducePartitionTest, TerminalCountMatchesBlockPins) {
+  GeneratorConfig config;
+  config.num_cells = 120;
+  config.num_terminals = 15;
+  config.seed = static_cast<std::uint64_t>(GetParam()) + 1;
+  const Hypergraph h = generate_circuit(config);
+
+  Partition p(h, 3);
+  Rng rng(config.seed ^ 0xABCD);
+  for (NodeId v = 0; v < h.num_nodes(); ++v) {
+    if (!h.is_terminal(v)) p.move(v, static_cast<BlockId>(rng.index(3)));
+  }
+  for (BlockId b = 0; b < 3; ++b) {
+    const auto nodes = p.block_nodes(b);
+    if (nodes.empty()) continue;
+    const InducedCircuit sub = induce(h, nodes);
+    sub.graph.validate();
+    EXPECT_EQ(sub.graph.num_terminals(), p.block_pins(b))
+        << "block " << b;
+    EXPECT_EQ(sub.graph.total_size(), p.block_size(b));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, InducePartitionTest, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace fpart

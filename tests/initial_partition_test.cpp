@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/initial_partition.hpp"
+#include "device/xilinx.hpp"
+#include "fm/repair.hpp"
+#include "hypergraph/builder.hpp"
+#include "netlist/generator.hpp"
+#include "netlist/mcnc.hpp"
+#include "partition/evaluator.hpp"
+#include "util/rng.hpp"
+#include "util/assert.hpp"
+
+namespace fpart {
+namespace {
+
+TEST(ShrinkTest, ReducesBlockUntilFeasible) {
+  GeneratorConfig config;
+  config.num_cells = 100;
+  config.num_terminals = 10;
+  config.seed = 5;
+  const Hypergraph h = generate_circuit(config);
+  const Device d("X", Family::kXC3000, 30, 25, 1.0);
+  Partition p(h, 2);
+  // Everything in block 1: way over capacity.
+  for (NodeId v = 0; v < h.num_nodes(); ++v) {
+    if (!h.is_terminal(v)) p.move(v, 1);
+  }
+  ASSERT_FALSE(p.block_feasible(1, d));
+  shrink_to_feasible(p, d, 1, 0);
+  EXPECT_TRUE(p.block_feasible(1, d));
+  EXPECT_GT(p.block_node_count(1), 0u);
+  p.check_consistency();
+}
+
+TEST(ShrinkTest, NoopWhenAlreadyFeasible) {
+  GeneratorConfig config;
+  config.num_cells = 40;
+  config.num_terminals = 5;
+  config.seed = 6;
+  const Hypergraph h = generate_circuit(config);
+  const Device d("X", Family::kXC3000, 100, 100, 1.0);
+  Partition p(h, 2);
+  const auto before = p.snapshot();
+  shrink_to_feasible(p, d, 0, 1);
+  EXPECT_EQ(p.snapshot().assignment, before.assignment);
+}
+
+TEST(PinDeltaTest, MatchesActualMove) {
+  GeneratorConfig config;
+  config.num_cells = 60;
+  config.num_terminals = 8;
+  config.seed = 7;
+  const Hypergraph h = generate_circuit(config);
+  Partition p(h, 2);
+  Rng rng(7);
+  for (NodeId v = 0; v < h.num_nodes(); ++v) {
+    if (!h.is_terminal(v)) p.move(v, static_cast<BlockId>(rng.index(2)));
+  }
+  for (NodeId v = 0; v < h.num_nodes(); ++v) {
+    if (h.is_terminal(v)) continue;
+    const BlockId from = p.block_of(v);
+    const BlockId to = 1 - from;
+    const auto pins_to_before = static_cast<std::int64_t>(p.block_pins(to));
+    const auto pins_from_before =
+        static_cast<std::int64_t>(p.block_pins(from));
+    const int predicted_add = pin_delta_if_added(p, v, to);
+    const int predicted_rem = pin_delta_if_removed(p, v, from);
+    p.move(v, to);
+    EXPECT_EQ(static_cast<std::int64_t>(p.block_pins(to)),
+              pins_to_before + predicted_add);
+    EXPECT_EQ(static_cast<std::int64_t>(p.block_pins(from)),
+              pins_from_before + predicted_rem);
+    p.move(v, from);
+  }
+}
+
+class BipartitionTest
+    : public ::testing::TestWithParam<std::tuple<const char*, const char*>> {
+};
+
+TEST_P(BipartitionTest, PostconditionsHold) {
+  const auto& [circuit, device_name] = GetParam();
+  const Device d = xilinx::by_name(device_name);
+  const Hypergraph h = mcnc::generate(circuit, d.family());
+  const std::uint32_t m = lower_bound_devices(h, d);
+  Partition p(h, 1);
+  const Evaluator eval(d, CostParams{}, m);
+  const Options opt;
+
+  const BlockId pk = bipartition_remainder(p, eval, 0, opt);
+  EXPECT_EQ(pk, 1u);
+  EXPECT_EQ(p.num_blocks(), 2u);
+  EXPECT_GT(p.block_node_count(pk), 0u);
+  EXPECT_TRUE(p.block_feasible(pk, d));
+  EXPECT_GT(p.block_node_count(0), 0u);  // remainder keeps something
+  p.check_consistency();
+
+  // Second split of the remainder also works.
+  const BlockId pk2 = bipartition_remainder(p, eval, 0, opt);
+  EXPECT_EQ(pk2, 2u);
+  EXPECT_TRUE(p.block_feasible(pk2, d));
+  p.check_consistency();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Circuits, BipartitionTest,
+    ::testing::Values(std::make_tuple("c3540", "XC3020"),
+                      std::make_tuple("s5378", "XC3042"),
+                      std::make_tuple("s9234", "XC3020"),
+                      std::make_tuple("c7552", "XC2064"),
+                      std::make_tuple("s13207", "XC3090")));
+
+TEST(BipartitionTest, SingleNodeRemainder) {
+  HypergraphBuilder b;
+  const NodeId a = b.add_cell(3);
+  const NodeId c = b.add_cell(1);
+  b.add_net({a, c});
+  const Hypergraph h = std::move(b).build();
+  const Device d("X", Family::kXC3000, 10, 10, 1.0);
+  Partition p(h, 2);
+  p.move(c, 1);  // remainder (block 0) holds only `a`
+  const Evaluator eval(d, CostParams{}, 1);
+  const BlockId pk = bipartition_remainder(p, eval, 0, Options{});
+  EXPECT_TRUE(p.block_feasible(pk, d));
+  EXPECT_EQ(p.block_node_count(0), 0u);  // drained
+}
+
+TEST(BipartitionTest, DisconnectedRemainder) {
+  // Two disconnected chunks: the grower must reseed across components.
+  HypergraphBuilder b;
+  std::vector<NodeId> c;
+  for (int i = 0; i < 8; ++i) c.push_back(b.add_cell(1));
+  b.add_net({c[0], c[1]});
+  b.add_net({c[1], c[2]});
+  b.add_net({c[3], c[4]});
+  b.add_net({c[4], c[5]});
+  b.add_net({c[6], c[7]});
+  const Hypergraph h = std::move(b).build();
+  const Device d("X", Family::kXC3000, 5, 10, 1.0);
+  Partition p(h, 1);
+  const Evaluator eval(d, CostParams{}, 2);
+  const BlockId pk = bipartition_remainder(p, eval, 0, Options{});
+  EXPECT_TRUE(p.block_feasible(pk, d));
+  EXPECT_GT(p.block_node_count(pk), 0u);
+  p.check_consistency();
+}
+
+TEST(BipartitionTest, RequiresNonEmptyRemainder) {
+  HypergraphBuilder b;
+  const NodeId a = b.add_cell(1);
+  const NodeId c = b.add_cell(1);
+  b.add_net({a, c});
+  const Hypergraph h = std::move(b).build();
+  const Device d("X", Family::kXC3000, 10, 10, 1.0);
+  Partition p(h, 2);
+  p.move(a, 1);
+  p.move(c, 1);
+  const Evaluator eval(d, CostParams{}, 1);
+  EXPECT_THROW(bipartition_remainder(p, eval, 0, Options{}),
+               PreconditionError);
+}
+
+TEST(BipartitionTest, DeterministicForSameInput) {
+  const Device d = xilinx::xc3042();
+  const Hypergraph h = mcnc::generate("s9234", d.family());
+  const std::uint32_t m = lower_bound_devices(h, d);
+  auto run_once = [&] {
+    Partition p(h, 1);
+    const Evaluator eval(d, CostParams{}, m);
+    bipartition_remainder(p, eval, 0, Options{});
+    return p.snapshot();
+  };
+  EXPECT_EQ(run_once().assignment, run_once().assignment);
+}
+
+}  // namespace
+}  // namespace fpart

@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "baselines/kwayx.hpp"
+#include "device/xilinx.hpp"
+#include "hypergraph/builder.hpp"
+#include "netlist/mcnc.hpp"
+
+namespace fpart {
+namespace {
+
+using Case = std::tuple<const char*, const char*>;
+class KwayxEndToEndTest : public ::testing::TestWithParam<Case> {};
+
+TEST_P(KwayxEndToEndTest, ProducesFeasiblePartition) {
+  const auto& [circuit, device_name] = GetParam();
+  const Device d = xilinx::by_name(device_name);
+  const Hypergraph h = mcnc::generate(circuit, d.family());
+  const PartitionResult r = KwayxPartitioner().run(h, d);
+  EXPECT_TRUE(r.feasible);
+  EXPECT_GE(r.k, r.lower_bound);
+  std::uint64_t total = 0;
+  for (const BlockStats& b : r.blocks) {
+    EXPECT_TRUE(b.feasible);
+    EXPECT_GT(b.nodes, 0u);
+    total += b.size;
+  }
+  EXPECT_EQ(total, h.total_size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Circuits, KwayxEndToEndTest,
+                         ::testing::Values(Case{"c3540", "XC3020"},
+                                           Case{"s5378", "XC3042"},
+                                           Case{"s13207", "XC3090"},
+                                           Case{"c6288", "XC2064"},
+                                           Case{"s15850", "XC3020"}));
+
+TEST(KwayxTest, DeterministicAcrossRuns) {
+  const Device d = xilinx::xc3020();
+  const Hypergraph h = mcnc::generate("s9234", d.family());
+  const PartitionResult a = KwayxPartitioner().run(h, d);
+  const PartitionResult b = KwayxPartitioner().run(h, d);
+  EXPECT_EQ(a.k, b.k);
+  EXPECT_EQ(a.assignment, b.assignment);
+}
+
+TEST(KwayxTest, SingleDeviceCase) {
+  const Device d = xilinx::xc3090();
+  const Hypergraph h = mcnc::generate("c3540", d.family());
+  const PartitionResult r = KwayxPartitioner().run(h, d);
+  EXPECT_EQ(r.k, 1u);
+  EXPECT_TRUE(r.feasible);
+}
+
+TEST(KwayxTest, IterationsMatchBlockCount) {
+  const Device d = xilinx::xc3042();
+  const Hypergraph h = mcnc::generate("s5378", d.family());
+  const PartitionResult r = KwayxPartitioner().run(h, d);
+  // One grown block per iteration; the last remainder becomes a block.
+  EXPECT_LE(r.k, r.iterations + 1);
+}
+
+TEST(KwayxTest, FirstBlockSaturatesAResource) {
+  const Device d = xilinx::xc3020();
+  const Hypergraph h = mcnc::generate("s9234", d.family());
+  const PartitionResult r = KwayxPartitioner().run(h, d);
+  // The greedy grower packs until a device resource runs out — either
+  // the logic capacity or (on the pin-tight XC3020) the I/O budget.
+  // Block 0 is the final remainder; block 1 is the first peeled device.
+  ASSERT_GT(r.blocks.size(), 1u);
+  const BlockStats& first = r.blocks[1];
+  const bool size_saturated =
+      static_cast<double>(first.size) > 0.8 * d.s_max();
+  const bool pin_saturated =
+      static_cast<double>(first.pins) > 0.7 * d.t_max();
+  EXPECT_TRUE(size_saturated || pin_saturated)
+      << "S=" << first.size << " T=" << first.pins;
+  EXPECT_GT(static_cast<double>(first.size), 0.5 * d.s_max());
+}
+
+}  // namespace
+}  // namespace fpart

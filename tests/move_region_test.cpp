@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "device/xilinx.hpp"
+#include "hypergraph/builder.hpp"
+#include "partition/partition.hpp"
+#include "sanchis/move_region.hpp"
+#include "util/assert.hpp"
+
+namespace fpart {
+namespace {
+
+Hypergraph three_cells() {
+  HypergraphBuilder b;
+  const NodeId a = b.add_cell(1);
+  const NodeId c = b.add_cell(1);
+  const NodeId d = b.add_cell(1);
+  b.add_net({a, c, d});
+  return std::move(b).build();
+}
+
+TEST(MoveRegionTest, RemainderUnbounded) {
+  const Hypergraph h = three_cells();
+  Partition p(h, 3);
+  const Device d = xilinx::xc3020();
+  const MoveRegion r = make_move_region(p, d, 1, true, true);
+  EXPECT_DOUBLE_EQ(r.lo[1], 0.0);
+  EXPECT_TRUE(std::isinf(r.hi[1]));
+}
+
+TEST(MoveRegionTest, TwoBlockBoundsUsePaperValues) {
+  const Hypergraph h = three_cells();
+  Partition p(h, 2);
+  const Device d = xilinx::xc3020();  // S_MAX = 57.6
+  const MoveRegion r =
+      make_move_region(p, d, 0, /*two_block_pass=*/true,
+                       /*allow_size_violations=*/true);
+  EXPECT_DOUBLE_EQ(r.lo[1], 0.95 * 57.6);  // ε²_min
+  EXPECT_DOUBLE_EQ(r.hi[1], 1.05 * 57.6);  // ε_max
+}
+
+TEST(MoveRegionTest, MultiBlockLowerBoundLooser) {
+  const Hypergraph h = three_cells();
+  Partition p(h, 3);
+  const Device d = xilinx::xc3020();
+  const MoveRegion r =
+      make_move_region(p, d, 0, /*two_block_pass=*/false, true);
+  EXPECT_DOUBLE_EQ(r.lo[1], 0.30 * 57.6);  // ε*_min
+  EXPECT_DOUBLE_EQ(r.lo[2], 0.30 * 57.6);
+}
+
+TEST(MoveRegionTest, StrictUpperBoundWhenViolationsDisallowed) {
+  const Hypergraph h = three_cells();
+  Partition p(h, 2);
+  const Device d = xilinx::xc3020();
+  const MoveRegion r = make_move_region(p, d, 0, true,
+                                        /*allow_size_violations=*/false);
+  EXPECT_DOUBLE_EQ(r.hi[1], 57.6);  // exactly S_MAX
+}
+
+TEST(MoveRegionTest, CustomParams) {
+  const Hypergraph h = three_cells();
+  Partition p(h, 2);
+  const Device d("X", Family::kXC3000, 100, 50, 1.0);
+  MoveRegionParams params;
+  params.eps_min_two_block = 0.5;
+  params.eps_max = 1.2;
+  const MoveRegion r = make_move_region(p, d, 0, true, true, params);
+  EXPECT_DOUBLE_EQ(r.lo[1], 50.0);
+  EXPECT_DOUBLE_EQ(r.hi[1], 120.0);
+}
+
+TEST(MoveRegionTest, AllowsPredicates) {
+  const Hypergraph h = three_cells();
+  Partition p(h, 2);
+  const Device d("X", Family::kXC3000, 100, 50, 1.0);
+  const MoveRegion r = make_move_region(p, d, 0, true, true);
+  // Non-remainder block 1: lo = 95, hi = 105.
+  EXPECT_TRUE(r.allows_enter(1, 105.0));
+  EXPECT_FALSE(r.allows_enter(1, 105.1));
+  EXPECT_TRUE(r.allows_leave(1, 95.0));
+  EXPECT_FALSE(r.allows_leave(1, 94.9));
+  // Remainder: everything allowed.
+  EXPECT_TRUE(r.allows_enter(0, 1e12));
+  EXPECT_TRUE(r.allows_leave(0, 0.0));
+}
+
+TEST(MoveRegionTest, CoversEveryBlock) {
+  const Hypergraph h = three_cells();
+  Partition p(h, 3);
+  const Device d = xilinx::xc3042();
+  const MoveRegion r = make_move_region(p, d, 2, false, true);
+  EXPECT_EQ(r.lo.size(), 3u);
+  EXPECT_EQ(r.hi.size(), 3u);
+  EXPECT_TRUE(std::isinf(r.hi[2]));
+  EXPECT_FALSE(std::isinf(r.hi[0]));
+}
+
+TEST(MoveRegionTest, ValidatesRemainder) {
+  const Hypergraph h = three_cells();
+  Partition p(h, 2);
+  const Device d = xilinx::xc3042();
+  EXPECT_THROW(make_move_region(p, d, 5, true, true), PreconditionError);
+}
+
+}  // namespace
+}  // namespace fpart

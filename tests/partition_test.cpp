@@ -1,0 +1,286 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "device/xilinx.hpp"
+#include "hypergraph/builder.hpp"
+#include "netlist/generator.hpp"
+#include "partition/partition.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace fpart {
+namespace {
+
+// Fixture circuit: 5 cells, 1 pad.
+//   n0 = {0,1,2}, n1 = {2,3}, n2 = {3,4,pad}, n3 = {0,4}
+Hypergraph fixture() {
+  HypergraphBuilder b;
+  std::vector<NodeId> c;
+  for (int i = 0; i < 5; ++i) c.push_back(b.add_cell(1));
+  const NodeId pad = b.add_terminal();
+  b.add_net({c[0], c[1], c[2]});
+  b.add_net({c[2], c[3]});
+  b.add_net({c[3], c[4], pad});
+  b.add_net({c[0], c[4]});
+  return std::move(b).build();
+}
+
+TEST(PartitionTest, InitialStateAllInBlockZero) {
+  const Hypergraph h = fixture();
+  Partition p(h, 1);
+  EXPECT_EQ(p.num_blocks(), 1u);
+  EXPECT_EQ(p.block_size(0), 5u);
+  EXPECT_EQ(p.block_node_count(0), 5u);
+  EXPECT_EQ(p.cut_size(), 0u);
+  // Only the pad net demands a pin (n2 has a terminal).
+  EXPECT_EQ(p.block_pins(0), 1u);
+  EXPECT_EQ(p.block_external_pins(0), 1u);
+  EXPECT_EQ(p.block_of(5), kInvalidBlock);  // terminal unassigned
+}
+
+TEST(PartitionTest, MoveUpdatesSizesAndCut) {
+  const Hypergraph h = fixture();
+  Partition p(h, 2);
+  p.move(0, 1);
+  EXPECT_EQ(p.block_size(0), 4u);
+  EXPECT_EQ(p.block_size(1), 1u);
+  // Cut nets: n0 = {0|1,2} and n3 = {0|4}.
+  EXPECT_EQ(p.cut_size(), 2u);
+  p.check_consistency();
+}
+
+TEST(PartitionTest, PinDemandOnCutNets) {
+  const Hypergraph h = fixture();
+  Partition p(h, 2);
+  p.move(0, 1);
+  // Block 1 = {0}: pins for n0 and n3 -> 2.
+  EXPECT_EQ(p.block_pins(1), 2u);
+  // Block 0 = {1,2,3,4}: pins for n0, n3 and the pad net n2 -> 3.
+  EXPECT_EQ(p.block_pins(0), 3u);
+}
+
+TEST(PartitionTest, TerminalNetAlwaysDemandsPin) {
+  const Hypergraph h = fixture();
+  Partition p(h, 2);
+  // Move both pins of the pad net (cells 3,4) to block 1: net n2 is
+  // internal to block 1 but still needs a pad pin there; block 0 loses it.
+  p.move(3, 1);
+  p.move(4, 1);
+  EXPECT_EQ(p.block_external_pins(1), 1u);
+  EXPECT_EQ(p.block_external_pins(0), 0u);
+  // n2 demands a pin on block 1 (terminal), none on block 0.
+  // n1 = {2|3} and n3 = {0|4} are cut.
+  EXPECT_EQ(p.cut_size(), 2u);
+  p.check_consistency();
+}
+
+TEST(PartitionTest, ConnectivityKm1Metric) {
+  const Hypergraph h = fixture();
+  Partition p(h, 3);
+  EXPECT_EQ(p.connectivity_km1(), 0u);
+  p.move(0, 1);
+  // n0 = {0|1,2} spans 2 (+1), n3 = {0|4} spans 2 (+1).
+  EXPECT_EQ(p.connectivity_km1(), 2u);
+  p.move(1, 2);
+  // n0 = {0 | 1 | 2} now spans 3 blocks (+1 more).
+  EXPECT_EQ(p.connectivity_km1(), 3u);
+  EXPECT_EQ(p.cut_size(), 2u);  // cut counts nets, km1 counts fragments
+  p.move(0, 0);
+  p.move(1, 0);
+  EXPECT_EQ(p.connectivity_km1(), 0u);
+  p.check_consistency();
+}
+
+TEST(PartitionTest, Km1AtLeastCut) {
+  const Hypergraph h = fixture();
+  Partition p(h, 4);
+  Rng rng(3);
+  for (NodeId v = 0; v < 5; ++v) {
+    p.move(v, static_cast<BlockId>(rng.index(4)));
+  }
+  EXPECT_GE(p.connectivity_km1(), p.cut_size());
+  p.check_consistency();
+}
+
+TEST(PartitionTest, MoveToSameBlockIsNoop) {
+  const Hypergraph h = fixture();
+  Partition p(h, 2);
+  const auto before = p.snapshot();
+  p.move(0, 0);
+  EXPECT_EQ(p.snapshot().assignment, before.assignment);
+  EXPECT_EQ(p.cut_size(), 0u);
+}
+
+TEST(PartitionTest, MoveBackRestoresEverything) {
+  const Hypergraph h = fixture();
+  Partition p(h, 3);
+  p.move(2, 1);
+  p.move(3, 2);
+  p.move(2, 0);
+  p.move(3, 0);
+  EXPECT_EQ(p.cut_size(), 0u);
+  EXPECT_EQ(p.block_size(0), 5u);
+  EXPECT_EQ(p.block_pins(1), 0u);
+  EXPECT_EQ(p.block_pins(2), 0u);
+  p.check_consistency();
+}
+
+TEST(PartitionTest, MoveValidation) {
+  const Hypergraph h = fixture();
+  Partition p(h, 2);
+  EXPECT_THROW(p.move(5, 1), PreconditionError);   // terminal
+  EXPECT_THROW(p.move(0, 7), PreconditionError);   // no such block
+  EXPECT_THROW(p.move(99, 1), PreconditionError);  // no such node
+}
+
+TEST(PartitionTest, AddAndRemoveBlocks) {
+  const Hypergraph h = fixture();
+  Partition p(h, 1);
+  const BlockId b1 = p.add_block();
+  EXPECT_EQ(b1, 1u);
+  EXPECT_EQ(p.num_blocks(), 2u);
+  p.move(0, b1);
+  EXPECT_THROW(p.remove_last_block(), PreconditionError);  // not empty
+  p.move(0, 0);
+  p.remove_last_block();
+  EXPECT_EQ(p.num_blocks(), 1u);
+  Partition q(h, 1);
+  EXPECT_THROW(q.remove_last_block(), PreconditionError);  // only block
+}
+
+TEST(PartitionTest, SwapBlocksExchangesContents) {
+  const Hypergraph h = fixture();
+  Partition p(h, 2);
+  p.move(0, 1);
+  p.move(1, 1);
+  const auto size0 = p.block_size(0);
+  const auto size1 = p.block_size(1);
+  const auto pins0 = p.block_pins(0);
+  p.swap_blocks(0, 1);
+  EXPECT_EQ(p.block_size(0), size1);
+  EXPECT_EQ(p.block_size(1), size0);
+  EXPECT_EQ(p.block_pins(1), pins0);
+  EXPECT_EQ(p.block_of(0), 0u);
+  p.check_consistency();
+  p.swap_blocks(1, 1);  // self-swap is a no-op
+  p.check_consistency();
+}
+
+TEST(PartitionTest, BlockNodesListsMembers) {
+  const Hypergraph h = fixture();
+  Partition p(h, 2);
+  p.move(1, 1);
+  p.move(4, 1);
+  EXPECT_EQ(p.block_nodes(1), (std::vector<NodeId>{1, 4}));
+  EXPECT_EQ(p.block_nodes(0), (std::vector<NodeId>{0, 2, 3}));
+}
+
+TEST(PartitionTest, SnapshotRestoreRoundTrip) {
+  const Hypergraph h = fixture();
+  Partition p(h, 3);
+  p.move(0, 1);
+  p.move(1, 2);
+  const auto snap = p.snapshot();
+  const auto cut = p.cut_size();
+  p.move(2, 1);
+  p.move(3, 2);
+  p.restore(snap);
+  EXPECT_EQ(p.cut_size(), cut);
+  EXPECT_EQ(p.block_of(0), 1u);
+  EXPECT_EQ(p.block_of(2), 0u);
+  p.check_consistency();
+}
+
+TEST(PartitionTest, RestoreAcrossBlockCountChange) {
+  const Hypergraph h = fixture();
+  Partition p(h, 1);
+  const auto snap1 = p.snapshot();
+  p.add_block();
+  p.add_block();
+  p.move(0, 2);
+  p.restore(snap1);
+  EXPECT_EQ(p.num_blocks(), 1u);
+  EXPECT_EQ(p.block_of(0), 0u);
+  p.check_consistency();
+}
+
+TEST(PartitionTest, FeasibilityClassification) {
+  const Hypergraph h = fixture();  // 5 cells
+  Partition p(h, 2);
+  const Device tight("T", Family::kXC3000, 3, 4, 1.0);
+  // All 5 cells in block 0: infeasible block + empty feasible block.
+  EXPECT_EQ(p.classify(tight), FeasibilityClass::kSemiFeasible);
+  EXPECT_EQ(p.count_feasible(tight), 1u);
+  p.move(0, 1);
+  p.move(1, 1);
+  // 3 + 2 split: sizes ok; pins: block0={2,3,4} pins n0,n3,n2(pad)=3 ok;
+  // block1={0,1} pins n0,n3=2 ok.
+  EXPECT_EQ(p.classify(tight), FeasibilityClass::kFeasible);
+}
+
+TEST(PartitionTest, InfeasibleClassification) {
+  const Hypergraph h = fixture();
+  Partition p(h, 3);
+  const Device tiny("T", Family::kXC3000, 1, 2, 1.0);
+  p.move(0, 1);
+  p.move(1, 2);
+  // Sizes: 3,1,1 -> block 0 too big; pins: block1={0}: n0,n3 -> 2 ok;
+  // but block2={1}: n0 -> 1 ok. Only one infeasible -> semi.
+  EXPECT_EQ(p.classify(tiny), FeasibilityClass::kSemiFeasible);
+  p.move(2, 1);  // block1={0,2} size 2 > 1 -> two infeasible
+  EXPECT_EQ(p.classify(tiny), FeasibilityClass::kInfeasible);
+}
+
+TEST(PartitionTest, RequiresInteriorNodes) {
+  HypergraphBuilder b;
+  b.add_terminal();
+  const Hypergraph h = std::move(b).build();
+  EXPECT_THROW(Partition(h, 1), PreconditionError);
+}
+
+// The core property test: incremental updates equal a from-scratch
+// rebuild after arbitrary move sequences, across circuit shapes and
+// block counts.
+using PropParam = std::tuple<int, int>;  // (seed, num_blocks)
+class PartitionPropertyTest : public ::testing::TestWithParam<PropParam> {};
+
+TEST_P(PartitionPropertyTest, IncrementalMatchesRebuild) {
+  const auto& [seed, k] = GetParam();
+  GeneratorConfig config;
+  config.num_cells = 150;
+  config.num_terminals = 20;
+  config.seed = static_cast<std::uint64_t>(seed) * 31 + 7;
+  const Hypergraph h = generate_circuit(config);
+
+  Partition p(h, static_cast<std::uint32_t>(k));
+  Rng rng(config.seed ^ 0x5555);
+  std::vector<NodeId> cells;
+  for (NodeId v = 0; v < h.num_nodes(); ++v) {
+    if (!h.is_terminal(v)) cells.push_back(v);
+  }
+  for (int step = 0; step < 600; ++step) {
+    const NodeId v = rng.pick(cells);
+    p.move(v, static_cast<BlockId>(rng.index(static_cast<std::size_t>(k))));
+    if (step % 97 == 0) p.check_consistency();
+  }
+  p.check_consistency();
+
+  // Aggregate identities.
+  std::uint64_t total_size = 0;
+  std::uint32_t total_nodes = 0;
+  for (BlockId b = 0; b < p.num_blocks(); ++b) {
+    total_size += p.block_size(b);
+    total_nodes += p.block_node_count(b);
+  }
+  EXPECT_EQ(total_size, h.total_size());
+  EXPECT_EQ(total_nodes, h.num_interior());
+}
+
+INSTANTIATE_TEST_SUITE_P(SeedsAndBlocks, PartitionPropertyTest,
+                         ::testing::Combine(::testing::Range(0, 6),
+                                            ::testing::Values(2, 3, 7, 16)));
+
+}  // namespace
+}  // namespace fpart

@@ -1,0 +1,173 @@
+// Tests for the paper's §5 future-work refiner extensions: pin-count
+// gains and the infeasible-region early stop.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+#include "core/fpart.hpp"
+#include "device/xilinx.hpp"
+#include "fm/repair.hpp"
+#include "netlist/mcnc.hpp"
+#include "partition/evaluator.hpp"
+#include "sanchis/refiner.hpp"
+#include "util/rng.hpp"
+
+namespace fpart {
+namespace {
+
+MoveRegion open_region(const Partition& p) {
+  MoveRegion r;
+  r.lo.assign(p.num_blocks(), 0.0);
+  r.hi.assign(p.num_blocks(), std::numeric_limits<double>::infinity());
+  return r;
+}
+
+struct Instance {
+  Hypergraph h;
+  Device device;
+  std::uint32_t m;
+
+  explicit Instance(const char* circuit, Device d)
+      : h(mcnc::generate(circuit, d.family())),
+        device(std::move(d)),
+        m(lower_bound_devices(h, device)) {}
+};
+
+Partition random_partition(const Hypergraph& h, std::uint32_t k,
+                           std::uint64_t seed) {
+  Partition p(h, k);
+  Rng rng(seed);
+  for (NodeId v = 0; v < h.num_nodes(); ++v) {
+    if (!h.is_terminal(v)) {
+      p.move(v, static_cast<BlockId>(rng.index(k)));
+    }
+  }
+  return p;
+}
+
+TEST(PinGainModeTest, PinGainEqualsActualPinDelta) {
+  // The pin-count gain definition must equal the measured change of
+  // total pin demand.
+  const Instance inst("c3540", xilinx::xc3042());
+  Partition p = random_partition(inst.h, 3, 11);
+  Rng rng(3);
+  for (int trial = 0; trial < 200; ++trial) {
+    NodeId v;
+    do {
+      v = static_cast<NodeId>(rng.index(inst.h.num_nodes()));
+    } while (inst.h.is_terminal(v));
+    const BlockId from = p.block_of(v);
+    const BlockId to = (from + 1) % 3;
+    const int gain =
+        -(pin_delta_if_removed(p, v, from) + pin_delta_if_added(p, v, to));
+    std::int64_t before = 0;
+    for (BlockId b = 0; b < 3; ++b) {
+      before += static_cast<std::int64_t>(p.block_pins(b));
+    }
+    p.move(v, to);
+    std::int64_t after = 0;
+    for (BlockId b = 0; b < 3; ++b) {
+      after += static_cast<std::int64_t>(p.block_pins(b));
+    }
+    ASSERT_EQ(gain, before - after);
+    p.move(v, from);
+  }
+}
+
+TEST(PinGainModeTest, ReducesTotalPins) {
+  const Instance inst("s9234", xilinx::xc3042());
+  Partition p = random_partition(inst.h, 3, 17);
+  std::uint64_t pins_before = 0;
+  for (BlockId b = 0; b < 3; ++b) pins_before += p.block_pins(b);
+
+  const Evaluator eval(inst.device, CostParams{}, inst.m);
+  RefinerConfig config;
+  config.gain_mode = GainMode::kPinCount;
+  MultiwayRefiner refiner(p, eval, 0, config);
+  const std::vector<BlockId> blocks{0, 1, 2};
+  refiner.improve(blocks, open_region(p));
+
+  std::uint64_t pins_after = 0;
+  for (BlockId b = 0; b < 3; ++b) pins_after += p.block_pins(b);
+  EXPECT_LT(pins_after, pins_before);
+  p.check_consistency();
+}
+
+TEST(PinGainModeTest, NeverWorsensTheSolution) {
+  const Instance inst("s9234", xilinx::xc3020());
+  Partition p = random_partition(inst.h, 4, 23);
+  const Evaluator eval(inst.device, CostParams{}, inst.m);
+  const SolutionEval before = eval.evaluate(p, 0);
+  RefinerConfig config;
+  config.gain_mode = GainMode::kPinCount;
+  MultiwayRefiner refiner(p, eval, 0, config);
+  const std::vector<BlockId> blocks{0, 1, 2, 3};
+  const SolutionEval after = refiner.improve(blocks, open_region(p));
+  EXPECT_FALSE(before.better_than(after));
+}
+
+TEST(PinGainModeTest, FpartStillFeasibleWithPinGains) {
+  Options opt;
+  opt.refiner.gain_mode = GainMode::kPinCount;
+  const Device d = xilinx::xc3042();
+  const Hypergraph h = mcnc::generate("s9234", d.family());
+  const PartitionResult r = FpartPartitioner(opt).run(h, d);
+  EXPECT_TRUE(r.feasible);
+  EXPECT_GE(r.k, r.lower_bound);
+  EXPECT_LE(r.k, r.lower_bound + 2);
+}
+
+TEST(EarlyStopTest, NeverWorsensAndOftenCheaper) {
+  const Instance inst("s13207", xilinx::xc3020());
+  auto run_with = [&](std::uint32_t window) {
+    Partition p = random_partition(inst.h, 4, 31);
+    const Evaluator eval(inst.device, CostParams{}, inst.m);
+    RefinerConfig config;
+    config.infeasible_stop_window = window;
+    config.stack_depth = 0;
+    MultiwayRefiner refiner(p, eval, 0, config);
+    RefineStats stats;
+    const std::vector<BlockId> blocks{0, 1, 2, 3};
+    const SolutionEval result =
+        refiner.improve(blocks, open_region(p), &stats);
+    return std::make_pair(result, stats.moves);
+  };
+  const auto [eval_off, moves_off] = run_with(0);
+  const auto [eval_on, moves_on] = run_with(24);
+  // The early stop saves moves on infeasible trajectories...
+  EXPECT_LT(moves_on, moves_off);
+  // ...and the pass-best mechanism means the solution stays comparable
+  // in the first key (feasible block count never regresses vs start).
+  EXPECT_GE(eval_on.feasible_blocks + 1, eval_off.feasible_blocks);
+}
+
+TEST(EarlyStopTest, FpartStillFeasibleWithEarlyStop) {
+  Options opt;
+  opt.refiner.infeasible_stop_window = 32;
+  const Device d = xilinx::xc3020();
+  const Hypergraph h = mcnc::generate("s9234", d.family());
+  const PartitionResult r = FpartPartitioner(opt).run(h, d);
+  EXPECT_TRUE(r.feasible);
+  EXPECT_GE(r.k, r.lower_bound);
+}
+
+TEST(EarlyStopTest, WindowZeroIsDisabled) {
+  const Instance inst("c3540", xilinx::xc3042());
+  auto snapshot_with = [&](std::uint32_t window) {
+    Partition p = random_partition(inst.h, 3, 41);
+    const Evaluator eval(inst.device, CostParams{}, inst.m);
+    RefinerConfig config;
+    config.infeasible_stop_window = window;
+    MultiwayRefiner refiner(p, eval, 0, config);
+    const std::vector<BlockId> blocks{0, 1, 2};
+    refiner.improve(blocks, open_region(p));
+    return p.snapshot();
+  };
+  // A huge window behaves identically to the disabled setting.
+  EXPECT_EQ(snapshot_with(0).assignment,
+            snapshot_with(1u << 30).assignment);
+}
+
+}  // namespace
+}  // namespace fpart

@@ -1,0 +1,251 @@
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+#include "device/xilinx.hpp"
+#include "hypergraph/builder.hpp"
+#include "netlist/generator.hpp"
+#include "partition/evaluator.hpp"
+#include "sanchis/refiner.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace fpart {
+namespace {
+
+// A permissive region: remainder-style freedom for every block.
+MoveRegion open_region(const Partition& p) {
+  MoveRegion r;
+  r.lo.assign(p.num_blocks(), 0.0);
+  r.hi.assign(p.num_blocks(), std::numeric_limits<double>::infinity());
+  return r;
+}
+
+struct RefinerFixture {
+  Hypergraph h;
+  Device device;
+  std::uint32_t m;
+
+  RefinerFixture(std::uint32_t cells, std::uint32_t pads, std::uint64_t seed,
+        Device d)
+      : h([&] {
+          GeneratorConfig config;
+          config.num_cells = cells;
+          config.num_terminals = pads;
+          config.seed = seed;
+          return generate_circuit(config);
+        }()),
+        device(std::move(d)),
+        m(lower_bound_devices(h, device)) {}
+};
+
+TEST(RefinerTest, NeverWorsensTheSolution) {
+  const RefinerFixture s(150, 20, 5, xilinx::xc3020());
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    Partition p(s.h, 3);
+    Rng rng(seed);
+    for (NodeId v = 0; v < s.h.num_nodes(); ++v) {
+      if (!s.h.is_terminal(v)) {
+        p.move(v, static_cast<BlockId>(rng.index(3)));
+      }
+    }
+    const Evaluator eval(s.device, CostParams{}, s.m);
+    const SolutionEval before = eval.evaluate(p, 0);
+    MultiwayRefiner refiner(p, eval, 0);
+    const std::vector<BlockId> blocks{0, 1, 2};
+    const SolutionEval after = refiner.improve(blocks, open_region(p));
+    EXPECT_FALSE(before.better_than(after)) << "seed " << seed;
+    // Returned eval reflects the actual final state.
+    const SolutionEval check = eval.evaluate(p, 0);
+    EXPECT_FALSE(check.better_than(after));
+    EXPECT_FALSE(after.better_than(check));
+    p.check_consistency();
+  }
+}
+
+TEST(RefinerTest, ReducesCutFromRandomStart) {
+  const RefinerFixture s(200, 20, 7, xilinx::xc3042());
+  Partition p(s.h, 2);
+  Rng rng(11);
+  for (NodeId v = 0; v < s.h.num_nodes(); ++v) {
+    if (!s.h.is_terminal(v)) p.move(v, static_cast<BlockId>(rng.index(2)));
+  }
+  const auto cut_before = p.cut_size();
+  const Evaluator eval(s.device, CostParams{}, s.m);
+  MultiwayRefiner refiner(p, eval, 0);
+  const std::vector<BlockId> blocks{0, 1};
+  refiner.improve(blocks, open_region(p));
+  // A random split of a locality-rich circuit always has slack.
+  EXPECT_LT(p.cut_size(), cut_before);
+}
+
+TEST(RefinerTest, RespectsMoveRegion) {
+  const RefinerFixture s(150, 15, 13, xilinx::xc3042());
+  Partition p(s.h, 3);
+  Rng rng(13);
+  for (NodeId v = 0; v < s.h.num_nodes(); ++v) {
+    if (!s.h.is_terminal(v)) p.move(v, static_cast<BlockId>(rng.index(3)));
+  }
+  // Freeze blocks 1 and 2 within ±2 cells of their current sizes.
+  MoveRegion region = open_region(p);
+  for (BlockId b = 1; b <= 2; ++b) {
+    region.lo[b] = static_cast<double>(p.block_size(b)) - 2.0;
+    region.hi[b] = static_cast<double>(p.block_size(b)) + 2.0;
+  }
+  const auto size1 = p.block_size(1);
+  const auto size2 = p.block_size(2);
+  const Evaluator eval(s.device, CostParams{}, s.m);
+  MultiwayRefiner refiner(p, eval, 0);
+  const std::vector<BlockId> blocks{0, 1, 2};
+  refiner.improve(blocks, region);
+  EXPECT_GE(p.block_size(1) + 2, size1);
+  EXPECT_LE(p.block_size(1), size1 + 2);
+  EXPECT_GE(p.block_size(2) + 2, size2);
+  EXPECT_LE(p.block_size(2), size2 + 2);
+}
+
+TEST(RefinerTest, OnlyActiveBlocksAreTouched) {
+  const RefinerFixture s(120, 12, 17, xilinx::xc3042());
+  Partition p(s.h, 3);
+  Rng rng(17);
+  for (NodeId v = 0; v < s.h.num_nodes(); ++v) {
+    if (!s.h.is_terminal(v)) p.move(v, static_cast<BlockId>(rng.index(3)));
+  }
+  const auto frozen = p.block_nodes(2);
+  const Evaluator eval(s.device, CostParams{}, s.m);
+  MultiwayRefiner refiner(p, eval, 0);
+  const std::vector<BlockId> blocks{0, 1};
+  refiner.improve(blocks, open_region(p));
+  EXPECT_EQ(p.block_nodes(2), frozen);
+}
+
+TEST(RefinerTest, DeterministicAcrossRuns) {
+  const RefinerFixture s(150, 20, 19, xilinx::xc3020());
+  auto run_once = [&] {
+    Partition p(s.h, 3);
+    Rng rng(19);
+    for (NodeId v = 0; v < s.h.num_nodes(); ++v) {
+      if (!s.h.is_terminal(v)) {
+        p.move(v, static_cast<BlockId>(rng.index(3)));
+      }
+    }
+    const Evaluator eval(s.device, CostParams{}, s.m);
+    MultiwayRefiner refiner(p, eval, 0);
+    const std::vector<BlockId> blocks{0, 1, 2};
+    refiner.improve(blocks, open_region(p));
+    return p.snapshot();
+  };
+  EXPECT_EQ(run_once().assignment, run_once().assignment);
+}
+
+TEST(RefinerTest, StackRestartsNeverHurt) {
+  const RefinerFixture s(150, 20, 23, xilinx::xc3020());
+  auto run_with_depth = [&](std::size_t depth) {
+    Partition p(s.h, 3);
+    Rng rng(23);
+    for (NodeId v = 0; v < s.h.num_nodes(); ++v) {
+      if (!s.h.is_terminal(v)) {
+        p.move(v, static_cast<BlockId>(rng.index(3)));
+      }
+    }
+    const Evaluator eval(s.device, CostParams{}, s.m);
+    RefinerConfig config;
+    config.stack_depth = depth;
+    MultiwayRefiner refiner(p, eval, 0, config);
+    const std::vector<BlockId> blocks{0, 1, 2};
+    return refiner.improve(blocks, open_region(p));
+  };
+  const SolutionEval without = run_with_depth(0);
+  const SolutionEval with = run_with_depth(4);
+  // With restarts the result is at least as good.
+  EXPECT_FALSE(without.better_than(with));
+}
+
+TEST(RefinerTest, StatsAreAccounted) {
+  const RefinerFixture s(100, 10, 29, xilinx::xc3042());
+  Partition p(s.h, 2);
+  Rng rng(29);
+  for (NodeId v = 0; v < s.h.num_nodes(); ++v) {
+    if (!s.h.is_terminal(v)) p.move(v, static_cast<BlockId>(rng.index(2)));
+  }
+  const Evaluator eval(s.device, CostParams{}, s.m);
+  RefinerConfig config;
+  config.stack_depth = 2;
+  MultiwayRefiner refiner(p, eval, 0, config);
+  RefineStats stats;
+  const std::vector<BlockId> blocks{0, 1};
+  refiner.improve(blocks, open_region(p), &stats);
+  EXPECT_GE(stats.passes, 1);
+  EXPECT_GT(stats.moves, 0u);
+  EXPECT_LE(stats.restarts, 2u * 2u);  // at most 2*D_stack
+}
+
+TEST(RefinerTest, MaxMovesPerPassCap) {
+  const RefinerFixture s(100, 10, 31, xilinx::xc3042());
+  Partition p(s.h, 2);
+  Rng rng(31);
+  for (NodeId v = 0; v < s.h.num_nodes(); ++v) {
+    if (!s.h.is_terminal(v)) p.move(v, static_cast<BlockId>(rng.index(2)));
+  }
+  const Evaluator eval(s.device, CostParams{}, s.m);
+  RefinerConfig config;
+  config.max_passes = 1;
+  config.stack_depth = 0;
+  config.max_moves_per_pass = 5;
+  MultiwayRefiner refiner(p, eval, 0, config);
+  RefineStats stats;
+  const std::vector<BlockId> blocks{0, 1};
+  refiner.improve(blocks, open_region(p), &stats);
+  EXPECT_LE(stats.moves, 5u);
+}
+
+TEST(RefinerTest, ValidatesInputs) {
+  const RefinerFixture s(40, 5, 37, xilinx::xc3042());
+  Partition p(s.h, 2);
+  const Evaluator eval(s.device, CostParams{}, s.m);
+  MultiwayRefiner refiner(p, eval, 0);
+  const MoveRegion region = open_region(p);
+  EXPECT_THROW(refiner.improve(std::vector<BlockId>{0}, region),
+               PreconditionError);
+  EXPECT_THROW(refiner.improve(std::vector<BlockId>{0, 0}, region),
+               PreconditionError);
+  EXPECT_THROW(refiner.improve(std::vector<BlockId>{0, 9}, region),
+               PreconditionError);
+  MoveRegion bad;
+  bad.lo.assign(1, 0.0);
+  bad.hi.assign(1, 0.0);
+  EXPECT_THROW(refiner.improve(std::vector<BlockId>{0, 1}, bad),
+               PreconditionError);
+}
+
+TEST(RefinerTest, GathersScatteredModuleIntoOneBlock) {
+  // Craft a circuit with two clear modules; scatter one module across
+  // blocks and check the refiner reunifies it (cut -> 1 bridge net).
+  HypergraphBuilder b;
+  std::vector<NodeId> c;
+  for (int i = 0; i < 12; ++i) c.push_back(b.add_cell(1));
+  for (int m = 0; m < 2; ++m) {
+    const int base = m * 6;
+    for (int i = 0; i < 5; ++i) b.add_net({c[base + i], c[base + i + 1]});
+    b.add_net({c[base], c[base + 3]});
+  }
+  b.add_net({c[0], c[6]});  // bridge
+  const Hypergraph h = std::move(b).build();
+  const Device d("X", Family::kXC3000, 8, 16, 1.0);
+
+  Partition p(h, 2);
+  // Scatter: odd cells of module A to block 1, module B split too.
+  for (int i = 0; i < 12; i += 2) p.move(c[i], 1);
+  const Evaluator eval(d, CostParams{}, 2);
+  MultiwayRefiner refiner(p, eval, 0);
+  const std::vector<BlockId> blocks{0, 1};
+  MoveRegion region = open_region(p);
+  region.lo[1] = 4.0;  // keep block 1 alive
+  region.hi[1] = 8.0;
+  refiner.improve(blocks, region);
+  EXPECT_EQ(p.cut_size(), 1u);
+}
+
+}  // namespace
+}  // namespace fpart

@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "report/csv.hpp"
+#include "report/table.hpp"
+#include "util/assert.hpp"
+
+namespace fpart {
+namespace {
+
+Table sample() {
+  Table t({"Circuit", "k", "time"});
+  t.add_row({"c3540", "6", "1.25"});
+  t.add_row({"s38584", "52", "10.50"});
+  return t;
+}
+
+TEST(TableTest, BasicShape) {
+  Table t = sample();
+  EXPECT_EQ(t.num_columns(), 3u);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(TableTest, RejectsBadRows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), PreconditionError);
+  EXPECT_THROW(Table({}), PreconditionError);
+}
+
+TEST(TableTest, AsciiContainsAlignedCells) {
+  const std::string out = sample().to_ascii();
+  EXPECT_NE(out.find("| Circuit |"), std::string::npos);
+  EXPECT_NE(out.find("c3540"), std::string::npos);
+  // Numeric columns are right-aligned: " 6 |" with leading padding.
+  EXPECT_NE(out.find(" 6 |"), std::string::npos);
+  EXPECT_NE(out.find("+--"), std::string::npos);
+}
+
+TEST(TableTest, AsciiSeparatorRendersRule) {
+  Table t({"a"});
+  t.add_row({"1"});
+  t.add_separator();
+  t.add_row({"2"});
+  const std::string out = t.to_ascii();
+  // Four rules: top, under header, separator, bottom.
+  std::size_t rules = 0;
+  for (std::size_t pos = out.find("+-"); pos != std::string::npos;
+       pos = out.find("+-", pos + 1)) {
+    ++rules;
+  }
+  EXPECT_EQ(rules, 4u);
+}
+
+TEST(TableTest, MarkdownShape) {
+  const std::string out = sample().to_markdown();
+  EXPECT_NE(out.find("| Circuit | k | time |"), std::string::npos);
+  EXPECT_NE(out.find("|---|---|---|"), std::string::npos);
+  EXPECT_NE(out.find("| s38584 | 52 | 10.50 |"), std::string::npos);
+}
+
+TEST(TableTest, CsvShape) {
+  const std::string out = sample().to_csv();
+  EXPECT_NE(out.find("Circuit,k,time"), std::string::npos);
+  EXPECT_NE(out.find("c3540,6,1.25"), std::string::npos);
+}
+
+TEST(TableTest, CsvEscapesSpecials) {
+  Table t({"x"});
+  t.add_row({"a,b"});
+  t.add_row({"say \"hi\""});
+  const std::string out = t.to_csv();
+  EXPECT_NE(out.find("\"a,b\""), std::string::npos);
+  EXPECT_NE(out.find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(TableTest, MeasuredStarColumnsStayNumericAligned) {
+  Table t({"col"});
+  t.add_row({"39"});
+  t.add_row({"41*"});  // measured marker must not flip alignment
+  const std::string out = t.to_ascii();
+  EXPECT_NE(out.find("41*"), std::string::npos);
+}
+
+TEST(FormatTest, Helpers) {
+  EXPECT_EQ(fmt_int(-42), "-42");
+  EXPECT_EQ(fmt_double(1.23456, 2), "1.23");
+  EXPECT_EQ(fmt_double(2.0, 1), "2.0");
+  EXPECT_EQ(fmt_opt_int(7, true), "7");
+  EXPECT_EQ(fmt_opt_int(7, false), "-");
+}
+
+TEST(CsvFileTest, WritesToDisk) {
+  const std::string path = ::testing::TempDir() + "/fpart_report_test.csv";
+  write_csv_file(path, sample());
+  std::ifstream is(path);
+  ASSERT_TRUE(is.good());
+  std::string first;
+  std::getline(is, first);
+  EXPECT_EQ(first, "Circuit,k,time");
+  EXPECT_THROW(write_csv_file("/nonexistent/dir/a.csv", sample()),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace fpart

@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "core/result.hpp"
+#include "device/xilinx.hpp"
+#include "hypergraph/builder.hpp"
+#include "netlist/generator.hpp"
+#include "partition/partition.hpp"
+#include "util/rng.hpp"
+
+namespace fpart {
+namespace {
+
+Hypergraph sample_circuit() {
+  GeneratorConfig config;
+  config.num_cells = 60;
+  config.num_terminals = 8;
+  config.seed = 3;
+  return generate_circuit(config);
+}
+
+TEST(SummarizeTest, RecordsBlockStatsFaithfully) {
+  const Hypergraph h = sample_circuit();
+  const Device d("X", Family::kXC3000, 40, 60, 1.0);
+  Partition p(h, 2);
+  Rng rng(5);
+  for (NodeId v = 0; v < h.num_nodes(); ++v) {
+    if (!h.is_terminal(v)) p.move(v, static_cast<BlockId>(rng.index(2)));
+  }
+  const auto cut = p.cut_size();
+  const PartitionResult r = summarize_partition(p, d, 2, 7, 1.5);
+  EXPECT_EQ(r.k, 2u);
+  EXPECT_EQ(r.lower_bound, 2u);
+  EXPECT_EQ(r.cut, cut);
+  EXPECT_EQ(r.iterations, 7u);
+  EXPECT_DOUBLE_EQ(r.seconds, 1.5);
+  ASSERT_EQ(r.blocks.size(), 2u);
+  for (BlockId b = 0; b < 2; ++b) {
+    EXPECT_EQ(r.blocks[b].size, p.block_size(b));
+    EXPECT_EQ(r.blocks[b].pins, p.block_pins(b));
+    EXPECT_EQ(r.blocks[b].ext, p.block_external_pins(b));
+    EXPECT_EQ(r.blocks[b].nodes, p.block_node_count(b));
+  }
+}
+
+TEST(SummarizeTest, DropsEmptyBlocks) {
+  const Hypergraph h = sample_circuit();
+  const Device d("X", Family::kXC3000, 100, 100, 1.0);
+  Partition p(h, 4);  // blocks 1-3 stay empty
+  const PartitionResult r = summarize_partition(p, d, 1, 1, 0.0);
+  EXPECT_EQ(r.k, 1u);
+  EXPECT_TRUE(r.feasible);
+  // Assignment was compacted consistently.
+  for (NodeId v = 0; v < h.num_nodes(); ++v) {
+    if (!h.is_terminal(v)) EXPECT_LT(r.assignment[v], r.k);
+  }
+}
+
+TEST(SummarizeTest, DropsEmptyBlockInTheMiddle) {
+  const Hypergraph h = sample_circuit();
+  const Device d("X", Family::kXC3000, 100, 100, 1.0);
+  Partition p(h, 3);
+  // Move everything out of block 0 into 2; block 1 also empty.
+  for (NodeId v = 0; v < h.num_nodes(); ++v) {
+    if (!h.is_terminal(v)) p.move(v, 2);
+  }
+  const PartitionResult r = summarize_partition(p, d, 1, 1, 0.0);
+  EXPECT_EQ(r.k, 1u);
+  EXPECT_EQ(r.blocks[0].nodes, h.num_interior());
+}
+
+TEST(SummarizeTest, FeasibleFlagReflectsDevice) {
+  const Hypergraph h = sample_circuit();  // 60 cells
+  Partition p(h, 1);
+  const Device small("S", Family::kXC3000, 10, 10, 1.0);
+  const PartitionResult r = summarize_partition(p, small, 6, 0, 0.0);
+  EXPECT_FALSE(r.feasible);
+  EXPECT_FALSE(r.blocks[0].feasible);
+}
+
+TEST(SummarizeTest, TerminalsStayUnassigned) {
+  const Hypergraph h = sample_circuit();
+  Partition p(h, 2);
+  const Device d = xilinx::xc3090();
+  const PartitionResult r = summarize_partition(p, d, 1, 0, 0.0);
+  for (NodeId v : h.terminals()) {
+    EXPECT_EQ(r.assignment[v], kInvalidBlock);
+  }
+}
+
+}  // namespace
+}  // namespace fpart

@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "hypergraph/builder.hpp"
+#include "partition/partition.hpp"
+#include "sanchis/solution_stack.hpp"
+
+namespace fpart {
+namespace {
+
+Hypergraph tiny() {
+  HypergraphBuilder b;
+  const NodeId a = b.add_cell(1);
+  const NodeId c = b.add_cell(1);
+  b.add_net({a, c});
+  return std::move(b).build();
+}
+
+SolutionEval eval_of(double distance, std::uint32_t f = 1) {
+  SolutionEval e;
+  e.feasible_blocks = f;
+  e.num_blocks = 2;
+  e.distance = distance;
+  e.total_pins = 0;
+  e.ext_balance = 0.0;
+  return e;
+}
+
+TEST(SolutionStackTest, StartsEmpty) {
+  SolutionStack stack(4);
+  EXPECT_TRUE(stack.empty());
+  EXPECT_EQ(stack.size(), 0u);
+  EXPECT_EQ(stack.depth(), 4u);
+}
+
+TEST(SolutionStackTest, ZeroDepthRejectsEverything) {
+  const Hypergraph h = tiny();
+  Partition p(h, 2);
+  SolutionStack stack(0);
+  EXPECT_FALSE(stack.would_accept(eval_of(1.0)));
+  EXPECT_FALSE(stack.offer(eval_of(1.0), p));
+}
+
+TEST(SolutionStackTest, KeepsBestFirstOrder) {
+  const Hypergraph h = tiny();
+  Partition p(h, 2);
+  SolutionStack stack(4);
+  EXPECT_TRUE(stack.offer(eval_of(3.0), p));
+  EXPECT_TRUE(stack.offer(eval_of(1.0), p));
+  EXPECT_TRUE(stack.offer(eval_of(2.0), p));
+  ASSERT_EQ(stack.size(), 3u);
+  EXPECT_DOUBLE_EQ(stack.entries()[0].eval.distance, 1.0);
+  EXPECT_DOUBLE_EQ(stack.entries()[1].eval.distance, 2.0);
+  EXPECT_DOUBLE_EQ(stack.entries()[2].eval.distance, 3.0);
+}
+
+TEST(SolutionStackTest, EvictsWorstWhenFull) {
+  const Hypergraph h = tiny();
+  Partition p(h, 2);
+  SolutionStack stack(2);
+  stack.offer(eval_of(3.0), p);
+  stack.offer(eval_of(2.0), p);
+  EXPECT_TRUE(stack.offer(eval_of(1.0), p));  // evicts 3.0
+  ASSERT_EQ(stack.size(), 2u);
+  EXPECT_DOUBLE_EQ(stack.entries()[0].eval.distance, 1.0);
+  EXPECT_DOUBLE_EQ(stack.entries()[1].eval.distance, 2.0);
+}
+
+TEST(SolutionStackTest, RejectsWorseThanTailWhenFull) {
+  const Hypergraph h = tiny();
+  Partition p(h, 2);
+  SolutionStack stack(2);
+  stack.offer(eval_of(1.0), p);
+  stack.offer(eval_of(2.0), p);
+  EXPECT_FALSE(stack.would_accept(eval_of(5.0)));
+  EXPECT_FALSE(stack.offer(eval_of(5.0), p));
+  EXPECT_EQ(stack.size(), 2u);
+}
+
+TEST(SolutionStackTest, AcceptsWhileNotFullEvenIfWorst) {
+  const Hypergraph h = tiny();
+  Partition p(h, 2);
+  SolutionStack stack(3);
+  stack.offer(eval_of(1.0), p);
+  EXPECT_TRUE(stack.would_accept(eval_of(9.0)));
+  EXPECT_TRUE(stack.offer(eval_of(9.0), p));
+}
+
+TEST(SolutionStackTest, DropsDuplicateEvaluations) {
+  const Hypergraph h = tiny();
+  Partition p(h, 2);
+  SolutionStack stack(4);
+  EXPECT_TRUE(stack.offer(eval_of(1.5), p));
+  EXPECT_FALSE(stack.would_accept(eval_of(1.5)));
+  EXPECT_FALSE(stack.offer(eval_of(1.5), p));
+  EXPECT_EQ(stack.size(), 1u);
+}
+
+TEST(SolutionStackTest, FeasibleBlockCountOutranksDistance) {
+  const Hypergraph h = tiny();
+  Partition p(h, 2);
+  SolutionStack stack(2);
+  stack.offer(eval_of(0.5, 1), p);
+  stack.offer(eval_of(9.0, 2), p);  // more feasible blocks -> head
+  EXPECT_EQ(stack.entries()[0].eval.feasible_blocks, 2u);
+}
+
+TEST(SolutionStackTest, SnapshotsCaptureState) {
+  const Hypergraph h = tiny();
+  Partition p(h, 2);
+  SolutionStack stack(2);
+  stack.offer(eval_of(2.0), p);
+  p.move(0, 1);
+  stack.offer(eval_of(1.0), p);
+  // Head snapshot has node 0 in block 1; tail has it in block 0.
+  EXPECT_EQ(stack.entries()[0].snapshot.assignment[0], 1u);
+  EXPECT_EQ(stack.entries()[1].snapshot.assignment[0], 0u);
+}
+
+TEST(SolutionStackTest, ClearEmpties) {
+  const Hypergraph h = tiny();
+  Partition p(h, 2);
+  SolutionStack stack(2);
+  stack.offer(eval_of(2.0), p);
+  stack.clear();
+  EXPECT_TRUE(stack.empty());
+  EXPECT_TRUE(stack.would_accept(eval_of(2.0)));
+}
+
+}  // namespace
+}  // namespace fpart

@@ -1,0 +1,315 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include <set>
+
+#include "core/fpart.hpp"
+#include "device/xilinx.hpp"
+#include "techmap/clb_pack.hpp"
+#include "techmap/gate_netlist.hpp"
+#include "techmap/lut_map.hpp"
+#include "techmap/random_logic.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace fpart::techmap {
+namespace {
+
+// A small adder-ish circuit: two XORs, two ANDs, one OR, one DFF.
+GateNetlist full_adder_with_ff() {
+  GateNetlist n;
+  const GateId a = n.add_input("a");
+  const GateId b = n.add_input("b");
+  const GateId cin = n.add_input("cin");
+  const GateId x1 = n.add_gate(GateType::kXor, {a, b}, "x1");
+  const GateId sum = n.add_gate(GateType::kXor, {x1, cin}, "sum");
+  const GateId a1 = n.add_gate(GateType::kAnd, {a, b}, "a1");
+  const GateId a2 = n.add_gate(GateType::kAnd, {x1, cin}, "a2");
+  const GateId cout = n.add_gate(GateType::kOr, {a1, a2}, "cout");
+  const GateId ff = n.add_dff(sum, "sum_reg");
+  n.add_output(ff, "sum_out");
+  n.add_output(cout, "cout_out");
+  n.validate();
+  return n;
+}
+
+// --- GateNetlist ------------------------------------------------------------
+
+TEST(GateNetlistTest, BasicConstruction) {
+  const GateNetlist n = full_adder_with_ff();
+  EXPECT_EQ(n.inputs().size(), 3u);
+  EXPECT_EQ(n.outputs().size(), 2u);
+  EXPECT_EQ(n.dffs().size(), 1u);
+  EXPECT_EQ(n.num_combinational(), 5u);
+}
+
+TEST(GateNetlistTest, FanoutsAreInverse) {
+  const GateNetlist n = full_adder_with_ff();
+  for (GateId g = 0; g < n.num_gates(); ++g) {
+    for (GateId f : n.fanins(g)) {
+      const auto fo = n.fanouts(f);
+      EXPECT_NE(std::find(fo.begin(), fo.end(), g), fo.end());
+    }
+  }
+}
+
+TEST(GateNetlistTest, TopologicalOrderRespectsEdges) {
+  const GateNetlist n = full_adder_with_ff();
+  const auto order = n.topological_order();
+  std::vector<std::size_t> pos(n.num_gates());
+  for (std::size_t i = 0; i < order.size(); ++i) pos[order[i]] = i;
+  for (GateId g = 0; g < n.num_gates(); ++g) {
+    if (n.type(g) == GateType::kDff) continue;  // sequential edge
+    for (GateId f : n.fanins(g)) EXPECT_LT(pos[f], pos[g]);
+  }
+}
+
+TEST(GateNetlistTest, DffBreaksCycles) {
+  GateNetlist n;
+  const GateId a = n.add_input("a");
+  const GateId q = n.add_dff_placeholder("q");
+  const GateId x = n.add_gate(GateType::kAnd, {a, q}, "x");
+  n.connect_dff(q, x);  // x -> q -> x is a legal sequential loop
+  n.add_output(x);
+  EXPECT_NO_THROW(n.validate());
+}
+
+TEST(GateNetlistTest, ArityValidation) {
+  GateNetlist n;
+  const GateId a = n.add_input();
+  EXPECT_THROW(n.add_gate(GateType::kAnd, {a}), PreconditionError);
+  EXPECT_THROW(n.add_gate(GateType::kNot, {a, a}), PreconditionError);
+  EXPECT_THROW(n.add_gate(GateType::kDff, {a}), PreconditionError);
+  const GateId o = n.add_output(a);
+  EXPECT_THROW(n.add_gate(GateType::kBuf, {o}), PreconditionError);
+}
+
+TEST(GateNetlistTest, PlaceholderDffRules) {
+  GateNetlist n;
+  const GateId a = n.add_input();
+  const GateId q = n.add_dff_placeholder();
+  EXPECT_THROW(n.connect_dff(a, a), PreconditionError);  // not a DFF
+  n.connect_dff(q, a);
+  EXPECT_THROW(n.connect_dff(q, a), PreconditionError);  // twice
+}
+
+// --- random_logic -----------------------------------------------------------
+
+TEST(RandomLogicTest, MatchesConfigAndValidates) {
+  LogicConfig config;
+  config.num_inputs = 12;
+  config.num_outputs = 6;
+  config.num_gates = 300;
+  config.num_dffs = 20;
+  config.seed = 9;
+  const GateNetlist n = random_logic(config);
+  EXPECT_EQ(n.inputs().size(), 12u);
+  EXPECT_EQ(n.outputs().size(), 6u);
+  EXPECT_EQ(n.dffs().size(), 20u);
+  EXPECT_EQ(n.num_combinational(), 300u);
+}
+
+TEST(RandomLogicTest, Deterministic) {
+  LogicConfig config;
+  config.seed = 4;
+  const GateNetlist a = random_logic(config);
+  const GateNetlist b = random_logic(config);
+  ASSERT_EQ(a.num_gates(), b.num_gates());
+  for (GateId g = 0; g < a.num_gates(); ++g) {
+    EXPECT_EQ(a.type(g), b.type(g));
+    EXPECT_TRUE(std::equal(a.fanins(g).begin(), a.fanins(g).end(),
+                           b.fanins(g).begin(), b.fanins(g).end()));
+  }
+}
+
+// --- LUT mapping ------------------------------------------------------------
+
+TEST(LutMapTest, FullAdderMapsTightlyWithK5) {
+  const GateNetlist n = full_adder_with_ff();
+  const LutMapping m = map_to_luts(n, 5);
+  validate_mapping(n, m);
+  // sum = XOR(XOR(a,b),cin) has 3 leaf inputs -> one LUT (x1 shared with
+  // a2, so x1 stays a root); cout cone folds a1+a2+or.
+  EXPECT_LE(m.luts.size(), 4u);
+  // The sum LUT feeds only the DFF -> FF absorbed.
+  EXPECT_EQ(m.standalone_dffs.size(), 0u);
+}
+
+TEST(LutMapTest, ChainCollapsesToOneLut) {
+  // NOT chain of length 6 with one output: all six gates fit one 1-input
+  // LUT cone.
+  GateNetlist n;
+  GateId s = n.add_input("a");
+  for (int i = 0; i < 6; ++i) {
+    s = n.add_gate(GateType::kNot, {s}, "n" + std::to_string(i));
+  }
+  n.add_output(s);
+  const LutMapping m = map_to_luts(n, 4);
+  validate_mapping(n, m);
+  EXPECT_EQ(m.luts.size(), 1u);
+  EXPECT_EQ(m.luts[0].inputs.size(), 1u);
+  EXPECT_EQ(m.luts[0].cone.size(), 6u);
+}
+
+TEST(LutMapTest, MultiFanoutGateStaysARoot) {
+  GateNetlist n;
+  const GateId a = n.add_input();
+  const GateId b = n.add_input();
+  const GateId shared = n.add_gate(GateType::kAnd, {a, b}, "shared");
+  const GateId u = n.add_gate(GateType::kNot, {shared});
+  const GateId v = n.add_gate(GateType::kBuf, {shared});
+  n.add_output(u);
+  n.add_output(v);
+  const LutMapping m = map_to_luts(n, 4);
+  validate_mapping(n, m);
+  // `shared` cannot be absorbed by either consumer (duplication-free
+  // covering): 3 LUTs.
+  EXPECT_EQ(m.luts.size(), 3u);
+}
+
+TEST(LutMapTest, KBoundsConeGrowth) {
+  // Balanced AND tree over 8 inputs (7 gates). The greedy mapper packs
+  // the top two levels into the root LUT (inputs = the four level-1
+  // gates) and leaves those as single-gate LUTs: 5 LUTs at K=4. (The
+  // optimal duplication-free covering is 4 — the mapper is documented
+  // as greedy, not optimal.) K=2 degenerates to one LUT per gate.
+  GateNetlist n;
+  std::vector<GateId> level;
+  for (int i = 0; i < 8; ++i) level.push_back(n.add_input());
+  while (level.size() > 1) {
+    std::vector<GateId> next;
+    for (std::size_t i = 0; i + 1 < level.size(); i += 2) {
+      next.push_back(n.add_gate(GateType::kAnd, {level[i], level[i + 1]}));
+    }
+    level = next;
+  }
+  n.add_output(level[0]);
+  const LutMapping m4 = map_to_luts(n, 4);
+  validate_mapping(n, m4);
+  EXPECT_EQ(m4.luts.size(), 5u);
+  const LutMapping m8 = map_to_luts(n, 8);
+  validate_mapping(n, m8);
+  EXPECT_EQ(m8.luts.size(), 1u);  // whole tree in one 8-LUT
+  const LutMapping m2 = map_to_luts(n, 2);
+  validate_mapping(n, m2);
+  EXPECT_EQ(m2.luts.size(), 7u);  // one per gate
+}
+
+TEST(LutMapTest, LargerKNeverNeedsMoreLuts) {
+  LogicConfig config;
+  config.num_gates = 400;
+  config.num_dffs = 24;
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    config.seed = seed;
+    const GateNetlist n = random_logic(config);
+    const LutMapping m4 = map_to_luts(n, 4);
+    const LutMapping m5 = map_to_luts(n, 5);
+    validate_mapping(n, m4);
+    validate_mapping(n, m5);
+    EXPECT_LE(m5.luts.size(), m4.luts.size()) << "seed " << seed;
+  }
+}
+
+TEST(LutMapTest, RejectsTooWideGates) {
+  GateNetlist n;
+  std::vector<GateId> ins;
+  for (int i = 0; i < 4; ++i) ins.push_back(n.add_input());
+  n.add_output(n.add_gate(GateType::kAnd, ins));
+  EXPECT_THROW(map_to_luts(n, 3), PreconditionError);
+  EXPECT_NO_THROW(map_to_luts(n, 4));
+}
+
+// --- CLB packing ------------------------------------------------------------
+
+TEST(ClbPackTest, FamilyLutWidths) {
+  EXPECT_EQ(family_lut_inputs(Family::kXC2000), 4u);
+  EXPECT_EQ(family_lut_inputs(Family::kXC3000), 5u);
+}
+
+TEST(ClbPackTest, PadCountsMatchPrimaryIos) {
+  const GateNetlist n = full_adder_with_ff();
+  const MappedCircuit mc = map_to_family(n, Family::kXC3000);
+  mc.circuit.validate();
+  // 3 PIs + 2 POs.
+  EXPECT_EQ(mc.circuit.num_terminals(), 5u);
+  EXPECT_EQ(mc.circuit.num_interior(), mc.num_clbs);
+}
+
+TEST(ClbPackTest, Xc3000NeverUsesMoreClbsThanXc2000) {
+  LogicConfig config;
+  config.num_gates = 500;
+  config.num_inputs = 24;
+  config.num_outputs = 12;
+  config.num_dffs = 32;
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    config.seed = seed;
+    const GateNetlist n = random_logic(config);
+    const MappedCircuit m2 = map_to_family(n, Family::kXC2000);
+    const MappedCircuit m3 = map_to_family(n, Family::kXC3000);
+    m2.circuit.validate();
+    m3.circuit.validate();
+    EXPECT_LE(m3.num_clbs, m2.num_clbs) << "seed " << seed;
+    // Pad counts identical across families (same primary I/Os).
+    EXPECT_EQ(m2.circuit.num_terminals(), m3.circuit.num_terminals());
+  }
+}
+
+TEST(ClbPackTest, MappedCircuitPartitionsEndToEnd) {
+  LogicConfig config;
+  config.num_gates = 800;
+  config.num_inputs = 30;
+  config.num_outputs = 20;
+  config.num_dffs = 40;
+  config.seed = 11;
+  const GateNetlist n = random_logic(config);
+  const MappedCircuit mc = map_to_family(n, Family::kXC3000);
+  const Device d = xilinx::xc3042();
+  const PartitionResult r = FpartPartitioner().run(mc.circuit, d);
+  EXPECT_TRUE(r.feasible);
+  EXPECT_GE(r.k, r.lower_bound);
+}
+
+// Property sweep: the covering invariants must hold for every netlist
+// shape and every K the families use.
+class LutMapPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(LutMapPropertyTest, CoveringInvariantsHold) {
+  const auto& [seed, k] = GetParam();
+  LogicConfig config;
+  Rng rng(static_cast<std::uint64_t>(seed) * 67 + 5);
+  config.num_gates = static_cast<std::uint32_t>(rng.uniform(30, 600));
+  config.num_inputs = static_cast<std::uint32_t>(rng.uniform(4, 40));
+  config.num_outputs = static_cast<std::uint32_t>(rng.uniform(1, 24));
+  config.num_dffs = static_cast<std::uint32_t>(rng.uniform(0, 40));
+  config.locality = 0.5 + 0.5 * rng.real();
+  config.fresh_bias = rng.real();
+  config.seed = rng();
+  const GateNetlist n = random_logic(config);
+  const LutMapping m = map_to_luts(n, static_cast<std::uint32_t>(k));
+  validate_mapping(n, m);
+  const MappedCircuit mc = pack_to_clbs(n, m);
+  mc.circuit.validate();
+  EXPECT_EQ(mc.circuit.num_terminals(),
+            n.inputs().size() + n.outputs().size());
+}
+
+INSTANTIATE_TEST_SUITE_P(SeedsAndK, LutMapPropertyTest,
+                         ::testing::Combine(::testing::Range(0, 8),
+                                            ::testing::Values(4, 5)));
+
+TEST(ClbPackTest, StatsAddUp) {
+  LogicConfig config;
+  config.num_gates = 300;
+  config.seed = 13;
+  const GateNetlist n = random_logic(config);
+  const LutMapping m = map_to_luts(n, 5);
+  const MappedCircuit mc = pack_to_clbs(n, m);
+  EXPECT_EQ(mc.num_clbs, mc.num_luts + mc.num_standalone_ffs);
+  EXPECT_EQ(mc.num_packed_ffs + mc.num_standalone_ffs, n.dffs().size());
+  EXPECT_EQ(mc.circuit.num_interior(), mc.num_clbs);
+}
+
+}  // namespace
+}  // namespace fpart::techmap

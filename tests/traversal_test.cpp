@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "hypergraph/builder.hpp"
+#include "hypergraph/traversal.hpp"
+#include "util/assert.hpp"
+
+namespace fpart {
+namespace {
+
+// A path of 5 cells: 0-1-2-3-4 (2-pin nets), plus a pad on cell 0.
+Hypergraph path5() {
+  HypergraphBuilder b;
+  std::vector<NodeId> cells;
+  for (int i = 0; i < 5; ++i) cells.push_back(b.add_cell(1));
+  for (int i = 0; i < 4; ++i) b.add_net({cells[i], cells[i + 1]});
+  const NodeId pad = b.add_terminal();
+  b.add_net({cells[0], pad});
+  return std::move(b).build();
+}
+
+// Two disconnected triangles {0,1,2} and {3,4,5}.
+Hypergraph two_triangles() {
+  HypergraphBuilder b;
+  std::vector<NodeId> cells;
+  for (int i = 0; i < 6; ++i) cells.push_back(b.add_cell(1));
+  b.add_net({cells[0], cells[1], cells[2]});
+  b.add_net({cells[3], cells[4], cells[5]});
+  return std::move(b).build();
+}
+
+TEST(BfsTest, DistancesOnPath) {
+  const Hypergraph h = path5();
+  const auto dist = bfs_distances(h, 0);
+  EXPECT_EQ(dist[0], 0u);
+  EXPECT_EQ(dist[1], 1u);
+  EXPECT_EQ(dist[2], 2u);
+  EXPECT_EQ(dist[3], 3u);
+  EXPECT_EQ(dist[4], 4u);
+  EXPECT_EQ(dist[5], 1u);  // pad shares a net with cell 0
+}
+
+TEST(BfsTest, HyperedgeMakesPinsAdjacent) {
+  HypergraphBuilder b;
+  std::vector<NodeId> cells;
+  for (int i = 0; i < 4; ++i) cells.push_back(b.add_cell(1));
+  b.add_net({cells[0], cells[1], cells[2], cells[3]});
+  const Hypergraph h = std::move(b).build();
+  const auto dist = bfs_distances(h, 0);
+  for (int i = 1; i < 4; ++i) EXPECT_EQ(dist[i], 1u);
+}
+
+TEST(BfsTest, UnreachableMarked) {
+  const Hypergraph h = two_triangles();
+  const auto dist = bfs_distances(h, 0);
+  EXPECT_EQ(dist[3], kUnreachable);
+  EXPECT_EQ(dist[4], kUnreachable);
+}
+
+TEST(BfsTest, FilterRestrictsTraversal) {
+  const Hypergraph h = path5();
+  // Exclude cell 2: the far end becomes unreachable.
+  const auto dist = bfs_distances(h, 0, [](NodeId v) { return v != 2; });
+  EXPECT_EQ(dist[1], 1u);
+  EXPECT_EQ(dist[2], kUnreachable);
+  EXPECT_EQ(dist[3], kUnreachable);
+}
+
+TEST(BfsTest, SourceValidation) {
+  const Hypergraph h = path5();
+  EXPECT_THROW(bfs_distances(h, 99), PreconditionError);
+  EXPECT_THROW(bfs_distances(h, 0, [](NodeId v) { return v != 0; }),
+               PreconditionError);
+}
+
+TEST(FarthestTest, PicksPathEnd) {
+  const Hypergraph h = path5();
+  EXPECT_EQ(farthest_interior_node(h, 0), 4u);
+  EXPECT_EQ(farthest_interior_node(h, 4), 0u);
+}
+
+TEST(FarthestTest, PrefersUnreachableComponent) {
+  const Hypergraph h = two_triangles();
+  const NodeId far = farthest_interior_node(h, 0);
+  EXPECT_GE(far, 3u);  // a node from the other triangle
+}
+
+TEST(FarthestTest, SkipsTerminalsAndSource) {
+  const Hypergraph h = path5();
+  const NodeId far = farthest_interior_node(h, 2);
+  EXPECT_TRUE(far == 0u || far == 4u);
+  EXPECT_FALSE(h.is_terminal(far));
+}
+
+TEST(FarthestTest, NoCandidateReturnsInvalid) {
+  HypergraphBuilder b;
+  b.add_cell(1);
+  const Hypergraph h = std::move(b).build();
+  EXPECT_EQ(farthest_interior_node(h, 0), kInvalidNode);
+}
+
+TEST(ComponentsTest, SingleComponent) {
+  const Hypergraph h = path5();
+  const Components c = connected_components(h);
+  EXPECT_EQ(c.count, 1u);
+  for (auto id : c.id) EXPECT_EQ(id, 0u);
+}
+
+TEST(ComponentsTest, TwoComponents) {
+  const Hypergraph h = two_triangles();
+  const Components c = connected_components(h);
+  EXPECT_EQ(c.count, 2u);
+  EXPECT_EQ(c.id[0], c.id[1]);
+  EXPECT_EQ(c.id[0], c.id[2]);
+  EXPECT_EQ(c.id[3], c.id[4]);
+  EXPECT_NE(c.id[0], c.id[3]);
+}
+
+TEST(ComponentsTest, IsolatedNodesAreOwnComponents) {
+  HypergraphBuilder b;
+  b.add_cell(1);
+  b.add_cell(1);
+  const Hypergraph h = std::move(b).build();
+  const Components c = connected_components(h);
+  EXPECT_EQ(c.count, 2u);
+}
+
+}  // namespace
+}  // namespace fpart

@@ -1,0 +1,300 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/cli.hpp"
+#include "util/log.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace fpart {
+namespace {
+
+// --- assert macros --------------------------------------------------------
+
+TEST(AssertTest, InvariantThrowsOnFailure) {
+  EXPECT_THROW(FPART_ASSERT(1 == 2), InvariantError);
+  EXPECT_NO_THROW(FPART_ASSERT(1 == 1));
+}
+
+TEST(AssertTest, InvariantMessageContainsContext) {
+  try {
+    FPART_ASSERT_MSG(false, "custom detail");
+    FAIL() << "expected throw";
+  } catch (const InvariantError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("custom detail"), std::string::npos);
+    EXPECT_NE(what.find("util_test.cpp"), std::string::npos);
+  }
+}
+
+TEST(AssertTest, RequireThrowsPreconditionError) {
+  EXPECT_THROW(FPART_REQUIRE(false, "bad input"), PreconditionError);
+  EXPECT_NO_THROW(FPART_REQUIRE(true, "ok"));
+}
+
+TEST(AssertTest, PreconditionErrorIsInvalidArgument) {
+  // Callers can catch the standard hierarchy.
+  EXPECT_THROW(FPART_REQUIRE(false, "x"), std::invalid_argument);
+  EXPECT_THROW(FPART_ASSERT(false), std::logic_error);
+}
+
+// --- Rng ------------------------------------------------------------------
+
+TEST(RngTest, DeterministicForEqualSeeds) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, UniformStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.uniform(10, 20);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 20u);
+  }
+}
+
+TEST(RngTest, UniformCoversFullRange) {
+  Rng rng(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.uniform(0, 9));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(RngTest, UniformSingletonRange) {
+  Rng rng(7);
+  EXPECT_EQ(rng.uniform(5, 5), 5u);
+}
+
+TEST(RngTest, UniformRejectsBadRange) {
+  Rng rng(7);
+  EXPECT_THROW(rng.uniform(3, 2), PreconditionError);
+}
+
+TEST(RngTest, IndexBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.index(17), 17u);
+  EXPECT_THROW(rng.index(0), PreconditionError);
+}
+
+TEST(RngTest, RealInUnitInterval) {
+  Rng rng(11);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double r = rng.real();
+    EXPECT_GE(r, 0.0);
+    EXPECT_LT(r, 1.0);
+    sum += r;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);  // mean sanity
+}
+
+TEST(RngTest, ChanceExtremes) {
+  Rng rng(13);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(RngTest, ChanceApproximatesProbability) {
+  Rng rng(13);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) {
+    if (rng.chance(0.25)) ++hits;
+  }
+  EXPECT_NEAR(hits / 20000.0, 0.25, 0.02);
+}
+
+TEST(RngTest, GeometricLevelBoundsAndBias) {
+  Rng rng(17);
+  std::vector<int> counts(5, 0);
+  for (int i = 0; i < 20000; ++i) {
+    const std::size_t level = rng.geometric_level(5, 0.4);
+    ASSERT_LT(level, 5u);
+    ++counts[level];
+  }
+  // Strictly decaying histogram.
+  for (int l = 1; l < 5; ++l) EXPECT_LT(counts[l], counts[l - 1]);
+}
+
+TEST(RngTest, GeometricLevelSingleLevel) {
+  Rng rng(19);
+  EXPECT_EQ(rng.geometric_level(1, 0.4), 0u);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(21);
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) v[i] = i;
+  auto sorted = v;
+  rng.shuffle(v);
+  EXPECT_FALSE(std::is_sorted(v.begin(), v.end()));  // astronomically unlikely
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(RngTest, PickReturnsElement) {
+  Rng rng(23);
+  const std::vector<int> v{5, 6, 7};
+  for (int i = 0; i < 50; ++i) {
+    const int x = rng.pick(v);
+    EXPECT_TRUE(x >= 5 && x <= 7);
+  }
+  const std::vector<int> empty;
+  EXPECT_THROW(rng.pick(empty), PreconditionError);
+}
+
+TEST(RngTest, SplitProducesIndependentStream) {
+  Rng a(31);
+  Rng b = a.split();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+// --- Timer ----------------------------------------------------------------
+
+TEST(TimerTest, MonotonicAndResettable) {
+  Timer t;
+  const double a = t.elapsed_seconds();
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  const double b = t.elapsed_seconds();
+  EXPECT_GE(b, a);
+  EXPECT_GT(b, 0.004);
+  t.reset();
+  EXPECT_LT(t.elapsed_seconds(), b);
+  EXPECT_NEAR(t.elapsed_ms(), t.elapsed_seconds() * 1000.0, 1.0);
+}
+
+// --- CliParser ------------------------------------------------------------
+
+std::vector<const char*> argv_of(std::initializer_list<const char*> args) {
+  return {args.begin(), args.end()};
+}
+
+TEST(CliTest, ParsesEqualsForm) {
+  CliParser cli;
+  cli.add_flag("name", "a name");
+  auto args = argv_of({"prog", "--name=foo"});
+  ASSERT_TRUE(cli.parse(static_cast<int>(args.size()), args.data()));
+  EXPECT_TRUE(cli.has("name"));
+  EXPECT_EQ(cli.get("name"), "foo");
+}
+
+TEST(CliTest, ParsesSpaceForm) {
+  CliParser cli;
+  cli.add_flag("count", "a count");
+  auto args = argv_of({"prog", "--count", "42"});
+  ASSERT_TRUE(cli.parse(static_cast<int>(args.size()), args.data()));
+  EXPECT_EQ(cli.get_int("count"), 42);
+}
+
+TEST(CliTest, BooleanSwitch) {
+  CliParser cli;
+  cli.add_flag("verbose", "switch", "false");
+  auto args = argv_of({"prog", "--verbose"});
+  ASSERT_TRUE(cli.parse(static_cast<int>(args.size()), args.data()));
+  EXPECT_TRUE(cli.get_bool("verbose"));
+}
+
+TEST(CliTest, DefaultsApplyWhenUnset) {
+  CliParser cli;
+  cli.add_flag("device", "device", "XC3020");
+  auto args = argv_of({"prog"});
+  ASSERT_TRUE(cli.parse(static_cast<int>(args.size()), args.data()));
+  EXPECT_FALSE(cli.has("device"));
+  EXPECT_EQ(cli.get("device"), "XC3020");
+}
+
+TEST(CliTest, RejectsUnknownFlag) {
+  CliParser cli;
+  cli.add_flag("known", "known");
+  auto args = argv_of({"prog", "--unknown=1"});
+  EXPECT_FALSE(cli.parse(static_cast<int>(args.size()), args.data()));
+  EXPECT_NE(cli.error().find("unknown"), std::string::npos);
+}
+
+TEST(CliTest, CollectsPositionals) {
+  CliParser cli;
+  cli.add_flag("x", "x");
+  auto args = argv_of({"prog", "a.hgr", "--x=1", "b.hgr"});
+  ASSERT_TRUE(cli.parse(static_cast<int>(args.size()), args.data()));
+  EXPECT_EQ(cli.positional(), (std::vector<std::string>{"a.hgr", "b.hgr"}));
+}
+
+TEST(CliTest, NumericParsingErrors) {
+  CliParser cli;
+  cli.add_flag("n", "n");
+  auto args = argv_of({"prog", "--n=abc"});
+  ASSERT_TRUE(cli.parse(static_cast<int>(args.size()), args.data()));
+  EXPECT_THROW(cli.get_int("n"), PreconditionError);
+  EXPECT_THROW(cli.get_double("n"), std::exception);
+  EXPECT_THROW(cli.get_bool("n"), PreconditionError);
+}
+
+TEST(CliTest, DoubleParsing) {
+  CliParser cli;
+  cli.add_flag("f", "f");
+  auto args = argv_of({"prog", "--f=0.75"});
+  ASSERT_TRUE(cli.parse(static_cast<int>(args.size()), args.data()));
+  EXPECT_DOUBLE_EQ(cli.get_double("f"), 0.75);
+}
+
+TEST(CliTest, UndeclaredGetThrows) {
+  CliParser cli;
+  EXPECT_THROW(cli.get("nope"), PreconditionError);
+}
+
+TEST(CliTest, UsageListsFlags) {
+  CliParser cli;
+  cli.add_flag("alpha", "the alpha flag", "1");
+  const std::string usage = cli.usage("prog");
+  EXPECT_NE(usage.find("--alpha"), std::string::npos);
+  EXPECT_NE(usage.find("the alpha flag"), std::string::npos);
+}
+
+// --- Logging --------------------------------------------------------------
+
+TEST(LogTest, LevelRoundTrip) {
+  const LogLevel before = log_level();
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  set_log_level(before);
+}
+
+TEST(LogTest, SuppressedLevelsDoNotEvaluate) {
+  const LogLevel before = log_level();
+  set_log_level(LogLevel::kError);
+  int evaluations = 0;
+  auto count = [&] {
+    ++evaluations;
+    return "x";
+  };
+  FPART_LOG(kDebug) << count();
+  EXPECT_EQ(evaluations, 0);
+  set_log_level(before);
+}
+
+}  // namespace
+}  // namespace fpart

@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/fpart.hpp"
+#include "device/xilinx.hpp"
+#include "hypergraph/builder.hpp"
+#include "netlist/mcnc.hpp"
+#include "partition/partition.hpp"
+#include "partition/verify.hpp"
+#include "util/rng.hpp"
+
+namespace fpart {
+namespace {
+
+Hypergraph fixture() {
+  HypergraphBuilder b;
+  std::vector<NodeId> c;
+  for (int i = 0; i < 6; ++i) c.push_back(b.add_cell(2));
+  const NodeId pad = b.add_terminal();
+  b.add_net({c[0], c[1], c[2]});
+  b.add_net({c[2], c[3]});
+  b.add_net({c[3], c[4], c[5], pad});
+  return std::move(b).build();
+}
+
+TEST(VerifyTest, AcceptsValidPartition) {
+  const Hypergraph h = fixture();
+  const Device d("X", Family::kXC3000, 8, 8, 1.0);
+  std::vector<BlockId> assignment(h.num_nodes(), kInvalidBlock);
+  for (NodeId v = 0; v < 3; ++v) assignment[v] = 0;
+  for (NodeId v = 3; v < 6; ++v) assignment[v] = 1;
+  const VerifyReport report = verify_partition(h, d, assignment, 2);
+  EXPECT_TRUE(report.ok) << report.summary();
+  EXPECT_EQ(report.summary(), "ok");
+  EXPECT_EQ(report.blocks[0].size, 6u);
+  EXPECT_EQ(report.blocks[1].size, 6u);
+  EXPECT_EQ(report.cut, 1u);  // net {c2, c3}
+}
+
+TEST(VerifyTest, RecomputedStatsMatchPartitionClass) {
+  const Hypergraph h = mcnc::generate("s9234", Family::kXC3000);
+  Partition p(h, 4);
+  Rng rng(5);
+  std::vector<BlockId> assignment(h.num_nodes(), kInvalidBlock);
+  for (NodeId v = 0; v < h.num_nodes(); ++v) {
+    if (!h.is_terminal(v)) {
+      const auto b = static_cast<BlockId>(rng.index(4));
+      p.move(v, b);
+      assignment[v] = b;
+    }
+  }
+  const Device d("Big", Family::kXC3000, 100000, 100000, 1.0);
+  const VerifyReport report = verify_partition(h, d, assignment, 4);
+  EXPECT_TRUE(report.ok);
+  EXPECT_EQ(report.cut, p.cut_size());
+  for (BlockId b = 0; b < 4; ++b) {
+    EXPECT_EQ(report.blocks[b].size, p.block_size(b));
+    EXPECT_EQ(report.blocks[b].pins, p.block_pins(b));
+    EXPECT_EQ(report.blocks[b].ext, p.block_external_pins(b));
+    EXPECT_EQ(report.blocks[b].nodes, p.block_node_count(b));
+  }
+}
+
+TEST(VerifyTest, FlagsCapacityViolations) {
+  const Hypergraph h = fixture();  // 12 size units
+  const Device d("Tiny", Family::kXC3000, 5, 8, 1.0);
+  std::vector<BlockId> assignment(h.num_nodes(), kInvalidBlock);
+  for (NodeId v = 0; v < 6; ++v) assignment[v] = 0;
+  const VerifyReport report = verify_partition(h, d, assignment, 1);
+  EXPECT_FALSE(report.ok);
+  EXPECT_FALSE(report.blocks[0].feasible);
+  EXPECT_NE(report.summary().find("violates"), std::string::npos);
+}
+
+TEST(VerifyTest, FlagsStructuralErrors) {
+  const Hypergraph h = fixture();
+  const Device d("X", Family::kXC3000, 100, 100, 1.0);
+  {
+    std::vector<BlockId> assignment(h.num_nodes(), 0);
+    // Terminal wrongly assigned.
+    const VerifyReport report = verify_partition(h, d, assignment, 1);
+    EXPECT_FALSE(report.ok);
+    EXPECT_NE(report.errors.front().find("terminal"), std::string::npos);
+  }
+  {
+    std::vector<BlockId> assignment(h.num_nodes(), kInvalidBlock);
+    assignment[0] = 7;  // block out of range (k = 1)
+    const VerifyReport report = verify_partition(h, d, assignment, 1);
+    EXPECT_FALSE(report.ok);
+  }
+  {
+    const std::vector<BlockId> assignment(3, 0);  // wrong length
+    const VerifyReport report = verify_partition(h, d, assignment, 1);
+    EXPECT_FALSE(report.ok);
+  }
+  {
+    std::vector<BlockId> assignment(h.num_nodes(), kInvalidBlock);
+    const VerifyReport report = verify_partition(h, d, assignment, 0);
+    EXPECT_FALSE(report.ok);  // k == 0
+  }
+}
+
+TEST(VerifyTest, FlagsEmptyBlocks) {
+  const Hypergraph h = fixture();
+  const Device d("X", Family::kXC3000, 100, 100, 1.0);
+  std::vector<BlockId> assignment(h.num_nodes(), kInvalidBlock);
+  for (NodeId v = 0; v < 6; ++v) assignment[v] = 0;
+  const VerifyReport report = verify_partition(h, d, assignment, 2);
+  EXPECT_FALSE(report.ok);  // block 1 empty
+  bool empty_reported = false;
+  for (const auto& err : report.errors) {
+    empty_reported = empty_reported ||
+                     err.find("empty") != std::string::npos;
+  }
+  EXPECT_TRUE(empty_reported);
+}
+
+TEST(VerifyTest, EndToEndFpartResultsVerifyClean) {
+  for (const char* circuit : {"c3540", "s9234"}) {
+    const Device d = xilinx::xc3042();
+    const Hypergraph h = mcnc::generate(circuit, d.family());
+    const PartitionResult r = FpartPartitioner().run(h, d);
+    const VerifyReport report =
+        verify_partition(h, d, r.assignment, r.k);
+    EXPECT_TRUE(report.ok) << circuit << ": " << report.summary();
+    EXPECT_EQ(report.cut, r.cut);
+    for (BlockId b = 0; b < r.k; ++b) {
+      EXPECT_EQ(report.blocks[b].size, r.blocks[b].size);
+      EXPECT_EQ(report.blocks[b].pins, r.blocks[b].pins);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fpart

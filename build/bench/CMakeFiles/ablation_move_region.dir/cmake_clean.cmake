@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_move_region.dir/ablation_move_region.cpp.o"
+  "CMakeFiles/ablation_move_region.dir/ablation_move_region.cpp.o.d"
+  "ablation_move_region"
+  "ablation_move_region.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_move_region.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_stack.dir/ablation_stack.cpp.o"
+  "CMakeFiles/ablation_stack.dir/ablation_stack.cpp.o.d"
+  "ablation_stack"
+  "ablation_stack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_stack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

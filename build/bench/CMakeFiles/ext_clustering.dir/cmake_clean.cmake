@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_clustering.dir/ext_clustering.cpp.o"
+  "CMakeFiles/ext_clustering.dir/ext_clustering.cpp.o.d"
+  "ext_clustering"
+  "ext_clustering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_multistart.dir/ext_multistart.cpp.o"
+  "CMakeFiles/ext_multistart.dir/ext_multistart.cpp.o.d"
+  "ext_multistart"
+  "ext_multistart.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_multistart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_techmap.dir/ext_techmap.cpp.o"
+  "CMakeFiles/ext_techmap.dir/ext_techmap.cpp.o.d"
+  "ext_techmap"
+  "ext_techmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_techmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

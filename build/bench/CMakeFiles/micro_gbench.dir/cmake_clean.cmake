@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_gbench.dir/micro_gbench.cpp.o"
+  "CMakeFiles/micro_gbench.dir/micro_gbench.cpp.o.d"
+  "micro_gbench"
+  "micro_gbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_gbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_xc3020.dir/table2_xc3020.cpp.o"
+  "CMakeFiles/table2_xc3020.dir/table2_xc3020.cpp.o.d"
+  "table2_xc3020"
+  "table2_xc3020.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_xc3020.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_xc3042.dir/table3_xc3042.cpp.o"
+  "CMakeFiles/table3_xc3042.dir/table3_xc3042.cpp.o.d"
+  "table3_xc3042"
+  "table3_xc3042.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_xc3042.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

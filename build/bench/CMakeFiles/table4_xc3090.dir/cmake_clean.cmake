@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_xc3090.dir/table4_xc3090.cpp.o"
+  "CMakeFiles/table4_xc3090.dir/table4_xc3090.cpp.o.d"
+  "table4_xc3090"
+  "table4_xc3090.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_xc3090.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

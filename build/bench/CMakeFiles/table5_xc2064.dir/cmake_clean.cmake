@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_xc2064.dir/table5_xc2064.cpp.o"
+  "CMakeFiles/table5_xc2064.dir/table5_xc2064.cpp.o.d"
+  "table5_xc2064"
+  "table5_xc2064.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_xc2064.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

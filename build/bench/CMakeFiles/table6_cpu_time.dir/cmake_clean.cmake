@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_cpu_time.dir/table6_cpu_time.cpp.o"
+  "CMakeFiles/table6_cpu_time.dir/table6_cpu_time.cpp.o.d"
+  "table6_cpu_time"
+  "table6_cpu_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_cpu_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/board_planner.dir/board_planner.cpp.o"
+  "CMakeFiles/board_planner.dir/board_planner.cpp.o.d"
+  "board_planner"
+  "board_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/board_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hgr_partition.dir/hgr_partition.cpp.o"
+  "CMakeFiles/hgr_partition.dir/hgr_partition.cpp.o.d"
+  "hgr_partition"
+  "hgr_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hgr_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcnc_partition.dir/mcnc_partition.cpp.o"
+  "CMakeFiles/mcnc_partition.dir/mcnc_partition.cpp.o.d"
+  "mcnc_partition"
+  "mcnc_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcnc_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/techmap_flow.dir/techmap_flow.cpp.o"
+  "CMakeFiles/techmap_flow.dir/techmap_flow.cpp.o.d"
+  "techmap_flow"
+  "techmap_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/techmap_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

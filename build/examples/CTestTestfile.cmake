@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;16;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_mcnc_partition "/root/repo/build/examples/mcnc_partition" "--circuit" "c3540" "--device" "XC3042")
+set_tests_properties(example_mcnc_partition PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_compare_methods "/root/repo/build/examples/compare_methods" "--circuit" "c3540" "--device" "XC3042")
+set_tests_properties(example_compare_methods PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_device_explorer "/root/repo/build/examples/device_explorer" "--circuit" "c3540" "--device" "XC3042")
+set_tests_properties(example_device_explorer PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_hgr_partition "/root/repo/build/examples/hgr_partition")
+set_tests_properties(example_hgr_partition PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;23;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_techmap_flow "/root/repo/build/examples/techmap_flow" "--gates" "800")
+set_tests_properties(example_techmap_flow PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;24;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_board_planner "/root/repo/build/examples/board_planner" "--circuit" "s9234")
+set_tests_properties(example_board_planner PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;25;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_fpart_cli_pipeline "sh" "-c" "/root/repo/build/examples/fpart_cli genlogic --gates 400 --out pipe.blif && /root/repo/build/examples/fpart_cli techmap --blif pipe.blif --out pipe.hgr && /root/repo/build/examples/fpart_cli partition --in pipe.hgr --device XC3042 --starts 2 --parts pipe.parts && /root/repo/build/examples/fpart_cli verify --in pipe.hgr --parts pipe.parts --device XC3042 && /root/repo/build/examples/fpart_cli rent --in pipe.hgr")
+set_tests_properties(example_fpart_cli_pipeline PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;34;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpart_baselines.dir/kwayx.cpp.o"
+  "CMakeFiles/fpart_baselines.dir/kwayx.cpp.o.d"
+  "libfpart_baselines.a"
+  "libfpart_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpart_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

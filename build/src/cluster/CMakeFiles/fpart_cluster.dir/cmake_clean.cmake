@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpart_cluster.dir/coarsen.cpp.o"
+  "CMakeFiles/fpart_cluster.dir/coarsen.cpp.o.d"
+  "libfpart_cluster.a"
+  "libfpart_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpart_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/clustered.cpp" "src/core/CMakeFiles/fpart_core.dir/clustered.cpp.o" "gcc" "src/core/CMakeFiles/fpart_core.dir/clustered.cpp.o.d"
+  "/root/repo/src/core/fpart.cpp" "src/core/CMakeFiles/fpart_core.dir/fpart.cpp.o" "gcc" "src/core/CMakeFiles/fpart_core.dir/fpart.cpp.o.d"
+  "/root/repo/src/core/hetero.cpp" "src/core/CMakeFiles/fpart_core.dir/hetero.cpp.o" "gcc" "src/core/CMakeFiles/fpart_core.dir/hetero.cpp.o.d"
+  "/root/repo/src/core/initial_partition.cpp" "src/core/CMakeFiles/fpart_core.dir/initial_partition.cpp.o" "gcc" "src/core/CMakeFiles/fpart_core.dir/initial_partition.cpp.o.d"
+  "/root/repo/src/core/result.cpp" "src/core/CMakeFiles/fpart_core.dir/result.cpp.o" "gcc" "src/core/CMakeFiles/fpart_core.dir/result.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/partition/CMakeFiles/fpart_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/sanchis/CMakeFiles/fpart_sanchis.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/fpart_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/fpart_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/fm/CMakeFiles/fpart_fm.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fpart_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/hypergraph/CMakeFiles/fpart_hypergraph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpart_core.dir/clustered.cpp.o"
+  "CMakeFiles/fpart_core.dir/clustered.cpp.o.d"
+  "CMakeFiles/fpart_core.dir/fpart.cpp.o"
+  "CMakeFiles/fpart_core.dir/fpart.cpp.o.d"
+  "CMakeFiles/fpart_core.dir/hetero.cpp.o"
+  "CMakeFiles/fpart_core.dir/hetero.cpp.o.d"
+  "CMakeFiles/fpart_core.dir/initial_partition.cpp.o"
+  "CMakeFiles/fpart_core.dir/initial_partition.cpp.o.d"
+  "CMakeFiles/fpart_core.dir/result.cpp.o"
+  "CMakeFiles/fpart_core.dir/result.cpp.o.d"
+  "libfpart_core.a"
+  "libfpart_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpart_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

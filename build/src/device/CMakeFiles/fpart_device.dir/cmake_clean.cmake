@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpart_device.dir/device.cpp.o"
+  "CMakeFiles/fpart_device.dir/device.cpp.o.d"
+  "CMakeFiles/fpart_device.dir/device_set.cpp.o"
+  "CMakeFiles/fpart_device.dir/device_set.cpp.o.d"
+  "CMakeFiles/fpart_device.dir/xilinx.cpp.o"
+  "CMakeFiles/fpart_device.dir/xilinx.cpp.o.d"
+  "libfpart_device.a"
+  "libfpart_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpart_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpart_flow.dir/dinic.cpp.o"
+  "CMakeFiles/fpart_flow.dir/dinic.cpp.o.d"
+  "CMakeFiles/fpart_flow.dir/fbb.cpp.o"
+  "CMakeFiles/fpart_flow.dir/fbb.cpp.o.d"
+  "CMakeFiles/fpart_flow.dir/hypergraph_flow.cpp.o"
+  "CMakeFiles/fpart_flow.dir/hypergraph_flow.cpp.o.d"
+  "libfpart_flow.a"
+  "libfpart_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpart_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fm/fm_bipartitioner.cpp" "src/fm/CMakeFiles/fpart_fm.dir/fm_bipartitioner.cpp.o" "gcc" "src/fm/CMakeFiles/fpart_fm.dir/fm_bipartitioner.cpp.o.d"
+  "/root/repo/src/fm/gain_bucket.cpp" "src/fm/CMakeFiles/fpart_fm.dir/gain_bucket.cpp.o" "gcc" "src/fm/CMakeFiles/fpart_fm.dir/gain_bucket.cpp.o.d"
+  "/root/repo/src/fm/gains.cpp" "src/fm/CMakeFiles/fpart_fm.dir/gains.cpp.o" "gcc" "src/fm/CMakeFiles/fpart_fm.dir/gains.cpp.o.d"
+  "/root/repo/src/fm/repair.cpp" "src/fm/CMakeFiles/fpart_fm.dir/repair.cpp.o" "gcc" "src/fm/CMakeFiles/fpart_fm.dir/repair.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/partition/CMakeFiles/fpart_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fpart_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/fpart_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/hypergraph/CMakeFiles/fpart_hypergraph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

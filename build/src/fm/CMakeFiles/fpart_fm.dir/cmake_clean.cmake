@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpart_fm.dir/fm_bipartitioner.cpp.o"
+  "CMakeFiles/fpart_fm.dir/fm_bipartitioner.cpp.o.d"
+  "CMakeFiles/fpart_fm.dir/gain_bucket.cpp.o"
+  "CMakeFiles/fpart_fm.dir/gain_bucket.cpp.o.d"
+  "CMakeFiles/fpart_fm.dir/gains.cpp.o"
+  "CMakeFiles/fpart_fm.dir/gains.cpp.o.d"
+  "CMakeFiles/fpart_fm.dir/repair.cpp.o"
+  "CMakeFiles/fpart_fm.dir/repair.cpp.o.d"
+  "libfpart_fm.a"
+  "libfpart_fm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpart_fm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpart_hypergraph.dir/builder.cpp.o"
+  "CMakeFiles/fpart_hypergraph.dir/builder.cpp.o.d"
+  "CMakeFiles/fpart_hypergraph.dir/hypergraph.cpp.o"
+  "CMakeFiles/fpart_hypergraph.dir/hypergraph.cpp.o.d"
+  "CMakeFiles/fpart_hypergraph.dir/induce.cpp.o"
+  "CMakeFiles/fpart_hypergraph.dir/induce.cpp.o.d"
+  "CMakeFiles/fpart_hypergraph.dir/traversal.cpp.o"
+  "CMakeFiles/fpart_hypergraph.dir/traversal.cpp.o.d"
+  "libfpart_hypergraph.a"
+  "libfpart_hypergraph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpart_hypergraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

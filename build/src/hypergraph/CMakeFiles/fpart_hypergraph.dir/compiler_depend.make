@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fpart_hypergraph.
+# This may be replaced when dependencies are built.

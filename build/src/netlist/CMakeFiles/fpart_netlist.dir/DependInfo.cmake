@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netlist/generator.cpp" "src/netlist/CMakeFiles/fpart_netlist.dir/generator.cpp.o" "gcc" "src/netlist/CMakeFiles/fpart_netlist.dir/generator.cpp.o.d"
+  "/root/repo/src/netlist/hgr_io.cpp" "src/netlist/CMakeFiles/fpart_netlist.dir/hgr_io.cpp.o" "gcc" "src/netlist/CMakeFiles/fpart_netlist.dir/hgr_io.cpp.o.d"
+  "/root/repo/src/netlist/mcnc.cpp" "src/netlist/CMakeFiles/fpart_netlist.dir/mcnc.cpp.o" "gcc" "src/netlist/CMakeFiles/fpart_netlist.dir/mcnc.cpp.o.d"
+  "/root/repo/src/netlist/rent.cpp" "src/netlist/CMakeFiles/fpart_netlist.dir/rent.cpp.o" "gcc" "src/netlist/CMakeFiles/fpart_netlist.dir/rent.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hypergraph/CMakeFiles/fpart_hypergraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/fpart_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fpart_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/fm/CMakeFiles/fpart_fm.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/fpart_partition.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpart_netlist.dir/generator.cpp.o"
+  "CMakeFiles/fpart_netlist.dir/generator.cpp.o.d"
+  "CMakeFiles/fpart_netlist.dir/hgr_io.cpp.o"
+  "CMakeFiles/fpart_netlist.dir/hgr_io.cpp.o.d"
+  "CMakeFiles/fpart_netlist.dir/mcnc.cpp.o"
+  "CMakeFiles/fpart_netlist.dir/mcnc.cpp.o.d"
+  "CMakeFiles/fpart_netlist.dir/rent.cpp.o"
+  "CMakeFiles/fpart_netlist.dir/rent.cpp.o.d"
+  "libfpart_netlist.a"
+  "libfpart_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpart_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

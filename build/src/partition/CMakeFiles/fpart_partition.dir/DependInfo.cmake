@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/partition/analysis.cpp" "src/partition/CMakeFiles/fpart_partition.dir/analysis.cpp.o" "gcc" "src/partition/CMakeFiles/fpart_partition.dir/analysis.cpp.o.d"
+  "/root/repo/src/partition/cost.cpp" "src/partition/CMakeFiles/fpart_partition.dir/cost.cpp.o" "gcc" "src/partition/CMakeFiles/fpart_partition.dir/cost.cpp.o.d"
+  "/root/repo/src/partition/evaluator.cpp" "src/partition/CMakeFiles/fpart_partition.dir/evaluator.cpp.o" "gcc" "src/partition/CMakeFiles/fpart_partition.dir/evaluator.cpp.o.d"
+  "/root/repo/src/partition/partition.cpp" "src/partition/CMakeFiles/fpart_partition.dir/partition.cpp.o" "gcc" "src/partition/CMakeFiles/fpart_partition.dir/partition.cpp.o.d"
+  "/root/repo/src/partition/verify.cpp" "src/partition/CMakeFiles/fpart_partition.dir/verify.cpp.o" "gcc" "src/partition/CMakeFiles/fpart_partition.dir/verify.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hypergraph/CMakeFiles/fpart_hypergraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/fpart_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fpart_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

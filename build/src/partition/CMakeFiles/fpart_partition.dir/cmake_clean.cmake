@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpart_partition.dir/analysis.cpp.o"
+  "CMakeFiles/fpart_partition.dir/analysis.cpp.o.d"
+  "CMakeFiles/fpart_partition.dir/cost.cpp.o"
+  "CMakeFiles/fpart_partition.dir/cost.cpp.o.d"
+  "CMakeFiles/fpart_partition.dir/evaluator.cpp.o"
+  "CMakeFiles/fpart_partition.dir/evaluator.cpp.o.d"
+  "CMakeFiles/fpart_partition.dir/partition.cpp.o"
+  "CMakeFiles/fpart_partition.dir/partition.cpp.o.d"
+  "CMakeFiles/fpart_partition.dir/verify.cpp.o"
+  "CMakeFiles/fpart_partition.dir/verify.cpp.o.d"
+  "libfpart_partition.a"
+  "libfpart_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpart_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

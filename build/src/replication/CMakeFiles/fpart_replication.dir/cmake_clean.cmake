@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpart_replication.dir/merge.cpp.o"
+  "CMakeFiles/fpart_replication.dir/merge.cpp.o.d"
+  "CMakeFiles/fpart_replication.dir/replicate.cpp.o"
+  "CMakeFiles/fpart_replication.dir/replicate.cpp.o.d"
+  "libfpart_replication.a"
+  "libfpart_replication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpart_replication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpart_report.dir/csv.cpp.o"
+  "CMakeFiles/fpart_report.dir/csv.cpp.o.d"
+  "CMakeFiles/fpart_report.dir/table.cpp.o"
+  "CMakeFiles/fpart_report.dir/table.cpp.o.d"
+  "libfpart_report.a"
+  "libfpart_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpart_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sanchis/move_region.cpp" "src/sanchis/CMakeFiles/fpart_sanchis.dir/move_region.cpp.o" "gcc" "src/sanchis/CMakeFiles/fpart_sanchis.dir/move_region.cpp.o.d"
+  "/root/repo/src/sanchis/refiner.cpp" "src/sanchis/CMakeFiles/fpart_sanchis.dir/refiner.cpp.o" "gcc" "src/sanchis/CMakeFiles/fpart_sanchis.dir/refiner.cpp.o.d"
+  "/root/repo/src/sanchis/solution_stack.cpp" "src/sanchis/CMakeFiles/fpart_sanchis.dir/solution_stack.cpp.o" "gcc" "src/sanchis/CMakeFiles/fpart_sanchis.dir/solution_stack.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/partition/CMakeFiles/fpart_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/fm/CMakeFiles/fpart_fm.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fpart_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/fpart_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/hypergraph/CMakeFiles/fpart_hypergraph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpart_sanchis.dir/move_region.cpp.o"
+  "CMakeFiles/fpart_sanchis.dir/move_region.cpp.o.d"
+  "CMakeFiles/fpart_sanchis.dir/refiner.cpp.o"
+  "CMakeFiles/fpart_sanchis.dir/refiner.cpp.o.d"
+  "CMakeFiles/fpart_sanchis.dir/solution_stack.cpp.o"
+  "CMakeFiles/fpart_sanchis.dir/solution_stack.cpp.o.d"
+  "libfpart_sanchis.a"
+  "libfpart_sanchis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpart_sanchis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/techmap/blif_io.cpp" "src/techmap/CMakeFiles/fpart_techmap.dir/blif_io.cpp.o" "gcc" "src/techmap/CMakeFiles/fpart_techmap.dir/blif_io.cpp.o.d"
+  "/root/repo/src/techmap/clb_pack.cpp" "src/techmap/CMakeFiles/fpart_techmap.dir/clb_pack.cpp.o" "gcc" "src/techmap/CMakeFiles/fpart_techmap.dir/clb_pack.cpp.o.d"
+  "/root/repo/src/techmap/gate_netlist.cpp" "src/techmap/CMakeFiles/fpart_techmap.dir/gate_netlist.cpp.o" "gcc" "src/techmap/CMakeFiles/fpart_techmap.dir/gate_netlist.cpp.o.d"
+  "/root/repo/src/techmap/lut_map.cpp" "src/techmap/CMakeFiles/fpart_techmap.dir/lut_map.cpp.o" "gcc" "src/techmap/CMakeFiles/fpart_techmap.dir/lut_map.cpp.o.d"
+  "/root/repo/src/techmap/random_logic.cpp" "src/techmap/CMakeFiles/fpart_techmap.dir/random_logic.cpp.o" "gcc" "src/techmap/CMakeFiles/fpart_techmap.dir/random_logic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hypergraph/CMakeFiles/fpart_hypergraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/fpart_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fpart_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpart_techmap.dir/blif_io.cpp.o"
+  "CMakeFiles/fpart_techmap.dir/blif_io.cpp.o.d"
+  "CMakeFiles/fpart_techmap.dir/clb_pack.cpp.o"
+  "CMakeFiles/fpart_techmap.dir/clb_pack.cpp.o.d"
+  "CMakeFiles/fpart_techmap.dir/gate_netlist.cpp.o"
+  "CMakeFiles/fpart_techmap.dir/gate_netlist.cpp.o.d"
+  "CMakeFiles/fpart_techmap.dir/lut_map.cpp.o"
+  "CMakeFiles/fpart_techmap.dir/lut_map.cpp.o.d"
+  "CMakeFiles/fpart_techmap.dir/random_logic.cpp.o"
+  "CMakeFiles/fpart_techmap.dir/random_logic.cpp.o.d"
+  "libfpart_techmap.a"
+  "libfpart_techmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpart_techmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpart_util.dir/cli.cpp.o"
+  "CMakeFiles/fpart_util.dir/cli.cpp.o.d"
+  "CMakeFiles/fpart_util.dir/log.cpp.o"
+  "CMakeFiles/fpart_util.dir/log.cpp.o.d"
+  "CMakeFiles/fpart_util.dir/rng.cpp.o"
+  "CMakeFiles/fpart_util.dir/rng.cpp.o.d"
+  "libfpart_util.a"
+  "libfpart_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpart_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

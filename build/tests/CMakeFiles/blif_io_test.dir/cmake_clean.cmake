@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blif_io_test.dir/blif_io_test.cpp.o"
+  "CMakeFiles/blif_io_test.dir/blif_io_test.cpp.o.d"
+  "blif_io_test"
+  "blif_io_test.pdb"
+  "blif_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blif_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cost_test.cpp" "tests/CMakeFiles/cost_test.dir/cost_test.cpp.o" "gcc" "tests/CMakeFiles/cost_test.dir/cost_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/fpart_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/techmap/CMakeFiles/fpart_techmap.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/fpart_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/replication/CMakeFiles/fpart_replication.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/fpart_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/fpart_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/fpart_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/sanchis/CMakeFiles/fpart_sanchis.dir/DependInfo.cmake"
+  "/root/repo/build/src/fm/CMakeFiles/fpart_fm.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/fpart_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/fpart_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/hypergraph/CMakeFiles/fpart_hypergraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/fpart_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fpart_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

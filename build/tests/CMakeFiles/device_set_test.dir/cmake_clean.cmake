@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/device_set_test.dir/device_set_test.cpp.o"
+  "CMakeFiles/device_set_test.dir/device_set_test.cpp.o.d"
+  "device_set_test"
+  "device_set_test.pdb"
+  "device_set_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/device_set_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

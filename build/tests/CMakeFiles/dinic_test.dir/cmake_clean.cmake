@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dinic_test.dir/dinic_test.cpp.o"
+  "CMakeFiles/dinic_test.dir/dinic_test.cpp.o.d"
+  "dinic_test"
+  "dinic_test.pdb"
+  "dinic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dinic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fbb_test.dir/fbb_test.cpp.o"
+  "CMakeFiles/fbb_test.dir/fbb_test.cpp.o.d"
+  "fbb_test"
+  "fbb_test.pdb"
+  "fbb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fbb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

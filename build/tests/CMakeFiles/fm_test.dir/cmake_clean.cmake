@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fm_test.dir/fm_test.cpp.o"
+  "CMakeFiles/fm_test.dir/fm_test.cpp.o.d"
+  "fm_test"
+  "fm_test.pdb"
+  "fm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

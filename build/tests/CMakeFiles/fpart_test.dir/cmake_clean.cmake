@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpart_test.dir/fpart_test.cpp.o"
+  "CMakeFiles/fpart_test.dir/fpart_test.cpp.o.d"
+  "fpart_test"
+  "fpart_test.pdb"
+  "fpart_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpart_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

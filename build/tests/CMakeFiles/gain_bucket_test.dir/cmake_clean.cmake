@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gain_bucket_test.dir/gain_bucket_test.cpp.o"
+  "CMakeFiles/gain_bucket_test.dir/gain_bucket_test.cpp.o.d"
+  "gain_bucket_test"
+  "gain_bucket_test.pdb"
+  "gain_bucket_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gain_bucket_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

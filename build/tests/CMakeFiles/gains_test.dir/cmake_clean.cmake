@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gains_test.dir/gains_test.cpp.o"
+  "CMakeFiles/gains_test.dir/gains_test.cpp.o.d"
+  "gains_test"
+  "gains_test.pdb"
+  "gains_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gains_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hgr_io_test.dir/hgr_io_test.cpp.o"
+  "CMakeFiles/hgr_io_test.dir/hgr_io_test.cpp.o.d"
+  "hgr_io_test"
+  "hgr_io_test.pdb"
+  "hgr_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hgr_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hypergraph_flow_test.dir/hypergraph_flow_test.cpp.o"
+  "CMakeFiles/hypergraph_flow_test.dir/hypergraph_flow_test.cpp.o.d"
+  "hypergraph_flow_test"
+  "hypergraph_flow_test.pdb"
+  "hypergraph_flow_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hypergraph_flow_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

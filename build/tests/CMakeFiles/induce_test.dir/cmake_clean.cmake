@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/induce_test.dir/induce_test.cpp.o"
+  "CMakeFiles/induce_test.dir/induce_test.cpp.o.d"
+  "induce_test"
+  "induce_test.pdb"
+  "induce_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/induce_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/initial_partition_test.dir/initial_partition_test.cpp.o"
+  "CMakeFiles/initial_partition_test.dir/initial_partition_test.cpp.o.d"
+  "initial_partition_test"
+  "initial_partition_test.pdb"
+  "initial_partition_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/initial_partition_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kwayx_test.dir/kwayx_test.cpp.o"
+  "CMakeFiles/kwayx_test.dir/kwayx_test.cpp.o.d"
+  "kwayx_test"
+  "kwayx_test.pdb"
+  "kwayx_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kwayx_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/move_region_test.dir/move_region_test.cpp.o"
+  "CMakeFiles/move_region_test.dir/move_region_test.cpp.o.d"
+  "move_region_test"
+  "move_region_test.pdb"
+  "move_region_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/move_region_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

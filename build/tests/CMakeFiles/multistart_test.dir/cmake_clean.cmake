@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multistart_test.dir/multistart_test.cpp.o"
+  "CMakeFiles/multistart_test.dir/multistart_test.cpp.o.d"
+  "multistart_test"
+  "multistart_test.pdb"
+  "multistart_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multistart_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/refiner_ext_test.dir/refiner_ext_test.cpp.o"
+  "CMakeFiles/refiner_ext_test.dir/refiner_ext_test.cpp.o.d"
+  "refiner_ext_test"
+  "refiner_ext_test.pdb"
+  "refiner_ext_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/refiner_ext_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

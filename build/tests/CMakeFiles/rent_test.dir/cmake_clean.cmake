@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rent_test.dir/rent_test.cpp.o"
+  "CMakeFiles/rent_test.dir/rent_test.cpp.o.d"
+  "rent_test"
+  "rent_test.pdb"
+  "rent_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rent_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

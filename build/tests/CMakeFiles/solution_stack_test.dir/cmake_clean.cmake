@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solution_stack_test.dir/solution_stack_test.cpp.o"
+  "CMakeFiles/solution_stack_test.dir/solution_stack_test.cpp.o.d"
+  "solution_stack_test"
+  "solution_stack_test.pdb"
+  "solution_stack_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solution_stack_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

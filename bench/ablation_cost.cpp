@@ -14,7 +14,7 @@
 using namespace fpart;
 using bench::AblationVariant;
 
-int main() {
+int main(int argc, char** argv) {
   bench::print_banner("Ablation: cost function",
                       "Effect of the §3.3 infeasibility-distance cost "
                       "components on the device count");
@@ -36,6 +36,8 @@ int main() {
       {"no-extbal", no_extbal},
   };
   const auto cases = bench::default_ablation_cases();
-  bench::run_and_print_ablation(variants, cases);
+  bench::run_and_print_ablation(variants, cases,
+                                argc > 1 ? argv[1] : nullptr,
+                                "ablation_cost");
   return 0;
 }

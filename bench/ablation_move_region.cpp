@@ -14,7 +14,7 @@
 using namespace fpart;
 using bench::AblationVariant;
 
-int main() {
+int main(int argc, char** argv) {
   bench::print_banner("Ablation: move regions",
                       "Effect of the §3.5 feasible-move size windows");
 
@@ -35,6 +35,8 @@ int main() {
       {"wide", wide},
   };
   const auto cases = bench::default_ablation_cases();
-  bench::run_and_print_ablation(variants, cases);
+  bench::run_and_print_ablation(variants, cases,
+                                argc > 1 ? argv[1] : nullptr,
+                                "ablation_move_region");
   return 0;
 }

@@ -14,7 +14,7 @@
 using namespace fpart;
 using bench::AblationVariant;
 
-int main() {
+int main(int argc, char** argv) {
   bench::print_banner("Ablation: improvement schedule",
                       "Contribution of each §3.1 improvement pass");
 
@@ -36,6 +36,8 @@ int main() {
       {"no-sweep", no_sweep},
   };
   const auto cases = bench::default_ablation_cases();
-  bench::run_and_print_ablation(variants, cases);
+  bench::run_and_print_ablation(variants, cases,
+                                argc > 1 ? argv[1] : nullptr,
+                                "ablation_schedule");
   return 0;
 }

@@ -10,7 +10,7 @@
 using namespace fpart;
 using bench::AblationVariant;
 
-int main() {
+int main(int argc, char** argv) {
   bench::print_banner("Ablation: solution stacks",
                       "Effect of the §3.6 stack depth D_stack on the "
                       "device count and runtime");
@@ -22,6 +22,8 @@ int main() {
     variants.push_back({"D=" + std::to_string(depth), opt});
   }
   const auto cases = bench::default_ablation_cases();
-  bench::run_and_print_ablation(variants, cases);
+  bench::run_and_print_ablation(variants, cases,
+                                argc > 1 ? argv[1] : nullptr,
+                                "ablation_stack");
   return 0;
 }

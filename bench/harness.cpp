@@ -1,11 +1,14 @@
 #include "harness.hpp"
 
 #include <cstdio>
+#include <exception>
 
 #include "baselines/kwayx.hpp"
 #include "core/fpart.hpp"
 #include "device/xilinx.hpp"
 #include "flow/fbb.hpp"
+#include "obs/phase.hpp"
+#include "obs/stats.hpp"
 #include "report/csv.hpp"
 #include "report/table.hpp"
 #include "util/assert.hpp"
@@ -29,6 +32,36 @@ PartitionResult run_fpart(const mcnc::CircuitSpec& spec, const Device& device,
   return FpartPartitioner().run(h, device);
 }
 
+BenchJson::BenchJson(std::string bench_name, const char* path)
+    : bench_name_(std::move(bench_name)), path_(path ? path : "") {
+  if (!enabled()) return;
+  obs::StatsRegistry::instance().reset();
+  obs::PhaseForest::instance().reset();
+  obs::set_stats_enabled(true);
+}
+
+BenchJson::~BenchJson() {
+  if (!enabled()) return;
+  try {
+    write_bench_report_file(path_, bench_name_, records_);
+    std::printf("bench JSON written to %s\n", path_.c_str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench JSON write failed: %s\n", e.what());
+  }
+}
+
+void BenchJson::add(const std::string& circuit, const Device& device,
+                    const std::string& method, const PartitionResult& r) {
+  if (!enabled()) return;
+  RunRecord rec;
+  rec.meta.circuit = circuit;
+  rec.meta.device = device.name();
+  rec.meta.method = method;
+  rec.result = r;
+  rec.result.assignment.clear();  // never serialized; drop the bulk
+  records_.push_back(std::move(rec));
+}
+
 void print_banner(const std::string& table_name,
                   const std::string& description) {
   std::printf("=== %s ===\n%s\n", table_name.c_str(), description.c_str());
@@ -41,7 +74,9 @@ void print_banner(const std::string& table_name,
 
 std::vector<MethodRuns> run_and_print_suite(
     const Device& device, std::span<const mcnc::CircuitSpec> circuits,
-    std::span<const PublishedColumn> published, const char* csv_path) {
+    std::span<const PublishedColumn> published, const char* csv_path,
+    const char* json_path, const char* bench_name) {
+  BenchJson json(bench_name, json_path);
   for (const auto& col : published) {
     FPART_REQUIRE(col.values.size() == circuits.size(),
                   "published column size mismatch: " + col.name);
@@ -77,6 +112,10 @@ std::vector<MethodRuns> run_and_print_suite(
     row.push_back(fmt_int(r.fpart.k));
     row.push_back(fmt_int(r.m));
     table.add_row(std::move(row));
+
+    json.add(std::string(spec.name), device, "kwayx", r.kwayx);
+    json.add(std::string(spec.name), device, "fbb", r.fbb);
+    json.add(std::string(spec.name), device, "fpart", r.fpart);
 
     tk += r.kwayx.k;
     tf += r.fbb.k;
@@ -121,7 +160,9 @@ std::vector<AblationCase> default_ablation_cases() {
 }
 
 void run_and_print_ablation(std::span<const AblationVariant> variants,
-                            std::span<const AblationCase> cases) {
+                            std::span<const AblationCase> cases,
+                            const char* json_path, const char* bench_name) {
+  BenchJson json(bench_name, json_path);
   std::vector<std::string> headers{"Circuit", "Device"};
   for (const auto& v : variants) headers.push_back(v.name + "*");
   headers.push_back("M");
@@ -139,6 +180,7 @@ void run_and_print_ablation(std::span<const AblationVariant> variants,
       const PartitionResult r =
           FpartPartitioner(variants[v].options).run(h, c.device);
       FPART_REQUIRE(r.feasible, "ablation variant produced infeasible result");
+      json.add(c.circuit, c.device, variants[v].name, r);
       row.push_back(fmt_int(r.k));
       totals[v] += r.k;
       seconds[v] += r.seconds;

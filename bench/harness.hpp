@@ -20,6 +20,7 @@
 #include "core/result.hpp"
 #include "device/device.hpp"
 #include "netlist/mcnc.hpp"
+#include "report/run_report.hpp"
 
 namespace fpart::bench {
 
@@ -43,6 +44,30 @@ PartitionResult run_fpart(const mcnc::CircuitSpec& spec, const Device& device,
 void print_banner(const std::string& table_name,
                   const std::string& description);
 
+/// Collects per-run records and writes one fpart-bench/1 JSON file —
+/// the BENCH_*.json trajectory format perf PRs are judged against.
+///
+/// Construction with a non-null path enables stat collection and resets
+/// the registry/phase tree so the file reflects exactly this bench
+/// invocation; destruction writes the file. A null path makes every
+/// method a no-op, so call sites stay unconditional.
+class BenchJson {
+ public:
+  BenchJson(std::string bench_name, const char* path);
+  ~BenchJson();
+  BenchJson(const BenchJson&) = delete;
+  BenchJson& operator=(const BenchJson&) = delete;
+
+  bool enabled() const { return !path_.empty(); }
+  void add(const std::string& circuit, const Device& device,
+           const std::string& method, const PartitionResult& r);
+
+ private:
+  std::string bench_name_;
+  std::string path_;
+  std::vector<RunRecord> records_;
+};
+
 /// One published (paper-quoted) column of a results table. Values align
 /// with the circuit list; nullopt renders as "-" (not reported).
 struct PublishedColumn {
@@ -59,7 +84,8 @@ struct PublishedColumn {
 std::vector<MethodRuns> run_and_print_suite(
     const Device& device, std::span<const mcnc::CircuitSpec> circuits,
     std::span<const PublishedColumn> published,
-    const char* csv_path = nullptr);
+    const char* csv_path = nullptr, const char* json_path = nullptr,
+    const char* bench_name = "suite");
 
 /// One FPART configuration variant for an ablation study.
 struct AblationVariant {
@@ -81,6 +107,8 @@ std::vector<AblationCase> default_ablation_cases();
 /// Runs every variant on every case and prints one k column per variant
 /// plus M and per-variant totals and total runtime.
 void run_and_print_ablation(std::span<const AblationVariant> variants,
-                            std::span<const AblationCase> cases);
+                            std::span<const AblationCase> cases,
+                            const char* json_path = nullptr,
+                            const char* bench_name = "ablation");
 
 }  // namespace fpart::bench

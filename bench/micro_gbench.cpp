@@ -4,6 +4,7 @@
 // the end-to-end partitioners on a mid-size circuit.
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
 #include <vector>
 
 #include "baselines/kwayx.hpp"
@@ -15,6 +16,8 @@
 #include "fm/gains.hpp"
 #include "netlist/generator.hpp"
 #include "netlist/mcnc.hpp"
+#include "obs/phase.hpp"
+#include "obs/stats.hpp"
 #include "partition/partition.hpp"
 #include "util/rng.hpp"
 
@@ -139,6 +142,48 @@ void BM_FbbEndToEnd(benchmark::State& state) {
 }
 BENCHMARK(BM_FbbEndToEnd)->Unit(benchmark::kMillisecond);
 
+// Observability primitives: the disabled path (default) must be
+// unmeasurable against the work it guards; the enabled path is one
+// relaxed atomic add. Run the whole suite with FPART_STATS=1 to measure
+// end-to-end instrumentation overhead against a default run.
+void BM_StatsCounterIncrement(benchmark::State& state) {
+  for (auto _ : state) {
+    FPART_COUNTER_INC("micro.counter_probe");
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_StatsCounterIncrement);
+
+void BM_StatsHistogramRecord(benchmark::State& state) {
+  std::int64_t v = 0;
+  for (auto _ : state) {
+    FPART_HISTOGRAM_RECORD("micro.histogram_probe", v++ & 1023);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_StatsHistogramRecord);
+
+void BM_ScopedPhase(benchmark::State& state) {
+  for (auto _ : state) {
+    const obs::ScopedPhase phase("micro.phase_probe");
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ScopedPhase);
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // FPART_STATS=1 turns the registry on for every benchmark, so the
+  // enabled-path overhead is measured by diffing against a default run.
+  if (const char* flag = std::getenv("FPART_STATS");
+      flag != nullptr && flag[0] == '1') {
+    fpart::obs::set_stats_enabled(true);
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

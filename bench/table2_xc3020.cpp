@@ -27,6 +27,7 @@ int main(int argc, char** argv) {
       {"FPART", {6, 9, 15, 9, 9, 8, 18, 15, 39, 52}},
   };
   bench::run_and_print_suite(xilinx::xc3020(), mcnc::circuits(), published,
-                             argc > 1 ? argv[1] : nullptr);
+                             argc > 1 ? argv[1] : nullptr,
+                             argc > 2 ? argv[2] : nullptr, "table2_xc3020");
   return 0;
 }

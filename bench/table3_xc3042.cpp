@@ -22,6 +22,7 @@ int main(int argc, char** argv) {
       {"FPART", {3, 5, 7, 4, 4, 4, 9, 7, 18, 23}},
   };
   bench::run_and_print_suite(xilinx::xc3042(), mcnc::circuits(), published,
-                             argc > 1 ? argv[1] : nullptr);
+                             argc > 1 ? argv[1] : nullptr,
+                             argc > 2 ? argv[2] : nullptr, "table3_xc3042");
   return 0;
 }

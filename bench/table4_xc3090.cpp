@@ -32,6 +32,7 @@ int main(int argc, char** argv) {
       {"FPART", {1, 3, 3, 3, 2, 2, 5, 3, 8, 11}},
   };
   bench::run_and_print_suite(xilinx::xc3090(), mcnc::circuits(), published,
-                             argc > 1 ? argv[1] : nullptr);
+                             argc > 1 ? argv[1] : nullptr,
+                             argc > 2 ? argv[2] : nullptr, "table4_xc3090");
   return 0;
 }

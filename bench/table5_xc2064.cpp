@@ -26,6 +26,7 @@ int main(int argc, char** argv) {
       {"FPART", {6, 10, 10, 14}},
   };
   bench::run_and_print_suite(xilinx::xc2064(), circuits, published,
-                             argc > 1 ? argv[1] : nullptr);
+                             argc > 1 ? argv[1] : nullptr,
+                             argc > 2 ? argv[2] : nullptr, "table5_xc2064");
   return 0;
 }

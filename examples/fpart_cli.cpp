@@ -25,7 +25,11 @@
 #include "netlist/hgr_io.hpp"
 #include "netlist/mcnc.hpp"
 #include "netlist/rent.hpp"
+#include "obs/phase.hpp"
+#include "obs/stats.hpp"
+#include "obs/trace.hpp"
 #include "partition/verify.hpp"
+#include "report/run_report.hpp"
 #include "techmap/blif_io.hpp"
 #include "techmap/clb_pack.hpp"
 #include "techmap/random_logic.hpp"
@@ -110,6 +114,18 @@ int cmd_partition(const CliParser& cli) {
   const std::string method = cli.get("method");
   const auto starts = static_cast<std::uint32_t>(cli.get_int("starts"));
 
+  // Observability sinks: --stats-json enables the registry + phase
+  // tree, --trace additionally captures Chrome trace events.
+  const bool want_stats = cli.has("stats-json");
+  const bool want_trace = cli.has("trace");
+  if (want_stats || want_trace) {
+    obs::StatsRegistry::instance().reset();
+    obs::PhaseForest::instance().reset();
+    obs::trace_reset();
+    obs::set_stats_enabled(true);
+    if (want_trace) obs::set_trace_enabled(true);
+  }
+
   PartitionResult r;
   if (method == "fpart") {
     r = starts > 1 ? run_fpart_multistart(h, device, {}, starts)
@@ -124,10 +140,28 @@ int cmd_partition(const CliParser& cli) {
     std::fprintf(stderr, "unknown --method %s\n", method.c_str());
     return 2;
   }
-  std::printf("%s on %s: k=%u (M=%u), cut=%llu, %.2fs, feasible=%s\n",
-              method.c_str(), device.name().c_str(), r.k, r.lower_bound,
-              static_cast<unsigned long long>(r.cut), r.seconds,
-              r.feasible ? "yes" : "no");
+  std::printf(
+      "%s on %s: k=%u (M=%u), cut=%llu, %.2fs wall / %.2fs cpu, "
+      "feasible=%s\n",
+      method.c_str(), device.name().c_str(), r.k, r.lower_bound,
+      static_cast<unsigned long long>(r.cut), r.seconds, r.cpu_seconds,
+      r.feasible ? "yes" : "no");
+
+  if (want_stats) {
+    RunMeta meta;
+    meta.circuit = cli.get("in");
+    meta.device = device.name();
+    meta.method = method;
+    meta.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+    write_run_report_file(cli.get("stats-json"), meta, r);
+    std::printf("run report written to %s\n",
+                cli.get("stats-json").c_str());
+  }
+  if (want_trace) {
+    obs::write_trace_file(cli.get("trace"));
+    std::printf("chrome trace written to %s (open in ui.perfetto.dev)\n",
+                cli.get("trace").c_str());
+  }
   if (cli.has("parts")) {
     std::ofstream os(cli.get("parts"));
     FPART_REQUIRE(os.good(), "cannot write " + cli.get("parts"));
@@ -192,6 +226,8 @@ int main(int argc, char** argv) {
   cli.add_flag("method", "fpart | clustered | kwayx | fbb", "fpart");
   cli.add_flag("starts", "multistart count (fpart only)", "1");
   cli.add_flag("parts", "assignment file (partition out / verify in)", "");
+  cli.add_flag("stats-json", "write a fpart-run-report/1 JSON file", "");
+  cli.add_flag("trace", "write a Chrome trace_event JSON file", "");
   if (!cli.parse(argc, argv) || cli.positional().size() != 1) {
     std::fprintf(stderr,
                  "usage: fpart_cli <generate|genlogic|techmap|partition|verify|rent>"

@@ -78,6 +78,7 @@ void grow_by_connectivity(Partition& p, const Device& d, BlockId block) {
 PartitionResult KwayxPartitioner::run(const Hypergraph& h,
                                       const Device& device) const {
   Timer timer;
+  CpuTimer cpu_timer;
   const std::uint32_t m = lower_bound_devices(h, device);
   Partition p(h, 1);
 
@@ -98,7 +99,8 @@ PartitionResult KwayxPartitioner::run(const Hypergraph& h,
     shrink_to_feasible(p, device, pk, kRem);
   }
   return summarize_partition(p, device, m, iterations,
-                             timer.elapsed_seconds());
+                             timer.elapsed_seconds(),
+                             cpu_timer.elapsed_seconds());
 }
 
 }  // namespace fpart

@@ -49,6 +49,7 @@ PartitionResult ClusteredFpartPartitioner::run(const Hypergraph& h,
                                                const Device& device) const {
   FPART_REQUIRE(options_.levels >= 1, "clustered FPART needs >= 1 level");
   Timer timer;
+  CpuTimer cpu_timer;
   const std::uint32_t m = lower_bound_devices(h, device);
 
   CoarsenConfig coarsen_config = options_.coarsen;
@@ -96,7 +97,8 @@ PartitionResult ClusteredFpartPartitioner::run(const Hypergraph& h,
   Partition p(h, assignment, coarse_result.k);
   FPART_ASSERT(p.classify(device) == FeasibilityClass::kFeasible);
   return summarize_partition(p, device, m, iterations,
-                             timer.elapsed_seconds());
+                             timer.elapsed_seconds(),
+                             cpu_timer.elapsed_seconds());
 }
 
 }  // namespace fpart

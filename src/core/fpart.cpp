@@ -5,6 +5,8 @@
 #include <vector>
 
 #include "core/initial_partition.hpp"
+#include "obs/phase.hpp"
+#include "obs/stats.hpp"
 #include "util/rng.hpp"
 #include "partition/evaluator.hpp"
 #include "sanchis/refiner.hpp"
@@ -58,7 +60,9 @@ void improve_pair(MultiwayRefiner& refiner, Partition& p, const Device& d,
 
 PartitionResult FpartPartitioner::run(const Hypergraph& h,
                                       const Device& device) const {
+  const obs::ScopedPhase phase_run("fpart.run");
   Timer timer;
+  CpuTimer cpu_timer;
   const std::uint32_t m = lower_bound_devices(h, device);
   // Every iteration permanently retires at least one cell into a
   // feasible block, so num_interior() bounds the honest iteration count;
@@ -93,11 +97,16 @@ PartitionResult FpartPartitioner::run(const Hypergraph& h,
       }
     }
 
+    FPART_COUNTER_INC("fpart.iterations");
+    FPART_HISTOGRAM_RECORD("fpart.remainder_size", p.block_size(kRem));
+    FPART_HISTOGRAM_RECORD("fpart.remainder_pins", p.block_pins(kRem));
+
     if (++iterations > cap) {
       // Safety fallback: pure constructive peeling terminates because
       // every bipartition yields a non-empty feasible block.
       FPART_LOG(kWarn) << "FPART hit the iteration cap (" << cap
                        << "); falling back to constructive peeling";
+      FPART_COUNTER_INC("fpart.cap_fallbacks");
       while (p.classify(device) != FeasibilityClass::kFeasible) {
         bipartition_remainder(p, eval, kRem, options_, seed_rng);
         ++iterations;
@@ -105,8 +114,10 @@ PartitionResult FpartPartitioner::run(const Hypergraph& h,
       break;
     }
 
-    const BlockId pk =
-        bipartition_remainder(p, eval, kRem, options_, seed_rng);
+    const BlockId pk = [&] {
+      const obs::ScopedPhase phase("fpart.bipartition");
+      return bipartition_remainder(p, eval, kRem, options_, seed_rng);
+    }();
     const std::uint32_t k_created = p.num_blocks() - 1;  // non-remainder
     const bool allow_violations = k_created < m;
 
@@ -118,6 +129,7 @@ PartitionResult FpartPartitioner::run(const Hypergraph& h,
 
     // Improve(R_k, P_k).
     if (options_.schedule.last_pair) {
+      const obs::ScopedPhase phase("fpart.improve.last_pair");
       improve_pair(refiner, p, device, pk, allow_violations, options_);
     }
 
@@ -128,6 +140,7 @@ PartitionResult FpartPartitioner::run(const Hypergraph& h,
     if (options_.schedule.all_blocks && m <= options_.n_small &&
         p.num_blocks() >= 3 &&
         p.num_blocks() <= options_.n_small + 2) {
+      const obs::ScopedPhase phase("fpart.improve.all_blocks");
       std::vector<BlockId> all(p.num_blocks());
       for (BlockId b = 0; b < p.num_blocks(); ++b) all[b] = b;
       const MoveRegion region =
@@ -138,6 +151,7 @@ PartitionResult FpartPartitioner::run(const Hypergraph& h,
 
     // Improve with the smallest, fewest-I/O and most-free-space blocks.
     if (options_.schedule.min_blocks) {
+      const obs::ScopedPhase phase("fpart.improve.min_blocks");
       improve_pair(refiner, p, device,
                    select_block(p,
                                 [&](BlockId b) {
@@ -163,6 +177,7 @@ PartitionResult FpartPartitioner::run(const Hypergraph& h,
     // Final pairwise sweep when the lower bound is reached.
     if (options_.schedule.final_sweep && k_created == m &&
         m <= options_.n_small) {
+      const obs::ScopedPhase phase("fpart.improve.final_sweep");
       for (BlockId b = 1; b < p.num_blocks(); ++b) {
         improve_pair(refiner, p, device, b, allow_violations, options_);
       }
@@ -170,7 +185,8 @@ PartitionResult FpartPartitioner::run(const Hypergraph& h,
   }
 
   return summarize_partition(p, device, m, iterations,
-                             timer.elapsed_seconds());
+                             timer.elapsed_seconds(),
+                             cpu_timer.elapsed_seconds());
 }
 
 PartitionResult run_fpart_multistart(const Hypergraph& h,
@@ -179,6 +195,7 @@ PartitionResult run_fpart_multistart(const Hypergraph& h,
                                      std::uint32_t num_starts) {
   FPART_REQUIRE(num_starts >= 1, "multistart needs at least one start");
   Timer timer;
+  CpuTimer cpu_timer;
   PartitionResult best;
   std::uint64_t total_pins_best = 0;
   for (std::uint32_t start = 0; start < num_starts; ++start) {
@@ -200,6 +217,7 @@ PartitionResult run_fpart_multistart(const Hypergraph& h,
     if (best.k == best.lower_bound) break;  // cannot improve on M
   }
   best.seconds = timer.elapsed_seconds();
+  best.cpu_seconds = cpu_timer.elapsed_seconds();
   return best;
 }
 

@@ -34,6 +34,7 @@ HeteroResult partition_heterogeneous(const Hypergraph& h,
                                      const DeviceSet& set,
                                      const HeteroOptions& options) {
   Timer timer;
+  CpuTimer cpu_timer;
   const Device& target = set.largest().device;
 
   // Step 1: minimize the block count against the biggest device.
@@ -89,7 +90,8 @@ HeteroResult partition_heterogeneous(const Hypergraph& h,
 
   result.partition = summarize_partition(p, target, base.lower_bound,
                                          base.iterations + result.splits,
-                                         timer.elapsed_seconds());
+                                         timer.elapsed_seconds(),
+                                         cpu_timer.elapsed_seconds());
 
   // Step 2 (final): price every block.
   Partition final_p(h, result.partition.assignment, result.partition.k);

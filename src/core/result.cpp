@@ -7,7 +7,7 @@ namespace fpart {
 PartitionResult summarize_partition(Partition& p, const Device& d,
                                     std::uint32_t lower_bound,
                                     std::uint32_t iterations,
-                                    double seconds) {
+                                    double seconds, double cpu_seconds) {
   // Drop empty blocks (a pool/remainder may end empty).
   for (BlockId b = 0; b < p.num_blocks();) {
     if (p.block_node_count(b) == 0 && p.num_blocks() > 1) {
@@ -26,6 +26,7 @@ PartitionResult summarize_partition(Partition& p, const Device& d,
   result.km1 = p.connectivity_km1();
   result.iterations = iterations;
   result.seconds = seconds;
+  result.cpu_seconds = cpu_seconds;
   result.assignment.assign(p.graph().num_nodes(), kInvalidBlock);
   for (NodeId v = 0; v < p.graph().num_nodes(); ++v) {
     if (!p.graph().is_terminal(v)) result.assignment[v] = p.block_of(v);

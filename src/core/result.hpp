@@ -37,6 +37,8 @@ struct PartitionResult {
   std::uint32_t iterations = 0;
   /// Wall-clock seconds.
   double seconds = 0.0;
+  /// Process CPU seconds (user + system) — Table 6 reports CPU time.
+  double cpu_seconds = 0.0;
 };
 
 /// Builds a PartitionResult from a finished partition: drops empty
@@ -44,6 +46,7 @@ struct PartitionResult {
 /// Shared by FPART and the baseline partitioners.
 PartitionResult summarize_partition(Partition& p, const Device& d,
                                     std::uint32_t lower_bound,
-                                    std::uint32_t iterations, double seconds);
+                                    std::uint32_t iterations, double seconds,
+                                    double cpu_seconds = 0.0);
 
 }  // namespace fpart

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <deque>
 
+#include "obs/stats.hpp"
 #include "util/assert.hpp"
 
 namespace fpart {
@@ -31,6 +32,7 @@ FlowNetwork::Capacity FlowNetwork::flow(EdgeId id) const {
 }
 
 bool FlowNetwork::bfs_levels(Vertex s, Vertex t) {
+  FPART_COUNTER_INC("flow.bfs_rounds");
   level_.assign(num_vertices(), kNil);
   std::deque<Vertex> queue{s};
   level_[s] = 0;
@@ -49,7 +51,10 @@ bool FlowNetwork::bfs_levels(Vertex s, Vertex t) {
 
 FlowNetwork::Capacity FlowNetwork::dfs_push(Vertex v, Vertex t,
                                             Capacity limit) {
-  if (v == t) return limit;
+  if (v == t) {
+    FPART_COUNTER_INC("flow.augmenting_paths");
+    return limit;
+  }
   Capacity pushed = 0;
   for (std::uint32_t& e = iter_[v]; e != kNil; e = edges_[e].next) {
     Edge& edge = edges_[e];
@@ -71,6 +76,7 @@ FlowNetwork::Capacity FlowNetwork::dfs_push(Vertex v, Vertex t,
 FlowNetwork::Capacity FlowNetwork::max_flow(Vertex s, Vertex t) {
   FPART_REQUIRE(s < num_vertices() && t < num_vertices() && s != t,
                 "max_flow: bad terminals");
+  FPART_COUNTER_INC("flow.max_flow_calls");
   // Reset residual capacities.
   for (std::size_t id = 0; id < num_edges(); ++id) {
     edges_[2 * id].cap = original_cap_[id];

@@ -7,6 +7,8 @@
 #include "fm/gains.hpp"
 #include "fm/repair.hpp"
 #include "hypergraph/traversal.hpp"
+#include "obs/phase.hpp"
+#include "obs/stats.hpp"
 #include "partition/partition.hpp"
 #include "util/assert.hpp"
 #include "util/log.hpp"
@@ -234,6 +236,8 @@ void top_up_block(Partition& p, const Device& d, BlockId b) {
 
 /// Peels one feasible block off the pool; returns its id.
 BlockId peel_block(Partition& p, const Device& d, const FbbConfig& config) {
+  const obs::ScopedPhase phase("fbb.peel");
+  FPART_COUNTER_INC("flow.peels");
   const Hypergraph& h = p.graph();
 
   // Small pool that fits by size: take it all and repair pins.
@@ -253,6 +257,7 @@ BlockId peel_block(Partition& p, const Device& d, const FbbConfig& config) {
     for (NodeId v : x) p.move(v, b);
     if (p.block_feasible(b, d)) {
       top_up_block(p, d, b);
+      FPART_HISTOGRAM_RECORD("flow.peel_size", p.block_size(b));
       return b;
     }
     if (attempt >= config.pin_retries) {
@@ -261,6 +266,7 @@ BlockId peel_block(Partition& p, const Device& d, const FbbConfig& config) {
       return b;
     }
     // Undo and retry with a tighter window.
+    FPART_COUNTER_INC("flow.pin_retries");
     for (NodeId v : x) p.move(v, kPool);
     p.remove_last_block();
     hi *= config.retry_shrink;
@@ -278,7 +284,9 @@ BlockId peel_block(Partition& p, const Device& d, const FbbConfig& config) {
 
 PartitionResult FbbPartitioner::run(const Hypergraph& h,
                                     const Device& device) const {
+  const obs::ScopedPhase phase("fbb.run");
   Timer timer;
+  CpuTimer cpu_timer;
   const std::uint32_t m = lower_bound_devices(h, device);
   Partition p(h, 1);
 
@@ -288,7 +296,8 @@ PartitionResult FbbPartitioner::run(const Hypergraph& h,
     peel_block(p, device, config_);
   }
   return summarize_partition(p, device, m, iterations,
-                             timer.elapsed_seconds());
+                             timer.elapsed_seconds(),
+                             cpu_timer.elapsed_seconds());
 }
 
 }  // namespace fpart

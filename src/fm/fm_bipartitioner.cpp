@@ -4,6 +4,8 @@
 
 #include "fm/gain_bucket.hpp"
 #include "fm/gains.hpp"
+#include "obs/phase.hpp"
+#include "obs/stats.hpp"
 #include "util/assert.hpp"
 
 namespace fpart {
@@ -26,10 +28,12 @@ bool FmBipartitioner::move_legal(NodeId v, BlockId from, const SizeWindow& wf,
 
 FmResult FmBipartitioner::run(const SizeWindow& window_a,
                               const SizeWindow& window_b) {
+  const obs::ScopedPhase phase("fm.run");
   FmResult result;
   result.initial_cut = p_.cut_size();
   for (int i = 0; i < config_.max_passes; ++i) {
     ++result.passes;
+    FPART_COUNTER_INC("fm.passes");
     if (!pass(window_a, window_b, result)) break;
   }
   result.final_cut = p_.cut_size();
@@ -120,6 +124,14 @@ bool FmBipartitioner::pass(const SizeWindow& wa, const SizeWindow& wb,
   for (std::size_t i = log.size(); i > best_len; --i) {
     p_.move(log[i - 1].first, log[i - 1].second);
   }
+  // Counters are batched per pass to keep the move loop atomic-free.
+  FPART_COUNTER_ADD("fm.moves_attempted", log.size());
+  FPART_COUNTER_ADD("fm.moves_accepted", best_len);
+  FPART_COUNTER_ADD("fm.moves_rolled_back", log.size() - best_len);
+  FPART_HISTOGRAM_RECORD(
+      "fm.pass_gain",
+      static_cast<std::int64_t>(start_cut) -
+          static_cast<std::int64_t>(best_cut));
   FPART_ASSERT(p_.cut_size() == best_cut);
   return best_cut < start_cut;
 }

@@ -1,7 +1,9 @@
 #include "fm/gain_bucket.hpp"
 
 #include <algorithm>
+#include <utility>
 
+#include "obs/stats.hpp"
 #include "util/assert.hpp"
 
 namespace fpart {
@@ -21,6 +23,42 @@ GainBucket::GainBucket(std::size_t universe, int max_gain)
       prev_(universe, kNil),
       gain_of_(universe, kAbsent) {}
 
+GainBucket::~GainBucket() { flush_stats(); }
+
+GainBucket::GainBucket(GainBucket&& other) noexcept
+    : max_gain_(other.max_gain_),
+      size_(other.size_),
+      best_(other.best_),
+      head_(std::move(other.head_)),
+      next_(std::move(other.next_)),
+      prev_(std::move(other.prev_)),
+      gain_of_(std::move(other.gain_of_)),
+      pushes_(std::exchange(other.pushes_, 0)),
+      pops_(std::exchange(other.pops_, 0)) {}
+
+GainBucket& GainBucket::operator=(GainBucket&& other) noexcept {
+  if (this != &other) {
+    flush_stats();
+    max_gain_ = other.max_gain_;
+    size_ = other.size_;
+    best_ = other.best_;
+    head_ = std::move(other.head_);
+    next_ = std::move(other.next_);
+    prev_ = std::move(other.prev_);
+    gain_of_ = std::move(other.gain_of_);
+    pushes_ = std::exchange(other.pushes_, 0);
+    pops_ = std::exchange(other.pops_, 0);
+  }
+  return *this;
+}
+
+void GainBucket::flush_stats() {
+  if (pushes_ != 0) FPART_COUNTER_ADD("fm.bucket_pushes", pushes_);
+  if (pops_ != 0) FPART_COUNTER_ADD("fm.bucket_pops", pops_);
+  pushes_ = 0;
+  pops_ = 0;
+}
+
 int GainBucket::clamp(int gain) const {
   return std::clamp(gain, -max_gain_, max_gain_);
 }
@@ -33,6 +71,7 @@ int GainBucket::gain(std::uint32_t id) const {
 void GainBucket::insert(std::uint32_t id, int gain) {
   FPART_REQUIRE(id < gain_of_.size(), "insert: id out of universe");
   FPART_REQUIRE(!contains(id), "insert: id already present");
+  ++pushes_;
   gain = clamp(gain);
   gain_of_[id] = gain;
   const std::size_t slot = offset(gain);
@@ -46,6 +85,7 @@ void GainBucket::insert(std::uint32_t id, int gain) {
 
 void GainBucket::remove(std::uint32_t id) {
   FPART_REQUIRE(contains(id), "remove: id not present");
+  ++pops_;
   const std::size_t slot = offset(gain_of_[id]);
   if (prev_[id] != kNil) {
     next_[prev_[id]] = next_[id];

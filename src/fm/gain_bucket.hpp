@@ -21,6 +21,19 @@ class GainBucket {
   /// `universe` ids in [0, universe); gains clamped to [-max_gain, max_gain].
   GainBucket(std::size_t universe, int max_gain);
 
+  // Push/pop tallies are batched in plain members (the insert/remove
+  // paths are the hottest loops in the repo — no atomics there) and
+  // flushed to the obs registry on destruction / move-assignment.
+  ~GainBucket();
+  GainBucket(GainBucket&& other) noexcept;
+  GainBucket& operator=(GainBucket&& other) noexcept;
+  GainBucket(const GainBucket&) = delete;
+  GainBucket& operator=(const GainBucket&) = delete;
+
+  /// Adds the accumulated push/pop tallies to the "fm.bucket_pushes" /
+  /// "fm.bucket_pops" counters and zeroes the local tallies.
+  void flush_stats();
+
   bool contains(std::uint32_t id) const { return gain_of_[id] != kAbsent; }
   bool empty() const { return size_ == 0; }
   std::size_t size() const { return size_; }
@@ -68,6 +81,8 @@ class GainBucket {
   std::vector<std::uint32_t> next_;
   std::vector<std::uint32_t> prev_;
   std::vector<int> gain_of_;  // kAbsent when not present
+  std::uint64_t pushes_ = 0;  // flushed to the obs registry, see above
+  std::uint64_t pops_ = 0;
 
   static constexpr std::uint32_t kNil = ~0u;
 };

@@ -1,0 +1,81 @@
+// Minimal JSON support for the observability sinks: a streaming writer
+// (commas and escaping handled automatically) and a small recursive-
+// descent parser used by schema-stability tests and downstream tooling
+// that consumes run reports / BENCH_*.json files.
+//
+// Deliberately not a general-purpose JSON library: no comments, no
+// NaN/Inf (non-finite doubles serialize as null), UTF-8 passed through.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace fpart::obs {
+
+/// Escapes `s` for inclusion inside a JSON string literal (no quotes).
+std::string json_escape(std::string_view s);
+
+/// Streaming JSON writer. Usage:
+///   JsonWriter w;
+///   w.begin_object();
+///   w.key("k"); w.value(std::uint64_t{4});
+///   w.end_object();
+///   w.str();  // {"k":4}
+class JsonWriter {
+ public:
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+  void key(std::string_view k);
+  void value(std::string_view v);
+  void value(const char* v) { value(std::string_view(v)); }
+  void value(bool v);
+  void value(double v);
+  void value(std::uint64_t v);
+  void value(std::int64_t v);
+  void value(std::uint32_t v) { value(static_cast<std::uint64_t>(v)); }
+  void value(int v) { value(static_cast<std::int64_t>(v)); }
+  void null();
+
+  const std::string& str() const { return out_; }
+  std::string take() { return std::move(out_); }
+
+ private:
+  void comma();
+  std::string out_;
+  // One entry per open container: true once the first element landed.
+  std::vector<bool> needs_comma_;
+  bool after_key_ = false;
+};
+
+/// Parsed JSON value (owning tree). Object member order is preserved.
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  bool is_null() const { return type == Type::kNull; }
+  bool is_bool() const { return type == Type::kBool; }
+  bool is_number() const { return type == Type::kNumber; }
+  bool is_string() const { return type == Type::kString; }
+  bool is_array() const { return type == Type::kArray; }
+  bool is_object() const { return type == Type::kObject; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* find(std::string_view k) const;
+};
+
+/// Parses `text`; nullopt on any syntax error or trailing garbage.
+std::optional<JsonValue> json_parse(std::string_view text);
+
+}  // namespace fpart::obs

@@ -1,0 +1,133 @@
+#include "obs/phase.hpp"
+
+#include <chrono>
+#include <mutex>
+
+#include "util/timer.hpp"
+
+namespace fpart::obs {
+
+namespace {
+
+std::int64_t wall_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+PhaseNode& PhaseNode::child(std::string_view child_name) {
+  for (auto& c : children) {
+    if (c->name == child_name) return *c;
+  }
+  auto node = std::make_unique<PhaseNode>();
+  node->name = std::string(child_name);
+  node->parent = this;
+  children.push_back(std::move(node));
+  return *children.back();
+}
+
+struct PhaseForest::Impl {
+  std::mutex mu;
+  PhaseNode root;
+  PhaseNode* current = &root;
+};
+
+PhaseForest::PhaseForest() = default;
+
+PhaseForest& PhaseForest::instance() {
+  static PhaseForest forest;
+  return forest;
+}
+
+PhaseForest::Impl& PhaseForest::impl() const {
+  static Impl impl;
+  return impl;
+}
+
+PhaseNode* PhaseForest::enter(const char* name) {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mu);
+  PhaseNode& node = i.current->child(name);
+  i.current = &node;
+  return &node;
+}
+
+void PhaseForest::exit(PhaseNode* node, double wall_seconds,
+                       double cpu_seconds) {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mu);
+  node->wall_seconds += wall_seconds;
+  node->cpu_seconds += cpu_seconds;
+  ++node->count;
+  // Unwind to the node's parent even if inner phases leaked (they
+  // cannot with RAII, but stay defensive).
+  if (i.current == node && node->parent != nullptr) {
+    i.current = node->parent;
+  } else {
+    PhaseNode* p = i.current;
+    while (p != nullptr && p != node) p = p->parent;
+    i.current = (p != nullptr && p->parent != nullptr) ? p->parent : &i.root;
+  }
+}
+
+namespace {
+
+std::unique_ptr<PhaseNode> deep_copy(const PhaseNode& from,
+                                     PhaseNode* parent) {
+  auto node = std::make_unique<PhaseNode>();
+  node->name = from.name;
+  node->wall_seconds = from.wall_seconds;
+  node->cpu_seconds = from.cpu_seconds;
+  node->count = from.count;
+  node->parent = parent;
+  node->children.reserve(from.children.size());
+  for (const auto& c : from.children) {
+    node->children.push_back(deep_copy(*c, node.get()));
+  }
+  return node;
+}
+
+}  // namespace
+
+std::unique_ptr<PhaseNode> PhaseForest::snapshot() const {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mu);
+  return deep_copy(i.root, nullptr);
+}
+
+void PhaseForest::reset() {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mu);
+  i.root.children.clear();
+  i.root.wall_seconds = 0.0;
+  i.root.cpu_seconds = 0.0;
+  i.root.count = 0;
+  i.current = &i.root;
+}
+
+ScopedPhase::ScopedPhase(const char* name) {
+  if (!stats_enabled() && !trace_enabled()) return;
+  name_ = name;
+  node_ = PhaseForest::instance().enter(name);
+  wall_start_ns_ = wall_now_ns();
+  cpu_start_ = CpuTimer::now_seconds();
+}
+
+ScopedPhase::~ScopedPhase() {
+  if (node_ == nullptr) return;
+  const double wall =
+      static_cast<double>(wall_now_ns() - wall_start_ns_) * 1e-9;
+  const double cpu = CpuTimer::now_seconds() - cpu_start_;
+  PhaseForest::instance().exit(node_, wall, cpu);
+  if (trace_enabled()) {
+    const std::uint64_t dur_us =
+        static_cast<std::uint64_t>(wall * 1e6);
+    const std::uint64_t now_us = trace_now_us();
+    const std::uint64_t ts_us = now_us > dur_us ? now_us - dur_us : 0;
+    trace_record(name_, ts_us, dur_us);
+  }
+}
+
+}  // namespace fpart::obs

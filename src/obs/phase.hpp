@@ -1,0 +1,76 @@
+// RAII phase timers nesting into a process-wide phase tree.
+//
+// A ScopedPhase marks one named span of work ("fpart.run",
+// "fpart.bipartition", ...). Spans nest lexically; repeated entries of
+// the same name under the same parent merge into one node accumulating
+// wall/CPU time and an invocation count, so the tree stays small no
+// matter how many Algorithm-1 iterations run. Each span also lands in
+// the Chrome trace buffer (obs/trace.hpp) when tracing is on.
+//
+// Phases record when either stats or tracing are enabled; otherwise a
+// ScopedPhase is two relaxed loads and no allocation. The tree is meant
+// for the (single-threaded) partitioning pipeline: concurrent phase
+// entry from several threads is memory-safe but interleaves into one
+// tree arbitrarily.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/stats.hpp"
+#include "obs/trace.hpp"
+
+namespace fpart::obs {
+
+struct PhaseNode {
+  std::string name;
+  double wall_seconds = 0.0;
+  double cpu_seconds = 0.0;
+  std::uint64_t count = 0;  // completed entries
+  PhaseNode* parent = nullptr;
+  std::vector<std::unique_ptr<PhaseNode>> children;
+
+  /// Finds or creates the child named `child_name`.
+  PhaseNode& child(std::string_view child_name);
+};
+
+/// The process-wide phase tree. `root()` is a synthetic node whose
+/// children are the top-level phases (e.g. one "fpart.run" per run).
+class PhaseForest {
+ public:
+  static PhaseForest& instance();
+
+  PhaseNode* enter(const char* name);
+  void exit(PhaseNode* node, double wall_seconds, double cpu_seconds);
+
+  /// Drops all recorded phases.
+  void reset();
+
+  /// Deep copy of the tree for serialization (the live tree keeps
+  /// mutating while phases are open).
+  std::unique_ptr<PhaseNode> snapshot() const;
+
+ private:
+  PhaseForest();
+  struct Impl;
+  Impl& impl() const;
+};
+
+/// Times one phase; see file comment.
+class ScopedPhase {
+ public:
+  explicit ScopedPhase(const char* name);
+  ~ScopedPhase();
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+  PhaseNode* node_ = nullptr;
+  std::int64_t wall_start_ns_ = 0;
+  double cpu_start_ = 0.0;
+};
+
+}  // namespace fpart::obs

@@ -1,0 +1,157 @@
+#include "obs/stats.hpp"
+
+#include <bit>
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace fpart::obs {
+
+namespace detail {
+std::atomic<bool> g_stats_enabled{false};
+}
+
+void set_stats_enabled(bool enabled) {
+  detail::g_stats_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+namespace {
+
+std::size_t bucket_index(std::int64_t v) {
+  if (v <= 0) return 0;
+  const auto width = static_cast<std::size_t>(
+      std::bit_width(static_cast<std::uint64_t>(v)));
+  return width < Histogram::kNumBuckets ? width : Histogram::kNumBuckets - 1;
+}
+
+/// Relaxed CAS loop folding `v` into an atomic running extremum.
+template <typename Cmp>
+void fold_extremum(std::atomic<std::int64_t>& slot, std::int64_t v, Cmp cmp) {
+  std::int64_t cur = slot.load(std::memory_order_relaxed);
+  while (cmp(v, cur) &&
+         !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+void Histogram::record(std::int64_t v) {
+  // First sample seeds min/max; the seed race (two threads both seeing
+  // count 0) is benign because both then fold their value.
+  if (count_.fetch_add(1, std::memory_order_relaxed) == 0) {
+    min_.store(v, std::memory_order_relaxed);
+    max_.store(v, std::memory_order_relaxed);
+  } else {
+    fold_extremum(min_, v, [](std::int64_t a, std::int64_t b) { return a < b; });
+    fold_extremum(max_, v, [](std::int64_t a, std::int64_t b) { return a > b; });
+  }
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  buckets_[bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
+}
+
+std::int64_t Histogram::min() const {
+  return count() == 0 ? 0 : min_.load(std::memory_order_relaxed);
+}
+
+std::int64_t Histogram::max() const {
+  return count() == 0 ? 0 : max_.load(std::memory_order_relaxed);
+}
+
+double Histogram::mean() const {
+  const std::uint64_t n = count();
+  return n == 0 ? 0.0 : static_cast<double>(sum()) / static_cast<double>(n);
+}
+
+std::uint64_t Histogram::bucket(std::size_t i) const {
+  return i < kNumBuckets ? buckets_[i].load(std::memory_order_relaxed) : 0;
+}
+
+void Histogram::reset() {
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+}
+
+struct StatsRegistry::Impl {
+  mutable std::mutex mu;
+  // std::map keeps snapshots name-sorted; unique_ptr keeps references
+  // stable across rehash-free growth.
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms;
+};
+
+StatsRegistry& StatsRegistry::instance() {
+  static StatsRegistry registry;
+  return registry;
+}
+
+StatsRegistry::Impl& StatsRegistry::impl() const {
+  static Impl impl;
+  return impl;
+}
+
+Counter& StatsRegistry::counter(std::string_view name) {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mu);
+  auto it = i.counters.find(name);
+  if (it == i.counters.end()) {
+    it = i.counters.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Histogram& StatsRegistry::histogram(std::string_view name) {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mu);
+  auto it = i.histograms.find(name);
+  if (it == i.histograms.end()) {
+    it = i.histograms
+             .emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+void StatsRegistry::reset() {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mu);
+  for (auto& [name, c] : i.counters) c->reset();
+  for (auto& [name, h] : i.histograms) h->reset();
+}
+
+std::vector<CounterSnapshot> StatsRegistry::counters() const {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mu);
+  std::vector<CounterSnapshot> out;
+  out.reserve(i.counters.size());
+  for (const auto& [name, c] : i.counters) {
+    out.push_back(CounterSnapshot{name, c->value()});
+  }
+  return out;
+}
+
+std::vector<HistogramSnapshot> StatsRegistry::histograms() const {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mu);
+  std::vector<HistogramSnapshot> out;
+  out.reserve(i.histograms.size());
+  for (const auto& [name, h] : i.histograms) {
+    HistogramSnapshot s;
+    s.name = name;
+    s.count = h->count();
+    s.sum = h->sum();
+    s.min = h->min();
+    s.max = h->max();
+    s.buckets.resize(Histogram::kNumBuckets);
+    for (std::size_t b = 0; b < Histogram::kNumBuckets; ++b) {
+      s.buckets[b] = h->bucket(b);
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+}  // namespace fpart::obs

@@ -1,0 +1,152 @@
+// Process-wide statistics registry: named monotonic counters and value
+// histograms for the partitioning stack.
+//
+// Design constraints (the hot paths live inside FM/Sanchis inner loops):
+//   * increments are header-only and cost one relaxed atomic add when
+//     stats are enabled;
+//   * when disabled, an increment is a single relaxed bool load and a
+//     predictable branch (and compiles out entirely under
+//     FPART_OBS_DISABLE);
+//   * registration happens once per call site via a function-local
+//     static reference, so the registry mutex is off the hot path.
+//
+// Counter naming convention: "<layer>.<event>", e.g. "fm.moves_accepted",
+// "sanchis.pass_gain", "flow.augmenting_paths", "fpart.iterations" — see
+// docs/OBSERVABILITY.md for the full catalog.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fpart::obs {
+
+namespace detail {
+extern std::atomic<bool> g_stats_enabled;
+}
+
+/// True when counters/histograms/phase timers record. Relaxed load: the
+/// flag is a coarse on/off knob flipped by drivers, not a sync point.
+inline bool stats_enabled() {
+  return detail::g_stats_enabled.load(std::memory_order_relaxed);
+}
+
+/// Flips stat collection for the whole process.
+void set_stats_enabled(bool enabled);
+
+/// A monotonically increasing counter. Thread-safe (relaxed atomics).
+class Counter {
+ public:
+  void add(std::uint64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// A value histogram: count/sum/min/max plus power-of-two magnitude
+/// buckets (bucket i holds values v with bit_width(max(v,0)) == i,
+/// saturating at the last bucket). Thread-safe (relaxed atomics).
+class Histogram {
+ public:
+  static constexpr std::size_t kNumBuckets = 24;
+
+  void record(std::int64_t v);
+
+  std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  std::int64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  /// Min/max over recorded values; 0 when empty.
+  std::int64_t min() const;
+  std::int64_t max() const;
+  double mean() const;
+  std::uint64_t bucket(std::size_t i) const;
+
+  void reset();
+
+ private:
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::int64_t> sum_{0};
+  std::atomic<std::int64_t> min_{0};
+  std::atomic<std::int64_t> max_{0};
+  std::atomic<std::uint64_t> buckets_[kNumBuckets] = {};
+};
+
+struct CounterSnapshot {
+  std::string name;
+  std::uint64_t value = 0;
+};
+
+struct HistogramSnapshot {
+  std::string name;
+  std::uint64_t count = 0;
+  std::int64_t sum = 0;
+  std::int64_t min = 0;
+  std::int64_t max = 0;
+  std::vector<std::uint64_t> buckets;
+};
+
+/// The process-wide registry. Lookup is mutex-guarded; returned
+/// references stay valid for the process lifetime, so call sites cache
+/// them (the FPART_COUNTER_* macros do this automatically).
+class StatsRegistry {
+ public:
+  static StatsRegistry& instance();
+
+  Counter& counter(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  /// Zeroes every registered counter and histogram (names stay
+  /// registered — cached references remain valid).
+  void reset();
+
+  /// Point-in-time copies, sorted by name for deterministic output.
+  std::vector<CounterSnapshot> counters() const;
+  std::vector<HistogramSnapshot> histograms() const;
+
+ private:
+  StatsRegistry() = default;
+  struct Impl;
+  Impl& impl() const;
+};
+
+}  // namespace fpart::obs
+
+#if defined(FPART_OBS_DISABLE)
+
+#define FPART_COUNTER_ADD(name, n) ((void)0)
+#define FPART_COUNTER_INC(name) ((void)0)
+#define FPART_HISTOGRAM_RECORD(name, v) ((void)0)
+
+#else
+
+/// Adds `n` to the named counter when stats are enabled. The registry
+/// lookup runs at most once per call site (function-local static).
+#define FPART_COUNTER_ADD(name, n)                                     \
+  do {                                                                 \
+    if (::fpart::obs::stats_enabled()) {                               \
+      static ::fpart::obs::Counter& fpart_obs_counter_ref_ =           \
+          ::fpart::obs::StatsRegistry::instance().counter(name);       \
+      fpart_obs_counter_ref_.add(static_cast<std::uint64_t>(n));       \
+    }                                                                  \
+  } while (0)
+
+#define FPART_COUNTER_INC(name) FPART_COUNTER_ADD(name, 1)
+
+/// Records `v` into the named histogram when stats are enabled.
+#define FPART_HISTOGRAM_RECORD(name, v)                                \
+  do {                                                                 \
+    if (::fpart::obs::stats_enabled()) {                               \
+      static ::fpart::obs::Histogram& fpart_obs_hist_ref_ =            \
+          ::fpart::obs::StatsRegistry::instance().histogram(name);     \
+      fpart_obs_hist_ref_.record(static_cast<std::int64_t>(v));        \
+    }                                                                  \
+  } while (0)
+
+#endif  // FPART_OBS_DISABLE

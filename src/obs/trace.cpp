@@ -1,0 +1,148 @@
+#include "obs/trace.hpp"
+
+#include <chrono>
+#include <fstream>
+#include <mutex>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "util/assert.hpp"
+
+namespace fpart::obs {
+
+namespace detail {
+std::atomic<bool> g_trace_enabled{false};
+}
+
+namespace {
+
+struct TraceEvent {
+  const char* name;
+  std::uint64_t ts_us;
+  std::uint64_t dur_us;
+};
+
+struct TraceBuffer {
+  // ~48 MB worst case; a full FPART run on the big MCNC circuits emits
+  // far fewer phase spans than this.
+  static constexpr std::size_t kMaxEvents = 1u << 21;
+
+  std::mutex mu;
+  std::vector<TraceEvent> events;
+  std::uint64_t dropped = 0;
+  std::chrono::steady_clock::time_point epoch{};
+  bool epoch_set = false;
+};
+
+TraceBuffer& buffer() {
+  static TraceBuffer b;
+  return b;
+}
+
+}  // namespace
+
+void set_trace_enabled(bool enabled) {
+  if (enabled) {
+    TraceBuffer& b = buffer();
+    std::lock_guard<std::mutex> lock(b.mu);
+    if (!b.epoch_set) {
+      b.epoch = std::chrono::steady_clock::now();
+      b.epoch_set = true;
+    }
+  }
+  detail::g_trace_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+std::uint64_t trace_now_us() {
+  TraceBuffer& b = buffer();
+  std::lock_guard<std::mutex> lock(b.mu);
+  if (!b.epoch_set) return 0;
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - b.epoch)
+          .count());
+}
+
+void trace_record(const char* name, std::uint64_t ts_us,
+                  std::uint64_t dur_us) {
+  TraceBuffer& b = buffer();
+  std::lock_guard<std::mutex> lock(b.mu);
+  if (b.events.size() >= TraceBuffer::kMaxEvents) {
+    ++b.dropped;
+    return;
+  }
+  b.events.push_back(TraceEvent{name, ts_us, dur_us});
+}
+
+std::uint64_t trace_dropped() {
+  TraceBuffer& b = buffer();
+  std::lock_guard<std::mutex> lock(b.mu);
+  return b.dropped;
+}
+
+void trace_reset() {
+  TraceBuffer& b = buffer();
+  std::lock_guard<std::mutex> lock(b.mu);
+  b.events.clear();
+  b.dropped = 0;
+}
+
+std::string trace_json() {
+  TraceBuffer& b = buffer();
+  std::lock_guard<std::mutex> lock(b.mu);
+  JsonWriter w;
+  w.begin_object();
+  w.key("traceEvents");
+  w.begin_array();
+  // One process/thread naming metadata event keeps Perfetto's track
+  // label readable.
+  w.begin_object();
+  w.key("name");
+  w.value("process_name");
+  w.key("ph");
+  w.value("M");
+  w.key("pid");
+  w.value(std::uint64_t{0});
+  w.key("tid");
+  w.value(std::uint64_t{0});
+  w.key("args");
+  w.begin_object();
+  w.key("name");
+  w.value("fpart");
+  w.end_object();
+  w.end_object();
+  for (const TraceEvent& e : b.events) {
+    w.begin_object();
+    w.key("name");
+    w.value(e.name);
+    w.key("ph");
+    w.value("X");
+    w.key("ts");
+    w.value(e.ts_us);
+    w.key("dur");
+    w.value(e.dur_us);
+    w.key("pid");
+    w.value(std::uint64_t{0});
+    w.key("tid");
+    w.value(std::uint64_t{0});
+    w.end_object();
+  }
+  w.end_array();
+  w.key("displayTimeUnit");
+  w.value("ms");
+  if (b.dropped != 0) {
+    w.key("fpartDroppedEvents");
+    w.value(b.dropped);
+  }
+  w.end_object();
+  return w.take();
+}
+
+void write_trace_file(const std::string& path) {
+  std::ofstream os(path);
+  FPART_REQUIRE(os.good(), "cannot write trace file " + path);
+  os << trace_json();
+  FPART_REQUIRE(os.good(), "write failed for trace file " + path);
+}
+
+}  // namespace fpart::obs

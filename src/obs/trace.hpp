@@ -1,0 +1,48 @@
+// Chrome trace_event output: every completed ScopedPhase becomes one
+// complete ("ph":"X") event, so a --trace file opens directly in
+// chrome://tracing or https://ui.perfetto.dev.
+//
+// Tracing is off by default and independent of the stats flag: stats are
+// cheap aggregates, a trace grows with every span. The buffer is capped;
+// beyond the cap events are counted as dropped rather than grown.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace fpart::obs {
+
+namespace detail {
+extern std::atomic<bool> g_trace_enabled;
+}
+
+inline bool trace_enabled() {
+  return detail::g_trace_enabled.load(std::memory_order_relaxed);
+}
+
+/// Enables/disables trace capture. The first enable pins the trace
+/// epoch; timestamps are microseconds since that epoch.
+void set_trace_enabled(bool enabled);
+
+/// Microseconds since the trace epoch (0 before the first enable).
+std::uint64_t trace_now_us();
+
+/// Appends one complete event. `name` must outlive the buffer (phase
+/// names are string literals).
+void trace_record(const char* name, std::uint64_t ts_us,
+                  std::uint64_t dur_us);
+
+/// Events discarded because the buffer cap was hit.
+std::uint64_t trace_dropped();
+
+/// Drops all buffered events (keeps the epoch and enabled state).
+void trace_reset();
+
+/// Serializes the buffer in Chrome trace_event JSON object format.
+std::string trace_json();
+
+/// Writes trace_json() to `path`. Throws PreconditionError on IO error.
+void write_trace_file(const std::string& path);
+
+}  // namespace fpart::obs

@@ -1,0 +1,187 @@
+#include "report/run_report.hpp"
+
+#include <fstream>
+
+#include "obs/json.hpp"
+#include "obs/phase.hpp"
+#include "obs/stats.hpp"
+#include "util/assert.hpp"
+
+namespace fpart {
+
+namespace {
+
+using obs::JsonWriter;
+
+void write_meta(JsonWriter& w, const RunMeta& meta) {
+  w.begin_object();
+  w.key("circuit");
+  w.value(meta.circuit);
+  w.key("device");
+  w.value(meta.device);
+  w.key("method");
+  w.value(meta.method);
+  w.key("seed");
+  w.value(meta.seed);
+  w.end_object();
+}
+
+void write_result(JsonWriter& w, const PartitionResult& r) {
+  w.begin_object();
+  w.key("feasible");
+  w.value(r.feasible);
+  w.key("k");
+  w.value(r.k);
+  w.key("lower_bound");
+  w.value(r.lower_bound);
+  w.key("cut");
+  w.value(r.cut);
+  w.key("km1");
+  w.value(r.km1);
+  w.key("iterations");
+  w.value(r.iterations);
+  w.key("seconds");
+  w.value(r.seconds);
+  w.key("cpu_seconds");
+  w.value(r.cpu_seconds);
+  w.key("blocks");
+  w.begin_array();
+  for (const BlockStats& b : r.blocks) {
+    w.begin_object();
+    w.key("size");
+    w.value(b.size);
+    w.key("pins");
+    w.value(b.pins);
+    w.key("ext");
+    w.value(b.ext);
+    w.key("nodes");
+    w.value(b.nodes);
+    w.key("feasible");
+    w.value(b.feasible);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+void write_registry(JsonWriter& w) {
+  const auto& registry = obs::StatsRegistry::instance();
+  w.key("counters");
+  w.begin_object();
+  for (const auto& c : registry.counters()) {
+    w.key(c.name);
+    w.value(c.value);
+  }
+  w.end_object();
+  w.key("histograms");
+  w.begin_object();
+  for (const auto& h : registry.histograms()) {
+    w.key(h.name);
+    w.begin_object();
+    w.key("count");
+    w.value(h.count);
+    w.key("sum");
+    w.value(h.sum);
+    w.key("min");
+    w.value(h.min);
+    w.key("max");
+    w.value(h.max);
+    w.key("mean");
+    w.value(h.count == 0
+                ? 0.0
+                : static_cast<double>(h.sum) / static_cast<double>(h.count));
+    w.key("buckets");
+    w.begin_array();
+    for (const std::uint64_t b : h.buckets) w.value(b);
+    w.end_array();
+    w.end_object();
+  }
+  w.end_object();
+}
+
+void write_phase(JsonWriter& w, const obs::PhaseNode& node) {
+  w.begin_object();
+  w.key("name");
+  w.value(node.name);
+  w.key("wall_seconds");
+  w.value(node.wall_seconds);
+  w.key("cpu_seconds");
+  w.value(node.cpu_seconds);
+  w.key("count");
+  w.value(node.count);
+  w.key("children");
+  w.begin_array();
+  for (const auto& c : node.children) write_phase(w, *c);
+  w.end_array();
+  w.end_object();
+}
+
+void write_phases(JsonWriter& w) {
+  const auto root = obs::PhaseForest::instance().snapshot();
+  w.key("phases");
+  w.begin_array();
+  for (const auto& top : root->children) write_phase(w, *top);
+  w.end_array();
+}
+
+void write_file(const std::string& path, const std::string& body) {
+  std::ofstream os(path);
+  FPART_REQUIRE(os.good(), "cannot write report file " + path);
+  os << body;
+  FPART_REQUIRE(os.good(), "write failed for report file " + path);
+}
+
+}  // namespace
+
+std::string run_report_json(const RunMeta& meta, const PartitionResult& r) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("schema");
+  w.value(kRunReportSchema);
+  w.key("meta");
+  write_meta(w, meta);
+  w.key("result");
+  write_result(w, r);
+  write_registry(w);
+  write_phases(w);
+  w.end_object();
+  return w.take();
+}
+
+void write_run_report_file(const std::string& path, const RunMeta& meta,
+                           const PartitionResult& r) {
+  write_file(path, run_report_json(meta, r));
+}
+
+std::string bench_report_json(std::string_view bench_name,
+                              std::span<const RunRecord> records) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("schema");
+  w.value(kBenchReportSchema);
+  w.key("bench");
+  w.value(bench_name);
+  w.key("records");
+  w.begin_array();
+  for (const RunRecord& rec : records) {
+    w.begin_object();
+    w.key("meta");
+    write_meta(w, rec.meta);
+    w.key("result");
+    write_result(w, rec.result);
+    w.end_object();
+  }
+  w.end_array();
+  write_registry(w);
+  write_phases(w);
+  w.end_object();
+  return w.take();
+}
+
+void write_bench_report_file(const std::string& path,
+                             std::string_view bench_name,
+                             std::span<const RunRecord> records) {
+  write_file(path, bench_report_json(bench_name, records));
+}
+
+}  // namespace fpart

@@ -1,0 +1,61 @@
+// Machine-readable run reports: the stable JSON schema every perf PR is
+// judged against.
+//
+// Two document kinds share the same record shape:
+//   * fpart-run-report/1 — one partitioning run (fpart_cli --stats-json):
+//     meta + result + the full obs registry (counters, histograms) +
+//     the phase tree.
+//   * fpart-bench/1 — one bench binary invocation (BENCH_*.json): a
+//     `records` array of per-run results plus the aggregate registry.
+//
+// Schema notes: the per-node `assignment` vector is intentionally NOT
+// serialized (it is O(circuit) and belongs in --parts files); adding
+// keys is allowed, removing or re-typing existing keys is a breaking
+// change guarded by tests/obs_schema_test.cpp.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "core/result.hpp"
+
+namespace fpart {
+
+inline constexpr const char* kRunReportSchema = "fpart-run-report/1";
+inline constexpr const char* kBenchReportSchema = "fpart-bench/1";
+
+/// Identity of one measured run.
+struct RunMeta {
+  std::string circuit;  // circuit name or input path
+  std::string device;
+  std::string method;   // fpart | clustered | kwayx | fbb | ...
+  std::uint64_t seed = 0;
+};
+
+struct RunRecord {
+  RunMeta meta;
+  PartitionResult result;
+};
+
+/// Serializes one run as a fpart-run-report/1 document, embedding the
+/// current obs registry and phase tree.
+std::string run_report_json(const RunMeta& meta, const PartitionResult& r);
+
+/// Writes run_report_json() to `path`. Throws PreconditionError on IO
+/// error.
+void write_run_report_file(const std::string& path, const RunMeta& meta,
+                           const PartitionResult& r);
+
+/// Serializes a bench invocation as a fpart-bench/1 document.
+/// `bench_name` identifies the binary/table ("table2_xc3020", ...).
+std::string bench_report_json(std::string_view bench_name,
+                              std::span<const RunRecord> records);
+
+/// Writes bench_report_json() to `path`.
+void write_bench_report_file(const std::string& path,
+                             std::string_view bench_name,
+                             std::span<const RunRecord> records);
+
+}  // namespace fpart

@@ -1,10 +1,13 @@
 #include "sanchis/refiner.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 
 #include "fm/gains.hpp"
 #include "fm/repair.hpp"
+#include "obs/phase.hpp"
+#include "obs/stats.hpp"
 #include "util/assert.hpp"
 
 namespace fpart {
@@ -204,6 +207,7 @@ MultiwayRefiner::Candidate MultiwayRefiner::select_move(
 
 bool MultiwayRefiner::pass(const MoveRegion& region, bool collect_stacks,
                            RefineStats* stats) {
+  FPART_COUNTER_INC("sanchis.passes");
   const Hypergraph& h = p_.graph();
   const SolutionEval start = eval_.evaluate(p_, remainder_);
   SolutionEval best = start;
@@ -267,6 +271,16 @@ bool MultiwayRefiner::pass(const MoveRegion& region, bool collect_stacks,
   for (std::size_t i = log.size(); i > best_len; --i) {
     p_.move(log[i - 1].first, log[i - 1].second);
   }
+  // Counters are batched per pass; the per-move inner loop stays free of
+  // atomics (see docs/OBSERVABILITY.md, overhead budget).
+  FPART_COUNTER_ADD("sanchis.moves", log.size());
+  FPART_COUNTER_ADD("sanchis.moves_rolled_back", log.size() - best_len);
+  // Pass gain in the T_SUM key of the lexicographic order (the only
+  // integral objective component): positive = fewer total I/O pins.
+  FPART_HISTOGRAM_RECORD(
+      "sanchis.pass_gain",
+      static_cast<std::int64_t>(start.total_pins) -
+          static_cast<std::int64_t>(best.total_pins));
 
   if (collect_stacks && config_.stack_depth > 0 &&
       best.feasible_blocks + 1 >= best.num_blocks) {
@@ -294,6 +308,19 @@ SolutionEval MultiwayRefiner::improve(std::span<const BlockId> blocks,
   FPART_REQUIRE(blocks.size() >= 2, "improve needs at least two blocks");
   FPART_REQUIRE(region.lo.size() == p_.num_blocks(),
                 "move region size mismatch");
+  const obs::ScopedPhase phase("sanchis.improve");
+  FPART_COUNTER_INC("sanchis.improve_calls");
+  FPART_HISTOGRAM_RECORD("sanchis.active_blocks", blocks.size());
+  if (obs::stats_enabled()) {
+    // Move-region width per active block; the remainder's +inf window is
+    // skipped (it would poison the histogram).
+    for (const BlockId b : blocks) {
+      if (std::isfinite(region.hi[b])) {
+        FPART_HISTOGRAM_RECORD("sanchis.move_region_size",
+                               region.hi[b] - region.lo[b]);
+      }
+    }
+  }
 
   active_.assign(blocks.begin(), blocks.end());
   active_index_.assign(p_.num_blocks(), kNone);
@@ -339,6 +366,7 @@ SolutionEval MultiwayRefiner::improve(std::span<const BlockId> blocks,
     for (const auto& entry : starts) {
       p_.restore(entry.snapshot);
       if (stats != nullptr) ++stats->restarts;
+      FPART_COUNTER_INC("sanchis.stack_rewinds");
       run_series(region, /*collect_stacks=*/false, stats);
     }
   }

@@ -1,13 +1,14 @@
 #include "util/log.hpp"
 
-#include <atomic>
 #include <cstdio>
 
 namespace fpart {
 
-namespace {
-std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+namespace detail {
+std::atomic<int> g_log_level{static_cast<int>(LogLevel::kWarn)};
+}
 
+namespace {
 const char* level_tag(LogLevel level) {
   switch (level) {
     case LogLevel::kError:
@@ -24,16 +25,20 @@ const char* level_tag(LogLevel level) {
 }  // namespace
 
 void set_log_level(LogLevel level) {
-  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
-}
-
-LogLevel log_level() {
-  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+  detail::g_log_level.store(static_cast<int>(level),
+                            std::memory_order_relaxed);
 }
 
 namespace detail {
 void log_line(LogLevel level, const std::string& msg) {
-  std::fprintf(stderr, "[fpart %s] %s\n", level_tag(level), msg.c_str());
+  std::string line;
+  line.reserve(msg.size() + 16);
+  line += "[fpart ";
+  line += level_tag(level);
+  line += "] ";
+  line += msg;
+  line += '\n';
+  std::fwrite(line.data(), 1, line.size(), stderr);
 }
 }  // namespace detail
 

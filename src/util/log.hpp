@@ -5,6 +5,7 @@
 // (examples/benches expose --verbose).
 #pragma once
 
+#include <atomic>
 #include <sstream>
 #include <string>
 
@@ -12,12 +13,23 @@ namespace fpart {
 
 enum class LogLevel : int { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
 
+namespace detail {
+// The level lives in an atomic so concurrent set_log_level/log_level
+// calls are race-free; relaxed ordering suffices for a verbosity knob.
+// Exposed here so the FPART_LOG level check inlines to one relaxed load.
+extern std::atomic<int> g_log_level;
+
+// Assembles the full line and writes it with a single fwrite, so lines
+// from concurrent threads never interleave mid-line.
+void log_line(LogLevel level, const std::string& msg);
+}  // namespace detail
+
 /// Sets the global verbosity. Messages above this level are discarded.
 void set_log_level(LogLevel level);
-LogLevel log_level();
 
-namespace detail {
-void log_line(LogLevel level, const std::string& msg);
+inline LogLevel log_level() {
+  return static_cast<LogLevel>(
+      detail::g_log_level.load(std::memory_order_relaxed));
 }
 
 /// Stream-style logging: FPART_LOG(kInfo) << "k=" << k;

@@ -1,8 +1,20 @@
-// Wall-clock stopwatch used for the Table 6 CPU-time reproduction and for
+// Stopwatches used for the Table 6 CPU-time reproduction and for
 // per-phase timing in the partitioner result.
+//
+// Timer measures wall clock (steady_clock); CpuTimer measures process
+// CPU time (user + system via getrusage where available, std::clock
+// otherwise) — the paper's Table 6 reports CPU seconds, so results carry
+// both.
 #pragma once
 
 #include <chrono>
+#include <ctime>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define FPART_HAS_GETRUSAGE 1
+#include <sys/resource.h>
+#include <sys/time.h>
+#endif
 
 namespace fpart {
 
@@ -24,6 +36,37 @@ class Timer {
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
+};
+
+/// Process CPU-time stopwatch (user + system time of this process).
+class CpuTimer {
+ public:
+  CpuTimer() : start_(now_seconds()) {}
+
+  /// Restarts the stopwatch.
+  void reset() { start_ = now_seconds(); }
+
+  /// CPU seconds consumed by the process since construction/reset().
+  double elapsed_seconds() const { return now_seconds() - start_; }
+
+  /// Absolute process CPU time in seconds (monotone within a process).
+  static double now_seconds() {
+#if defined(FPART_HAS_GETRUSAGE)
+    struct rusage usage {};
+    if (getrusage(RUSAGE_SELF, &usage) == 0) {
+      const auto tv_seconds = [](const timeval& tv) {
+        return static_cast<double>(tv.tv_sec) +
+               static_cast<double>(tv.tv_usec) * 1e-6;
+      };
+      return tv_seconds(usage.ru_utime) + tv_seconds(usage.ru_stime);
+    }
+#endif
+    return static_cast<double>(std::clock()) /
+           static_cast<double>(CLOCKS_PER_SEC);
+  }
+
+ private:
+  double start_;
 };
 
 }  // namespace fpart

@@ -1,0 +1,185 @@
+// Golden/schema-stability test for the observability JSON sinks: runs
+// the real FPART pipeline with stats enabled and asserts the emitted
+// fpart-run-report/1 and fpart-bench/1 documents parse and carry every
+// key downstream tooling depends on. Removing or re-typing a key here
+// is a breaking schema change — bump the schema version instead.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "baselines/kwayx.hpp"
+#include "core/fpart.hpp"
+#include "device/xilinx.hpp"
+#include "netlist/mcnc.hpp"
+#include "obs/json.hpp"
+#include "obs/phase.hpp"
+#include "obs/stats.hpp"
+#include "obs/trace.hpp"
+#include "report/run_report.hpp"
+
+namespace fpart {
+namespace {
+
+using obs::JsonValue;
+
+// Asserts `parent[key]` exists with the given type and returns it.
+const JsonValue& require(const JsonValue& parent, std::string_view key,
+                         JsonValue::Type type) {
+  const JsonValue* v = parent.find(key);
+  EXPECT_NE(v, nullptr) << "missing key: " << key;
+  if (v == nullptr) std::abort();
+  EXPECT_EQ(static_cast<int>(v->type), static_cast<int>(type))
+      << "wrong type for key: " << key;
+  return *v;
+}
+
+class ObsSchemaTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::StatsRegistry::instance().reset();
+    obs::PhaseForest::instance().reset();
+    obs::trace_reset();
+    obs::set_stats_enabled(true);
+  }
+  void TearDown() override {
+    obs::set_stats_enabled(false);
+    obs::StatsRegistry::instance().reset();
+    obs::PhaseForest::instance().reset();
+    obs::trace_reset();
+  }
+};
+
+TEST_F(ObsSchemaTest, RunReportIsParseableAndSchemaStable) {
+  const Device d = xilinx::xc3042();
+  const Hypergraph h = mcnc::generate("s9234", d.family());
+  const PartitionResult r = FpartPartitioner().run(h, d);
+
+  RunMeta meta;
+  meta.circuit = "s9234";
+  meta.device = d.name();
+  meta.method = "fpart";
+  meta.seed = 1;
+
+  const std::string text = run_report_json(meta, r);
+  const auto parsed = obs::json_parse(text);
+  ASSERT_TRUE(parsed.has_value()) << "run report is not valid JSON";
+  const JsonValue& doc = *parsed;
+
+  EXPECT_EQ(require(doc, "schema", JsonValue::Type::kString).string,
+            kRunReportSchema);
+
+  const JsonValue& m = require(doc, "meta", JsonValue::Type::kObject);
+  EXPECT_EQ(require(m, "circuit", JsonValue::Type::kString).string, "s9234");
+  require(m, "device", JsonValue::Type::kString);
+  EXPECT_EQ(require(m, "method", JsonValue::Type::kString).string, "fpart");
+  require(m, "seed", JsonValue::Type::kNumber);
+
+  const JsonValue& res = require(doc, "result", JsonValue::Type::kObject);
+  require(res, "feasible", JsonValue::Type::kBool);
+  EXPECT_EQ(require(res, "k", JsonValue::Type::kNumber).number, double(r.k));
+  require(res, "lower_bound", JsonValue::Type::kNumber);
+  EXPECT_EQ(require(res, "cut", JsonValue::Type::kNumber).number,
+            double(r.cut));
+  require(res, "km1", JsonValue::Type::kNumber);
+  EXPECT_GT(require(res, "iterations", JsonValue::Type::kNumber).number, 0.0);
+  require(res, "seconds", JsonValue::Type::kNumber);
+  require(res, "cpu_seconds", JsonValue::Type::kNumber);
+  const JsonValue& blocks = require(res, "blocks", JsonValue::Type::kArray);
+  ASSERT_EQ(blocks.array.size(), r.k);
+  for (const JsonValue& b : blocks.array) {
+    require(b, "size", JsonValue::Type::kNumber);
+    require(b, "pins", JsonValue::Type::kNumber);
+    require(b, "ext", JsonValue::Type::kNumber);
+    require(b, "nodes", JsonValue::Type::kNumber);
+    require(b, "feasible", JsonValue::Type::kBool);
+  }
+
+  // The instrumented pipeline must have recorded real work.
+  const JsonValue& counters =
+      require(doc, "counters", JsonValue::Type::kObject);
+  const auto counter_value = [&counters](std::string_view name) -> double {
+    const JsonValue* v = counters.find(name);
+    return (v != nullptr && v->is_number()) ? v->number : 0.0;
+  };
+  EXPECT_GT(counter_value("fpart.iterations"), 0.0);
+  EXPECT_GT(counter_value("fm.bucket_pushes"), 0.0);
+  EXPECT_GT(counter_value("fm.bucket_pops"), 0.0);
+  EXPECT_GT(counter_value("sanchis.passes"), 0.0);
+  EXPECT_GT(counter_value("sanchis.moves"), 0.0);
+  EXPECT_GT(counter_value("sanchis.improve_calls"), 0.0);
+
+  const JsonValue& hists =
+      require(doc, "histograms", JsonValue::Type::kObject);
+  const JsonValue* remainder = hists.find("fpart.remainder_size");
+  ASSERT_NE(remainder, nullptr);
+  require(*remainder, "count", JsonValue::Type::kNumber);
+  require(*remainder, "sum", JsonValue::Type::kNumber);
+  require(*remainder, "min", JsonValue::Type::kNumber);
+  require(*remainder, "max", JsonValue::Type::kNumber);
+  require(*remainder, "mean", JsonValue::Type::kNumber);
+  require(*remainder, "buckets", JsonValue::Type::kArray);
+
+  // Phase tree: the root phase is the whole run and its wall time must
+  // agree with PartitionResult::seconds to within 5%.
+  const JsonValue& phases = require(doc, "phases", JsonValue::Type::kArray);
+  ASSERT_FALSE(phases.array.empty());
+  const JsonValue& root = phases.array[0];
+  EXPECT_EQ(require(root, "name", JsonValue::Type::kString).string,
+            "fpart.run");
+  const double root_wall =
+      require(root, "wall_seconds", JsonValue::Type::kNumber).number;
+  require(root, "cpu_seconds", JsonValue::Type::kNumber);
+  require(root, "count", JsonValue::Type::kNumber);
+  require(root, "children", JsonValue::Type::kArray);
+  EXPECT_LE(std::abs(root_wall - r.seconds),
+            0.05 * r.seconds + 1e-4)
+      << "root phase wall=" << root_wall << " vs result=" << r.seconds;
+}
+
+TEST_F(ObsSchemaTest, BenchReportIsParseableAndSchemaStable) {
+  const Device d = xilinx::xc3020();
+  const Hypergraph h = mcnc::generate("c3540", d.family());
+  RunRecord rec;
+  rec.meta = RunMeta{"c3540", d.name(), "kwayx", 0};
+  rec.result = KwayxPartitioner().run(h, d);
+  rec.result.assignment.clear();  // bench records drop the assignment
+  const std::vector<RunRecord> records{rec, rec};
+
+  const auto parsed =
+      obs::json_parse(bench_report_json("obs_schema_test", records));
+  ASSERT_TRUE(parsed.has_value()) << "bench report is not valid JSON";
+  const JsonValue& doc = *parsed;
+
+  EXPECT_EQ(require(doc, "schema", JsonValue::Type::kString).string,
+            kBenchReportSchema);
+  EXPECT_EQ(require(doc, "bench", JsonValue::Type::kString).string,
+            "obs_schema_test");
+  const JsonValue& recs = require(doc, "records", JsonValue::Type::kArray);
+  ASSERT_EQ(recs.array.size(), 2u);
+  for (const JsonValue& rj : recs.array) {
+    const JsonValue& m = require(rj, "meta", JsonValue::Type::kObject);
+    EXPECT_EQ(require(m, "circuit", JsonValue::Type::kString).string,
+              "c3540");
+    const JsonValue& res = require(rj, "result", JsonValue::Type::kObject);
+    require(res, "k", JsonValue::Type::kNumber);
+    require(res, "cut", JsonValue::Type::kNumber);
+    require(res, "blocks", JsonValue::Type::kArray);
+  }
+  // kwayx bipartitions with classic FM, so the fm.* pass/move counters
+  // must have fired.
+  const JsonValue& counters =
+      require(doc, "counters", JsonValue::Type::kObject);
+  const JsonValue* fm_passes = counters.find("fm.passes");
+  ASSERT_NE(fm_passes, nullptr);
+  EXPECT_GT(fm_passes->number, 0.0);
+  const JsonValue* fm_moves = counters.find("fm.moves_attempted");
+  ASSERT_NE(fm_moves, nullptr);
+  EXPECT_GT(fm_moves->number, 0.0);
+  require(doc, "histograms", JsonValue::Type::kObject);
+  require(doc, "phases", JsonValue::Type::kArray);
+}
+
+}  // namespace
+}  // namespace fpart

@@ -1,0 +1,261 @@
+// Unit tests for the observability subsystem: counter/histogram
+// registration and reset, the disabled fast path, nested ScopedPhase
+// accounting, JSON writer/parser round-trips and the run-report schema.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+
+#include "core/result.hpp"
+#include "obs/json.hpp"
+#include "obs/phase.hpp"
+#include "obs/stats.hpp"
+#include "obs/trace.hpp"
+#include "report/run_report.hpp"
+
+namespace fpart {
+namespace {
+
+using obs::JsonValue;
+using obs::PhaseForest;
+using obs::ScopedPhase;
+using obs::StatsRegistry;
+
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    StatsRegistry::instance().reset();
+    PhaseForest::instance().reset();
+    obs::trace_reset();
+    obs::set_stats_enabled(true);
+  }
+  void TearDown() override {
+    obs::set_stats_enabled(false);
+    obs::set_trace_enabled(false);
+    StatsRegistry::instance().reset();
+    PhaseForest::instance().reset();
+    obs::trace_reset();
+  }
+};
+
+TEST_F(ObsTest, CounterRegistersAndAccumulates) {
+  auto& c = StatsRegistry::instance().counter("obs_test.alpha");
+  EXPECT_EQ(c.value(), 0u);
+  c.add(3);
+  c.add(4);
+  EXPECT_EQ(c.value(), 7u);
+  // Same name resolves to the same counter.
+  EXPECT_EQ(&StatsRegistry::instance().counter("obs_test.alpha"), &c);
+  EXPECT_EQ(StatsRegistry::instance().counter("obs_test.alpha").value(), 7u);
+}
+
+TEST_F(ObsTest, RegistryResetZeroesButKeepsRegistration) {
+  auto& c = StatsRegistry::instance().counter("obs_test.reset_me");
+  c.add(11);
+  auto& h = StatsRegistry::instance().histogram("obs_test.reset_hist");
+  h.record(5);
+  StatsRegistry::instance().reset();
+  EXPECT_EQ(c.value(), 0u);  // cached reference stays valid
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+  bool found = false;
+  for (const auto& snap : StatsRegistry::instance().counters()) {
+    if (snap.name == "obs_test.reset_me") found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(ObsTest, HistogramTracksSummaryAndBuckets) {
+  auto& h = StatsRegistry::instance().histogram("obs_test.hist");
+  h.record(1);
+  h.record(10);
+  h.record(-4);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.sum(), 7);
+  EXPECT_EQ(h.min(), -4);
+  EXPECT_EQ(h.max(), 10);
+  EXPECT_DOUBLE_EQ(h.mean(), 7.0 / 3.0);
+  // 1 -> bucket 1 (bit_width 1), 10 -> bucket 4, -4 -> bucket 0.
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.bucket(4), 1u);
+}
+
+TEST_F(ObsTest, MacrosCountWhenEnabled) {
+  FPART_COUNTER_INC("obs_test.macro_counter");
+  FPART_COUNTER_ADD("obs_test.macro_counter", 4);
+  FPART_HISTOGRAM_RECORD("obs_test.macro_hist", 9);
+  EXPECT_EQ(
+      StatsRegistry::instance().counter("obs_test.macro_counter").value(),
+      5u);
+  EXPECT_EQ(StatsRegistry::instance().histogram("obs_test.macro_hist").max(),
+            9);
+}
+
+TEST_F(ObsTest, DisabledPathLeavesCountersAtZero) {
+  obs::set_stats_enabled(false);
+  FPART_COUNTER_INC("obs_test.disabled_counter");
+  FPART_HISTOGRAM_RECORD("obs_test.disabled_hist", 42);
+  {
+    ScopedPhase phase("obs_test.disabled_phase");
+  }
+  obs::set_stats_enabled(true);
+  EXPECT_EQ(
+      StatsRegistry::instance().counter("obs_test.disabled_counter").value(),
+      0u);
+  EXPECT_EQ(
+      StatsRegistry::instance().histogram("obs_test.disabled_hist").count(),
+      0u);
+  const auto root = PhaseForest::instance().snapshot();
+  EXPECT_TRUE(root->children.empty());
+}
+
+TEST_F(ObsTest, ScopedPhaseNestsAndChildTimesSumBelowParent) {
+  {
+    ScopedPhase outer("obs_test.outer");
+    for (int i = 0; i < 3; ++i) {
+      ScopedPhase inner("obs_test.inner");
+      // A small spin so child wall time is nonzero.
+      volatile double x = 0;
+      for (int j = 0; j < 20000; ++j) x = x + std::sqrt(double(j));
+    }
+    {
+      ScopedPhase other("obs_test.other");
+    }
+  }
+  const auto root = PhaseForest::instance().snapshot();
+  ASSERT_EQ(root->children.size(), 1u);
+  const auto& outer = *root->children[0];
+  EXPECT_EQ(outer.name, "obs_test.outer");
+  EXPECT_EQ(outer.count, 1u);
+  ASSERT_EQ(outer.children.size(), 2u);
+  const auto& inner = *outer.children[0];
+  EXPECT_EQ(inner.name, "obs_test.inner");
+  EXPECT_EQ(inner.count, 3u);  // merged by name
+  double child_wall = 0;
+  for (const auto& c : outer.children) child_wall += c->wall_seconds;
+  EXPECT_GE(outer.wall_seconds, child_wall);
+  EXPECT_GT(inner.wall_seconds, 0.0);
+}
+
+TEST_F(ObsTest, JsonWriterEscapingRoundTrips) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("weird \"key\"\n");
+  w.value("tab\there \\ and ctrl \x01 byte");
+  w.key("nums");
+  w.begin_array();
+  w.value(std::uint64_t{18446744073709551615ull});
+  w.value(-3.5);
+  w.value(true);
+  w.null();
+  w.end_array();
+  w.end_object();
+  const auto parsed = obs::json_parse(w.str());
+  ASSERT_TRUE(parsed.has_value());
+  const JsonValue* v = parsed->find("weird \"key\"\n");
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(v->string, "tab\there \\ and ctrl \x01 byte");
+  const JsonValue* nums = parsed->find("nums");
+  ASSERT_NE(nums, nullptr);
+  ASSERT_EQ(nums->array.size(), 4u);
+  EXPECT_DOUBLE_EQ(nums->array[1].number, -3.5);
+  EXPECT_TRUE(nums->array[2].boolean);
+  EXPECT_TRUE(nums->array[3].is_null());
+}
+
+TEST_F(ObsTest, JsonParserRejectsGarbage) {
+  EXPECT_FALSE(obs::json_parse("{").has_value());
+  EXPECT_FALSE(obs::json_parse("{}x").has_value());
+  EXPECT_FALSE(obs::json_parse("[1,]").has_value());
+  EXPECT_FALSE(obs::json_parse("\"unterminated").has_value());
+  EXPECT_TRUE(obs::json_parse("  {\"a\": [1, 2.5e3, null]} ").has_value());
+}
+
+TEST_F(ObsTest, RunReportRoundTripsPartitionResult) {
+  PartitionResult r;
+  r.feasible = true;
+  r.k = 3;
+  r.lower_bound = 2;
+  r.cut = 41;
+  r.km1 = 47;
+  r.iterations = 9;
+  r.seconds = 1.25;
+  r.cpu_seconds = 1.0;
+  r.blocks = {BlockStats{10, 20, 2, 5, true}, BlockStats{11, 21, 3, 6, true},
+              BlockStats{12, 22, 4, 7, false}};
+
+  RunMeta meta;
+  meta.circuit = "toy";
+  meta.device = "XC3042";
+  meta.method = "fpart";
+  meta.seed = 7;
+
+  const auto parsed = obs::json_parse(run_report_json(meta, r));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->find("schema")->string, kRunReportSchema);
+  const JsonValue* result = parsed->find("result");
+  ASSERT_NE(result, nullptr);
+  EXPECT_TRUE(result->find("feasible")->boolean);
+  EXPECT_EQ(result->find("k")->number, 3.0);
+  EXPECT_EQ(result->find("lower_bound")->number, 2.0);
+  EXPECT_EQ(result->find("cut")->number, 41.0);
+  EXPECT_EQ(result->find("km1")->number, 47.0);
+  EXPECT_EQ(result->find("iterations")->number, 9.0);
+  EXPECT_DOUBLE_EQ(result->find("seconds")->number, 1.25);
+  EXPECT_DOUBLE_EQ(result->find("cpu_seconds")->number, 1.0);
+  const JsonValue* blocks = result->find("blocks");
+  ASSERT_NE(blocks, nullptr);
+  ASSERT_EQ(blocks->array.size(), 3u);
+  EXPECT_EQ(blocks->array[2].find("size")->number, 12.0);
+  EXPECT_EQ(blocks->array[2].find("pins")->number, 22.0);
+  EXPECT_FALSE(blocks->array[2].find("feasible")->boolean);
+  EXPECT_EQ(parsed->find("meta")->find("circuit")->string, "toy");
+  EXPECT_EQ(parsed->find("meta")->find("seed")->number, 7.0);
+  ASSERT_NE(parsed->find("counters"), nullptr);
+  ASSERT_NE(parsed->find("histograms"), nullptr);
+  ASSERT_NE(parsed->find("phases"), nullptr);
+}
+
+TEST_F(ObsTest, TraceBufferEmitsLoadableChromeTrace) {
+  obs::set_trace_enabled(true);
+  {
+    ScopedPhase outer("obs_test.trace_outer");
+    ScopedPhase inner("obs_test.trace_inner");
+  }
+  obs::set_trace_enabled(false);
+  const auto parsed = obs::json_parse(obs::trace_json());
+  ASSERT_TRUE(parsed.has_value());
+  const JsonValue* events = parsed->find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  // Metadata event + the two phase spans.
+  ASSERT_GE(events->array.size(), 3u);
+  bool saw_inner = false;
+  for (const JsonValue& e : events->array) {
+    const JsonValue* ph = e.find("ph");
+    ASSERT_NE(ph, nullptr);
+    if (ph->string == "X") {
+      ASSERT_NE(e.find("name"), nullptr);
+      ASSERT_NE(e.find("ts"), nullptr);
+      ASSERT_NE(e.find("dur"), nullptr);
+      if (e.find("name")->string == "obs_test.trace_inner") saw_inner = true;
+    }
+  }
+  EXPECT_TRUE(saw_inner);
+}
+
+TEST_F(ObsTest, CountersAreThreadSafe) {
+  auto& c = StatsRegistry::instance().counter("obs_test.mt");
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < 10000; ++i) c.add(1);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), 40000u);
+}
+
+}  // namespace
+}  // namespace fpart

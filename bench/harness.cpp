@@ -1,6 +1,7 @@
 #include "harness.hpp"
 
 #include <cstdio>
+#include <cstdlib>
 #include <exception>
 
 #include "baselines/kwayx.hpp"
@@ -8,6 +9,7 @@
 #include "device/xilinx.hpp"
 #include "flow/fbb.hpp"
 #include "obs/phase.hpp"
+#include "obs/recorder.hpp"
 #include "obs/stats.hpp"
 #include "report/csv.hpp"
 #include "report/table.hpp"
@@ -15,13 +17,51 @@
 
 namespace fpart::bench {
 
+namespace {
+
+// FPART_EVENTS=<prefix> arms the flight recorder for every FPART run the
+// harness performs and writes one fpart-events/1 log per run to
+// <prefix><tag>.events.jsonl (the recorder holds a single run at a
+// time). Combine with FPART_AUDIT=1 — honored globally by
+// partition/audit.cpp — to cross-check invariants while recording.
+const char* events_prefix() {
+  static const char* prefix = std::getenv("FPART_EVENTS");
+  return prefix;
+}
+
+PartitionResult run_fpart_maybe_recorded(const Hypergraph& h,
+                                         const Device& device,
+                                         const Options& opt,
+                                         const std::string& tag) {
+  const char* prefix = events_prefix();
+  if (prefix == nullptr) return FpartPartitioner(opt).run(h, device);
+  obs::Recorder::instance().start(
+      make_event_log_header(h, device, opt, "fpart"));
+  PartitionResult r = FpartPartitioner(opt).run(h, device);
+  obs::Recorder::instance().stop();
+  const std::string path = std::string(prefix) + tag + ".events.jsonl";
+  try {
+    obs::Recorder::instance().write_jsonl(path);
+    std::printf("event log written to %s (%llu events)\n", path.c_str(),
+                static_cast<unsigned long long>(
+                    obs::Recorder::instance().event_count()));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "event log write failed: %s\n", e.what());
+  }
+  obs::Recorder::instance().reset();
+  return r;
+}
+
+}  // namespace
+
 MethodRuns run_methods(const mcnc::CircuitSpec& spec, const Device& device,
                        std::uint64_t seed_salt) {
   const Hypergraph h = mcnc::generate(spec, device.family(), seed_salt);
   MethodRuns out;
   out.kwayx = KwayxPartitioner().run(h, device);
   out.fbb = FbbPartitioner().run(h, device);
-  out.fpart = FpartPartitioner().run(h, device);
+  out.fpart = run_fpart_maybe_recorded(
+      h, device, Options{}, std::string(spec.name) + "-" + device.name());
   out.m = out.fpart.lower_bound;
   return out;
 }
@@ -29,7 +69,8 @@ MethodRuns run_methods(const mcnc::CircuitSpec& spec, const Device& device,
 PartitionResult run_fpart(const mcnc::CircuitSpec& spec, const Device& device,
                           std::uint64_t seed_salt) {
   const Hypergraph h = mcnc::generate(spec, device.family(), seed_salt);
-  return FpartPartitioner().run(h, device);
+  return run_fpart_maybe_recorded(
+      h, device, Options{}, std::string(spec.name) + "-" + device.name());
 }
 
 BenchJson::BenchJson(std::string bench_name, const char* path)
@@ -177,8 +218,9 @@ void run_and_print_ablation(std::span<const AblationVariant> variants,
     std::vector<std::string> row{c.circuit, c.device.name()};
     std::uint32_t m = 0;
     for (std::size_t v = 0; v < variants.size(); ++v) {
-      const PartitionResult r =
-          FpartPartitioner(variants[v].options).run(h, c.device);
+      const PartitionResult r = run_fpart_maybe_recorded(
+          h, c.device, variants[v].options,
+          c.circuit + "-" + variants[v].name);
       FPART_REQUIRE(r.feasible, "ablation variant produced infeasible result");
       json.add(c.circuit, c.device, variants[v].name, r);
       row.push_back(fmt_int(r.k));

@@ -17,6 +17,7 @@
 #include "netlist/generator.hpp"
 #include "netlist/mcnc.hpp"
 #include "obs/phase.hpp"
+#include "obs/recorder.hpp"
 #include "obs/stats.hpp"
 #include "partition/partition.hpp"
 #include "util/rng.hpp"
@@ -172,6 +173,47 @@ void BM_ScopedPhase(benchmark::State& state) {
 }
 BENCHMARK(BM_ScopedPhase);
 
+// Flight recorder: the disabled record is one relaxed load + branch, the
+// enabled record is a push_back of a 24-byte POD. Run the whole suite
+// with FPART_RECORD=1 to measure recorder-enabled overhead end to end
+// (acceptance bar: BM_FpartEndToEnd within 5% of a default run).
+void BM_RecorderEvent(benchmark::State& state) {
+  std::uint32_t i = 0;
+  for (auto _ : state) {
+    obs::record_event(obs::EventKind::kMove, obs::Engine::kFm, i++, 0, 1, 3,
+                      42);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_RecorderEvent);
+
+void BM_PartitionMoveRecorded(benchmark::State& state) {
+  const Hypergraph& h = test_graph();
+  obs::Recorder::instance().start(obs::RunHeader{});
+  Partition p(h, 4);
+  Rng rng(7);
+  std::vector<NodeId> cells;
+  for (NodeId v = 0; v < h.num_nodes(); ++v) {
+    if (!h.is_terminal(v)) cells.push_back(v);
+  }
+  for (NodeId v : cells) p.move(v, static_cast<BlockId>(rng.index(4)));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const NodeId v = cells[i++ % cells.size()];
+    const BlockId to = static_cast<BlockId>((p.block_of(v) + 1) % 4);
+    p.move(v, to);
+    benchmark::DoNotOptimize(p.cut_size());
+    if (obs::Recorder::instance().event_count() >= (1u << 20)) {
+      state.PauseTiming();  // drain the buffer off the clock
+      obs::Recorder::instance().start(obs::RunHeader{});
+      state.ResumeTiming();
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  obs::Recorder::instance().reset();
+}
+BENCHMARK(BM_PartitionMoveRecorded);
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -180,6 +222,12 @@ int main(int argc, char** argv) {
   if (const char* flag = std::getenv("FPART_STATS");
       flag != nullptr && flag[0] == '1') {
     fpart::obs::set_stats_enabled(true);
+  }
+  // FPART_RECORD=1 likewise arms the flight recorder for every benchmark
+  // (the buffer grows unbounded; this is a measurement mode, not a sink).
+  if (const char* flag = std::getenv("FPART_RECORD");
+      flag != nullptr && flag[0] == '1') {
+    fpart::obs::Recorder::instance().start(fpart::obs::RunHeader{});
   }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

@@ -26,8 +26,10 @@
 #include "netlist/mcnc.hpp"
 #include "netlist/rent.hpp"
 #include "obs/phase.hpp"
+#include "obs/recorder.hpp"
 #include "obs/stats.hpp"
 #include "obs/trace.hpp"
+#include "partition/audit.hpp"
 #include "partition/verify.hpp"
 #include "report/run_report.hpp"
 #include "techmap/blif_io.hpp"
@@ -126,6 +128,17 @@ int cmd_partition(const CliParser& cli) {
     if (want_trace) obs::set_trace_enabled(true);
   }
 
+  // --audit turns on the pass-boundary invariant auditor; --events
+  // additionally records the full flight-recorder event log. All methods
+  // here run with default Options, so the recorded header matches.
+  const bool want_events = cli.has("events");
+  if (cli.has("audit") && cli.get_bool("audit")) set_audit_enabled(true);
+  const Options run_options;
+  if (want_events) {
+    obs::Recorder::instance().start(
+        make_event_log_header(h, device, run_options, method));
+  }
+
   PartitionResult r;
   if (method == "fpart") {
     r = starts > 1 ? run_fpart_multistart(h, device, {}, starts)
@@ -147,12 +160,21 @@ int cmd_partition(const CliParser& cli) {
       static_cast<unsigned long long>(r.cut), r.seconds, r.cpu_seconds,
       r.feasible ? "yes" : "no");
 
+  if (want_events) {
+    obs::Recorder::instance().stop();
+    obs::Recorder::instance().write_jsonl(cli.get("events"));
+    std::printf("event log written to %s (%llu events)\n",
+                cli.get("events").c_str(),
+                static_cast<unsigned long long>(
+                    obs::Recorder::instance().event_count()));
+  }
   if (want_stats) {
     RunMeta meta;
     meta.circuit = cli.get("in");
     meta.device = device.name();
     meta.method = method;
     meta.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+    if (want_events) meta.events_path = cli.get("events");
     write_run_report_file(cli.get("stats-json"), meta, r);
     std::printf("run report written to %s\n",
                 cli.get("stats-json").c_str());
@@ -228,6 +250,8 @@ int main(int argc, char** argv) {
   cli.add_flag("parts", "assignment file (partition out / verify in)", "");
   cli.add_flag("stats-json", "write a fpart-run-report/1 JSON file", "");
   cli.add_flag("trace", "write a Chrome trace_event JSON file", "");
+  cli.add_flag("events", "write a fpart-events/1 JSONL event log", "");
+  cli.add_flag("audit", "recompute invariants at every pass boundary", "");
   if (!cli.parse(argc, argv) || cli.positional().size() != 1) {
     std::fprintf(stderr,
                  "usage: fpart_cli <generate|genlogic|techmap|partition|verify|rent>"

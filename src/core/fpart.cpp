@@ -6,8 +6,10 @@
 
 #include "core/initial_partition.hpp"
 #include "obs/phase.hpp"
+#include "obs/recorder.hpp"
 #include "obs/stats.hpp"
 #include "util/rng.hpp"
+#include "partition/audit.hpp"
 #include "partition/evaluator.hpp"
 #include "sanchis/refiner.hpp"
 #include "util/assert.hpp"
@@ -82,8 +84,19 @@ PartitionResult FpartPartitioner::run(const Hypergraph& h,
   Rng* seed_rng = options_.seed != 0 ? &rng : nullptr;
 
   std::uint32_t iterations = 0;
+  FeasibilityClass prev_cls = FeasibilityClass::kInfeasible;
+  bool have_prev_cls = false;
   while (true) {
-    if (p.classify(device) == FeasibilityClass::kFeasible) break;
+    const FeasibilityClass cls = p.classify(device);
+    if (obs::recorder_enabled() && (!have_prev_cls || cls != prev_cls)) {
+      obs::record_event(obs::EventKind::kFeasibility, obs::Engine::kFpart,
+                        static_cast<std::uint32_t>(cls),
+                        p.count_feasible(device), p.num_blocks());
+      prev_cls = cls;
+      have_prev_cls = true;
+    }
+    if (audit_enabled()) audit_partition(p, "fpart.iteration");
+    if (cls == FeasibilityClass::kFeasible) break;
 
     // Keep the remainder designation on the (unique) infeasible block of
     // a semi-feasible solution: improvement passes may have shifted the
@@ -113,6 +126,11 @@ PartitionResult FpartPartitioner::run(const Hypergraph& h,
       }
       break;
     }
+
+    obs::record_event(obs::EventKind::kIteration, obs::Engine::kNone,
+                      iterations, p.num_blocks(),
+                      static_cast<std::uint32_t>(p.block_pins(kRem)),
+                      obs::kNoGain, p.block_size(kRem));
 
     const BlockId pk = [&] {
       const obs::ScopedPhase phase("fpart.bipartition");

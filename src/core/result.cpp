@@ -1,6 +1,8 @@
 #include "core/result.hpp"
 
+#include "obs/recorder.hpp"
 #include "partition/partition.hpp"
+#include "partition/replay.hpp"
 
 namespace fpart {
 
@@ -37,6 +39,21 @@ PartitionResult summarize_partition(Partition& p, const Device& d,
         BlockStats{p.block_size(b), p.block_pins(b),
                    p.block_external_pins(b), p.block_node_count(b),
                    p.block_feasible(b, d)};
+  }
+
+  if (obs::recorder_enabled()) {
+    // The empty-block drop above went through the recorded mutation path,
+    // so this footer is exactly where a replay of the event stream lands.
+    obs::FinalState fin;
+    fin.k = result.k;
+    fin.cut = result.cut;
+    fin.km1 = result.km1;
+    fin.assignment_digest = assignment_digest(p.assignment());
+    fin.blocks.reserve(p.num_blocks());
+    for (BlockId b = 0; b < p.num_blocks(); ++b) {
+      fin.blocks.emplace_back(p.block_size(b), p.block_pins(b));
+    }
+    obs::Recorder::instance().set_final_state(std::move(fin));
   }
   return result;
 }

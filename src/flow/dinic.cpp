@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <deque>
 
+#include "obs/recorder.hpp"
 #include "obs/stats.hpp"
 #include "util/assert.hpp"
 
@@ -53,6 +54,7 @@ FlowNetwork::Capacity FlowNetwork::dfs_push(Vertex v, Vertex t,
                                             Capacity limit) {
   if (v == t) {
     FPART_COUNTER_INC("flow.augmenting_paths");
+    ++paths_;
     return limit;
   }
   Capacity pushed = 0;
@@ -82,6 +84,7 @@ FlowNetwork::Capacity FlowNetwork::max_flow(Vertex s, Vertex t) {
     edges_[2 * id].cap = original_cap_[id];
     edges_[2 * id + 1].cap = 0;
   }
+  paths_ = 0;
   Capacity total = 0;
   while (bfs_levels(s, t)) {
     iter_ = head_;
@@ -89,6 +92,8 @@ FlowNetwork::Capacity FlowNetwork::max_flow(Vertex s, Vertex t) {
     if (pushed == 0) break;
     total += pushed;
   }
+  obs::record_event(obs::EventKind::kFlowAugment, obs::Engine::kNone, paths_,
+                    0, 0, obs::kNoGain, static_cast<std::uint64_t>(total));
   return total;
 }
 

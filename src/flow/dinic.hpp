@@ -56,6 +56,7 @@ class FlowNetwork {
   std::vector<Capacity> original_cap_;
   std::vector<std::uint32_t> level_;
   std::vector<std::uint32_t> iter_;
+  std::uint32_t paths_ = 0;  // augmenting paths in the current max_flow()
 
   static constexpr std::uint32_t kNil = ~0u;
 };

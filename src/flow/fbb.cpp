@@ -8,7 +8,9 @@
 #include "fm/repair.hpp"
 #include "hypergraph/traversal.hpp"
 #include "obs/phase.hpp"
+#include "obs/recorder.hpp"
 #include "obs/stats.hpp"
+#include "partition/audit.hpp"
 #include "partition/partition.hpp"
 #include "util/assert.hpp"
 #include "util/log.hpp"
@@ -294,6 +296,12 @@ PartitionResult FbbPartitioner::run(const Hypergraph& h,
   while (p.classify(device) != FeasibilityClass::kFeasible) {
     ++iterations;
     peel_block(p, device, config_);
+    if (obs::recorder_enabled()) {
+      obs::record_event(obs::EventKind::kFeasibility, obs::Engine::kFbb,
+                        static_cast<std::uint32_t>(p.classify(device)),
+                        p.count_feasible(device), p.num_blocks());
+    }
+    if (audit_enabled()) audit_partition(p, "fbb.peel");
   }
   return summarize_partition(p, device, m, iterations,
                              timer.elapsed_seconds(),

@@ -5,7 +5,9 @@
 #include "fm/gain_bucket.hpp"
 #include "fm/gains.hpp"
 #include "obs/phase.hpp"
+#include "obs/recorder.hpp"
 #include "obs/stats.hpp"
+#include "partition/audit.hpp"
 #include "util/assert.hpp"
 
 namespace fpart {
@@ -62,6 +64,8 @@ bool FmBipartitioner::pass(const SizeWindow& wa, const SizeWindow& wb,
   std::uint64_t best_cut = start_cut;
   std::size_t best_len = 0;
   std::vector<std::pair<NodeId, BlockId>> log;  // (node, previous block)
+  obs::record_event(obs::EventKind::kPassBegin, obs::Engine::kFm,
+                    result.passes, 0, 0, obs::kNoGain, start_cut);
 
   while (true) {
     // Best legal candidate per direction.
@@ -95,7 +99,11 @@ bool FmBipartitioner::pass(const SizeWindow& wa, const SizeWindow& wb,
     const BlockId from = pick_ab ? a_ : b_;
     const BlockId to = pick_ab ? b_ : a_;
 
-    (pick_ab ? to_b : to_a).remove(v);
+    GainBucket& bucket = pick_ab ? to_b : to_a;
+    if (obs::recorder_enabled()) {
+      obs::Recorder::instance().stage_gain(bucket.gain(v));
+    }
+    bucket.remove(v);
     locked[v] = 1;
     p_.move(v, to);
     log.emplace_back(v, from);
@@ -120,7 +128,36 @@ bool FmBipartitioner::pass(const SizeWindow& wa, const SizeWindow& wb,
     }
   }
 
+  if (audit_enabled()) {
+    // Gain-bucket audit: before rollback the buckets still describe the
+    // unlocked cells, so every stored gain must equal a fresh recompute.
+    for (NodeId v = 0; v < h.num_nodes(); ++v) {
+      if (h.is_terminal(v) || locked[v]) continue;
+      const BlockId blk = p_.block_of(v);
+      if (blk != a_ && blk != b_) continue;
+      GainBucket& bucket = blk == a_ ? to_b : to_a;
+      const BlockId to = blk == a_ ? b_ : a_;
+      const int fresh = move_gain(p_, v, to);
+      if (!bucket.contains(v)) {
+        audit_fail("fm.pass", "unlocked node " + std::to_string(v) +
+                                  " missing from its gain bucket");
+      }
+      if (bucket.gain(v) != fresh) {
+        audit_fail("fm.pass",
+                   "stale gain for node " + std::to_string(v) + ": bucket " +
+                       std::to_string(bucket.gain(v)) + ", recomputed " +
+                       std::to_string(fresh));
+      }
+    }
+  }
+
   // Roll back the tail beyond the best prefix.
+  if (log.size() > best_len) {
+    obs::record_event(obs::EventKind::kRollback, obs::Engine::kFm,
+                      static_cast<std::uint32_t>(log.size() - best_len),
+                      static_cast<std::uint32_t>(best_len), 0, obs::kNoGain,
+                      best_cut);
+  }
   for (std::size_t i = log.size(); i > best_len; --i) {
     p_.move(log[i - 1].first, log[i - 1].second);
   }
@@ -133,6 +170,11 @@ bool FmBipartitioner::pass(const SizeWindow& wa, const SizeWindow& wb,
       static_cast<std::int64_t>(start_cut) -
           static_cast<std::int64_t>(best_cut));
   FPART_ASSERT(p_.cut_size() == best_cut);
+  obs::record_event(obs::EventKind::kPassEnd, obs::Engine::kFm,
+                    static_cast<std::uint32_t>(log.size()),
+                    static_cast<std::uint32_t>(log.size() - best_len),
+                    best_cut < start_cut ? 1 : 0, obs::kNoGain, best_cut);
+  if (audit_enabled()) audit_partition(p_, "fm.pass");
   return best_cut < start_cut;
 }
 

@@ -1,6 +1,7 @@
 #include "fm/repair.hpp"
 
 #include "fm/gains.hpp"
+#include "obs/recorder.hpp"
 #include "util/assert.hpp"
 
 namespace fpart {
@@ -35,6 +36,7 @@ int pin_delta_if_removed(const Partition& p, NodeId v, BlockId b) {
 
 void shrink_to_feasible(Partition& p, const Device& d, BlockId block,
                         BlockId sink) {
+  std::uint32_t evicted = 0;
   while (!p.block_feasible(block, d)) {
     FPART_ASSERT_MSG(p.block_node_count(block) > 1,
                      "single cell violates device constraints "
@@ -61,7 +63,15 @@ void shrink_to_feasible(Partition& p, const Device& d, BlockId block,
         best_pin_delta = pd;
       }
     }
+    if (obs::recorder_enabled()) {
+      obs::Recorder::instance().stage_gain(best_gain);
+    }
     p.move(best, sink);
+    ++evicted;
+  }
+  if (evicted > 0) {
+    obs::record_event(obs::EventKind::kRepair, obs::Engine::kNone, block,
+                      evicted, sink, obs::kNoGain, p.block_size(block));
   }
 }
 

@@ -65,4 +65,24 @@ void Hypergraph::validate() const {
   }
 }
 
+std::uint64_t Hypergraph::structural_digest() const {
+  std::uint64_t h = 0xcbf29ce484222325ull;  // FNV-1a offset basis
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 0x100000001b3ull;  // FNV prime
+    }
+  };
+  mix(num_nodes());
+  mix(num_nets());
+  for (NodeId v = 0; v < num_nodes(); ++v) {
+    mix(node_size_[v] | (static_cast<std::uint64_t>(is_terminal_[v]) << 32));
+  }
+  for (NetId e = 0; e < num_nets(); ++e) {
+    mix(net_interior_pins_[e]);
+    for (const NodeId v : pins(e)) mix(v);
+  }
+  return h;
+}
+
 }  // namespace fpart

@@ -87,6 +87,12 @@ class Hypergraph {
   /// Throws InvariantError on corruption. Intended for tests.
   void validate() const;
 
+  /// 64-bit FNV-1a digest of the structure (node sizes, terminal flags,
+  /// per-net pin lists). Names are excluded: two graphs with equal
+  /// digests partition identically. Used by the flight recorder to bind
+  /// an event log to its input (obs/recorder.hpp).
+  std::uint64_t structural_digest() const;
+
  private:
   friend class HypergraphBuilder;
 

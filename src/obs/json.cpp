@@ -126,6 +126,11 @@ void JsonWriter::null() {
   out_ += "null";
 }
 
+void JsonWriter::raw_value(std::string_view json) {
+  comma();
+  out_ += json;
+}
+
 const JsonValue* JsonValue::find(std::string_view k) const {
   if (type != Type::kObject) return nullptr;
   for (const auto& [key, val] : object) {

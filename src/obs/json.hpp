@@ -41,6 +41,11 @@ class JsonWriter {
   void value(std::uint32_t v) { value(static_cast<std::uint64_t>(v)); }
   void value(int v) { value(static_cast<std::int64_t>(v)); }
   void null();
+  /// Splices pre-serialized JSON verbatim as one value. The caller owns
+  /// the claim that `json` is well-formed (used to embed documents
+  /// produced by another JsonWriter, e.g. an options object in an event
+  /// log header).
+  void raw_value(std::string_view json);
 
   const std::string& str() const { return out_; }
   std::string take() { return std::move(out_); }

@@ -1,0 +1,409 @@
+#include "obs/recorder.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "obs/json.hpp"
+#include "util/assert.hpp"
+
+namespace fpart::obs {
+
+namespace detail {
+std::atomic<bool> g_recorder_enabled{false};
+}
+
+namespace {
+
+/// Field names per event kind. A nullptr key means the field is not
+/// serialized for that kind; `has_engine` adds the "e" key. This table
+/// is the schema: serialization and parsing both read it, so the two
+/// cannot drift.
+struct KindSpec {
+  EventKind kind;
+  const char* name;
+  bool has_engine;
+  const char* key_a;
+  const char* key_b;
+  const char* key_c;
+  const char* key_gain;
+  const char* key_value;
+};
+
+constexpr KindSpec kKindSpecs[] = {
+    {EventKind::kInit, "init", false, "k", nullptr, nullptr, nullptr,
+     "nodes"},
+    {EventKind::kMove, "move", false, "v", "from", "to", "g", "cut"},
+    {EventKind::kAddBlock, "add_block", false, "b", nullptr, nullptr,
+     nullptr, nullptr},
+    {EventKind::kRemoveBlock, "remove_block", false, "b", nullptr, nullptr,
+     nullptr, nullptr},
+    {EventKind::kSwapBlocks, "swap_blocks", false, "a", "b", nullptr,
+     nullptr, nullptr},
+    {EventKind::kRestore, "restore", false, "moves", "k", nullptr, nullptr,
+     nullptr},
+    {EventKind::kPassBegin, "pass_begin", true, "pass", nullptr, nullptr,
+     nullptr, "metric"},
+    {EventKind::kPassEnd, "pass_end", true, "moves", "rolled_back",
+     "improved", nullptr, "metric"},
+    {EventKind::kRollback, "rollback", true, "undone", "best_len", nullptr,
+     nullptr, "metric"},
+    {EventKind::kImproveBegin, "improve_begin", true, "blocks", nullptr,
+     nullptr, nullptr, "cut"},
+    {EventKind::kStackPush, "stack_push", true, "size", "pos", nullptr,
+     nullptr, "metric"},
+    {EventKind::kStackRewind, "stack_rewind", true, "entry", "of", nullptr,
+     nullptr, nullptr},
+    {EventKind::kRepair, "repair", false, "block", "evicted", "sink",
+     nullptr, "size"},
+    {EventKind::kFlowAugment, "flow_augment", false, "paths", nullptr,
+     nullptr, nullptr, "flow"},
+    {EventKind::kFeasibility, "feasibility", true, "class", "feasible",
+     "k", nullptr, nullptr},
+    {EventKind::kIteration, "iteration", false, "iter", "k", "rem_pins",
+     nullptr, "rem_size"},
+};
+
+constexpr const char* kEngineNames[] = {"none",  "fm",    "sanchis",
+                                        "fbb",   "fpart", "repair"};
+
+const KindSpec& spec_of(EventKind kind) {
+  for (const KindSpec& s : kKindSpecs) {
+    if (s.kind == kind) return s;
+  }
+  FPART_ASSERT_MSG(false, "unknown event kind");
+  return kKindSpecs[0];  // unreachable
+}
+
+std::string hex_u64(std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "0x%016" PRIx64, v);
+  return buf;
+}
+
+std::uint64_t parse_hex_u64(const std::string& s) {
+  return std::strtoull(s.c_str(), nullptr, 16);
+}
+
+std::uint64_t require_number(const JsonValue& obj, const char* key,
+                             std::size_t line) {
+  const JsonValue* v = obj.find(key);
+  FPART_REQUIRE(v != nullptr && v->is_number(),
+                "event log line " + std::to_string(line) +
+                    ": missing numeric key '" + key + "'");
+  return static_cast<std::uint64_t>(v->number);
+}
+
+}  // namespace
+
+Recorder& Recorder::instance() {
+  static Recorder* recorder = new Recorder();  // leaked: process lifetime
+  return *recorder;
+}
+
+void Recorder::start(RunHeader header) {
+  header_ = std::move(header);
+  events_.clear();
+  events_.reserve(1u << 16);
+  final_.reset();
+  staged_gain_ = kNoGain;
+  detail::g_recorder_enabled.store(true, std::memory_order_relaxed);
+}
+
+void Recorder::stop() {
+  detail::g_recorder_enabled.store(false, std::memory_order_relaxed);
+}
+
+void Recorder::set_final_state(FinalState state) {
+  if (!recorder_enabled()) return;
+  final_ = std::move(state);
+}
+
+void Recorder::reset() {
+  stop();
+  header_ = RunHeader{};
+  events_.clear();
+  events_.shrink_to_fit();
+  final_.reset();
+  staged_gain_ = kNoGain;
+}
+
+const char* event_kind_name(EventKind kind) { return spec_of(kind).name; }
+
+const char* engine_name(Engine engine) {
+  const auto i = static_cast<std::size_t>(engine);
+  return i < std::size(kEngineNames) ? kEngineNames[i] : "none";
+}
+
+std::string event_json(const Event& e, std::uint64_t index) {
+  const KindSpec& s = spec_of(e.kind);
+  JsonWriter w;
+  w.begin_object();
+  w.key("i");
+  w.value(index);
+  w.key("t");
+  w.value(s.name);
+  if (s.has_engine) {
+    w.key("e");
+    w.value(engine_name(e.engine));
+  }
+  if (s.key_a != nullptr) {
+    w.key(s.key_a);
+    w.value(e.a);
+  }
+  if (s.key_b != nullptr) {
+    w.key(s.key_b);
+    w.value(e.b);
+  }
+  if (s.key_c != nullptr) {
+    w.key(s.key_c);
+    w.value(e.c);
+  }
+  if (s.key_gain != nullptr) {
+    w.key(s.key_gain);
+    if (e.gain == kNoGain) {
+      w.null();
+    } else {
+      w.value(static_cast<std::int64_t>(e.gain));
+    }
+  }
+  if (s.key_value != nullptr) {
+    w.key(s.key_value);
+    w.value(e.value);
+  }
+  w.end_object();
+  return w.take();
+}
+
+std::string Recorder::to_jsonl() const {
+  std::string out;
+  // Rough sizing: ~64 bytes per event line keeps reallocation off the
+  // flush path for large logs.
+  out.reserve(events_.size() * 64 + 1024);
+
+  JsonWriter w;
+  w.begin_object();
+  w.key("schema");
+  w.value(kEventLogSchema);
+  w.key("method");
+  w.value(header_.method);
+  w.key("seed");
+  w.value(header_.seed);
+  w.key("device");
+  w.begin_object();
+  w.key("name");
+  w.value(header_.device_name);
+  w.key("smax");
+  w.value(header_.device_smax);
+  w.key("tmax");
+  w.value(header_.device_tmax);
+  w.key("fill");
+  w.value(header_.device_fill);
+  w.end_object();
+  w.key("hypergraph");
+  w.begin_object();
+  w.key("nodes");
+  w.value(header_.graph_nodes);
+  w.key("interior");
+  w.value(header_.graph_interior);
+  w.key("nets");
+  w.value(header_.graph_nets);
+  w.key("pins");
+  w.value(header_.graph_pins);
+  w.key("digest");
+  w.value(hex_u64(header_.graph_digest));
+  w.end_object();
+  w.key("options");
+  w.raw_value(header_.options_json.empty() ? "{}" : header_.options_json);
+  w.key("events");
+  w.value(static_cast<std::uint64_t>(events_.size()));
+  w.end_object();
+  out += w.take();
+  out += '\n';
+
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    out += event_json(events_[i], i);
+    out += '\n';
+  }
+
+  if (final_.has_value()) {
+    JsonWriter f;
+    f.begin_object();
+    f.key("final");
+    f.begin_object();
+    f.key("k");
+    f.value(final_->k);
+    f.key("cut");
+    f.value(final_->cut);
+    f.key("km1");
+    f.value(final_->km1);
+    f.key("assignment_digest");
+    f.value(hex_u64(final_->assignment_digest));
+    f.key("blocks");
+    f.begin_array();
+    for (const auto& [size, pins] : final_->blocks) {
+      f.begin_array();
+      f.value(size);
+      f.value(pins);
+      f.end_array();
+    }
+    f.end_array();
+    f.end_object();
+    f.end_object();
+    out += f.take();
+    out += '\n';
+  }
+  return out;
+}
+
+void Recorder::write_jsonl(const std::string& path) const {
+  std::ofstream os(path, std::ios::binary);
+  FPART_REQUIRE(os.good(), "cannot write event log " + path);
+  const std::string body = to_jsonl();
+  os.write(body.data(), static_cast<std::streamsize>(body.size()));
+  FPART_REQUIRE(os.good(), "write failed for event log " + path);
+}
+
+EventLog parse_event_log(const std::string& text) {
+  EventLog log;
+  std::istringstream is(text);
+  std::string line;
+  std::size_t line_no = 0;
+  bool saw_header = false;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    const auto parsed = json_parse(line);
+    FPART_REQUIRE(parsed.has_value(), "event log line " +
+                                          std::to_string(line_no) +
+                                          ": invalid JSON");
+    const JsonValue& doc = *parsed;
+
+    if (const JsonValue* schema = doc.find("schema"); schema != nullptr) {
+      FPART_REQUIRE(schema->is_string() &&
+                        schema->string == kEventLogSchema,
+                    "unsupported event log schema (want " +
+                        std::string(kEventLogSchema) + ")");
+      FPART_REQUIRE(!saw_header, "duplicate event log header");
+      saw_header = true;
+      RunHeader& h = log.header;
+      if (const JsonValue* m = doc.find("method"); m && m->is_string()) {
+        h.method = m->string;
+      }
+      h.seed = require_number(doc, "seed", line_no);
+      const JsonValue* dev = doc.find("device");
+      FPART_REQUIRE(dev != nullptr && dev->is_object(),
+                    "event log header: missing device object");
+      if (const JsonValue* n = dev->find("name"); n && n->is_string()) {
+        h.device_name = n->string;
+      }
+      h.device_smax = require_number(*dev, "smax", line_no);
+      h.device_tmax = require_number(*dev, "tmax", line_no);
+      if (const JsonValue* fl = dev->find("fill"); fl && fl->is_number()) {
+        h.device_fill = fl->number;
+      }
+      const JsonValue* hg = doc.find("hypergraph");
+      FPART_REQUIRE(hg != nullptr && hg->is_object(),
+                    "event log header: missing hypergraph object");
+      h.graph_nodes = require_number(*hg, "nodes", line_no);
+      h.graph_interior = require_number(*hg, "interior", line_no);
+      h.graph_nets = require_number(*hg, "nets", line_no);
+      h.graph_pins = require_number(*hg, "pins", line_no);
+      if (const JsonValue* d = hg->find("digest"); d && d->is_string()) {
+        h.graph_digest = parse_hex_u64(d->string);
+      }
+      continue;
+    }
+
+    if (const JsonValue* fin = doc.find("final"); fin != nullptr) {
+      FPART_REQUIRE(fin->is_object(),
+                    "event log footer: 'final' must be an object");
+      FinalState f;
+      f.k = static_cast<std::uint32_t>(require_number(*fin, "k", line_no));
+      f.cut = require_number(*fin, "cut", line_no);
+      f.km1 = require_number(*fin, "km1", line_no);
+      if (const JsonValue* d = fin->find("assignment_digest");
+          d && d->is_string()) {
+        f.assignment_digest = parse_hex_u64(d->string);
+      }
+      if (const JsonValue* blocks = fin->find("blocks");
+          blocks && blocks->is_array()) {
+        for (const JsonValue& b : blocks->array) {
+          FPART_REQUIRE(b.is_array() && b.array.size() == 2 &&
+                            b.array[0].is_number() && b.array[1].is_number(),
+                        "event log footer: malformed block entry");
+          f.blocks.emplace_back(
+              static_cast<std::uint64_t>(b.array[0].number),
+              static_cast<std::uint64_t>(b.array[1].number));
+        }
+      }
+      log.final_state = std::move(f);
+      continue;
+    }
+
+    const JsonValue* t = doc.find("t");
+    FPART_REQUIRE(t != nullptr && t->is_string(),
+                  "event log line " + std::to_string(line_no) +
+                      ": missing event type");
+    const KindSpec* spec = nullptr;
+    for (const KindSpec& s : kKindSpecs) {
+      if (t->string == s.name) {
+        spec = &s;
+        break;
+      }
+    }
+    FPART_REQUIRE(spec != nullptr, "event log line " +
+                                       std::to_string(line_no) +
+                                       ": unknown event type '" +
+                                       t->string + "'");
+    Event e;
+    e.kind = spec->kind;
+    if (spec->has_engine) {
+      if (const JsonValue* eng = doc.find("e"); eng && eng->is_string()) {
+        for (std::size_t i = 0; i < std::size(kEngineNames); ++i) {
+          if (eng->string == kEngineNames[i]) {
+            e.engine = static_cast<Engine>(i);
+            break;
+          }
+        }
+      }
+    }
+    if (spec->key_a != nullptr) {
+      e.a = static_cast<std::uint32_t>(
+          require_number(doc, spec->key_a, line_no));
+    }
+    if (spec->key_b != nullptr) {
+      e.b = static_cast<std::uint32_t>(
+          require_number(doc, spec->key_b, line_no));
+    }
+    if (spec->key_c != nullptr) {
+      e.c = static_cast<std::uint32_t>(
+          require_number(doc, spec->key_c, line_no));
+    }
+    if (spec->key_gain != nullptr) {
+      const JsonValue* g = doc.find(spec->key_gain);
+      FPART_REQUIRE(g != nullptr, "event log line " +
+                                      std::to_string(line_no) +
+                                      ": missing gain");
+      e.gain = g->is_number() ? static_cast<std::int32_t>(g->number)
+                              : kNoGain;
+    }
+    if (spec->key_value != nullptr) {
+      e.value = require_number(doc, spec->key_value, line_no);
+    }
+    log.events.push_back(e);
+  }
+  FPART_REQUIRE(saw_header, "event log has no fpart-events/1 header line");
+  return log;
+}
+
+EventLog read_event_log(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  FPART_REQUIRE(is.good(), "cannot read event log " + path);
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  return parse_event_log(buf.str());
+}
+
+}  // namespace fpart::obs

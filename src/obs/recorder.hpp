@@ -1,0 +1,206 @@
+// Move-level flight recorder: a compact append buffer of structured
+// events covering every partition mutation (move / block add / remove /
+// swap / snapshot restore) plus the semantic decisions of the engines
+// (pass boundaries, rollback-to-best, repair steps, flow augmentations,
+// feasibility transitions, solution-stack traffic).
+//
+// The buffer flushes as a versioned JSONL event log (`fpart-events/1`):
+//   line 1    — header: schema, method, RNG seed, full options JSON,
+//               device, hypergraph digest;
+//   lines 2.. — one event object per line, in emission order;
+//   last line — final-state footer (cut, k, per-block S/T, assignment
+//               digest) appended by summarize_partition().
+//
+// The mutation events alone are a complete replay script: applying them
+// in order to a fresh Partition over the same hypergraph reproduces the
+// recorded final partition exactly (tools/fpart_inspect replay, and
+// partition/replay.hpp). Everything else is analysis sugar.
+//
+// Overhead discipline matches stats.hpp: when disabled, a record is one
+// relaxed bool load and a predictable branch; when enabled it is a
+// push_back of a 24-byte POD into a reserved vector (no atomics, no
+// formatting — JSON rendering happens only at flush). The recorder is
+// single-threaded like the phase tree: the partitioning pipeline owns it.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace fpart::obs {
+
+inline constexpr const char* kEventLogSchema = "fpart-events/1";
+
+/// What happened. Mutation kinds (kInit..kSwapBlocks) are sufficient for
+/// replay; the rest annotate engine decisions.
+enum class EventKind : std::uint8_t {
+  kInit = 0,       // fresh Partition: a=num_blocks, value=num_nodes
+  kMove,           // a=node, b=from, c=to, gain (staged), value=cut after
+  kAddBlock,       // a=new block id
+  kRemoveBlock,    // a=removed block id
+  kSwapBlocks,     // a,b = the swapped block ids
+  kRestore,        // snapshot restore marker: a=#diff moves, b=k after
+  kPassBegin,      // a=pass index, value=cut (fm) / total pins (sanchis)
+  kPassEnd,        // a=moves, b=rolled back, c=improved, value=best metric
+  kRollback,       // rollback-to-best: a=#moves undone, b=best prefix len
+  kImproveBegin,   // a=#active blocks, value=cut
+  kStackPush,      // solution stack accepted a snapshot: a=stack size
+  kStackRewind,    // restart from a stack entry: a=entry index
+  kRepair,         // shrink_to_feasible: a=block, b=#cells evicted
+  kFlowAugment,    // one max-flow solve: a=#augmenting paths, value=flow
+  kFeasibility,    // class transition: a=class, b=#feasible blocks, c=k
+  kIteration,      // FPART iteration: a=index, b=k, c=rem pins, value=rem size
+};
+
+/// Which engine emitted a semantic event (mutation events use kNone —
+/// they are attributed to the partition itself).
+enum class Engine : std::uint8_t {
+  kNone = 0,
+  kFm,
+  kSanchis,
+  kFbb,
+  kFpart,
+  kRepair,
+};
+
+/// Gain sentinel for moves whose driver did not stage a gain
+/// (constructive placement, repair, restore diffs). Serialized as null.
+inline constexpr std::int32_t kNoGain = INT32_MIN;
+
+struct Event {
+  EventKind kind = EventKind::kInit;
+  Engine engine = Engine::kNone;
+  std::uint32_t a = 0;
+  std::uint32_t b = 0;
+  std::uint32_t c = 0;
+  std::int32_t gain = kNoGain;
+  std::uint64_t value = 0;
+
+  bool operator==(const Event&) const = default;
+};
+
+/// Run identity captured in the log header. All fields are plain data so
+/// the recorder stays free of core/device dependencies; helpers in the
+/// drivers fill it (see report/run_report.hpp::make_event_log_header).
+struct RunHeader {
+  std::string method;
+  std::uint64_t seed = 0;
+  std::string device_name;
+  std::uint64_t device_smax = 0;
+  std::uint64_t device_tmax = 0;
+  double device_fill = 0.0;
+  std::uint64_t graph_nodes = 0;
+  std::uint64_t graph_interior = 0;
+  std::uint64_t graph_nets = 0;
+  std::uint64_t graph_pins = 0;
+  std::uint64_t graph_digest = 0;
+  /// Full Options serialized as a JSON object (empty = "{}").
+  std::string options_json;
+};
+
+/// Final partition state appended as the log footer; the replay oracle.
+struct FinalState {
+  std::uint32_t k = 0;
+  std::uint64_t cut = 0;
+  std::uint64_t km1 = 0;
+  std::uint64_t assignment_digest = 0;
+  /// Per block: (size S_j, pin demand T_j).
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> blocks;
+};
+
+namespace detail {
+extern std::atomic<bool> g_recorder_enabled;
+}
+
+/// True while the flight recorder captures events.
+inline bool recorder_enabled() {
+  return detail::g_recorder_enabled.load(std::memory_order_relaxed);
+}
+
+/// The process-wide event buffer. Single-threaded by design (like the
+/// phase tree): start()/record()/finish() belong to the pipeline thread.
+class Recorder {
+ public:
+  static Recorder& instance();
+
+  /// Clears the buffer, installs the header and enables recording.
+  void start(RunHeader header);
+
+  /// Disables recording; the buffer and header stay readable until the
+  /// next start().
+  void stop();
+
+  /// Appends one event (no-op unless enabled). Inline hot path.
+  void record(const Event& e) {
+    if (!recorder_enabled()) return;
+    events_.push_back(e);
+  }
+
+  /// Stages the gain of the next kMove event. Engines call this right
+  /// before Partition::move so the mutation event carries the decision's
+  /// gain without a second event. Consumed (reset to kNoGain) by the
+  /// next take_staged_gain().
+  void stage_gain(std::int32_t gain) { staged_gain_ = gain; }
+  std::int32_t take_staged_gain() {
+    const std::int32_t g = staged_gain_;
+    staged_gain_ = kNoGain;
+    return g;
+  }
+
+  /// Records the footer (latest call wins; summarize_partition runs once
+  /// per partitioning run).
+  void set_final_state(FinalState state);
+
+  const RunHeader& header() const { return header_; }
+  const std::vector<Event>& events() const { return events_; }
+  const std::optional<FinalState>& final_state() const { return final_; }
+  std::uint64_t event_count() const { return events_.size(); }
+
+  /// Serializes header + events + footer as fpart-events/1 JSONL.
+  std::string to_jsonl() const;
+
+  /// Writes to_jsonl() to `path`. Throws PreconditionError on IO error.
+  void write_jsonl(const std::string& path) const;
+
+  /// Drops everything (buffer, header, footer) and disables recording.
+  void reset();
+
+ private:
+  Recorder() = default;
+  RunHeader header_;
+  std::vector<Event> events_;
+  std::optional<FinalState> final_;
+  std::int32_t staged_gain_ = kNoGain;
+};
+
+/// Convenience for call sites: record one event when enabled.
+inline void record_event(EventKind kind, Engine engine, std::uint32_t a = 0,
+                         std::uint32_t b = 0, std::uint32_t c = 0,
+                         std::int32_t gain = kNoGain,
+                         std::uint64_t value = 0) {
+  if (!recorder_enabled()) return;
+  Recorder::instance().record(Event{kind, engine, a, b, c, gain, value});
+}
+
+/// One parsed fpart-events/1 document.
+struct EventLog {
+  RunHeader header;
+  std::vector<Event> events;
+  std::optional<FinalState> final_state;
+};
+
+/// Serializes a single event as a JSON object (the JSONL line body).
+std::string event_json(const Event& e, std::uint64_t index);
+
+/// Human-readable kind name ("move", "pass_begin", ...).
+const char* event_kind_name(EventKind kind);
+const char* engine_name(Engine engine);
+
+/// Parses an fpart-events/1 JSONL document from text / a file. Throws
+/// PreconditionError with a line number on malformed input.
+EventLog parse_event_log(const std::string& text);
+EventLog read_event_log(const std::string& path);
+
+}  // namespace fpart::obs

@@ -1,0 +1,79 @@
+#include "partition/audit.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <sstream>
+
+#include "obs/recorder.hpp"
+#include "partition/verify.hpp"
+#include "util/assert.hpp"
+
+namespace fpart {
+
+namespace {
+
+std::atomic<bool> g_audit_enabled{[] {
+  const char* env = std::getenv("FPART_AUDIT");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}()};
+
+}  // namespace
+
+bool audit_enabled() {
+  return g_audit_enabled.load(std::memory_order_relaxed);
+}
+
+void set_audit_enabled(bool enabled) {
+  g_audit_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+void audit_fail(const char* where, const std::string& detail) {
+  std::ostringstream msg;
+  msg << "audit failure at " << where << ": " << detail << " (event index "
+      << obs::Recorder::instance().event_count() << ")";
+  throw InvariantError(msg.str());
+}
+
+void audit_partition(const Partition& p, const char* where) {
+  // Device limits are irrelevant here — the audit checks bookkeeping, not
+  // feasibility — so verify against a device no block can violate.
+  static const Device permissive("audit-permissive", Family::kXC3000,
+                                 0x7fffffff, 0x7fffffff, 1.0);
+  const VerifyReport rep = verify_partition(p.graph(), permissive,
+                                            p.assignment(), p.num_blocks());
+  const auto fail = [where](const std::string& detail) {
+    audit_fail(where, detail);
+  };
+  if (rep.blocks.size() != p.num_blocks()) {
+    fail("verifier saw " + std::to_string(rep.blocks.size()) +
+         " blocks, partition claims " + std::to_string(p.num_blocks()));
+  }
+  if (rep.cut != p.cut_size()) {
+    fail("cut diverged: recomputed " + std::to_string(rep.cut) +
+         ", incremental " + std::to_string(p.cut_size()));
+  }
+  for (BlockId b = 0; b < p.num_blocks(); ++b) {
+    const VerifiedBlock& vb = rep.blocks[b];
+    const std::string tag = "block " + std::to_string(b) + " ";
+    if (vb.size != p.block_size(b)) {
+      fail(tag + "size diverged: recomputed " + std::to_string(vb.size) +
+           ", incremental " + std::to_string(p.block_size(b)));
+    }
+    if (vb.pins != p.block_pins(b)) {
+      fail(tag + "pin demand diverged: recomputed " + std::to_string(vb.pins) +
+           ", incremental " + std::to_string(p.block_pins(b)));
+    }
+    if (vb.ext != p.block_external_pins(b)) {
+      fail(tag + "external pins diverged: recomputed " +
+           std::to_string(vb.ext) + ", incremental " +
+           std::to_string(p.block_external_pins(b)));
+    }
+    if (vb.nodes != p.block_node_count(b)) {
+      fail(tag + "node count diverged: recomputed " +
+           std::to_string(vb.nodes) + ", incremental " +
+           std::to_string(p.block_node_count(b)));
+    }
+  }
+}
+
+}  // namespace fpart

@@ -1,0 +1,40 @@
+// Inline invariant auditor.
+//
+// When enabled (FPART_AUDIT=1 in the environment, the CLI's --audit flag,
+// or set_audit_enabled), engines call audit_partition() at every pass
+// boundary. It recomputes the cut and every per-block quantity (S_j, T_j,
+// T^E_j, node count) from scratch via verify_partition — which shares no
+// code with the incremental Partition bookkeeping — and fails loudly with
+// the offending flight-recorder event index on any divergence. Engines
+// additionally cross-check their gain buckets against freshly computed
+// move gains and report mismatches through audit_fail().
+//
+// The auditor is an O(n + pins) scan per pass, so it is a debug mode, not
+// a production default; tier-1 integration tests and the fuzzer run with
+// it enabled.
+#pragma once
+
+#include <string>
+
+#include "partition/partition.hpp"
+
+namespace fpart {
+
+/// True when pass-boundary auditing is on. First use latches the
+/// FPART_AUDIT environment variable; set_audit_enabled overrides.
+bool audit_enabled();
+void set_audit_enabled(bool enabled);
+
+/// Recomputes cut / S_j / T_j / T^E_j / node counts from scratch and
+/// compares them against p's incremental state. Throws InvariantError
+/// naming `where` and the current flight-recorder event index (so a
+/// recorded run pinpoints the first bad event) on divergence. Callers
+/// are expected to gate on audit_enabled().
+void audit_partition(const Partition& p, const char* where);
+
+/// Shared failure path for engine-side audits (gain-bucket checks):
+/// throws InvariantError with `where`, `detail`, and the current
+/// flight-recorder event index.
+[[noreturn]] void audit_fail(const char* where, const std::string& detail);
+
+}  // namespace fpart

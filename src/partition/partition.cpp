@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/recorder.hpp"
 #include "util/assert.hpp"
 
 namespace fpart {
@@ -22,6 +23,8 @@ Partition::Partition(const Hypergraph& h, std::uint32_t initial_blocks)
                     std::vector<std::uint32_t>(initial_blocks, 0));
   net_span_.assign(h.num_nets(), 0);
   rebuild();
+  obs::record_event(obs::EventKind::kInit, obs::Engine::kNone, initial_blocks,
+                    0, 0, obs::kNoGain, h.num_nodes());
 }
 
 Partition::Partition(const Hypergraph& h,
@@ -29,6 +32,21 @@ Partition::Partition(const Hypergraph& h,
     : Partition(h, k) {
   FPART_REQUIRE(assignment.size() == h.num_nodes(),
                 "assignment size must match node count");
+  if (obs::recorder_enabled()) {
+    // Apply the assignment as incremental moves so each lands in the
+    // event log with a correct resulting cut (the delegate constructor
+    // above already recorded kInit for the all-zeros state).
+    for (NodeId v = 0; v < h.num_nodes(); ++v) {
+      if (h.is_terminal(v)) {
+        FPART_REQUIRE(assignment[v] == kInvalidBlock,
+                      "terminals must carry kInvalidBlock");
+        continue;
+      }
+      FPART_REQUIRE(assignment[v] < k, "assignment block out of range");
+      move(v, assignment[v]);
+    }
+    return;
+  }
   for (NodeId v = 0; v < h.num_nodes(); ++v) {
     if (h.is_terminal(v)) {
       FPART_REQUIRE(assignment[v] == kInvalidBlock,
@@ -47,12 +65,16 @@ BlockId Partition::add_block() {
   ext_.push_back(0);
   node_count_.push_back(0);
   for (auto& counts : pin_count_) counts.push_back(0);
-  return static_cast<BlockId>(size_.size() - 1);
+  const auto id = static_cast<BlockId>(size_.size() - 1);
+  obs::record_event(obs::EventKind::kAddBlock, obs::Engine::kNone, id);
+  return id;
 }
 
 void Partition::remove_last_block() {
   FPART_REQUIRE(num_blocks() > 1, "cannot remove the only block");
   FPART_REQUIRE(node_count_.back() == 0, "removed block must be empty");
+  obs::record_event(obs::EventKind::kRemoveBlock, obs::Engine::kNone,
+                    num_blocks() - 1);
   size_.pop_back();
   pins_.pop_back();
   ext_.pop_back();
@@ -64,6 +86,7 @@ void Partition::swap_blocks(BlockId a, BlockId b) {
   FPART_REQUIRE(a < num_blocks() && b < num_blocks(),
                 "swap_blocks: block out of range");
   if (a == b) return;
+  obs::record_event(obs::EventKind::kSwapBlocks, obs::Engine::kNone, a, b);
   for (auto& blk : assignment_) {
     if (blk == a) {
       blk = b;
@@ -135,6 +158,12 @@ void Partition::move(NodeId v, BlockId to) {
   --node_count_[from];
   ++node_count_[to];
   assignment_[v] = to;
+
+  if (obs::recorder_enabled()) {
+    auto& rec = obs::Recorder::instance();
+    rec.record(obs::Event{obs::EventKind::kMove, obs::Engine::kNone, v, from,
+                          to, rec.take_staged_gain(), cut_});
+  }
 }
 
 std::vector<NodeId> Partition::block_nodes(BlockId b) const {
@@ -169,6 +198,25 @@ void Partition::restore(const Snapshot& s) {
   FPART_REQUIRE(s.assignment.size() == assignment_.size(),
                 "restore: snapshot from a different hypergraph");
   FPART_REQUIRE(s.num_blocks >= 1, "restore: empty snapshot");
+  if (obs::recorder_enabled()) {
+    // Replay the snapshot as a diff of ordinary mutations so the event
+    // log stays a complete replay script: grow to the snapshot's block
+    // count first (so every diff move has a valid target), then move the
+    // differing nodes, then drop now-empty trailing blocks. Incremental
+    // updates keep the state exact, so no rebuild is needed.
+    std::uint32_t diffs = 0;
+    for (NodeId v = 0; v < assignment_.size(); ++v) {
+      if (assignment_[v] != s.assignment[v]) ++diffs;
+    }
+    obs::record_event(obs::EventKind::kRestore, obs::Engine::kNone, diffs,
+                      s.num_blocks);
+    while (num_blocks() < s.num_blocks) add_block();
+    for (NodeId v = 0; v < assignment_.size(); ++v) {
+      if (assignment_[v] != s.assignment[v]) move(v, s.assignment[v]);
+    }
+    while (num_blocks() > s.num_blocks) remove_last_block();
+    return;
+  }
   assignment_ = s.assignment;
   size_.assign(s.num_blocks, 0);
   pins_.assign(s.num_blocks, 0);

@@ -67,6 +67,8 @@ class Partition {
 
   // --- Queries ------------------------------------------------------------
   BlockId block_of(NodeId v) const { return assignment_[v]; }
+  /// Full per-node assignment (terminals carry kInvalidBlock).
+  std::span<const BlockId> assignment() const { return assignment_; }
   std::uint64_t block_size(BlockId b) const { return size_[b]; }
   /// I/O pin demand T_b of block b.
   std::uint64_t block_pins(BlockId b) const { return pins_[b]; }

@@ -1,0 +1,194 @@
+#include "partition/replay.hpp"
+
+#include <sstream>
+
+namespace fpart {
+
+std::uint64_t assignment_digest(std::span<const BlockId> assignment) {
+  std::uint64_t h = 0xcbf29ce484222325ull;  // FNV-1a offset basis
+  for (const BlockId b : assignment) {
+    std::uint32_t v = b;
+    for (int i = 0; i < 4; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 0x100000001b3ull;  // FNV prime
+    }
+  }
+  return h;
+}
+
+namespace {
+
+std::string hex(std::uint64_t v) {
+  std::ostringstream os;
+  os << std::hex << v;
+  return os.str();
+}
+
+}  // namespace
+
+ReplayResult replay_event_log(const Hypergraph& h, const obs::EventLog& log,
+                              bool check_moves) {
+  using obs::EventKind;
+  ReplayResult result;
+  const auto error = [&result](std::uint64_t index, const std::string& msg) {
+    std::ostringstream os;
+    if (index != ReplayResult::kNoDivergence) os << "event " << index << ": ";
+    os << msg;
+    result.errors.push_back(os.str());
+  };
+
+  if (log.header.graph_digest != 0 &&
+      log.header.graph_digest != h.structural_digest()) {
+    error(ReplayResult::kNoDivergence,
+          "hypergraph digest mismatch: log header has " +
+              hex(log.header.graph_digest) + ", input graph has " +
+              hex(h.structural_digest()) +
+              " — this log was recorded against a different netlist");
+    return result;
+  }
+
+  for (std::uint64_t i = 0; i < log.events.size(); ++i) {
+    const obs::Event& e = log.events[i];
+    switch (e.kind) {
+      case EventKind::kInit: {
+        if (e.value != h.num_nodes()) {
+          error(i, "init event expects " + std::to_string(e.value) +
+                       " nodes but the input graph has " +
+                       std::to_string(h.num_nodes()) +
+                       " — recorded on a different (e.g. clustered) graph");
+          return result;
+        }
+        result.partition.emplace(h, e.a);
+        ++result.mutations_applied;
+        break;
+      }
+      case EventKind::kMove: {
+        if (!result.partition) {
+          error(i, "move before init");
+          return result;
+        }
+        Partition& p = *result.partition;
+        if (e.a >= h.num_nodes() || h.is_terminal(e.a)) {
+          error(i, "move of invalid node " + std::to_string(e.a));
+          return result;
+        }
+        if (e.c >= p.num_blocks()) {
+          error(i, "move to nonexistent block " + std::to_string(e.c));
+          return result;
+        }
+        if (check_moves && p.block_of(e.a) != e.b) {
+          error(i, "node " + std::to_string(e.a) + " is in block " +
+                       std::to_string(p.block_of(e.a)) +
+                       " but the log says it moved from block " +
+                       std::to_string(e.b));
+          if (result.first_divergence == ReplayResult::kNoDivergence) {
+            result.first_divergence = i;
+          }
+          return result;
+        }
+        p.move(e.a, e.c);
+        ++result.mutations_applied;
+        if (check_moves && p.cut_size() != e.value) {
+          error(i, "cut diverged after moving node " + std::to_string(e.a) +
+                       ": replay has " + std::to_string(p.cut_size()) +
+                       ", log recorded " + std::to_string(e.value));
+          if (result.first_divergence == ReplayResult::kNoDivergence) {
+            result.first_divergence = i;
+          }
+          return result;
+        }
+        break;
+      }
+      case EventKind::kAddBlock: {
+        if (!result.partition) {
+          error(i, "add_block before init");
+          return result;
+        }
+        const BlockId id = result.partition->add_block();
+        ++result.mutations_applied;
+        if (id != e.a) {
+          error(i, "add_block produced block " + std::to_string(id) +
+                       " but the log recorded " + std::to_string(e.a));
+          return result;
+        }
+        break;
+      }
+      case EventKind::kRemoveBlock: {
+        if (!result.partition) {
+          error(i, "remove_block before init");
+          return result;
+        }
+        result.partition->remove_last_block();
+        ++result.mutations_applied;
+        break;
+      }
+      case EventKind::kSwapBlocks: {
+        if (!result.partition) {
+          error(i, "swap_blocks before init");
+          return result;
+        }
+        Partition& p = *result.partition;
+        if (e.a >= p.num_blocks() || e.b >= p.num_blocks()) {
+          error(i, "swap_blocks out of range");
+          return result;
+        }
+        p.swap_blocks(e.a, e.b);
+        ++result.mutations_applied;
+        break;
+      }
+      default:
+        break;  // semantic annotation — nothing to apply
+    }
+  }
+
+  if (!result.partition) {
+    error(ReplayResult::kNoDivergence, "log contains no init event");
+    return result;
+  }
+
+  if (log.final_state) {
+    const obs::FinalState& fin = *log.final_state;
+    const Partition& p = *result.partition;
+    if (fin.k != p.num_blocks()) {
+      error(ReplayResult::kNoDivergence,
+            "final block count diverged: replay has " +
+                std::to_string(p.num_blocks()) + ", footer has " +
+                std::to_string(fin.k));
+    }
+    if (fin.cut != p.cut_size()) {
+      error(ReplayResult::kNoDivergence,
+            "final cut diverged: replay has " + std::to_string(p.cut_size()) +
+                ", footer has " + std::to_string(fin.cut));
+    }
+    if (fin.km1 != p.connectivity_km1()) {
+      error(ReplayResult::kNoDivergence,
+            "final K-1 diverged: replay has " +
+                std::to_string(p.connectivity_km1()) + ", footer has " +
+                std::to_string(fin.km1));
+    }
+    for (std::uint32_t b = 0; b < fin.blocks.size() && b < p.num_blocks();
+         ++b) {
+      if (fin.blocks[b].first != p.block_size(b) ||
+          fin.blocks[b].second != p.block_pins(b)) {
+        error(ReplayResult::kNoDivergence,
+              "final block " + std::to_string(b) +
+                  " diverged: replay has S=" +
+                  std::to_string(p.block_size(b)) + " T=" +
+                  std::to_string(p.block_pins(b)) + ", footer has S=" +
+                  std::to_string(fin.blocks[b].first) + " T=" +
+                  std::to_string(fin.blocks[b].second));
+      }
+    }
+    const std::uint64_t digest = assignment_digest(p.assignment());
+    if (fin.assignment_digest != 0 && fin.assignment_digest != digest) {
+      error(ReplayResult::kNoDivergence,
+            "assignment digest diverged: replay has " + hex(digest) +
+                ", footer has " + hex(fin.assignment_digest));
+    }
+  }
+
+  result.ok = result.errors.empty();
+  return result;
+}
+
+}  // namespace fpart

@@ -1,0 +1,56 @@
+// Event-log replay: re-derives a partition from an fpart-events/1 log.
+//
+// The flight recorder (obs/recorder.hpp) logs every Partition mutation
+// (init, move, add/remove/swap block; restores expand into diff moves),
+// so applying just the mutation events in order to a fresh Partition over
+// the same hypergraph must land, byte for byte, on the recorded final
+// state. replay_event_log() does exactly that, cross-checking:
+//
+//   * the hypergraph's structural digest against the log header,
+//   * each move's source block and resulting cut against the recorded
+//     values (first divergence is reported with its event index),
+//   * the final k / cut / K-1 / per-block S_j,T_j / assignment digest
+//     against the log's footer.
+//
+// tools/fpart_inspect drives this from the command line; a ctest chains
+// fpart_cli --events with `fpart_inspect replay` as the determinism gate.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "obs/recorder.hpp"
+#include "partition/partition.hpp"
+
+namespace fpart {
+
+/// 64-bit FNV-1a digest of a per-node block assignment (terminals hash
+/// their kInvalidBlock marker). Recorded in the log footer and recomputed
+/// by replay.
+std::uint64_t assignment_digest(std::span<const BlockId> assignment);
+
+struct ReplayResult {
+  /// True iff every mutation applied cleanly, every recorded cut matched,
+  /// and the final state matches the footer (when the log has one).
+  bool ok = false;
+  /// Divergences and structural problems, in discovery order.
+  std::vector<std::string> errors;
+  /// Mutation events applied.
+  std::uint64_t mutations_applied = 0;
+  /// Event index of the first cut/source divergence (or npos).
+  static constexpr std::uint64_t kNoDivergence = ~std::uint64_t{0};
+  std::uint64_t first_divergence = kNoDivergence;
+  /// The re-derived partition (absent if the log never initialized one).
+  std::optional<Partition> partition;
+};
+
+/// Applies the mutation events of `log` to a fresh Partition over `h`.
+/// `check_moves` additionally validates each move's recorded source block
+/// and resulting cut (leave on; off only to time raw application).
+ReplayResult replay_event_log(const Hypergraph& h, const obs::EventLog& log,
+                              bool check_moves = true);
+
+}  // namespace fpart

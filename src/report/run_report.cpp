@@ -23,6 +23,10 @@ void write_meta(JsonWriter& w, const RunMeta& meta) {
   w.value(meta.method);
   w.key("seed");
   w.value(meta.seed);
+  if (!meta.events_path.empty()) {
+    w.key("events_path");
+    w.value(meta.events_path);
+  }
   w.end_object();
 }
 
@@ -182,6 +186,95 @@ void write_bench_report_file(const std::string& path,
                              std::string_view bench_name,
                              std::span<const RunRecord> records) {
   write_file(path, bench_report_json(bench_name, records));
+}
+
+std::string options_json(const Options& opt) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("cost");
+  w.begin_object();
+  w.key("lambda_s");
+  w.value(opt.cost.lambda_s);
+  w.key("lambda_t");
+  w.value(opt.cost.lambda_t);
+  w.key("lambda_r");
+  w.value(opt.cost.lambda_r);
+  w.key("lambda_e");
+  w.value(opt.cost.lambda_e);
+  w.end_object();
+  w.key("move_region");
+  w.begin_object();
+  w.key("eps_min_two_block");
+  w.value(opt.move_region.eps_min_two_block);
+  w.key("eps_min_multi");
+  w.value(opt.move_region.eps_min_multi);
+  w.key("eps_max");
+  w.value(opt.move_region.eps_max);
+  w.end_object();
+  w.key("refiner");
+  w.begin_object();
+  w.key("max_passes");
+  w.value(static_cast<std::int64_t>(opt.refiner.max_passes));
+  w.key("stack_depth");
+  w.value(static_cast<std::uint64_t>(opt.refiner.stack_depth));
+  w.key("legality_scan_limit");
+  w.value(static_cast<std::uint64_t>(opt.refiner.legality_scan_limit));
+  w.key("tie_scan_limit");
+  w.value(static_cast<std::uint64_t>(opt.refiner.tie_scan_limit));
+  w.key("prefer_moves_from_remainder");
+  w.value(opt.refiner.prefer_moves_from_remainder);
+  w.key("use_level2_gains");
+  w.value(opt.refiner.use_level2_gains);
+  w.key("max_moves_per_pass");
+  w.value(static_cast<std::uint64_t>(opt.refiner.max_moves_per_pass));
+  w.key("gain_mode");
+  w.value(opt.refiner.gain_mode == GainMode::kPinCount ? "pin_count"
+                                                       : "cut_nets");
+  w.key("infeasible_stop_window");
+  w.value(static_cast<std::uint64_t>(opt.refiner.infeasible_stop_window));
+  w.end_object();
+  w.key("sigma1");
+  w.value(opt.sigma1);
+  w.key("sigma2");
+  w.value(opt.sigma2);
+  w.key("n_small");
+  w.value(static_cast<std::uint64_t>(opt.n_small));
+  w.key("seed");
+  w.value(opt.seed);
+  w.key("max_iterations");
+  w.value(static_cast<std::uint64_t>(opt.max_iterations));
+  w.key("schedule");
+  w.begin_object();
+  w.key("last_pair");
+  w.value(opt.schedule.last_pair);
+  w.key("all_blocks");
+  w.value(opt.schedule.all_blocks);
+  w.key("min_blocks");
+  w.value(opt.schedule.min_blocks);
+  w.key("final_sweep");
+  w.value(opt.schedule.final_sweep);
+  w.end_object();
+  w.end_object();
+  return w.take();
+}
+
+obs::RunHeader make_event_log_header(const Hypergraph& h, const Device& d,
+                                     const Options& opt,
+                                     std::string_view method) {
+  obs::RunHeader header;
+  header.method = std::string(method);
+  header.seed = opt.seed;
+  header.device_name = d.name();
+  header.device_smax = d.s_max_cells();
+  header.device_tmax = d.t_max();
+  header.device_fill = d.fill();
+  header.graph_nodes = h.num_nodes();
+  header.graph_interior = h.num_interior();
+  header.graph_nets = h.num_nets();
+  header.graph_pins = h.num_pins();
+  header.graph_digest = h.structural_digest();
+  header.options_json = options_json(opt);
+  return header;
 }
 
 }  // namespace fpart

@@ -19,7 +19,11 @@
 #include <string>
 #include <string_view>
 
+#include "core/options.hpp"
 #include "core/result.hpp"
+#include "device/device.hpp"
+#include "hypergraph/hypergraph.hpp"
+#include "obs/recorder.hpp"
 
 namespace fpart {
 
@@ -32,6 +36,9 @@ struct RunMeta {
   std::string device;
   std::string method;   // fpart | clustered | kwayx | fbb | ...
   std::uint64_t seed = 0;
+  /// Path of the flight-recorder event log when one was written
+  /// (fpart_cli --events); emitted as meta.events_path when non-empty.
+  std::string events_path;
 };
 
 struct RunRecord {
@@ -57,5 +64,16 @@ std::string bench_report_json(std::string_view bench_name,
 void write_bench_report_file(const std::string& path,
                              std::string_view bench_name,
                              std::span<const RunRecord> records);
+
+/// Serializes the full Options set as a JSON object (embedded verbatim in
+/// the fpart-events/1 header so a log pins down every tunable of its run).
+std::string options_json(const Options& opt);
+
+/// Fills a flight-recorder header from the run's inputs: method name, RNG
+/// seed + options, device limits, and the hypergraph's shape + structural
+/// digest. Pass the result to obs::Recorder::start().
+obs::RunHeader make_event_log_header(const Hypergraph& h, const Device& d,
+                                     const Options& opt,
+                                     std::string_view method);
 
 }  // namespace fpart

@@ -7,7 +7,9 @@
 #include "fm/gains.hpp"
 #include "fm/repair.hpp"
 #include "obs/phase.hpp"
+#include "obs/recorder.hpp"
 #include "obs/stats.hpp"
+#include "partition/audit.hpp"
 #include "util/assert.hpp"
 
 namespace fpart {
@@ -212,6 +214,8 @@ bool MultiwayRefiner::pass(const MoveRegion& region, bool collect_stacks,
   const SolutionEval start = eval_.evaluate(p_, remainder_);
   SolutionEval best = start;
   std::size_t best_len = 0;
+  obs::record_event(obs::EventKind::kPassBegin, obs::Engine::kSanchis,
+                    pass_seq_++, 0, 0, obs::kNoGain, start.total_pins);
 
   init_buckets();
   std::vector<std::pair<NodeId, BlockId>> log;
@@ -232,6 +236,9 @@ bool MultiwayRefiner::pass(const MoveRegion& region, bool collect_stacks,
       if (t != c.from_idx) bucket(c.from_idx, t).remove(v);
     }
     in_buckets_[v] = 0;  // locked for the rest of the pass
+    if (obs::recorder_enabled()) {
+      obs::Recorder::instance().stage_gain(c.gain);
+    }
     p_.move(v, to);
     log.emplace_back(v, from);
     if (stats != nullptr) ++stats->moves;
@@ -268,6 +275,14 @@ bool MultiwayRefiner::pass(const MoveRegion& region, bool collect_stacks,
     }
   }
 
+  if (audit_enabled()) audit_bucket_gains();
+
+  if (log.size() > best_len) {
+    obs::record_event(obs::EventKind::kRollback, obs::Engine::kSanchis,
+                      static_cast<std::uint32_t>(log.size() - best_len),
+                      static_cast<std::uint32_t>(best_len), 0, obs::kNoGain,
+                      best.total_pins);
+  }
   for (std::size_t i = log.size(); i > best_len; --i) {
     p_.move(log[i - 1].first, log[i - 1].second);
   }
@@ -291,7 +306,46 @@ bool MultiwayRefiner::pass(const MoveRegion& region, bool collect_stacks,
     best_snapshot_ = p_.snapshot();
     if (stats != nullptr) stats->improved = true;
   }
+  obs::record_event(obs::EventKind::kPassEnd, obs::Engine::kSanchis,
+                    static_cast<std::uint32_t>(log.size()),
+                    static_cast<std::uint32_t>(log.size() - best_len),
+                    best.better_than(start) ? 1 : 0, obs::kNoGain,
+                    best.total_pins);
+  if (audit_enabled()) audit_partition(p_, "sanchis.pass");
   return best.better_than(start);
+}
+
+void MultiwayRefiner::audit_bucket_gains() {
+  const Hypergraph& h = p_.graph();
+  const std::size_t k = active_.size();
+  std::vector<int> gains;
+  for (NodeId v = 0; v < h.num_nodes(); ++v) {
+    if (!in_buckets_[v]) continue;
+    const std::uint32_t f_idx = active_index_[p_.block_of(v)];
+    if (f_idx == kNone) {
+      audit_fail("sanchis.pass", "node " + std::to_string(v) +
+                                     " in buckets but its block is inactive");
+    }
+    compute_gains(v, gains);
+    for (std::size_t t = 0; t < k; ++t) {
+      if (t == f_idx) continue;
+      GainBucket& bk = bucket(f_idx, t);
+      if (!bk.contains(v)) {
+        audit_fail("sanchis.pass",
+                   "node " + std::to_string(v) +
+                       " missing from direction bucket " +
+                       std::to_string(f_idx) + "->" + std::to_string(t));
+      }
+      if (bk.gain(v) != gains[t]) {
+        audit_fail("sanchis.pass",
+                   "stale gain for node " + std::to_string(v) +
+                       " direction " + std::to_string(f_idx) + "->" +
+                       std::to_string(t) + ": bucket " +
+                       std::to_string(bk.gain(v)) + ", recomputed " +
+                       std::to_string(gains[t]));
+      }
+    }
+  }
 }
 
 void MultiwayRefiner::run_series(const MoveRegion& region,
@@ -310,6 +364,9 @@ SolutionEval MultiwayRefiner::improve(std::span<const BlockId> blocks,
                 "move region size mismatch");
   const obs::ScopedPhase phase("sanchis.improve");
   FPART_COUNTER_INC("sanchis.improve_calls");
+  obs::record_event(obs::EventKind::kImproveBegin, obs::Engine::kSanchis,
+                    static_cast<std::uint32_t>(blocks.size()), 0, 0,
+                    obs::kNoGain, p_.cut_size());
   FPART_HISTOGRAM_RECORD("sanchis.active_blocks", blocks.size());
   if (obs::stats_enabled()) {
     // Move-region width per active block; the remainder's +inf window is
@@ -363,8 +420,11 @@ SolutionEval MultiwayRefiner::improve(std::span<const BlockId> blocks,
     std::vector<SolutionStack::Entry> starts = semi_stack_.entries();
     const auto& inf = infeasible_stack_.entries();
     starts.insert(starts.end(), inf.begin(), inf.end());
-    for (const auto& entry : starts) {
-      p_.restore(entry.snapshot);
+    for (std::size_t i = 0; i < starts.size(); ++i) {
+      obs::record_event(obs::EventKind::kStackRewind, obs::Engine::kSanchis,
+                        static_cast<std::uint32_t>(i),
+                        static_cast<std::uint32_t>(starts.size()));
+      p_.restore(starts[i].snapshot);
       if (stats != nullptr) ++stats->restarts;
       FPART_COUNTER_INC("sanchis.stack_rewinds");
       run_series(region, /*collect_stacks=*/false, stats);

@@ -124,6 +124,10 @@ class MultiwayRefiner {
             RefineStats* stats);
 
   void init_buckets();
+  /// Gain-bucket audit (audit.hpp): every unlocked cell's stored gains
+  /// must match a fresh compute_gains(). Called at the end of the move
+  /// loop, before rollback, while the buckets are still live.
+  void audit_bucket_gains();
   Candidate select_move(const MoveRegion& region);
   bool move_legal(NodeId v, BlockId from, BlockId to,
                   const MoveRegion& region) const;
@@ -144,6 +148,7 @@ class MultiwayRefiner {
   std::vector<std::uint8_t> in_buckets_;
   std::vector<std::uint32_t> node_epoch_;  // dedupe per-move gain refreshes
   std::uint32_t epoch_ = 0;
+  std::uint32_t pass_seq_ = 0;  // flight-recorder pass index
 
   SolutionEval best_eval_;
   Partition::Snapshot best_snapshot_;

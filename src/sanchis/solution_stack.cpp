@@ -1,5 +1,7 @@
 #include "sanchis/solution_stack.hpp"
 
+#include "obs/recorder.hpp"
+
 namespace fpart {
 
 namespace {
@@ -25,6 +27,10 @@ bool SolutionStack::offer(const SolutionEval& eval, const Partition& p) {
   entries_.insert(entries_.begin() + static_cast<std::ptrdiff_t>(pos),
                   Entry{eval, p.snapshot()});
   if (entries_.size() > depth_) entries_.pop_back();
+  obs::record_event(obs::EventKind::kStackPush, obs::Engine::kSanchis,
+                    static_cast<std::uint32_t>(entries_.size()),
+                    static_cast<std::uint32_t>(pos), 0, obs::kNoGain,
+                    eval.total_pins);
   return true;
 }
 

@@ -3,6 +3,12 @@
 // result. These sweeps exist to hit the code paths the curated tests
 // don't: pin-critical devices, near-degenerate circuits, heavy fanout,
 // disconnected remainders.
+//
+// Every fuzzed run executes with the inline invariant auditor enabled
+// (partition/audit.hpp): each pass boundary recomputes cut and per-block
+// S_j/T_j from scratch and the engines cross-check their gain buckets,
+// so incremental-bookkeeping bugs abort the run at the pass where they
+// first appear instead of surfacing as a wrong final verify.
 #include <gtest/gtest.h>
 
 #include "baselines/kwayx.hpp"
@@ -10,11 +16,19 @@
 #include "core/fpart.hpp"
 #include "flow/fbb.hpp"
 #include "netlist/generator.hpp"
+#include "partition/audit.hpp"
 #include "partition/verify.hpp"
 #include "util/rng.hpp"
 
 namespace fpart {
 namespace {
+
+/// Turns the pass-boundary auditor on for the test's lifetime.
+class AuditedTest : public ::testing::TestWithParam<int> {
+ protected:
+  void SetUp() override { set_audit_enabled(true); }
+  void TearDown() override { set_audit_enabled(false); }
+};
 
 struct FuzzInstance {
   Hypergraph h;
@@ -53,7 +67,7 @@ FuzzInstance make_instance(std::uint64_t seed) {
                       Device("FUZZ", Family::kXC3000, s_ds, t_max, fill)};
 }
 
-class PartitionerFuzzTest : public ::testing::TestWithParam<int> {};
+class PartitionerFuzzTest : public AuditedTest {};
 
 TEST_P(PartitionerFuzzTest, AllMethodsProduceVerifiedFeasibleResults) {
   const FuzzInstance inst = make_instance(
@@ -86,7 +100,7 @@ TEST_P(PartitionerFuzzTest, AllMethodsProduceVerifiedFeasibleResults) {
 INSTANTIATE_TEST_SUITE_P(Seeds, PartitionerFuzzTest,
                          ::testing::Range(0, 20));
 
-class OptionFuzzTest : public ::testing::TestWithParam<int> {};
+class OptionFuzzTest : public AuditedTest {};
 
 TEST_P(OptionFuzzTest, RandomOptionCombinationsStayCorrect) {
   Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729 + 3);

@@ -138,6 +138,33 @@ TEST_F(ObsSchemaTest, RunReportIsParseableAndSchemaStable) {
       << "root phase wall=" << root_wall << " vs result=" << r.seconds;
 }
 
+TEST_F(ObsSchemaTest, MetaEventsPathIsEmittedOnlyWhenSet) {
+  PartitionResult r;
+  r.k = 1;
+  r.blocks.resize(1);
+
+  RunMeta meta;
+  meta.circuit = "c";
+  meta.device = "d";
+  meta.method = "fpart";
+  meta.seed = 1;
+
+  // Without an event log: no events_path key (absence means "no log").
+  const auto without = obs::json_parse(run_report_json(meta, r));
+  ASSERT_TRUE(without.has_value());
+  const JsonValue& m0 = require(*without, "meta", JsonValue::Type::kObject);
+  EXPECT_EQ(m0.find("events_path"), nullptr);
+
+  // With one: meta.events_path carries the path so downstream tooling can
+  // find the fpart-events/1 log that belongs to this report.
+  meta.events_path = "/tmp/run.events.jsonl";
+  const auto with = obs::json_parse(run_report_json(meta, r));
+  ASSERT_TRUE(with.has_value());
+  const JsonValue& m1 = require(*with, "meta", JsonValue::Type::kObject);
+  EXPECT_EQ(require(m1, "events_path", JsonValue::Type::kString).string,
+            "/tmp/run.events.jsonl");
+}
+
 TEST_F(ObsSchemaTest, BenchReportIsParseableAndSchemaStable) {
   const Device d = xilinx::xc3020();
   const Hypergraph h = mcnc::generate("c3540", d.family());

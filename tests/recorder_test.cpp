@@ -1,0 +1,193 @@
+// Flight-recorder contract tests (obs/recorder.hpp + partition/replay.hpp):
+// determinism (same seed → byte-identical logs, different seed → different
+// trajectories), JSONL parse round-trips, and replay as an exact oracle —
+// including that replay *rejects* tampered logs and wrong inputs.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/fpart.hpp"
+#include "device/device.hpp"
+#include "netlist/generator.hpp"
+#include "obs/recorder.hpp"
+#include "partition/audit.hpp"
+#include "partition/replay.hpp"
+#include "report/run_report.hpp"
+
+namespace fpart {
+namespace {
+
+Hypergraph test_circuit() {
+  GeneratorConfig config;
+  config.num_cells = 220;
+  config.num_terminals = 24;
+  config.seed = 7;
+  return generate_circuit(config);
+}
+
+Device test_device() {
+  return Device("REC-TEST", Family::kXC3000, 64, 48, 1.0);
+}
+
+struct RecordedRun {
+  std::string jsonl;
+  PartitionResult result;
+};
+
+/// Runs FPART on the shared test instance with the recorder on and
+/// returns the flushed log + result. Leaves the recorder stopped.
+RecordedRun record_run(const Hypergraph& h, const Device& d,
+                       std::uint64_t seed) {
+  Options opt;
+  opt.seed = seed;
+  obs::Recorder::instance().start(make_event_log_header(h, d, opt, "fpart"));
+  RecordedRun run;
+  run.result = FpartPartitioner(opt).run(h, d);
+  obs::Recorder::instance().stop();
+  run.jsonl = obs::Recorder::instance().to_jsonl();
+  return run;
+}
+
+class RecorderTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    obs::Recorder::instance().reset();
+    set_audit_enabled(false);
+  }
+};
+
+TEST_F(RecorderTest, DisabledByDefault) {
+  obs::Recorder::instance().reset();
+  EXPECT_FALSE(obs::recorder_enabled());
+  obs::record_event(obs::EventKind::kMove, obs::Engine::kFm, 1, 0, 1);
+  EXPECT_EQ(obs::Recorder::instance().event_count(), 0u);
+}
+
+TEST_F(RecorderTest, StagedGainIsConsumedOnce) {
+  auto& rec = obs::Recorder::instance();
+  rec.stage_gain(5);
+  EXPECT_EQ(rec.take_staged_gain(), 5);
+  EXPECT_EQ(rec.take_staged_gain(), obs::kNoGain);
+}
+
+TEST_F(RecorderTest, SameSeedProducesByteIdenticalLogs) {
+  const Hypergraph h = test_circuit();
+  const Device d = test_device();
+  const RecordedRun a = record_run(h, d, 42);
+  const RecordedRun b = record_run(h, d, 42);
+  EXPECT_GT(a.jsonl.size(), 0u);
+  EXPECT_EQ(a.jsonl, b.jsonl);  // byte-for-byte
+  EXPECT_EQ(a.result.k, b.result.k);
+  EXPECT_EQ(a.result.cut, b.result.cut);
+}
+
+TEST_F(RecorderTest, DifferentSeedDiverges) {
+  const Hypergraph h = test_circuit();
+  const Device d = test_device();
+  const RecordedRun a = record_run(h, d, 1);
+  const RecordedRun b = record_run(h, d, 2);
+  EXPECT_NE(a.jsonl, b.jsonl);
+  // The headers must pin down *why*: the recorded seeds differ.
+  const obs::EventLog la = obs::parse_event_log(a.jsonl);
+  const obs::EventLog lb = obs::parse_event_log(b.jsonl);
+  EXPECT_EQ(la.header.seed, 1u);
+  EXPECT_EQ(lb.header.seed, 2u);
+  EXPECT_NE(la.events, lb.events);
+}
+
+TEST_F(RecorderTest, JsonlRoundTripsThroughParser) {
+  const Hypergraph h = test_circuit();
+  const Device d = test_device();
+  const RecordedRun run = record_run(h, d, 3);
+
+  const obs::EventLog log = obs::parse_event_log(run.jsonl);
+  const auto& rec = obs::Recorder::instance();
+  EXPECT_EQ(log.header.method, "fpart");
+  EXPECT_EQ(log.header.seed, 3u);
+  EXPECT_EQ(log.header.graph_nodes, h.num_nodes());
+  EXPECT_EQ(log.header.graph_digest, h.structural_digest());
+  ASSERT_EQ(log.events.size(), rec.events().size());
+  EXPECT_EQ(log.events, rec.events());  // Event::operator== per entry
+  ASSERT_TRUE(log.final_state.has_value());
+  EXPECT_EQ(log.final_state->k, run.result.k);
+  EXPECT_EQ(log.final_state->cut, run.result.cut);
+  EXPECT_EQ(log.final_state->km1, run.result.km1);
+}
+
+TEST_F(RecorderTest, ReplayReproducesTheRecordedRun) {
+  const Hypergraph h = test_circuit();
+  const Device d = test_device();
+  const RecordedRun run = record_run(h, d, 4);
+  const obs::EventLog log = obs::parse_event_log(run.jsonl);
+  obs::Recorder::instance().reset();  // replay must not re-record
+
+  const ReplayResult r = replay_event_log(h, log);
+  ASSERT_TRUE(r.ok) << (r.errors.empty() ? "" : r.errors.front());
+  EXPECT_EQ(r.first_divergence, ReplayResult::kNoDivergence);
+  ASSERT_TRUE(r.partition.has_value());
+  EXPECT_EQ(r.partition->num_blocks(), run.result.k);
+  EXPECT_EQ(r.partition->cut_size(), run.result.cut);
+  ASSERT_TRUE(log.final_state.has_value());
+  EXPECT_EQ(assignment_digest(r.partition->assignment()),
+            log.final_state->assignment_digest);
+}
+
+TEST_F(RecorderTest, ReplayDetectsATamperedMove) {
+  const Hypergraph h = test_circuit();
+  const Device d = test_device();
+  const RecordedRun run = record_run(h, d, 5);
+  obs::EventLog log = obs::parse_event_log(run.jsonl);
+  obs::Recorder::instance().reset();
+
+  // Flip the destination of some mid-log move; the resulting-cut
+  // cross-check must flag that exact event.
+  bool tampered = false;
+  for (std::size_t i = log.events.size() / 2; i < log.events.size(); ++i) {
+    obs::Event& e = log.events[i];
+    if (e.kind == obs::EventKind::kMove && e.c != e.b) {
+      e.c = e.b;  // "move" the node right back where it came from
+      tampered = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(tampered) << "log unexpectedly contains no usable move";
+
+  const ReplayResult r = replay_event_log(h, log);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.first_divergence, ReplayResult::kNoDivergence);
+  EXPECT_FALSE(r.errors.empty());
+}
+
+TEST_F(RecorderTest, ReplayRejectsTheWrongHypergraph) {
+  const Hypergraph h = test_circuit();
+  const Device d = test_device();
+  const RecordedRun run = record_run(h, d, 6);
+  const obs::EventLog log = obs::parse_event_log(run.jsonl);
+  obs::Recorder::instance().reset();
+
+  GeneratorConfig other;
+  other.num_cells = 100;
+  other.num_terminals = 12;
+  other.seed = 99;
+  const Hypergraph wrong = generate_circuit(other);
+  const ReplayResult r = replay_event_log(wrong, log);
+  EXPECT_FALSE(r.ok);
+  ASSERT_FALSE(r.errors.empty());
+  EXPECT_NE(r.errors.front().find("digest"), std::string::npos);
+}
+
+TEST_F(RecorderTest, AuditedRecordedRunStaysClean) {
+  // Auditor + recorder together: every pass boundary recomputes the
+  // incremental state from scratch; any mismatch throws InvariantError
+  // with the current event index.
+  const Hypergraph h = test_circuit();
+  const Device d = test_device();
+  set_audit_enabled(true);
+  const RecordedRun run = record_run(h, d, 7);
+  EXPECT_TRUE(run.result.feasible);
+  const obs::EventLog log = obs::parse_event_log(run.jsonl);
+  EXPECT_GT(log.events.size(), 0u);
+}
+
+}  // namespace
+}  // namespace fpart

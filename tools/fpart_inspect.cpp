@@ -1,0 +1,390 @@
+// fpart_inspect — offline analysis of fpart-events/1 flight-recorder
+// logs (obs/recorder.hpp):
+//
+//   fpart_inspect replay  --events run.jsonl --in circuit.hgr [--json]
+//       Re-derives the final partition by applying the log's mutation
+//       events to the input hypergraph and checks it, byte for byte,
+//       against the recorded footer (cut, K-1, per-block S/T, assignment
+//       digest). Exit 0 iff the replay reproduces the recorded run.
+//
+//   fpart_inspect diff a.jsonl b.jsonl
+//       Compares two logs event by event and reports the first diverging
+//       event (the primary tool for chasing nondeterminism). Exit 0 iff
+//       the logs describe identical runs.
+//
+//   fpart_inspect summary --events run.jsonl [--json] [--curve N]
+//       Convergence overview: per-kind event counts, per-engine pass
+//       statistics (moves, rollback depth, improvement), and a sampled
+//       gain-vs-move curve.
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "netlist/hgr_io.hpp"
+#include "obs/json.hpp"
+#include "obs/recorder.hpp"
+#include "partition/replay.hpp"
+#include "report/table.hpp"
+#include "util/cli.hpp"
+
+using namespace fpart;
+
+namespace {
+
+std::string hex(std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "0x%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+int cmd_replay(const CliParser& cli) {
+  const obs::EventLog log = obs::read_event_log(cli.get("events"));
+  const Hypergraph h = read_hgr_file(cli.get("in"));
+  const ReplayResult r = replay_event_log(h, log);
+
+  if (cli.has("json")) {
+    obs::JsonWriter w;
+    w.begin_object();
+    w.key("ok");
+    w.value(r.ok);
+    w.key("mutations_applied");
+    w.value(r.mutations_applied);
+    w.key("events");
+    w.value(static_cast<std::uint64_t>(log.events.size()));
+    if (r.first_divergence != ReplayResult::kNoDivergence) {
+      w.key("first_divergence");
+      w.value(r.first_divergence);
+    }
+    w.key("errors");
+    w.begin_array();
+    for (const std::string& e : r.errors) w.value(e);
+    w.end_array();
+    if (r.partition) {
+      w.key("replayed");
+      w.begin_object();
+      w.key("k");
+      w.value(static_cast<std::uint64_t>(r.partition->num_blocks()));
+      w.key("cut");
+      w.value(r.partition->cut_size());
+      w.key("km1");
+      w.value(r.partition->connectivity_km1());
+      w.key("assignment_digest");
+      w.value(hex(assignment_digest(r.partition->assignment())));
+      w.end_object();
+    }
+    w.end_object();
+    std::printf("%s\n", w.take().c_str());
+    return r.ok ? 0 : 1;
+  }
+
+  std::printf("replayed %llu mutation events over %s (%llu total events)\n",
+              static_cast<unsigned long long>(r.mutations_applied),
+              cli.get("in").c_str(),
+              static_cast<unsigned long long>(log.events.size()));
+  if (r.partition) {
+    std::printf("  result: k=%u cut=%llu km1=%llu digest=%s\n",
+                r.partition->num_blocks(),
+                static_cast<unsigned long long>(r.partition->cut_size()),
+                static_cast<unsigned long long>(
+                    r.partition->connectivity_km1()),
+                hex(assignment_digest(r.partition->assignment())).c_str());
+  }
+  if (r.ok) {
+    std::printf("  replay matches the recorded run%s\n",
+                log.final_state ? " (footer verified)"
+                                : " (no footer to verify against)");
+    return 0;
+  }
+  std::printf("  REPLAY DIVERGED:\n");
+  for (const std::string& e : r.errors) std::printf("    %s\n", e.c_str());
+  return 1;
+}
+
+int cmd_diff(const std::string& path_a, const std::string& path_b) {
+  const obs::EventLog a = obs::read_event_log(path_a);
+  const obs::EventLog b = obs::read_event_log(path_b);
+  bool same = true;
+
+  if (a.header.method != b.header.method) {
+    std::printf("header: method differs (%s vs %s)\n",
+                a.header.method.c_str(), b.header.method.c_str());
+    same = false;
+  }
+  if (a.header.seed != b.header.seed) {
+    std::printf("header: seed differs (%llu vs %llu)\n",
+                static_cast<unsigned long long>(a.header.seed),
+                static_cast<unsigned long long>(b.header.seed));
+    same = false;
+  }
+  if (a.header.graph_digest != b.header.graph_digest) {
+    std::printf("header: hypergraph digest differs (%s vs %s) — the runs "
+                "partitioned different netlists\n",
+                hex(a.header.graph_digest).c_str(),
+                hex(b.header.graph_digest).c_str());
+    same = false;
+  }
+
+  const std::size_t common = std::min(a.events.size(), b.events.size());
+  for (std::size_t i = 0; i < common; ++i) {
+    if (a.events[i] == b.events[i]) continue;
+    std::printf("first diverging event at index %zu:\n", i);
+    std::printf("  a: %s\n", obs::event_json(a.events[i], i).c_str());
+    std::printf("  b: %s\n", obs::event_json(b.events[i], i).c_str());
+    if (i > 0) {
+      std::printf("  last common event:\n    %s\n",
+                  obs::event_json(a.events[i - 1], i - 1).c_str());
+    }
+    return 1;
+  }
+  if (a.events.size() != b.events.size()) {
+    std::printf("logs agree on the first %zu events but lengths differ "
+                "(%zu vs %zu)\n",
+                common, a.events.size(), b.events.size());
+    const auto& longer = a.events.size() > b.events.size() ? a : b;
+    std::printf("  first extra event (%s):\n    %s\n",
+                a.events.size() > b.events.size() ? "a" : "b",
+                obs::event_json(longer.events[common], common).c_str());
+    return 1;
+  }
+
+  if (a.final_state.has_value() != b.final_state.has_value()) {
+    std::printf("only one log carries a final-state footer\n");
+    same = false;
+  } else if (a.final_state && b.final_state) {
+    const obs::FinalState& fa = *a.final_state;
+    const obs::FinalState& fb = *b.final_state;
+    if (fa.k != fb.k || fa.cut != fb.cut || fa.km1 != fb.km1 ||
+        fa.assignment_digest != fb.assignment_digest ||
+        fa.blocks != fb.blocks) {
+      std::printf("footers differ: a{k=%u cut=%llu digest=%s} vs "
+                  "b{k=%u cut=%llu digest=%s}\n",
+                  fa.k, static_cast<unsigned long long>(fa.cut),
+                  hex(fa.assignment_digest).c_str(), fb.k,
+                  static_cast<unsigned long long>(fb.cut),
+                  hex(fb.assignment_digest).c_str());
+      same = false;
+    }
+  }
+
+  if (same) {
+    std::printf("logs are identical: %zu events, matching headers and "
+                "footers\n",
+                a.events.size());
+    return 0;
+  }
+  return 1;
+}
+
+struct EnginePassStats {
+  std::uint64_t passes = 0;
+  std::uint64_t improved = 0;
+  std::uint64_t moves = 0;
+  std::uint64_t rolled_back = 0;
+  std::uint64_t rollbacks = 0;
+  std::uint64_t rollback_depth_max = 0;
+  std::uint64_t rollback_depth_sum = 0;
+};
+
+int cmd_summary(const CliParser& cli) {
+  const obs::EventLog log = obs::read_event_log(cli.get("events"));
+
+  std::map<std::string, std::uint64_t> kind_counts;
+  std::map<std::string, EnginePassStats> engines;
+  // Gain-vs-move curve: cumulative staged gain and recorded cut per move.
+  std::vector<std::pair<std::int64_t, std::uint64_t>> curve;  // (cum, cut)
+  std::int64_t cum_gain = 0;
+  for (const obs::Event& e : log.events) {
+    ++kind_counts[obs::event_kind_name(e.kind)];
+    switch (e.kind) {
+      case obs::EventKind::kMove:
+        if (e.gain != obs::kNoGain) cum_gain += e.gain;
+        curve.emplace_back(cum_gain, e.value);
+        break;
+      case obs::EventKind::kPassEnd: {
+        EnginePassStats& s = engines[obs::engine_name(e.engine)];
+        ++s.passes;
+        s.improved += e.c != 0 ? 1 : 0;
+        s.moves += e.a;
+        s.rolled_back += e.b;
+        break;
+      }
+      case obs::EventKind::kRollback: {
+        EnginePassStats& s = engines[obs::engine_name(e.engine)];
+        ++s.rollbacks;
+        s.rollback_depth_sum += e.a;
+        s.rollback_depth_max = std::max<std::uint64_t>(
+            s.rollback_depth_max, e.a);
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  const auto curve_points =
+      static_cast<std::size_t>(cli.has("curve") ? cli.get_int("curve") : 16);
+
+  if (cli.has("json")) {
+    obs::JsonWriter w;
+    w.begin_object();
+    w.key("method");
+    w.value(log.header.method);
+    w.key("seed");
+    w.value(log.header.seed);
+    w.key("events");
+    w.value(static_cast<std::uint64_t>(log.events.size()));
+    w.key("kinds");
+    w.begin_object();
+    for (const auto& [name, count] : kind_counts) {
+      w.key(name);
+      w.value(count);
+    }
+    w.end_object();
+    w.key("engines");
+    w.begin_object();
+    for (const auto& [name, s] : engines) {
+      w.key(name);
+      w.begin_object();
+      w.key("passes");
+      w.value(s.passes);
+      w.key("improved");
+      w.value(s.improved);
+      w.key("moves");
+      w.value(s.moves);
+      w.key("rolled_back");
+      w.value(s.rolled_back);
+      w.key("rollback_depth_max");
+      w.value(s.rollback_depth_max);
+      w.key("rollback_depth_mean");
+      w.value(s.rollbacks == 0 ? 0.0
+                               : static_cast<double>(s.rollback_depth_sum) /
+                                     static_cast<double>(s.rollbacks));
+      w.end_object();
+    }
+    w.end_object();
+    w.key("curve");
+    w.begin_array();
+    if (!curve.empty()) {
+      const std::size_t n = std::min(curve_points, curve.size());
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t at = i * (curve.size() - 1) / std::max<std::size_t>(
+                                                            1, n - 1);
+        w.begin_array();
+        w.value(static_cast<std::uint64_t>(at));
+        w.value(static_cast<std::int64_t>(curve[at].first));
+        w.value(curve[at].second);
+        w.end_array();
+      }
+    }
+    w.end_array();
+    if (log.final_state) {
+      w.key("final");
+      w.begin_object();
+      w.key("k");
+      w.value(static_cast<std::uint64_t>(log.final_state->k));
+      w.key("cut");
+      w.value(log.final_state->cut);
+      w.key("km1");
+      w.value(log.final_state->km1);
+      w.end_object();
+    }
+    w.end_object();
+    std::printf("%s\n", w.take().c_str());
+    return 0;
+  }
+
+  std::printf("%s seed=%llu: %zu events on %llu-node/%llu-net graph "
+              "(digest %s)\n",
+              log.header.method.c_str(),
+              static_cast<unsigned long long>(log.header.seed),
+              log.events.size(),
+              static_cast<unsigned long long>(log.header.graph_nodes),
+              static_cast<unsigned long long>(log.header.graph_nets),
+              hex(log.header.graph_digest).c_str());
+  if (log.final_state) {
+    std::printf("final: k=%u cut=%llu km1=%llu\n", log.final_state->k,
+                static_cast<unsigned long long>(log.final_state->cut),
+                static_cast<unsigned long long>(log.final_state->km1));
+  }
+
+  Table kinds({"event", "count"});
+  for (const auto& [name, count] : kind_counts) {
+    kinds.add_row({name, fmt_int(static_cast<std::int64_t>(count))});
+  }
+  std::printf("\n%s", kinds.to_ascii().c_str());
+
+  if (!engines.empty()) {
+    Table passes({"engine", "passes", "improved", "moves", "rolled back",
+                  "rollback depth (mean/max)"});
+    for (const auto& [name, s] : engines) {
+      const double mean =
+          s.rollbacks == 0 ? 0.0
+                           : static_cast<double>(s.rollback_depth_sum) /
+                                 static_cast<double>(s.rollbacks);
+      passes.add_row({name, fmt_int(static_cast<std::int64_t>(s.passes)),
+                      fmt_int(static_cast<std::int64_t>(s.improved)),
+                      fmt_int(static_cast<std::int64_t>(s.moves)),
+                      fmt_int(static_cast<std::int64_t>(s.rolled_back)),
+                      fmt_double(mean, 1) + " / " +
+                          fmt_int(static_cast<std::int64_t>(
+                              s.rollback_depth_max))});
+    }
+    std::printf("\n%s", passes.to_ascii().c_str());
+  }
+
+  if (!curve.empty()) {
+    Table gain({"move", "cum gain", "cut"});
+    const std::size_t n = std::min(curve_points, curve.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t at =
+          i * (curve.size() - 1) / std::max<std::size_t>(1, n - 1);
+      gain.add_row({fmt_int(static_cast<std::int64_t>(at)),
+                    fmt_int(curve[at].first),
+                    fmt_int(static_cast<std::int64_t>(curve[at].second))});
+    }
+    std::printf("\ngain-vs-move curve (%zu of %zu moves sampled):\n%s", n,
+                curve.size(), gain.to_ascii().c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli;
+  cli.add_flag("events", "fpart-events/1 JSONL log path", "");
+  cli.add_flag("in", "input .hgr circuit (replay)", "");
+  cli.add_flag("json", "machine-readable JSON output", "");
+  cli.add_flag("curve", "gain-curve sample points (summary)", "16");
+  if (!cli.parse(argc, argv) || cli.positional().empty()) {
+    std::fprintf(stderr,
+                 "usage: fpart_inspect <replay|diff|summary> [flags]\n"
+                 "  replay  --events run.jsonl --in circuit.hgr [--json]\n"
+                 "  diff    a.jsonl b.jsonl\n"
+                 "  summary --events run.jsonl [--json] [--curve N]\n%s%s",
+                 cli.error().empty() ? "" : (cli.error() + "\n").c_str(),
+                 cli.usage("fpart_inspect").c_str());
+    return 2;
+  }
+
+  const std::string& command = cli.positional()[0];
+  try {
+    if (command == "replay") return cmd_replay(cli);
+    if (command == "diff") {
+      if (cli.positional().size() != 3) {
+        std::fprintf(stderr, "usage: fpart_inspect diff a.jsonl b.jsonl\n");
+        return 2;
+      }
+      return cmd_diff(cli.positional()[1], cli.positional()[2]);
+    }
+    if (command == "summary") return cmd_summary(cli);
+    std::fprintf(stderr, "unknown command: %s\n", command.c_str());
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

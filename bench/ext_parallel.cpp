@@ -1,0 +1,156 @@
+// Extension bench: parallel portfolio scaling (supplemental — the paper
+// predates commodity SMP). Races an 8-attempt FPART portfolio per
+// circuit at 1, 2 and 4 worker threads and reports wall-clock speedup
+// plus the determinism cross-check (the outcome digest must be
+// identical at every thread count).
+//
+// early_exit is off so every attempt runs to completion — the bench
+// measures raw fan-out scaling, not how fast the bound is hit. Speedup
+// is bounded by the machine: on an N-core box the 4-thread column can
+// approach min(4, N)x; the JSON records hardware_concurrency so the
+// number is interpretable. Writes BENCH_parallel.json
+// (fpart-parallel-bench/1) by default; argv[1] overrides the path.
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "device/xilinx.hpp"
+#include "harness.hpp"
+#include "netlist/mcnc.hpp"
+#include "obs/json.hpp"
+#include "report/table.hpp"
+#include "runtime/portfolio.hpp"
+#include "util/assert.hpp"
+
+using namespace fpart;
+
+namespace {
+
+constexpr const char* kSchema = "fpart-parallel-bench/1";
+constexpr std::uint32_t kAttempts = 8;
+const std::vector<unsigned> kThreadCounts = {1, 2, 4};
+
+struct CircuitRun {
+  std::string circuit;
+  std::string device;
+  std::uint32_t k = 0;
+  std::uint32_t m = 0;
+  std::uint64_t cut = 0;
+  std::uint64_t digest = 0;
+  bool digests_agree = true;
+  std::vector<double> seconds;  // aligned with kThreadCounts
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::print_banner(
+      "Extension: parallel portfolio scaling",
+      "8-attempt FPART portfolio at 1/2/4 threads; identical outcome "
+      "digest required at every thread count");
+
+  struct Case {
+    const char* circuit;
+    Device device;
+  };
+  const std::vector<Case> cases = {
+      {"s9234", xilinx::xc3020()},
+      {"c6288", xilinx::xc3020()},
+      {"s13207", xilinx::xc3020()},
+  };
+
+  std::vector<CircuitRun> runs;
+  Table table({"Circuit", "Device", "k*", "M", "t(1)*", "t(2)*", "t(4)*",
+               "speedup(4)*", "digest ok"});
+  for (const Case& c : cases) {
+    const Hypergraph h = mcnc::generate(c.circuit, c.device.family());
+    CircuitRun run;
+    run.circuit = c.circuit;
+    run.device = c.device.name();
+    for (const unsigned threads : kThreadCounts) {
+      runtime::PortfolioOptions opt;
+      opt.attempts = kAttempts;
+      opt.threads = threads;
+      opt.early_exit = false;
+      const runtime::PortfolioResult pr =
+          runtime::run_portfolio(h, c.device, opt);
+      run.seconds.push_back(pr.seconds);
+      if (threads == kThreadCounts.front()) {
+        run.k = pr.best.k;
+        run.m = pr.best.lower_bound;
+        run.cut = pr.best.cut;
+        run.digest = pr.digest;
+      } else if (pr.digest != run.digest) {
+        run.digests_agree = false;
+      }
+    }
+    const double speedup4 = run.seconds.front() / run.seconds.back();
+    table.add_row({run.circuit, run.device, fmt_int(run.k),
+                   fmt_int(run.m), fmt_double(run.seconds[0], 2),
+                   fmt_double(run.seconds[1], 2),
+                   fmt_double(run.seconds[2], 2), fmt_double(speedup4, 2),
+                   run.digests_agree ? "yes" : "NO"});
+    runs.push_back(std::move(run));
+  }
+  std::fputs(table.to_ascii().c_str(), stdout);
+
+  const std::string path =
+      argc > 1 ? argv[1] : std::string("BENCH_parallel.json");
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("schema");
+  w.value(kSchema);
+  w.key("bench");
+  w.value("ext_parallel");
+  w.key("attempts");
+  w.value(kAttempts);
+  w.key("threads");
+  w.begin_array();
+  for (const unsigned t : kThreadCounts) {
+    w.value(static_cast<std::uint64_t>(t));
+  }
+  w.end_array();
+  w.key("hardware_concurrency");
+  w.value(static_cast<std::uint64_t>(std::thread::hardware_concurrency()));
+  w.key("records");
+  w.begin_array();
+  bool all_agree = true;
+  for (const CircuitRun& run : runs) {
+    w.begin_object();
+    w.key("circuit");
+    w.value(run.circuit);
+    w.key("device");
+    w.value(run.device);
+    w.key("k");
+    w.value(run.k);
+    w.key("lower_bound");
+    w.value(run.m);
+    w.key("cut");
+    w.value(run.cut);
+    w.key("digest");
+    w.value(run.digest);
+    w.key("digests_agree");
+    w.value(run.digests_agree);
+    w.key("seconds");
+    w.begin_array();
+    for (const double s : run.seconds) w.value(s);
+    w.end_array();
+    w.key("speedup_4_threads");
+    w.value(run.seconds.front() / run.seconds.back());
+    w.end_object();
+    all_agree = all_agree && run.digests_agree;
+  }
+  w.end_array();
+  w.end_object();
+
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  FPART_REQUIRE(f != nullptr, "cannot write " + path);
+  const std::string body = w.take();
+  std::fwrite(body.data(), 1, body.size(), f);
+  std::fclose(f);
+  std::printf("\nwrote %s\n", path.c_str());
+
+  // Determinism is a hard requirement; scaling is machine-dependent.
+  return all_agree ? 0 : 1;
+}

@@ -6,6 +6,8 @@
 //   fpart_cli techmap   --blif design.blif --family XC3000 --out c.hgr
 //   fpart_cli partition --in c.hgr --device XC3042 [--method fpart]
 //                       [--starts 4] [--parts out.txt]
+//                       [--portfolio 8 --threads 4]
+//   fpart_cli partition --batch jobs.txt [--threads 4]
 //   fpart_cli verify    --in c.hgr --parts out.txt --device XC3042
 //   fpart_cli rent      --in c.hgr
 //
@@ -32,6 +34,9 @@
 #include "partition/audit.hpp"
 #include "partition/verify.hpp"
 #include "report/run_report.hpp"
+#include "runtime/batch.hpp"
+#include "runtime/portfolio.hpp"
+#include "runtime/thread_pool.hpp"
 #include "techmap/blif_io.hpp"
 #include "techmap/clb_pack.hpp"
 #include "techmap/random_logic.hpp"
@@ -110,11 +115,116 @@ int cmd_techmap(const CliParser& cli) {
   return 0;
 }
 
+/// `partition --batch <file>`: many jobs through one shared pool.
+int cmd_batch(const CliParser& cli) {
+  const std::vector<runtime::JobSpec> jobs =
+      runtime::parse_batch_file(cli.get("batch"));
+  runtime::ThreadPool pool(static_cast<unsigned>(cli.get_int("threads")));
+  const std::vector<runtime::JobResult> results =
+      runtime::run_batch(jobs, &pool);
+  bool all_ok = true;
+  for (const runtime::JobResult& r : results) {
+    if (!r.ok) {
+      std::printf("%-12s ERROR: %s\n", r.spec.id.c_str(), r.error.c_str());
+      all_ok = false;
+      continue;
+    }
+    std::printf("%-12s %s %s on %s: k=%u (M=%u), cut=%llu, %.2fs%s\n",
+                r.spec.id.c_str(), r.spec.method.c_str(),
+                r.spec.input.c_str(), r.spec.device.c_str(), r.result.k,
+                r.result.lower_bound,
+                static_cast<unsigned long long>(r.result.cut), r.seconds,
+                r.result.feasible ? "" : " INFEASIBLE");
+    all_ok = all_ok && r.result.feasible;
+  }
+  if (cli.has("stats-json")) {
+    runtime::write_batch_report_file(cli.get("stats-json"), results);
+    std::printf("batch report written to %s\n",
+                cli.get("stats-json").c_str());
+  }
+  std::printf("batch: %zu jobs on %u threads\n", results.size(),
+              pool.size());
+  return all_ok ? 0 : 1;
+}
+
+/// `partition --portfolio N`: race N seeded attempts, keep the winner.
+int run_portfolio_partition(const CliParser& cli, const Hypergraph& h,
+                            const Device& device, const std::string& method,
+                            std::uint32_t attempts) {
+  const bool want_events = cli.has("events");
+  runtime::PortfolioOptions popt;
+  popt.attempts = attempts;
+  popt.threads = static_cast<unsigned>(cli.get_int("threads"));
+  popt.method = method;
+  // Base seed 0 (the canonical deterministic run) unless the user asked
+  // for a specific stream; attempt i derives its seed from the base.
+  if (cli.has("seed")) {
+    popt.base.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  }
+  if (want_events) popt.events_prefix = cli.get("events");
+
+  const runtime::PortfolioResult pr = run_portfolio(h, device, popt);
+  const PartitionResult& r = pr.best;
+  std::printf(
+      "portfolio(%u/%u counted, %u threads) %s on %s: winner=%u, k=%u "
+      "(M=%u), cut=%llu, digest=%016llx, %.2fs wall / %.2fs cpu, "
+      "feasible=%s\n",
+      pr.counted, attempts, pr.threads, method.c_str(),
+      device.name().c_str(), pr.winner, r.k, r.lower_bound,
+      static_cast<unsigned long long>(r.cut),
+      static_cast<unsigned long long>(pr.digest), pr.seconds,
+      pr.cpu_seconds, r.feasible ? "yes" : "no");
+
+  if (want_events) {
+    // The winner's per-attempt log doubles as the run's --events log so
+    // the replay tooling (fpart_inspect replay) works unchanged.
+    const std::string& winner_log =
+        pr.attempts[pr.winner].events_path;
+    std::ifstream is(winner_log, std::ios::binary);
+    FPART_REQUIRE(is.good(), "cannot read " + winner_log);
+    std::ofstream os(cli.get("events"), std::ios::binary);
+    FPART_REQUIRE(os.good(), "cannot write " + cli.get("events"));
+    os << is.rdbuf();
+    std::printf("event logs: %u per-attempt files at %s.attempt<i>.jsonl; "
+                "winner copied to %s\n",
+                pr.counted, cli.get("events").c_str(),
+                cli.get("events").c_str());
+  }
+  if (cli.has("stats-json")) {
+    RunMeta meta;
+    meta.circuit = cli.get("in");
+    meta.device = device.name();
+    meta.method = method;
+    meta.seed = popt.base.seed;
+    if (want_events) meta.events_path = cli.get("events");
+    runtime::write_portfolio_report_file(cli.get("stats-json"), meta, popt,
+                                         pr);
+    std::printf("portfolio report written to %s\n",
+                cli.get("stats-json").c_str());
+  }
+  if (cli.has("trace")) {
+    obs::write_trace_file(cli.get("trace"));
+    std::printf("chrome trace written to %s (open in ui.perfetto.dev)\n",
+                cli.get("trace").c_str());
+  }
+  if (cli.has("parts")) {
+    std::ofstream os(cli.get("parts"));
+    FPART_REQUIRE(os.good(), "cannot write " + cli.get("parts"));
+    for (NodeId v = 0; v < h.num_nodes(); ++v) {
+      if (!h.is_terminal(v)) os << v << ' ' << r.assignment[v] << '\n';
+    }
+    std::printf("assignment written to %s\n", cli.get("parts").c_str());
+  }
+  return r.feasible ? 0 : 1;
+}
+
 int cmd_partition(const CliParser& cli) {
+  if (cli.has("batch")) return cmd_batch(cli);
   const Hypergraph h = read_hgr_file(cli.get("in"));
   const Device device = device_from_flags(cli);
   const std::string method = cli.get("method");
   const auto starts = static_cast<std::uint32_t>(cli.get_int("starts"));
+  const auto attempts = static_cast<std::uint32_t>(cli.get_int("portfolio"));
 
   // Observability sinks: --stats-json enables the registry + phase
   // tree, --trace additionally captures Chrome trace events.
@@ -133,6 +243,14 @@ int cmd_partition(const CliParser& cli) {
   // here run with default Options, so the recorded header matches.
   const bool want_events = cli.has("events");
   if (cli.has("audit") && cli.get_bool("audit")) set_audit_enabled(true);
+
+  // Portfolio mode takes over the whole run (per-attempt recorders
+  // instead of the process-wide one, fpart-portfolio/1 instead of the
+  // run report).
+  if (attempts > 1) {
+    return run_portfolio_partition(cli, h, device, method, attempts);
+  }
+
   const Options run_options;
   if (want_events) {
     obs::Recorder::instance().start(
@@ -247,6 +365,10 @@ int main(int argc, char** argv) {
   cli.add_flag("fill", "filling ratio δ", "0.9");
   cli.add_flag("method", "fpart | clustered | kwayx | fbb", "fpart");
   cli.add_flag("starts", "multistart count (fpart only)", "1");
+  cli.add_flag("portfolio", "seeded attempts raced in parallel", "1");
+  cli.add_flag("threads", "worker threads (0 = FPART_THREADS / hardware)",
+               "0");
+  cli.add_flag("batch", "batch job file, one job per line (partition)", "");
   cli.add_flag("parts", "assignment file (partition out / verify in)", "");
   cli.add_flag("stats-json", "write a fpart-run-report/1 JSON file", "");
   cli.add_flag("trace", "write a Chrome trace_event JSON file", "");

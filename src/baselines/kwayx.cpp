@@ -83,7 +83,12 @@ PartitionResult KwayxPartitioner::run(const Hypergraph& h,
   Partition p(h, 1);
 
   std::uint32_t iterations = 0;
+  bool cancelled = false;
   while (!p.block_feasible(kRem, device) && p.block_node_count(kRem) > 0) {
+    if (cancel_requested(config_.cancel)) {
+      cancelled = true;
+      break;
+    }
     ++iterations;
     const BlockId pk = p.add_block();
     grow_by_connectivity(p, device, pk);
@@ -98,9 +103,11 @@ PartitionResult KwayxPartitioner::run(const Hypergraph& h,
 
     shrink_to_feasible(p, device, pk, kRem);
   }
-  return summarize_partition(p, device, m, iterations,
-                             timer.elapsed_seconds(),
-                             cpu_timer.elapsed_seconds());
+  PartitionResult r = summarize_partition(p, device, m, iterations,
+                                          timer.elapsed_seconds(),
+                                          cpu_timer.elapsed_seconds());
+  r.cancelled = cancelled;
+  return r;
 }
 
 }  // namespace fpart

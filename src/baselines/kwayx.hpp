@@ -14,6 +14,7 @@
 #include "device/device.hpp"
 #include "fm/fm_bipartitioner.hpp"
 #include "hypergraph/hypergraph.hpp"
+#include "util/cancel.hpp"
 
 namespace fpart {
 
@@ -23,6 +24,8 @@ struct KwayxConfig {
   /// post-growth size (prevents FM from draining the block back into
   /// the remainder).
   double keep_fraction = 0.9;
+  /// Cooperative cancellation, polled once per peel iteration.
+  const CancelToken* cancel = nullptr;
 };
 
 class KwayxPartitioner {

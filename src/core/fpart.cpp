@@ -87,6 +87,16 @@ PartitionResult FpartPartitioner::run(const Hypergraph& h,
   FeasibilityClass prev_cls = FeasibilityClass::kInfeasible;
   bool have_prev_cls = false;
   while (true) {
+    // Cooperative cancellation: a losing portfolio attempt unwinds here
+    // with whatever partial partition it built, marked `cancelled`.
+    if (cancel_requested(options_.cancel)) {
+      PartitionResult r =
+          summarize_partition(p, device, m, iterations,
+                              timer.elapsed_seconds(),
+                              cpu_timer.elapsed_seconds());
+      r.cancelled = true;
+      return r;
+    }
     const FeasibilityClass cls = p.classify(device);
     if (obs::recorder_enabled() && (!have_prev_cls || cls != prev_cls)) {
       obs::record_event(obs::EventKind::kFeasibility, obs::Engine::kFpart,
@@ -222,6 +232,14 @@ PartitionResult run_fpart_multistart(const Hypergraph& h,
     // mix the start index into the seed stream.
     if (start > 0) opt.seed = base.seed ^ (0x9E3779B9ull * start + start);
     PartitionResult r = FpartPartitioner(opt).run(h, device);
+    if (r.cancelled) {
+      // The sweep is incomplete: surface the partial result (start 0) or
+      // keep the best finished start, but taint it so a portfolio
+      // reduction drops this attempt.
+      if (start == 0) best = std::move(r);
+      best.cancelled = true;
+      break;
+    }
     std::uint64_t total_pins = 0;
     for (const BlockStats& blk : r.blocks) total_pins += blk.pins;
     const bool better =

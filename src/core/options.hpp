@@ -8,6 +8,7 @@
 #include "partition/cost.hpp"
 #include "sanchis/move_region.hpp"
 #include "sanchis/refiner.hpp"
+#include "util/cancel.hpp"
 
 namespace fpart {
 
@@ -54,6 +55,12 @@ struct Options {
 
   /// Emit per-iteration INFO logs.
   bool verbose = false;
+
+  /// Cooperative cancellation (runtime/portfolio.hpp): when non-null the
+  /// engines poll the token at iteration granularity and return early
+  /// with PartitionResult::cancelled set. Not a tunable — excluded from
+  /// options_json so recorded logs stay comparable across runs.
+  const CancelToken* cancel = nullptr;
 };
 
 }  // namespace fpart

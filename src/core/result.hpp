@@ -39,6 +39,10 @@ struct PartitionResult {
   double seconds = 0.0;
   /// Process CPU seconds (user + system) — Table 6 reports CPU time.
   double cpu_seconds = 0.0;
+  /// True when the run was stopped early by a CancelToken; the rest of
+  /// the result describes the partial partition at the stop point and
+  /// must not enter a portfolio reduction.
+  bool cancelled = false;
 };
 
 /// Builds a PartitionResult from a finished partition: drops empty

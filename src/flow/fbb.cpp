@@ -293,7 +293,12 @@ PartitionResult FbbPartitioner::run(const Hypergraph& h,
   Partition p(h, 1);
 
   std::uint32_t iterations = 0;
+  bool cancelled = false;
   while (p.classify(device) != FeasibilityClass::kFeasible) {
+    if (cancel_requested(config_.cancel)) {
+      cancelled = true;
+      break;
+    }
     ++iterations;
     peel_block(p, device, config_);
     if (obs::recorder_enabled()) {
@@ -303,9 +308,11 @@ PartitionResult FbbPartitioner::run(const Hypergraph& h,
     }
     if (audit_enabled()) audit_partition(p, "fbb.peel");
   }
-  return summarize_partition(p, device, m, iterations,
-                             timer.elapsed_seconds(),
-                             cpu_timer.elapsed_seconds());
+  PartitionResult r = summarize_partition(p, device, m, iterations,
+                                          timer.elapsed_seconds(),
+                                          cpu_timer.elapsed_seconds());
+  r.cancelled = cancelled;
+  return r;
 }
 
 }  // namespace fpart

@@ -24,6 +24,7 @@
 #include "core/result.hpp"
 #include "device/device.hpp"
 #include "hypergraph/hypergraph.hpp"
+#include "util/cancel.hpp"
 
 namespace fpart {
 
@@ -35,6 +36,8 @@ struct FbbConfig {
   int pin_retries = 4;
   /// Geometric window shrink factor per retry.
   double retry_shrink = 0.85;
+  /// Cooperative cancellation, polled once per peel iteration.
+  const CancelToken* cancel = nullptr;
 };
 
 class FbbPartitioner {

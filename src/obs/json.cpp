@@ -1,6 +1,7 @@
 #include "obs/json.hpp"
 
 #include <cctype>
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -274,6 +275,25 @@ class Parser {
     if (end != token.c_str() + token.size()) return false;
     v.type = JsonValue::Type::kNumber;
     v.number = parsed;
+    // Integer tokens additionally keep their exact 64-bit value — a
+    // double only holds 53 mantissa bits, not enough for seeds and
+    // digests (see JsonValue::as_u64).
+    if (token.find_first_of(".eE") == std::string::npos) {
+      errno = 0;
+      if (token[0] == '-') {
+        const long long i = std::strtoll(token.c_str(), &end, 10);
+        if (errno == 0 && end == token.c_str() + token.size()) {
+          v.integer = static_cast<std::uint64_t>(i);
+          v.exact_integer = true;
+        }
+      } else {
+        const unsigned long long u = std::strtoull(token.c_str(), &end, 10);
+        if (errno == 0 && end == token.c_str() + token.size()) {
+          v.integer = u;
+          v.exact_integer = true;
+        }
+      }
+    }
     return true;
   }
 

@@ -65,6 +65,11 @@ struct JsonValue {
   Type type = Type::kNull;
   bool boolean = false;
   double number = 0.0;
+  /// Exact value of an integer-literal number token (a double cannot
+  /// represent 64-bit seeds/digests). Bit pattern of the parsed int64
+  /// for negative literals.
+  std::uint64_t integer = 0;
+  bool exact_integer = false;
   std::string string;
   std::vector<JsonValue> array;
   std::vector<std::pair<std::string, JsonValue>> object;
@@ -75,6 +80,12 @@ struct JsonValue {
   bool is_string() const { return type == Type::kString; }
   bool is_array() const { return type == Type::kArray; }
   bool is_object() const { return type == Type::kObject; }
+
+  /// The number as an exact uint64 when the token was an integer
+  /// literal, else the (possibly rounded) double cast.
+  std::uint64_t as_u64() const {
+    return exact_integer ? integer : static_cast<std::uint64_t>(number);
+  }
 
   /// Object member lookup; nullptr when absent or not an object.
   const JsonValue* find(std::string_view k) const;

@@ -31,8 +31,16 @@ PhaseNode& PhaseNode::child(std::string_view child_name) {
 struct PhaseForest::Impl {
   std::mutex mu;
   PhaseNode root;
-  PhaseNode* current = &root;
 };
+
+namespace {
+// Per-thread cursor into the shared tree (nullptr = the root). Each
+// thread nests its own phases correctly; same-named phases entered by
+// concurrent threads under the same parent merge into one node whose
+// wall/CPU totals and counts accumulate across threads (all node
+// mutation happens under the forest mutex).
+thread_local PhaseNode* t_phase_cursor = nullptr;
+}  // namespace
 
 PhaseForest::PhaseForest() = default;
 
@@ -49,8 +57,9 @@ PhaseForest::Impl& PhaseForest::impl() const {
 PhaseNode* PhaseForest::enter(const char* name) {
   Impl& i = impl();
   std::lock_guard<std::mutex> lock(i.mu);
-  PhaseNode& node = i.current->child(name);
-  i.current = &node;
+  PhaseNode* parent = t_phase_cursor != nullptr ? t_phase_cursor : &i.root;
+  PhaseNode& node = parent->child(name);
+  t_phase_cursor = &node;
   return &node;
 }
 
@@ -61,15 +70,12 @@ void PhaseForest::exit(PhaseNode* node, double wall_seconds,
   node->wall_seconds += wall_seconds;
   node->cpu_seconds += cpu_seconds;
   ++node->count;
-  // Unwind to the node's parent even if inner phases leaked (they
-  // cannot with RAII, but stay defensive).
-  if (i.current == node && node->parent != nullptr) {
-    i.current = node->parent;
-  } else {
-    PhaseNode* p = i.current;
-    while (p != nullptr && p != node) p = p->parent;
-    i.current = (p != nullptr && p->parent != nullptr) ? p->parent : &i.root;
-  }
+  // Unwind this thread's cursor to the node's parent even if inner
+  // phases leaked (they cannot with RAII, but stay defensive).
+  PhaseNode* p = t_phase_cursor;
+  while (p != nullptr && p != &i.root && p != node) p = p->parent;
+  PhaseNode* up = (p == node) ? node->parent : nullptr;
+  t_phase_cursor = (up != nullptr && up != &i.root) ? up : nullptr;
 }
 
 namespace {
@@ -98,13 +104,16 @@ std::unique_ptr<PhaseNode> PhaseForest::snapshot() const {
 }
 
 void PhaseForest::reset() {
+  // Precondition: no phase is open on ANY thread (drivers reset between
+  // runs). Other threads' cursors cannot be cleared from here; clearing
+  // the tree while they point into it would dangle.
   Impl& i = impl();
   std::lock_guard<std::mutex> lock(i.mu);
   i.root.children.clear();
   i.root.wall_seconds = 0.0;
   i.root.cpu_seconds = 0.0;
   i.root.count = 0;
-  i.current = &i.root;
+  t_phase_cursor = nullptr;
 }
 
 ScopedPhase::ScopedPhase(const char* name) {

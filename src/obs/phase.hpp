@@ -8,10 +8,11 @@
 // the Chrome trace buffer (obs/trace.hpp) when tracing is on.
 //
 // Phases record when either stats or tracing are enabled; otherwise a
-// ScopedPhase is two relaxed loads and no allocation. The tree is meant
-// for the (single-threaded) partitioning pipeline: concurrent phase
-// entry from several threads is memory-safe but interleaves into one
-// tree arbitrarily.
+// ScopedPhase is two relaxed loads and no allocation. The tree is
+// thread-clean: every thread keeps its own cursor, so concurrent
+// portfolio attempts each nest correctly, and same-named spans from
+// different threads merge into one node whose totals accumulate across
+// threads (reset() still requires that no phase is open anywhere).
 #pragma once
 
 #include <cstdint>

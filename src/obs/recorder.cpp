@@ -11,7 +11,14 @@
 namespace fpart::obs {
 
 namespace detail {
-std::atomic<bool> g_recorder_enabled{false};
+thread_local bool t_recorder_enabled = false;
+thread_local Recorder* t_current_recorder = nullptr;
+}
+
+Recorder* install_recorder(Recorder* r) {
+  Recorder* prev = detail::t_current_recorder;
+  detail::t_current_recorder = r;
+  return prev;
 }
 
 namespace {
@@ -92,12 +99,15 @@ std::uint64_t require_number(const JsonValue& obj, const char* key,
   FPART_REQUIRE(v != nullptr && v->is_number(),
                 "event log line " + std::to_string(line) +
                     ": missing numeric key '" + key + "'");
-  return static_cast<std::uint64_t>(v->number);
+  return v->as_u64();
 }
 
 }  // namespace
 
 Recorder& Recorder::instance() {
+  if (detail::t_current_recorder != nullptr) {
+    return *detail::t_current_recorder;
+  }
   static Recorder* recorder = new Recorder();  // leaked: process lifetime
   return *recorder;
 }
@@ -108,12 +118,10 @@ void Recorder::start(RunHeader header) {
   events_.reserve(1u << 16);
   final_.reset();
   staged_gain_ = kNoGain;
-  detail::g_recorder_enabled.store(true, std::memory_order_relaxed);
+  detail::t_recorder_enabled = true;
 }
 
-void Recorder::stop() {
-  detail::g_recorder_enabled.store(false, std::memory_order_relaxed);
-}
+void Recorder::stop() { detail::t_recorder_enabled = false; }
 
 void Recorder::set_final_state(FinalState state) {
   if (!recorder_enabled()) return;

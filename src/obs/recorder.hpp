@@ -17,13 +17,15 @@
 // partition/replay.hpp). Everything else is analysis sugar.
 //
 // Overhead discipline matches stats.hpp: when disabled, a record is one
-// relaxed bool load and a predictable branch; when enabled it is a
+// thread-local bool load and a predictable branch; when enabled it is a
 // push_back of a 24-byte POD into a reserved vector (no atomics, no
-// formatting — JSON rendering happens only at flush). The recorder is
-// single-threaded like the phase tree: the partitioning pipeline owns it.
+// formatting — JSON rendering happens only at flush). Recording is
+// per-thread: instance() resolves to the calling thread's installed
+// recorder (install_recorder / ScopedRecorderInstall), so the parallel
+// portfolio gives every attempt its own private, replayable log. See
+// docs/PARALLEL.md for the threading contract.
 #pragma once
 
-#include <atomic>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -110,19 +112,39 @@ struct FinalState {
   std::vector<std::pair<std::uint64_t, std::uint64_t>> blocks;
 };
 
+class Recorder;
+
 namespace detail {
-extern std::atomic<bool> g_recorder_enabled;
-}
+// Recording is a strictly per-thread affair: each thread has its own
+// "capturing" latch and an optionally installed recorder, so concurrent
+// portfolio attempts write into disjoint buffers with no synchronization
+// (and a worker thread never leaks events into another attempt's log).
+extern thread_local bool t_recorder_enabled;
+extern thread_local Recorder* t_current_recorder;
+}  // namespace detail
 
-/// True while the flight recorder captures events.
-inline bool recorder_enabled() {
-  return detail::g_recorder_enabled.load(std::memory_order_relaxed);
-}
+/// True while the calling thread's flight recorder captures events.
+inline bool recorder_enabled() { return detail::t_recorder_enabled; }
 
-/// The process-wide event buffer. Single-threaded by design (like the
-/// phase tree): start()/record()/finish() belong to the pipeline thread.
+/// Installs `r` as the calling thread's recorder — Recorder::instance()
+/// returns it until uninstalled. Returns the previously installed
+/// recorder (nullptr = the process-wide default). Does not change the
+/// thread's capturing latch; call start()/stop() on the recorder itself.
+Recorder* install_recorder(Recorder* r);
+
+/// The event buffer. One per thread of execution: instance() resolves to
+/// the calling thread's installed recorder (see install_recorder /
+/// ScopedRecorderInstall), falling back to a process-wide default owned
+/// by the main pipeline thread. start()/record()/finish() only ever
+/// touch calling-thread state, so attempts racing on a thread pool each
+/// keep a private, replayable log.
 class Recorder {
  public:
+  /// A fresh, empty, disabled recorder. The portfolio engine constructs
+  /// one per attempt and installs it with ScopedRecorderInstall; most
+  /// single-run code just uses the process-wide instance().
+  Recorder() = default;
+
   static Recorder& instance();
 
   /// Clears the buffer, installs the header and enables recording.
@@ -168,11 +190,34 @@ class Recorder {
   void reset();
 
  private:
-  Recorder() = default;
   RunHeader header_;
   std::vector<Event> events_;
   std::optional<FinalState> final_;
   std::int32_t staged_gain_ = kNoGain;
+};
+
+/// RAII: installs `r` for the calling thread and parks the thread's
+/// capturing latch; destruction restores both (which also stops `r` —
+/// the latch is per-thread, not per-recorder). The portfolio engine
+/// wraps each attempt in one of these so per-attempt logs cannot bleed
+/// into each other even when attempts share a worker thread.
+class ScopedRecorderInstall {
+ public:
+  explicit ScopedRecorderInstall(Recorder* r)
+      : prev_(install_recorder(r)),
+        prev_enabled_(detail::t_recorder_enabled) {
+    detail::t_recorder_enabled = false;
+  }
+  ~ScopedRecorderInstall() {
+    detail::t_recorder_enabled = prev_enabled_;
+    install_recorder(prev_);
+  }
+  ScopedRecorderInstall(const ScopedRecorderInstall&) = delete;
+  ScopedRecorderInstall& operator=(const ScopedRecorderInstall&) = delete;
+
+ private:
+  Recorder* prev_;
+  bool prev_enabled_;
 };
 
 /// Convenience for call sites: record one event when enabled.

@@ -48,6 +48,8 @@ void write_result(JsonWriter& w, const PartitionResult& r) {
   w.value(r.seconds);
   w.key("cpu_seconds");
   w.value(r.cpu_seconds);
+  w.key("cancelled");
+  w.value(r.cancelled);
   w.key("blocks");
   w.begin_array();
   for (const BlockStats& b : r.blocks) {

@@ -1,0 +1,204 @@
+#include "runtime/batch.hpp"
+
+#include <condition_variable>
+#include <exception>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <sstream>
+
+#include "device/xilinx.hpp"
+#include "netlist/hgr_io.hpp"
+#include "obs/json.hpp"
+#include "util/assert.hpp"
+#include "util/timer.hpp"
+
+namespace fpart::runtime {
+
+namespace {
+
+/// Shared by both scheduling paths: load, run, time, catch.
+void execute_job(const JobSpec& spec, ThreadPool* pool, JobResult& out) {
+  out.spec = spec;
+  Timer timer;
+  try {
+    const Hypergraph h = read_hgr_file(spec.input);
+    const Device device = xilinx::by_name(spec.device).with_fill(spec.fill);
+    PortfolioOptions popt;
+    popt.attempts = spec.portfolio;
+    popt.method = spec.method;
+    popt.base.seed = spec.seed;
+    if (spec.portfolio > 1) {
+      PortfolioResult pr = run_portfolio(h, device, popt, pool);
+      out.result = std::move(pr.best);
+      out.winner = pr.winner;
+      out.portfolio_digest = pr.digest;
+    } else {
+      out.result = run_portfolio_attempt(h, device, popt, spec.seed);
+    }
+    out.ok = true;
+  } catch (const std::exception& e) {
+    out.ok = false;
+    out.error = e.what();
+  }
+  out.seconds = timer.elapsed_seconds();
+}
+
+}  // namespace
+
+std::vector<JobSpec> parse_batch_file(const std::string& path) {
+  std::ifstream is(path);
+  FPART_REQUIRE(is.good(), "cannot read batch file " + path);
+  std::vector<JobSpec> jobs;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (const auto hash = line.find('#'); hash != std::string::npos) {
+      line.erase(hash);
+    }
+    std::istringstream tokens(line);
+    JobSpec spec;
+    if (!(tokens >> spec.input >> spec.device)) {
+      std::string rest;
+      tokens.clear();
+      tokens.seekg(0);
+      FPART_REQUIRE(!(tokens >> rest),
+                    "batch file " + path + " line " +
+                        std::to_string(line_no) +
+                        ": expected '<input.hgr> <device> [key=value ...]'");
+      continue;  // blank / comment-only line
+    }
+    spec.id = "job" + std::to_string(jobs.size());
+    std::string kv;
+    while (tokens >> kv) {
+      const auto eq = kv.find('=');
+      FPART_REQUIRE(eq != std::string::npos && eq > 0,
+                    "batch file " + path + " line " +
+                        std::to_string(line_no) + ": bad option '" + kv +
+                        "' (expected key=value)");
+      const std::string key = kv.substr(0, eq);
+      const std::string value = kv.substr(eq + 1);
+      try {
+        if (key == "id") {
+          spec.id = value;
+        } else if (key == "method") {
+          spec.method = value;
+        } else if (key == "portfolio") {
+          spec.portfolio = static_cast<std::uint32_t>(std::stoul(value));
+          FPART_REQUIRE(spec.portfolio >= 1,
+                        "batch: portfolio must be >= 1");
+        } else if (key == "seed") {
+          spec.seed = std::stoull(value);
+        } else if (key == "fill") {
+          spec.fill = std::stod(value);
+        } else {
+          FPART_REQUIRE(false, "unknown key '" + key + "'");
+        }
+      } catch (const std::exception& e) {
+        FPART_REQUIRE(false, "batch file " + path + " line " +
+                                 std::to_string(line_no) + ": option '" +
+                                 kv + "': " + e.what());
+      }
+    }
+    jobs.push_back(std::move(spec));
+  }
+  return jobs;
+}
+
+std::vector<JobResult> run_batch(const std::vector<JobSpec>& jobs,
+                                 ThreadPool* pool) {
+  std::unique_ptr<ThreadPool> owned;
+  if (pool == nullptr) {
+    owned = std::make_unique<ThreadPool>();
+    pool = owned.get();
+  }
+  std::vector<JobResult> results(jobs.size());
+
+  // Fan the single-attempt jobs out first so they overlap with the
+  // portfolio jobs the calling thread works through below.
+  std::mutex mu;
+  std::condition_variable done_cv;
+  std::size_t pending = 0;
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    if (jobs[j].portfolio > 1) continue;
+    ++pending;
+    pool->post([&, j] {
+      execute_job(jobs[j], nullptr, results[j]);
+      std::lock_guard<std::mutex> lock(mu);
+      --pending;
+      done_cv.notify_all();
+    });
+  }
+
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    if (jobs[j].portfolio > 1) execute_job(jobs[j], pool, results[j]);
+  }
+
+  std::unique_lock<std::mutex> lock(mu);
+  done_cv.wait(lock, [&] { return pending == 0; });
+  return results;
+}
+
+std::string batch_report_json(const std::vector<JobResult>& results) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("schema");
+  w.value(kBatchReportSchema);
+  w.key("jobs");
+  w.begin_array();
+  for (const JobResult& r : results) {
+    w.begin_object();
+    w.key("id");
+    w.value(r.spec.id);
+    w.key("input");
+    w.value(r.spec.input);
+    w.key("device");
+    w.value(r.spec.device);
+    w.key("method");
+    w.value(r.spec.method);
+    w.key("portfolio");
+    w.value(r.spec.portfolio);
+    w.key("seed");
+    w.value(r.spec.seed);
+    w.key("ok");
+    w.value(r.ok);
+    if (!r.ok) {
+      w.key("error");
+      w.value(r.error);
+    } else {
+      w.key("feasible");
+      w.value(r.result.feasible);
+      w.key("k");
+      w.value(r.result.k);
+      w.key("lower_bound");
+      w.value(r.result.lower_bound);
+      w.key("cut");
+      w.value(r.result.cut);
+      w.key("km1");
+      w.value(r.result.km1);
+      if (r.spec.portfolio > 1) {
+        w.key("winner");
+        w.value(r.winner);
+        w.key("portfolio_digest");
+        w.value(r.portfolio_digest);
+      }
+    }
+    w.key("seconds");
+    w.value(r.seconds);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.take();
+}
+
+void write_batch_report_file(const std::string& path,
+                             const std::vector<JobResult>& results) {
+  std::ofstream os(path);
+  FPART_REQUIRE(os.good(), "cannot write batch report " + path);
+  os << batch_report_json(results);
+  FPART_REQUIRE(os.good(), "write failed for batch report " + path);
+}
+
+}  // namespace fpart::runtime

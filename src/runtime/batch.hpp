@@ -1,0 +1,72 @@
+// Batch job execution: run many (circuit, device, method) partitioning
+// jobs through one shared thread pool and report them as a single
+// fpart-batch/1 document.
+//
+// Scheduling: single-attempt jobs (portfolio == 1) become independent
+// pool tasks and run concurrently; portfolio jobs (portfolio > 1) run
+// one after another from the calling thread, each fanning its attempts
+// out to the same pool — run_portfolio() blocks, so it must never
+// execute inside a pool task (a 1-thread pool would deadlock on
+// itself). Each job's outcome is deterministic (the portfolio contract
+// in portfolio.hpp); only wall-clock timing depends on the schedule.
+//
+// A job that throws (unreadable input, unknown device/method) fails
+// alone: its JobResult carries ok = false and the error text, and the
+// rest of the batch proceeds.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/result.hpp"
+#include "runtime/portfolio.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace fpart::runtime {
+
+inline constexpr const char* kBatchReportSchema = "fpart-batch/1";
+
+/// One line of a batch file: what to partition and how.
+struct JobSpec {
+  std::string id;       // label in the report; defaults to "job<line-index>"
+  std::string input;    // .hgr circuit path
+  std::string device;   // Xilinx device name (xilinx::by_name)
+  double fill = 0.9;    // filling ratio δ
+  std::string method = "fpart";
+  std::uint32_t portfolio = 1;  // attempts; >1 engages the portfolio engine
+  std::uint64_t seed = 0;       // base seed (attempt i derives from it)
+};
+
+struct JobResult {
+  JobSpec spec;
+  bool ok = false;
+  std::string error;  // set when !ok
+  /// Winning result (the only attempt's, for portfolio == 1).
+  PartitionResult result;
+  /// Portfolio jobs only: winning attempt index and the outcome digest.
+  std::uint32_t winner = 0;
+  std::uint64_t portfolio_digest = 0;
+  /// Wall-clock seconds for this job, load included (timing-dependent).
+  double seconds = 0.0;
+};
+
+/// Parses a batch file: one job per line,
+///   <input.hgr> <device> [key=value ...]
+/// with keys id, method, portfolio, seed, fill; '#' starts a comment.
+/// Throws PreconditionError on malformed lines (with the line number).
+std::vector<JobSpec> parse_batch_file(const std::string& path);
+
+/// Runs every job and returns results in job order. Uses `pool` when
+/// non-null, otherwise a private default-sized pool for the call.
+std::vector<JobResult> run_batch(const std::vector<JobSpec>& jobs,
+                                 ThreadPool* pool = nullptr);
+
+/// Serializes batch results as a fpart-batch/1 document.
+std::string batch_report_json(const std::vector<JobResult>& results);
+
+/// Writes batch_report_json() to `path`.
+void write_batch_report_file(const std::string& path,
+                             const std::vector<JobResult>& results);
+
+}  // namespace fpart::runtime

@@ -1,0 +1,391 @@
+#include "runtime/portfolio.hpp"
+
+#include <condition_variable>
+#include <exception>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+#include "baselines/kwayx.hpp"
+#include "core/clustered.hpp"
+#include "core/fpart.hpp"
+#include "flow/fbb.hpp"
+#include "obs/json.hpp"
+#include "obs/phase.hpp"
+#include "obs/recorder.hpp"
+#include "obs/stats.hpp"
+#include "partition/replay.hpp"
+#include "util/assert.hpp"
+#include "util/cancel.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace fpart::runtime {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 14695981039346656037ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+void fnv_mix(std::uint64_t& h, std::uint64_t v) {
+  for (int byte = 0; byte < 8; ++byte) {
+    h ^= (v >> (8 * byte)) & 0xFFu;
+    h *= kFnvPrime;
+  }
+}
+
+std::uint64_t total_pins(const PartitionResult& r) {
+  std::uint64_t pins = 0;
+  for (const BlockStats& b : r.blocks) pins += b.pins;
+  return pins;
+}
+
+/// The reduction's total order: true when `a` beats `b`. Every component
+/// is a deterministic function of the attempt, never of scheduling.
+bool attempt_beats(const AttemptOutcome& a, const AttemptOutcome& b) {
+  if (a.result.feasible != b.result.feasible) return a.result.feasible;
+  if (a.result.k != b.result.k) return a.result.k < b.result.k;
+  if (a.result.cut != b.result.cut) return a.result.cut < b.result.cut;
+  const std::uint64_t pa = total_pins(a.result);
+  const std::uint64_t pb = total_pins(b.result);
+  if (pa != pb) return pa < pb;
+  return a.index < b.index;
+}
+
+}  // namespace
+
+PartitionResult run_portfolio_attempt(const Hypergraph& h,
+                                      const Device& device,
+                                      const PortfolioOptions& opt,
+                                      std::uint64_t seed,
+                                      const CancelToken* cancel) {
+  Options base = opt.base;
+  base.seed = seed;
+  base.cancel = cancel;
+  if (opt.method == "clustered") {
+    ClusteredOptions co;
+    co.fpart = base;
+    return ClusteredFpartPartitioner(co).run(h, device);
+  }
+  if (opt.method == "kwayx") {
+    KwayxConfig config;
+    config.cancel = cancel;
+    return KwayxPartitioner(config).run(h, device);
+  }
+  if (opt.method == "fbb") {
+    FbbConfig config;
+    config.cancel = cancel;
+    return FbbPartitioner(config).run(h, device);
+  }
+  FPART_REQUIRE(opt.method == "fpart",
+                "portfolio: unknown method '" + opt.method + "'");
+  return FpartPartitioner(base).run(h, device);
+}
+
+std::uint64_t attempt_seed(std::uint64_t base_seed, std::uint32_t attempt) {
+  // Attempt 0 keeps the base seed verbatim so the portfolio subsumes the
+  // canonical deterministic run (seed 0 = the paper's fixed seeding).
+  return attempt == 0 ? base_seed : Rng::derive_seed(base_seed, attempt);
+}
+
+PortfolioResult run_portfolio(const Hypergraph& h, const Device& device,
+                              const PortfolioOptions& opt, ThreadPool* pool) {
+  FPART_REQUIRE(opt.attempts >= 1, "portfolio needs at least one attempt");
+  // Pool tasks must not throw, so reject bad configs before fan-out.
+  FPART_REQUIRE(opt.method == "fpart" || opt.method == "clustered" ||
+                    opt.method == "kwayx" || opt.method == "fbb",
+                "portfolio: unknown method '" + opt.method + "'");
+  const obs::ScopedPhase phase("portfolio.run");
+  Timer timer;
+  CpuTimer cpu_timer;
+
+  std::unique_ptr<ThreadPool> owned;
+  if (pool == nullptr) {
+    owned = std::make_unique<ThreadPool>(opt.threads);
+    pool = owned.get();
+  }
+
+  const std::uint32_t n = opt.attempts;
+  PortfolioResult out;
+  out.threads = pool->size();
+  out.attempts.resize(n);
+
+  std::vector<std::unique_ptr<CancelToken>> tokens;
+  std::vector<std::unique_ptr<obs::Recorder>> recorders(n);
+  tokens.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    tokens.push_back(std::make_unique<CancelToken>());
+    out.attempts[i].index = i;
+    out.attempts[i].seed = attempt_seed(opt.base.seed, i);
+  }
+
+  // Shared early-exit state. exit_index only ever DECREASES, and every
+  // attempt that sets it ran to completion — so any transient value an
+  // attempt j observes is >= the final value, and attempts at or below
+  // the final exit index can neither be skipped nor cancelled (the
+  // determinism proof in portfolio.hpp).
+  std::mutex mu;
+  std::condition_variable done_cv;
+  std::uint32_t exit_index = n - 1;
+  std::uint32_t done = 0;
+  std::exception_ptr failure;  // first attempt failure, rethrown below
+
+  for (std::uint32_t i = 0; i < n; ++i) {
+    pool->post([&, i] {
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        if (i > exit_index) {
+          // Already past the exit point: never started. Marked cancelled
+          // below with the rest of the uncounted tail.
+          ++done;
+          done_cv.notify_all();
+          return;
+        }
+      }
+      PartitionResult r;
+      std::exception_ptr error;
+      try {
+        if (!opt.events_prefix.empty()) {
+          recorders[i] = std::make_unique<obs::Recorder>();
+          const obs::ScopedRecorderInstall install(recorders[i].get());
+          Options header_opt = opt.base;
+          header_opt.seed = out.attempts[i].seed;
+          recorders[i]->start(
+              make_event_log_header(h, device, header_opt, opt.method));
+          r = run_portfolio_attempt(h, device, opt, out.attempts[i].seed,
+                                    tokens[i].get());
+          recorders[i]->stop();
+        } else {
+          r = run_portfolio_attempt(h, device, opt, out.attempts[i].seed,
+                                    tokens[i].get());
+        }
+      } catch (...) {
+        // Pool tasks must not throw; surface the failure to the blocked
+        // caller instead.
+        error = std::current_exception();
+      }
+      std::lock_guard<std::mutex> lock(mu);
+      if (error != nullptr) {
+        if (failure == nullptr) failure = error;
+        // Stop the other attempts: the whole portfolio is failing.
+        for (std::uint32_t j = 0; j < n; ++j) tokens[j]->request();
+      } else {
+        const bool at_bound = opt.early_exit && !r.cancelled && r.feasible &&
+                              r.k == r.lower_bound;
+        if (at_bound && i < exit_index) {
+          exit_index = i;
+          for (std::uint32_t j = i + 1; j < n; ++j) tokens[j]->request();
+        }
+        out.attempts[i].result = std::move(r);
+      }
+      ++done;
+      done_cv.notify_all();
+    });
+  }
+
+  {
+    // Blocks the calling thread — run_portfolio must not be invoked from
+    // inside a task of the same pool (a 1-thread pool would deadlock).
+    std::unique_lock<std::mutex> lock(mu);
+    done_cv.wait(lock, [&] { return done == n; });
+  }
+  if (failure != nullptr) std::rethrow_exception(failure);
+
+  out.counted = exit_index + 1;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    AttemptOutcome& a = out.attempts[i];
+    if (i < out.counted) {
+      FPART_ASSERT_MSG(!a.result.cancelled,
+                       "portfolio: counted attempt was cancelled");
+      a.counted = true;
+      a.assignment_digest = assignment_digest(a.result.assignment);
+    } else {
+      // Uncounted tail: whether it was skipped, stopped early, or even
+      // ran to completion is a scheduling accident — scrub the result so
+      // nothing timing-dependent survives into the outcome.
+      a.counted = false;
+      a.cancelled = true;
+      a.result = PartitionResult{};
+      recorders[i].reset();
+    }
+  }
+
+  std::uint32_t winner = 0;
+  for (std::uint32_t i = 1; i < out.counted; ++i) {
+    if (attempt_beats(out.attempts[i], out.attempts[winner])) winner = i;
+  }
+  out.winner = winner;
+  out.best = out.attempts[winner].result;
+
+  // Event logs: written only for counted attempts so the produced file
+  // set is itself deterministic.
+  if (!opt.events_prefix.empty()) {
+    for (std::uint32_t i = 0; i < out.counted; ++i) {
+      FPART_ASSERT(recorders[i] != nullptr);
+      std::string path =
+          opt.events_prefix + ".attempt" + std::to_string(i) + ".jsonl";
+      recorders[i]->write_jsonl(path);
+      out.attempts[i].events_path = std::move(path);
+    }
+  }
+
+  // Loser assignments are O(circuit) each; only their digests matter now.
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (i != winner) {
+      out.attempts[i].result.assignment.clear();
+      out.attempts[i].result.assignment.shrink_to_fit();
+    }
+  }
+
+  std::uint64_t digest = kFnvOffset;
+  fnv_mix(digest, out.winner);
+  fnv_mix(digest, out.counted);
+  fnv_mix(digest, out.best.feasible ? 1 : 0);
+  fnv_mix(digest, out.best.k);
+  fnv_mix(digest, out.best.cut);
+  fnv_mix(digest, out.best.km1);
+  fnv_mix(digest, out.attempts[winner].assignment_digest);
+  for (std::uint32_t i = 0; i < out.counted; ++i) {
+    const AttemptOutcome& a = out.attempts[i];
+    fnv_mix(digest, a.index);
+    fnv_mix(digest, a.seed);
+    fnv_mix(digest, a.result.feasible ? 1 : 0);
+    fnv_mix(digest, a.result.k);
+    fnv_mix(digest, a.result.cut);
+  }
+  out.digest = digest;
+
+  out.seconds = timer.elapsed_seconds();
+  out.cpu_seconds = cpu_timer.elapsed_seconds();
+  return out;
+}
+
+namespace {
+
+using obs::JsonWriter;
+
+void write_attempt_result(JsonWriter& w, const PartitionResult& r) {
+  w.key("feasible");
+  w.value(r.feasible);
+  w.key("k");
+  w.value(r.k);
+  w.key("cut");
+  w.value(r.cut);
+  w.key("km1");
+  w.value(r.km1);
+  w.key("iterations");
+  w.value(r.iterations);
+  w.key("seconds");
+  w.value(r.seconds);
+  w.key("cpu_seconds");
+  w.value(r.cpu_seconds);
+}
+
+}  // namespace
+
+std::string portfolio_report_json(const RunMeta& meta,
+                                  const PortfolioOptions& opt,
+                                  const PortfolioResult& r) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("schema");
+  w.value(kPortfolioReportSchema);
+  w.key("meta");
+  w.begin_object();
+  w.key("circuit");
+  w.value(meta.circuit);
+  w.key("device");
+  w.value(meta.device);
+  w.key("method");
+  w.value(meta.method);
+  w.key("seed");
+  w.value(meta.seed);
+  if (!meta.events_path.empty()) {
+    w.key("events_path");
+    w.value(meta.events_path);
+  }
+  w.end_object();
+  w.key("portfolio");
+  w.begin_object();
+  w.key("attempts");
+  w.value(opt.attempts);
+  w.key("threads");  // informational: workers used, not part of the digest
+  w.value(static_cast<std::uint64_t>(r.threads));
+  w.key("early_exit");
+  w.value(opt.early_exit);
+  w.key("winner");
+  w.value(r.winner);
+  w.key("counted");
+  w.value(r.counted);
+  w.key("digest");
+  w.value(r.digest);
+  w.key("seconds");
+  w.value(r.seconds);
+  w.key("cpu_seconds");
+  w.value(r.cpu_seconds);
+  w.end_object();
+  w.key("result");
+  w.begin_object();
+  write_attempt_result(w, r.best);
+  w.key("lower_bound");
+  w.value(r.best.lower_bound);
+  w.key("assignment_digest");
+  w.value(r.attempts.empty() ? 0
+                             : r.attempts[r.winner].assignment_digest);
+  w.key("blocks");
+  w.begin_array();
+  for (const BlockStats& b : r.best.blocks) {
+    w.begin_object();
+    w.key("size");
+    w.value(b.size);
+    w.key("pins");
+    w.value(b.pins);
+    w.key("ext");
+    w.value(b.ext);
+    w.key("nodes");
+    w.value(b.nodes);
+    w.key("feasible");
+    w.value(b.feasible);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  w.key("attempts");
+  w.begin_array();
+  for (const AttemptOutcome& a : r.attempts) {
+    w.begin_object();
+    w.key("index");
+    w.value(a.index);
+    w.key("seed");
+    w.value(a.seed);
+    w.key("counted");
+    w.value(a.counted);
+    w.key("cancelled");
+    w.value(a.cancelled);
+    if (a.counted) {
+      write_attempt_result(w, a.result);
+      w.key("assignment_digest");
+      w.value(a.assignment_digest);
+      if (!a.events_path.empty()) {
+        w.key("events_path");
+        w.value(a.events_path);
+      }
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.take();
+}
+
+void write_portfolio_report_file(const std::string& path, const RunMeta& meta,
+                                 const PortfolioOptions& opt,
+                                 const PortfolioResult& r) {
+  std::ofstream os(path);
+  FPART_REQUIRE(os.good(), "cannot write portfolio report " + path);
+  os << portfolio_report_json(meta, opt, r);
+  FPART_REQUIRE(os.good(), "write failed for portfolio report " + path);
+}
+
+}  // namespace fpart::runtime

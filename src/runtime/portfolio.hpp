@@ -1,0 +1,150 @@
+// Deterministic parallel portfolio search.
+//
+// Races N seeded attempts of one partitioning method (FPART, clustered
+// FPART, k-way.x or FBB-MW) across a thread pool and reduces them to a
+// single winner by a timing-independent total order. The contract:
+//
+//   DETERMINISM — run_portfolio() returns a byte-identical winner
+//   (same attempt index, k, cut, assignment) and the same outcome
+//   digest no matter how many threads execute it, because
+//     * attempt i's RNG seed is Rng::derive_seed(base_seed, i) — a pure
+//       function of (base seed, attempt index), never of scheduling;
+//     * the reduction orders completed attempts by
+//       (feasible desc, k asc, cut asc, total pins asc, index asc) —
+//       every component is a deterministic function of the attempt;
+//     * early exit cancels only attempts that provably cannot alter the
+//       reduction (see below), so the reduced set is itself
+//       deterministic.
+//
+//   EARLY EXIT — the serial semantics (and run_fpart_multistart's) are
+//   "stop after the first attempt that reaches the lower bound M":
+//   attempts after it never run. The parallel engine honours exactly
+//   that: when attempt i completes feasible at k == M, every attempt
+//   j > i gets its CancelToken latched and is excluded from the
+//   reduction EVEN IF it already finished (its result is discarded, so
+//   scheduling cannot leak into the outcome). Attempts j <= i always
+//   run to completion — the final exit index only ever decreases, so no
+//   attempt at or below it is ever cancelled. Engines poll the token at
+//   iteration granularity (see util/cancel.hpp).
+//
+//   OBSERVABILITY — with events_prefix set, every counted attempt
+//   records a private flight-recorder log (<prefix>.attempt<i>.jsonl,
+//   fpart-events/1, replayable via fpart_inspect) through the
+//   thread-local recorder. portfolio_report_json() serializes the whole
+//   outcome as a fpart-portfolio/1 document whose `digest` field covers
+//   only timing-independent state — the determinism tests compare it
+//   across thread counts.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/options.hpp"
+#include "core/result.hpp"
+#include "device/device.hpp"
+#include "hypergraph/hypergraph.hpp"
+#include "report/run_report.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace fpart::runtime {
+
+inline constexpr const char* kPortfolioReportSchema = "fpart-portfolio/1";
+
+struct PortfolioOptions {
+  /// Attempts to race. Attempt 0 uses base.seed verbatim (the canonical
+  /// deterministic run when 0); attempt i uses derive_seed(base.seed, i).
+  std::uint32_t attempts = 8;
+
+  /// Worker threads; 0 = default_thread_count(). Ignored when the
+  /// caller passes its own pool to run_portfolio().
+  unsigned threads = 0;
+
+  /// fpart | clustered | kwayx | fbb. Non-fpart methods ignore the seed
+  /// (they are deterministic), so racing them only varies by method
+  /// internals; the portfolio is primarily an FPART multi-start engine.
+  std::string method = "fpart";
+
+  /// Base engine options; per-attempt copies get derived seeds and a
+  /// private CancelToken.
+  Options base;
+
+  /// Stop losing attempts once some attempt is feasible at k == M.
+  bool early_exit = true;
+
+  /// When non-empty, counted attempts write flight-recorder logs to
+  /// <events_prefix>.attempt<i>.jsonl.
+  std::string events_prefix;
+};
+
+struct AttemptOutcome {
+  std::uint32_t index = 0;
+  std::uint64_t seed = 0;
+  /// True when the attempt participates in the reduction. Deterministic.
+  bool counted = false;
+  /// True when the attempt was cancelled, skipped, or finished past the
+  /// exit index (its result is discarded either way). Deterministic —
+  /// exactly the complement of `counted`.
+  bool cancelled = false;
+  /// Meaningful only when counted (losers keep k/cut/feasible for the
+  /// report; the winner's assignment survives in PortfolioResult::best,
+  /// loser assignments are released to bound memory).
+  PartitionResult result;
+  /// FNV-1a digest of the attempt's assignment (counted attempts only).
+  std::uint64_t assignment_digest = 0;
+  /// Path of this attempt's event log ("" when not recorded).
+  std::string events_path;
+};
+
+struct PortfolioResult {
+  /// The winning attempt's full result.
+  PartitionResult best;
+  std::uint32_t winner = 0;
+  /// Attempts entering the reduction == exit_index + 1 (or all of them).
+  std::uint32_t counted = 0;
+  /// One entry per attempt, index-ordered.
+  std::vector<AttemptOutcome> attempts;
+  /// Timing-independent FNV-1a digest over the reduced outcome: winner,
+  /// best (k, cut, km1, feasible, assignment digest) and every counted
+  /// attempt's (index, seed, k, cut, feasible). Identical across thread
+  /// counts by the determinism contract.
+  std::uint64_t digest = 0;
+  /// Wall/CPU seconds of the whole portfolio (timing-dependent).
+  double seconds = 0.0;
+  double cpu_seconds = 0.0;
+  /// Worker threads that executed the attempts (informational).
+  unsigned threads = 0;
+};
+
+/// Seed of attempt `attempt` under `base_seed` (attempt 0 = base_seed).
+std::uint64_t attempt_seed(std::uint64_t base_seed, std::uint32_t attempt);
+
+/// One attempt of opt.method with an explicit seed and cancel token —
+/// the unit of work the portfolio fans out. Exposed so the batch runner
+/// can execute single-attempt jobs directly as pool tasks (run_portfolio
+/// blocks and therefore must not be called from inside a pool task).
+PartitionResult run_portfolio_attempt(const Hypergraph& h,
+                                      const Device& device,
+                                      const PortfolioOptions& opt,
+                                      std::uint64_t seed,
+                                      const CancelToken* cancel = nullptr);
+
+/// Races opt.attempts seeded runs and reduces deterministically. Uses
+/// `pool` when non-null (its thread count wins), otherwise spins up a
+/// private pool with opt.threads workers for the call.
+PortfolioResult run_portfolio(const Hypergraph& h, const Device& device,
+                              const PortfolioOptions& opt,
+                              ThreadPool* pool = nullptr);
+
+/// Serializes a portfolio outcome as a fpart-portfolio/1 document:
+/// meta + winner result + per-attempt records + the outcome digest.
+std::string portfolio_report_json(const RunMeta& meta,
+                                  const PortfolioOptions& opt,
+                                  const PortfolioResult& r);
+
+/// Writes portfolio_report_json() to `path`.
+void write_portfolio_report_file(const std::string& path, const RunMeta& meta,
+                                 const PortfolioOptions& opt,
+                                 const PortfolioResult& r);
+
+}  // namespace fpart::runtime

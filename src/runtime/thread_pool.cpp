@@ -1,0 +1,180 @@
+#include "runtime/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace fpart::runtime {
+
+namespace {
+
+// Which pool/worker the calling thread belongs to (workers only).
+thread_local ThreadPool* t_pool = nullptr;
+thread_local unsigned t_worker_index = 0;
+
+}  // namespace
+
+unsigned default_thread_count() {
+  if (const char* env = std::getenv("FPART_THREADS");
+      env != nullptr && env[0] != '\0') {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed >= 1) {
+      return static_cast<unsigned>(std::min(parsed, 512L));
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw >= 1 ? hw : 1;
+}
+
+struct ThreadPool::Impl {
+  using Task = std::function<void()>;
+
+  /// One worker's local deque. Guarded by its own mutex — tasks are
+  /// coarse (whole partitioning attempts down to single peel steps), so
+  /// a lock per push/pop is noise; the point of the per-worker split is
+  /// locality and contention isolation, not lock-freedom.
+  struct Worker {
+    std::mutex mu;
+    std::deque<Task> deque;
+    std::thread thread;
+  };
+
+  std::vector<std::unique_ptr<Worker>> workers;
+
+  // Injection queue for external submissions + the sleep/wake machinery.
+  std::mutex inject_mu;
+  std::condition_variable cv;
+  std::deque<Task> inject;
+
+  /// Queued-but-unclaimed tasks across ALL queues. Incremented before
+  /// any push, decremented after a successful pop; the wait predicate
+  /// reads it so a push between "scan found nothing" and "sleep" cannot
+  /// be lost.
+  std::atomic<std::size_t> ready{0};
+  std::atomic<bool> stopping{false};
+
+  ThreadPool* self = nullptr;
+
+  bool try_pop(unsigned index, Task& out) {
+    // 1. Own deque, newest first.
+    {
+      Worker& me = *workers[index];
+      std::lock_guard<std::mutex> lock(me.mu);
+      if (!me.deque.empty()) {
+        out = std::move(me.deque.back());
+        me.deque.pop_back();
+        return true;
+      }
+    }
+    // 2. Steal from siblings, oldest first, round-robin from our right
+    //    neighbour so victims spread out.
+    const unsigned n = static_cast<unsigned>(workers.size());
+    for (unsigned step = 1; step < n; ++step) {
+      Worker& victim = *workers[(index + step) % n];
+      std::lock_guard<std::mutex> lock(victim.mu);
+      if (!victim.deque.empty()) {
+        out = std::move(victim.deque.front());
+        victim.deque.pop_front();
+        return true;
+      }
+    }
+    // 3. Injection queue, FIFO.
+    {
+      std::lock_guard<std::mutex> lock(inject_mu);
+      if (!inject.empty()) {
+        out = std::move(inject.front());
+        inject.pop_front();
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void run_worker(unsigned index) {
+    t_pool = self;
+    t_worker_index = index;
+    Task task;
+    while (true) {
+      if (try_pop(index, task)) {
+        ready.fetch_sub(1, std::memory_order_relaxed);
+        task();
+        task = nullptr;  // release captures before sleeping
+        continue;
+      }
+      std::unique_lock<std::mutex> lock(inject_mu);
+      cv.wait(lock, [this] {
+        return stopping.load(std::memory_order_relaxed) ||
+               ready.load(std::memory_order_relaxed) > 0;
+      });
+      if (stopping.load(std::memory_order_relaxed) &&
+          ready.load(std::memory_order_relaxed) == 0) {
+        return;
+      }
+    }
+  }
+};
+
+ThreadPool::ThreadPool(unsigned threads) : impl_(std::make_unique<Impl>()) {
+  const unsigned n = threads != 0 ? threads : default_thread_count();
+  FPART_REQUIRE(n >= 1, "thread pool needs at least one worker");
+  impl_->self = this;
+  impl_->workers.reserve(n);
+  for (unsigned i = 0; i < n; ++i) {
+    impl_->workers.push_back(std::make_unique<Impl::Worker>());
+  }
+  for (unsigned i = 0; i < n; ++i) {
+    impl_->workers[i]->thread =
+        std::thread([this, i] { impl_->run_worker(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    // Synchronize with sleepers mid-transition into cv.wait (see post()).
+    std::lock_guard<std::mutex> lock(impl_->inject_mu);
+    impl_->stopping.store(true, std::memory_order_relaxed);
+  }
+  impl_->cv.notify_all();
+  for (auto& w : impl_->workers) {
+    if (w->thread.joinable()) w->thread.join();
+  }
+}
+
+unsigned ThreadPool::size() const {
+  return static_cast<unsigned>(impl_->workers.size());
+}
+
+void ThreadPool::post(std::function<void()> task) {
+  FPART_REQUIRE(task != nullptr, "thread pool: null task");
+  impl_->ready.fetch_add(1, std::memory_order_relaxed);
+  if (t_pool == this) {
+    // Submission from inside a task: keep it on the submitting worker's
+    // deque (depth-first locality; idle siblings steal it).
+    {
+      Impl::Worker& me = *impl_->workers[t_worker_index];
+      std::lock_guard<std::mutex> lock(me.mu);
+      me.deque.push_back(std::move(task));
+    }
+    // Serialize with any sleeper mid-transition into cv.wait: once this
+    // (empty) critical section is acquired, every sleeper either saw
+    // ready > 0 in its predicate or is fully parked and will get the
+    // notify below. Without it the notify could fall into the window
+    // between a sleeper's predicate check and its actual sleep.
+    { std::lock_guard<std::mutex> lock(impl_->inject_mu); }
+  } else {
+    std::lock_guard<std::mutex> lock(impl_->inject_mu);
+    impl_->inject.push_back(std::move(task));
+  }
+  impl_->cv.notify_one();
+}
+
+ThreadPool* ThreadPool::current() { return t_pool; }
+
+}  // namespace fpart::runtime

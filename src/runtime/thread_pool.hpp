@@ -1,0 +1,83 @@
+// Work-stealing thread pool — the execution substrate of the parallel
+// runtime (portfolio search, batch jobs, future sharded coarsening).
+//
+// Topology: N fixed worker threads, each owning a local deque, plus one
+// global injection queue for work submitted from outside the pool.
+// A worker pops its own deque LIFO (cache-warm, depth-first), then
+// steals FIFO from a sibling (breadth-first, oldest task — the classic
+// Blumofe/Leiserson discipline), then drains the injection queue.
+// Submissions from inside a task land on the submitting worker's own
+// deque, so recursive fan-out stays local until siblings go idle and
+// steal.
+//
+// The pool makes NO determinism promises about execution order — that
+// is the portfolio layer's job (runtime/portfolio.hpp reduces attempt
+// results by a timing-independent total order). What the pool does
+// promise:
+//   * every submitted task runs exactly once (the destructor drains all
+//     queues before joining);
+//   * async() surfaces task exceptions through the returned future;
+//   * post() tasks must not throw (std::terminate otherwise — there is
+//     nobody to hand the exception to).
+//
+// Worker count: an explicit count wins; 0 defers to FPART_THREADS from
+// the environment, then std::thread::hardware_concurrency().
+//
+// Blocking on a future *inside* a task deadlocks a 1-thread pool (the
+// only worker would wait on work only it can run). Drivers therefore
+// either block from outside the pool (portfolio, batch) or use
+// fire-and-forget tasks with completion counters.
+#pragma once
+
+#include <functional>
+#include <future>
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+namespace fpart::runtime {
+
+/// Worker count used when a caller passes 0: FPART_THREADS from the
+/// environment when set to a positive integer (clamped to [1, 512]),
+/// otherwise std::thread::hardware_concurrency(), and never below 1.
+unsigned default_thread_count();
+
+class ThreadPool {
+ public:
+  /// Spawns the workers immediately. `threads` = 0 picks
+  /// default_thread_count().
+  explicit ThreadPool(unsigned threads = 0);
+
+  /// Drains every queued task, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads (fixed for the pool's lifetime).
+  unsigned size() const;
+
+  /// Fire-and-forget submission. The task must not throw.
+  void post(std::function<void()> task);
+
+  /// Submission with a result/exception channel. The future completes
+  /// when the task ran; exceptions rethrow from future.get().
+  template <typename F>
+  auto async(F&& f) -> std::future<std::invoke_result_t<std::decay_t<F>&>> {
+    using R = std::invoke_result_t<std::decay_t<F>&>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> future = task->get_future();
+    post([task]() { (*task)(); });
+    return future;
+  }
+
+  /// The pool executing the calling thread, or nullptr outside workers.
+  static ThreadPool* current();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace fpart::runtime

@@ -1,0 +1,43 @@
+// Cooperative cancellation token.
+//
+// A CancelToken is a one-way latch shared between a driver (the
+// portfolio engine, a batch runner, a signal handler) and the engines.
+// Engines poll cancelled() at coarse boundaries — one FPART iteration,
+// one constructive peel step — and unwind with a partial result marked
+// PartitionResult::cancelled when the latch is set. Polling is a single
+// relaxed atomic load, so checks can sit inside the main loops without
+// measurable cost.
+//
+// Lives in util (not runtime) so core/Options can carry an optional
+// `const CancelToken*` without depending on the thread-pool layer.
+#pragma once
+
+#include <atomic>
+
+namespace fpart {
+
+class CancelToken {
+ public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Latches the token. Idempotent; safe from any thread.
+  void request() { cancelled_.store(true, std::memory_order_relaxed); }
+
+  /// True once request() ran. Relaxed load: cancellation is advisory,
+  /// the poller only needs to observe it eventually.
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+/// Convenience for call sites holding an optional token pointer.
+inline bool cancel_requested(const CancelToken* token) {
+  return token != nullptr && token->cancelled();
+}
+
+}  // namespace fpart

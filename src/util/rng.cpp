@@ -84,4 +84,16 @@ std::size_t Rng::geometric_level(std::size_t levels, double decay) {
 
 Rng Rng::split() { return Rng((*this)() ^ 0xD1B54A32D192ED03ull); }
 
+std::uint64_t Rng::derive_seed(std::uint64_t seed, std::uint64_t stream) {
+  if (stream == 0) return seed;
+  // Two rounds of splitmix64 over (seed advanced by stream golden-ratio
+  // steps): full 64-bit avalanche, so neighbouring streams share no
+  // low-bit structure even for seed 0.
+  std::uint64_t x = seed + stream * 0x9E3779B97F4A7C15ull;
+  std::uint64_t derived = splitmix64(x);
+  derived ^= splitmix64(x);
+  if (derived == 0) derived = 0x9E3779B97F4A7C15ull;
+  return derived;
+}
+
 }  // namespace fpart

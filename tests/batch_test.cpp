@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "device/xilinx.hpp"
+#include "netlist/hgr_io.hpp"
+#include "netlist/mcnc.hpp"
+#include "obs/json.hpp"
+#include "runtime/batch.hpp"
+#include "util/assert.hpp"
+
+namespace fpart::runtime {
+namespace {
+
+class BatchTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // ctest runs each case as its own process: paths must be unique per
+    // test or concurrent cases race on /tmp.
+    prefix_ = std::string("/tmp/fpart_batch_test_") +
+              ::testing::UnitTest::GetInstance()->current_test_info()->name()
+              + "_";
+    hgr_path_ = prefix_ + "c3540.hgr";
+    write_hgr_file(hgr_path_,
+                   mcnc::generate("c3540", Family::kXC3000));
+  }
+  void TearDown() override {
+    std::remove(hgr_path_.c_str());
+    for (const std::string& p : temp_files_) std::remove(p.c_str());
+  }
+
+  std::string write_temp(const std::string& name,
+                         const std::string& content) {
+    const std::string path = prefix_ + name;
+    std::ofstream os(path);
+    os << content;
+    temp_files_.push_back(path);
+    return path;
+  }
+
+  std::string prefix_;
+
+  std::string hgr_path_;
+  std::vector<std::string> temp_files_;
+};
+
+TEST_F(BatchTest, ParsesJobsCommentsAndDefaults) {
+  const std::string path = write_temp("parse.txt",
+                                      "# header comment\n"
+                                      "\n"
+                                      "a.hgr XC3020\n"
+                                      "b.hgr XC3042 id=big portfolio=4 "
+                                      "seed=9 method=kwayx fill=0.8  # eol\n");
+  const std::vector<JobSpec> jobs = parse_batch_file(path);
+  ASSERT_EQ(jobs.size(), 2u);
+  EXPECT_EQ(jobs[0].id, "job0");
+  EXPECT_EQ(jobs[0].input, "a.hgr");
+  EXPECT_EQ(jobs[0].device, "XC3020");
+  EXPECT_EQ(jobs[0].method, "fpart");
+  EXPECT_EQ(jobs[0].portfolio, 1u);
+  EXPECT_EQ(jobs[1].id, "big");
+  EXPECT_EQ(jobs[1].portfolio, 4u);
+  EXPECT_EQ(jobs[1].seed, 9u);
+  EXPECT_EQ(jobs[1].method, "kwayx");
+  EXPECT_DOUBLE_EQ(jobs[1].fill, 0.8);
+}
+
+TEST_F(BatchTest, RejectsMalformedLines) {
+  EXPECT_THROW(parse_batch_file("/nonexistent/batch.txt"),
+               PreconditionError);
+  EXPECT_THROW(parse_batch_file(write_temp("short.txt", "only_input\n")),
+               PreconditionError);
+  EXPECT_THROW(
+      parse_batch_file(write_temp("badkv.txt", "a.hgr XC3020 not-a-kv\n")),
+      PreconditionError);
+  EXPECT_THROW(
+      parse_batch_file(write_temp("badkey.txt", "a.hgr XC3020 bogus=1\n")),
+      PreconditionError);
+  EXPECT_THROW(
+      parse_batch_file(write_temp("badnum.txt", "a.hgr XC3020 seed=xyz\n")),
+      PreconditionError);
+}
+
+TEST_F(BatchTest, RunsJobsAndIsolatesFailures) {
+  const std::string path = write_temp(
+      "run.txt", hgr_path_ + " XC3020 id=plain\n" +
+                     "missing.hgr XC3020 id=broken\n" + hgr_path_ +
+                     " XC3042 id=pf portfolio=3 seed=5\n" + hgr_path_ +
+                     " XC3020 id=kx method=kwayx\n");
+  const std::vector<JobSpec> jobs = parse_batch_file(path);
+  ThreadPool pool(4);
+  const std::vector<JobResult> results = run_batch(jobs, &pool);
+  ASSERT_EQ(results.size(), 4u);
+
+  EXPECT_TRUE(results[0].ok);
+  EXPECT_TRUE(results[0].result.feasible);
+
+  EXPECT_FALSE(results[1].ok);
+  EXPECT_NE(results[1].error.find("missing.hgr"), std::string::npos);
+
+  EXPECT_TRUE(results[2].ok);
+  EXPECT_TRUE(results[2].result.feasible);
+  EXPECT_NE(results[2].portfolio_digest, 0u);
+
+  EXPECT_TRUE(results[3].ok);
+  EXPECT_GE(results[3].result.k, results[3].result.lower_bound);
+}
+
+TEST_F(BatchTest, ResultsAreDeterministicAcrossPoolSizes) {
+  const std::string path = write_temp(
+      "det.txt", hgr_path_ + " XC3020 id=a seed=1\n" + hgr_path_ +
+                     " XC3042 id=b portfolio=3 seed=2\n");
+  const std::vector<JobSpec> jobs = parse_batch_file(path);
+  ThreadPool one(1);
+  ThreadPool four(4);
+  const std::vector<JobResult> serial = run_batch(jobs, &one);
+  const std::vector<JobResult> parallel = run_batch(jobs, &four);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t j = 0; j < serial.size(); ++j) {
+    EXPECT_EQ(serial[j].result.k, parallel[j].result.k) << j;
+    EXPECT_EQ(serial[j].result.cut, parallel[j].result.cut) << j;
+    EXPECT_EQ(serial[j].result.assignment, parallel[j].result.assignment)
+        << j;
+    EXPECT_EQ(serial[j].portfolio_digest, parallel[j].portfolio_digest)
+        << j;
+  }
+}
+
+TEST_F(BatchTest, ReportJsonParses) {
+  const std::string path = write_temp(
+      "report.txt",
+      hgr_path_ + " XC3020 id=ok\nmissing.hgr XC3020 id=bad\n");
+  const std::vector<JobResult> results =
+      run_batch(parse_batch_file(path));
+  const auto doc = obs::json_parse(batch_report_json(results));
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->find("schema")->string, kBatchReportSchema);
+  const obs::JsonValue* jobs = doc->find("jobs");
+  ASSERT_NE(jobs, nullptr);
+  ASSERT_EQ(jobs->array.size(), 2u);
+  EXPECT_TRUE(jobs->array[0].find("ok")->boolean);
+  EXPECT_FALSE(jobs->array[1].find("ok")->boolean);
+  EXPECT_NE(jobs->array[1].find("error"), nullptr);
+}
+
+}  // namespace
+}  // namespace fpart::runtime

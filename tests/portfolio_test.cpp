@@ -1,0 +1,246 @@
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/fpart.hpp"
+#include "device/xilinx.hpp"
+#include "netlist/mcnc.hpp"
+#include "obs/json.hpp"
+#include "partition/replay.hpp"
+#include "partition/verify.hpp"
+#include "runtime/portfolio.hpp"
+#include "util/assert.hpp"
+
+namespace fpart::runtime {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  EXPECT_TRUE(is.good()) << path;
+  std::ostringstream ss;
+  ss << is.rdbuf();
+  return ss.str();
+}
+
+TEST(PortfolioTest, AttemptSeedsAreStableAndDistinct) {
+  EXPECT_EQ(attempt_seed(0, 0), 0u);  // attempt 0 = the canonical run
+  EXPECT_EQ(attempt_seed(9, 0), 9u);
+  for (std::uint32_t i = 1; i < 16; ++i) {
+    EXPECT_NE(attempt_seed(0, i), 0u);
+    EXPECT_EQ(attempt_seed(0, i), attempt_seed(0, i));
+    for (std::uint32_t j = 0; j < i; ++j) {
+      EXPECT_NE(attempt_seed(0, i), attempt_seed(0, j)) << i << "," << j;
+    }
+  }
+}
+
+TEST(PortfolioTest, ValidatesAttemptCount) {
+  const Device d = xilinx::xc3020();
+  const Hypergraph h = mcnc::generate("c3540", d.family());
+  PortfolioOptions opt;
+  opt.attempts = 0;
+  EXPECT_THROW(run_portfolio(h, d, opt), PreconditionError);
+}
+
+TEST(PortfolioTest, RejectsUnknownMethod) {
+  const Device d = xilinx::xc3020();
+  const Hypergraph h = mcnc::generate("c3540", d.family());
+  PortfolioOptions opt;
+  opt.attempts = 2;
+  opt.method = "simulated-annealing";
+  EXPECT_THROW(run_portfolio(h, d, opt), PreconditionError);
+}
+
+TEST(PortfolioTest, SingleAttemptEqualsCanonicalRun) {
+  const Device d = xilinx::xc3042();
+  const Hypergraph h = mcnc::generate("s9234", d.family());
+  const PartitionResult canonical = FpartPartitioner().run(h, d);
+  PortfolioOptions opt;
+  opt.attempts = 1;
+  opt.threads = 2;
+  const PortfolioResult pr = run_portfolio(h, d, opt);
+  EXPECT_EQ(pr.winner, 0u);
+  EXPECT_EQ(pr.counted, 1u);
+  EXPECT_EQ(pr.best.k, canonical.k);
+  EXPECT_EQ(pr.best.cut, canonical.cut);
+  EXPECT_EQ(pr.best.assignment, canonical.assignment);
+}
+
+// The tentpole guarantee: winner, assignment and digest are identical
+// whether the attempts run on 1, 4 or 8 threads.
+TEST(PortfolioTest, DeterministicAcrossThreadCounts) {
+  const Device d = xilinx::xc3042();
+  const Hypergraph h = mcnc::generate("s5378", d.family());
+  PortfolioOptions opt;
+  opt.attempts = 6;
+  opt.early_exit = false;  // every attempt counts: the strictest case
+  opt.base.seed = 3;
+
+  opt.threads = 1;
+  const PortfolioResult serial = run_portfolio(h, d, opt);
+  EXPECT_EQ(serial.counted, 6u);
+  const VerifyReport report =
+      verify_partition(h, d, serial.best.assignment, serial.best.k);
+  EXPECT_TRUE(report.ok) << report.summary();
+
+  for (unsigned threads : {4u, 8u}) {
+    opt.threads = threads;
+    const PortfolioResult parallel = run_portfolio(h, d, opt);
+    EXPECT_EQ(parallel.winner, serial.winner) << threads;
+    EXPECT_EQ(parallel.counted, serial.counted) << threads;
+    EXPECT_EQ(parallel.best.k, serial.best.k) << threads;
+    EXPECT_EQ(parallel.best.cut, serial.best.cut) << threads;
+    EXPECT_EQ(parallel.best.assignment, serial.best.assignment) << threads;
+    EXPECT_EQ(parallel.digest, serial.digest) << threads;
+    for (std::uint32_t i = 0; i < 6; ++i) {
+      EXPECT_EQ(parallel.attempts[i].result.cut,
+                serial.attempts[i].result.cut)
+          << threads << ":" << i;
+      EXPECT_EQ(parallel.attempts[i].assignment_digest,
+                serial.attempts[i].assignment_digest)
+          << threads << ":" << i;
+    }
+  }
+}
+
+TEST(PortfolioTest, WinnerIsNeverWorseThanAnyCountedAttempt) {
+  const Device d = xilinx::xc3020();
+  const Hypergraph h = mcnc::generate("s9234", d.family());
+  PortfolioOptions opt;
+  opt.attempts = 5;
+  opt.early_exit = false;
+  opt.threads = 4;
+  const PortfolioResult pr = run_portfolio(h, d, opt);
+  for (const AttemptOutcome& a : pr.attempts) {
+    ASSERT_TRUE(a.counted);
+    EXPECT_TRUE(a.result.feasible);
+    if (a.result.k == pr.best.k) EXPECT_LE(pr.best.cut, a.result.cut);
+    EXPECT_LE(pr.best.k, a.result.k);
+  }
+}
+
+TEST(PortfolioTest, EarlyExitStopsLosersDeterministically) {
+  // c3540 on XC3090 fits one device: attempt 0 hits the bound, so only
+  // it is counted and later attempts report cancelled — at EVERY thread
+  // count, because cancellation must never leak scheduling into the
+  // outcome.
+  const Device d = xilinx::xc3090();
+  const Hypergraph h = mcnc::generate("c3540", d.family());
+  PortfolioOptions opt;
+  opt.attempts = 8;
+  std::uint64_t first_digest = 0;
+  for (unsigned threads : {1u, 4u}) {
+    opt.threads = threads;
+    const PortfolioResult pr = run_portfolio(h, d, opt);
+    EXPECT_EQ(pr.best.k, 1u) << threads;
+    EXPECT_EQ(pr.winner, 0u) << threads;
+    EXPECT_EQ(pr.counted, 1u) << threads;
+    for (std::uint32_t i = 1; i < 8; ++i) {
+      EXPECT_FALSE(pr.attempts[i].counted) << threads << ":" << i;
+      EXPECT_TRUE(pr.attempts[i].cancelled) << threads << ":" << i;
+    }
+    if (threads == 1u) {
+      first_digest = pr.digest;
+    } else {
+      EXPECT_EQ(pr.digest, first_digest);
+    }
+  }
+}
+
+TEST(PortfolioTest, CancelTokenStopsAnEngineRun) {
+  const Device d = xilinx::xc3020();
+  const Hypergraph h = mcnc::generate("s9234", d.family());
+  CancelToken token;
+  token.request();  // pre-latched: the engine must bail at iteration 1
+  Options opt;
+  opt.cancel = &token;
+  const PartitionResult r = FpartPartitioner(opt).run(h, d);
+  EXPECT_TRUE(r.cancelled);
+}
+
+TEST(PortfolioTest, PerAttemptEventLogsReplayByteExactly) {
+  const Device d = xilinx::xc3042();
+  const Hypergraph h = mcnc::generate("s9234", d.family());
+  PortfolioOptions opt;
+  opt.attempts = 3;
+  opt.early_exit = false;
+  opt.threads = 3;
+  // Pid-unique: concurrent ctest invocations (e.g. two build trees) must
+  // not race on the log files.
+  opt.events_prefix = "/tmp/fpart_portfolio_test_events_" +
+                      std::to_string(::getpid());
+  const PortfolioResult pr = run_portfolio(h, d, opt);
+
+  // Every counted attempt wrote a private log that replays to its own
+  // recorded final state.
+  for (const AttemptOutcome& a : pr.attempts) {
+    ASSERT_FALSE(a.events_path.empty()) << a.index;
+    const obs::EventLog log = obs::read_event_log(a.events_path);
+    EXPECT_EQ(log.header.seed, a.seed) << a.index;
+    const ReplayResult replay = replay_event_log(h, log);
+    EXPECT_TRUE(replay.ok) << "attempt " << a.index << ": "
+                           << (replay.errors.empty() ? ""
+                                                     : replay.errors[0]);
+    ASSERT_TRUE(log.final_state.has_value()) << a.index;
+    EXPECT_EQ(log.final_state->assignment_digest, a.assignment_digest);
+  }
+
+  // The winner's log is byte-identical across re-runs (any thread count).
+  const std::string first =
+      read_file(pr.attempts[pr.winner].events_path);
+  opt.threads = 1;
+  const PortfolioResult rerun = run_portfolio(h, d, opt);
+  EXPECT_EQ(rerun.winner, pr.winner);
+  EXPECT_EQ(read_file(rerun.attempts[rerun.winner].events_path), first);
+
+  for (const AttemptOutcome& a : pr.attempts) {
+    std::remove(a.events_path.c_str());
+  }
+}
+
+TEST(PortfolioTest, ReportJsonParsesAndCarriesTheContract) {
+  const Device d = xilinx::xc3020();
+  const Hypergraph h = mcnc::generate("s9234", d.family());
+  PortfolioOptions opt;
+  opt.attempts = 3;
+  opt.early_exit = false;
+  opt.threads = 2;
+  const PortfolioResult pr = run_portfolio(h, d, opt);
+
+  RunMeta meta;
+  meta.circuit = "s9234";
+  meta.device = d.name();
+  meta.method = opt.method;
+  meta.seed = opt.base.seed;
+  const auto doc = obs::json_parse(portfolio_report_json(meta, opt, pr));
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->find("schema")->string, kPortfolioReportSchema);
+  const obs::JsonValue* pf = doc->find("portfolio");
+  ASSERT_NE(pf, nullptr);
+  EXPECT_EQ(pf->find("attempts")->as_u64(), 3u);
+  EXPECT_EQ(pf->find("winner")->as_u64(), pr.winner);
+  EXPECT_EQ(pf->find("digest")->as_u64(), pr.digest);  // bit-exact
+  EXPECT_EQ(doc->find("attempts")->array.size(), 3u);
+  EXPECT_EQ(doc->find("result")->find("k")->as_u64(), pr.best.k);
+}
+
+TEST(PortfolioTest, BaselineMethodsRunUnderThePortfolio) {
+  const Device d = xilinx::xc3020();
+  const Hypergraph h = mcnc::generate("c3540", d.family());
+  for (const char* method : {"kwayx", "fbb", "clustered"}) {
+    PortfolioOptions opt;
+    opt.attempts = 2;
+    opt.threads = 2;
+    opt.method = method;
+    const PortfolioResult pr = run_portfolio(h, d, opt);
+    EXPECT_TRUE(pr.best.feasible) << method;
+    EXPECT_GE(pr.best.k, pr.best.lower_bound) << method;
+  }
+}
+
+}  // namespace
+}  // namespace fpart::runtime

@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <functional>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "runtime/thread_pool.hpp"
+
+namespace fpart::runtime {
+namespace {
+
+/// Polls `done` until true or ~10 s pass. Completion signalling for
+/// fire-and-forget tasks — blocking on futures inside tasks would
+/// deadlock a 1-thread pool, so the tests use counters instead.
+bool wait_for(const std::function<bool()>& done) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (!done()) {
+    if (std::chrono::steady_clock::now() > deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return true;
+}
+
+/// setenv/unsetenv RAII for FPART_THREADS.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* key, const char* value) : key_(key) {
+    const char* old = std::getenv(key);
+    if (old != nullptr) saved_ = old;
+    if (value != nullptr) {
+      ::setenv(key, value, 1);
+    } else {
+      ::unsetenv(key);
+    }
+  }
+  ~ScopedEnv() {
+    if (saved_.has_value()) {
+      ::setenv(key_, saved_->c_str(), 1);
+    } else {
+      ::unsetenv(key_);
+    }
+  }
+
+ private:
+  const char* key_;
+  std::optional<std::string> saved_;
+};
+
+TEST(ThreadPoolTest, DefaultThreadCountHonorsEnvironment) {
+  {
+    const ScopedEnv env("FPART_THREADS", "3");
+    EXPECT_EQ(default_thread_count(), 3u);
+  }
+  {
+    const ScopedEnv env("FPART_THREADS", "100000");
+    EXPECT_EQ(default_thread_count(), 512u);  // clamped
+  }
+  for (const char* bad : {"0", "-4", "garbage", ""}) {
+    const ScopedEnv env("FPART_THREADS", bad);
+    EXPECT_GE(default_thread_count(), 1u) << "'" << bad << "'";
+  }
+  const ScopedEnv env("FPART_THREADS", nullptr);
+  EXPECT_GE(default_thread_count(), 1u);
+}
+
+TEST(ThreadPoolTest, SizeMatchesRequestAndEnvDrivesDefault) {
+  EXPECT_EQ(ThreadPool(5).size(), 5u);
+  const ScopedEnv env("FPART_THREADS", "2");
+  EXPECT_EQ(ThreadPool(0).size(), 2u);
+}
+
+TEST(ThreadPoolTest, ExecutesEveryPostedTask) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 200; ++i) {
+    pool.post([&count] { count.fetch_add(1); });
+  }
+  EXPECT_TRUE(wait_for([&] { return count.load() == 200; }));
+}
+
+TEST(ThreadPoolTest, DestructorDrainsPendingTasks) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 500; ++i) {
+      pool.post([&count] { count.fetch_add(1); });
+    }
+  }  // ~ThreadPool must run ALL queued tasks before joining
+  EXPECT_EQ(count.load(), 500);
+}
+
+TEST(ThreadPoolTest, TasksCanEnqueueMoreWork) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  constexpr int kFanout = 16;
+  for (int i = 0; i < kFanout; ++i) {
+    pool.post([&pool, &count] {
+      for (int j = 0; j < kFanout; ++j) {
+        pool.post([&count] { count.fetch_add(1); });
+      }
+    });
+  }
+  EXPECT_TRUE(wait_for([&] { return count.load() == kFanout * kFanout; }));
+}
+
+TEST(ThreadPoolTest, RecursiveSubmissionWorksOnOneThread) {
+  // Fire-and-forget chains must not deadlock a 1-thread pool.
+  ThreadPool pool(1);
+  std::atomic<int> depth{0};
+  std::function<void()> chain = [&] {
+    if (depth.fetch_add(1) + 1 < 64) pool.post(chain);
+  };
+  pool.post(chain);
+  EXPECT_TRUE(wait_for([&] { return depth.load() == 64; }));
+}
+
+TEST(ThreadPoolTest, AsyncReturnsValues) {
+  ThreadPool pool(4);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 32; ++i) {
+    futures.push_back(pool.async([i] { return i * i; }));
+  }
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(futures[static_cast<std::size_t>(i)].get(), i * i);
+  }
+}
+
+TEST(ThreadPoolTest, AsyncPropagatesExceptions) {
+  ThreadPool pool(2);
+  auto bad = pool.async(
+      []() -> int { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(bad.get(), std::runtime_error);
+  // A thrown task must not poison the pool.
+  EXPECT_EQ(pool.async([] { return 7; }).get(), 7);
+}
+
+TEST(ThreadPoolTest, CurrentIdentifiesTheExecutingPool) {
+  EXPECT_EQ(ThreadPool::current(), nullptr);
+  ThreadPool pool(2);
+  EXPECT_EQ(pool.async([] { return ThreadPool::current(); }).get(), &pool);
+  EXPECT_EQ(ThreadPool::current(), nullptr);
+}
+
+TEST(ThreadPoolTest, StressManySmallTasks) {
+  ThreadPool pool(4);
+  std::atomic<std::uint64_t> sum{0};
+  constexpr int kTasks = 10000;
+  for (int i = 0; i < kTasks; ++i) {
+    sum.fetch_add(1);
+    pool.post([&sum] { sum.fetch_add(1); });
+  }
+  EXPECT_TRUE(wait_for([&] { return sum.load() == 2 * kTasks; }));
+}
+
+}  // namespace
+}  // namespace fpart::runtime

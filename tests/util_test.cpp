@@ -51,6 +51,42 @@ TEST(RngTest, DeterministicForEqualSeeds) {
   for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
 }
 
+TEST(RngTest, DeriveSeedIsPureAndStreamZeroIsIdentity) {
+  EXPECT_EQ(Rng::derive_seed(42, 3), Rng::derive_seed(42, 3));
+  EXPECT_EQ(Rng::derive_seed(42, 0), 42u);
+  EXPECT_EQ(Rng::derive_seed(0, 0), 0u);
+}
+
+TEST(RngTest, DeriveSeedNeverReturnsZeroForNonzeroStream) {
+  for (std::uint64_t stream = 1; stream < 64; ++stream) {
+    EXPECT_NE(Rng::derive_seed(0, stream), 0u) << stream;
+    EXPECT_NE(Rng::derive_seed(~0ull, stream), 0u) << stream;
+  }
+}
+
+TEST(RngTest, DeriveSeedStreamsAreDistinct) {
+  // Distinct streams of one base seed, and the same stream of nearby
+  // base seeds, must not collide (the portfolio's attempt independence).
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t base = 0; base < 8; ++base) {
+    for (std::uint64_t stream = 1; stream < 128; ++stream) {
+      seen.insert(Rng::derive_seed(base, stream));
+    }
+  }
+  EXPECT_EQ(seen.size(), 8u * 127u);
+}
+
+TEST(RngTest, DeriveSeedStreamsDecorrelate) {
+  // Generators seeded from adjacent streams should not track each other.
+  Rng a(Rng::derive_seed(7, 1));
+  Rng b(Rng::derive_seed(7, 2));
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LE(equal, 2);
+}
+
 TEST(RngTest, DifferentSeedsDiverge) {
   Rng a(1);
   Rng b(2);

@@ -53,6 +53,15 @@ Family parse_family(const std::string& name) {
   return Family::kXC3000;
 }
 
+/// --threads: 0 defers to FPART_THREADS / hardware concurrency;
+/// explicit counts must land in the pool's supported [1, 512] range.
+unsigned parse_thread_count(const CliParser& cli) {
+  const std::int64_t threads = cli.get_int("threads");
+  FPART_REQUIRE(threads >= 0 && threads <= 512,
+                "--threads must be in [0, 512] (0 = auto)");
+  return static_cast<unsigned>(threads);
+}
+
 Device device_from_flags(const CliParser& cli) {
   if (cli.has("smax") || cli.has("tmax")) {
     FPART_REQUIRE(cli.has("smax") && cli.has("tmax"),
@@ -119,7 +128,7 @@ int cmd_techmap(const CliParser& cli) {
 int cmd_batch(const CliParser& cli) {
   const std::vector<runtime::JobSpec> jobs =
       runtime::parse_batch_file(cli.get("batch"));
-  runtime::ThreadPool pool(static_cast<unsigned>(cli.get_int("threads")));
+  runtime::ThreadPool pool(parse_thread_count(cli));
   const std::vector<runtime::JobResult> results =
       runtime::run_batch(jobs, &pool);
   bool all_ok = true;
@@ -154,7 +163,7 @@ int run_portfolio_partition(const CliParser& cli, const Hypergraph& h,
   const bool want_events = cli.has("events");
   runtime::PortfolioOptions popt;
   popt.attempts = attempts;
-  popt.threads = static_cast<unsigned>(cli.get_int("threads"));
+  popt.threads = parse_thread_count(cli);
   popt.method = method;
   // Base seed 0 (the canonical deterministic run) unless the user asked
   // for a specific stream; attempt i derives its seed from the base.

@@ -85,9 +85,10 @@ std::vector<JobSpec> parse_batch_file(const std::string& path) {
         } else if (key == "method") {
           spec.method = value;
         } else if (key == "portfolio") {
-          spec.portfolio = static_cast<std::uint32_t>(std::stoul(value));
-          FPART_REQUIRE(spec.portfolio >= 1,
-                        "batch: portfolio must be >= 1");
+          const unsigned long parsed = std::stoul(value);
+          FPART_REQUIRE(parsed >= 1 && parsed <= 0xFFFFFFFFul,
+                        "batch: portfolio must be in [1, 4294967295]");
+          spec.portfolio = static_cast<std::uint32_t>(parsed);
         } else if (key == "seed") {
           spec.seed = std::stoull(value);
         } else if (key == "fill") {
@@ -116,13 +117,17 @@ std::vector<JobResult> run_batch(const std::vector<JobSpec>& jobs,
   std::vector<JobResult> results(jobs.size());
 
   // Fan the single-attempt jobs out first so they overlap with the
-  // portfolio jobs the calling thread works through below.
+  // portfolio jobs the calling thread works through below. `pending` is
+  // fully counted before any task is posted: posted tasks decrement it
+  // under `mu`, so mutating it from this thread afterwards would race.
   std::mutex mu;
   std::condition_variable done_cv;
   std::size_t pending = 0;
+  for (const JobSpec& job : jobs) {
+    if (job.portfolio <= 1) ++pending;
+  }
   for (std::size_t j = 0; j < jobs.size(); ++j) {
     if (jobs[j].portfolio > 1) continue;
-    ++pending;
     pool->post([&, j] {
       execute_job(jobs[j], nullptr, results[j]);
       std::lock_guard<std::mutex> lock(mu);

@@ -45,7 +45,7 @@ unsigned default_thread_count();
 class ThreadPool {
  public:
   /// Spawns the workers immediately. `threads` = 0 picks
-  /// default_thread_count().
+  /// default_thread_count(); explicit counts are clamped to [1, 512].
   explicit ThreadPool(unsigned threads = 0);
 
   /// Drains every queued task, then joins the workers.

@@ -47,10 +47,11 @@ class Rng {
   /// Derives the seed of sub-stream `stream` of `seed` by splitmix-style
   /// mixing — a pure function of (seed, stream), so stream i of a
   /// portfolio run is identical no matter which thread (or how many
-  /// threads) executes it. Never returns 0, so derived streams cannot
+  /// threads) executes it. derive_seed(s, 0) == s for any s (stream 0
+  /// is the base stream itself, passed through verbatim — including 0).
+  /// For stream >= 1 the result is never 0, so derived streams cannot
   /// collide with the "canonical deterministic" seed-0 convention of
-  /// Options::seed. derive_seed(s, 0) == s for any s != 0 (stream 0 is
-  /// the base stream itself).
+  /// Options::seed.
   static std::uint64_t derive_seed(std::uint64_t seed, std::uint64_t stream);
 
   /// Fisher–Yates shuffle.

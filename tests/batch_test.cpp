@@ -82,6 +82,13 @@ TEST_F(BatchTest, RejectsMalformedLines) {
   EXPECT_THROW(
       parse_batch_file(write_temp("badnum.txt", "a.hgr XC3020 seed=xyz\n")),
       PreconditionError);
+  // portfolio= must fit uint32_t, not silently wrap (2^32 + 1 != 1).
+  EXPECT_THROW(parse_batch_file(write_temp(
+                   "wide.txt", "a.hgr XC3020 portfolio=4294967297\n")),
+               PreconditionError);
+  EXPECT_THROW(
+      parse_batch_file(write_temp("zero.txt", "a.hgr XC3020 portfolio=0\n")),
+      PreconditionError);
 }
 
 TEST_F(BatchTest, RunsJobsAndIsolatesFailures) {
@@ -126,6 +133,26 @@ TEST_F(BatchTest, ResultsAreDeterministicAcrossPoolSizes) {
         << j;
     EXPECT_EQ(serial[j].portfolio_digest, parallel[j].portfolio_digest)
         << j;
+  }
+}
+
+TEST_F(BatchTest, ManyFastJobsStressTheCompletionCounter) {
+  // 64 immediately-failing jobs through an 8-thread pool: workers race
+  // through the completion counter while run_batch is still posting.
+  // Regression for a data race where the posting thread incremented the
+  // pending count unlocked against worker decrements under the mutex.
+  std::string spec;
+  for (int i = 0; i < 64; ++i) {
+    spec += "missing" + std::to_string(i) + ".hgr XC3020\n";
+  }
+  const std::vector<JobSpec> jobs =
+      parse_batch_file(write_temp("stress.txt", spec));
+  ThreadPool pool(8);
+  const std::vector<JobResult> results = run_batch(jobs, &pool);
+  ASSERT_EQ(results.size(), 64u);
+  for (const JobResult& r : results) {
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.error.find(".hgr"), std::string::npos);
   }
 }
 

@@ -1,0 +1,225 @@
+// Extension bench: hot-path throughput of the flat pin-count arena.
+//
+// Two measurements per circuit, both dominated by the structures this
+// repo's inner loops live in:
+//
+//   * churn — raw Partition::move() rate (moves/second) and
+//     move_gain() rate (gain evals/second) over a precomputed random
+//     move sequence, i.e. the cost of the fused Φ-update kernel with
+//     no engine logic around it;
+//   * end-to-end — one canonical FPART run (seed 0) with wall time,
+//     plus the same run through the solve() facade. The two assignment
+//     digests must match: the facade and the arena layout are required
+//     to be observably invisible, and the binary exits non-zero if not
+//     (CI runs this as the perf-smoke + digest cross-check).
+//
+// Writes BENCH_hotpath.json (fpart-hotpath-bench/1); argv[1] overrides
+// the path, argv[2] == "small" restricts to the smallest circuit (the
+// CI perf-smoke configuration).
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/fpart.hpp"
+#include "core/solve.hpp"
+#include "device/xilinx.hpp"
+#include "fm/gains.hpp"
+#include "harness.hpp"
+#include "netlist/mcnc.hpp"
+#include "obs/json.hpp"
+#include "partition/partition.hpp"
+#include "partition/replay.hpp"
+#include "report/table.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+using namespace fpart;
+
+namespace {
+
+constexpr const char* kSchema = "fpart-hotpath-bench/1";
+constexpr std::uint32_t kChurnBlocks = 4;
+constexpr std::size_t kChurnMoves = 2'000'000;
+
+struct HotpathRecord {
+  std::string circuit;
+  std::string device;
+  std::size_t nodes = 0;
+  std::size_t nets = 0;
+  std::size_t pins = 0;
+  double moves_per_second = 0.0;
+  double gain_evals_per_second = 0.0;
+  std::uint32_t k = 0;
+  std::uint32_t lower_bound = 0;
+  std::uint64_t cut = 0;
+  double e2e_seconds = 0.0;
+  std::uint64_t digest_direct = 0;
+  std::uint64_t digest_solve = 0;
+  bool digests_agree = true;
+};
+
+/// Random interior-node move sequence, fixed seed so every invocation
+/// (and every layout under test) churns the same trajectory.
+std::vector<std::pair<NodeId, BlockId>> make_moves(const Hypergraph& h) {
+  std::vector<NodeId> cells;
+  for (NodeId v = 0; v < h.num_nodes(); ++v) {
+    if (!h.is_terminal(v)) cells.push_back(v);
+  }
+  Rng rng(0x40709);
+  std::vector<std::pair<NodeId, BlockId>> moves;
+  moves.reserve(kChurnMoves);
+  for (std::size_t i = 0; i < kChurnMoves; ++i) {
+    moves.emplace_back(rng.pick(cells),
+                       static_cast<BlockId>(rng.index(kChurnBlocks)));
+  }
+  return moves;
+}
+
+HotpathRecord run_circuit(const char* circuit, const Device& device) {
+  const Hypergraph h = mcnc::generate(circuit, device.family());
+  HotpathRecord rec;
+  rec.circuit = circuit;
+  rec.device = device.name();
+  rec.nodes = h.num_nodes();
+  rec.nets = h.num_nets();
+  rec.pins = h.num_pins();
+
+  const auto moves = make_moves(h);
+  Partition p(h, kChurnBlocks);
+
+  // Warm-up pass populates caches and settles the arena.
+  for (std::size_t i = 0; i < moves.size() / 8; ++i) {
+    p.move(moves[i].first, moves[i].second);
+  }
+
+  {
+    Timer t;
+    for (const auto& [v, to] : moves) p.move(v, to);
+    rec.moves_per_second =
+        static_cast<double>(moves.size()) / t.elapsed_seconds();
+  }
+  {
+    long long sink = 0;
+    Timer t;
+    for (const auto& [v, to] : moves) sink += move_gain(p, v, to);
+    rec.gain_evals_per_second =
+        static_cast<double>(moves.size()) / t.elapsed_seconds();
+    if (sink == 0x7fffffffffffffff) std::puts("");  // keep sink live
+  }
+  p.check_consistency();
+
+  const Options opt;  // canonical deterministic run, seed 0
+  {
+    Timer t;
+    const PartitionResult direct = FpartPartitioner(opt).run(h, device);
+    rec.e2e_seconds = t.elapsed_seconds();
+    rec.k = direct.k;
+    rec.lower_bound = direct.lower_bound;
+    rec.cut = direct.cut;
+    rec.digest_direct = assignment_digest(direct.assignment);
+  }
+  {
+    SolveRequest req;
+    req.options = opt;
+    const PartitionResult unified = solve(h, device, req);
+    rec.digest_solve = assignment_digest(unified.assignment);
+  }
+  rec.digests_agree = rec.digest_direct == rec.digest_solve;
+  return rec;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::print_banner(
+      "Extension: hot-path throughput (flat pin-count arena)",
+      "Partition::move / move_gain churn rate plus a canonical FPART "
+      "run; assignment digest must agree between the direct engine and "
+      "the solve() facade");
+
+  const bool small = argc > 2 && std::strcmp(argv[2], "small") == 0;
+  const Device device = xilinx::xc3042();
+  std::vector<const char*> circuits = {"c3540"};
+  if (!small) {
+    circuits.push_back("s9234");
+    circuits.push_back("s13207");
+  }
+
+  std::vector<HotpathRecord> records;
+  Table table({"Circuit", "Device", "Mmoves/s*", "Mgains/s*", "k*", "M",
+               "cut*", "t(s)*", "digest ok"});
+  for (const char* circuit : circuits) {
+    HotpathRecord rec = run_circuit(circuit, device);
+    table.add_row({rec.circuit, rec.device,
+                   fmt_double(rec.moves_per_second / 1e6, 2),
+                   fmt_double(rec.gain_evals_per_second / 1e6, 2),
+                   fmt_int(rec.k), fmt_int(rec.lower_bound),
+                   fmt_int(static_cast<int>(rec.cut)),
+                   fmt_double(rec.e2e_seconds, 2),
+                   rec.digests_agree ? "yes" : "NO"});
+    records.push_back(std::move(rec));
+  }
+  std::fputs(table.to_ascii().c_str(), stdout);
+
+  const std::string path =
+      argc > 1 ? argv[1] : std::string("BENCH_hotpath.json");
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("schema");
+  w.value(kSchema);
+  w.key("bench");
+  w.value("ext_hotpath");
+  w.key("churn_blocks");
+  w.value(kChurnBlocks);
+  w.key("churn_moves");
+  w.value(static_cast<std::uint64_t>(kChurnMoves));
+  w.key("records");
+  w.begin_array();
+  bool all_agree = true;
+  for (const HotpathRecord& rec : records) {
+    w.begin_object();
+    w.key("circuit");
+    w.value(rec.circuit);
+    w.key("device");
+    w.value(rec.device);
+    w.key("nodes");
+    w.value(static_cast<std::uint64_t>(rec.nodes));
+    w.key("nets");
+    w.value(static_cast<std::uint64_t>(rec.nets));
+    w.key("pins");
+    w.value(static_cast<std::uint64_t>(rec.pins));
+    w.key("moves_per_second");
+    w.value(rec.moves_per_second);
+    w.key("gain_evals_per_second");
+    w.value(rec.gain_evals_per_second);
+    w.key("k");
+    w.value(rec.k);
+    w.key("lower_bound");
+    w.value(rec.lower_bound);
+    w.key("cut");
+    w.value(rec.cut);
+    w.key("end_to_end_seconds");
+    w.value(rec.e2e_seconds);
+    w.key("digest_direct");
+    w.value(rec.digest_direct);
+    w.key("digest_solve");
+    w.value(rec.digest_solve);
+    w.key("digests_agree");
+    w.value(rec.digests_agree);
+    w.end_object();
+    all_agree = all_agree && rec.digests_agree;
+  }
+  w.end_array();
+  w.end_object();
+
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  FPART_REQUIRE(f != nullptr, "cannot write " + path);
+  const std::string body = w.take();
+  std::fwrite(body.data(), 1, body.size(), f);
+  std::fclose(f);
+  std::printf("\nwrote %s\n", path.c_str());
+
+  return all_agree ? 0 : 1;
+}

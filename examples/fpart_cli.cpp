@@ -18,11 +18,8 @@
 #include <sstream>
 #include <string>
 
-#include "baselines/kwayx.hpp"
-#include "core/clustered.hpp"
-#include "core/fpart.hpp"
+#include "core/solve.hpp"
 #include "device/xilinx.hpp"
-#include "flow/fbb.hpp"
 #include "netlist/generator.hpp"
 #include "netlist/hgr_io.hpp"
 #include "netlist/mcnc.hpp"
@@ -266,20 +263,16 @@ int cmd_partition(const CliParser& cli) {
         make_event_log_header(h, device, run_options, method));
   }
 
-  PartitionResult r;
-  if (method == "fpart") {
-    r = starts > 1 ? run_fpart_multistart(h, device, {}, starts)
-                   : FpartPartitioner().run(h, device);
-  } else if (method == "clustered") {
-    r = ClusteredFpartPartitioner().run(h, device);
-  } else if (method == "kwayx") {
-    r = KwayxPartitioner().run(h, device);
-  } else if (method == "fbb") {
-    r = FbbPartitioner().run(h, device);
-  } else {
+  SolveRequest req;
+  try {
+    req.method = parse_method(method);
+  } catch (const PreconditionError&) {
     std::fprintf(stderr, "unknown --method %s\n", method.c_str());
     return 2;
   }
+  req.options = run_options;
+  req.starts = starts;
+  const PartitionResult r = solve(h, device, req);
   std::printf(
       "%s on %s: k=%u (M=%u), cut=%llu, %.2fs wall / %.2fs cpu, "
       "feasible=%s\n",

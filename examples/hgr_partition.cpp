@@ -1,6 +1,8 @@
 // Partition a user-supplied hMETIS-style .hgr netlist — the interchange
 // path for feeding real circuit data (e.g. the original MCNC netlists)
-// into FPART.
+// into FPART. This is the reference consumer of the public facade: it
+// includes api/fpart.hpp only (plus the demo generator and CLI helper)
+// and drives everything through parse_method() + solve().
 //
 //   $ ./hgr_partition --input my.hgr --device XC3042 [--method fpart]
 //
@@ -11,14 +13,8 @@
 #include <cstdio>
 #include <string>
 
-#include "baselines/kwayx.hpp"
-#include "core/clustered.hpp"
-#include "core/fpart.hpp"
-#include "device/xilinx.hpp"
-#include "flow/fbb.hpp"
+#include "api/fpart.hpp"
 #include "netlist/generator.hpp"
-#include "netlist/hgr_io.hpp"
-#include "partition/verify.hpp"
 #include "util/cli.hpp"
 
 using namespace fpart;
@@ -57,19 +53,14 @@ int main(int argc, char** argv) {
               lower_bound_devices(h, device));
 
   const std::string method = cli.get("method");
-  PartitionResult r;
-  if (method == "fpart") {
-    r = FpartPartitioner().run(h, device);
-  } else if (method == "clustered") {
-    r = ClusteredFpartPartitioner().run(h, device);
-  } else if (method == "kwayx") {
-    r = KwayxPartitioner().run(h, device);
-  } else if (method == "fbb") {
-    r = FbbPartitioner().run(h, device);
-  } else {
+  SolveRequest req;
+  try {
+    req.method = parse_method(method);
+  } catch (const PreconditionError&) {
     std::fprintf(stderr, "unknown --method %s\n", method.c_str());
     return 2;
   }
+  const PartitionResult r = solve(h, device, req);
 
   const VerifyReport report = verify_partition(h, device, r.assignment, r.k);
   std::printf("%s: k=%u (M=%u) cut=%llu in %.2fs — verification: %s\n",

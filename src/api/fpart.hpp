@@ -1,0 +1,40 @@
+// fpart public API — the single header downstream consumers include.
+//
+//   #include "api/fpart.hpp"
+//
+//   fpart::Hypergraph h = fpart::read_hgr_file("circuit.hgr");
+//   fpart::Device d = fpart::xilinx::by_name("XC3042");
+//   fpart::SolveRequest req;
+//   req.method = fpart::parse_method("fpart");
+//   fpart::PartitionResult r = fpart::solve(h, d, req);
+//
+// The stable surface (documented in docs/API.md):
+//
+//   * Hypergraph + HypergraphBuilder — immutable CSR netlist model,
+//     plus read_hgr_file/write_hgr_file for the hMETIS-style
+//     interchange format;
+//   * Device + xilinx::by_name — device capacity models;
+//   * Method / parse_method / method_name, Options, SolveRequest,
+//     solve() — the unified entry point over all four engines;
+//   * PartitionResult / BlockStats — the result model, and
+//     verify_partition() — the independent full-recompute checker;
+//   * runtime::run_portfolio — deterministic parallel multi-start over
+//     solve(); runtime::parse_batch_file / run_batch — many-circuit job
+//     runner on the shared thread pool.
+//
+// Engine internals (Partition, the FM/Sanchis kernels, gain buckets,
+// flow networks) are deliberately NOT re-exported: their headers remain
+// includable but carry no stability promise.
+#pragma once
+
+#include "core/options.hpp"      // Options: seed, cost, schedule, cancel
+#include "core/result.hpp"       // PartitionResult, BlockStats
+#include "core/solve.hpp"        // Method, parse_method, SolveRequest, solve
+#include "device/device.hpp"     // Device
+#include "device/xilinx.hpp"     // xilinx::by_name, the paper's device table
+#include "hypergraph/builder.hpp"     // HypergraphBuilder
+#include "hypergraph/hypergraph.hpp"  // Hypergraph, NodeId/NetId/BlockId
+#include "netlist/hgr_io.hpp"    // read_hgr_file, write_hgr_file
+#include "partition/verify.hpp"  // verify_partition, VerifyReport
+#include "runtime/batch.hpp"     // runtime::parse_batch_file, run_batch
+#include "runtime/portfolio.hpp"  // runtime::run_portfolio

@@ -1,0 +1,60 @@
+#include "core/solve.hpp"
+
+#include <string>
+
+#include "core/fpart.hpp"
+#include "util/assert.hpp"
+
+namespace fpart {
+
+Method parse_method(std::string_view name) {
+  if (name == "fpart") return Method::kFpart;
+  if (name == "clustered") return Method::kClustered;
+  if (name == "kwayx") return Method::kKwayx;
+  if (name == "fbb") return Method::kFbb;
+  FPART_REQUIRE(false, "unknown method '" + std::string(name) +
+                           "' (expected fpart|clustered|kwayx|fbb)");
+}
+
+std::string_view method_name(Method m) {
+  switch (m) {
+    case Method::kFpart:
+      return "fpart";
+    case Method::kClustered:
+      return "clustered";
+    case Method::kKwayx:
+      return "kwayx";
+    case Method::kFbb:
+      return "fbb";
+  }
+  FPART_REQUIRE(false, "method_name: invalid Method enumerator");
+}
+
+PartitionResult solve(const Hypergraph& h, const Device& device,
+                      const SolveRequest& req) {
+  switch (req.method) {
+    case Method::kFpart:
+      if (req.starts > 1) {
+        return run_fpart_multistart(h, device, req.options, req.starts);
+      }
+      return FpartPartitioner(req.options).run(h, device);
+    case Method::kClustered: {
+      ClusteredOptions co = req.clustered;
+      co.fpart = req.options;
+      return ClusteredFpartPartitioner(co).run(h, device);
+    }
+    case Method::kKwayx: {
+      KwayxConfig config = req.kwayx;
+      config.cancel = req.options.cancel;
+      return KwayxPartitioner(config).run(h, device);
+    }
+    case Method::kFbb: {
+      FbbConfig config = req.fbb;
+      config.cancel = req.options.cancel;
+      return FbbPartitioner(config).run(h, device);
+    }
+  }
+  FPART_REQUIRE(false, "solve: invalid Method enumerator");
+}
+
+}  // namespace fpart

@@ -1,0 +1,71 @@
+// Unified entry point over the four partitioning engines.
+//
+// Every engine in the repo answers the same question — "partition this
+// hypergraph for this device" — but historically exposed its own config
+// struct and .run() method, and the method-name dispatch was duplicated
+// at every call site. solve() is the single dispatcher: callers name a
+// Method (or parse one from a string with parse_method(), the ONLY place
+// an unknown method name turns into an error) and get a PartitionResult
+// with identical semantics to calling the engine directly.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "baselines/kwayx.hpp"
+#include "core/clustered.hpp"
+#include "core/options.hpp"
+#include "core/result.hpp"
+#include "device/device.hpp"
+#include "flow/fbb.hpp"
+#include "hypergraph/hypergraph.hpp"
+
+namespace fpart {
+
+/// The partitioning engines (paper: FPART §3, clustered FPART §5 /
+/// [5],[7], the k-way.x greedy baseline [9],[11], FBB-MW flow [3]).
+enum class Method {
+  kFpart,
+  kClustered,
+  kKwayx,
+  kFbb,
+};
+
+/// Parses a canonical method name: "fpart" | "clustered" | "kwayx" |
+/// "fbb". Any other spelling fails with a PreconditionError listing the
+/// valid names — the single source of unknown-method errors (CI greps
+/// that no other method-string dispatch exists).
+Method parse_method(std::string_view name);
+
+/// Canonical lowercase name of `m`; inverse of parse_method().
+std::string_view method_name(Method m);
+
+/// One request against solve().
+struct SolveRequest {
+  Method method = Method::kFpart;
+
+  /// Base engine options. `options.seed` drives FPART's RNG (the other
+  /// engines are deterministic and ignore it); `options.cancel` is
+  /// honored by every engine.
+  Options options;
+
+  /// FPART multi-start count (kFpart only, ignored elsewhere): when > 1,
+  /// runs seeded starts with the canonical early-exit-at-lower-bound
+  /// semantics of run_fpart_multistart().
+  std::uint32_t starts = 1;
+
+  /// Engine-specific knobs. Shared state is injected at dispatch time:
+  /// clustered.fpart is overwritten with `options`, and kwayx.cancel /
+  /// fbb.cancel with options.cancel — so the per-engine structs only
+  /// carry what is genuinely engine-specific.
+  ClusteredOptions clustered;
+  KwayxConfig kwayx;
+  FbbConfig fbb;
+};
+
+/// Runs req.method on (h, device). Byte-identical (results, event logs,
+/// digests) to constructing the engine directly with the same options.
+PartitionResult solve(const Hypergraph& h, const Device& device,
+                      const SolveRequest& req);
+
+}  // namespace fpart

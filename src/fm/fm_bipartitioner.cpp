@@ -50,6 +50,11 @@ bool FmBipartitioner::pass(const SizeWindow& wa, const SizeWindow& wb,
   GainBucket to_a(h.num_nodes(), max_gain);  // cells in b, direction b->a
 
   std::vector<std::uint8_t> locked(h.num_nodes(), 0);
+  if (delta_.size() < h.num_nodes()) {
+    delta_.assign(h.num_nodes(), 0);
+    touch_epoch_.assign(h.num_nodes(), 0);
+    touched_.reserve(h.num_nodes());
+  }
   for (NodeId v = 0; v < h.num_nodes(); ++v) {
     if (h.is_terminal(v)) continue;
     const BlockId blk = p_.block_of(v);
@@ -105,22 +110,66 @@ bool FmBipartitioner::pass(const SizeWindow& wa, const SizeWindow& wb,
     }
     bucket.remove(v);
     locked[v] = 1;
-    p_.move(v, to);
-    log.emplace_back(v, from);
-    ++result.total_moves;
 
-    // Refresh gains of unlocked cells sharing a net with v.
-    for (NetId e : h.nets(v)) {
+    // Fused move + delta-gain kernel: each incident net's Φ row is
+    // touched exactly once; the visitor computes the exact gain change
+    // for neighbors on the from/to sides from the pre-move counts
+    // instead of recomputing every neighbor's gain from scratch.
+    ++epoch_;
+    const std::uint32_t ep = epoch_;
+    touched_.clear();
+    p_.move(v, to, [&](NetId e, std::uint32_t total, std::uint32_t old_f,
+                       std::uint32_t old_t) {
+      // Nets with < 2 interior pins only contain v itself (now locked).
+      if (total < 2) return;
+      const std::uint32_t new_f = old_f - 1;
+      const std::uint32_t new_t = old_t + 1;
+      // Gain contribution of net e for a neighbor w in block `from`
+      // moving to `to` is [Φ_f==1 && Φ_t==total-1] − [Φ_f==total];
+      // d_from/d_to are the post-minus-pre differences of that term.
+      const int d_from = ((new_f == 1 && new_t == total - 1) ? 1 : 0) -
+                         ((new_f == total) ? 1 : 0) -
+                         ((old_f == 1 && old_t == total - 1) ? 1 : 0) +
+                         ((old_f == total) ? 1 : 0);
+      const int d_to = ((new_t == 1 && new_f == total - 1) ? 1 : 0) -
+                       ((new_t == total) ? 1 : 0) -
+                       ((old_t == 1 && old_f == total - 1) ? 1 : 0) +
+                       ((old_t == total) ? 1 : 0);
       for (NodeId w : h.interior_pins(e)) {
         if (locked[w]) continue;
         const BlockId blk = p_.block_of(w);
-        if (blk == a_) {
-          to_b.update(w, move_gain(p_, w, b_));
-        } else if (blk == b_) {
-          to_a.update(w, move_gain(p_, w, a_));
+        int d;
+        if (blk == from) {
+          d = d_from;
+        } else if (blk == to) {
+          d = d_to;
+        } else {
+          continue;  // frozen context block: not in any bucket
+        }
+        // Record the first encounter even when d == 0: a later net may
+        // contribute, and the reposition order must match the order the
+        // full-recompute scheme would have used.
+        if (touch_epoch_[w] != ep) {
+          touch_epoch_[w] = ep;
+          delta_[w] = d;
+          touched_.push_back(w);
+        } else {
+          delta_[w] += d;
         }
       }
+    });
+    // Apply accumulated deltas in first-encounter order. Zero deltas
+    // are skipped: GainBucket::update is a no-op on an unchanged gain,
+    // so the bucket evolution stays byte-identical to full recompute.
+    for (NodeId w : touched_) {
+      const int d = delta_[w];
+      if (d == 0) continue;
+      GainBucket& bw = p_.block_of(w) == a_ ? to_b : to_a;
+      bw.update(w, bw.gain(w) + d);
     }
+
+    log.emplace_back(v, from);
+    ++result.total_moves;
 
     if (p_.cut_size() < best_cut) {
       best_cut = p_.cut_size();

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "partition/partition.hpp"
 
@@ -60,6 +61,16 @@ class FmBipartitioner {
   BlockId a_;
   BlockId b_;
   FmConfig config_;
+
+  // Delta-gain scratch, reused across moves so the hot loop never
+  // allocates. `touched_` lists neighbors in first-encounter order (the
+  // order in which the full-recompute scheme would have repositioned
+  // them); `delta_[w]` accumulates w's exact gain change across all nets
+  // of the moved node; `touch_epoch_` dedupes without clearing.
+  std::vector<int> delta_;
+  std::vector<std::uint32_t> touch_epoch_;
+  std::vector<NodeId> touched_;
+  std::uint32_t epoch_ = 0;
 };
 
 }  // namespace fpart

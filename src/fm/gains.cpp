@@ -12,8 +12,11 @@ int move_gain(const Partition& p, NodeId v, BlockId to) {
   for (NetId e : h.nets(v)) {
     const std::uint32_t total = h.net_interior_pin_count(e);
     if (total < 2) continue;
-    const std::uint32_t phi_f = p.net_pins_in(e, from);
-    if (phi_f == 1 && p.net_pins_in(e, to) == total - 1) {
+    // Single contiguous arena row: both Φ reads hit the same cache line
+    // for typical k.
+    const std::uint32_t* const row = p.net_row(e);
+    const std::uint32_t phi_f = row[from];
+    if (phi_f == 1 && row[to] == total - 1) {
       ++gain;
     } else if (phi_f == total) {
       --gain;
@@ -30,8 +33,9 @@ int move_gain_level2(const Partition& p, NodeId v, BlockId to) {
   for (NetId e : h.nets(v)) {
     const std::uint32_t total = h.net_interior_pin_count(e);
     if (total < 2) continue;
-    const std::uint32_t phi_f = p.net_pins_in(e, from);
-    if (total >= 3 && phi_f == 2 && p.net_pins_in(e, to) == total - 2) {
+    const std::uint32_t* const row = p.net_row(e);
+    const std::uint32_t phi_f = row[from];
+    if (total >= 3 && phi_f == 2 && row[to] == total - 2) {
       ++gain;
     } else if (phi_f == total - 1) {
       --gain;

@@ -1,15 +1,17 @@
 #include "partition/partition.hpp"
 
 #include <algorithm>
-
-#include "obs/recorder.hpp"
-#include "util/assert.hpp"
+#include <bit>
 
 namespace fpart {
 
 Partition::Partition(const Hypergraph& h, std::uint32_t initial_blocks)
     : h_(&h) {
   FPART_REQUIRE(initial_blocks >= 1, "partition needs at least one block");
+  FPART_REQUIRE(initial_blocks <= kMaxBlocks,
+                "partition block count " + std::to_string(initial_blocks) +
+                    " exceeds kMaxBlocks (" + std::to_string(kMaxBlocks) +
+                    "); the pin-count arena would allocate O(nets*k)");
   FPART_REQUIRE(h.num_interior() >= 1, "circuit has no interior nodes");
   assignment_.assign(h.num_nodes(), kInvalidBlock);
   for (NodeId v = 0; v < h.num_nodes(); ++v) {
@@ -19,8 +21,8 @@ Partition::Partition(const Hypergraph& h, std::uint32_t initial_blocks)
   pins_.assign(initial_blocks, 0);
   ext_.assign(initial_blocks, 0);
   node_count_.assign(initial_blocks, 0);
-  pin_count_.assign(h.num_nets(),
-                    std::vector<std::uint32_t>(initial_blocks, 0));
+  k_cap_ = std::bit_ceil(initial_blocks);
+  pin_count_.assign(static_cast<std::size_t>(h.num_nets()) * k_cap_, 0);
   net_span_.assign(h.num_nets(), 0);
   rebuild();
   obs::record_event(obs::EventKind::kInit, obs::Engine::kNone, initial_blocks,
@@ -59,12 +61,33 @@ Partition::Partition(const Hypergraph& h,
   rebuild();
 }
 
+void Partition::grow_capacity(std::uint32_t needed) {
+  std::uint32_t new_cap = k_cap_;
+  while (new_cap < needed) new_cap *= 2;
+  if (new_cap == k_cap_) return;
+  const std::uint32_t k = num_blocks();
+  std::vector<std::uint32_t> wide(
+      static_cast<std::size_t>(h_->num_nets()) * new_cap, 0);
+  for (NetId e = 0; e < h_->num_nets(); ++e) {
+    std::copy_n(pin_count_.data() + static_cast<std::size_t>(e) * k_cap_, k,
+                wide.data() + static_cast<std::size_t>(e) * new_cap);
+  }
+  pin_count_ = std::move(wide);
+  k_cap_ = new_cap;
+}
+
 BlockId Partition::add_block() {
+  FPART_REQUIRE(num_blocks() < kMaxBlocks,
+                "add_block: partition already has kMaxBlocks (" +
+                    std::to_string(kMaxBlocks) +
+                    ") blocks; the pin-count arena cannot grow further");
+  if (num_blocks() == k_cap_) grow_capacity(num_blocks() + 1);
   size_.push_back(0);
   pins_.push_back(0);
   ext_.push_back(0);
   node_count_.push_back(0);
-  for (auto& counts : pin_count_) counts.push_back(0);
+  // Column num_blocks()-1 of every row is already zero (arena invariant),
+  // so the Φ state needs no per-net work.
   const auto id = static_cast<BlockId>(size_.size() - 1);
   obs::record_event(obs::EventKind::kAddBlock, obs::Engine::kNone, id);
   return id;
@@ -75,11 +98,12 @@ void Partition::remove_last_block() {
   FPART_REQUIRE(node_count_.back() == 0, "removed block must be empty");
   obs::record_event(obs::EventKind::kRemoveBlock, obs::Engine::kNone,
                     num_blocks() - 1);
+  // An empty block has Φ(e,b) == 0 for every net, so dropping it leaves
+  // the arena's zero-column invariant intact with no Φ work at all.
   size_.pop_back();
   pins_.pop_back();
   ext_.pop_back();
   node_count_.pop_back();
-  for (auto& counts : pin_count_) counts.pop_back();
 }
 
 void Partition::swap_blocks(BlockId a, BlockId b) {
@@ -98,71 +122,9 @@ void Partition::swap_blocks(BlockId a, BlockId b) {
   std::swap(pins_[a], pins_[b]);
   std::swap(ext_[a], ext_[b]);
   std::swap(node_count_[a], node_count_[b]);
-  for (auto& counts : pin_count_) std::swap(counts[a], counts[b]);
-}
-
-void Partition::move(NodeId v, BlockId to) {
-  FPART_REQUIRE(v < h_->num_nodes() && !h_->is_terminal(v),
-                "move: not an interior node");
-  FPART_REQUIRE(to < num_blocks(), "move: target block out of range");
-  const BlockId from = assignment_[v];
-  if (from == to) return;
-
-  for (NetId e : h_->nets(v)) {
-    auto& counts = pin_count_[e];
-    const std::uint32_t term = h_->net_terminal_count(e);
-    const std::uint32_t total = h_->net_interior_pin_count(e);
-    const std::uint32_t old_f = counts[from];
-    const std::uint32_t old_t = counts[to];
-
-    const bool req_f_old = old_f >= 1 && (term > 0 || old_f < total);
-    const bool req_t_old = old_t >= 1 && (term > 0 || old_t < total);
-
-    counts[from] = old_f - 1;
-    counts[to] = old_t + 1;
-
-    const std::uint32_t new_f = old_f - 1;
-    const std::uint32_t new_t = old_t + 1;
-    const bool req_f_new = new_f >= 1 && (term > 0 || new_f < total);
-    const bool req_t_new = new_t >= 1 && (term > 0 || new_t < total);
-
-    // Span and cutset.
-    const std::uint32_t old_span = net_span_[e];
-    std::uint32_t new_span = old_span;
-    if (old_f == 1) --new_span;
-    if (old_t == 0) ++new_span;
-    if (new_span != old_span) {
-      net_span_[e] = new_span;
-      if (old_span >= 2 && new_span < 2) --cut_;
-      if (old_span < 2 && new_span >= 2) ++cut_;
-      km1_ += (new_span >= 1 ? new_span - 1 : 0);
-      km1_ -= (old_span >= 1 ? old_span - 1 : 0);
-    }
-
-    // Pin demand.
-    if (req_f_old && !req_f_new) --pins_[from];
-    if (!req_f_old && req_f_new) ++pins_[from];
-    if (req_t_old && !req_t_new) --pins_[to];
-    if (!req_t_old && req_t_new) ++pins_[to];
-
-    // External terminal assignment.
-    if (term > 0) {
-      if (old_f == 1) ext_[from] -= term;  // from-block loses the net
-      if (old_t == 0) ext_[to] += term;    // to-block gains the net
-    }
-  }
-
-  const std::uint32_t s = h_->node_size(v);
-  size_[from] -= s;
-  size_[to] += s;
-  --node_count_[from];
-  ++node_count_[to];
-  assignment_[v] = to;
-
-  if (obs::recorder_enabled()) {
-    auto& rec = obs::Recorder::instance();
-    rec.record(obs::Event{obs::EventKind::kMove, obs::Engine::kNone, v, from,
-                          to, rec.take_staged_gain(), cut_});
+  std::uint32_t* row = pin_count_.data();
+  for (NetId e = 0; e < h_->num_nets(); ++e, row += k_cap_) {
+    std::swap(row[a], row[b]);
   }
 }
 
@@ -222,7 +184,10 @@ void Partition::restore(const Snapshot& s) {
   pins_.assign(s.num_blocks, 0);
   ext_.assign(s.num_blocks, 0);
   node_count_.assign(s.num_blocks, 0);
-  for (auto& counts : pin_count_) counts.assign(s.num_blocks, 0);
+  if (s.num_blocks > k_cap_) {
+    k_cap_ = std::bit_ceil(s.num_blocks);
+    pin_count_.assign(static_cast<std::size_t>(h_->num_nets()) * k_cap_, 0);
+  }
   rebuild();
 }
 
@@ -243,13 +208,16 @@ void Partition::rebuild() {
     ++node_count_[b];
   }
 
+  // One pass over the arena: zeroing the padding columns too keeps the
+  // invariant that columns >= num_blocks() are zero.
+  std::fill(pin_count_.begin(), pin_count_.end(), 0);
+  std::uint32_t* arena = pin_count_.data();
   for (NetId e = 0; e < h_->num_nets(); ++e) {
-    auto& counts = pin_count_[e];
-    std::fill(counts.begin(), counts.end(), 0);
-    for (NodeId v : h_->interior_pins(e)) ++counts[assignment_[v]];
+    std::uint32_t* const row = arena + static_cast<std::size_t>(e) * k_cap_;
+    for (NodeId v : h_->interior_pins(e)) ++row[assignment_[v]];
     std::uint32_t span = 0;
-    for (std::uint32_t c : counts) {
-      if (c > 0) ++span;
+    for (BlockId b = 0; b < k; ++b) {
+      if (row[b] > 0) ++span;
     }
     net_span_[e] = span;
     if (span >= 2) ++cut_;
@@ -257,7 +225,7 @@ void Partition::rebuild() {
     const std::uint32_t term = h_->net_terminal_count(e);
     for (BlockId b = 0; b < k; ++b) {
       if (requires_pin(e, b)) ++pins_[b];
-      if (term > 0 && counts[b] > 0) ext_[b] += term;
+      if (term > 0 && row[b] > 0) ext_[b] += term;
     }
   }
 }
@@ -273,7 +241,20 @@ void Partition::check_consistency() const {
   FPART_ASSERT_MSG(fresh.ext_ == ext_, "external pin counts diverged");
   FPART_ASSERT_MSG(fresh.node_count_ == node_count_, "node counts diverged");
   FPART_ASSERT_MSG(fresh.net_span_ == net_span_, "net spans diverged");
-  FPART_ASSERT_MSG(fresh.pin_count_ == pin_count_, "pin counts diverged");
+  // Arena strides may differ (fresh starts at bit_ceil(k)); compare the
+  // logical Φ rows and check this partition's zero-column invariant.
+  const std::uint32_t k = num_blocks();
+  for (NetId e = 0; e < h_->num_nets(); ++e) {
+    const std::uint32_t* mine = net_row(e);
+    const std::uint32_t* theirs = fresh.net_row(e);
+    for (BlockId b = 0; b < k; ++b) {
+      FPART_ASSERT_MSG(mine[b] == theirs[b], "pin counts diverged");
+    }
+    for (std::uint32_t b = k; b < k_cap_; ++b) {
+      FPART_ASSERT_MSG(mine[b] == 0,
+                       "arena invariant violated: nonzero padding column");
+    }
+  }
 }
 
 }  // namespace fpart

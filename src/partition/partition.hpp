@@ -14,9 +14,17 @@
 //   * per-block external I/O count T^E_b (terminal pads on nets touching
 //     b — the paper's assignment of Y0 pads to "one or more" blocks).
 //
+// Φ(e,b) lives in one flat arena indexed [e * k_capacity() + b]. The
+// capacity is a power of two that only grows (doubling), so add_block()
+// is O(1) amortized-O(nets) instead of O(nets) pointer-chasing pushes,
+// and the move kernel reads each net's counters from one contiguous row.
+// Columns in [num_blocks, k_capacity) are kept zero at all times; this
+// makes remove_last_block() free and lets rebuild() clear the arena with
+// a single fill.
+//
 // The same quantities can be recomputed from scratch (rebuild()); the
 // property tests diff incremental against recomputed state after random
-// move sequences.
+// move/add_block/swap/restore sequences.
 #pragma once
 
 #include <cstdint>
@@ -25,6 +33,8 @@
 
 #include "device/device.hpp"
 #include "hypergraph/hypergraph.hpp"
+#include "obs/recorder.hpp"
+#include "util/assert.hpp"
 
 namespace fpart {
 
@@ -37,6 +47,12 @@ enum class FeasibilityClass {
 
 class Partition {
  public:
+  /// Upper bound on num_blocks(), enforced by the constructors and
+  /// add_block(). Caps the arena at num_nets * 2^16 counters so a bad k
+  /// fails with a diagnostic instead of silently allocating O(nets·k)
+  /// memory.
+  static constexpr std::uint32_t kMaxBlocks = 65536;
+
   /// All interior nodes of `h` start in block 0. `h` must outlive *this.
   explicit Partition(const Hypergraph& h, std::uint32_t initial_blocks = 1);
 
@@ -50,9 +66,12 @@ class Partition {
   std::uint32_t num_blocks() const {
     return static_cast<std::uint32_t>(size_.size());
   }
+  /// Current arena row stride (power of two, >= num_blocks()).
+  std::uint32_t k_capacity() const { return k_cap_; }
 
   // --- Mutation -----------------------------------------------------------
-  /// Appends a new empty block; returns its id.
+  /// Appends a new empty block; returns its id. O(1) unless the arena
+  /// capacity doubles (amortized O(nets) across a growth sequence).
   BlockId add_block();
 
   /// Removes the last block. It must be empty.
@@ -63,7 +82,84 @@ class Partition {
   void swap_blocks(BlockId a, BlockId b);
 
   /// Moves interior node v to block `to` (no-op if already there).
-  void move(NodeId v, BlockId to);
+  void move(NodeId v, BlockId to) { move(v, to, [](NetId, std::uint32_t, std::uint32_t, std::uint32_t) {}); }
+
+  /// Fused move kernel: updates all incremental statistics and invokes
+  /// `visit(e, total, old_f, old_t)` once per incident net AFTER that
+  /// net's arena row has been updated. `total` is the net's interior pin
+  /// count; `old_f`/`old_t` are Φ(e,from)/Φ(e,to) BEFORE the move. Gain
+  /// maintenance (FM delta-gain updates) rides along in the visitor so
+  /// each net row is touched exactly once per move.
+  template <class NetVisitor>
+  void move(NodeId v, BlockId to, NetVisitor&& visit) {
+    FPART_REQUIRE(v < h_->num_nodes() && !h_->is_terminal(v),
+                  "move: not an interior node");
+    FPART_REQUIRE(to < num_blocks(), "move: target block out of range");
+    const BlockId from = assignment_[v];
+    if (from == to) return;
+
+    const Hypergraph& h = *h_;
+    std::uint32_t* const arena = pin_count_.data();
+    const std::size_t cap = k_cap_;
+    for (NetId e : h.nets(v)) {
+      std::uint32_t* const row = arena + static_cast<std::size_t>(e) * cap;
+      const std::uint32_t term = h.net_terminal_count(e);
+      const std::uint32_t total = h.net_interior_pin_count(e);
+      const std::uint32_t old_f = row[from];
+      const std::uint32_t old_t = row[to];
+
+      const bool req_f_old = old_f >= 1 && (term > 0 || old_f < total);
+      const bool req_t_old = old_t >= 1 && (term > 0 || old_t < total);
+
+      row[from] = old_f - 1;
+      row[to] = old_t + 1;
+
+      const std::uint32_t new_f = old_f - 1;
+      const std::uint32_t new_t = old_t + 1;
+      const bool req_f_new = new_f >= 1 && (term > 0 || new_f < total);
+      const bool req_t_new = new_t >= 1 && (term > 0 || new_t < total);
+
+      // Span and cutset.
+      const std::uint32_t old_span = net_span_[e];
+      std::uint32_t new_span = old_span;
+      if (old_f == 1) --new_span;
+      if (old_t == 0) ++new_span;
+      if (new_span != old_span) {
+        net_span_[e] = new_span;
+        if (old_span >= 2 && new_span < 2) --cut_;
+        if (old_span < 2 && new_span >= 2) ++cut_;
+        km1_ += (new_span >= 1 ? new_span - 1 : 0);
+        km1_ -= (old_span >= 1 ? old_span - 1 : 0);
+      }
+
+      // Pin demand.
+      if (req_f_old && !req_f_new) --pins_[from];
+      if (!req_f_old && req_f_new) ++pins_[from];
+      if (req_t_old && !req_t_new) --pins_[to];
+      if (!req_t_old && req_t_new) ++pins_[to];
+
+      // External terminal assignment.
+      if (term > 0) {
+        if (old_f == 1) ext_[from] -= term;  // from-block loses the net
+        if (old_t == 0) ext_[to] += term;    // to-block gains the net
+      }
+
+      visit(e, total, old_f, old_t);
+    }
+
+    const std::uint32_t s = h.node_size(v);
+    size_[from] -= s;
+    size_[to] += s;
+    --node_count_[from];
+    ++node_count_[to];
+    assignment_[v] = to;
+
+    if (obs::recorder_enabled()) {
+      auto& rec = obs::Recorder::instance();
+      rec.record(obs::Event{obs::EventKind::kMove, obs::Engine::kNone, v,
+                            from, to, rec.take_staged_gain(), cut_});
+    }
+  }
 
   // --- Queries ------------------------------------------------------------
   BlockId block_of(NodeId v) const { return assignment_[v]; }
@@ -86,7 +182,13 @@ class Partition {
 
   /// Interior pin count Φ(e,b).
   std::uint32_t net_pins_in(NetId e, BlockId b) const {
-    return pin_count_[e][b];
+    return pin_count_[static_cast<std::size_t>(e) * k_cap_ + b];
+  }
+  /// Net e's arena row: Φ(e,·) for blocks [0, num_blocks()). Contiguous;
+  /// entries at [num_blocks(), k_capacity()) are zero. The gain kernels
+  /// scan rows directly instead of calling net_pins_in per block.
+  const std::uint32_t* net_row(NetId e) const {
+    return pin_count_.data() + static_cast<std::size_t>(e) * k_cap_;
   }
   /// Number of blocks net e's interior pins span.
   std::uint32_t net_span(NetId e) const { return net_span_[e]; }
@@ -115,19 +217,26 @@ class Partition {
   void rebuild();
 
   /// Verifies incremental state against a fresh recompute; throws
-  /// InvariantError on divergence. Test hook.
+  /// InvariantError on divergence. Test hook. Also checks the arena
+  /// invariant that columns >= num_blocks() are zero.
   void check_consistency() const;
 
  private:
   bool requires_pin(NetId e, BlockId b) const {
-    const std::uint32_t phi = pin_count_[e][b];
+    const std::uint32_t phi = net_pins_in(e, b);
     return phi >= 1 && (h_->net_terminal_count(e) > 0 ||
                         phi < h_->net_interior_pin_count(e));
   }
 
+  /// Doubles the arena stride until it holds `needed` blocks, copying
+  /// each net's logical row into the widened layout.
+  void grow_capacity(std::uint32_t needed);
+
   const Hypergraph* h_;
-  std::vector<BlockId> assignment_;             // per node (terminals: invalid)
-  std::vector<std::vector<std::uint32_t>> pin_count_;  // [net][block]
+  std::vector<BlockId> assignment_;  // per node (terminals: invalid)
+  // Flat Φ arena: pin_count_[e * k_cap_ + b]. Size num_nets * k_cap_.
+  std::vector<std::uint32_t> pin_count_;
+  std::uint32_t k_cap_ = 0;  // power-of-two row stride
   std::vector<std::uint32_t> net_span_;
   std::uint64_t cut_ = 0;
   std::uint64_t km1_ = 0;

@@ -7,6 +7,7 @@
 #include <mutex>
 #include <sstream>
 
+#include "core/solve.hpp"
 #include "device/xilinx.hpp"
 #include "netlist/hgr_io.hpp"
 #include "obs/json.hpp"
@@ -83,6 +84,7 @@ std::vector<JobSpec> parse_batch_file(const std::string& path) {
         if (key == "id") {
           spec.id = value;
         } else if (key == "method") {
+          (void)parse_method(value);  // reject bad methods at parse time
           spec.method = value;
         } else if (key == "portfolio") {
           const unsigned long parsed = std::stoul(value);

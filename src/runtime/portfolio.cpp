@@ -7,10 +7,7 @@
 #include <mutex>
 #include <utility>
 
-#include "baselines/kwayx.hpp"
-#include "core/clustered.hpp"
-#include "core/fpart.hpp"
-#include "flow/fbb.hpp"
+#include "core/solve.hpp"
 #include "obs/json.hpp"
 #include "obs/phase.hpp"
 #include "obs/recorder.hpp"
@@ -60,27 +57,12 @@ PartitionResult run_portfolio_attempt(const Hypergraph& h,
                                       const PortfolioOptions& opt,
                                       std::uint64_t seed,
                                       const CancelToken* cancel) {
-  Options base = opt.base;
-  base.seed = seed;
-  base.cancel = cancel;
-  if (opt.method == "clustered") {
-    ClusteredOptions co;
-    co.fpart = base;
-    return ClusteredFpartPartitioner(co).run(h, device);
-  }
-  if (opt.method == "kwayx") {
-    KwayxConfig config;
-    config.cancel = cancel;
-    return KwayxPartitioner(config).run(h, device);
-  }
-  if (opt.method == "fbb") {
-    FbbConfig config;
-    config.cancel = cancel;
-    return FbbPartitioner(config).run(h, device);
-  }
-  FPART_REQUIRE(opt.method == "fpart",
-                "portfolio: unknown method '" + opt.method + "'");
-  return FpartPartitioner(base).run(h, device);
+  SolveRequest req;
+  req.method = parse_method(opt.method);
+  req.options = opt.base;
+  req.options.seed = seed;
+  req.options.cancel = cancel;
+  return solve(h, device, req);
 }
 
 std::uint64_t attempt_seed(std::uint64_t base_seed, std::uint32_t attempt) {
@@ -93,9 +75,7 @@ PortfolioResult run_portfolio(const Hypergraph& h, const Device& device,
                               const PortfolioOptions& opt, ThreadPool* pool) {
   FPART_REQUIRE(opt.attempts >= 1, "portfolio needs at least one attempt");
   // Pool tasks must not throw, so reject bad configs before fan-out.
-  FPART_REQUIRE(opt.method == "fpart" || opt.method == "clustered" ||
-                    opt.method == "kwayx" || opt.method == "fbb",
-                "portfolio: unknown method '" + opt.method + "'");
+  (void)parse_method(opt.method);
   const obs::ScopedPhase phase("portfolio.run");
   Timer timer;
   CpuTimer cpu_timer;

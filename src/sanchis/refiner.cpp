@@ -48,7 +48,10 @@ void MultiwayRefiner::compute_gains(NodeId v, std::vector<int>& out) const {
   for (NetId e : h.nets(v)) {
     const std::uint32_t total = h.net_interior_pin_count(e);
     if (total < 2) continue;
-    const std::uint32_t phi_f = p_.net_pins_in(e, from);
+    // One contiguous arena row per net: the loss test and the
+    // nearly-uncut scan below read from the same cache-resident row.
+    const std::uint32_t* const row = p_.net_row(e);
+    const std::uint32_t phi_f = row[from];
     if (phi_f == total) {
       ++loss;
       continue;
@@ -58,7 +61,7 @@ void MultiwayRefiner::compute_gains(NodeId v, std::vector<int>& out) const {
       for (std::size_t t = 0; t < k; ++t) {
         const BlockId b = active_[t];
         if (b == from) continue;
-        if (p_.net_pins_in(e, b) == total - 1) {
+        if (row[b] == total - 1) {
           ++out[t];
           break;
         }
@@ -76,7 +79,7 @@ void MultiwayRefiner::init_buckets() {
   for (auto& b : buckets_) b.clear();
   std::fill(in_buckets_.begin(), in_buckets_.end(), 0);
 
-  std::vector<int> gains;
+  std::vector<int>& gains = gains_scratch_;
   for (NodeId v = 0; v < h.num_nodes(); ++v) {
     if (h.is_terminal(v)) continue;
     const std::uint32_t f_idx = active_index_[p_.block_of(v)];
@@ -95,7 +98,9 @@ void MultiwayRefiner::refresh_node(NodeId v) {
   const std::size_t k = active_.size();
   const std::uint32_t f_idx = active_index_[p_.block_of(v)];
   FPART_DASSERT(f_idx != kNone);
-  std::vector<int> gains;
+  // Member scratch: refresh_node runs once per (move, neighbor) — a
+  // per-call vector would be a per-move allocation on the hot path.
+  std::vector<int>& gains = gains_scratch_;
   compute_gains(v, gains);
   for (std::size_t t = 0; t < k; ++t) {
     if (t == f_idx) continue;
@@ -109,8 +114,10 @@ MultiwayRefiner::Candidate MultiwayRefiner::select_move(
   const double min_size =
       1.0;  // interior nodes have size >= 1 by construction
 
-  // Per-direction champions (best legal candidate).
-  std::vector<Candidate> champions;
+  // Per-direction champions (best legal candidate). Member scratch:
+  // select_move runs once per move and must not allocate.
+  std::vector<Candidate>& champions = champions_;
+  champions.clear();
   int max_gain = std::numeric_limits<int>::min();
   for (std::size_t f = 0; f < k; ++f) {
     const BlockId from = active_[f];

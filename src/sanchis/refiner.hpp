@@ -147,6 +147,8 @@ class MultiwayRefiner {
   // removed from the buckets: in_buckets_ is the single source of truth.
   std::vector<std::uint8_t> in_buckets_;
   std::vector<std::uint32_t> node_epoch_;  // dedupe per-move gain refreshes
+  std::vector<int> gains_scratch_;         // refresh_node/init_buckets reuse
+  std::vector<Candidate> champions_;       // select_move reuse
   std::uint32_t epoch_ = 0;
   std::uint32_t pass_seq_ = 0;  // flight-recorder pass index
 

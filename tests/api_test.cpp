@@ -1,0 +1,157 @@
+// The facade contract: solve() is observably identical to constructing
+// the corresponding engine directly — same result, same assignment
+// digest, byte-identical flight-recorder event log — for all four
+// methods, and parse_method() is the single source of unknown-method
+// errors.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "api/fpart.hpp"
+#include "core/fpart.hpp"
+#include "flow/fbb.hpp"
+#include "netlist/generator.hpp"
+#include "obs/recorder.hpp"
+#include "partition/replay.hpp"
+#include "report/run_report.hpp"
+
+namespace fpart {
+namespace {
+
+Hypergraph test_circuit() {
+  GeneratorConfig config;
+  config.num_cells = 300;
+  config.num_terminals = 30;
+  config.seed = 11;
+  return generate_circuit(config);
+}
+
+/// Runs `fn` under a private flight recorder and returns (result,
+/// serialized event log).
+template <class Fn>
+std::pair<PartitionResult, std::string> record_run(const Hypergraph& h,
+                                                   const Device& d,
+                                                   const Options& opt,
+                                                   Method m, Fn&& fn) {
+  obs::Recorder rec;
+  const obs::ScopedRecorderInstall install(&rec);
+  rec.start(make_event_log_header(h, d, opt, std::string(method_name(m))));
+  PartitionResult r = fn();
+  rec.stop();
+  return {std::move(r), rec.to_jsonl()};
+}
+
+class SolveEquivalenceTest : public ::testing::TestWithParam<Method> {};
+
+TEST_P(SolveEquivalenceTest, MatchesDirectEngineByteForByte) {
+  const Method m = GetParam();
+  const Hypergraph h = test_circuit();
+  const Device d = xilinx::by_name("XC3042");
+  const Options opt;  // canonical deterministic options (seed 0)
+
+  auto [direct, direct_log] = record_run(h, d, opt, m, [&] {
+    switch (m) {
+      case Method::kFpart:
+        return FpartPartitioner(opt).run(h, d);
+      case Method::kClustered: {
+        ClusteredOptions co;
+        co.fpart = opt;
+        return ClusteredFpartPartitioner(co).run(h, d);
+      }
+      case Method::kKwayx:
+        return KwayxPartitioner().run(h, d);
+      case Method::kFbb:
+        return FbbPartitioner().run(h, d);
+    }
+    return PartitionResult{};
+  });
+
+  SolveRequest req;
+  req.method = m;
+  req.options = opt;
+  auto [unified, unified_log] =
+      record_run(h, d, opt, m, [&] { return solve(h, d, req); });
+
+  EXPECT_EQ(unified.k, direct.k);
+  EXPECT_EQ(unified.cut, direct.cut);
+  EXPECT_EQ(unified.km1, direct.km1);
+  EXPECT_EQ(unified.feasible, direct.feasible);
+  EXPECT_EQ(unified.assignment, direct.assignment);
+  EXPECT_EQ(assignment_digest(unified.assignment),
+            assignment_digest(direct.assignment));
+  // The strongest check: every recorded move, gain, and pass boundary
+  // is byte-identical.
+  EXPECT_EQ(unified_log, direct_log);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMethods, SolveEquivalenceTest,
+                         ::testing::Values(Method::kFpart, Method::kClustered,
+                                           Method::kKwayx, Method::kFbb),
+                         [](const auto& info) {
+                           return std::string(method_name(info.param));
+                         });
+
+TEST(SolveTest, MultistartMatchesRunFpartMultistart) {
+  const Hypergraph h = test_circuit();
+  const Device d = xilinx::by_name("XC3042");
+  const Options opt;
+
+  const PartitionResult direct = run_fpart_multistart(h, d, opt, 3);
+
+  SolveRequest req;
+  req.options = opt;
+  req.starts = 3;
+  const PartitionResult unified = solve(h, d, req);
+
+  EXPECT_EQ(unified.k, direct.k);
+  EXPECT_EQ(unified.cut, direct.cut);
+  EXPECT_EQ(unified.assignment, direct.assignment);
+}
+
+TEST(SolveTest, ParseMethodRoundTrip) {
+  for (const Method m : {Method::kFpart, Method::kClustered, Method::kKwayx,
+                         Method::kFbb}) {
+    EXPECT_EQ(parse_method(method_name(m)), m);
+  }
+  EXPECT_EQ(parse_method("fpart"), Method::kFpart);
+  EXPECT_EQ(parse_method("clustered"), Method::kClustered);
+  EXPECT_EQ(parse_method("kwayx"), Method::kKwayx);
+  EXPECT_EQ(parse_method("fbb"), Method::kFbb);
+}
+
+TEST(SolveTest, UnknownMethodIsRejectedInOnePlace) {
+  EXPECT_THROW(parse_method(""), PreconditionError);
+  EXPECT_THROW(parse_method("FPART"), PreconditionError);
+  EXPECT_THROW(parse_method("metis"), PreconditionError);
+  try {
+    parse_method("metis");
+    FAIL() << "parse_method should have thrown";
+  } catch (const PreconditionError& e) {
+    EXPECT_NE(std::string(e.what()).find("unknown method 'metis'"),
+              std::string::npos);
+  }
+}
+
+TEST(SolveTest, PortfolioValidatesThroughParseMethod) {
+  const Hypergraph h = test_circuit();
+  const Device d = xilinx::by_name("XC3042");
+  runtime::PortfolioOptions popt;
+  popt.attempts = 2;
+  popt.method = "not-a-method";
+  EXPECT_THROW(runtime::run_portfolio(h, d, popt), PreconditionError);
+}
+
+TEST(SolveTest, SolveHonorsCancelToken) {
+  const Hypergraph h = test_circuit();
+  const Device d = xilinx::by_name("XC3042");
+  CancelToken cancel;
+  cancel.request();
+  SolveRequest req;
+  req.options.cancel = &cancel;
+  const PartitionResult r = solve(h, d, req);
+  EXPECT_TRUE(r.cancelled);
+}
+
+}  // namespace
+}  // namespace fpart

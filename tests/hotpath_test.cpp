@@ -1,0 +1,234 @@
+// Hot-path audit for the flat pin-count arena:
+//
+//   * a global operator new/delete counting hook proves the move kernel
+//     (Partition::move + fused gain visitor), the gain kernels, and the
+//     gain-bucket churn perform ZERO heap allocations per move;
+//   * the arena growth policy (power-of-two capacity doubling) and its
+//     zero-padding-column invariant survive add/remove/swap sequences;
+//   * the kMaxBlocks upper bound fails fast with a clear message
+//     instead of silently allocating O(nets·k) memory.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <limits>
+#include <new>
+#include <vector>
+
+#include "fm/gain_bucket.hpp"
+#include "fm/gains.hpp"
+#include "hypergraph/builder.hpp"
+#include "netlist/generator.hpp"
+#include "partition/partition.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+// Sanitizer builds interpose their own allocator; replacing operator
+// new there causes alloc/dealloc-mismatch false positives, so the hook
+// compiles out and the counting tests skip (the plain CI legs still
+// enforce the zero-allocation claim).
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define FPART_ALLOC_HOOK 0
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer) || \
+    __has_feature(memory_sanitizer)
+#define FPART_ALLOC_HOOK 0
+#endif
+#endif
+#ifndef FPART_ALLOC_HOOK
+#define FPART_ALLOC_HOOK 1
+#endif
+
+namespace {
+
+// Allocation-counting hook. Armed only inside the measured regions so
+// gtest/machinery allocations elsewhere don't pollute the count.
+std::atomic<bool> g_armed{false};
+std::atomic<std::size_t> g_allocations{0};
+
+struct AllocGuard {
+  AllocGuard() {
+    g_allocations.store(0, std::memory_order_relaxed);
+    g_armed.store(true, std::memory_order_relaxed);
+  }
+  ~AllocGuard() { g_armed.store(false, std::memory_order_relaxed); }
+  std::size_t count() const {
+    return g_allocations.load(std::memory_order_relaxed);
+  }
+};
+
+#if FPART_ALLOC_HOOK
+void* counted_alloc(std::size_t size) {
+  if (g_armed.load(std::memory_order_relaxed)) {
+    g_allocations.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (size == 0) size = 1;
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+#endif
+
+}  // namespace
+
+#if FPART_ALLOC_HOOK
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+#endif
+
+#define FPART_REQUIRE_ALLOC_HOOK()                                      \
+  do {                                                                  \
+    if (!FPART_ALLOC_HOOK)                                              \
+      GTEST_SKIP() << "allocation hook disabled under sanitizers";      \
+  } while (false)
+
+namespace fpart {
+namespace {
+
+Hypergraph churn_circuit() {
+  GeneratorConfig config;
+  config.num_cells = 400;
+  config.num_terminals = 40;
+  config.seed = 5;
+  return generate_circuit(config);
+}
+
+TEST(HotpathAllocTest, MoveKernelNeverAllocates) {
+  FPART_REQUIRE_ALLOC_HOOK();
+  const Hypergraph h = churn_circuit();
+  Partition p(h, 4);
+  Rng rng(99);
+  std::vector<NodeId> cells;
+  for (NodeId v = 0; v < h.num_nodes(); ++v) {
+    if (!h.is_terminal(v)) cells.push_back(v);
+  }
+
+  AllocGuard guard;
+  for (int step = 0; step < 5000; ++step) {
+    p.move(rng.pick(cells), static_cast<BlockId>(rng.index(4)));
+  }
+  EXPECT_EQ(guard.count(), 0u)
+      << "Partition::move allocated on the hot path";
+}
+
+TEST(HotpathAllocTest, FusedVisitorAndGainKernelsNeverAllocate) {
+  FPART_REQUIRE_ALLOC_HOOK();
+  const Hypergraph h = churn_circuit();
+  Partition p(h, 2);
+  Rng rng(7);
+  std::vector<NodeId> cells;
+  for (NodeId v = 0; v < h.num_nodes(); ++v) {
+    if (!h.is_terminal(v)) cells.push_back(v);
+  }
+  long long sink = 0;
+
+  AllocGuard guard;
+  for (int step = 0; step < 2000; ++step) {
+    const NodeId v = rng.pick(cells);
+    const BlockId from = p.block_of(v);
+    const BlockId to = from == 0 ? 1 : 0;
+    sink += move_gain(p, v, to);
+    sink += move_gain_level2(p, v, to);
+    p.move(v, to, [&](NetId, std::uint32_t total, std::uint32_t old_f,
+                      std::uint32_t old_t) {
+      sink += static_cast<long long>(total) + old_f + old_t;
+    });
+  }
+  EXPECT_EQ(guard.count(), 0u)
+      << "fused move/gain kernels allocated on the hot path";
+  EXPECT_NE(sink, std::numeric_limits<long long>::min());  // keep sink live
+}
+
+TEST(HotpathAllocTest, GainBucketChurnNeverAllocates) {
+  FPART_REQUIRE_ALLOC_HOOK();
+  const Hypergraph h = churn_circuit();
+  const int max_gain = static_cast<int>(h.max_node_degree());
+  GainBucket bucket(h.num_nodes(), max_gain);
+  Rng rng(13);
+  for (NodeId v = 0; v < h.num_nodes(); ++v) {
+    bucket.insert(v, static_cast<int>(rng.index(2 * max_gain)) - max_gain);
+  }
+
+  AllocGuard guard;
+  for (int step = 0; step < 5000; ++step) {
+    const auto v = static_cast<NodeId>(rng.index(h.num_nodes()));
+    bucket.update(v, static_cast<int>(rng.index(2 * max_gain)) - max_gain);
+  }
+  EXPECT_EQ(guard.count(), 0u) << "GainBucket::update allocated";
+}
+
+TEST(HotpathArenaTest, CapacityDoublesAndPaddingStaysZero) {
+  const Hypergraph h = churn_circuit();
+  Partition p(h, 1);
+  EXPECT_EQ(p.k_capacity(), 1u);
+  p.add_block();
+  EXPECT_EQ(p.k_capacity(), 2u);
+  p.add_block();
+  EXPECT_EQ(p.k_capacity(), 4u);
+  p.add_block();
+  EXPECT_EQ(p.k_capacity(), 4u);
+  for (int i = 0; i < 13; ++i) p.add_block();
+  EXPECT_EQ(p.num_blocks(), 17u);
+  EXPECT_EQ(p.k_capacity(), 32u);
+  // Scatter, then verify incremental state (including the zero-column
+  // invariant) against a fresh rebuild.
+  Rng rng(3);
+  for (NodeId v = 0; v < h.num_nodes(); ++v) {
+    if (!h.is_terminal(v)) p.move(v, static_cast<BlockId>(rng.index(17)));
+  }
+  p.check_consistency();
+}
+
+TEST(HotpathArenaTest, AddBlockAfterGrowthIsAllocationFree) {
+  FPART_REQUIRE_ALLOC_HOOK();
+  const Hypergraph h = churn_circuit();
+  Partition p(h, 5);  // capacity 8
+  EXPECT_EQ(p.k_capacity(), 8u);
+  AllocGuard guard;
+  p.add_block();  // 6 of 8: pure bookkeeping except size vector pushes
+  p.add_block();  // 7 of 8
+  // The per-block SoA counters may reallocate (amortized, tiny); the
+  // O(nets)-sized arena must not.
+  EXPECT_LE(guard.count(), 8u);
+  EXPECT_EQ(p.k_capacity(), 8u);
+}
+
+TEST(HotpathArenaTest, MaxBlocksIsEnforced) {
+  HypergraphBuilder b;
+  std::vector<NodeId> c;
+  for (int i = 0; i < 4; ++i) c.push_back(b.add_cell(1));
+  b.add_net({c[0], c[1]});
+  b.add_net({c[2], c[3]});
+  const Hypergraph h = std::move(b).build();
+
+  EXPECT_THROW(Partition(h, Partition::kMaxBlocks + 1), PreconditionError);
+  EXPECT_THROW(Partition(h, ~0u), PreconditionError);
+
+  Partition p(h, Partition::kMaxBlocks);
+  EXPECT_EQ(p.num_blocks(), Partition::kMaxBlocks);
+  EXPECT_THROW(p.add_block(), PreconditionError);
+}
+
+TEST(HotpathArenaTest, NetRowMatchesNetPinsIn) {
+  const Hypergraph h = churn_circuit();
+  Partition p(h, 6);
+  Rng rng(21);
+  for (NodeId v = 0; v < h.num_nodes(); ++v) {
+    if (!h.is_terminal(v)) p.move(v, static_cast<BlockId>(rng.index(6)));
+  }
+  for (NetId e = 0; e < h.num_nets(); ++e) {
+    const std::uint32_t* row = p.net_row(e);
+    for (BlockId blk = 0; blk < p.num_blocks(); ++blk) {
+      ASSERT_EQ(row[blk], p.net_pins_in(e, blk));
+    }
+    for (std::uint32_t blk = p.num_blocks(); blk < p.k_capacity(); ++blk) {
+      ASSERT_EQ(row[blk], 0u) << "padding column must stay zero";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fpart

@@ -282,5 +282,92 @@ INSTANTIATE_TEST_SUITE_P(SeedsAndBlocks, PartitionPropertyTest,
                          ::testing::Combine(::testing::Range(0, 6),
                                             ::testing::Values(2, 3, 7, 16)));
 
+// Arena-mutation property: random move / add_block / remove_last_block /
+// swap_blocks / snapshot-restore sequences, deliberately crossing
+// power-of-two capacity boundaries (start at k=2, grow towards ~40), must
+// keep the incremental state identical to a from-scratch rebuild and the
+// padding columns zero (both enforced by check_consistency()).
+class ArenaMutationTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ArenaMutationTest, RandomOpSequenceMatchesRebuild) {
+  GeneratorConfig config;
+  config.num_cells = 150;
+  config.num_terminals = 20;
+  config.seed = static_cast<std::uint64_t>(GetParam()) * 131 + 3;
+  const Hypergraph h = generate_circuit(config);
+
+  Partition p(h, 2);
+  Rng rng(config.seed ^ 0xa5a5);
+  std::vector<NodeId> cells;
+  for (NodeId v = 0; v < h.num_nodes(); ++v) {
+    if (!h.is_terminal(v)) cells.push_back(v);
+  }
+
+  Partition::Snapshot snap = p.snapshot();
+  std::uint32_t snap_capacity = p.k_capacity();
+
+  for (int step = 0; step < 900; ++step) {
+    switch (rng.index(12)) {
+      case 0: {  // grow — crosses 2→4→8→16→32→64 capacity boundaries
+        if (p.num_blocks() < 40) {
+          const std::uint32_t before = p.k_capacity();
+          const BlockId nb = p.add_block();
+          EXPECT_EQ(nb, p.num_blocks() - 1);
+          EXPECT_GE(p.k_capacity(), before);
+          EXPECT_EQ(p.k_capacity() & (p.k_capacity() - 1), 0u)
+              << "capacity must stay a power of two";
+        }
+        break;
+      }
+      case 1: {  // drain the last block, then drop it
+        if (p.num_blocks() > 2) {
+          const BlockId last = p.num_blocks() - 1;
+          for (NodeId v : cells) {
+            if (p.block_of(v) == last) p.move(v, 0);
+          }
+          p.remove_last_block();
+        }
+        break;
+      }
+      case 2: {  // relabel two blocks
+        const BlockId a = static_cast<BlockId>(rng.index(p.num_blocks()));
+        const BlockId b = static_cast<BlockId>(rng.index(p.num_blocks()));
+        p.swap_blocks(a, b);
+        break;
+      }
+      case 3: {  // checkpoint
+        snap = p.snapshot();
+        snap_capacity = p.k_capacity();
+        break;
+      }
+      case 4: {  // rewind — may shed blocks added since the checkpoint
+        p.restore(snap);
+        EXPECT_EQ(p.num_blocks(), snap.num_blocks);
+        EXPECT_GE(p.k_capacity(), snap_capacity)
+            << "capacity never shrinks";
+        break;
+      }
+      default: {  // moves dominate, as on the real hot path
+        p.move(rng.pick(cells),
+               static_cast<BlockId>(rng.index(p.num_blocks())));
+        break;
+      }
+    }
+    if (step % 53 == 0) p.check_consistency();
+  }
+  p.check_consistency();
+
+  // The oracle rebuild must agree with the incrementally maintained
+  // totals after the full op soup.
+  const std::uint64_t cut_before = p.cut_size();
+  const std::uint64_t km1_before = p.connectivity_km1();
+  p.rebuild();
+  EXPECT_EQ(p.cut_size(), cut_before);
+  EXPECT_EQ(p.connectivity_km1(), km1_before);
+  p.check_consistency();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ArenaMutationTest, ::testing::Range(0, 8));
+
 }  // namespace
 }  // namespace fpart

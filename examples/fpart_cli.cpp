@@ -37,7 +37,9 @@
 #include "techmap/blif_io.hpp"
 #include "techmap/clb_pack.hpp"
 #include "techmap/random_logic.hpp"
+#include "util/assert.hpp"
 #include "util/cli.hpp"
+#include "util/error.hpp"
 
 using namespace fpart;
 
@@ -46,7 +48,7 @@ namespace {
 Family parse_family(const std::string& name) {
   if (name == "XC2000" || name == "xc2000") return Family::kXC2000;
   if (name == "XC3000" || name == "xc3000") return Family::kXC3000;
-  FPART_REQUIRE(false, "unknown family: " + name);
+  FPART_OPTION_REQUIRE(false, "unknown family: " + name);
   return Family::kXC3000;
 }
 
@@ -54,8 +56,8 @@ Family parse_family(const std::string& name) {
 /// explicit counts must land in the pool's supported [1, 512] range.
 unsigned parse_thread_count(const CliParser& cli) {
   const std::int64_t threads = cli.get_int("threads");
-  FPART_REQUIRE(threads >= 0 && threads <= 512,
-                "--threads must be in [0, 512] (0 = auto)");
+  FPART_OPTION_REQUIRE(threads >= 0 && threads <= 512,
+                       "--threads must be in [0, 512] (0 = auto)");
   return static_cast<unsigned>(threads);
 }
 
@@ -266,7 +268,7 @@ int cmd_partition(const CliParser& cli) {
   SolveRequest req;
   try {
     req.method = parse_method(method);
-  } catch (const PreconditionError&) {
+  } catch (const OptionError&) {
     std::fprintf(stderr, "unknown --method %s\n", method.c_str());
     return 2;
   }
@@ -375,7 +377,7 @@ int main(int argc, char** argv) {
   cli.add_flag("stats-json", "write a fpart-run-report/1 JSON file", "");
   cli.add_flag("trace", "write a Chrome trace_event JSON file", "");
   cli.add_flag("events", "write a fpart-events/1 JSONL event log", "");
-  cli.add_flag("audit", "recompute invariants at every pass boundary", "");
+  cli.add_switch("audit", "recompute invariants at every pass boundary");
   if (!cli.parse(argc, argv) || cli.positional().size() != 1) {
     std::fprintf(stderr,
                  "usage: fpart_cli <generate|genlogic|techmap|partition|verify|rent>"
@@ -395,8 +397,20 @@ int main(int argc, char** argv) {
     if (command == "rent") return cmd_rent(cli);
     std::fprintf(stderr, "unknown command: %s\n", command.c_str());
     return 2;
+  } catch (const InternalError& e) {
+    // A library bug, not a usage problem. Under the audit debug mode,
+    // abort so the process state (core, flight recorder) survives for
+    // inspection; otherwise exit with a distinct status.
+    std::fprintf(stderr, "fpart_cli: internal error: %s\n", e.what());
+    if (audit_enabled()) std::abort();
+    return 3;
+  } catch (const Error& e) {
+    // parse / option / capacity / precondition: the input or the flags
+    // are at fault — one-line diagnostic, non-zero exit.
+    std::fprintf(stderr, "fpart_cli: %s error: %s\n", e.kind(), e.what());
+    return dynamic_cast<const OptionError*>(&e) != nullptr ? 2 : 1;
   } catch (const std::exception& e) {
-    std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
+    std::fprintf(stderr, "fpart_cli: unexpected error: %s\n", e.what());
+    return 3;
   }
 }

@@ -11,12 +11,13 @@
 
 namespace fpart {
 
-namespace {
+namespace detail {
 
 /// Fine-grain polish at one level: strict size regions over all blocks
 /// (all-blocks pass for small k, pairwise ring otherwise).
-void refine_level(Partition& p, const Device& device, std::uint32_t m,
-                  const ClusteredOptions& options) {
+void clustered_refine_level(Partition& p, const Device& device,
+                            std::uint32_t m,
+                            const ClusteredOptions& options) {
   if (options.refine_passes <= 0 || p.num_blocks() < 2) return;
   Evaluator eval(device, options.fpart.cost, m);
   RefinerConfig refiner_config = options.fpart.refiner;
@@ -36,14 +37,18 @@ void refine_level(Partition& p, const Device& device, std::uint32_t m,
     for (BlockId b = 0; b < p.num_blocks(); ++b) all[b] = b;
     refiner.improve(all, strict);
   } else {
-    for (BlockId b = 0; b + 1 < p.num_blocks(); ++b) {
-      const std::array<BlockId, 2> pair{b, b + 1};
+    // Closed pairwise ring: the wrap-around pair (k-1, 0) gets refined
+    // like every other adjacent pair, so cells stuck in the last block
+    // can still migrate toward block 0.
+    const BlockId k = p.num_blocks();
+    for (BlockId b = 0; b < k; ++b) {
+      const std::array<BlockId, 2> pair{b, static_cast<BlockId>((b + 1) % k)};
       refiner.improve(pair, strict);
     }
   }
 }
 
-}  // namespace
+}  // namespace detail
 
 PartitionResult ClusteredFpartPartitioner::run(const Hypergraph& h,
                                                const Device& device) const {
@@ -88,7 +93,7 @@ PartitionResult ClusteredFpartPartitioner::run(const Hypergraph& h,
         (it + 1 == ladder.rend()) ? h : (it + 1)->coarse;
     Partition p(target, assignment, coarse_result.k);
     FPART_ASSERT(p.classify(device) == FeasibilityClass::kFeasible);
-    refine_level(p, device, m, options_);
+    detail::clustered_refine_level(p, device, m, options_);
     ++iterations;
     assignment = p.snapshot().assignment;
   }

@@ -39,4 +39,16 @@ class ClusteredFpartPartitioner {
   ClusteredOptions options_;
 };
 
+namespace detail {
+
+/// The per-level polish pass of the clustered partitioner: strict size
+/// regions over all blocks (one all-blocks refinement for k <= 16, a
+/// closed pairwise ring (0,1)..(k-2,k-1),(k-1,0) otherwise). Exposed so
+/// tests can drive the ring schedule on hand-built partitions; `m` is
+/// the device lower bound used for cost evaluation.
+void clustered_refine_level(Partition& p, const Device& device,
+                            std::uint32_t m, const ClusteredOptions& options);
+
+}  // namespace detail
+
 }  // namespace fpart

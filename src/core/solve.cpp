@@ -12,8 +12,8 @@ Method parse_method(std::string_view name) {
   if (name == "clustered") return Method::kClustered;
   if (name == "kwayx") return Method::kKwayx;
   if (name == "fbb") return Method::kFbb;
-  FPART_REQUIRE(false, "unknown method '" + std::string(name) +
-                           "' (expected fpart|clustered|kwayx|fbb)");
+  FPART_OPTION_REQUIRE(false, "unknown method '" + std::string(name) +
+                                  "' (expected fpart|clustered|kwayx|fbb)");
 }
 
 std::string_view method_name(Method m) {
@@ -32,6 +32,14 @@ std::string_view method_name(Method m) {
 
 PartitionResult solve(const Hypergraph& h, const Device& device,
                       const SolveRequest& req) {
+  // A cell larger than the effective logic capacity can never be placed
+  // in any block, so no engine can succeed — reject the instance up
+  // front as a typed capacity error instead of letting engines churn.
+  FPART_CAPACITY_REQUIRE(
+      h.max_node_size() <= device.s_max_cells(),
+      "largest cell (" + std::to_string(h.max_node_size()) +
+          " cells) exceeds device capacity S_MAX = " +
+          std::to_string(device.s_max_cells()) + " on " + device.name());
   switch (req.method) {
     case Method::kFpart:
       if (req.starts > 1) {

@@ -21,7 +21,7 @@ Device by_name(std::string_view name) {
   if (upper == "XC3042") return xc3042();
   if (upper == "XC3090") return xc3090();
   if (upper == "XC2064") return xc2064();
-  FPART_REQUIRE(false, "unknown device: " + std::string(name));
+  FPART_OPTION_REQUIRE(false, "unknown device: " + std::string(name));
   return xc3020();  // unreachable
 }
 

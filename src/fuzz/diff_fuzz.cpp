@@ -1,0 +1,379 @@
+#include "fuzz/diff_fuzz.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/solve.hpp"
+#include "fuzz/hgr_mutate.hpp"
+#include "hypergraph/builder.hpp"
+#include "netlist/generator.hpp"
+#include "netlist/hgr_io.hpp"
+#include "obs/recorder.hpp"
+#include "partition/audit.hpp"
+#include "partition/replay.hpp"
+#include "partition/verify.hpp"
+#include "report/run_report.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace fpart::fuzz {
+
+namespace {
+
+/// RAII: pass-boundary auditor on for the scope (every fuzzed solve runs
+/// audited, matching tests/fuzz_test.cpp).
+class ScopedAudit {
+ public:
+  ScopedAudit() : prev_(audit_enabled()) { set_audit_enabled(true); }
+  ~ScopedAudit() { set_audit_enabled(prev_); }
+  ScopedAudit(const ScopedAudit&) = delete;
+  ScopedAudit& operator=(const ScopedAudit&) = delete;
+
+ private:
+  bool prev_;
+};
+
+/// The engine variants a diff case sweeps: the four Methods plus the
+/// FPART multi-start path (its recording/replay shape differs from a
+/// single start, so it earns its own slot).
+struct Variant {
+  const char* label;
+  Method method;
+  std::uint32_t starts;
+  /// Multi-start logs footer the LAST start while the result is the
+  /// BEST start, and clustered logs contain coarse-graph partitions —
+  /// in both cases the footer-vs-result digest check does not apply.
+  bool footer_matches_result;
+  /// Clustered logs initialize partitions over coarse graphs, which the
+  /// replay contract rejects by design (replay.hpp digest guard).
+  bool replayable;
+};
+
+constexpr Variant kVariants[] = {
+    {"fpart", Method::kFpart, 1, true, true},
+    {"fpart-ms3", Method::kFpart, 3, false, true},
+    {"clustered", Method::kClustered, 1, true, false},
+    {"kwayx", Method::kKwayx, 1, true, true},
+    {"fbb", Method::kFbb, 1, true, true},
+};
+
+SolveRequest make_request(const Variant& v, std::uint64_t seed) {
+  SolveRequest req;
+  req.method = v.method;
+  req.starts = v.starts;
+  req.options.seed = seed;
+  return req;
+}
+
+std::string hgr_text(const Hypergraph& h) {
+  std::ostringstream os;
+  write_hgr(os, h);
+  return os.str();
+}
+
+/// Checks one solved result against the independent verifier.
+void check_verified(const DiffInstance& inst, const Variant& v,
+                    const PartitionResult& r,
+                    std::vector<std::string>& disagreements) {
+  const std::string tag = std::string(v.label) + ": ";
+  if (!r.feasible) {
+    disagreements.push_back(tag + "result not feasible");
+    return;
+  }
+  if (r.k < r.lower_bound) {
+    disagreements.push_back(tag + "k=" + std::to_string(r.k) +
+                            " below lower bound " +
+                            std::to_string(r.lower_bound));
+  }
+  const VerifyReport report =
+      verify_partition(inst.h, inst.device, r.assignment, r.k);
+  if (!report.ok) {
+    disagreements.push_back(tag + "independent verify failed: " +
+                            report.summary());
+    return;
+  }
+  if (report.cut != r.cut) {
+    disagreements.push_back(tag + "reported cut " + std::to_string(r.cut) +
+                            " != recomputed cut " +
+                            std::to_string(report.cut));
+  }
+}
+
+/// Serializes, re-parses and (where the contract allows) replays the
+/// recorder's log; cross-checks the footer against the result.
+void check_event_log(const DiffInstance& inst, const Variant& v,
+                     const PartitionResult& r, const obs::Recorder& rec,
+                     std::vector<std::string>& disagreements,
+                     DiffArtifacts* artifacts) {
+  const std::string tag = std::string(v.label) + ": ";
+  const std::string jsonl = rec.to_jsonl();
+  // Keep the first failing variant's log once something went wrong.
+  if (artifacts != nullptr && disagreements.empty()) {
+    artifacts->event_log = jsonl;
+  }
+
+  obs::EventLog log;
+  try {
+    log = obs::parse_event_log(jsonl);
+  } catch (const std::exception& e) {
+    disagreements.push_back(tag +
+                            "recorded log does not re-parse: " + e.what());
+    return;
+  }
+  // The parse must be lossless: same events, same footer.
+  if (log.events != rec.events()) {
+    disagreements.push_back(tag + "parsed events differ from recorded (" +
+                            std::to_string(log.events.size()) + " vs " +
+                            std::to_string(rec.events().size()) + ")");
+    return;
+  }
+  if (!log.final_state.has_value()) {
+    disagreements.push_back(tag + "log has no final-state footer");
+    return;
+  }
+  if (v.footer_matches_result) {
+    const std::uint64_t digest = assignment_digest(r.assignment);
+    if (log.final_state->assignment_digest != digest ||
+        log.final_state->cut != r.cut || log.final_state->k != r.k) {
+      disagreements.push_back(
+          tag + "footer (k=" + std::to_string(log.final_state->k) +
+          ", cut=" + std::to_string(log.final_state->cut) +
+          ") does not match the result (k=" + std::to_string(r.k) +
+          ", cut=" + std::to_string(r.cut) + ")");
+    }
+  }
+  if (v.replayable) {
+    const ReplayResult replay = replay_event_log(inst.h, log);
+    if (!replay.ok) {
+      disagreements.push_back(
+          tag + "replay diverged: " +
+          (replay.errors.empty() ? "unknown" : replay.errors.front()));
+    }
+  }
+}
+
+/// Metamorphic A — write/read round trip is the identity: the reread
+/// graph has the same structural digest and re-solves to the identical
+/// assignment (ids survive the round trip, engines are deterministic).
+void check_round_trip(const DiffInstance& inst, const Variant& v,
+                      const PartitionResult& r,
+                      std::vector<std::string>& disagreements) {
+  const std::string tag = std::string(v.label) + ": ";
+  Hypergraph reread = [&] {
+    std::stringstream ss(hgr_text(inst.h));
+    return read_hgr(ss);
+  }();
+  if (reread.structural_digest() != inst.h.structural_digest()) {
+    disagreements.push_back(tag + "write/read round trip changed the "
+                                  "structural digest");
+    return;
+  }
+  const PartitionResult again =
+      solve(reread, inst.device, make_request(v, /*seed=*/1));
+  if (again.assignment != r.assignment || again.cut != r.cut ||
+      again.k != r.k) {
+    disagreements.push_back(tag + "re-solve after round trip diverged "
+                                  "(k " + std::to_string(again.k) + " vs " +
+                            std::to_string(r.k) + ", cut " +
+                            std::to_string(again.cut) + " vs " +
+                            std::to_string(r.cut) + ")");
+  }
+}
+
+/// Metamorphic B — relabeling covariance: solving a node/net-relabeled
+/// copy must produce an assignment that, mapped back through the
+/// permutation, independently verifies on the ORIGINAL instance with
+/// exactly the reported cut / k / feasibility. (Engines tie-break on
+/// ids, so the outcome itself may legitimately differ between the two
+/// labelings; what cannot differ is the self-consistency of either.)
+void check_relabeling(const DiffInstance& inst, const Variant& v,
+                      std::uint64_t seed,
+                      std::vector<std::string>& disagreements) {
+  const std::string tag = std::string(v.label) + ": relabeled ";
+  const Hypergraph& h = inst.h;
+  Rng rng(seed ^ 0xC0FFEEull);
+
+  // perm[old] = new node id; nets are shuffled independently.
+  std::vector<NodeId> perm(h.num_nodes());
+  std::iota(perm.begin(), perm.end(), NodeId{0});
+  rng.shuffle(perm);
+  std::vector<NodeId> old_of(h.num_nodes());
+  for (NodeId old = 0; old < h.num_nodes(); ++old) old_of[perm[old]] = old;
+
+  HypergraphBuilder b;
+  for (NodeId id = 0; id < h.num_nodes(); ++id) {
+    const NodeId old = old_of[id];
+    if (h.is_terminal(old)) {
+      (void)b.add_terminal();
+    } else {
+      (void)b.add_cell(h.node_size(old));
+    }
+  }
+  std::vector<NetId> net_order(h.num_nets());
+  std::iota(net_order.begin(), net_order.end(), NetId{0});
+  rng.shuffle(net_order);
+  std::vector<NodeId> pins;
+  for (const NetId e : net_order) {
+    pins.clear();
+    for (const NodeId old : h.pins(e)) pins.push_back(perm[old]);
+    (void)b.add_net(pins);
+  }
+  const Hypergraph relabeled = std::move(b).build();
+
+  PartitionResult r2;
+  try {
+    r2 = solve(relabeled, inst.device, make_request(v, /*seed=*/1));
+  } catch (const std::exception& e) {
+    disagreements.push_back(tag + "solve threw: " + e.what());
+    return;
+  }
+  if (!r2.feasible) {
+    disagreements.push_back(tag + "result not feasible");
+    return;
+  }
+  if (r2.k < r2.lower_bound) {
+    disagreements.push_back(tag + "k below lower bound");
+  }
+  // The lower bound is a pure function of totals — relabel-invariant.
+  const std::uint32_t m = lower_bound_devices(h, inst.device);
+  if (r2.lower_bound != m) {
+    disagreements.push_back(tag + "lower bound changed under relabeling (" +
+                            std::to_string(r2.lower_bound) + " vs " +
+                            std::to_string(m) + ")");
+  }
+  std::vector<BlockId> mapped(h.num_nodes());
+  for (NodeId old = 0; old < h.num_nodes(); ++old) {
+    mapped[old] = r2.assignment[perm[old]];
+  }
+  const VerifyReport report =
+      verify_partition(h, inst.device, mapped, r2.k);
+  if (!report.ok) {
+    disagreements.push_back(tag + "assignment does not verify on the "
+                                  "original labeling: " + report.summary());
+    return;
+  }
+  if (report.cut != r2.cut) {
+    disagreements.push_back(tag + "reported cut " + std::to_string(r2.cut) +
+                            " != cut recomputed on the original labeling " +
+                            std::to_string(report.cut));
+  }
+}
+
+}  // namespace
+
+DiffInstance make_diff_instance(std::uint64_t seed) {
+  // Mirrors tests/fuzz_test.cpp's instance recipe, scaled down: a diff
+  // case solves each variant several times, so circuits stay small.
+  Rng rng(seed * 6364136223846793005ull + 1442695040888963407ull);
+  GeneratorConfig config;
+  config.num_cells = static_cast<std::uint32_t>(rng.uniform(24, 140));
+  config.num_terminals =
+      static_cast<std::uint32_t>(rng.uniform(2, config.num_cells / 5 + 2));
+  config.locality_decay = 0.3 + 0.4 * rng.real();
+  config.high_fanout_fraction = 0.08 * rng.real();
+  config.net_ratio = 0.9 + 0.5 * rng.real();
+  config.seed = rng();
+
+  Hypergraph h = generate_circuit(config);
+
+  // Valid device in the paper's pin/logic regime (fuzz_test.cpp has the
+  // full rationale): every cell fits, every degree fits.
+  const auto s_ds = static_cast<std::uint32_t>(
+      rng.uniform(std::max<std::uint64_t>(8, h.max_node_size() + 4),
+                  std::max<std::uint64_t>(16, config.num_cells / 2)));
+  const auto min_pins = std::max<std::uint32_t>(
+      static_cast<std::uint32_t>(h.max_node_degree()) + 2, s_ds / 2);
+  const auto t_max =
+      static_cast<std::uint32_t>(rng.uniform(min_pins, min_pins + 64));
+  const double fill = rng.chance(0.5) ? 1.0 : 0.9;
+  return DiffInstance{std::move(h),
+                      Device("DIFF-FUZZ", Family::kXC3000, s_ds, t_max, fill)};
+}
+
+std::vector<std::string> run_diff_case(std::uint64_t seed,
+                                       DiffArtifacts* artifacts) {
+  const DiffInstance inst = make_diff_instance(seed);
+  if (artifacts != nullptr) artifacts->hgr = hgr_text(inst.h);
+  std::vector<std::string> disagreements;
+  ScopedAudit audit;
+
+  // The per-variant oracles run for every variant every case; the two
+  // metamorphic re-solves rotate through the variants across seeds
+  // (each gets 1-in-5 coverage), keeping a case ~2x cheaper.
+  const Variant& meta_variant = kVariants[seed % std::size(kVariants)];
+  for (const Variant& v : kVariants) {
+    PartitionResult r;
+    obs::Recorder rec;
+    {
+      obs::ScopedRecorderInstall install(&rec);
+      rec.start(make_event_log_header(inst.h, inst.device, Options{},
+                                      v.label));
+      try {
+        r = solve(inst.h, inst.device, make_request(v, /*seed=*/1));
+      } catch (const std::exception& e) {
+        rec.stop();
+        disagreements.push_back(std::string(v.label) +
+                                ": solve threw: " + e.what());
+        continue;
+      }
+      rec.stop();
+    }
+    check_verified(inst, v, r, disagreements);
+    check_event_log(inst, v, r, rec, disagreements, artifacts);
+    if (&v == &meta_variant) check_round_trip(inst, v, r, disagreements);
+  }
+
+  check_relabeling(inst, meta_variant, seed, disagreements);
+  return disagreements;
+}
+
+std::vector<std::string> run_mutation_case(std::uint64_t seed,
+                                           DiffArtifacts* artifacts) {
+  const DiffInstance inst = make_diff_instance(seed);
+  const std::string valid = hgr_text(inst.h);
+  if (artifacts != nullptr) artifacts->hgr = valid;
+  std::vector<std::string> disagreements;
+
+  Rng rng(seed ^ 0xBADF00Dull);
+  // Sweep every operator per case (cheap: parsing only), plus a few
+  // extra random draws for operator-internal randomness.
+  for (std::size_t round = 0; round < num_mutation_ops() + 4; ++round) {
+    const std::size_t op = round < num_mutation_ops()
+                               ? round
+                               : rng.index(num_mutation_ops());
+    const HgrMutation mutation = mutate_hgr_op(valid, op, rng);
+    // Keep the first failing mutant's document once something went wrong.
+    if (artifacts != nullptr && disagreements.empty()) {
+      artifacts->mutated = mutation.text;
+      artifacts->op = mutation.op;
+    }
+    const std::string tag = "mutation " + mutation.op + ": ";
+    try {
+      std::stringstream ss(mutation.text);
+      const Hypergraph h = read_hgr(ss);
+      if (mutation.must_reject) {
+        disagreements.push_back(tag + "silently accepted");
+        continue;
+      }
+      // Chaos mutants the reader accepts must be structurally sound.
+      try {
+        h.validate();
+      } catch (const std::exception& e) {
+        disagreements.push_back(tag + "accepted an inconsistent graph: " +
+                                e.what());
+      }
+    } catch (const ParseError&) {
+      // The documented rejection path — always acceptable.
+    } catch (const std::exception& e) {
+      disagreements.push_back(tag + "wrong exception type (" +
+                              error_kind(e) + "): " + e.what());
+    }
+  }
+  return disagreements;
+}
+
+}  // namespace fpart::fuzz

@@ -1,0 +1,77 @@
+// Differential fuzz harness: seeded random circuits through every
+// partitioning engine, with each result cross-checked four independent
+// ways, plus a structure-aware malformed-input sweep.
+//
+// One diff case (run_diff_case) generates a small circuit + device and,
+// for every Method (plus the FPART multi-start variant):
+//
+//   1. solves with the inline invariant auditor enabled and the flight
+//      recorder capturing — an engine whose incremental bookkeeping
+//      drifts aborts mid-run instead of returning a wrong answer;
+//   2. verifies the result with partition/verify.hpp (an oracle that
+//      shares no code with the incremental Partition class) and checks
+//      the reported cut / feasibility / k >= lower bound against it;
+//   3. serializes the event log to JSONL, re-parses it, and replays the
+//      mutation events onto a fresh Partition — the replayed final state
+//      must match the recorded footer byte for byte;
+//   4. metamorphic checks: write_hgr -> read_hgr must round-trip to an
+//      identical structural digest and re-solve to the identical
+//      assignment (round-trip identity), and solving a node/net-relabeled
+//      copy must yield an assignment that, mapped back through the
+//      permutation, independently verifies with the same reported cut
+//      and block count (relabeling covariance — engines may tie-break
+//      differently on ids, so byte equality is NOT required, but the
+//      reported outcome must stay self-consistent).
+//
+// One mutation case (run_mutation_case) writes the circuit as .hgr text,
+// applies one hgr_mutate.hpp operator, and checks the reject contract:
+// targeted corruptions must raise ParseError (silent acceptance or any
+// other exception type is a failure), chaos edits must either parse into
+// a hypergraph that validate()s or raise ParseError — never crash, never
+// leak a raw std:: exception.
+//
+// Every check failure is returned as a human-readable disagreement
+// string; an empty vector means the case passed. tools/fpart_fuzz drives
+// batches of cases from the command line (CI smoke + sanitizer jobs);
+// tests/diff_fuzz_test.cpp pins 200 fixed seeds in ctest.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "device/device.hpp"
+#include "hypergraph/hypergraph.hpp"
+
+namespace fpart::fuzz {
+
+/// One generated problem instance (circuit small enough that a full
+/// diff case stays in the millisecond range).
+struct DiffInstance {
+  Hypergraph h;
+  Device device;
+};
+
+/// Deterministic instance for `seed`: 24..140 cells, a valid device in
+/// the paper's pin/logic regime.
+DiffInstance make_diff_instance(std::uint64_t seed);
+
+/// On failure, the artifacts a reproducer needs (written to disk by
+/// tools/fpart_fuzz, attached to CI uploads).
+struct DiffArtifacts {
+  std::string hgr;        // the instance as .hgr text
+  std::string event_log;  // last event log involved in a disagreement
+  std::string mutated;    // mutation cases: the mutated document
+  std::string op;         // mutation cases: the operator name
+};
+
+/// Runs one full differential case. Returns every disagreement found
+/// (empty = pass). `artifacts` (optional) is filled for failures.
+std::vector<std::string> run_diff_case(std::uint64_t seed,
+                                       DiffArtifacts* artifacts = nullptr);
+
+/// Runs one malformed-input case. Returns disagreements (empty = pass).
+std::vector<std::string> run_mutation_case(std::uint64_t seed,
+                                           DiffArtifacts* artifacts = nullptr);
+
+}  // namespace fpart::fuzz

@@ -1,0 +1,266 @@
+#include "fuzz/hgr_mutate.hpp"
+
+#include <cstdint>
+#include <sstream>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace fpart::fuzz {
+
+namespace {
+
+/// The document split into physical lines plus the indices of the lines
+/// that carry data (everything except comments and blanks). For a
+/// well-formed fmt-10 writer document: data line 0 is the header, data
+/// lines [1, nets] the net lines, data lines (nets, nets+nodes] the
+/// per-node weight lines.
+struct HgrLayout {
+  std::vector<std::string> lines;
+  std::vector<std::size_t> data;  // indices into `lines`
+  std::uint64_t num_nets = 0;
+  std::uint64_t num_nodes = 0;
+
+  std::string& header() { return lines[data[0]]; }
+  std::string& net_line(std::uint64_t e) { return lines[data[1 + e]]; }
+  std::string& weight_line(std::uint64_t v) {
+    return lines[data[1 + num_nets + v]];
+  }
+};
+
+HgrLayout split(const std::string& text) {
+  HgrLayout layout;
+  std::string line;
+  std::istringstream is(text);
+  while (std::getline(is, line)) {
+    const std::size_t start = line.find_first_not_of(" \t\r");
+    const bool is_data = start != std::string::npos && line[start] != '%';
+    layout.lines.push_back(std::move(line));
+    if (is_data) layout.data.push_back(layout.lines.size() - 1);
+  }
+  FPART_REQUIRE(!layout.data.empty(), "mutate_hgr: empty document");
+  std::istringstream header(layout.lines[layout.data[0]]);
+  std::uint64_t fmt = 0;
+  FPART_REQUIRE(
+      static_cast<bool>(header >> layout.num_nets >> layout.num_nodes >> fmt)
+          && fmt == 10,
+      "mutate_hgr: input must be a well-formed fmt-10 document");
+  FPART_REQUIRE(layout.data.size() == 1 + layout.num_nets + layout.num_nodes,
+                "mutate_hgr: line count does not match the header");
+  return layout;
+}
+
+std::string join(const HgrLayout& layout) {
+  std::string out;
+  for (const std::string& line : layout.lines) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+/// Replaces the n-th whitespace-separated token of `line` (in place).
+void replace_token(std::string& line, std::size_t index,
+                   const std::string& replacement) {
+  std::size_t i = 0;
+  std::size_t seen = 0;
+  while (i < line.size()) {
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+    if (i >= line.size()) break;
+    std::size_t end = i;
+    while (end < line.size() && line[end] != ' ' && line[end] != '\t') ++end;
+    if (seen == index) {
+      line.replace(i, end - i, replacement);
+      return;
+    }
+    ++seen;
+    i = end;
+  }
+  line += " " + replacement;  // fewer tokens than asked: append instead
+}
+
+std::size_t count_tokens(const std::string& line) {
+  std::istringstream is(line);
+  std::string tok;
+  std::size_t n = 0;
+  while (is >> tok) ++n;
+  return n;
+}
+
+using MutateFn = HgrMutation (*)(HgrLayout&, Rng&);
+
+// --- targeted operators (must_reject = true) ------------------------------
+
+HgrMutation op_header_count_over_cap(HgrLayout& l, Rng& rng) {
+  replace_token(l.header(), rng.uniform(0, 2), "99999999999999");
+  return {join(l), "header_count_over_cap", true};
+}
+
+HgrMutation op_header_negative(HgrLayout& l, Rng& rng) {
+  replace_token(l.header(), rng.uniform(0, 2), "-3");
+  return {join(l), "header_negative", true};
+}
+
+HgrMutation op_header_bad_fmt(HgrLayout& l, Rng&) {
+  replace_token(l.header(), 2, "7");
+  return {join(l), "header_bad_fmt", true};
+}
+
+HgrMutation op_header_fmt_garbage(HgrLayout& l, Rng&) {
+  replace_token(l.header(), 2, "10abc");
+  return {join(l), "header_fmt_garbage", true};
+}
+
+HgrMutation op_header_trailing_token(HgrLayout& l, Rng&) {
+  l.header() += " 9";
+  return {join(l), "header_trailing_token", true};
+}
+
+HgrMutation op_node_weight_2pow32(HgrLayout& l, Rng& rng) {
+  // The historic truncation bug: 2^32 wrapped to 0 (a terminal!) and
+  // 2^32+1 to 1. Both are now out of the documented weight range.
+  const bool plus_one = rng.chance(0.5);
+  l.weight_line(rng.uniform(0, l.num_nodes - 1)) =
+      plus_one ? "4294967297" : "4294967296";
+  return {join(l), "node_weight_2pow32", true};
+}
+
+HgrMutation op_node_weight_negative(HgrLayout& l, Rng& rng) {
+  l.weight_line(rng.uniform(0, l.num_nodes - 1)) = "-1";
+  return {join(l), "node_weight_negative", true};
+}
+
+HgrMutation op_weight_line_extra_token(HgrLayout& l, Rng& rng) {
+  l.weight_line(rng.uniform(0, l.num_nodes - 1)) += " 1";
+  return {join(l), "weight_line_extra_token", true};
+}
+
+HgrMutation op_pin_zero(HgrLayout& l, Rng& rng) {
+  std::string& line = l.net_line(rng.uniform(0, l.num_nets - 1));
+  replace_token(line, rng.uniform(0, count_tokens(line) - 1), "0");
+  return {join(l), "pin_zero", true};
+}
+
+HgrMutation op_pin_out_of_range(HgrLayout& l, Rng& rng) {
+  std::string& line = l.net_line(rng.uniform(0, l.num_nets - 1));
+  replace_token(line, rng.uniform(0, count_tokens(line) - 1),
+                std::to_string(l.num_nodes + 1));
+  return {join(l), "pin_out_of_range", true};
+}
+
+HgrMutation op_pin_garbage(HgrLayout& l, Rng& rng) {
+  std::string& line = l.net_line(rng.uniform(0, l.num_nets - 1));
+  replace_token(line, rng.uniform(0, count_tokens(line) - 1), "3x7");
+  return {join(l), "pin_garbage", true};
+}
+
+HgrMutation op_delete_last_line(HgrLayout& l, Rng&) {
+  // Drops the final weight line: the node section comes up short.
+  l.lines.erase(l.lines.begin() +
+                static_cast<std::ptrdiff_t>(l.data.back()));
+  return {join(l), "delete_last_line", true};
+}
+
+HgrMutation op_append_trailing_line(HgrLayout& l, Rng&) {
+  l.lines.push_back("7 7");
+  return {join(l), "append_trailing_line", true};
+}
+
+HgrMutation op_header_net_count_plus_one(HgrLayout& l, Rng&) {
+  // One more net than lines provide: the first weight line is consumed
+  // as a net, and the node section ends early.
+  replace_token(l.header(), 0, std::to_string(l.num_nets + 1));
+  return {join(l), "header_net_count_plus_one", true};
+}
+
+HgrMutation op_header_net_count_minus_one(HgrLayout& l, Rng&) {
+  // One fewer net: the last net line (>= 2 pins) is read as a weight
+  // line and rejected by the one-token rule; a weight line is then left
+  // trailing. Skipped (fall back to +1) for single-net documents.
+  if (l.num_nets < 2) {
+    Rng fallback(1);
+    return op_header_net_count_plus_one(l, fallback);
+  }
+  replace_token(l.header(), 0, std::to_string(l.num_nets - 1));
+  return {join(l), "header_net_count_minus_one", true};
+}
+
+// --- chaos operators (must_reject = false) --------------------------------
+
+HgrMutation op_flip_byte(HgrLayout& l, Rng& rng) {
+  std::string text = join(l);
+  static constexpr char kBytes[] = "0123456789 -x%\n.";
+  text[rng.uniform(0, text.size() - 1)] =
+      kBytes[rng.uniform(0, sizeof(kBytes) - 2)];
+  return {std::move(text), "flip_byte", false};
+}
+
+HgrMutation op_truncate(HgrLayout& l, Rng& rng) {
+  std::string text = join(l);
+  text.resize(rng.uniform(0, text.size()));
+  return {std::move(text), "truncate", false};
+}
+
+HgrMutation op_insert_blank_lines(HgrLayout& l, Rng& rng) {
+  const std::size_t at = rng.uniform(0, l.lines.size());
+  l.lines.insert(l.lines.begin() + static_cast<std::ptrdiff_t>(at),
+                 {"", "   ", ""});
+  return {join(l), "insert_blank_lines", false};
+}
+
+HgrMutation op_delete_random_line(HgrLayout& l, Rng& rng) {
+  l.lines.erase(l.lines.begin() +
+                static_cast<std::ptrdiff_t>(
+                    rng.uniform(0, l.lines.size() - 1)));
+  return {join(l), "delete_random_line", false};
+}
+
+HgrMutation op_duplicate_random_line(HgrLayout& l, Rng& rng) {
+  const std::size_t at = rng.uniform(0, l.lines.size() - 1);
+  l.lines.insert(l.lines.begin() + static_cast<std::ptrdiff_t>(at),
+                 l.lines[at]);
+  return {join(l), "duplicate_random_line", false};
+}
+
+constexpr MutateFn kOps[] = {
+    // targeted: the reader MUST reject these
+    op_header_count_over_cap,
+    op_header_negative,
+    op_header_bad_fmt,
+    op_header_fmt_garbage,
+    op_header_trailing_token,
+    op_node_weight_2pow32,
+    op_node_weight_negative,
+    op_weight_line_extra_token,
+    op_pin_zero,
+    op_pin_out_of_range,
+    op_pin_garbage,
+    op_delete_last_line,
+    op_append_trailing_line,
+    op_header_net_count_plus_one,
+    op_header_net_count_minus_one,
+    // chaos: accept-or-ParseError, never anything else
+    op_flip_byte,
+    op_truncate,
+    op_insert_blank_lines,
+    op_delete_random_line,
+    op_duplicate_random_line,
+};
+
+}  // namespace
+
+std::size_t num_mutation_ops() { return std::size(kOps); }
+
+HgrMutation mutate_hgr_op(const std::string& valid, std::size_t op_index,
+                          Rng& rng) {
+  FPART_REQUIRE(op_index < std::size(kOps),
+                "mutate_hgr_op: operator index out of range");
+  HgrLayout layout = split(valid);
+  return kOps[op_index](layout, rng);
+}
+
+HgrMutation mutate_hgr(const std::string& valid, Rng& rng) {
+  return mutate_hgr_op(valid, rng.uniform(0, std::size(kOps) - 1), rng);
+}
+
+}  // namespace fpart::fuzz

@@ -1,0 +1,48 @@
+// Structure-aware .hgr mutation for the differential fuzz harness.
+//
+// mutate_hgr() takes a well-formed .hgr document (docs/FORMATS.md) and
+// applies one randomly chosen mutation operator. Operators come in two
+// flavors:
+//
+//   * targeted corruptions that MUST be rejected — they break a contract
+//     the reader documents (count caps, weight range, pin range, strict
+//     tokenization, no trailing data), so read_hgr() has to throw
+//     ParseError; silent acceptance is a harness failure;
+//   * chaos edits (byte flips, truncation, line shuffling) whose outcome
+//     is open — the reader may accept or reject them, but an accepted
+//     mutant must still validate() and a rejected one must fail with
+//     ParseError, never any other exception type and never a crash.
+//
+// The split is what makes the harness a *differential* input fuzzer: the
+// targeted operators pin the reject contract exactly, the chaos
+// operators sweep the don't-crash / don't-misclassify surface.
+#pragma once
+
+#include <string>
+
+#include "util/rng.hpp"
+
+namespace fpart::fuzz {
+
+struct HgrMutation {
+  /// The mutated document.
+  std::string text;
+  /// Operator name, for diagnostics ("node_weight_overflow", ...).
+  std::string op;
+  /// True iff read_hgr() is REQUIRED to throw ParseError on `text`.
+  bool must_reject = false;
+};
+
+/// Applies one mutation operator (chosen via `rng`) to `valid`, which
+/// must be a well-formed fmt-10 document as produced by write_hgr().
+HgrMutation mutate_hgr(const std::string& valid, Rng& rng);
+
+/// Number of distinct mutation operators (operator i is selected when
+/// rng picks i; exposed so tests can sweep every operator).
+std::size_t num_mutation_ops();
+
+/// Applies operator `op_index` (in [0, num_mutation_ops())) directly.
+HgrMutation mutate_hgr_op(const std::string& valid, std::size_t op_index,
+                          Rng& rng);
+
+}  // namespace fpart::fuzz

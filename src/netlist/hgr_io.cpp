@@ -1,7 +1,8 @@
 #include "netlist/hgr_io.hpp"
 
+#include <charconv>
 #include <fstream>
-#include <sstream>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -49,59 +50,114 @@ bool next_data_line(std::istream& is, std::string& line) {
   return false;
 }
 
+// Splits a data line into whitespace-separated tokens.
+std::vector<std::string_view> tokenize(const std::string& line) {
+  std::vector<std::string_view> tokens;
+  const char* const data = line.data();
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() &&
+           (line[i] == ' ' || line[i] == '\t' || line[i] == '\r')) {
+      ++i;
+    }
+    const std::size_t start = i;
+    while (i < line.size() && line[i] != ' ' && line[i] != '\t' &&
+           line[i] != '\r') {
+      ++i;
+    }
+    if (i > start) tokens.emplace_back(data + start, i - start);
+  }
+  return tokens;
+}
+
+// Strict decimal parse of one token. Unlike istream extraction this
+// rejects negative values for unsigned targets (no silent wrap-around)
+// and trailing garbage ("10abc"), and never throws anything but
+// ParseError.
+std::uint64_t parse_u64(std::string_view token, const char* what) {
+  std::uint64_t out = 0;
+  auto [ptr, ec] = std::from_chars(token.data(), token.data() + token.size(),
+                                   out);
+  FPART_PARSE_REQUIRE(ec == std::errc() &&
+                          ptr == token.data() + token.size(),
+                      std::string("hgr: ") + what + " is not a valid "
+                          "non-negative integer: '" + std::string(token) +
+                          "'");
+  return out;
+}
+
 }  // namespace
 
 Hypergraph read_hgr(std::istream& is) {
+  // Upper bound on the declared node/net counts. The counts drive
+  // allocations before any pin data is validated, so an absurd header
+  // (or one istream would silently wrap a negative number into) must be
+  // rejected up front instead of aborting on allocation failure.
+  constexpr std::uint64_t kMaxCount = 1ull << 24;  // 16.7M nodes / nets
+
   std::string line;
-  FPART_REQUIRE(next_data_line(is, line), "hgr: empty file");
-  std::istringstream header(line);
-  std::uint64_t num_nets = 0;
-  std::uint64_t num_nodes = 0;
-  int fmt = 0;
-  header >> num_nets >> num_nodes;
-  FPART_REQUIRE(!header.fail(), "hgr: malformed header");
-  header >> fmt;  // optional
-  FPART_REQUIRE(fmt == 0 || fmt == 1 || fmt == 10 || fmt == 11,
-                "hgr: fmt must be one of 0, 1, 10, 11");
+  FPART_PARSE_REQUIRE(next_data_line(is, line), "hgr: empty file");
+  const std::vector<std::string_view> header = tokenize(line);
+  FPART_PARSE_REQUIRE(header.size() == 2 || header.size() == 3,
+                      "hgr: header must be '<nets> <nodes> [fmt]'");
+  const std::uint64_t num_nets = parse_u64(header[0], "net count");
+  const std::uint64_t num_nodes = parse_u64(header[1], "node count");
+  FPART_PARSE_REQUIRE(num_nets <= kMaxCount && num_nodes <= kMaxCount,
+                      "hgr: header counts implausibly large");
+  const std::uint64_t fmt =
+      header.size() == 3 ? parse_u64(header[2], "fmt code") : 0;
+  FPART_PARSE_REQUIRE(fmt == 0 || fmt == 1 || fmt == 10 || fmt == 11,
+                      "hgr: fmt must be one of 0, 1, 10, 11");
   const bool net_weights = fmt == 1 || fmt == 11;
   const bool node_weights = fmt == 10 || fmt == 11;
 
-  std::vector<std::vector<std::uint64_t>> nets(num_nets);
+  std::vector<std::vector<std::uint64_t>> nets;
+  nets.reserve(static_cast<std::size_t>(num_nets));
   for (std::uint64_t e = 0; e < num_nets; ++e) {
-    FPART_REQUIRE(next_data_line(is, line), "hgr: missing net line");
-    std::istringstream ls(line);
+    FPART_PARSE_REQUIRE(next_data_line(is, line), "hgr: missing net line");
+    const std::vector<std::string_view> tokens = tokenize(line);
+    std::size_t t = 0;
     if (net_weights) {
       // The library's cut metric is unweighted; accept weight-1 files
       // (written by common converters) and reject real weights loudly
       // rather than silently dropping information.
-      std::uint64_t w = 0;
-      FPART_REQUIRE(static_cast<bool>(ls >> w),
-                    "hgr: missing net weight");
-      FPART_REQUIRE(w == 1,
-                    "hgr: weighted nets are not supported (all net "
-                    "weights must be 1)");
+      FPART_PARSE_REQUIRE(!tokens.empty(), "hgr: missing net weight");
+      const std::uint64_t w = parse_u64(tokens[t++], "net weight");
+      FPART_PARSE_REQUIRE(w == 1,
+                          "hgr: weighted nets are not supported (all net "
+                          "weights must be 1)");
     }
-    std::uint64_t pin = 0;
-    while (ls >> pin) {
-      FPART_REQUIRE(pin >= 1 && pin <= num_nodes,
-                    "hgr: pin id out of range");
-      nets[e].push_back(pin - 1);
+    std::vector<std::uint64_t>& pins = nets.emplace_back();
+    pins.reserve(tokens.size() - t);
+    for (; t < tokens.size(); ++t) {
+      const std::uint64_t pin = parse_u64(tokens[t], "pin id");
+      FPART_PARSE_REQUIRE(pin >= 1 && pin <= num_nodes,
+                          "hgr: pin id out of range");
+      pins.push_back(pin - 1);
     }
-    FPART_REQUIRE(!nets[e].empty(), "hgr: empty net line");
+    FPART_PARSE_REQUIRE(!pins.empty(), "hgr: empty net line");
   }
 
-  std::vector<std::uint32_t> weights(num_nodes, 1);
+  std::vector<std::uint32_t> weights(static_cast<std::size_t>(num_nodes), 1);
   if (node_weights) {
     for (std::uint64_t v = 0; v < num_nodes; ++v) {
-      FPART_REQUIRE(next_data_line(is, line), "hgr: missing node weight");
-      std::istringstream ls(line);
-      std::uint64_t w = 0;
-      ls >> w;
-      FPART_REQUIRE(!ls.fail(), "hgr: malformed node weight");
+      FPART_PARSE_REQUIRE(next_data_line(is, line),
+                          "hgr: missing node weight");
+      const std::vector<std::string_view> tokens = tokenize(line);
+      FPART_PARSE_REQUIRE(tokens.size() == 1,
+                          "hgr: node weight line must hold exactly one "
+                          "number");
+      const std::uint64_t w = parse_u64(tokens[0], "node weight");
+      // Node weights are stored as uint32; a larger value would silently
+      // wrap (4294967297 -> 1, and 4294967296 -> 0 would even turn the
+      // node into a terminal).
+      FPART_PARSE_REQUIRE(
+          w <= std::numeric_limits<std::uint32_t>::max(),
+          "hgr: node weight out of range [0, 4294967295]");
       weights[v] = static_cast<std::uint32_t>(w);
     }
   }
-  FPART_REQUIRE(!next_data_line(is, line), "hgr: trailing data");
+  FPART_PARSE_REQUIRE(!next_data_line(is, line), "hgr: trailing data");
 
   HypergraphBuilder b;
   for (std::uint64_t v = 0; v < num_nodes; ++v) {

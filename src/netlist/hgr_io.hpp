@@ -13,6 +13,9 @@
 // The reader additionally accepts fmt 0 (no weights), fmt 1 and fmt 11
 // (net weights — unit weights only; the cut metric here is unweighted
 // and real weights are rejected loudly rather than dropped).
+//
+// The full dialect, including the strict-tokenization rules the reader
+// enforces, is documented in docs/FORMATS.md.
 #pragma once
 
 #include <iosfwd>
@@ -26,8 +29,12 @@ namespace fpart {
 void write_hgr(std::ostream& os, const Hypergraph& h);
 void write_hgr_file(const std::string& path, const Hypergraph& h);
 
-/// Parses the format above. Throws PreconditionError on malformed input
-/// (bad counts, out-of-range pins, trailing garbage).
+/// Parses the format above. Throws ParseError on malformed input: bad or
+/// implausible counts, out-of-range pins or node weights, non-numeric
+/// tokens, missing lines, trailing garbage. Never wraps values silently
+/// and never crashes on hostile input — every reject path is a typed
+/// error (see util/error.hpp). read_hgr_file additionally throws
+/// PreconditionError when the file cannot be opened.
 Hypergraph read_hgr(std::istream& is);
 Hypergraph read_hgr_file(const std::string& path);
 

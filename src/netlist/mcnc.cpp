@@ -42,7 +42,7 @@ const CircuitSpec& circuit(std::string_view name) {
   for (const auto& spec : kCircuits) {
     if (spec.name == name) return spec;
   }
-  FPART_REQUIRE(false, "unknown MCNC circuit: " + std::string(name));
+  FPART_OPTION_REQUIRE(false, "unknown MCNC circuit: " + std::string(name));
   return kCircuits[0];  // unreachable
 }
 

@@ -12,6 +12,7 @@
 #include "netlist/hgr_io.hpp"
 #include "obs/json.hpp"
 #include "util/assert.hpp"
+#include "util/error.hpp"
 #include "util/timer.hpp"
 
 namespace fpart::runtime {
@@ -39,8 +40,12 @@ void execute_job(const JobSpec& spec, ThreadPool* pool, JobResult& out) {
     }
     out.ok = true;
   } catch (const std::exception& e) {
+    // Per-job failure isolation: record what went wrong and which side
+    // of the taxonomy it falls on (bad input vs engine bug) so the
+    // fpart-batch/1 report can tell them apart.
     out.ok = false;
     out.error = e.what();
+    out.error_kind = error_kind(e);
   }
   out.seconds = timer.elapsed_seconds();
 }
@@ -64,20 +69,21 @@ std::vector<JobSpec> parse_batch_file(const std::string& path) {
       std::string rest;
       tokens.clear();
       tokens.seekg(0);
-      FPART_REQUIRE(!(tokens >> rest),
-                    "batch file " + path + " line " +
-                        std::to_string(line_no) +
-                        ": expected '<input.hgr> <device> [key=value ...]'");
+      FPART_PARSE_REQUIRE(!(tokens >> rest),
+                          "batch file " + path + " line " +
+                              std::to_string(line_no) +
+                              ": expected '<input.hgr> <device> "
+                              "[key=value ...]'");
       continue;  // blank / comment-only line
     }
     spec.id = "job" + std::to_string(jobs.size());
     std::string kv;
     while (tokens >> kv) {
       const auto eq = kv.find('=');
-      FPART_REQUIRE(eq != std::string::npos && eq > 0,
-                    "batch file " + path + " line " +
-                        std::to_string(line_no) + ": bad option '" + kv +
-                        "' (expected key=value)");
+      FPART_PARSE_REQUIRE(eq != std::string::npos && eq > 0,
+                          "batch file " + path + " line " +
+                              std::to_string(line_no) + ": bad option '" +
+                              kv + "' (expected key=value)");
       const std::string key = kv.substr(0, eq);
       const std::string value = kv.substr(eq + 1);
       try {
@@ -88,20 +94,20 @@ std::vector<JobSpec> parse_batch_file(const std::string& path) {
           spec.method = value;
         } else if (key == "portfolio") {
           const unsigned long parsed = std::stoul(value);
-          FPART_REQUIRE(parsed >= 1 && parsed <= 0xFFFFFFFFul,
-                        "batch: portfolio must be in [1, 4294967295]");
+          FPART_PARSE_REQUIRE(parsed >= 1 && parsed <= 0xFFFFFFFFul,
+                              "batch: portfolio must be in [1, 4294967295]");
           spec.portfolio = static_cast<std::uint32_t>(parsed);
         } else if (key == "seed") {
           spec.seed = std::stoull(value);
         } else if (key == "fill") {
           spec.fill = std::stod(value);
         } else {
-          FPART_REQUIRE(false, "unknown key '" + key + "'");
+          FPART_PARSE_REQUIRE(false, "unknown key '" + key + "'");
         }
       } catch (const std::exception& e) {
-        FPART_REQUIRE(false, "batch file " + path + " line " +
-                                 std::to_string(line_no) + ": option '" +
-                                 kv + "': " + e.what());
+        FPART_PARSE_REQUIRE(false, "batch file " + path + " line " +
+                                       std::to_string(line_no) +
+                                       ": option '" + kv + "': " + e.what());
       }
     }
     jobs.push_back(std::move(spec));
@@ -173,6 +179,8 @@ std::string batch_report_json(const std::vector<JobResult>& results) {
     if (!r.ok) {
       w.key("error");
       w.value(r.error);
+      w.key("error_kind");
+      w.value(r.error_kind);
     } else {
       w.key("feasible");
       w.value(r.result.feasible);

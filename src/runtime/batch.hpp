@@ -10,8 +10,10 @@
 // itself). Each job's outcome is deterministic (the portfolio contract
 // in portfolio.hpp); only wall-clock timing depends on the schedule.
 //
-// A job that throws (unreadable input, unknown device/method) fails
-// alone: its JobResult carries ok = false and the error text, and the
+// A job that throws (unreadable input, unknown device/method, or an
+// engine bug) fails alone: its JobResult carries ok = false, the error
+// text and the taxonomy kind ("parse"/"option"/"capacity" for input
+// problems vs "internal" for engine bugs — util/error.hpp), and the
 // rest of the batch proceeds.
 #pragma once
 
@@ -42,6 +44,10 @@ struct JobResult {
   JobSpec spec;
   bool ok = false;
   std::string error;  // set when !ok
+  /// Taxonomy category of the failure (util/error.hpp::error_kind):
+  /// "parse" / "option" / "capacity" / "precondition" are input
+  /// problems, "internal" is an engine bug, "unknown" anything else.
+  std::string error_kind;  // set when !ok
   /// Winning result (the only attempt's, for portfolio == 1).
   PartitionResult result;
   /// Portfolio jobs only: winning attempt index and the outcome digest.
@@ -54,7 +60,7 @@ struct JobResult {
 /// Parses a batch file: one job per line,
 ///   <input.hgr> <device> [key=value ...]
 /// with keys id, method, portfolio, seed, fill; '#' starts a comment.
-/// Throws PreconditionError on malformed lines (with the line number).
+/// Throws ParseError on malformed lines (with the line number).
 std::vector<JobSpec> parse_batch_file(const std::string& path);
 
 /// Runs every job and returns results in job order. Uses `pool` when

@@ -73,7 +73,8 @@ std::uint64_t attempt_seed(std::uint64_t base_seed, std::uint32_t attempt) {
 
 PortfolioResult run_portfolio(const Hypergraph& h, const Device& device,
                               const PortfolioOptions& opt, ThreadPool* pool) {
-  FPART_REQUIRE(opt.attempts >= 1, "portfolio needs at least one attempt");
+  FPART_OPTION_REQUIRE(opt.attempts >= 1,
+                       "portfolio needs at least one attempt");
   // Pool tasks must not throw, so reject bad configs before fan-out.
   (void)parse_method(opt.method);
   const obs::ScopedPhase phase("portfolio.run");

@@ -124,7 +124,7 @@ struct ThreadPool::Impl {
 ThreadPool::ThreadPool(unsigned threads) : impl_(std::make_unique<Impl>()) {
   const unsigned n =
       std::min(threads != 0 ? threads : default_thread_count(), 512u);
-  FPART_REQUIRE(n >= 1, "thread pool needs at least one worker");
+  FPART_OPTION_REQUIRE(n >= 1, "thread pool needs at least one worker");
   impl_->self = this;
   impl_->workers.reserve(n);
   for (unsigned i = 0; i < n; ++i) {

@@ -5,61 +5,63 @@
 // keep checks in release builds — they are cheap relative to the search).
 // FPART_DASSERT compiles out unless FPART_ENABLE_DEBUG_ASSERTS is defined;
 // use it in per-move hot paths.
+//
+// Failures throw through the typed taxonomy in util/error.hpp:
+// FPART_ASSERT* throws InternalError (a library bug), FPART_REQUIRE
+// throws PreconditionError, and the typed variants FPART_PARSE_REQUIRE /
+// FPART_OPTION_REQUIRE / FPART_CAPACITY_REQUIRE throw the matching
+// subtype so top-level handlers and the batch report can tell malformed
+// input, bad settings, impossible instances and engine bugs apart.
 #pragma once
 
 #include <sstream>
-#include <stdexcept>
 #include <string>
 
-namespace fpart {
+#include "util/error.hpp"
 
-/// Thrown when an internal invariant is violated. Indicates a library bug.
-class InvariantError : public std::logic_error {
- public:
-  explicit InvariantError(const std::string& what) : std::logic_error(what) {}
-};
+namespace fpart::detail {
 
-/// Thrown when caller-supplied input violates a documented precondition.
-class PreconditionError : public std::invalid_argument {
- public:
-  explicit PreconditionError(const std::string& what)
-      : std::invalid_argument(what) {}
-};
-
-namespace detail {
-[[noreturn]] inline void assert_fail(const char* kind, const char* expr,
-                                     const char* file, int line,
-                                     const std::string& msg) {
+template <typename E>
+[[noreturn]] inline void throw_failed(const char* label, const char* expr,
+                                      const char* file, int line,
+                                      const std::string& msg) {
   std::ostringstream os;
-  os << kind << " failed: (" << expr << ") at " << file << ':' << line;
+  os << label << " failed: (" << expr << ") at " << file << ':' << line;
   if (!msg.empty()) os << " — " << msg;
-  if (kind[0] == 'P') throw PreconditionError(os.str());
-  throw InvariantError(os.str());
+  throw E(os.str());
 }
-}  // namespace detail
 
-}  // namespace fpart
+}  // namespace fpart::detail
 
-#define FPART_ASSERT(expr)                                                  \
-  do {                                                                      \
-    if (!(expr))                                                            \
-      ::fpart::detail::assert_fail("Invariant", #expr, __FILE__, __LINE__,  \
-                                   "");                                     \
+#define FPART_ASSERT(expr)                                                   \
+  do {                                                                       \
+    if (!(expr))                                                             \
+      ::fpart::detail::throw_failed<::fpart::InternalError>(                 \
+          "Invariant", #expr, __FILE__, __LINE__, "");                       \
   } while (false)
 
-#define FPART_ASSERT_MSG(expr, msg)                                         \
-  do {                                                                      \
-    if (!(expr))                                                            \
-      ::fpart::detail::assert_fail("Invariant", #expr, __FILE__, __LINE__,  \
-                                   (msg));                                  \
+#define FPART_ASSERT_MSG(expr, msg)                                          \
+  do {                                                                       \
+    if (!(expr))                                                             \
+      ::fpart::detail::throw_failed<::fpart::InternalError>(                 \
+          "Invariant", #expr, __FILE__, __LINE__, (msg));                    \
   } while (false)
 
-#define FPART_REQUIRE(expr, msg)                                            \
-  do {                                                                      \
-    if (!(expr))                                                            \
-      ::fpart::detail::assert_fail("Precondition", #expr, __FILE__,         \
-                                   __LINE__, (msg));                        \
+/// Precondition check throwing a caller-chosen taxonomy type, e.g.
+///   FPART_REQUIRE_AS(ParseError, w <= kMax, "weight out of range");
+#define FPART_REQUIRE_AS(ErrorType, expr, msg)                               \
+  do {                                                                       \
+    if (!(expr))                                                             \
+      ::fpart::detail::throw_failed<::fpart::ErrorType>(                     \
+          "Precondition", #expr, __FILE__, __LINE__, (msg));                 \
   } while (false)
+
+#define FPART_REQUIRE(expr, msg) FPART_REQUIRE_AS(PreconditionError, expr, msg)
+#define FPART_PARSE_REQUIRE(expr, msg) FPART_REQUIRE_AS(ParseError, expr, msg)
+#define FPART_OPTION_REQUIRE(expr, msg) \
+  FPART_REQUIRE_AS(OptionError, expr, msg)
+#define FPART_CAPACITY_REQUIRE(expr, msg) \
+  FPART_REQUIRE_AS(CapacityError, expr, msg)
 
 #ifdef FPART_ENABLE_DEBUG_ASSERTS
 #define FPART_DASSERT(expr) FPART_ASSERT(expr)

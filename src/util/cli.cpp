@@ -11,7 +11,13 @@ void CliParser::add_flag(const std::string& key, const std::string& help,
                          const std::string& default_value) {
   FPART_REQUIRE(!key.empty() && key.substr(0, 2) != "--",
                 "declare flags without leading dashes");
-  flags_[key] = Flag{help, default_value, false};
+  flags_[key] = Flag{help, default_value, false, false};
+}
+
+void CliParser::add_switch(const std::string& key, const std::string& help) {
+  FPART_REQUIRE(!key.empty() && key.substr(0, 2) != "--",
+                "declare flags without leading dashes");
+  flags_[key] = Flag{help, "false", false, true};
 }
 
 bool CliParser::parse(int argc, const char* const* argv) {
@@ -38,9 +44,12 @@ bool CliParser::parse(int argc, const char* const* argv) {
       return false;
     }
     if (!has_value) {
-      // --key value form, unless the next token is another flag or absent
-      // (then it is a boolean switch).
-      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      // --key value form, unless the next token is another flag or absent,
+      // or the flag is a declared boolean switch — a switch never consumes
+      // the next token (`--audit input.hgr` must keep input.hgr
+      // positional).
+      if (!it->second.boolean && i + 1 < argc &&
+          std::string(argv[i + 1]).rfind("--", 0) != 0) {
         value = argv[++i];
       } else {
         value = "true";
@@ -67,15 +76,19 @@ std::int64_t CliParser::get_int(const std::string& key) const {
   const std::string v = get(key);
   std::int64_t out = 0;
   auto [ptr, ec] = std::from_chars(v.data(), v.data() + v.size(), out);
-  FPART_REQUIRE(ec == std::errc() && ptr == v.data() + v.size(),
-                "flag --" + key + " is not an integer: " + v);
+  FPART_PARSE_REQUIRE(ec == std::errc() && ptr == v.data() + v.size(),
+                      "flag --" + key + " is not an integer: " + v);
   return out;
 }
 
 double Cli_parse_double(const std::string& key, const std::string& v) {
-  std::size_t pos = 0;
-  double out = std::stod(v, &pos);
-  FPART_REQUIRE(pos == v.size(), "flag --" + key + " is not a number: " + v);
+  // std::from_chars never throws: empty, garbage and out-of-range values
+  // all land in the flag diagnostic below instead of escaping as raw
+  // std::invalid_argument / std::out_of_range (as std::stod used to).
+  double out = 0.0;
+  auto [ptr, ec] = std::from_chars(v.data(), v.data() + v.size(), out);
+  FPART_PARSE_REQUIRE(ec == std::errc() && ptr == v.data() + v.size(),
+                      "flag --" + key + " is not a number: " + v);
   return out;
 }
 
@@ -87,7 +100,7 @@ bool CliParser::get_bool(const std::string& key) const {
   const std::string v = get(key);
   if (v == "true" || v == "1" || v == "yes") return true;
   if (v == "false" || v == "0" || v == "no" || v.empty()) return false;
-  FPART_REQUIRE(false, "flag --" + key + " is not a boolean: " + v);
+  FPART_PARSE_REQUIRE(false, "flag --" + key + " is not a boolean: " + v);
   return false;
 }
 

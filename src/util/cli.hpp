@@ -2,7 +2,9 @@
 //
 // Supported syntax: --key=value, --key value, --flag (boolean true),
 // positional arguments collected in order. Unknown keys are an error so
-// typos fail loudly.
+// typos fail loudly. Flags declared with add_switch() are known to be
+// boolean and never consume the following token, so `--audit input.hgr`
+// keeps `input.hgr` positional; value-carrying flags use add_flag().
 #pragma once
 
 #include <cstdint>
@@ -19,6 +21,12 @@ class CliParser {
   /// required before parse(); undeclared keys are rejected.
   void add_flag(const std::string& key, const std::string& help,
                 const std::string& default_value = "");
+
+  /// Declares a boolean switch (default "false"). Unlike a plain flag,
+  /// `--key token` never consumes `token` as the value — the switch is
+  /// set to "true" and `token` stays positional. `--key=value` still
+  /// accepts an explicit boolean word.
+  void add_switch(const std::string& key, const std::string& help);
 
   /// Parses argv. Returns false (and fills error()) on malformed input.
   bool parse(int argc, const char* const* argv);
@@ -40,6 +48,7 @@ class CliParser {
     std::string help;
     std::string value;
     bool set = false;
+    bool boolean = false;  // declared via add_switch: never eats a token
   };
   std::map<std::string, Flag> flags_;
   std::vector<std::string> positional_;

@@ -1,0 +1,99 @@
+// Typed error taxonomy.
+//
+// Every exception the library throws on purpose derives from fpart::Error,
+// split by who has to act on it:
+//
+//   Error
+//   ├── PreconditionError        caller-supplied input violates a documented
+//   │   │                        precondition (generic; prefer a subtype)
+//   │   ├── ParseError           input text does not match its grammar or a
+//   │   │                        value does not parse as the expected type
+//   │   │                        (.hgr / .blif / batch files, event logs,
+//   │   │                        numeric flag values)
+//   │   ├── OptionError          a value parses fine but names an invalid
+//   │   │                        choice or setting (unknown method, device,
+//   │   │                        family; out-of-range thread counts)
+//   │   └── CapacityError        the instance can never satisfy the device
+//   │                            constraints (a cell larger than S_MAX)
+//   └── InternalError            a library invariant failed — a bug in
+//                                fpart itself, never the caller's input
+//
+// Drivers catch `const Error&` at the top level, print a one-line
+// diagnostic prefixed with kind(), and exit non-zero; only InternalError
+// (still) aborts under the FPART_AUDIT debug mode so the flight recorder
+// state survives for inspection. The batch runner records kind() per job
+// so a report distinguishes bad inputs from engine bugs.
+//
+// InvariantError is the historical name of InternalError and is kept as
+// an alias; FPART_ASSERT throws it.
+#pragma once
+
+#include <exception>
+#include <stdexcept>
+#include <string>
+
+namespace fpart {
+
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+  /// Stable one-word category ("parse", "option", "capacity",
+  /// "internal", ...) used in diagnostics and the fpart-batch/1 report.
+  virtual const char* kind() const noexcept { return "error"; }
+};
+
+/// Caller-supplied input violates a documented precondition. Base of the
+/// input-side taxonomy; FPART_REQUIRE throws this when no more specific
+/// subtype applies.
+class PreconditionError : public Error {
+ public:
+  using Error::Error;
+  const char* kind() const noexcept override { return "precondition"; }
+};
+
+/// Input text does not match its grammar, or a value fails to parse as
+/// the expected type. Thrown by the .hgr/.blif/batch-file/event-log
+/// readers and the numeric CLI accessors.
+class ParseError : public PreconditionError {
+ public:
+  using PreconditionError::PreconditionError;
+  const char* kind() const noexcept override { return "parse"; }
+};
+
+/// A well-formed value names an invalid choice or setting: an unknown
+/// method/device/family, or a knob outside its supported range.
+class OptionError : public PreconditionError {
+ public:
+  using PreconditionError::PreconditionError;
+  const char* kind() const noexcept override { return "option"; }
+};
+
+/// The instance can never meet the device constraints, no matter how it
+/// is partitioned (e.g. a single cell larger than S_MAX).
+class CapacityError : public PreconditionError {
+ public:
+  using PreconditionError::PreconditionError;
+  const char* kind() const noexcept override { return "capacity"; }
+};
+
+/// A library invariant was violated. Indicates a bug in fpart, not in
+/// the caller's input.
+class InternalError : public Error {
+ public:
+  using Error::Error;
+  const char* kind() const noexcept override { return "internal"; }
+};
+
+/// Historical name, kept so existing call/catch sites read naturally.
+using InvariantError = InternalError;
+
+/// Classifies an in-flight exception for reports: kind() for the typed
+/// taxonomy, "unknown" for anything else.
+inline const char* error_kind(const std::exception& e) noexcept {
+  if (const auto* typed = dynamic_cast<const Error*>(&e)) {
+    return typed->kind();
+  }
+  return "unknown";
+}
+
+}  // namespace fpart

@@ -116,6 +116,53 @@ TEST_F(BatchTest, RunsJobsAndIsolatesFailures) {
   EXPECT_GE(results[3].result.k, results[3].result.lower_bound);
 }
 
+TEST_F(BatchTest, MalformedBatchContentIsAParseError) {
+  // Content problems are ParseError; only an unreadable file stays a
+  // plain PreconditionError.
+  EXPECT_THROW(parse_batch_file(write_temp("pe1.txt", "only_input\n")),
+               ParseError);
+  EXPECT_THROW(
+      parse_batch_file(write_temp("pe2.txt", "a.hgr XC3020 seed=xyz\n")),
+      ParseError);
+}
+
+TEST_F(BatchTest, FailureKindsSeparateInputErrorsFromEngineBugs) {
+  // One failure per input-side taxonomy branch: the report's error_kind
+  // tells bad inputs ("parse"/"option"/"capacity"/"precondition") apart
+  // from engine bugs ("internal").
+  const std::string bad_hgr = write_temp("bad.hgr", "definitely not hgr\n");
+  // A cell larger than any XC2064 block (64 CLBs): capacity rejection.
+  const std::string huge_hgr = write_temp("huge.hgr", "1 2 10\n1 2\n500\n1\n");
+  const std::string path = write_temp(
+      "kinds.txt", hgr_path_ + " XC3020 id=good\n" +          // ok
+                       "missing.hgr XC3020 id=io\n" +         // precondition
+                       bad_hgr + " XC3020 id=parse\n" +       // parse
+                       hgr_path_ + " NOSUCHDEV id=option\n" + // option
+                       huge_hgr + " XC2064 id=capacity\n");   // capacity
+  const std::vector<JobResult> results = run_batch(parse_batch_file(path));
+  ASSERT_EQ(results.size(), 5u);
+  EXPECT_TRUE(results[0].ok);
+  EXPECT_TRUE(results[0].error_kind.empty());
+  EXPECT_FALSE(results[1].ok);
+  EXPECT_EQ(results[1].error_kind, "precondition");
+  EXPECT_FALSE(results[2].ok);
+  EXPECT_EQ(results[2].error_kind, "parse");
+  EXPECT_FALSE(results[3].ok);
+  EXPECT_EQ(results[3].error_kind, "option");
+  EXPECT_FALSE(results[4].ok);
+  EXPECT_EQ(results[4].error_kind, "capacity");
+
+  // The fpart-batch/1 report carries the kind for every failed job.
+  const auto doc = obs::json_parse(batch_report_json(results));
+  ASSERT_TRUE(doc.has_value());
+  const obs::JsonValue* jobs = doc->find("jobs");
+  ASSERT_NE(jobs, nullptr);
+  ASSERT_EQ(jobs->array.size(), 5u);
+  EXPECT_EQ(jobs->array[0].find("error_kind"), nullptr);
+  EXPECT_EQ(jobs->array[2].find("error_kind")->string, "parse");
+  EXPECT_EQ(jobs->array[4].find("error_kind")->string, "capacity");
+}
+
 TEST_F(BatchTest, ResultsAreDeterministicAcrossPoolSizes) {
   const std::string path = write_temp(
       "det.txt", hgr_path_ + " XC3020 id=a seed=1\n" + hgr_path_ +

@@ -181,6 +181,47 @@ TEST(ClusteredFpartTest, MultilevelVCycle) {
   }
 }
 
+TEST(ClusteredFpartTest, RefinementRingClosesForLargeK) {
+  // Regression: for k > 16 the pairwise refinement schedule walked
+  // (0,1), (1,2), ..., (k-2,k-1) and never refined the wrap-around pair
+  // (k-1, 0). A cell in the last block whose only improving move is
+  // into block 0 was stuck forever. The ring is closed now.
+  constexpr std::uint32_t kBlocks = 18;  // > 16 engages the ring path
+  HypergraphBuilder b;
+  std::vector<NodeId> anchor(kBlocks);
+  std::vector<BlockId> assignment;
+  for (std::uint32_t g = 0; g < kBlocks; ++g) {
+    const NodeId u = b.add_cell(1);
+    const NodeId v = b.add_cell(1);
+    anchor[g] = u;
+    b.add_net({u, v});  // intra-block net keeps the pair together
+    assignment.push_back(static_cast<BlockId>(g));
+    assignment.push_back(static_cast<BlockId>(g));
+  }
+  // One stray cell in the LAST block, tied to block 0: moving it to
+  // block 0 is the only gain-positive move anywhere.
+  const NodeId stray = b.add_cell(1);
+  b.add_net({stray, anchor[0]});
+  assignment.push_back(static_cast<BlockId>(kBlocks - 1));
+  const Hypergraph h = std::move(b).build();
+
+  const Device device("ring-test", Family::kXC3000, /*s_datasheet=*/4,
+                      /*t_max=*/50, /*fill=*/1.0);
+  Partition p(h, assignment, kBlocks);
+  ASSERT_EQ(p.cut_size(), 1u);
+
+  ClusteredOptions options;
+  detail::clustered_refine_level(p, device, lower_bound_devices(h, device),
+                                 options);
+  EXPECT_EQ(p.cut_size(), 0u)
+      << "wrap-around pair (k-1, 0) was never refined";
+  const auto snap = p.snapshot();
+  EXPECT_EQ(snap.assignment[stray], 0u);
+  const VerifyReport report =
+      verify_partition(h, device, snap.assignment, kBlocks);
+  EXPECT_TRUE(report.ok) << report.summary();
+}
+
 TEST(ClusteredFpartTest, DeepLevelsStopAtStall) {
   // Absurd level count: the descent must stop when matching stalls or
   // the circuit becomes tiny, not loop or crash.

@@ -1,0 +1,118 @@
+// Fixed-seed sweep of the differential fuzz harness (src/fuzz): 200
+// random circuits through every engine variant with verify + replay +
+// metamorphic cross-checks, plus the structure-aware malformed-input
+// sweep and unit checks of the mutator's reject contract.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "fuzz/diff_fuzz.hpp"
+#include "fuzz/hgr_mutate.hpp"
+#include "netlist/hgr_io.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace fpart::fuzz {
+namespace {
+
+std::string failure_text(const std::vector<std::string>& disagreements) {
+  std::string out;
+  for (const std::string& d : disagreements) out += d + "\n";
+  return out;
+}
+
+// --- the differential sweep ----------------------------------------------
+
+class DiffFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(DiffFuzz, AllEnginesAgreeOnAllOracles) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  const std::vector<std::string> disagreements = run_diff_case(seed);
+  EXPECT_TRUE(disagreements.empty()) << failure_text(disagreements);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DiffFuzz, ::testing::Range(0, 200));
+
+// --- the malformed-input sweep -------------------------------------------
+
+class MutationFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(MutationFuzz, MalformedInputsAreTypedRejections) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  const std::vector<std::string> disagreements = run_mutation_case(seed);
+  EXPECT_TRUE(disagreements.empty()) << failure_text(disagreements);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MutationFuzz, ::testing::Range(0, 48));
+
+// --- mutator unit checks --------------------------------------------------
+
+std::string small_valid_hgr() {
+  std::ostringstream os;
+  os << "% fpart-hgr v1 fpart-terminals\n"
+     << "3 4 10\n"
+     << "1 2\n"
+     << "2 3 4\n"
+     << "1 3\n"
+     << "2\n1\n1\n0\n";
+  return os.str();
+}
+
+TEST(HgrMutateTest, EveryTargetedOperatorProducesAParseError) {
+  const std::string valid = small_valid_hgr();
+  {
+    // The base document really is valid.
+    std::stringstream ss(valid);
+    EXPECT_NO_THROW(read_hgr(ss));
+  }
+  for (std::size_t op = 0; op < num_mutation_ops(); ++op) {
+    Rng rng(op * 17 + 5);
+    const HgrMutation m = mutate_hgr_op(valid, op, rng);
+    if (!m.must_reject) continue;
+    std::stringstream ss(m.text);
+    EXPECT_THROW(read_hgr(ss), ParseError)
+        << "operator " << m.op << " produced:\n" << m.text;
+  }
+}
+
+TEST(HgrMutateTest, DeterministicForEqualSeeds) {
+  const std::string valid = small_valid_hgr();
+  Rng a(99);
+  Rng b(99);
+  for (int i = 0; i < 32; ++i) {
+    const HgrMutation ma = mutate_hgr(valid, a);
+    const HgrMutation mb = mutate_hgr(valid, b);
+    EXPECT_EQ(ma.text, mb.text);
+    EXPECT_EQ(ma.op, mb.op);
+    EXPECT_EQ(ma.must_reject, mb.must_reject);
+  }
+}
+
+TEST(HgrMutateTest, MutantsAlwaysDifferOrStayParseable) {
+  // A mutation either changes the document or (for degenerate chaos
+  // picks like truncating at the very end) leaves it valid.
+  const std::string valid = small_valid_hgr();
+  Rng rng(7);
+  for (int i = 0; i < 64; ++i) {
+    const HgrMutation m = mutate_hgr(valid, rng);
+    if (m.text == valid) {
+      std::stringstream ss(m.text);
+      EXPECT_NO_THROW(read_hgr(ss));
+    }
+  }
+}
+
+TEST(DiffInstanceTest, DeterministicAndInBounds) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const DiffInstance a = make_diff_instance(seed);
+    const DiffInstance b = make_diff_instance(seed);
+    EXPECT_EQ(a.h.structural_digest(), b.h.structural_digest());
+    EXPECT_EQ(a.device.s_datasheet(), b.device.s_datasheet());
+    EXPECT_GE(a.h.num_interior(), 24u);
+    EXPECT_LE(a.h.num_interior(), 140u);
+    EXPECT_GE(a.device.s_datasheet(), a.h.max_node_size() + 4);
+  }
+}
+
+}  // namespace
+}  // namespace fpart::fuzz

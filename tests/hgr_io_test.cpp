@@ -146,6 +146,74 @@ TEST(HgrIoTest, RejectsMalformedInput) {
   }
 }
 
+TEST(HgrIoTest, MalformedInputIsAParseError) {
+  // The reader commits to the typed taxonomy: malformed text is always
+  // ParseError, never a raw std:: exception or a silent acceptance.
+  std::stringstream ss("abc\n");
+  EXPECT_THROW(read_hgr(ss), ParseError);
+}
+
+TEST(HgrIoTest, RejectsNodeWeightAboveUint32) {
+  // Regression: weights were read into uint64 and truncated to uint32,
+  // so 4294967297 silently became 1 and 4294967296 became 0 — turning a
+  // giant cell into a *terminal*. Both must be rejected now.
+  {
+    std::stringstream ss("1 2 10\n1 2\n4294967296\n0\n");
+    EXPECT_THROW(read_hgr(ss), ParseError);
+  }
+  {
+    std::stringstream ss("1 2 10\n1 2\n4294967297\n0\n");
+    EXPECT_THROW(read_hgr(ss), ParseError);
+  }
+  {
+    // The maximum representable weight is still accepted verbatim.
+    std::stringstream ss("1 2 10\n1 2\n4294967295\n0\n");
+    const Hypergraph h = read_hgr(ss);
+    EXPECT_EQ(h.node_size(0), 4294967295u);
+    EXPECT_TRUE(h.is_terminal(1));
+  }
+}
+
+TEST(HgrIoTest, RejectsNegativeAndGarbageNumbers) {
+  {
+    std::stringstream ss("-1 2 0\n1 2\n");
+    EXPECT_THROW(read_hgr(ss), ParseError);  // negative net count
+  }
+  {
+    std::stringstream ss("1 2 10\n1 2\n-3\n0\n");
+    EXPECT_THROW(read_hgr(ss), ParseError);  // negative node weight
+  }
+  {
+    std::stringstream ss("1 2 0\n1 2x\n");
+    EXPECT_THROW(read_hgr(ss), ParseError);  // garbage pin token
+  }
+  {
+    std::stringstream ss("1 2 0\n1 0\n");
+    EXPECT_THROW(read_hgr(ss), ParseError);  // pin 0 (pins are 1-based)
+  }
+  {
+    std::stringstream ss("1 2 10abc\n1 2\n3\n0\n");
+    EXPECT_THROW(read_hgr(ss), ParseError);  // garbage fmt token
+  }
+  {
+    std::stringstream ss("1 2 10\n1 2\n3 4\n0\n");
+    EXPECT_THROW(read_hgr(ss), ParseError);  // two tokens on weight line
+  }
+}
+
+TEST(HgrIoTest, RejectsHugeHeaderCounts) {
+  // Header counts above the 2^24 cap are rejected up front instead of
+  // attempting enormous allocations.
+  {
+    std::stringstream ss("99999999999999 2 0\n1 2\n");
+    EXPECT_THROW(read_hgr(ss), ParseError);
+  }
+  {
+    std::stringstream ss("1 99999999999999 0\n1 2\n");
+    EXPECT_THROW(read_hgr(ss), ParseError);
+  }
+}
+
 // Round-trip property sweep over varied generator shapes (net ratios,
 // locality, pad densities, cell sizes).
 class HgrRoundTripFuzz : public ::testing::TestWithParam<int> {};

@@ -37,10 +37,46 @@ TEST(AssertTest, RequireThrowsPreconditionError) {
   EXPECT_NO_THROW(FPART_REQUIRE(true, "ok"));
 }
 
-TEST(AssertTest, PreconditionErrorIsInvalidArgument) {
-  // Callers can catch the standard hierarchy.
-  EXPECT_THROW(FPART_REQUIRE(false, "x"), std::invalid_argument);
-  EXPECT_THROW(FPART_ASSERT(false), std::logic_error);
+TEST(AssertTest, ErrorsShareTheTypedRoot) {
+  // Callers can catch the whole taxonomy at its root, or the standard
+  // hierarchy (every fpart error is a std::runtime_error).
+  EXPECT_THROW(FPART_REQUIRE(false, "x"), Error);
+  EXPECT_THROW(FPART_REQUIRE(false, "x"), std::runtime_error);
+  EXPECT_THROW(FPART_ASSERT(false), Error);
+  EXPECT_THROW(FPART_ASSERT(false), std::runtime_error);
+}
+
+TEST(AssertTest, TypedRequireMacrosThrowTheirSubtype) {
+  EXPECT_THROW(FPART_PARSE_REQUIRE(false, "x"), ParseError);
+  EXPECT_THROW(FPART_OPTION_REQUIRE(false, "x"), OptionError);
+  EXPECT_THROW(FPART_CAPACITY_REQUIRE(false, "x"), CapacityError);
+  // Every typed input error is still a PreconditionError, so existing
+  // catch sites keep working.
+  EXPECT_THROW(FPART_PARSE_REQUIRE(false, "x"), PreconditionError);
+  EXPECT_THROW(FPART_OPTION_REQUIRE(false, "x"), PreconditionError);
+  EXPECT_THROW(FPART_CAPACITY_REQUIRE(false, "x"), PreconditionError);
+}
+
+TEST(AssertTest, ErrorKindClassifiesTheTaxonomy) {
+  EXPECT_STREQ(error_kind(ParseError("p")), "parse");
+  EXPECT_STREQ(error_kind(OptionError("o")), "option");
+  EXPECT_STREQ(error_kind(CapacityError("c")), "capacity");
+  EXPECT_STREQ(error_kind(PreconditionError("q")), "precondition");
+  EXPECT_STREQ(error_kind(InternalError("i")), "internal");
+  EXPECT_STREQ(error_kind(std::runtime_error("r")), "unknown");
+}
+
+TEST(AssertTest, InternalErrorIsNotAPreconditionError) {
+  // The input side and the engine-bug side of the taxonomy are
+  // disjoint: catching PreconditionError must not swallow engine bugs.
+  try {
+    FPART_ASSERT(false);
+    FAIL() << "expected throw";
+  } catch (const PreconditionError&) {
+    FAIL() << "InternalError must not be a PreconditionError";
+  } catch (const InternalError&) {
+    SUCCEED();
+  }
 }
 
 // --- Rng ------------------------------------------------------------------
@@ -252,6 +288,26 @@ TEST(CliTest, BooleanSwitch) {
   EXPECT_TRUE(cli.get_bool("verbose"));
 }
 
+TEST(CliTest, SwitchDoesNotConsumeFollowingPositional) {
+  // Regression: `--verbose input.hgr` used to swallow the positional as
+  // the switch's value, so the input file silently disappeared.
+  CliParser cli;
+  cli.add_switch("verbose", "switch");
+  auto args = argv_of({"prog", "--verbose", "input.hgr"});
+  ASSERT_TRUE(cli.parse(static_cast<int>(args.size()), args.data()));
+  EXPECT_TRUE(cli.get_bool("verbose"));
+  EXPECT_EQ(cli.positional(), (std::vector<std::string>{"input.hgr"}));
+}
+
+TEST(CliTest, SwitchStillAcceptsExplicitValue) {
+  CliParser cli;
+  cli.add_switch("audit", "switch");
+  auto args = argv_of({"prog", "--audit=false", "a.hgr"});
+  ASSERT_TRUE(cli.parse(static_cast<int>(args.size()), args.data()));
+  EXPECT_FALSE(cli.get_bool("audit"));
+  EXPECT_EQ(cli.positional(), (std::vector<std::string>{"a.hgr"}));
+}
+
 TEST(CliTest, DefaultsApplyWhenUnset) {
   CliParser cli;
   cli.add_flag("device", "device", "XC3020");
@@ -282,9 +338,27 @@ TEST(CliTest, NumericParsingErrors) {
   cli.add_flag("n", "n");
   auto args = argv_of({"prog", "--n=abc"});
   ASSERT_TRUE(cli.parse(static_cast<int>(args.size()), args.data()));
-  EXPECT_THROW(cli.get_int("n"), PreconditionError);
-  EXPECT_THROW(cli.get_double("n"), std::exception);
-  EXPECT_THROW(cli.get_bool("n"), PreconditionError);
+  EXPECT_THROW(cli.get_int("n"), ParseError);
+  EXPECT_THROW(cli.get_double("n"), ParseError);
+  EXPECT_THROW(cli.get_bool("n"), ParseError);
+}
+
+TEST(CliTest, DoubleParsingRejectsGarbageAsParseError) {
+  // Regression: get_double used std::stod, which leaked raw
+  // std::invalid_argument / std::out_of_range past the fpart taxonomy.
+  for (const char* bad : {"", "abc", "1.5x", "nope", "1e999999"}) {
+    CliParser cli;
+    cli.add_flag("f", "f", bad);
+    try {
+      (void)cli.get_double("f");
+      FAIL() << "expected ParseError for '" << bad << "'";
+    } catch (const ParseError&) {
+      SUCCEED();
+    } catch (const std::exception& e) {
+      FAIL() << "expected ParseError for '" << bad << "', got "
+             << error_kind(e) << ": " << e.what();
+    }
+  }
 }
 
 TEST(CliTest, DoubleParsing) {

@@ -27,6 +27,7 @@
 #include "obs/phase.hpp"
 #include "obs/recorder.hpp"
 #include "obs/stats.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 #include "partition/audit.hpp"
 #include "partition/verify.hpp"
@@ -170,6 +171,12 @@ int run_portfolio_partition(const CliParser& cli, const Hypergraph& h,
     popt.base.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
   }
   if (want_events) popt.events_prefix = cli.get("events");
+  const bool want_ts = cli.has("timeseries");
+  if (want_ts) {
+    popt.timeseries = true;
+    popt.timeseries_config.move_interval =
+        static_cast<std::uint32_t>(cli.get_int("sample-moves"));
+  }
 
   const runtime::PortfolioResult pr = run_portfolio(h, device, popt);
   const PartitionResult& r = pr.best;
@@ -197,6 +204,17 @@ int run_portfolio_partition(const CliParser& cli, const Hypergraph& h,
                 "winner copied to %s\n",
                 pr.counted, cli.get("events").c_str(),
                 cli.get("events").c_str());
+  }
+  if (want_ts) {
+    // The winner's series doubles as the run's --timeseries file, the
+    // same convention as the --events winner copy.
+    const obs::TimeSeriesDoc& series = pr.attempts[pr.winner].series;
+    std::ofstream os(cli.get("timeseries"));
+    FPART_REQUIRE(os.good(), "cannot write " + cli.get("timeseries"));
+    os << obs::timeseries_json(series) << '\n';
+    std::printf("timeseries written to %s (winner attempt %u, %zu samples)\n",
+                cli.get("timeseries").c_str(), pr.winner,
+                series.samples.size());
   }
   if (cli.has("stats-json")) {
     RunMeta meta;
@@ -264,6 +282,13 @@ int cmd_partition(const CliParser& cli) {
     obs::Recorder::instance().start(
         make_event_log_header(h, device, run_options, method));
   }
+  const bool want_ts = cli.has("timeseries");
+  if (want_ts) {
+    obs::TimeSeriesConfig ts_config;
+    ts_config.move_interval =
+        static_cast<std::uint32_t>(cli.get_int("sample-moves"));
+    obs::TimeSeries::instance().start(ts_config);
+  }
 
   SolveRequest req;
   try {
@@ -289,6 +314,17 @@ int cmd_partition(const CliParser& cli) {
                 cli.get("events").c_str(),
                 static_cast<unsigned long long>(
                     obs::Recorder::instance().event_count()));
+  }
+  if (want_ts) {
+    obs::TimeSeries& series = obs::TimeSeries::instance();
+    series.stop();
+    std::ofstream os(cli.get("timeseries"));
+    FPART_REQUIRE(os.good(), "cannot write " + cli.get("timeseries"));
+    os << obs::timeseries_json(series.doc()) << '\n';
+    std::printf("timeseries written to %s (%llu samples, %llu dropped)\n",
+                cli.get("timeseries").c_str(),
+                static_cast<unsigned long long>(series.total_samples()),
+                static_cast<unsigned long long>(series.dropped()));
   }
   if (want_stats) {
     RunMeta meta;
@@ -377,6 +413,11 @@ int main(int argc, char** argv) {
   cli.add_flag("stats-json", "write a fpart-run-report/1 JSON file", "");
   cli.add_flag("trace", "write a Chrome trace_event JSON file", "");
   cli.add_flag("events", "write a fpart-events/1 JSONL event log", "");
+  cli.add_flag("timeseries",
+               "write a fpart-timeseries/1 convergence series JSON file", "");
+  cli.add_flag("sample-moves",
+               "timeseries: extra window sample every N moves (0 = off)",
+               "0");
   cli.add_switch("audit", "recompute invariants at every pass boundary");
   if (!cli.parse(argc, argv) || cli.positional().size() != 1) {
     std::fprintf(stderr,

@@ -6,6 +6,7 @@
 #include "fm/gain_bucket.hpp"
 #include "fm/gains.hpp"
 #include "fm/repair.hpp"
+#include "obs/timeseries.hpp"
 #include "partition/partition.hpp"
 #include "util/assert.hpp"
 #include "util/timer.hpp"
@@ -102,6 +103,12 @@ PartitionResult KwayxPartitioner::run(const Hypergraph& h,
            SizeWindow{0.0, std::numeric_limits<double>::infinity()});
 
     shrink_to_feasible(p, device, pk, kRem);
+
+    if (obs::timeseries_enabled()) {
+      obs::sample_point(obs::SampleKind::kPass, obs::Engine::kKwayx,
+                        iterations, p.cut_size(), p.cut_size(),
+                        p.count_feasible(device), p.num_blocks(), 0, 0, 0);
+    }
   }
   PartitionResult r = summarize_partition(p, device, m, iterations,
                                           timer.elapsed_seconds(),

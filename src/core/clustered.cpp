@@ -4,6 +4,7 @@
 #include <array>
 #include <vector>
 
+#include "obs/timeseries.hpp"
 #include "partition/evaluator.hpp"
 #include "sanchis/refiner.hpp"
 #include "util/assert.hpp"
@@ -84,7 +85,9 @@ PartitionResult ClusteredFpartPartitioner::run(const Hypergraph& h,
   // Phase 2/3: project level by level, refining after each expansion
   // (feasibility transfers exactly under projection — coarsen.hpp).
   std::vector<BlockId> assignment = coarse_result.assignment;
+  std::uint32_t level_idx = 0;
   for (auto it = ladder.rbegin(); it != ladder.rend(); ++it) {
+    ++level_idx;
     assignment = it->project(assignment);
     // The projected assignment refers to this coarsening's fine side:
     // the original circuit for the first (outermost) coarsening, else
@@ -95,6 +98,11 @@ PartitionResult ClusteredFpartPartitioner::run(const Hypergraph& h,
     FPART_ASSERT(p.classify(device) == FeasibilityClass::kFeasible);
     detail::clustered_refine_level(p, device, m, options_);
     ++iterations;
+    if (obs::timeseries_enabled()) {
+      obs::sample_point(obs::SampleKind::kPass, obs::Engine::kClustered,
+                        level_idx, p.cut_size(), p.cut_size(),
+                        p.count_feasible(device), p.num_blocks(), 0, 0, 0);
+    }
     assignment = p.snapshot().assignment;
   }
 

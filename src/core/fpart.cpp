@@ -8,6 +8,7 @@
 #include "obs/phase.hpp"
 #include "obs/recorder.hpp"
 #include "obs/stats.hpp"
+#include "obs/timeseries.hpp"
 #include "util/rng.hpp"
 #include "partition/audit.hpp"
 #include "partition/evaluator.hpp"
@@ -123,6 +124,11 @@ PartitionResult FpartPartitioner::run(const Hypergraph& h,
     FPART_COUNTER_INC("fpart.iterations");
     FPART_HISTOGRAM_RECORD("fpart.remainder_size", p.block_size(kRem));
     FPART_HISTOGRAM_RECORD("fpart.remainder_pins", p.block_pins(kRem));
+    if (obs::timeseries_enabled()) {
+      obs::sample_point(obs::SampleKind::kPass, obs::Engine::kFpart,
+                        iterations + 1, p.cut_size(), p.cut_size(),
+                        p.count_feasible(device), p.num_blocks(), 0, 0, 0);
+    }
 
     if (++iterations > cap) {
       // Safety fallback: pure constructive peeling terminates because

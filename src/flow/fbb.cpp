@@ -10,6 +10,7 @@
 #include "obs/phase.hpp"
 #include "obs/recorder.hpp"
 #include "obs/stats.hpp"
+#include "obs/timeseries.hpp"
 #include "partition/audit.hpp"
 #include "partition/partition.hpp"
 #include "util/assert.hpp"
@@ -305,6 +306,11 @@ PartitionResult FbbPartitioner::run(const Hypergraph& h,
       obs::record_event(obs::EventKind::kFeasibility, obs::Engine::kFbb,
                         static_cast<std::uint32_t>(p.classify(device)),
                         p.count_feasible(device), p.num_blocks());
+    }
+    if (obs::timeseries_enabled()) {
+      obs::sample_point(obs::SampleKind::kPass, obs::Engine::kFbb,
+                        iterations, p.cut_size(), p.cut_size(),
+                        p.count_feasible(device), p.num_blocks(), 0, 0, 0);
     }
     if (audit_enabled()) audit_partition(p, "fbb.peel");
   }

@@ -7,6 +7,7 @@
 #include "obs/phase.hpp"
 #include "obs/recorder.hpp"
 #include "obs/stats.hpp"
+#include "obs/timeseries.hpp"
 #include "partition/audit.hpp"
 #include "util/assert.hpp"
 
@@ -175,6 +176,15 @@ bool FmBipartitioner::pass(const SizeWindow& wa, const SizeWindow& wb,
       best_cut = p_.cut_size();
       best_len = log.size();
     }
+
+    if (obs::timeseries_enabled() &&
+        obs::TimeSeries::instance().should_sample_move()) {
+      obs::sample_point(
+          obs::SampleKind::kWindow, obs::Engine::kFm, result.passes,
+          p_.cut_size(), best_cut, 0, p_.num_blocks(),
+          static_cast<std::uint32_t>(log.size()), 0,
+          static_cast<std::uint32_t>(to_a.size() + to_b.size()));
+    }
   }
 
   if (audit_enabled()) {
@@ -223,6 +233,11 @@ bool FmBipartitioner::pass(const SizeWindow& wa, const SizeWindow& wb,
                     static_cast<std::uint32_t>(log.size()),
                     static_cast<std::uint32_t>(log.size() - best_len),
                     best_cut < start_cut ? 1 : 0, obs::kNoGain, best_cut);
+  obs::sample_point(obs::SampleKind::kPass, obs::Engine::kFm, result.passes,
+                    p_.cut_size(), best_cut, 0, p_.num_blocks(),
+                    static_cast<std::uint32_t>(log.size()),
+                    static_cast<std::uint32_t>(log.size() - best_len),
+                    static_cast<std::uint32_t>(to_a.size() + to_b.size()));
   if (audit_enabled()) audit_partition(p_, "fm.pass");
   return best_cut < start_cut;
 }

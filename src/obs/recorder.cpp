@@ -72,8 +72,9 @@ constexpr KindSpec kKindSpecs[] = {
      nullptr, "rem_size"},
 };
 
-constexpr const char* kEngineNames[] = {"none",  "fm",    "sanchis",
-                                        "fbb",   "fpart", "repair"};
+constexpr const char* kEngineNames[] = {"none",  "fm",     "sanchis",
+                                        "fbb",   "fpart",  "repair",
+                                        "kwayx", "clustered"};
 
 const KindSpec& spec_of(EventKind kind) {
   for (const KindSpec& s : kKindSpecs) {

@@ -65,6 +65,8 @@ enum class Engine : std::uint8_t {
   kFbb,
   kFpart,
   kRepair,
+  kKwayx,      // greedy k-way baseline (timeseries samples only)
+  kClustered,  // clustered multilevel driver (timeseries samples only)
 };
 
 /// Gain sentinel for moves whose driver did not stage a gain

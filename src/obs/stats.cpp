@@ -1,6 +1,8 @@
 #include "obs/stats.hpp"
 
+#include <algorithm>
 #include <bit>
+#include <cmath>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -72,6 +74,49 @@ void Histogram::reset() {
   min_.store(0, std::memory_order_relaxed);
   max_.store(0, std::memory_order_relaxed);
   for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+}
+
+double histogram_quantile(const HistogramSnapshot& h, double q) {
+  if (h.count == 0 || h.buckets.empty()) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+
+  // Nearest-rank: the smallest rank r (1-based) with q*count <= r.
+  std::uint64_t rank = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(h.count)));
+  if (rank == 0) rank = 1;
+  if (rank > h.count) rank = h.count;
+
+  std::uint64_t cum = 0;
+  for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+    const std::uint64_t in_bucket = h.buckets[b];
+    if (in_bucket == 0 || cum + in_bucket < rank) {
+      cum += in_bucket;
+      continue;
+    }
+    // Value range covered by bucket b (see bucket_index): bucket 0 is
+    // v <= 0, bucket i in [1, last) is [2^(i-1), 2^i - 1], and the last
+    // bucket saturates upward.
+    double lo, hi;
+    if (b == 0) {
+      lo = std::min<double>(static_cast<double>(h.min), 0.0);
+      hi = 0.0;
+    } else {
+      lo = std::ldexp(1.0, static_cast<int>(b) - 1);
+      hi = std::ldexp(1.0, static_cast<int>(b)) - 1.0;
+      if (b + 1 == h.buckets.size()) {
+        hi = std::max(lo, static_cast<double>(h.max));
+      }
+    }
+    const double frac = static_cast<double>(rank - cum) /
+                        static_cast<double>(in_bucket);
+    double v = lo + frac * (hi - lo);
+    // The exact extrema are known; never report outside them.
+    v = std::max(v, static_cast<double>(h.min));
+    v = std::min(v, static_cast<double>(h.max));
+    return v;
+  }
+  return static_cast<double>(h.max);
 }
 
 struct StatsRegistry::Impl {

@@ -92,6 +92,13 @@ struct HistogramSnapshot {
   std::vector<std::uint64_t> buckets;
 };
 
+/// Quantile estimate (q in [0,1]) from a histogram snapshot's
+/// power-of-two buckets: nearest-rank selection of the bucket, linear
+/// interpolation across the bucket's value range, clamped to the exact
+/// recorded [min, max]. Deterministic; 0 for an empty histogram. Run
+/// reports emit p50/p90/p99 through this.
+double histogram_quantile(const HistogramSnapshot& h, double q);
+
 /// The process-wide registry. Lookup is mutex-guarded; returned
 /// references stay valid for the process lifetime, so call sites cache
 /// them (the FPART_COUNTER_* macros do this automatically).

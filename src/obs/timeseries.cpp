@@ -1,0 +1,247 @@
+#include "obs/timeseries.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "obs/json.hpp"
+#include "util/assert.hpp"
+
+namespace fpart::obs {
+
+namespace detail {
+thread_local bool t_timeseries_enabled = false;
+thread_local TimeSeries* t_current_timeseries = nullptr;
+}  // namespace detail
+
+TimeSeries* install_timeseries(TimeSeries* ts) {
+  TimeSeries* prev = detail::t_current_timeseries;
+  detail::t_current_timeseries = ts;
+  return prev;
+}
+
+TimeSeries& TimeSeries::instance() {
+  if (detail::t_current_timeseries != nullptr) {
+    return *detail::t_current_timeseries;
+  }
+  static TimeSeries* series = new TimeSeries();  // leaked: process lifetime
+  return *series;
+}
+
+void TimeSeries::start(TimeSeriesConfig config) {
+  config_ = config;
+  if (config_.capacity == 0) config_.capacity = 1;
+  ring_.assign(config_.capacity, Sample{});
+  total_ = 0;
+  moves_since_window_ = 0;
+  start_time_ = std::chrono::steady_clock::now();
+  detail::t_timeseries_enabled = true;
+}
+
+void TimeSeries::stop() { detail::t_timeseries_enabled = false; }
+
+void TimeSeries::reset() {
+  stop();
+  config_ = TimeSeriesConfig{};
+  ring_.assign(1, Sample{});
+  ring_.shrink_to_fit();
+  total_ = 0;
+  moves_since_window_ = 0;
+}
+
+std::vector<Sample> TimeSeries::snapshot() const {
+  const std::size_t n = size();
+  std::vector<Sample> out;
+  out.reserve(n);
+  // Oldest retained sample: where the next push would overwrite.
+  const std::size_t begin =
+      total_ > ring_.size()
+          ? static_cast<std::size_t>(total_ % ring_.size())
+          : 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(ring_[(begin + i) % ring_.size()]);
+  }
+  return out;
+}
+
+TimeSeriesDoc TimeSeries::doc() const {
+  TimeSeriesDoc d;
+  d.config = config_;
+  d.total = total_samples();
+  d.dropped = dropped();
+  d.samples = snapshot();
+  return d;
+}
+
+bool deterministic_equal(const Sample& a, const Sample& b) {
+  return a.kind == b.kind && a.engine == b.engine && a.pass == b.pass &&
+         a.cut == b.cut && a.best == b.best &&
+         a.feasible_blocks == b.feasible_blocks && a.blocks == b.blocks &&
+         a.moves == b.moves && a.rolled_back == b.rolled_back &&
+         a.occupancy == b.occupancy;
+}
+
+const char* sample_kind_name(SampleKind kind) {
+  return kind == SampleKind::kWindow ? "window" : "pass";
+}
+
+namespace {
+
+SampleKind parse_kind(const std::string& name, std::size_t index) {
+  if (name == "pass") return SampleKind::kPass;
+  if (name == "window") return SampleKind::kWindow;
+  FPART_REQUIRE(false, "timeseries sample " + std::to_string(index) +
+                           ": unknown kind '" + name + "'");
+  return SampleKind::kPass;  // unreachable
+}
+
+Engine parse_engine(const std::string& name, std::size_t index) {
+  if (name == "none") return Engine::kNone;
+  for (int i = 1; i < 16; ++i) {
+    const Engine e = static_cast<Engine>(i);
+    const std::string_view n = engine_name(e);
+    if (n == "none") break;  // past the last named engine
+    if (name == n) return e;
+  }
+  FPART_REQUIRE(false, "timeseries sample " + std::to_string(index) +
+                           ": unknown engine '" + name + "'");
+  return Engine::kNone;  // unreachable
+}
+
+std::uint64_t require_u64(const JsonValue& obj, const char* key,
+                          std::size_t index) {
+  const JsonValue* v = obj.find(key);
+  FPART_REQUIRE(v != nullptr && v->is_number(),
+                "timeseries sample " + std::to_string(index) +
+                    ": missing numeric key '" + key + "'");
+  return v->as_u64();
+}
+
+}  // namespace
+
+std::string timeseries_json(const TimeSeriesDoc& doc, bool include_timing) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("schema");
+  w.value(kTimeSeriesSchema);
+  w.key("capacity");
+  w.value(static_cast<std::uint64_t>(doc.config.capacity));
+  w.key("move_interval");
+  w.value(doc.config.move_interval);
+  w.key("total_samples");
+  w.value(doc.total);
+  w.key("dropped");
+  w.value(doc.dropped);
+  w.key("samples");
+  w.begin_array();
+  for (const Sample& s : doc.samples) {
+    w.begin_object();
+    w.key("kind");
+    w.value(sample_kind_name(s.kind));
+    w.key("engine");
+    w.value(engine_name(s.engine));
+    w.key("pass");
+    w.value(s.pass);
+    w.key("cut");
+    w.value(s.cut);
+    w.key("best");
+    w.value(s.best);
+    w.key("feasible_blocks");
+    w.value(s.feasible_blocks);
+    w.key("blocks");
+    w.value(s.blocks);
+    w.key("moves");
+    w.value(s.moves);
+    w.key("rolled_back");
+    w.value(s.rolled_back);
+    w.key("occupancy");
+    w.value(s.occupancy);
+    if (include_timing) {
+      w.key("seconds");
+      w.value(s.seconds);
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.take();
+}
+
+TimeSeriesDoc parse_timeseries(const std::string& text) {
+  const auto parsed = json_parse(text);
+  FPART_REQUIRE(parsed.has_value(), "timeseries document: invalid JSON");
+  const JsonValue* doc = &*parsed;
+  FPART_REQUIRE(doc->is_object(), "timeseries document: not an object");
+
+  // Accept a whole run report: dig out its "timeseries" section.
+  const JsonValue* schema = doc->find("schema");
+  if (schema != nullptr && schema->is_string() &&
+      schema->string != kTimeSeriesSchema) {
+    const JsonValue* section = doc->find("timeseries");
+    FPART_REQUIRE(section != nullptr && section->is_object(),
+                  "document has schema '" + schema->string +
+                      "' and no timeseries section");
+    doc = section;
+    schema = doc->find("schema");
+  }
+  FPART_REQUIRE(schema != nullptr && schema->is_string() &&
+                    schema->string == kTimeSeriesSchema,
+                "unsupported timeseries schema (want " +
+                    std::string(kTimeSeriesSchema) + ")");
+
+  TimeSeriesDoc out;
+  out.config.capacity =
+      static_cast<std::size_t>(require_u64(*doc, "capacity", 0));
+  out.config.move_interval =
+      static_cast<std::uint32_t>(require_u64(*doc, "move_interval", 0));
+  out.total = require_u64(*doc, "total_samples", 0);
+  out.dropped = require_u64(*doc, "dropped", 0);
+
+  const JsonValue* samples = doc->find("samples");
+  FPART_REQUIRE(samples != nullptr && samples->is_array(),
+                "timeseries document: missing samples array");
+  out.samples.reserve(samples->array.size());
+  for (std::size_t i = 0; i < samples->array.size(); ++i) {
+    const JsonValue& sj = samples->array[i];
+    FPART_REQUIRE(sj.is_object(),
+                  "timeseries sample " + std::to_string(i) +
+                      ": not an object");
+    Sample s;
+    const JsonValue* kind = sj.find("kind");
+    FPART_REQUIRE(kind != nullptr && kind->is_string(),
+                  "timeseries sample " + std::to_string(i) +
+                      ": missing kind");
+    s.kind = parse_kind(kind->string, i);
+    const JsonValue* engine = sj.find("engine");
+    FPART_REQUIRE(engine != nullptr && engine->is_string(),
+                  "timeseries sample " + std::to_string(i) +
+                      ": missing engine");
+    s.engine = parse_engine(engine->string, i);
+    s.pass = static_cast<std::uint32_t>(require_u64(sj, "pass", i));
+    s.cut = require_u64(sj, "cut", i);
+    s.best = require_u64(sj, "best", i);
+    s.feasible_blocks =
+        static_cast<std::uint32_t>(require_u64(sj, "feasible_blocks", i));
+    s.blocks = static_cast<std::uint32_t>(require_u64(sj, "blocks", i));
+    s.moves = static_cast<std::uint32_t>(require_u64(sj, "moves", i));
+    s.rolled_back =
+        static_cast<std::uint32_t>(require_u64(sj, "rolled_back", i));
+    s.occupancy =
+        static_cast<std::uint32_t>(require_u64(sj, "occupancy", i));
+    if (const JsonValue* sec = sj.find("seconds");
+        sec != nullptr && sec->is_number()) {
+      s.seconds = sec->number;
+    }
+    out.samples.push_back(s);
+  }
+  return out;
+}
+
+TimeSeriesDoc read_timeseries(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  FPART_REQUIRE(is.good(), "cannot read timeseries file " + path);
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  return parse_timeseries(buf.str());
+}
+
+}  // namespace fpart::obs

@@ -1,0 +1,234 @@
+// Convergence telemetry time-series: a pre-sized ring-buffer sampler
+// that captures how each engine converges — per-pass samples at every
+// FM/Sanchis/FBB/kwayx/clustered pass boundary, plus optional
+// per-N-moves "window" samples inside the FM and Sanchis move loops.
+//
+// Each sample is a small POD (cut, best metric, feasible-block count,
+// gain-bucket occupancy, moves, rollback depth, elapsed seconds); the
+// series serializes as a versioned `fpart-timeseries/1` JSON document,
+// embedded in run reports and rendered by `fpart_inspect convergence`.
+//
+// Overhead discipline matches the flight recorder: when disabled, a
+// sample is one thread-local bool load and a predictable branch; when
+// enabled it is a store into a pre-sized ring (no allocation, no
+// atomics, no formatting on the hot path). The ring never grows: once
+// full, new samples overwrite the oldest and `dropped()` counts the
+// overwritten ones, so capacity bounds memory for arbitrarily long runs.
+//
+// Sampling is strictly per-thread — "lock-free" because each series has
+// exactly one writer. instance() resolves to the calling thread's
+// installed series (install_timeseries / ScopedTimeSeriesInstall),
+// falling back to a process-wide default, so parallel portfolio
+// attempts each collect a private convergence curve exactly like they
+// keep private event logs. See docs/OBSERVABILITY.md.
+//
+// Determinism contract: every sample field except `seconds` is a pure
+// function of the partitioning run (same seed -> identical values), and
+// serialization can exclude the timing field (include_timing=false) so
+// byte-identical comparison of same-seed series is testable. The
+// sampler only reads partition state; enabling it cannot perturb
+// results, event logs, or digests.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/recorder.hpp"  // obs::Engine
+
+namespace fpart::obs {
+
+inline constexpr const char* kTimeSeriesSchema = "fpart-timeseries/1";
+
+/// When the sample was taken: at a pass/iteration boundary, or inside a
+/// move loop every `move_interval` moves (a "window" sample).
+enum class SampleKind : std::uint8_t {
+  kPass = 0,
+  kWindow,
+};
+
+/// One point on a convergence curve. All fields except `seconds` are
+/// deterministic for a fixed seed.
+struct Sample {
+  SampleKind kind = SampleKind::kPass;
+  Engine engine = Engine::kNone;
+  std::uint32_t pass = 0;             // 1-based pass / iteration index
+  std::uint64_t cut = 0;              // current cut size
+  std::uint64_t best = 0;             // best metric so far (engine units)
+  std::uint32_t feasible_blocks = 0;  // 0 when the engine has no device
+  std::uint32_t blocks = 0;           // current block count k
+  std::uint32_t moves = 0;            // moves attempted this pass so far
+  std::uint32_t rolled_back = 0;      // moves undone by rollback-to-best
+  std::uint32_t occupancy = 0;        // total gain-bucket entries
+  double seconds = 0.0;               // elapsed since start() (wall)
+};
+
+/// Field-wise equality over the deterministic fields (ignores seconds).
+bool deterministic_equal(const Sample& a, const Sample& b);
+
+struct TimeSeriesConfig {
+  /// Ring capacity in samples; the buffer is pre-sized at start() and
+  /// never reallocates afterwards.
+  std::size_t capacity = 4096;
+  /// Take a window sample every N attempted moves inside FM/Sanchis
+  /// move loops; 0 disables window sampling (pass samples only).
+  std::uint32_t move_interval = 0;
+};
+
+/// A materialized series: what serializes, parses and travels across
+/// threads (portfolio attempts hand one of these back to the driver).
+struct TimeSeriesDoc {
+  TimeSeriesConfig config;
+  std::uint64_t total = 0;    // samples taken, including overwritten
+  std::uint64_t dropped = 0;  // samples overwritten by ring wrap
+  std::vector<Sample> samples;  // chronological, oldest first
+};
+
+class TimeSeries;
+
+namespace detail {
+// Per-thread sampler state, mirroring the recorder: an enabled latch
+// plus an optionally installed series, so concurrent portfolio attempts
+// write disjoint rings with no synchronization.
+extern thread_local bool t_timeseries_enabled;
+extern thread_local TimeSeries* t_current_timeseries;
+}  // namespace detail
+
+/// True while the calling thread's sampler captures samples.
+inline bool timeseries_enabled() { return detail::t_timeseries_enabled; }
+
+/// Installs `ts` as the calling thread's series — TimeSeries::instance()
+/// returns it until uninstalled. Returns the previously installed
+/// series (nullptr = the process-wide default). Does not change the
+/// thread's enabled latch; call start()/stop() on the series itself.
+TimeSeries* install_timeseries(TimeSeries* ts);
+
+/// The ring-buffer sampler. Single writer (the installing thread);
+/// start() pre-sizes the ring, push() overwrites the oldest sample once
+/// the ring is full.
+class TimeSeries {
+ public:
+  TimeSeries() = default;
+
+  static TimeSeries& instance();
+
+  /// Pre-sizes the ring, clears prior samples, starts the wall clock and
+  /// enables sampling on the calling thread. capacity is clamped to >=1.
+  void start(TimeSeriesConfig config = {});
+
+  /// Disables sampling; the collected series stays readable until the
+  /// next start() or reset().
+  void stop();
+
+  /// Drops everything and disables sampling.
+  void reset();
+
+  /// Appends one sample, stamping its `seconds` field. No-op unless the
+  /// calling thread's sampler is enabled. Hot path: one branch + one
+  /// POD store into the pre-sized ring.
+  void push(Sample s) {
+    if (!timeseries_enabled()) return;
+    s.seconds = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - start_time_)
+                    .count();
+    ring_[static_cast<std::size_t>(total_ % ring_.size())] = s;
+    ++total_;
+  }
+
+  /// Move-window pacing for the engines' inner loops: returns true on
+  /// every `move_interval`-th call, never when window sampling is off.
+  bool should_sample_move() {
+    if (config_.move_interval == 0) return false;
+    if (++moves_since_window_ < config_.move_interval) return false;
+    moves_since_window_ = 0;
+    return true;
+  }
+
+  const TimeSeriesConfig& config() const { return config_; }
+  /// Samples taken, including ones already overwritten by ring wrap.
+  std::uint64_t total_samples() const { return total_; }
+  std::uint64_t dropped() const {
+    return total_ > ring_.size() ? total_ - ring_.size() : 0;
+  }
+  /// Samples currently retained in the ring.
+  std::size_t size() const {
+    return static_cast<std::size_t>(
+        total_ < ring_.size() ? total_ : ring_.size());
+  }
+
+  /// Chronological copy (oldest retained sample first).
+  std::vector<Sample> snapshot() const;
+
+  /// The series as a plain document (config + counts + snapshot()).
+  TimeSeriesDoc doc() const;
+
+ private:
+  TimeSeriesConfig config_;
+  std::vector<Sample> ring_{Sample{}};  // never empty: push() can't div-0
+  std::uint64_t total_ = 0;
+  std::uint32_t moves_since_window_ = 0;
+  std::chrono::steady_clock::time_point start_time_{};
+};
+
+/// RAII: installs `ts` for the calling thread and parks the thread's
+/// enabled latch; destruction restores both. The portfolio engine wraps
+/// each attempt in one of these so per-attempt series cannot bleed into
+/// each other even when attempts share a worker thread.
+class ScopedTimeSeriesInstall {
+ public:
+  explicit ScopedTimeSeriesInstall(TimeSeries* ts)
+      : prev_(install_timeseries(ts)),
+        prev_enabled_(detail::t_timeseries_enabled) {
+    detail::t_timeseries_enabled = false;
+  }
+  ~ScopedTimeSeriesInstall() {
+    detail::t_timeseries_enabled = prev_enabled_;
+    install_timeseries(prev_);
+  }
+  ScopedTimeSeriesInstall(const ScopedTimeSeriesInstall&) = delete;
+  ScopedTimeSeriesInstall& operator=(const ScopedTimeSeriesInstall&) =
+      delete;
+
+ private:
+  TimeSeries* prev_;
+  bool prev_enabled_;
+};
+
+/// Convenience for engine call sites: push one sample when enabled.
+inline void sample_point(SampleKind kind, Engine engine, std::uint32_t pass,
+                         std::uint64_t cut, std::uint64_t best,
+                         std::uint32_t feasible_blocks, std::uint32_t blocks,
+                         std::uint32_t moves, std::uint32_t rolled_back,
+                         std::uint32_t occupancy) {
+  if (!timeseries_enabled()) return;
+  Sample s;
+  s.kind = kind;
+  s.engine = engine;
+  s.pass = pass;
+  s.cut = cut;
+  s.best = best;
+  s.feasible_blocks = feasible_blocks;
+  s.blocks = blocks;
+  s.moves = moves;
+  s.rolled_back = rolled_back;
+  s.occupancy = occupancy;
+  TimeSeries::instance().push(s);
+}
+
+/// Human-readable kind name ("pass", "window").
+const char* sample_kind_name(SampleKind kind);
+
+/// Serializes a series as an fpart-timeseries/1 JSON document.
+/// include_timing=false omits the non-deterministic `seconds` field so
+/// same-seed runs serialize byte-identically.
+std::string timeseries_json(const TimeSeriesDoc& doc,
+                            bool include_timing = true);
+
+/// Parses an fpart-timeseries/1 document — either a standalone file or
+/// a run report containing a "timeseries" section. Throws
+/// PreconditionError on malformed input.
+TimeSeriesDoc parse_timeseries(const std::string& text);
+TimeSeriesDoc read_timeseries(const std::string& path);
+
+}  // namespace fpart::obs

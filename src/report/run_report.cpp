@@ -5,6 +5,7 @@
 #include "obs/json.hpp"
 #include "obs/phase.hpp"
 #include "obs/stats.hpp"
+#include "obs/timeseries.hpp"
 #include "util/assert.hpp"
 
 namespace fpart {
@@ -96,6 +97,12 @@ void write_registry(JsonWriter& w) {
     w.value(h.count == 0
                 ? 0.0
                 : static_cast<double>(h.sum) / static_cast<double>(h.count));
+    w.key("p50");
+    w.value(obs::histogram_quantile(h, 0.50));
+    w.key("p90");
+    w.value(obs::histogram_quantile(h, 0.90));
+    w.key("p99");
+    w.value(obs::histogram_quantile(h, 0.99));
     w.key("buckets");
     w.begin_array();
     for (const std::uint64_t b : h.buckets) w.value(b);
@@ -150,6 +157,13 @@ std::string run_report_json(const RunMeta& meta, const PartitionResult& r) {
   write_result(w, r);
   write_registry(w);
   write_phases(w);
+  // Convergence telemetry rides along when the calling thread's sampler
+  // collected anything (absence means "sampling was off").
+  const obs::TimeSeries& series = obs::TimeSeries::instance();
+  if (series.size() > 0) {
+    w.key("timeseries");
+    w.raw_value(obs::timeseries_json(series.doc()));
+  }
   w.end_object();
   return w.take();
 }

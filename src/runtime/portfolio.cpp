@@ -5,6 +5,7 @@
 #include <fstream>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <utility>
 
 #include "core/solve.hpp"
@@ -125,8 +126,18 @@ PortfolioResult run_portfolio(const Hypergraph& h, const Device& device,
         }
       }
       PartitionResult r;
+      obs::TimeSeriesDoc series;
       std::exception_ptr error;
       try {
+        // Per-attempt convergence series: installed thread-locally like
+        // the recorder so a shared worker thread cannot mix samples from
+        // different attempts.
+        obs::TimeSeries sampler;
+        std::optional<obs::ScopedTimeSeriesInstall> ts_install;
+        if (opt.timeseries) {
+          ts_install.emplace(&sampler);
+          sampler.start(opt.timeseries_config);
+        }
         if (!opt.events_prefix.empty()) {
           recorders[i] = std::make_unique<obs::Recorder>();
           const obs::ScopedRecorderInstall install(recorders[i].get());
@@ -140,6 +151,10 @@ PortfolioResult run_portfolio(const Hypergraph& h, const Device& device,
         } else {
           r = run_portfolio_attempt(h, device, opt, out.attempts[i].seed,
                                     tokens[i].get());
+        }
+        if (opt.timeseries) {
+          sampler.stop();
+          series = sampler.doc();
         }
       } catch (...) {
         // Pool tasks must not throw; surface the failure to the blocked
@@ -159,6 +174,7 @@ PortfolioResult run_portfolio(const Hypergraph& h, const Device& device,
           for (std::uint32_t j = i + 1; j < n; ++j) tokens[j]->request();
         }
         out.attempts[i].result = std::move(r);
+        out.attempts[i].series = std::move(series);
       }
       ++done;
       done_cv.notify_all();
@@ -188,6 +204,7 @@ PortfolioResult run_portfolio(const Hypergraph& h, const Device& device,
       a.counted = false;
       a.cancelled = true;
       a.result = PartitionResult{};
+      a.series = obs::TimeSeriesDoc{};
       recorders[i].reset();
     }
   }

@@ -44,6 +44,7 @@
 #include "core/result.hpp"
 #include "device/device.hpp"
 #include "hypergraph/hypergraph.hpp"
+#include "obs/timeseries.hpp"
 #include "report/run_report.hpp"
 #include "runtime/thread_pool.hpp"
 
@@ -75,6 +76,12 @@ struct PortfolioOptions {
   /// When non-empty, counted attempts write flight-recorder logs to
   /// <events_prefix>.attempt<i>.jsonl.
   std::string events_prefix;
+
+  /// Collect a private convergence time-series per attempt (thread-local
+  /// sampler, same isolation contract as the flight recorder). Counted
+  /// attempts surface theirs in AttemptOutcome::series.
+  bool timeseries = false;
+  obs::TimeSeriesConfig timeseries_config;
 };
 
 struct AttemptOutcome {
@@ -94,6 +101,9 @@ struct AttemptOutcome {
   std::uint64_t assignment_digest = 0;
   /// Path of this attempt's event log ("" when not recorded).
   std::string events_path;
+  /// Per-attempt convergence series (empty unless opt.timeseries and the
+  /// attempt is counted — uncounted tails are scrubbed like results).
+  obs::TimeSeriesDoc series;
 };
 
 struct PortfolioResult {

@@ -9,6 +9,7 @@
 #include "obs/phase.hpp"
 #include "obs/recorder.hpp"
 #include "obs/stats.hpp"
+#include "obs/timeseries.hpp"
 #include "partition/audit.hpp"
 #include "util/assert.hpp"
 
@@ -221,8 +222,16 @@ bool MultiwayRefiner::pass(const MoveRegion& region, bool collect_stacks,
   const SolutionEval start = eval_.evaluate(p_, remainder_);
   SolutionEval best = start;
   std::size_t best_len = 0;
+  const std::uint32_t pass_idx = pass_seq_++;
   obs::record_event(obs::EventKind::kPassBegin, obs::Engine::kSanchis,
-                    pass_seq_++, 0, 0, obs::kNoGain, start.total_pins);
+                    pass_idx, 0, 0, obs::kNoGain, start.total_pins);
+  // Total live entries across the k x k gain-bucket matrix (each
+  // unlocked active cell appears once per destination block).
+  const auto bucket_occupancy = [this] {
+    std::size_t total = 0;
+    for (const auto& b : buckets_) total += b.size();
+    return static_cast<std::uint32_t>(total);
+  };
 
   init_buckets();
   std::vector<std::pair<NodeId, BlockId>> log;
@@ -280,6 +289,15 @@ bool MultiwayRefiner::pass(const MoveRegion& region, bool collect_stacks,
         break;
       }
     }
+
+    if (obs::timeseries_enabled() &&
+        obs::TimeSeries::instance().should_sample_move()) {
+      obs::sample_point(obs::SampleKind::kWindow, obs::Engine::kSanchis,
+                        pass_idx, p_.cut_size(), best.total_pins,
+                        cur.feasible_blocks, cur.num_blocks,
+                        static_cast<std::uint32_t>(log.size()), 0,
+                        bucket_occupancy());
+    }
   }
 
   if (audit_enabled()) audit_bucket_gains();
@@ -318,6 +336,11 @@ bool MultiwayRefiner::pass(const MoveRegion& region, bool collect_stacks,
                     static_cast<std::uint32_t>(log.size() - best_len),
                     best.better_than(start) ? 1 : 0, obs::kNoGain,
                     best.total_pins);
+  obs::sample_point(obs::SampleKind::kPass, obs::Engine::kSanchis, pass_idx,
+                    p_.cut_size(), best.total_pins, best.feasible_blocks,
+                    best.num_blocks, static_cast<std::uint32_t>(log.size()),
+                    static_cast<std::uint32_t>(log.size() - best_len),
+                    bucket_occupancy());
   if (audit_enabled()) audit_partition(p_, "sanchis.pass");
   return best.better_than(start);
 }

@@ -1,0 +1,95 @@
+// Overhead-budget gate for the observability hot paths: a run with the
+// flight recorder AND the convergence sampler enabled must stay within
+// a 10% wall-clock envelope of a plain run (plus a small absolute slack
+// so micro-fixtures cannot fail on scheduler jitter alone). This is the
+// enforcement of the "recording is cheap enough to leave on" claim in
+// docs/OBSERVABILITY.md — if an instrumentation change busts the
+// budget, this test names the bill.
+//
+// Skipped under sanitizers: ASan/TSan/UBSan inflate both sides by
+// different factors and the ratio stops meaning anything.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/fpart.hpp"
+#include "device/xilinx.hpp"
+#include "netlist/mcnc.hpp"
+#include "obs/recorder.hpp"
+#include "obs/timeseries.hpp"
+#include "report/run_report.hpp"
+#include "util/timer.hpp"
+
+namespace fpart {
+namespace {
+
+bool running_under_sanitizer() {
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+  return true;
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer) || \
+    __has_feature(memory_sanitizer)
+  return true;
+#else
+  return false;
+#endif
+#else
+  return false;
+#endif
+}
+
+TEST(ObsOverheadTest, RecordingAndSamplingStayWithinBudget) {
+  if (running_under_sanitizer()) {
+    GTEST_SKIP() << "timing envelope is meaningless under sanitizers";
+  }
+
+  const Device d = xilinx::xc3042();
+  // Medium fixture: large enough that the run is dominated by real
+  // search work (tens of milliseconds), small enough to repeat.
+  const Hypergraph h = mcnc::generate("s9234", d.family());
+  const Options opt;
+
+  // Best-of-N on both sides discards scheduler noise; the best
+  // observed time is the closest estimate of the true cost.
+  constexpr int kRepeats = 3;
+  const auto best_of = [](auto&& fn) {
+    double best = 1e9;
+    for (int i = 0; i < kRepeats; ++i) {
+      Timer t;
+      fn();
+      best = std::min(best, t.elapsed_seconds());
+    }
+    return best;
+  };
+
+  // Warm-up evens out first-touch effects (page faults, allocator).
+  (void)FpartPartitioner(opt).run(h, d);
+
+  const double plain = best_of([&] { (void)FpartPartitioner(opt).run(h, d); });
+
+  const double instrumented = best_of([&] {
+    obs::Recorder::instance().start(
+        make_event_log_header(h, d, opt, "fpart"));
+    obs::TimeSeriesConfig config;
+    config.move_interval = 16;
+    obs::TimeSeries::instance().start(config);
+    (void)FpartPartitioner(opt).run(h, d);
+    obs::TimeSeries::instance().stop();
+    obs::Recorder::instance().stop();
+    EXPECT_GT(obs::Recorder::instance().events().size(), 0u);
+    EXPECT_GT(obs::TimeSeries::instance().total_samples(), 0u);
+    obs::TimeSeries::instance().reset();
+    obs::Recorder::instance().reset();
+  });
+
+  // 10% relative envelope + 10ms absolute slack (sub-100ms fixtures
+  // would otherwise gate on timer granularity, not on instrumentation).
+  const double budget = plain * 1.10 + 0.010;
+  EXPECT_LE(instrumented, budget)
+      << "instrumented=" << instrumented << "s plain=" << plain
+      << "s — recording + sampling exceeded the 10% overhead envelope";
+}
+
+}  // namespace
+}  // namespace fpart

@@ -16,6 +16,7 @@
 #include "obs/json.hpp"
 #include "obs/phase.hpp"
 #include "obs/stats.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 #include "report/run_report.hpp"
 
@@ -119,6 +120,19 @@ TEST_F(ObsSchemaTest, RunReportIsParseableAndSchemaStable) {
   require(*remainder, "min", JsonValue::Type::kNumber);
   require(*remainder, "max", JsonValue::Type::kNumber);
   require(*remainder, "mean", JsonValue::Type::kNumber);
+  // Quantile summaries ride next to the raw buckets; being estimated
+  // from power-of-two buckets they are monotone and bounded by the
+  // recorded extremes.
+  const double p50 =
+      require(*remainder, "p50", JsonValue::Type::kNumber).number;
+  const double p90 =
+      require(*remainder, "p90", JsonValue::Type::kNumber).number;
+  const double p99 =
+      require(*remainder, "p99", JsonValue::Type::kNumber).number;
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p99);
+  EXPECT_GE(p50, require(*remainder, "min", JsonValue::Type::kNumber).number);
+  EXPECT_LE(p99, require(*remainder, "max", JsonValue::Type::kNumber).number);
   require(*remainder, "buckets", JsonValue::Type::kArray);
 
   // Phase tree: the root phase is the whole run and its wall time must
@@ -136,6 +150,63 @@ TEST_F(ObsSchemaTest, RunReportIsParseableAndSchemaStable) {
   EXPECT_LE(std::abs(root_wall - r.seconds),
             0.05 * r.seconds + 1e-4)
       << "root phase wall=" << root_wall << " vs result=" << r.seconds;
+}
+
+// With the global sampler running, the run report embeds a
+// fpart-timeseries/1 section; with it idle, the key is absent entirely
+// (absence means "sampling was off", not an empty series).
+TEST_F(ObsSchemaTest, RunReportEmbedsTimeSeriesWhenSampling) {
+  const Device d = xilinx::xc3042();
+  const Hypergraph h = mcnc::generate("c3540", d.family());
+
+  obs::TimeSeries::instance().start();
+  const PartitionResult r = FpartPartitioner().run(h, d);
+  obs::TimeSeries::instance().stop();
+
+  RunMeta meta;
+  meta.circuit = "c3540";
+  meta.device = d.name();
+  meta.method = "fpart";
+  const std::string text = run_report_json(meta, r);
+  obs::TimeSeries::instance().reset();
+
+  const auto parsed = obs::json_parse(text);
+  ASSERT_TRUE(parsed.has_value());
+  const JsonValue& ts =
+      require(*parsed, "timeseries", JsonValue::Type::kObject);
+  EXPECT_EQ(require(ts, "schema", JsonValue::Type::kString).string,
+            obs::kTimeSeriesSchema);
+  require(ts, "capacity", JsonValue::Type::kNumber);
+  require(ts, "move_interval", JsonValue::Type::kNumber);
+  require(ts, "dropped", JsonValue::Type::kNumber);
+  EXPECT_GT(require(ts, "total_samples", JsonValue::Type::kNumber).number,
+            0.0);
+  const JsonValue& samples =
+      require(ts, "samples", JsonValue::Type::kArray);
+  ASSERT_FALSE(samples.array.empty());
+  for (const JsonValue& s : samples.array) {
+    require(s, "kind", JsonValue::Type::kString);
+    require(s, "engine", JsonValue::Type::kString);
+    require(s, "pass", JsonValue::Type::kNumber);
+    require(s, "cut", JsonValue::Type::kNumber);
+    require(s, "best", JsonValue::Type::kNumber);
+    require(s, "feasible_blocks", JsonValue::Type::kNumber);
+    require(s, "blocks", JsonValue::Type::kNumber);
+    require(s, "moves", JsonValue::Type::kNumber);
+    require(s, "rolled_back", JsonValue::Type::kNumber);
+    require(s, "occupancy", JsonValue::Type::kNumber);
+    require(s, "seconds", JsonValue::Type::kNumber);
+  }
+  // The round-trip parser accepts both the embedded section and a
+  // standalone document.
+  const obs::TimeSeriesDoc doc = obs::parse_timeseries(text);
+  EXPECT_EQ(doc.samples.size(), samples.array.size());
+
+  // Sampler idle -> no key.
+  const std::string plain = run_report_json(meta, r);
+  const auto parsed_plain = obs::json_parse(plain);
+  ASSERT_TRUE(parsed_plain.has_value());
+  EXPECT_EQ(parsed_plain->find("timeseries"), nullptr);
 }
 
 TEST_F(ObsSchemaTest, MetaEventsPathIsEmittedOnlyWhenSet) {

@@ -1,0 +1,231 @@
+// Tests for the convergence time-series sampler (obs/timeseries.hpp):
+// ring-buffer semantics, move-window pacing, JSON round-trip, the
+// determinism contract (same seed -> byte-identical series, sampling
+// cannot perturb event logs or digests) and per-attempt isolation under
+// the parallel portfolio.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/fpart.hpp"
+#include "core/options.hpp"
+#include "device/xilinx.hpp"
+#include "netlist/mcnc.hpp"
+#include "obs/recorder.hpp"
+#include "obs/timeseries.hpp"
+#include "partition/replay.hpp"
+#include "report/run_report.hpp"
+#include "runtime/portfolio.hpp"
+
+namespace fpart {
+namespace {
+
+using obs::Sample;
+using obs::SampleKind;
+using obs::ScopedTimeSeriesInstall;
+using obs::TimeSeries;
+using obs::TimeSeriesConfig;
+using obs::TimeSeriesDoc;
+
+Sample make_sample(std::uint32_t pass) {
+  Sample s;
+  s.kind = SampleKind::kPass;
+  s.engine = obs::Engine::kFm;
+  s.pass = pass;
+  s.cut = 100 + pass;
+  s.best = 90 + pass;
+  s.blocks = 2;
+  return s;
+}
+
+TEST(TimeSeriesTest, RingWrapOverwritesOldestAndCountsDropped) {
+  TimeSeries ts;
+  ScopedTimeSeriesInstall install(&ts);
+  TimeSeriesConfig config;
+  config.capacity = 4;
+  ts.start(config);
+  for (std::uint32_t i = 0; i < 10; ++i) ts.push(make_sample(i));
+  ts.stop();
+
+  EXPECT_EQ(ts.total_samples(), 10u);
+  EXPECT_EQ(ts.size(), 4u);
+  EXPECT_EQ(ts.dropped(), 6u);
+  const std::vector<Sample> got = ts.snapshot();
+  ASSERT_EQ(got.size(), 4u);
+  // Chronological, oldest retained first: passes 6..9 survive.
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(got[i].pass, 6 + i);
+    EXPECT_EQ(got[i].cut, 106u + i);
+  }
+
+  // Under capacity: nothing dropped, everything retained in order.
+  ts.start(config);
+  ts.push(make_sample(1));
+  ts.push(make_sample(2));
+  ts.stop();
+  EXPECT_EQ(ts.size(), 2u);
+  EXPECT_EQ(ts.dropped(), 0u);
+  EXPECT_EQ(ts.snapshot()[0].pass, 1u);
+}
+
+TEST(TimeSeriesTest, PushIsInertWhenDisabled) {
+  TimeSeries ts;
+  ScopedTimeSeriesInstall install(&ts);
+  ts.push(make_sample(1));  // never started: latched off
+  EXPECT_EQ(ts.total_samples(), 0u);
+  ts.start({});
+  ts.stop();
+  ts.push(make_sample(2));  // stopped again
+  EXPECT_EQ(ts.total_samples(), 0u);
+}
+
+TEST(TimeSeriesTest, MoveWindowPacing) {
+  TimeSeries ts;
+  ScopedTimeSeriesInstall install(&ts);
+  TimeSeriesConfig config;
+  config.move_interval = 3;
+  ts.start(config);
+  std::vector<bool> fires;
+  for (int i = 0; i < 9; ++i) fires.push_back(ts.should_sample_move());
+  EXPECT_EQ(fires, (std::vector<bool>{false, false, true, false, false,
+                                      true, false, false, true}));
+  ts.stop();
+
+  // interval 0 = window sampling off, never fires.
+  ts.start({});
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(ts.should_sample_move());
+  ts.stop();
+}
+
+TEST(TimeSeriesTest, JsonRoundTripPreservesDeterministicFields) {
+  TimeSeries ts;
+  ScopedTimeSeriesInstall install(&ts);
+  TimeSeriesConfig config;
+  config.capacity = 8;
+  config.move_interval = 5;
+  ts.start(config);
+  for (std::uint32_t i = 0; i < 12; ++i) {
+    Sample s = make_sample(i);
+    s.kind = i % 2 == 0 ? SampleKind::kPass : SampleKind::kWindow;
+    s.engine = i % 3 == 0 ? obs::Engine::kSanchis : obs::Engine::kKwayx;
+    ts.push(s);
+  }
+  ts.stop();
+
+  const TimeSeriesDoc doc = ts.doc();
+  const TimeSeriesDoc back = obs::parse_timeseries(obs::timeseries_json(doc));
+  EXPECT_EQ(back.config.capacity, doc.config.capacity);
+  EXPECT_EQ(back.config.move_interval, doc.config.move_interval);
+  EXPECT_EQ(back.total, doc.total);
+  EXPECT_EQ(back.dropped, doc.dropped);
+  ASSERT_EQ(back.samples.size(), doc.samples.size());
+  for (std::size_t i = 0; i < doc.samples.size(); ++i) {
+    EXPECT_TRUE(obs::deterministic_equal(back.samples[i], doc.samples[i]))
+        << "sample " << i;
+    EXPECT_EQ(back.samples[i].kind, doc.samples[i].kind);
+    EXPECT_EQ(back.samples[i].engine, doc.samples[i].engine);
+  }
+}
+
+class TimeSeriesRunTest : public ::testing::Test {
+ protected:
+  // Collects the convergence series of one FPART run on the fixture
+  // circuit through a private, thread-locally installed sampler.
+  TimeSeriesDoc run_sampled(std::uint32_t move_interval) {
+    TimeSeries ts;
+    ScopedTimeSeriesInstall install(&ts);
+    TimeSeriesConfig config;
+    config.move_interval = move_interval;
+    ts.start(config);
+    (void)FpartPartitioner().run(h_, d_);
+    ts.stop();
+    return ts.doc();
+  }
+
+  const Device d_ = xilinx::xc3042();
+  const Hypergraph h_ = mcnc::generate("c3540", d_.family());
+};
+
+TEST_F(TimeSeriesRunTest, SameSeedSeriesAreByteIdentical) {
+  const TimeSeriesDoc a = run_sampled(/*move_interval=*/32);
+  const TimeSeriesDoc b = run_sampled(/*move_interval=*/32);
+  ASSERT_FALSE(a.samples.empty());
+  // Timing excluded, the serialized documents must match byte for byte.
+  EXPECT_EQ(obs::timeseries_json(a, /*include_timing=*/false),
+            obs::timeseries_json(b, /*include_timing=*/false));
+  ASSERT_EQ(a.samples.size(), b.samples.size());
+  for (std::size_t i = 0; i < a.samples.size(); ++i) {
+    EXPECT_TRUE(obs::deterministic_equal(a.samples[i], b.samples[i]))
+        << "sample " << i;
+  }
+}
+
+TEST_F(TimeSeriesRunTest, SamplingDoesNotPerturbEventLogOrDigest) {
+  Options opt;
+  const auto record_run = [&](bool sample) {
+    obs::Recorder::instance().start(
+        make_event_log_header(h_, d_, opt, "fpart"));
+    TimeSeries ts;
+    std::optional<ScopedTimeSeriesInstall> install;
+    if (sample) {
+      install.emplace(&ts);
+      TimeSeriesConfig config;
+      config.move_interval = 16;
+      ts.start(config);
+    }
+    const PartitionResult r = FpartPartitioner(opt).run(h_, d_);
+    if (sample) {
+      ts.stop();
+      EXPECT_GT(ts.total_samples(), 0u);
+    }
+    obs::Recorder::instance().stop();
+    std::string jsonl = obs::Recorder::instance().to_jsonl();
+    obs::Recorder::instance().reset();
+    return std::make_pair(std::move(jsonl),
+                          assignment_digest(r.assignment));
+  };
+
+  const auto [plain_log, plain_digest] = record_run(/*sample=*/false);
+  const auto [sampled_log, sampled_digest] = record_run(/*sample=*/true);
+  // The sampler only reads partition state: enabling it must leave the
+  // flight-recorder byte stream and the final assignment untouched.
+  EXPECT_EQ(plain_log, sampled_log);
+  EXPECT_EQ(plain_digest, sampled_digest);
+}
+
+TEST_F(TimeSeriesRunTest, PortfolioAttemptsCollectIsolatedSeries) {
+  runtime::PortfolioOptions opt;
+  opt.attempts = 4;
+  opt.threads = 4;
+  opt.timeseries = true;
+  opt.timeseries_config.move_interval = 32;
+  const runtime::PortfolioResult pr = run_portfolio(h_, d_, opt);
+
+  ASSERT_EQ(pr.attempts.size(), 4u);
+  for (const runtime::AttemptOutcome& a : pr.attempts) {
+    if (!a.counted) {
+      // Uncounted tails are scrubbed like their results.
+      EXPECT_TRUE(a.series.samples.empty());
+      continue;
+    }
+    ASSERT_FALSE(a.series.samples.empty()) << "attempt " << a.index;
+    // Rerunning the attempt standalone under a fresh private sampler
+    // must reproduce its series exactly — proof the concurrent attempts
+    // never wrote into each other's rings.
+    TimeSeries local;
+    ScopedTimeSeriesInstall install(&local);
+    local.start(opt.timeseries_config);
+    (void)runtime::run_portfolio_attempt(h_, d_, opt, a.seed);
+    local.stop();
+    const TimeSeriesDoc direct = local.doc();
+    EXPECT_EQ(obs::timeseries_json(a.series, /*include_timing=*/false),
+              obs::timeseries_json(direct, /*include_timing=*/false))
+        << "attempt " << a.index;
+  }
+}
+
+}  // namespace
+}  // namespace fpart

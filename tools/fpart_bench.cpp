@@ -1,0 +1,756 @@
+// fpart_bench — unified perf suite runner and baseline regression
+// sentinel.
+//
+//   fpart_bench --suite smoke [--out BENCH_suite.json]
+//               [--baseline bench/baselines/smoke.json] [--bless]
+//               [--repeats 3] [--tol-time 1.6] [--slowdown 1.0]
+//
+// Executes a declared suite of benchmark cases — the paper-table solve
+// runs (Tables 2-6), the extension benches (multistart, clustering,
+// parallel portfolio) and the hot-path churn kernel — every solve
+// through the unified solve() facade, and merges all measurements into
+// ONE fpart-suite/1 JSON document. Each case records quality metrics
+// (k, cut, feasible, assignment digest — deterministic) and timing
+// metrics (median-of-R wall/cpu seconds, moves/s, gain-evals/s —
+// noisy).
+//
+// With --baseline the document is compared against a committed
+// baseline:
+//   * deterministic metrics (digest, k, cut, feasible, digests_agree)
+//     are HARD gates — any mismatch is a regression, always;
+//   * timing metrics gate only when the baseline was recorded on a
+//     machine with the same hardware_concurrency (recorded in both
+//     documents); otherwise they are advisory (a CI runner cannot be
+//     timed against a dev container);
+//   * parallel speedup gates only when BOTH runs had > 1 core — on a
+//     single-core host the speedup number is scheduler noise, so the
+//     case is down-weighted to its digest-equality gate;
+//   * wall/cpu regress when current > baseline * tol_time, throughput
+//     (moves/s, gain-evals/s) when current < baseline / tol_time. The
+//     default tolerance 1.6x rides above run-to-run noise (medians of
+//     R repeats) but a genuine 2x slowdown always trips it.
+// Exit 0 = no regression, 1 = regression or determinism failure,
+// 2 = usage error. --bless rewrites the baseline from this run.
+//
+// --slowdown F busy-waits each timed section out to F times its
+// measured duration — a real, measured slowdown used by CI to prove
+// the sentinel actually fires (an injected 2x slowdown must exit 1).
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/solve.hpp"
+#include "device/xilinx.hpp"
+#include "fm/gains.hpp"
+#include "netlist/mcnc.hpp"
+#include "obs/json.hpp"
+#include "partition/partition.hpp"
+#include "partition/replay.hpp"
+#include "report/table.hpp"
+#include "runtime/portfolio.hpp"
+#include "util/assert.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+using namespace fpart;
+
+namespace {
+
+constexpr const char* kSuiteSchema = "fpart-suite/1";
+
+enum class CaseKind { kSolve, kChurn, kPortfolio };
+
+const char* kind_name(CaseKind k) {
+  switch (k) {
+    case CaseKind::kSolve:
+      return "solve";
+    case CaseKind::kChurn:
+      return "churn";
+    case CaseKind::kPortfolio:
+      return "portfolio";
+  }
+  return "solve";
+}
+
+struct SuiteCase {
+  std::string id;            // unique within the suite, baseline join key
+  std::string source_bench;  // which bench/ binary this case mirrors
+  CaseKind kind = CaseKind::kSolve;
+  std::string circuit;
+  std::string device;
+  std::string method = "fpart";  // solve cases only
+  std::uint32_t starts = 1;      // solve cases only (fpart multistart)
+  std::uint32_t attempts = 4;    // portfolio cases only
+  std::size_t churn_moves = 400'000;  // churn cases only
+};
+
+/// One measured case: quality metrics are deterministic (same binary,
+/// same inputs -> same values); timing metrics are medians of --repeats.
+struct CaseResult {
+  SuiteCase spec;
+  // Quality (hard gates).
+  std::uint32_t k = 0;
+  std::uint32_t lower_bound = 0;
+  std::uint64_t cut = 0;
+  bool feasible = false;
+  std::uint64_t digest = 0;
+  bool digests_agree = true;  // repeats / facade / thread counts agree
+  // Timing (soft gates).
+  double wall_seconds = 0.0;
+  double cpu_seconds = 0.0;
+  std::vector<double> repeat_wall;
+  double moves_per_second = 0.0;       // churn only
+  double gain_evals_per_second = 0.0;  // churn only
+  double speedup = 0.0;                // portfolio only (t1/t2)
+  bool speedup_valid = false;          // false on single-core hosts
+};
+
+double median(std::vector<double> v) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const std::size_t n = v.size();
+  return n % 2 == 1 ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]);
+}
+
+/// Global slowdown factor injected into every timed section (>= 1).
+double g_slowdown = 1.0;
+
+/// Runs `fn` and returns its wall seconds, busy-waiting the section out
+/// to g_slowdown times its measured duration first. The spin burns CPU
+/// too, so both wall and cpu gates see the injected regression.
+template <typename Fn>
+double timed(Fn&& fn) {
+  Timer t;
+  fn();
+  double wall = t.elapsed_seconds();
+  if (g_slowdown > 1.0) {
+    const double target = wall * g_slowdown;
+    while (t.elapsed_seconds() < target) {
+      // spin
+    }
+    wall = t.elapsed_seconds();
+  }
+  return wall;
+}
+
+CaseResult run_solve_case(const SuiteCase& c, int repeats) {
+  const Device device = xilinx::by_name(c.device);
+  const Hypergraph h = mcnc::generate(c.circuit, device.family());
+  SolveRequest req;
+  req.method = parse_method(c.method);
+  req.starts = c.starts;
+
+  CaseResult out;
+  out.spec = c;
+  std::optional<std::uint64_t> first_digest;
+  for (int rep = 0; rep < repeats; ++rep) {
+    PartitionResult r;
+    CpuTimer cpu;
+    const double wall = timed([&] { r = solve(h, device, req); });
+    out.repeat_wall.push_back(wall);
+    out.cpu_seconds += cpu.elapsed_seconds();  // accumulated, averaged below
+    const std::uint64_t digest = assignment_digest(r.assignment);
+    if (!first_digest.has_value()) {
+      first_digest = digest;
+      out.k = r.k;
+      out.lower_bound = r.lower_bound;
+      out.cut = r.cut;
+      out.feasible = r.feasible;
+      out.digest = digest;
+    } else if (digest != *first_digest) {
+      // Same binary, same inputs, different answer: a determinism bug,
+      // reported through the same digests_agree hard gate.
+      out.digests_agree = false;
+    }
+  }
+  out.wall_seconds = median(out.repeat_wall);
+  out.cpu_seconds /= repeats;
+  return out;
+}
+
+CaseResult run_churn_case(const SuiteCase& c, int repeats) {
+  const Device device = xilinx::by_name(c.device);
+  const Hypergraph h = mcnc::generate(c.circuit, device.family());
+
+  // Fixed-seed random move trajectory over a small block set — the
+  // ext_hotpath kernel, scaled down by churn_moves (same Rng stream).
+  constexpr std::uint32_t kChurnBlocks = 4;
+  std::vector<NodeId> cells;
+  for (NodeId v = 0; v < h.num_nodes(); ++v) {
+    if (!h.is_terminal(v)) cells.push_back(v);
+  }
+  Rng rng(0x40709);
+  std::vector<std::pair<NodeId, BlockId>> moves;
+  moves.reserve(c.churn_moves);
+  for (std::size_t i = 0; i < c.churn_moves; ++i) {
+    moves.emplace_back(rng.pick(cells),
+                       static_cast<BlockId>(rng.index(kChurnBlocks)));
+  }
+
+  CaseResult out;
+  out.spec = c;
+  Partition p(h, kChurnBlocks);
+  // Warm-up settles the arena before the first timed repeat.
+  for (std::size_t i = 0; i < moves.size() / 8; ++i) {
+    p.move(moves[i].first, moves[i].second);
+  }
+
+  std::vector<double> move_rates, gain_rates;
+  for (int rep = 0; rep < repeats; ++rep) {
+    CpuTimer cpu;
+    const double move_wall = timed([&] {
+      for (const auto& [v, to] : moves) p.move(v, to);
+    });
+    move_rates.push_back(static_cast<double>(moves.size()) / move_wall);
+    long long sink = 0;
+    const double gain_wall = timed([&] {
+      for (const auto& [v, to] : moves) sink += move_gain(p, v, to);
+    });
+    if (sink == 0x7fffffffffffffff) std::puts("");  // keep sink live
+    gain_rates.push_back(static_cast<double>(moves.size()) / gain_wall);
+    out.repeat_wall.push_back(move_wall + gain_wall);
+    out.cpu_seconds += cpu.elapsed_seconds();
+  }
+  p.check_consistency();
+  out.wall_seconds = median(out.repeat_wall);
+  out.cpu_seconds /= repeats;
+  out.moves_per_second = median(move_rates);
+  out.gain_evals_per_second = median(gain_rates);
+  // The trajectory is fixed, so the end state is a deterministic digest
+  // (every repeat replays the same moves onto the same partition).
+  out.k = p.num_blocks();
+  out.cut = p.cut_size();
+  out.feasible = true;
+  out.digest = assignment_digest(p.assignment());
+  return out;
+}
+
+CaseResult run_portfolio_case(const SuiteCase& c, int repeats) {
+  const Device device = xilinx::by_name(c.device);
+  const Hypergraph h = mcnc::generate(c.circuit, device.family());
+  runtime::PortfolioOptions popt;
+  popt.attempts = c.attempts;
+  popt.method = c.method;
+
+  CaseResult out;
+  out.spec = c;
+  const unsigned hw = std::thread::hardware_concurrency();
+  out.speedup_valid = hw > 1;
+
+  // Reference run at 1 thread: the digest every other run must hit.
+  popt.threads = 1;
+  runtime::PortfolioResult serial;
+  const double t1 = timed([&] { serial = run_portfolio(h, device, popt); });
+  out.k = serial.best.k;
+  out.lower_bound = serial.best.lower_bound;
+  out.cut = serial.best.cut;
+  out.feasible = serial.best.feasible;
+  out.digest = serial.digest;
+
+  // Timed runs at the parallel thread count; digest equality across
+  // thread counts is the determinism contract and the hard gate.
+  popt.threads = 2;
+  for (int rep = 0; rep < repeats; ++rep) {
+    runtime::PortfolioResult parallel;
+    CpuTimer cpu;
+    const double wall =
+        timed([&] { parallel = run_portfolio(h, device, popt); });
+    out.repeat_wall.push_back(wall);
+    out.cpu_seconds += cpu.elapsed_seconds();
+    if (parallel.digest != serial.digest) out.digests_agree = false;
+  }
+  out.wall_seconds = median(out.repeat_wall);
+  out.cpu_seconds /= repeats;
+  out.speedup = out.wall_seconds > 0.0 ? t1 / out.wall_seconds : 0.0;
+  return out;
+}
+
+CaseResult run_case(const SuiteCase& c, int repeats) {
+  switch (c.kind) {
+    case CaseKind::kChurn:
+      return run_churn_case(c, repeats);
+    case CaseKind::kPortfolio:
+      return run_portfolio_case(c, repeats);
+    case CaseKind::kSolve:
+      break;
+  }
+  return run_solve_case(c, repeats);
+}
+
+/// The declared suites. "smoke" covers every bench family (Tables 2-6
+/// plus the ext benches) on small circuits; "full" widens the circuit
+/// set; "tiny" is the fast configuration the ctest sentinel check uses.
+std::vector<SuiteCase> suite_cases(const std::string& suite) {
+  const auto solve_case = [](std::string id, std::string src,
+                             std::string circuit, std::string device,
+                             std::string method, std::uint32_t starts = 1) {
+    SuiteCase c;
+    c.id = std::move(id);
+    c.source_bench = std::move(src);
+    c.kind = CaseKind::kSolve;
+    c.circuit = std::move(circuit);
+    c.device = std::move(device);
+    c.method = std::move(method);
+    c.starts = starts;
+    return c;
+  };
+  const auto churn_case = [](std::string id, std::string circuit,
+                             std::string device, std::size_t moves) {
+    SuiteCase c;
+    c.id = std::move(id);
+    c.source_bench = "ext_hotpath";
+    c.kind = CaseKind::kChurn;
+    c.circuit = std::move(circuit);
+    c.device = std::move(device);
+    c.churn_moves = moves;
+    return c;
+  };
+  const auto portfolio_case = [](std::string id, std::string circuit,
+                                 std::string device,
+                                 std::uint32_t attempts) {
+    SuiteCase c;
+    c.id = std::move(id);
+    c.source_bench = "ext_parallel";
+    c.kind = CaseKind::kPortfolio;
+    c.circuit = std::move(circuit);
+    c.device = std::move(device);
+    c.attempts = attempts;
+    return c;
+  };
+
+  if (suite == "tiny") {
+    return {
+        solve_case("tiny/fpart-c3540-xc3042", "table3", "c3540", "XC3042",
+                   "fpart"),
+        churn_case("tiny/churn-c3540-xc3042", "c3540", "XC3042", 100'000),
+    };
+  }
+  std::vector<SuiteCase> cases = {
+      solve_case("table2/fpart-c3540-xc3020", "table2", "c3540", "XC3020",
+                 "fpart"),
+      solve_case("table2/kwayx-c3540-xc3020", "table2", "c3540", "XC3020",
+                 "kwayx"),
+      solve_case("table2/fbb-c3540-xc3020", "table2", "c3540", "XC3020",
+                 "fbb"),
+      solve_case("table3/fpart-c3540-xc3042", "table3", "c3540", "XC3042",
+                 "fpart"),
+      solve_case("table4/fpart-c5315-xc3090", "table4", "c5315", "XC3090",
+                 "fpart"),
+      solve_case("table5/fpart-c3540-xc2064", "table5", "c3540", "XC2064",
+                 "fpart"),
+      solve_case("table6/fpart-s5378-xc3042", "table6", "s5378", "XC3042",
+                 "fpart"),
+      solve_case("ext_clustering/clustered-s9234-xc3042", "ext_clustering",
+                 "s9234", "XC3042", "clustered"),
+      solve_case("ext_multistart/fpart-c3540-xc3020-s3", "ext_multistart",
+                 "c3540", "XC3020", "fpart", /*starts=*/3),
+      churn_case("ext_hotpath/churn-c3540-xc3042", "c3540", "XC3042",
+                 400'000),
+      portfolio_case("ext_parallel/portfolio-c3540-xc3020", "c3540",
+                     "XC3020", /*attempts=*/4),
+  };
+  if (suite == "full") {
+    cases.push_back(solve_case("table3/fpart-s9234-xc3042", "table3",
+                               "s9234", "XC3042", "fpart"));
+    cases.push_back(solve_case("table3/kwayx-s9234-xc3042", "table3",
+                               "s9234", "XC3042", "kwayx"));
+    cases.push_back(solve_case("table3/fbb-s13207-xc3042", "table3",
+                               "s13207", "XC3042", "fbb"));
+    cases.push_back(
+        churn_case("ext_hotpath/churn-s9234-xc3042", "s9234", "XC3042",
+                   1'000'000));
+  } else {
+    FPART_REQUIRE(suite == "smoke",
+                  "unknown --suite '" + suite + "' (smoke | full | tiny)");
+  }
+  return cases;
+}
+
+std::string suite_json(const std::string& suite, int repeats,
+                       double tol_time,
+                       const std::vector<CaseResult>& results) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("schema");
+  w.value(kSuiteSchema);
+  w.key("suite");
+  w.value(suite);
+  w.key("repeats");
+  w.value(static_cast<std::int64_t>(repeats));
+  w.key("hardware_concurrency");
+  w.value(static_cast<std::uint64_t>(std::thread::hardware_concurrency()));
+  w.key("tolerance_time");
+  w.value(tol_time);
+  w.key("slowdown");
+  w.value(g_slowdown);
+  w.key("covers");
+  w.begin_array();
+  std::set<std::string> covers;
+  for (const CaseResult& r : results) covers.insert(r.spec.source_bench);
+  for (const std::string& c : covers) w.value(c);
+  w.end_array();
+  w.key("cases");
+  w.begin_array();
+  for (const CaseResult& r : results) {
+    w.begin_object();
+    w.key("id");
+    w.value(r.spec.id);
+    w.key("source_bench");
+    w.value(r.spec.source_bench);
+    w.key("kind");
+    w.value(kind_name(r.spec.kind));
+    w.key("circuit");
+    w.value(r.spec.circuit);
+    w.key("device");
+    w.value(r.spec.device);
+    w.key("method");
+    w.value(r.spec.method);
+    w.key("starts");
+    w.value(r.spec.starts);
+    w.key("k");
+    w.value(r.k);
+    w.key("lower_bound");
+    w.value(r.lower_bound);
+    w.key("cut");
+    w.value(r.cut);
+    w.key("feasible");
+    w.value(r.feasible);
+    w.key("digest");
+    w.value(r.digest);
+    w.key("digests_agree");
+    w.value(r.digests_agree);
+    w.key("wall_seconds");
+    w.value(r.wall_seconds);
+    w.key("cpu_seconds");
+    w.value(r.cpu_seconds);
+    w.key("repeat_wall_seconds");
+    w.begin_array();
+    for (const double s : r.repeat_wall) w.value(s);
+    w.end_array();
+    if (r.spec.kind == CaseKind::kChurn) {
+      w.key("moves_per_second");
+      w.value(r.moves_per_second);
+      w.key("gain_evals_per_second");
+      w.value(r.gain_evals_per_second);
+    }
+    if (r.spec.kind == CaseKind::kPortfolio) {
+      w.key("speedup");
+      w.value(r.speedup);
+      w.key("speedup_valid");
+      w.value(r.speedup_valid);
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.take();
+}
+
+// ---------------------------------------------------------------------
+// Baseline comparison
+
+struct Gate {
+  std::string case_id;
+  std::string metric;
+  std::string baseline;   // display form (digests stay exact as hex)
+  std::string current;
+  bool hard = false;      // deterministic metric: any mismatch fails
+  bool active = true;     // false = advisory only (hw mismatch etc.)
+  bool regressed = false;
+  std::string note;
+};
+
+std::string hex_u64(std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+const obs::JsonValue* find_case(const obs::JsonValue& doc,
+                                const std::string& id) {
+  const obs::JsonValue* cases = doc.find("cases");
+  if (cases == nullptr || !cases->is_array()) return nullptr;
+  for (const obs::JsonValue& c : cases->array) {
+    const obs::JsonValue* cid = c.find("id");
+    if (cid != nullptr && cid->is_string() && cid->string == id) return &c;
+  }
+  return nullptr;
+}
+
+double num_or(const obs::JsonValue& obj, const char* key, double fallback) {
+  const obs::JsonValue* v = obj.find(key);
+  return (v != nullptr && v->is_number()) ? v->number : fallback;
+}
+
+std::uint64_t u64_or(const obs::JsonValue& obj, const char* key,
+                     std::uint64_t fallback) {
+  const obs::JsonValue* v = obj.find(key);
+  return (v != nullptr && v->is_number()) ? v->as_u64() : fallback;
+}
+
+bool bool_or(const obs::JsonValue& obj, const char* key, bool fallback) {
+  const obs::JsonValue* v = obj.find(key);
+  return (v != nullptr && v->is_bool()) ? v->boolean : fallback;
+}
+
+/// Compares current results against a parsed baseline document. Returns
+/// the evaluated gates; any gate with hard && regressed, or active &&
+/// regressed, is a regression.
+std::vector<Gate> compare_against_baseline(
+    const obs::JsonValue& baseline, const std::vector<CaseResult>& results,
+    double tol_time) {
+  std::vector<Gate> gates;
+  const unsigned hw = std::thread::hardware_concurrency();
+  const auto base_hw =
+      static_cast<unsigned>(u64_or(baseline, "hardware_concurrency", 0));
+  // Wall-clock comparisons only mean something on the machine the
+  // baseline was recorded on; hardware_concurrency is the (coarse)
+  // fingerprint both documents record.
+  const bool time_gates_active = base_hw == hw && base_hw != 0;
+
+  for (const CaseResult& r : results) {
+    const obs::JsonValue* b = find_case(baseline, r.spec.id);
+    if (b == nullptr) {
+      Gate g;
+      g.case_id = r.spec.id;
+      g.metric = "presence";
+      g.hard = false;
+      g.active = false;
+      g.note = "new case (not in baseline)";
+      gates.push_back(std::move(g));
+      continue;
+    }
+
+    // Exact 64-bit comparison: digests do not fit a double's mantissa,
+    // so the gate never rounds two different values into "equal".
+    const auto hard_gate = [&](const char* metric, std::uint64_t base_v,
+                               std::uint64_t cur_v, bool hex) {
+      Gate g;
+      g.case_id = r.spec.id;
+      g.metric = metric;
+      g.baseline = hex ? hex_u64(base_v) : std::to_string(base_v);
+      g.current = hex ? hex_u64(cur_v) : std::to_string(cur_v);
+      g.hard = true;
+      g.regressed = base_v != cur_v;
+      gates.push_back(std::move(g));
+    };
+    hard_gate("digest", u64_or(*b, "digest", 0), r.digest, /*hex=*/true);
+    hard_gate("k", u64_or(*b, "k", 0), r.k, false);
+    hard_gate("cut", u64_or(*b, "cut", 0), r.cut, false);
+    hard_gate("feasible", bool_or(*b, "feasible", false) ? 1 : 0,
+              r.feasible ? 1 : 0, false);
+    hard_gate("digests_agree", bool_or(*b, "digests_agree", true) ? 1 : 0,
+              r.digests_agree ? 1 : 0, false);
+
+    const auto time_gate = [&](const char* metric, double base_v,
+                               double cur_v, bool lower_is_better) {
+      if (base_v <= 0.0) return;  // baseline lacks the metric
+      Gate g;
+      g.case_id = r.spec.id;
+      g.metric = metric;
+      g.baseline = fmt_double(base_v, 4);
+      g.current = fmt_double(cur_v, 4);
+      g.active = time_gates_active;
+      g.regressed = lower_is_better ? cur_v > base_v * tol_time
+                                    : cur_v < base_v / tol_time;
+      if (!time_gates_active) {
+        g.note = "advisory (hardware_concurrency differs from baseline)";
+      }
+      gates.push_back(std::move(g));
+    };
+    time_gate("wall_seconds", num_or(*b, "wall_seconds", 0.0),
+              r.wall_seconds, /*lower_is_better=*/true);
+    time_gate("cpu_seconds", num_or(*b, "cpu_seconds", 0.0), r.cpu_seconds,
+              /*lower_is_better=*/true);
+    if (r.spec.kind == CaseKind::kChurn) {
+      time_gate("moves_per_second", num_or(*b, "moves_per_second", 0.0),
+                r.moves_per_second, /*lower_is_better=*/false);
+      time_gate("gain_evals_per_second",
+                num_or(*b, "gain_evals_per_second", 0.0),
+                r.gain_evals_per_second, /*lower_is_better=*/false);
+    }
+    if (r.spec.kind == CaseKind::kPortfolio) {
+      // Speedup gates only when both runs had real parallel hardware;
+      // single-core portfolios are gated by digest equality alone (the
+      // speedup number is scheduler noise there).
+      const bool base_valid = bool_or(*b, "speedup_valid", false);
+      if (base_valid && r.speedup_valid) {
+        const double base_speedup = num_or(*b, "speedup", 0.0);
+        Gate g;
+        g.case_id = r.spec.id;
+        g.metric = "speedup";
+        g.baseline = fmt_double(base_speedup, 4);
+        g.current = fmt_double(r.speedup, 4);
+        g.active = time_gates_active;
+        g.regressed = base_speedup > 0.0 && r.speedup < base_speedup * 0.7;
+        gates.push_back(std::move(g));
+      }
+    }
+  }
+
+  // A case present in the baseline but missing from the current run is
+  // a silent coverage loss — fail hard.
+  const obs::JsonValue* base_cases = baseline.find("cases");
+  if (base_cases != nullptr && base_cases->is_array()) {
+    for (const obs::JsonValue& bc : base_cases->array) {
+      const obs::JsonValue* cid = bc.find("id");
+      if (cid == nullptr || !cid->is_string()) continue;
+      const bool present =
+          std::any_of(results.begin(), results.end(),
+                      [&](const CaseResult& r) {
+                        return r.spec.id == cid->string;
+                      });
+      if (!present) {
+        Gate g;
+        g.case_id = cid->string;
+        g.metric = "presence";
+        g.hard = true;
+        g.regressed = true;
+        g.note = "case missing from current run";
+        gates.push_back(std::move(g));
+      }
+    }
+  }
+  return gates;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli;
+  cli.add_flag("suite", "smoke | full | tiny", "smoke");
+  cli.add_flag("out", "merged fpart-suite/1 output path",
+               "BENCH_suite.json");
+  cli.add_flag("baseline", "committed baseline to compare against", "");
+  cli.add_flag("repeats", "timing repeats per case (median taken)", "3");
+  cli.add_flag("tol-time", "soft-gate tolerance ratio", "1.6");
+  cli.add_flag("slowdown",
+               "inject a busy-wait slowdown factor (sentinel self-test)",
+               "1.0");
+  cli.add_switch("bless", "rewrite the baseline from this run");
+  if (!cli.parse(argc, argv) || !cli.positional().empty()) {
+    std::fprintf(stderr, "usage: fpart_bench [flags]\n%s%s",
+                 cli.error().empty() ? "" : (cli.error() + "\n").c_str(),
+                 cli.usage("fpart_bench").c_str());
+    return 2;
+  }
+
+  const std::string suite = cli.get("suite");
+  const int repeats = std::max<int>(1, static_cast<int>(cli.get_int("repeats")));
+  const double tol_time = cli.get_double("tol-time");
+  g_slowdown = std::max(1.0, cli.get_double("slowdown"));
+  const std::string baseline_path = cli.get("baseline");
+  const bool bless = cli.has("bless") && cli.get_bool("bless");
+
+  std::vector<SuiteCase> cases;
+  try {
+    cases = suite_cases(suite);
+  } catch (const Error& e) {
+    std::fprintf(stderr, "fpart_bench: %s\n", e.what());
+    return 2;
+  }
+
+  std::printf("fpart_bench: suite '%s', %zu cases, %d repeats, "
+              "hardware_concurrency=%u%s\n",
+              suite.c_str(), cases.size(), repeats,
+              std::thread::hardware_concurrency(),
+              g_slowdown > 1.0 ? " [slowdown injected]" : "");
+
+  std::vector<CaseResult> results;
+  Table table({"case", "kind", "k", "cut", "wall ms", "cpu ms", "Mmoves/s",
+               "digest ok"});
+  for (const SuiteCase& c : cases) {
+    CaseResult r = run_case(c, repeats);
+    table.add_row(
+        {r.spec.id, kind_name(r.spec.kind), fmt_int(r.k),
+         fmt_int(static_cast<std::int64_t>(r.cut)),
+         fmt_double(r.wall_seconds * 1e3, 1),
+         fmt_double(r.cpu_seconds * 1e3, 1),
+         r.spec.kind == CaseKind::kChurn
+             ? fmt_double(r.moves_per_second / 1e6, 2)
+             : std::string("-"),
+         r.digests_agree ? "yes" : "NO"});
+    results.push_back(std::move(r));
+  }
+  std::fputs(table.to_ascii().c_str(), stdout);
+
+  const std::string body = suite_json(suite, repeats, tol_time, results);
+  {
+    std::ofstream os(cli.get("out"), std::ios::binary);
+    FPART_REQUIRE(os.good(), "cannot write " + cli.get("out"));
+    os << body << '\n';
+  }
+  std::printf("wrote %s\n", cli.get("out").c_str());
+
+  bool determinism_ok = true;
+  for (const CaseResult& r : results) {
+    determinism_ok = determinism_ok && r.digests_agree;
+  }
+  if (!determinism_ok) {
+    std::fprintf(stderr,
+                 "fpart_bench: DETERMINISM FAILURE (digests disagree "
+                 "across repeats/facades/thread counts)\n");
+  }
+
+  if (baseline_path.empty()) {
+    return determinism_ok ? 0 : 1;
+  }
+  if (bless) {
+    std::ofstream os(baseline_path, std::ios::binary);
+    FPART_REQUIRE(os.good(), "cannot write baseline " + baseline_path);
+    os << body << '\n';
+    std::printf("baseline blessed: %s\n", baseline_path.c_str());
+    return determinism_ok ? 0 : 1;
+  }
+
+  std::ifstream is(baseline_path, std::ios::binary);
+  if (!is.good()) {
+    std::fprintf(stderr,
+                 "fpart_bench: baseline %s not found (run with --bless "
+                 "to create it)\n",
+                 baseline_path.c_str());
+    return 2;
+  }
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  const auto baseline = obs::json_parse(buf.str());
+  if (!baseline.has_value() || !baseline->is_object()) {
+    std::fprintf(stderr, "fpart_bench: baseline %s is not valid JSON\n",
+                 baseline_path.c_str());
+    return 2;
+  }
+
+  const std::vector<Gate> gates =
+      compare_against_baseline(*baseline, results, tol_time);
+  Table cmp({"case", "metric", "baseline", "current", "gate", "status"});
+  bool regressed = !determinism_ok;
+  for (const Gate& g : gates) {
+    const bool fails = g.regressed && (g.hard || g.active);
+    regressed = regressed || fails;
+    std::string status = fails          ? "REGRESSED"
+                         : g.regressed  ? "regressed (advisory)"
+                                        : "ok";
+    if (!g.note.empty()) status += " — " + g.note;
+    cmp.add_row({g.case_id, g.metric, g.baseline, g.current,
+                 g.hard ? "hard" : (g.active ? "soft" : "advisory"),
+                 status});
+  }
+  std::printf("\nbaseline comparison (%s, tolerance %.2fx):\n%s",
+              baseline_path.c_str(), tol_time, cmp.to_ascii().c_str());
+  if (regressed) {
+    std::fprintf(stderr, "fpart_bench: REGRESSION against %s\n",
+                 baseline_path.c_str());
+    return 1;
+  }
+  std::printf("no regression against %s\n", baseline_path.c_str());
+  return 0;
+}

@@ -16,6 +16,16 @@
 //       Convergence overview: per-kind event counts, per-engine pass
 //       statistics (moves, rollback depth, improvement), and a sampled
 //       gain-vs-move curve.
+//
+//   fpart_inspect convergence --series ts.json [--json] [--no-timing]
+//                             [--limit N]
+//       Renders a fpart-timeseries/1 convergence series (standalone file
+//       or the "timeseries" section of a run report) as per-pass curves:
+//       one row per sample with cut / best metric / feasible blocks /
+//       moves / rollback depth / bucket occupancy, plus derived move
+//       throughput when timing is present. --no-timing drops the
+//       non-deterministic columns so same-seed outputs compare byte for
+//       byte (the golden-output ctest relies on this).
 #include <algorithm>
 #include <cstdio>
 #include <map>
@@ -25,6 +35,7 @@
 #include "netlist/hgr_io.hpp"
 #include "obs/json.hpp"
 #include "obs/recorder.hpp"
+#include "obs/timeseries.hpp"
 #include "partition/replay.hpp"
 #include "report/table.hpp"
 #include "util/cli.hpp"
@@ -351,20 +362,127 @@ int cmd_summary(const CliParser& cli) {
   return 0;
 }
 
+int cmd_convergence(const CliParser& cli) {
+  const obs::TimeSeriesDoc doc = obs::read_timeseries(cli.get("series"));
+  const bool timing =
+      !(cli.has("no-timing") && cli.get_bool("no-timing"));
+
+  if (cli.has("json")) {
+    std::printf("%s\n", obs::timeseries_json(doc, timing).c_str());
+    return 0;
+  }
+
+  std::printf("fpart-timeseries/1: %zu samples (%llu taken, %llu dropped), "
+              "capacity %zu, move interval %u\n",
+              doc.samples.size(),
+              static_cast<unsigned long long>(doc.total),
+              static_cast<unsigned long long>(doc.dropped),
+              doc.config.capacity, doc.config.move_interval);
+
+  // Per-engine digest of the curves: how many passes, cut trajectory.
+  std::map<std::string, std::pair<const obs::Sample*, const obs::Sample*>>
+      span_of;  // engine -> (first, last) pass sample
+  std::map<std::string, std::uint64_t> pass_count;
+  for (const obs::Sample& s : doc.samples) {
+    if (s.kind != obs::SampleKind::kPass) continue;
+    const std::string name = obs::engine_name(s.engine);
+    ++pass_count[name];
+    auto& span = span_of[name];
+    if (span.first == nullptr) span.first = &s;
+    span.second = &s;
+  }
+  if (!span_of.empty()) {
+    Table per_engine({"engine", "passes", "first cut", "last cut",
+                      "last best", "last feasible/k"});
+    for (const auto& [name, span] : span_of) {
+      per_engine.add_row(
+          {name, fmt_int(static_cast<std::int64_t>(pass_count[name])),
+           fmt_int(static_cast<std::int64_t>(span.first->cut)),
+           fmt_int(static_cast<std::int64_t>(span.second->cut)),
+           fmt_int(static_cast<std::int64_t>(span.second->best)),
+           fmt_int(static_cast<std::int64_t>(span.second->feasible_blocks)) +
+               "/" +
+               fmt_int(static_cast<std::int64_t>(span.second->blocks))});
+    }
+    std::printf("\n%s", per_engine.to_ascii().c_str());
+  }
+
+  const auto limit =
+      static_cast<std::size_t>(cli.has("limit") ? cli.get_int("limit") : 64);
+  std::vector<std::string> cols{"#",     "kind",  "engine", "pass",
+                                "cut",   "best",  "feas/k", "moves",
+                                "rb",    "occ"};
+  if (timing) {
+    cols.push_back("dt ms");
+    cols.push_back("moves/s");
+  }
+  Table rows(cols);
+  const std::size_t n = std::min(limit, doc.samples.size());
+  double prev_seconds = 0.0;
+  std::uint32_t prev_moves = 0;
+  const obs::Sample* prev = nullptr;
+  for (std::size_t i = 0; i < n; ++i) {
+    // Even spread over the series so long runs stay readable.
+    const std::size_t at =
+        n == doc.samples.size()
+            ? i
+            : i * (doc.samples.size() - 1) / std::max<std::size_t>(1, n - 1);
+    const obs::Sample& s = doc.samples[at];
+    std::vector<std::string> row{
+        fmt_int(static_cast<std::int64_t>(at)),
+        obs::sample_kind_name(s.kind),
+        obs::engine_name(s.engine),
+        fmt_int(static_cast<std::int64_t>(s.pass)),
+        fmt_int(static_cast<std::int64_t>(s.cut)),
+        fmt_int(static_cast<std::int64_t>(s.best)),
+        fmt_int(static_cast<std::int64_t>(s.feasible_blocks)) + "/" +
+            fmt_int(static_cast<std::int64_t>(s.blocks)),
+        fmt_int(static_cast<std::int64_t>(s.moves)),
+        fmt_int(static_cast<std::int64_t>(s.rolled_back)),
+        fmt_int(static_cast<std::int64_t>(s.occupancy))};
+    if (timing) {
+      const double dt = s.seconds - prev_seconds;
+      // Move throughput only makes sense within one engine pass where
+      // the move counter is monotone.
+      double rate = 0.0;
+      if (prev != nullptr && prev->engine == s.engine &&
+          prev->pass == s.pass && s.moves >= prev_moves && dt > 0.0) {
+        rate = static_cast<double>(s.moves - prev_moves) / dt;
+      }
+      row.push_back(fmt_double(dt * 1e3, 3));
+      row.push_back(rate > 0.0 ? fmt_double(rate, 0) : "-");
+    }
+    rows.add_row(row);
+    prev_seconds = s.seconds;
+    prev_moves = s.moves;
+    prev = &s;
+  }
+  std::printf("\nconvergence samples (%zu of %zu shown):\n%s", n,
+              doc.samples.size(), rows.to_ascii().c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   CliParser cli;
   cli.add_flag("events", "fpart-events/1 JSONL log path", "");
+  cli.add_flag("series", "fpart-timeseries/1 JSON path (convergence)", "");
   cli.add_flag("in", "input .hgr circuit (replay)", "");
   cli.add_flag("json", "machine-readable JSON output", "");
   cli.add_flag("curve", "gain-curve sample points (summary)", "16");
+  cli.add_flag("limit", "max sample rows shown (convergence)", "64");
+  cli.add_switch("no-timing",
+                 "drop non-deterministic timing columns (convergence)");
   if (!cli.parse(argc, argv) || cli.positional().empty()) {
     std::fprintf(stderr,
-                 "usage: fpart_inspect <replay|diff|summary> [flags]\n"
-                 "  replay  --events run.jsonl --in circuit.hgr [--json]\n"
-                 "  diff    a.jsonl b.jsonl\n"
-                 "  summary --events run.jsonl [--json] [--curve N]\n%s%s",
+                 "usage: fpart_inspect <replay|diff|summary|convergence>"
+                 " [flags]\n"
+                 "  replay      --events run.jsonl --in circuit.hgr [--json]\n"
+                 "  diff        a.jsonl b.jsonl\n"
+                 "  summary     --events run.jsonl [--json] [--curve N]\n"
+                 "  convergence --series ts.json [--json] [--no-timing]"
+                 " [--limit N]\n%s%s",
                  cli.error().empty() ? "" : (cli.error() + "\n").c_str(),
                  cli.usage("fpart_inspect").c_str());
     return 2;
@@ -381,6 +499,7 @@ int main(int argc, char** argv) {
       return cmd_diff(cli.positional()[1], cli.positional()[2]);
     }
     if (command == "summary") return cmd_summary(cli);
+    if (command == "convergence") return cmd_convergence(cli);
     std::fprintf(stderr, "unknown command: %s\n", command.c_str());
     return 2;
   } catch (const std::exception& e) {

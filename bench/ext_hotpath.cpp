@@ -28,6 +28,7 @@
 #include "harness.hpp"
 #include "netlist/mcnc.hpp"
 #include "obs/json.hpp"
+#include "obs/provenance.hpp"
 #include "partition/partition.hpp"
 #include "partition/replay.hpp"
 #include "report/table.hpp"
@@ -169,6 +170,8 @@ int main(int argc, char** argv) {
   w.begin_object();
   w.key("schema");
   w.value(kSchema);
+  w.key("provenance");
+  obs::write_provenance(w);
   w.key("bench");
   w.value("ext_hotpath");
   w.key("churn_blocks");

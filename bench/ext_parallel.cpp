@@ -19,6 +19,7 @@
 #include "harness.hpp"
 #include "netlist/mcnc.hpp"
 #include "obs/json.hpp"
+#include "obs/provenance.hpp"
 #include "report/table.hpp"
 #include "runtime/portfolio.hpp"
 #include "util/assert.hpp"
@@ -110,6 +111,8 @@ int main(int argc, char** argv) {
   w.begin_object();
   w.key("schema");
   w.value(kSchema);
+  w.key("provenance");
+  obs::write_provenance(w);
   w.key("bench");
   w.value("ext_parallel");
   w.key("attempts");

@@ -25,6 +25,7 @@
 #include "netlist/mcnc.hpp"
 #include "netlist/rent.hpp"
 #include "obs/phase.hpp"
+#include "obs/profile.hpp"
 #include "obs/recorder.hpp"
 #include "obs/stats.hpp"
 #include "obs/timeseries.hpp"
@@ -253,15 +254,28 @@ int cmd_partition(const CliParser& cli) {
   const auto attempts = static_cast<std::uint32_t>(cli.get_int("portfolio"));
 
   // Observability sinks: --stats-json enables the registry + phase
-  // tree, --trace additionally captures Chrome trace events.
+  // tree, --trace additionally captures Chrome trace events, --profile
+  // samples hardware counters + heap telemetry per phase (observation
+  // only: event logs and digests stay byte-identical).
   const bool want_stats = cli.has("stats-json");
   const bool want_trace = cli.has("trace");
-  if (want_stats || want_trace) {
+  const bool want_profile = cli.has("profile") && cli.get_bool("profile");
+  if (want_stats || want_trace || want_profile) {
     obs::StatsRegistry::instance().reset();
     obs::PhaseForest::instance().reset();
     obs::trace_reset();
     obs::set_stats_enabled(true);
     if (want_trace) obs::set_trace_enabled(true);
+    if (want_profile) {
+      obs::set_profile_enabled(true);
+      const auto& perf = obs::perf_availability();
+      if (!perf.available) {
+        std::fprintf(stderr,
+                     "fpart_cli: hardware counters unavailable (%s); "
+                     "profiling degrades to heap/RSS telemetry\n",
+                     perf.reason.c_str());
+      }
+    }
   }
 
   // --audit turns on the pass-boundary invariant auditor; --events
@@ -350,6 +364,35 @@ int cmd_partition(const CliParser& cli) {
     }
     std::printf("assignment written to %s\n", cli.get("parts").c_str());
   }
+  if (want_profile) {
+    const auto& perf = obs::perf_availability();
+    const obs::HeapStats heap = obs::heap_stats();
+    std::printf(
+        "profile: perf=%s, peak_rss=%.1f MiB, heap allocs=%llu "
+        "(%.1f MiB, peak %.1f MiB)%s\n",
+        perf.available ? "available" : "unavailable",
+        static_cast<double>(obs::peak_rss_bytes()) / (1024.0 * 1024.0),
+        static_cast<unsigned long long>(heap.alloc_count),
+        static_cast<double>(heap.alloc_bytes) / (1024.0 * 1024.0),
+        static_cast<double>(heap.peak_bytes) / (1024.0 * 1024.0),
+        want_stats ? "" : " — pass --stats-json for the per-phase tree");
+  }
+  // Telemetry loss is silent corruption of the observability story:
+  // surface it loudly (the counts also land in run-report meta).
+  if (obs::trace_dropped() > 0) {
+    std::fprintf(stderr,
+                 "fpart_cli: warning: %llu trace events dropped "
+                 "(trace ring full)\n",
+                 static_cast<unsigned long long>(obs::trace_dropped()));
+  }
+  if (obs::TimeSeries::instance().dropped() > 0) {
+    std::fprintf(
+        stderr,
+        "fpart_cli: warning: %llu timeseries samples dropped (ring "
+        "wrapped; oldest samples overwritten)\n",
+        static_cast<unsigned long long>(
+            obs::TimeSeries::instance().dropped()));
+  }
   return r.feasible ? 0 : 1;
 }
 
@@ -419,6 +462,9 @@ int main(int argc, char** argv) {
                "timeseries: extra window sample every N moves (0 = off)",
                "0");
   cli.add_switch("audit", "recompute invariants at every pass boundary");
+  cli.add_switch("profile",
+                 "per-phase hardware counters + heap telemetry "
+                 "(degrades gracefully when perf_event is denied)");
   if (!cli.parse(argc, argv) || cli.positional().size() != 1) {
     std::fprintf(stderr,
                  "usage: fpart_cli <generate|genlogic|techmap|partition|verify|rent>"

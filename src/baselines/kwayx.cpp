@@ -6,6 +6,7 @@
 #include "fm/gain_bucket.hpp"
 #include "fm/gains.hpp"
 #include "fm/repair.hpp"
+#include "obs/phase.hpp"
 #include "obs/timeseries.hpp"
 #include "partition/partition.hpp"
 #include "util/assert.hpp"
@@ -78,6 +79,7 @@ void grow_by_connectivity(Partition& p, const Device& d, BlockId block) {
 
 PartitionResult KwayxPartitioner::run(const Hypergraph& h,
                                       const Device& device) const {
+  obs::ScopedPhase phase("kwayx.run");
   Timer timer;
   CpuTimer cpu_timer;
   const std::uint32_t m = lower_bound_devices(h, device);
@@ -91,6 +93,7 @@ PartitionResult KwayxPartitioner::run(const Hypergraph& h,
       break;
     }
     ++iterations;
+    obs::ScopedPhase iter_phase("kwayx.block");  // grow + polish + shrink
     const BlockId pk = p.add_block();
     grow_by_connectivity(p, device, pk);
 

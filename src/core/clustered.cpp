@@ -4,6 +4,7 @@
 #include <array>
 #include <vector>
 
+#include "obs/phase.hpp"
 #include "obs/timeseries.hpp"
 #include "partition/evaluator.hpp"
 #include "sanchis/refiner.hpp"
@@ -53,6 +54,7 @@ void clustered_refine_level(Partition& p, const Device& device,
 
 PartitionResult ClusteredFpartPartitioner::run(const Hypergraph& h,
                                                const Device& device) const {
+  obs::ScopedPhase phase("clustered.run");
   FPART_REQUIRE(options_.levels >= 1, "clustered FPART needs >= 1 level");
   Timer timer;
   CpuTimer cpu_timer;
@@ -68,6 +70,7 @@ PartitionResult ClusteredFpartPartitioner::run(const Hypergraph& h,
   std::vector<Coarsening> ladder;
   const Hypergraph* current = &h;
   for (std::uint32_t level = 0; level < options_.levels; ++level) {
+    obs::ScopedPhase coarsen_phase("clustered.coarsen");
     Coarsening c = coarsen(*current, coarsen_config);
     if (c.coarse.num_interior() >= current->num_interior()) break;  // stall
     ladder.push_back(std::move(c));
@@ -96,7 +99,10 @@ PartitionResult ClusteredFpartPartitioner::run(const Hypergraph& h,
         (it + 1 == ladder.rend()) ? h : (it + 1)->coarse;
     Partition p(target, assignment, coarse_result.k);
     FPART_ASSERT(p.classify(device) == FeasibilityClass::kFeasible);
-    detail::clustered_refine_level(p, device, m, options_);
+    {
+      obs::ScopedPhase refine_phase("clustered.refine");
+      detail::clustered_refine_level(p, device, m, options_);
+    }
     ++iterations;
     if (obs::timeseries_enabled()) {
       obs::sample_point(obs::SampleKind::kPass, obs::Engine::kClustered,

@@ -1,0 +1,64 @@
+// Counting global operator new/delete feeding obs/profile heap
+// telemetry. Deliberately NOT part of fpart::all: replacing the global
+// allocator is a per-binary decision — tests/hotpath_test.cpp defines
+// its own hook, and library consumers may too — so binaries opt in by
+// linking fpart::alloc_hook. heap_stats() reports available:false in
+// binaries that don't.
+//
+// Counting is always-on once linked (never gated on profile_enabled):
+// arming lazily would let frees of pre-arming blocks underflow the
+// live-byte balance. The overhead is two thread-local increments and a
+// handful of relaxed atomics per allocation.
+#include <cstddef>
+#include <new>
+
+#include "obs/profile.hpp"
+
+// Sanitizer builds interpose their own allocator; replacing operator
+// new there causes alloc/dealloc-mismatch false positives, so the hook
+// compiles out and heap telemetry degrades to available:false (same
+// policy as tests/hotpath_test.cpp).
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define FPART_ALLOC_HOOK 0
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer) || \
+    __has_feature(memory_sanitizer)
+#define FPART_ALLOC_HOOK 0
+#endif
+#endif
+#ifndef FPART_ALLOC_HOOK
+#define FPART_ALLOC_HOOK 1
+#endif
+
+#if FPART_ALLOC_HOOK
+
+void* operator new(std::size_t size) {
+  return fpart::obs::detail::profiled_alloc(size);
+}
+void* operator new[](std::size_t size) {
+  return fpart::obs::detail::profiled_alloc(size);
+}
+void operator delete(void* p) noexcept {
+  fpart::obs::detail::profiled_free(p);
+}
+void operator delete[](void* p) noexcept {
+  fpart::obs::detail::profiled_free(p);
+}
+void operator delete(void* p, std::size_t) noexcept {
+  fpart::obs::detail::profiled_free(p);
+}
+void operator delete[](void* p, std::size_t) noexcept {
+  fpart::obs::detail::profiled_free(p);
+}
+
+namespace {
+// Flips heap_stats().available for this binary at static-init time.
+struct HookRegistrar {
+  HookRegistrar() {
+    fpart::obs::detail::g_heap_hook_linked.store(true,
+                                                 std::memory_order_relaxed);
+  }
+} g_hook_registrar;
+}  // namespace
+
+#endif  // FPART_ALLOC_HOOK

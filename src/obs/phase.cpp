@@ -64,11 +64,12 @@ PhaseNode* PhaseForest::enter(const char* name) {
 }
 
 void PhaseForest::exit(PhaseNode* node, double wall_seconds,
-                       double cpu_seconds) {
+                       double cpu_seconds, const PhaseProfile* profile) {
   Impl& i = impl();
   std::lock_guard<std::mutex> lock(i.mu);
   node->wall_seconds += wall_seconds;
   node->cpu_seconds += cpu_seconds;
+  if (profile != nullptr) node->profile.accumulate(*profile);
   ++node->count;
   // Unwind this thread's cursor to the node's parent even if inner
   // phases leaked (they cannot with RAII, but stay defensive).
@@ -87,6 +88,7 @@ std::unique_ptr<PhaseNode> deep_copy(const PhaseNode& from,
   node->wall_seconds = from.wall_seconds;
   node->cpu_seconds = from.cpu_seconds;
   node->count = from.count;
+  node->profile = from.profile;
   node->parent = parent;
   node->children.reserve(from.children.size());
   for (const auto& c : from.children) {
@@ -117,9 +119,15 @@ void PhaseForest::reset() {
 }
 
 ScopedPhase::ScopedPhase(const char* name) {
-  if (!stats_enabled() && !trace_enabled()) return;
+  if (!stats_enabled() && !trace_enabled() && !profile_enabled()) return;
   name_ = name;
   node_ = PhaseForest::instance().enter(name);
+  if (profile_enabled()) {
+    profiled_ = true;
+    alloc_count_start_ = thread_alloc_count();
+    alloc_bytes_start_ = thread_alloc_bytes();
+    perf_start_ = perf_read();
+  }
   wall_start_ns_ = wall_now_ns();
   cpu_start_ = CpuTimer::now_seconds();
 }
@@ -129,7 +137,32 @@ ScopedPhase::~ScopedPhase() {
   const double wall =
       static_cast<double>(wall_now_ns() - wall_start_ns_) * 1e-9;
   const double cpu = CpuTimer::now_seconds() - cpu_start_;
-  PhaseForest::instance().exit(node_, wall, cpu);
+  PhaseProfile delta;
+  if (profiled_) {
+    const PerfSample end = perf_read();
+    // Per-thread counters are monotonic; guard anyway so a counter
+    // hiccup can't wrap the unsigned delta.
+    delta.cycles = end.cycles >= perf_start_.cycles
+                       ? end.cycles - perf_start_.cycles
+                       : 0;
+    delta.instructions = end.instructions >= perf_start_.instructions
+                             ? end.instructions - perf_start_.instructions
+                             : 0;
+    delta.cache_references =
+        end.cache_references >= perf_start_.cache_references
+            ? end.cache_references - perf_start_.cache_references
+            : 0;
+    delta.cache_misses = end.cache_misses >= perf_start_.cache_misses
+                             ? end.cache_misses - perf_start_.cache_misses
+                             : 0;
+    delta.branch_misses = end.branch_misses >= perf_start_.branch_misses
+                              ? end.branch_misses - perf_start_.branch_misses
+                              : 0;
+    delta.alloc_count = thread_alloc_count() - alloc_count_start_;
+    delta.alloc_bytes = thread_alloc_bytes() - alloc_bytes_start_;
+  }
+  PhaseForest::instance().exit(node_, wall, cpu,
+                               profiled_ ? &delta : nullptr);
   if (trace_enabled()) {
     const std::uint64_t dur_us =
         static_cast<std::uint64_t>(wall * 1e6);

@@ -20,16 +20,41 @@
 #include <string>
 #include <vector>
 
+#include "obs/profile.hpp"
 #include "obs/stats.hpp"
 #include "obs/trace.hpp"
 
 namespace fpart::obs {
+
+/// Machine-level deltas accumulated by a phase node while profiling is
+/// on (obs/profile.hpp). Zero when perf/the alloc hook are unavailable
+/// — availability is reported once per document, not per node.
+struct PhaseProfile {
+  std::uint64_t cycles = 0;
+  std::uint64_t instructions = 0;
+  std::uint64_t cache_references = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t branch_misses = 0;
+  std::uint64_t alloc_count = 0;  // thread-local operator new calls
+  std::uint64_t alloc_bytes = 0;
+
+  void accumulate(const PhaseProfile& d) {
+    cycles += d.cycles;
+    instructions += d.instructions;
+    cache_references += d.cache_references;
+    cache_misses += d.cache_misses;
+    branch_misses += d.branch_misses;
+    alloc_count += d.alloc_count;
+    alloc_bytes += d.alloc_bytes;
+  }
+};
 
 struct PhaseNode {
   std::string name;
   double wall_seconds = 0.0;
   double cpu_seconds = 0.0;
   std::uint64_t count = 0;  // completed entries
+  PhaseProfile profile;     // all-zero unless profiling was on
   PhaseNode* parent = nullptr;
   std::vector<std::unique_ptr<PhaseNode>> children;
 
@@ -44,7 +69,10 @@ class PhaseForest {
   static PhaseForest& instance();
 
   PhaseNode* enter(const char* name);
-  void exit(PhaseNode* node, double wall_seconds, double cpu_seconds);
+  /// Closes `node`, accumulating timings and (when non-null) the
+  /// profiling deltas sampled by the exiting ScopedPhase.
+  void exit(PhaseNode* node, double wall_seconds, double cpu_seconds,
+            const PhaseProfile* profile = nullptr);
 
   /// Drops all recorded phases.
   void reset();
@@ -72,6 +100,13 @@ class ScopedPhase {
   PhaseNode* node_ = nullptr;
   std::int64_t wall_start_ns_ = 0;
   double cpu_start_ = 0.0;
+  // Profiling baselines (captured only when profile_enabled() at entry;
+  // the flag is latched so a mid-phase toggle can't produce a bogus
+  // delta).
+  bool profiled_ = false;
+  PerfSample perf_start_;
+  std::uint64_t alloc_count_start_ = 0;
+  std::uint64_t alloc_bytes_start_ = 0;
 };
 
 }  // namespace fpart::obs

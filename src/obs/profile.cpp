@@ -1,0 +1,379 @@
+#include "obs/profile.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <new>
+
+#include "obs/json.hpp"
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#define FPART_HAS_PERF_EVENT 1
+#endif
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#include <sys/time.h>
+#define FPART_PROFILE_HAS_GETRUSAGE 1
+#endif
+
+#if defined(__GLIBC__)
+#include <malloc.h>
+#define FPART_HAS_MALLOC_USABLE_SIZE 1
+#endif
+
+namespace fpart::obs {
+
+namespace detail {
+
+std::atomic<bool> g_profile_enabled{false};
+
+std::atomic<bool> g_heap_hook_linked{false};
+std::atomic<std::uint64_t> g_heap_alloc_count{0};
+std::atomic<std::uint64_t> g_heap_alloc_bytes{0};
+std::atomic<std::uint64_t> g_heap_free_count{0};
+std::atomic<std::int64_t> g_heap_live_bytes{0};
+std::atomic<std::int64_t> g_heap_peak_bytes{0};
+
+thread_local std::uint64_t t_heap_alloc_count = 0;
+thread_local std::uint64_t t_heap_alloc_bytes = 0;
+
+void* profiled_alloc(std::size_t size) {
+  if (size == 0) size = 1;
+  void* p = std::malloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+#if defined(FPART_HAS_MALLOC_USABLE_SIZE)
+  const auto bytes = static_cast<std::uint64_t>(malloc_usable_size(p));
+#else
+  const auto bytes = static_cast<std::uint64_t>(size);
+#endif
+  t_heap_alloc_count += 1;
+  t_heap_alloc_bytes += bytes;
+  g_heap_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  g_heap_alloc_bytes.fetch_add(bytes, std::memory_order_relaxed);
+#if defined(FPART_HAS_MALLOC_USABLE_SIZE)
+  // Live-byte balance and high-watermark need the freed size too, which
+  // only malloc_usable_size provides portably enough; without it the
+  // watermark stays 0 and heap_stats() reports what it can.
+  const std::int64_t live =
+      g_heap_live_bytes.fetch_add(static_cast<std::int64_t>(bytes),
+                                  std::memory_order_relaxed) +
+      static_cast<std::int64_t>(bytes);
+  std::int64_t peak = g_heap_peak_bytes.load(std::memory_order_relaxed);
+  while (live > peak && !g_heap_peak_bytes.compare_exchange_weak(
+                            peak, live, std::memory_order_relaxed)) {
+  }
+#endif
+  return p;
+}
+
+void profiled_free(void* p) noexcept {
+  if (p == nullptr) return;
+  g_heap_free_count.fetch_add(1, std::memory_order_relaxed);
+#if defined(FPART_HAS_MALLOC_USABLE_SIZE)
+  const auto bytes = static_cast<std::int64_t>(malloc_usable_size(p));
+  g_heap_live_bytes.fetch_sub(bytes, std::memory_order_relaxed);
+#endif
+  std::free(p);
+}
+
+}  // namespace detail
+
+// ---------------------------------------------------------------------
+// perf_event counter group
+
+namespace {
+
+std::atomic<bool> g_perf_forced_unavailable{false};
+
+struct PerfProbe {
+  PerfAvailability availability;
+  bool probed = false;
+};
+
+std::mutex g_perf_probe_mu;
+PerfProbe g_perf_probe;
+
+#if defined(FPART_HAS_PERF_EVENT)
+
+/// The five counters of the group, in a fixed schema order.
+constexpr std::uint32_t kPerfConfigs[] = {
+    PERF_COUNT_HW_CPU_CYCLES,       PERF_COUNT_HW_INSTRUCTIONS,
+    PERF_COUNT_HW_CACHE_REFERENCES, PERF_COUNT_HW_CACHE_MISSES,
+    PERF_COUNT_HW_BRANCH_MISSES,
+};
+constexpr int kPerfEvents = 5;
+
+int perf_event_open(perf_event_attr* attr, pid_t pid, int cpu, int group_fd,
+                    unsigned long flags) {
+  return static_cast<int>(
+      syscall(SYS_perf_event_open, attr, pid, cpu, group_fd, flags));
+}
+
+perf_event_attr make_attr(std::uint32_t config, bool leader) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof attr);
+  attr.type = PERF_TYPE_HARDWARE;
+  attr.size = sizeof attr;
+  attr.config = config;
+  attr.disabled = leader ? 1 : 0;  // group starts/stops via the leader
+  attr.exclude_kernel = 1;         // works at perf_event_paranoid <= 2
+  attr.exclude_hv = 1;
+  attr.read_format = PERF_FORMAT_GROUP | PERF_FORMAT_ID |
+                     PERF_FORMAT_TOTAL_TIME_ENABLED |
+                     PERF_FORMAT_TOTAL_TIME_RUNNING;
+  return attr;
+}
+
+/// One thread's counter group: leader fd plus member fds and the kernel
+/// ids that map group-read slots back to our fixed counter order.
+struct PerfGroup {
+  int fds[kPerfEvents] = {-1, -1, -1, -1, -1};
+  std::uint64_t ids[kPerfEvents] = {};
+  bool open = false;
+  bool tried = false;
+
+  ~PerfGroup() { close_all(); }
+
+  void close_all() {
+    for (int& fd : fds) {
+      if (fd >= 0) ::close(fd);
+      fd = -1;
+    }
+    open = false;
+  }
+
+  /// Opens the group for the calling thread. Returns false with errno
+  /// preserved in `err` on failure of the leader; member failures (a
+  /// PMU without that counter) leave the member absent but keep the
+  /// group usable.
+  bool open_group(int& err) {
+    perf_event_attr leader_attr = make_attr(kPerfConfigs[0], true);
+    fds[0] = perf_event_open(&leader_attr, 0, -1, -1, 0);
+    if (fds[0] < 0) {
+      err = errno;
+      return false;
+    }
+    if (ioctl(fds[0], PERF_EVENT_IOC_ID, &ids[0]) != 0) {
+      err = errno;
+      close_all();
+      return false;
+    }
+    for (int i = 1; i < kPerfEvents; ++i) {
+      perf_event_attr attr = make_attr(kPerfConfigs[i], false);
+      fds[i] = perf_event_open(&attr, 0, -1, fds[0], 0);
+      if (fds[i] >= 0 && ioctl(fds[i], PERF_EVENT_IOC_ID, &ids[i]) != 0) {
+        ::close(fds[i]);
+        fds[i] = -1;
+      }
+    }
+    ioctl(fds[0], PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP);
+    ioctl(fds[0], PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP);
+    open = true;
+    return true;
+  }
+
+  PerfSample read_sample() {
+    PerfSample s;
+    if (!open) return s;
+    // read_format layout: nr, time_enabled, time_running,
+    // then nr * { value, id }.
+    std::uint64_t buf[3 + 2 * kPerfEvents] = {};
+    const ssize_t n = ::read(fds[0], buf, sizeof buf);
+    if (n < static_cast<ssize_t>(3 * sizeof(std::uint64_t))) return s;
+    const std::uint64_t nr = buf[0];
+    const std::uint64_t enabled = buf[1];
+    const std::uint64_t running = buf[2];
+    // Scale for multiplexing: when the kernel rotates the group against
+    // limited PMU hardware, running < enabled and raw counts undercount
+    // proportionally.
+    const double scale =
+        (running > 0 && enabled > running)
+            ? static_cast<double>(enabled) / static_cast<double>(running)
+            : 1.0;
+    for (std::uint64_t slot = 0; slot < nr && slot < kPerfEvents; ++slot) {
+      const std::uint64_t value = buf[3 + 2 * slot];
+      const std::uint64_t id = buf[3 + 2 * slot + 1];
+      for (int i = 0; i < kPerfEvents; ++i) {
+        if (fds[i] < 0 || ids[i] != id) continue;
+        const auto scaled =
+            static_cast<std::uint64_t>(static_cast<double>(value) * scale);
+        switch (i) {
+          case 0: s.cycles = scaled; break;
+          case 1: s.instructions = scaled; break;
+          case 2: s.cache_references = scaled; break;
+          case 3: s.cache_misses = scaled; break;
+          case 4: s.branch_misses = scaled; break;
+          default: break;
+        }
+        break;
+      }
+    }
+    return s;
+  }
+};
+
+thread_local PerfGroup t_perf_group;
+
+std::string paranoid_hint() {
+  FILE* f = std::fopen("/proc/sys/kernel/perf_event_paranoid", "r");
+  if (f == nullptr) return "";
+  char buf[32] = {};
+  const std::size_t n = std::fread(buf, 1, sizeof buf - 1, f);
+  std::fclose(f);
+  if (n == 0) return "";
+  std::string v(buf);
+  while (!v.empty() && (v.back() == '\n' || v.back() == ' ')) v.pop_back();
+  return " (kernel.perf_event_paranoid=" + v + ")";
+}
+
+#endif  // FPART_HAS_PERF_EVENT
+
+/// Probes availability once by opening (and keeping) the calling
+/// thread's group. Never throws; failure fills the reason string.
+const PerfAvailability& probe_perf() {
+  std::lock_guard<std::mutex> lock(g_perf_probe_mu);
+  if (g_perf_probe.probed) return g_perf_probe.availability;
+  g_perf_probe.probed = true;
+  PerfAvailability& a = g_perf_probe.availability;
+
+  const char* disabled = std::getenv("FPART_PERF_DISABLE");
+  if (disabled != nullptr && disabled[0] != '\0') {
+    a.available = false;
+    a.reason = "disabled by FPART_PERF_DISABLE";
+    return a;
+  }
+#if defined(FPART_HAS_PERF_EVENT)
+  int err = 0;
+  if (t_perf_group.open_group(err)) {
+    t_perf_group.tried = true;
+    a.available = true;
+    a.reason = "";
+  } else {
+    t_perf_group.tried = true;
+    a.available = false;
+    a.reason = std::string("perf_event_open: ") + std::strerror(err);
+    if (err == EACCES || err == EPERM) a.reason += paranoid_hint();
+  }
+#else
+  a.available = false;
+  a.reason = "perf_event_open requires Linux";
+#endif
+  return a;
+}
+
+}  // namespace
+
+namespace detail {
+void force_perf_unavailable_for_test(bool forced) {
+  g_perf_forced_unavailable.store(forced, std::memory_order_relaxed);
+}
+}  // namespace detail
+
+const PerfAvailability& perf_availability() {
+  static const PerfAvailability forced{false,
+                                       "forced unavailable (test hook)"};
+  if (g_perf_forced_unavailable.load(std::memory_order_relaxed)) {
+    return forced;
+  }
+  return probe_perf();
+}
+
+PerfSample perf_read() {
+  if (g_perf_forced_unavailable.load(std::memory_order_relaxed)) {
+    return {};
+  }
+  if (!perf_availability().available) return {};
+#if defined(FPART_HAS_PERF_EVENT)
+  if (!t_perf_group.tried) {
+    t_perf_group.tried = true;
+    int err = 0;
+    (void)t_perf_group.open_group(err);  // per-thread; probe said yes
+  }
+  return t_perf_group.read_sample();
+#else
+  return {};
+#endif
+}
+
+void set_profile_enabled(bool enabled) {
+  detail::g_profile_enabled.store(enabled, std::memory_order_relaxed);
+  if (enabled) (void)perf_availability();  // probe (and diagnose) eagerly
+}
+
+// ---------------------------------------------------------------------
+// Memory telemetry
+
+HeapStats heap_stats() {
+  HeapStats s;
+  s.available = detail::g_heap_hook_linked.load(std::memory_order_relaxed);
+  if (!s.available) return s;
+  s.alloc_count = detail::g_heap_alloc_count.load(std::memory_order_relaxed);
+  s.alloc_bytes = detail::g_heap_alloc_bytes.load(std::memory_order_relaxed);
+  s.free_count = detail::g_heap_free_count.load(std::memory_order_relaxed);
+  const std::int64_t live =
+      detail::g_heap_live_bytes.load(std::memory_order_relaxed);
+  const std::int64_t peak =
+      detail::g_heap_peak_bytes.load(std::memory_order_relaxed);
+  s.live_bytes = live > 0 ? static_cast<std::uint64_t>(live) : 0;
+  s.peak_bytes = peak > 0 ? static_cast<std::uint64_t>(peak) : 0;
+  return s;
+}
+
+std::uint64_t thread_alloc_count() { return detail::t_heap_alloc_count; }
+std::uint64_t thread_alloc_bytes() { return detail::t_heap_alloc_bytes; }
+
+std::uint64_t peak_rss_bytes() {
+#if defined(FPART_PROFILE_HAS_GETRUSAGE)
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<std::uint64_t>(usage.ru_maxrss);  // bytes on macOS
+#else
+  return static_cast<std::uint64_t>(usage.ru_maxrss) * 1024;  // KiB
+#endif
+#else
+  return 0;
+#endif
+}
+
+void write_profile_section(JsonWriter& w) {
+  const PerfAvailability& perf = perf_availability();
+  const HeapStats heap = heap_stats();
+  w.begin_object();
+  w.key("perf");
+  w.begin_object();
+  w.key("available");
+  w.value(perf.available);
+  if (!perf.available) {
+    w.key("reason");
+    w.value(perf.reason);
+  }
+  w.end_object();
+  w.key("heap");
+  w.begin_object();
+  w.key("available");
+  w.value(heap.available);
+  w.key("alloc_count");
+  w.value(heap.alloc_count);
+  w.key("alloc_bytes");
+  w.value(heap.alloc_bytes);
+  w.key("free_count");
+  w.value(heap.free_count);
+  w.key("live_bytes");
+  w.value(heap.live_bytes);
+  w.key("peak_bytes");
+  w.value(heap.peak_bytes);
+  w.end_object();
+  w.key("peak_rss_bytes");
+  w.value(peak_rss_bytes());
+  w.end_object();
+}
+
+}  // namespace fpart::obs

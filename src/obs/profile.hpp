@@ -1,0 +1,144 @@
+// Hardware-counter and memory profiling layer.
+//
+// When profiling is on (fpart_cli --profile, fpart_bench --profile or
+// set_profile_enabled(true)), every ScopedPhase additionally samples a
+// perf_event counter group — cycles, instructions, cache references,
+// cache misses, branch misses — at phase enter/exit, so every node of
+// the phase tree carries machine-level deltas next to its wall/CPU
+// time. The same hook attributes heap allocation counts/bytes per
+// phase when the counting allocator (obs/alloc_hook.cpp, linked via
+// fpart::alloc_hook) is present in the binary.
+//
+// Graceful degradation is a hard requirement: perf_event_open is
+// routinely denied in containers (ENOSYS under seccomp, EACCES/EPERM
+// under kernel.perf_event_paranoid >= 3) and the counting allocator is
+// deliberately not linked into every binary. Every degraded layer
+// reports `available:false` plus a reason string — never an error, and
+// never a behavior change: profiling only READS counters, so a
+// profiled run produces byte-identical event logs and partition
+// digests to an unprofiled one.
+//
+// Counter groups are per-thread (perf_event_open with tid=self), opened
+// lazily on a thread's first sample and inherited by nobody, so
+// concurrent portfolio attempts each measure their own work. Reads are
+// one read(2) of the group leader; values are scaled by
+// time_enabled/time_running when the kernel multiplexes the group
+// against limited PMU hardware (documented in docs/PROFILING.md).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace fpart::obs {
+
+namespace detail {
+extern std::atomic<bool> g_profile_enabled;
+
+// Process-wide heap telemetry, maintained by the counting operator
+// new/delete in obs/alloc_hook.cpp. Always-on when the hook is linked
+// (arming lazily would corrupt the live-byte balance: frees of blocks
+// allocated before arming would underflow). All relaxed: these are
+// coarse telemetry aggregates, not synchronization points.
+extern std::atomic<bool> g_heap_hook_linked;
+extern std::atomic<std::uint64_t> g_heap_alloc_count;
+extern std::atomic<std::uint64_t> g_heap_alloc_bytes;
+extern std::atomic<std::uint64_t> g_heap_free_count;
+extern std::atomic<std::int64_t> g_heap_live_bytes;
+extern std::atomic<std::int64_t> g_heap_peak_bytes;
+
+// Per-thread allocation totals so per-phase deltas attribute a
+// thread's own allocations even while other threads churn.
+extern thread_local std::uint64_t t_heap_alloc_count;
+extern thread_local std::uint64_t t_heap_alloc_bytes;
+
+/// The counting allocator bodies (called by the replaced operator
+/// new/delete in alloc_hook.cpp; defined here so the hook translation
+/// unit stays a trivial forwarder).
+void* profiled_alloc(std::size_t size);
+void profiled_free(void* p) noexcept;
+
+/// Test hook: forces perf_availability() to report unavailable (as if
+/// perf_event_open had been denied) without needing a locked-down
+/// kernel. Affects subsequent availability queries and reads; pass
+/// false to restore the real probe result.
+void force_perf_unavailable_for_test(bool forced);
+}  // namespace detail
+
+/// True while per-phase hardware/memory profiling is armed. Relaxed
+/// load — same coarse on/off discipline as stats_enabled().
+inline bool profile_enabled() {
+  return detail::g_profile_enabled.load(std::memory_order_relaxed);
+}
+
+/// Arms/disarms profiling for the whole process. The first enable
+/// probes perf_event availability (see perf_availability()); enabling
+/// never fails — on a denied kernel the counters simply read as zero
+/// and report available:false.
+void set_profile_enabled(bool enabled);
+
+/// One reading of the hardware counter group. Cumulative per thread;
+/// subtract two readings for a span delta. All-zero when perf is
+/// unavailable.
+struct PerfSample {
+  std::uint64_t cycles = 0;
+  std::uint64_t instructions = 0;
+  std::uint64_t cache_references = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t branch_misses = 0;
+};
+
+/// Why (or whether) hardware counters work in this process.
+struct PerfAvailability {
+  bool available = false;
+  /// Human-readable diagnosis when unavailable: "perf_event_open:
+  /// EACCES (kernel.perf_event_paranoid=4?)", "not a Linux build",
+  /// "disabled by FPART_PERF_DISABLE", ...
+  std::string reason;
+};
+
+/// Availability verdict for perf counters. Probed once (first call or
+/// first set_profile_enabled(true)); honors the FPART_PERF_DISABLE
+/// environment variable (any non-empty value forces unavailable — the
+/// CI denied-path leg uses this).
+const PerfAvailability& perf_availability();
+
+/// Reads the calling thread's counter group (opening it on first use).
+/// Returns all-zero when perf is unavailable or profiling is off.
+PerfSample perf_read();
+
+/// Process heap telemetry snapshot (counting operator new/delete).
+struct HeapStats {
+  /// False when obs/alloc_hook.cpp is not linked into this binary (or
+  /// was compiled out under a sanitizer, whose interposed allocator it
+  /// must not fight).
+  bool available = false;
+  std::uint64_t alloc_count = 0;  // operator new calls, process-wide
+  std::uint64_t alloc_bytes = 0;  // bytes handed out (usable size)
+  std::uint64_t free_count = 0;   // operator delete calls
+  std::uint64_t live_bytes = 0;   // currently outstanding bytes
+  std::uint64_t peak_bytes = 0;   // high-watermark of live_bytes
+};
+
+/// Current process-wide heap counters; available=false (zeros) when the
+/// counting allocator is not linked.
+HeapStats heap_stats();
+
+/// Calling thread's cumulative allocation count/bytes (zero without the
+/// hook). ScopedPhase uses the delta of these for per-phase
+/// attribution.
+std::uint64_t thread_alloc_count();
+std::uint64_t thread_alloc_bytes();
+
+/// Peak resident set size of the process in bytes (getrusage
+/// ru_maxrss); 0 where getrusage is unavailable.
+std::uint64_t peak_rss_bytes();
+
+class JsonWriter;
+
+/// Writes the `"profile"` section value for run reports and bench
+/// documents: perf availability, heap telemetry, peak RSS. Emits one
+/// JSON object (caller writes the key).
+void write_profile_section(JsonWriter& w);
+
+}  // namespace fpart::obs

@@ -1,0 +1,73 @@
+#include "obs/provenance.hpp"
+
+#include "obs/json.hpp"
+
+// Baked in by src/obs/CMakeLists.txt (set_source_files_properties on
+// this file only, so touching the git HEAD rebuilds one TU).
+#ifndef FPART_GIT_SHA
+#define FPART_GIT_SHA "unknown"
+#endif
+#ifndef FPART_GIT_DIRTY
+#define FPART_GIT_DIRTY 0
+#endif
+#ifndef FPART_BUILD_TYPE
+#define FPART_BUILD_TYPE ""
+#endif
+#ifndef FPART_CXX_FLAGS
+#define FPART_CXX_FLAGS ""
+#endif
+#ifndef FPART_SANITIZE_FLAGS
+#define FPART_SANITIZE_FLAGS ""
+#endif
+
+namespace fpart::obs {
+
+namespace {
+
+std::string detect_compiler() {
+#if defined(__clang_version__)
+  return std::string("Clang ") + __clang_version__;
+#elif defined(__GNUC__) && defined(__VERSION__)
+  return std::string("GNU ") + __VERSION__;
+#elif defined(_MSC_VER)
+  return "MSVC " + std::to_string(_MSC_VER);
+#else
+  return "unknown";
+#endif
+}
+
+}  // namespace
+
+const BuildProvenance& build_provenance() {
+  static const BuildProvenance p = [] {
+    BuildProvenance b;
+    b.git_sha = FPART_GIT_SHA;
+    b.git_dirty = FPART_GIT_DIRTY != 0;
+    b.compiler = detect_compiler();
+    b.build_type = FPART_BUILD_TYPE;
+    b.cxx_flags = FPART_CXX_FLAGS;
+    b.sanitizer = FPART_SANITIZE_FLAGS;
+    return b;
+  }();
+  return p;
+}
+
+void write_provenance(JsonWriter& w) {
+  const BuildProvenance& p = build_provenance();
+  w.begin_object();
+  w.key("git_sha");
+  w.value(p.git_sha);
+  w.key("git_dirty");
+  w.value(p.git_dirty);
+  w.key("compiler");
+  w.value(p.compiler);
+  w.key("build_type");
+  w.value(p.build_type);
+  w.key("cxx_flags");
+  w.value(p.cxx_flags);
+  w.key("sanitizer");
+  w.value(p.sanitizer);
+  w.end_object();
+}
+
+}  // namespace fpart::obs

@@ -1,0 +1,37 @@
+// Build provenance stamped into every report/bench schema so a
+// BENCH_*.json trajectory is attributable to an exact binary: git sha
+// (+dirty marker), compiler, build type, flags, sanitizer state.
+//
+// Values are baked in at CMake configure time as compile definitions
+// scoped to provenance.cpp (see src/obs/CMakeLists.txt); a build from
+// an exported tarball degrades to sha "unknown".
+//
+// Deliberately NOT stamped into fpart-events/1 or standalone
+// fpart-timeseries/1 documents: those are byte-identity artifacts
+// (replay and tamper detection compare them byte-for-byte across
+// builds), and provenance would make every rebuild a "tamper".
+#pragma once
+
+#include <string>
+
+namespace fpart::obs {
+
+class JsonWriter;
+
+struct BuildProvenance {
+  std::string git_sha;      // "unknown" outside a git checkout
+  bool git_dirty = false;   // uncommitted changes at configure time
+  std::string compiler;     // e.g. "GNU 13.2.0"
+  std::string build_type;   // CMAKE_BUILD_TYPE (may be empty)
+  std::string cxx_flags;    // build-type-resolved CXX flags
+  std::string sanitizer;    // FPART_SANITIZE value, "" when off
+};
+
+/// The provenance of this binary (constant for the process lifetime).
+const BuildProvenance& build_provenance();
+
+/// Writes the `"provenance"` object value (caller writes the key).
+/// Every report sink calls this — CI grep-gates it.
+void write_provenance(JsonWriter& w);
+
+}  // namespace fpart::obs

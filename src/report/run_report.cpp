@@ -4,8 +4,11 @@
 
 #include "obs/json.hpp"
 #include "obs/phase.hpp"
+#include "obs/profile.hpp"
+#include "obs/provenance.hpp"
 #include "obs/stats.hpp"
 #include "obs/timeseries.hpp"
+#include "obs/trace.hpp"
 #include "util/assert.hpp"
 
 namespace fpart {
@@ -28,6 +31,14 @@ void write_meta(JsonWriter& w, const RunMeta& meta) {
     w.key("events_path");
     w.value(meta.events_path);
   }
+  // Telemetry loss accounting: nonzero means the trace ring / timeseries
+  // ring wrapped and this report's phases/series under-count reality.
+  w.key("trace_dropped");
+  w.value(obs::trace_dropped());
+  w.key("timeseries_dropped");
+  w.value(obs::TimeSeries::instance().dropped());
+  w.key("provenance");
+  obs::write_provenance(w);
   w.end_object();
 }
 
@@ -122,6 +133,25 @@ void write_phase(JsonWriter& w, const obs::PhaseNode& node) {
   w.value(node.cpu_seconds);
   w.key("count");
   w.value(node.count);
+  if (obs::profile_enabled()) {
+    w.key("profile");
+    w.begin_object();
+    w.key("cycles");
+    w.value(node.profile.cycles);
+    w.key("instructions");
+    w.value(node.profile.instructions);
+    w.key("cache_references");
+    w.value(node.profile.cache_references);
+    w.key("cache_misses");
+    w.value(node.profile.cache_misses);
+    w.key("branch_misses");
+    w.value(node.profile.branch_misses);
+    w.key("alloc_count");
+    w.value(node.profile.alloc_count);
+    w.key("alloc_bytes");
+    w.value(node.profile.alloc_bytes);
+    w.end_object();
+  }
   w.key("children");
   w.begin_array();
   for (const auto& c : node.children) write_phase(w, *c);
@@ -157,6 +187,11 @@ std::string run_report_json(const RunMeta& meta, const PartitionResult& r) {
   write_result(w, r);
   write_registry(w);
   write_phases(w);
+  // Hardware/heap telemetry summary; absence means --profile was off.
+  if (obs::profile_enabled()) {
+    w.key("profile");
+    obs::write_profile_section(w);
+  }
   // Convergence telemetry rides along when the calling thread's sampler
   // collected anything (absence means "sampling was off").
   const obs::TimeSeries& series = obs::TimeSeries::instance();
@@ -194,6 +229,12 @@ std::string bench_report_json(std::string_view bench_name,
   w.end_array();
   write_registry(w);
   write_phases(w);
+  if (obs::profile_enabled()) {
+    w.key("profile");
+    obs::write_profile_section(w);
+  }
+  w.key("provenance");
+  obs::write_provenance(w);
   w.end_object();
   return w.take();
 }

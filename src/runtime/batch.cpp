@@ -11,6 +11,7 @@
 #include "device/xilinx.hpp"
 #include "netlist/hgr_io.hpp"
 #include "obs/json.hpp"
+#include "obs/provenance.hpp"
 #include "util/assert.hpp"
 #include "util/error.hpp"
 #include "util/timer.hpp"
@@ -158,6 +159,8 @@ std::string batch_report_json(const std::vector<JobResult>& results) {
   w.begin_object();
   w.key("schema");
   w.value(kBatchReportSchema);
+  w.key("provenance");
+  obs::write_provenance(w);
   w.key("jobs");
   w.begin_array();
   for (const JobResult& r : results) {

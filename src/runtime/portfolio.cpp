@@ -11,6 +11,7 @@
 #include "core/solve.hpp"
 #include "obs/json.hpp"
 #include "obs/phase.hpp"
+#include "obs/provenance.hpp"
 #include "obs/recorder.hpp"
 #include "obs/stats.hpp"
 #include "partition/replay.hpp"
@@ -303,6 +304,8 @@ std::string portfolio_report_json(const RunMeta& meta,
     w.key("events_path");
     w.value(meta.events_path);
   }
+  w.key("provenance");
+  obs::write_provenance(w);
   w.end_object();
   w.key("portfolio");
   w.begin_object();

@@ -61,8 +61,20 @@ class CpuTimer {
       return tv_seconds(usage.ru_utime) + tv_seconds(usage.ru_stime);
     }
 #endif
-    return static_cast<double>(std::clock()) /
-           static_cast<double>(CLOCKS_PER_SEC);
+    return clock_fallback_seconds();
+  }
+
+  /// The non-getrusage fallback: std::clock() scaled to seconds. Public
+  /// so it is testable on platforms where the getrusage branch normally
+  /// shadows it. Caveat: clock_t is only guaranteed to be an arithmetic
+  /// type; on platforms where it is a 32-bit type with CLOCKS_PER_SEC =
+  /// 1e6 (required by POSIX) it WRAPS after ~72 CPU-minutes, so very
+  /// long runs on getrusage-less platforms can report a negative or
+  /// reset elapsed time. The primary getrusage path does not wrap.
+  static double clock_fallback_seconds() {
+    const std::clock_t c = std::clock();
+    if (c == static_cast<std::clock_t>(-1)) return 0.0;  // unavailable
+    return static_cast<double>(c) / static_cast<double>(CLOCKS_PER_SEC);
   }
 
  private:

@@ -76,6 +76,16 @@ TEST_F(ObsSchemaTest, RunReportIsParseableAndSchemaStable) {
   require(m, "device", JsonValue::Type::kString);
   EXPECT_EQ(require(m, "method", JsonValue::Type::kString).string, "fpart");
   require(m, "seed", JsonValue::Type::kNumber);
+  // Observability health + build provenance ride in meta on every report.
+  require(m, "trace_dropped", JsonValue::Type::kNumber);
+  require(m, "timeseries_dropped", JsonValue::Type::kNumber);
+  const JsonValue& prov = require(m, "provenance", JsonValue::Type::kObject);
+  require(prov, "git_sha", JsonValue::Type::kString);
+  require(prov, "git_dirty", JsonValue::Type::kBool);
+  require(prov, "compiler", JsonValue::Type::kString);
+  require(prov, "build_type", JsonValue::Type::kString);
+  require(prov, "cxx_flags", JsonValue::Type::kString);
+  require(prov, "sanitizer", JsonValue::Type::kString);
 
   const JsonValue& res = require(doc, "result", JsonValue::Type::kObject);
   require(res, "feasible", JsonValue::Type::kBool);
@@ -277,6 +287,11 @@ TEST_F(ObsSchemaTest, BenchReportIsParseableAndSchemaStable) {
   EXPECT_GT(fm_moves->number, 0.0);
   require(doc, "histograms", JsonValue::Type::kObject);
   require(doc, "phases", JsonValue::Type::kArray);
+  // fpart-bench/1 carries provenance at the top level so archived suite
+  // runs stay attributable to an exact build.
+  const JsonValue& prov = require(doc, "provenance", JsonValue::Type::kObject);
+  require(prov, "git_sha", JsonValue::Type::kString);
+  require(prov, "compiler", JsonValue::Type::kString);
 }
 
 }  // namespace

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <random>
 #include <thread>
 
 #include "core/result.hpp"
@@ -80,6 +81,83 @@ TEST_F(ObsTest, HistogramTracksSummaryAndBuckets) {
   EXPECT_EQ(h.bucket(0), 1u);
   EXPECT_EQ(h.bucket(1), 1u);
   EXPECT_EQ(h.bucket(4), 1u);
+}
+
+obs::HistogramSnapshot snapshot_of(const obs::Histogram& h,
+                                   const char* name = "test") {
+  obs::HistogramSnapshot s;
+  s.name = name;
+  s.count = h.count();
+  s.sum = h.sum();
+  s.min = h.min();
+  s.max = h.max();
+  s.buckets.resize(obs::Histogram::kNumBuckets);
+  for (std::size_t i = 0; i < obs::Histogram::kNumBuckets; ++i) {
+    s.buckets[i] = h.bucket(i);
+  }
+  return s;
+}
+
+TEST_F(ObsTest, QuantileOfEmptyHistogramIsZero) {
+  obs::Histogram h;
+  const auto s = snapshot_of(h);
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile(s, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile(s, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile(s, 1.0), 0.0);
+}
+
+TEST_F(ObsTest, QuantileOfSingleSampleIsThatSample) {
+  obs::Histogram h;
+  h.record(37);
+  const auto s = snapshot_of(h);
+  // With one sample every quantile collapses to it (min == max == 37
+  // and the estimate clamps to [min, max]).
+  for (const double q : {0.0, 0.25, 0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(obs::histogram_quantile(s, q), 37.0) << "q=" << q;
+  }
+}
+
+TEST_F(ObsTest, QuantileClampsToRecordedMinMax) {
+  obs::Histogram h;
+  // min and max sit strictly inside their power-of-two buckets, so raw
+  // bucket-edge interpolation would step outside [3, 11] without the
+  // clamp.
+  for (const int v : {3, 5, 6, 7, 9, 11}) h.record(v);
+  const auto s = snapshot_of(h);
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile(s, 0.0), 3.0);
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile(s, 1.0), 11.0);
+  for (const double q : {0.1, 0.5, 0.9, 0.99}) {
+    const double v = obs::histogram_quantile(s, q);
+    EXPECT_GE(v, 3.0) << "q=" << q;
+    EXPECT_LE(v, 11.0) << "q=" << q;
+  }
+}
+
+TEST_F(ObsTest, QuantilesAreMonotoneUnderRandomFills) {
+  std::mt19937_64 rng(0xF9A37);
+  for (int round = 0; round < 20; ++round) {
+    obs::Histogram h;
+    const int n = 1 + static_cast<int>(rng() % 500);
+    // Mix magnitudes so samples spread across many pow-2 buckets.
+    for (int i = 0; i < n; ++i) {
+      const int shift = static_cast<int>(rng() % 20);
+      h.record(static_cast<std::int64_t>(rng() % (1ull << shift)));
+    }
+    const auto s = snapshot_of(h);
+    double prev = obs::histogram_quantile(s, 0.0);
+    for (const double q :
+         {0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0}) {
+      const double v = obs::histogram_quantile(s, q);
+      EXPECT_GE(v, prev) << "round " << round << " q=" << q;
+      prev = v;
+    }
+    // The p50 <= p90 <= p99 triple the run report emits.
+    const double p50 = obs::histogram_quantile(s, 0.50);
+    const double p90 = obs::histogram_quantile(s, 0.90);
+    const double p99 = obs::histogram_quantile(s, 0.99);
+    EXPECT_LE(p50, p90);
+    EXPECT_LE(p90, p99);
+  }
 }
 
 TEST_F(ObsTest, MacrosCountWhenEnabled) {

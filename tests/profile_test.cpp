@@ -1,0 +1,281 @@
+// Unit tests for the hardware-counter & memory profiling layer
+// (obs/profile.hpp): graceful degradation when perf_event is denied,
+// heap telemetry via the counting allocator (fpart::alloc_hook is
+// linked into THIS binary), per-phase delta attribution through
+// ScopedPhase, the "profile" report section, build provenance, and the
+// observation-only contract (profiling changes no partitioning answer).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/solve.hpp"
+#include "device/xilinx.hpp"
+#include "netlist/mcnc.hpp"
+#include "obs/json.hpp"
+#include "obs/phase.hpp"
+#include "obs/profile.hpp"
+#include "obs/provenance.hpp"
+#include "obs/stats.hpp"
+#include "partition/replay.hpp"
+#include "report/run_report.hpp"
+
+// Mirror of the sanitizer detection in obs/alloc_hook.cpp: under
+// ASan/TSan/MSan the counting allocator compiles out and heap telemetry
+// legitimately reports available:false.
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define FPART_EXPECT_ALLOC_HOOK 0
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer) || \
+    __has_feature(memory_sanitizer)
+#define FPART_EXPECT_ALLOC_HOOK 0
+#endif
+#endif
+#ifndef FPART_EXPECT_ALLOC_HOOK
+#define FPART_EXPECT_ALLOC_HOOK 1
+#endif
+
+namespace fpart {
+namespace {
+
+class ProfileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::StatsRegistry::instance().reset();
+    obs::PhaseForest::instance().reset();
+  }
+  void TearDown() override {
+    obs::set_profile_enabled(false);
+    obs::detail::force_perf_unavailable_for_test(false);
+    obs::set_stats_enabled(false);
+    obs::StatsRegistry::instance().reset();
+    obs::PhaseForest::instance().reset();
+  }
+};
+
+// --- graceful degradation --------------------------------------------------
+
+TEST_F(ProfileTest, ForcedUnavailableReportsReasonNotError) {
+  obs::detail::force_perf_unavailable_for_test(true);
+  const obs::PerfAvailability& a = obs::perf_availability();
+  EXPECT_FALSE(a.available);
+  EXPECT_FALSE(a.reason.empty());
+  // Reads degrade to zeros — never throw, never error.
+  const obs::PerfSample s = obs::perf_read();
+  EXPECT_EQ(s.cycles, 0u);
+  EXPECT_EQ(s.instructions, 0u);
+  EXPECT_EQ(s.cache_misses, 0u);
+}
+
+TEST_F(ProfileTest, EnableNeverFailsEvenWhenPerfDenied) {
+  obs::detail::force_perf_unavailable_for_test(true);
+  EXPECT_NO_THROW(obs::set_profile_enabled(true));
+  EXPECT_TRUE(obs::profile_enabled());
+  obs::set_profile_enabled(false);
+  EXPECT_FALSE(obs::profile_enabled());
+}
+
+TEST_F(ProfileTest, AvailabilityIsStableAcrossQueries) {
+  const bool first = obs::perf_availability().available;
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(obs::perf_availability().available, first);
+  }
+}
+
+// --- heap telemetry --------------------------------------------------------
+
+TEST_F(ProfileTest, HeapHookLinkageMatchesBuildConfiguration) {
+  EXPECT_EQ(obs::heap_stats().available, FPART_EXPECT_ALLOC_HOOK == 1);
+}
+
+#if FPART_EXPECT_ALLOC_HOOK
+TEST_F(ProfileTest, HeapCountersTrackAllocations) {
+  const obs::HeapStats before = obs::heap_stats();
+  const std::uint64_t t_count_before = obs::thread_alloc_count();
+  const std::uint64_t t_bytes_before = obs::thread_alloc_bytes();
+  {
+    auto block = std::make_unique<std::vector<char>>(1 << 16);
+    (void)block;
+  }
+  const obs::HeapStats after = obs::heap_stats();
+  EXPECT_GT(after.alloc_count, before.alloc_count);
+  EXPECT_GT(after.alloc_bytes, before.alloc_bytes);
+  EXPECT_GT(after.free_count, before.free_count);
+  EXPECT_GT(obs::thread_alloc_count(), t_count_before);
+  EXPECT_GE(obs::thread_alloc_bytes(), t_bytes_before + (1 << 16));
+  // The watermark never undercuts the current live footprint.
+  EXPECT_GE(after.peak_bytes, after.live_bytes);
+}
+
+TEST_F(ProfileTest, PhaseTreeAttributesAllocationsPerPhase) {
+  obs::set_profile_enabled(true);
+  {
+    obs::ScopedPhase outer("profile_test.outer");
+    {
+      obs::ScopedPhase inner("profile_test.inner");
+      std::vector<std::unique_ptr<int>> churn;
+      for (int i = 0; i < 64; ++i) churn.push_back(std::make_unique<int>(i));
+    }
+  }
+  const auto root = obs::PhaseForest::instance().snapshot();
+  ASSERT_EQ(root->children.size(), 1u);
+  const obs::PhaseNode& outer = *root->children[0];
+  EXPECT_EQ(outer.name, "profile_test.outer");
+  ASSERT_EQ(outer.children.size(), 1u);
+  const obs::PhaseNode& inner = *outer.children[0];
+  EXPECT_GE(inner.profile.alloc_count, 64u);
+  // Inclusive accounting: the outer span covers the inner allocations.
+  EXPECT_GE(outer.profile.alloc_count, inner.profile.alloc_count);
+}
+#endif  // FPART_EXPECT_ALLOC_HOOK
+
+TEST_F(ProfileTest, PeakRssIsPositiveOnSupportedPlatforms) {
+#if defined(__unix__) || defined(__APPLE__)
+  EXPECT_GT(obs::peak_rss_bytes(), 0u);
+#else
+  SUCCEED();
+#endif
+}
+
+// --- phase gating ----------------------------------------------------------
+
+TEST_F(ProfileTest, ProfileAloneEnablesPhaseRecording) {
+  // Neither stats nor trace on: --profile must still grow the tree.
+  obs::set_profile_enabled(true);
+  {
+    obs::ScopedPhase phase("profile_test.solo");
+  }
+  const auto root = obs::PhaseForest::instance().snapshot();
+  ASSERT_EQ(root->children.size(), 1u);
+  EXPECT_EQ(root->children[0]->name, "profile_test.solo");
+  EXPECT_EQ(root->children[0]->count, 1u);
+}
+
+TEST_F(ProfileTest, DisabledProfilingRecordsNoPhases) {
+  {
+    obs::ScopedPhase phase("profile_test.ghost");
+  }
+  const auto root = obs::PhaseForest::instance().snapshot();
+  EXPECT_TRUE(root->children.empty());
+}
+
+// --- report surfacing ------------------------------------------------------
+
+TEST_F(ProfileTest, ProfileSectionIsValidJsonInBothAvailabilityStates) {
+  for (const bool forced : {false, true}) {
+    obs::detail::force_perf_unavailable_for_test(forced);
+    obs::JsonWriter w;
+    obs::write_profile_section(w);
+    const auto doc = obs::json_parse(w.str());
+    ASSERT_TRUE(doc.has_value()) << "forced=" << forced;
+    const obs::JsonValue* perf = doc->find("perf");
+    ASSERT_NE(perf, nullptr);
+    const obs::JsonValue* avail = perf->find("available");
+    ASSERT_NE(avail, nullptr);
+    EXPECT_TRUE(avail->is_bool());
+    if (forced) {
+      EXPECT_FALSE(avail->boolean);
+      ASSERT_NE(perf->find("reason"), nullptr);
+    }
+    const obs::JsonValue* heap = doc->find("heap");
+    ASSERT_NE(heap, nullptr);
+    for (const char* key : {"available", "alloc_count", "alloc_bytes",
+                            "free_count", "live_bytes", "peak_bytes"}) {
+      EXPECT_NE(heap->find(key), nullptr) << key;
+    }
+    EXPECT_NE(doc->find("peak_rss_bytes"), nullptr);
+  }
+}
+
+TEST_F(ProfileTest, RunReportGainsProfileSectionOnlyWhenEnabled) {
+  obs::set_stats_enabled(true);
+  RunMeta meta;
+  meta.circuit = "t";
+  meta.device = "XC3042";
+  meta.method = "fpart";
+  PartitionResult r;
+
+  const auto plain = obs::json_parse(run_report_json(meta, r));
+  ASSERT_TRUE(plain.has_value());
+  EXPECT_EQ(plain->find("profile"), nullptr);
+
+  obs::set_profile_enabled(true);
+  const auto profiled = obs::json_parse(run_report_json(meta, r));
+  ASSERT_TRUE(profiled.has_value());
+  EXPECT_NE(profiled->find("profile"), nullptr);
+}
+
+TEST_F(ProfileTest, PerPhaseProfileKeysAppearUnderProfiling) {
+  obs::set_profile_enabled(true);
+  {
+    obs::ScopedPhase phase("profile_test.report_phase");
+  }
+  RunMeta meta;
+  PartitionResult r;
+  const auto doc = obs::json_parse(run_report_json(meta, r));
+  ASSERT_TRUE(doc.has_value());
+  const obs::JsonValue* phases = doc->find("phases");
+  ASSERT_NE(phases, nullptr);
+  ASSERT_TRUE(phases->is_array());
+  ASSERT_FALSE(phases->array.empty());
+  const obs::JsonValue* profile = phases->array[0].find("profile");
+  ASSERT_NE(profile, nullptr);
+  for (const char* key :
+       {"cycles", "instructions", "cache_references", "cache_misses",
+        "branch_misses", "alloc_count", "alloc_bytes"}) {
+    EXPECT_NE(profile->find(key), nullptr) << key;
+  }
+}
+
+// --- provenance ------------------------------------------------------------
+
+TEST_F(ProfileTest, ProvenanceIsPopulatedAndSerializes) {
+  const obs::BuildProvenance& p = obs::build_provenance();
+  EXPECT_FALSE(p.git_sha.empty());
+  EXPECT_FALSE(p.compiler.empty());
+  obs::JsonWriter w;
+  obs::write_provenance(w);
+  const auto doc = obs::json_parse(w.str());
+  ASSERT_TRUE(doc.has_value());
+  for (const char* key : {"git_sha", "git_dirty", "compiler", "build_type",
+                          "cxx_flags", "sanitizer"}) {
+    EXPECT_NE(doc->find(key), nullptr) << key;
+  }
+}
+
+TEST_F(ProfileTest, RunReportMetaCarriesProvenanceAndDropCounts) {
+  obs::set_stats_enabled(true);
+  RunMeta meta;
+  PartitionResult r;
+  const auto doc = obs::json_parse(run_report_json(meta, r));
+  ASSERT_TRUE(doc.has_value());
+  const obs::JsonValue* m = doc->find("meta");
+  ASSERT_NE(m, nullptr);
+  EXPECT_NE(m->find("provenance"), nullptr);
+  EXPECT_NE(m->find("trace_dropped"), nullptr);
+  EXPECT_NE(m->find("timeseries_dropped"), nullptr);
+}
+
+// --- observation-only contract ---------------------------------------------
+
+TEST_F(ProfileTest, ProfilingChangesNoPartitioningAnswer) {
+  const Device device = xilinx::by_name("XC3020");
+  const Hypergraph h = mcnc::generate("c3540", device.family());
+  SolveRequest req;
+  req.method = Method::kFpart;
+
+  const PartitionResult plain = solve(h, device, req);
+
+  obs::set_profile_enabled(true);
+  const PartitionResult profiled = solve(h, device, req);
+  obs::set_profile_enabled(false);
+
+  EXPECT_EQ(plain.k, profiled.k);
+  EXPECT_EQ(plain.cut, profiled.cut);
+  EXPECT_EQ(assignment_digest(plain.assignment),
+            assignment_digest(profiled.assignment));
+}
+
+}  // namespace
+}  // namespace fpart

@@ -51,6 +51,8 @@
 #include "fm/gains.hpp"
 #include "netlist/mcnc.hpp"
 #include "obs/json.hpp"
+#include "obs/profile.hpp"
+#include "obs/provenance.hpp"
 #include "partition/partition.hpp"
 #include "partition/replay.hpp"
 #include "report/table.hpp"
@@ -111,6 +113,11 @@ struct CaseResult {
   double gain_evals_per_second = 0.0;  // churn only
   double speedup = 0.0;                // portfolio only (t1/t2)
   bool speedup_valid = false;          // false on single-core hosts
+  // Hardware/heap deltas across the whole case (all repeats), captured
+  // only under --profile. Zero when perf / the alloc hook is absent.
+  obs::PerfSample perf_delta;
+  std::uint64_t alloc_count_delta = 0;
+  std::uint64_t alloc_bytes_delta = 0;
 };
 
 double median(std::vector<double> v) {
@@ -447,9 +454,34 @@ std::string suite_json(const std::string& suite, int repeats,
       w.key("speedup_valid");
       w.value(r.speedup_valid);
     }
+    if (obs::profile_enabled()) {
+      w.key("profile");
+      w.begin_object();
+      w.key("cycles");
+      w.value(r.perf_delta.cycles);
+      w.key("instructions");
+      w.value(r.perf_delta.instructions);
+      w.key("cache_references");
+      w.value(r.perf_delta.cache_references);
+      w.key("cache_misses");
+      w.value(r.perf_delta.cache_misses);
+      w.key("branch_misses");
+      w.value(r.perf_delta.branch_misses);
+      w.key("alloc_count");
+      w.value(r.alloc_count_delta);
+      w.key("alloc_bytes");
+      w.value(r.alloc_bytes_delta);
+      w.end_object();
+    }
     w.end_object();
   }
   w.end_array();
+  if (obs::profile_enabled()) {
+    w.key("profile");
+    obs::write_profile_section(w);
+  }
+  w.key("provenance");
+  obs::write_provenance(w);
   w.end_object();
   return w.take();
 }
@@ -637,6 +669,8 @@ int main(int argc, char** argv) {
                "inject a busy-wait slowdown factor (sentinel self-test)",
                "1.0");
   cli.add_switch("bless", "rewrite the baseline from this run");
+  cli.add_switch("profile",
+                 "sample hardware counters + heap telemetry per case");
   if (!cli.parse(argc, argv) || !cli.positional().empty()) {
     std::fprintf(stderr, "usage: fpart_bench [flags]\n%s%s",
                  cli.error().empty() ? "" : (cli.error() + "\n").c_str(),
@@ -650,6 +684,16 @@ int main(int argc, char** argv) {
   g_slowdown = std::max(1.0, cli.get_double("slowdown"));
   const std::string baseline_path = cli.get("baseline");
   const bool bless = cli.has("bless") && cli.get_bool("bless");
+  if (cli.has("profile") && cli.get_bool("profile")) {
+    obs::set_profile_enabled(true);
+    const auto& perf = obs::perf_availability();
+    if (!perf.available) {
+      std::fprintf(stderr,
+                   "fpart_bench: hardware counters unavailable (%s); "
+                   "profiling degrades to heap/RSS telemetry\n",
+                   perf.reason.c_str());
+    }
+  }
 
   std::vector<SuiteCase> cases;
   try {
@@ -669,7 +713,24 @@ int main(int argc, char** argv) {
   Table table({"case", "kind", "k", "cut", "wall ms", "cpu ms", "Mmoves/s",
                "digest ok"});
   for (const SuiteCase& c : cases) {
+    const obs::PerfSample perf_before = obs::perf_read();
+    const std::uint64_t allocs_before = obs::thread_alloc_count();
+    const std::uint64_t alloc_bytes_before = obs::thread_alloc_bytes();
     CaseResult r = run_case(c, repeats);
+    if (obs::profile_enabled()) {
+      const obs::PerfSample perf_after = obs::perf_read();
+      r.perf_delta.cycles = perf_after.cycles - perf_before.cycles;
+      r.perf_delta.instructions =
+          perf_after.instructions - perf_before.instructions;
+      r.perf_delta.cache_references =
+          perf_after.cache_references - perf_before.cache_references;
+      r.perf_delta.cache_misses =
+          perf_after.cache_misses - perf_before.cache_misses;
+      r.perf_delta.branch_misses =
+          perf_after.branch_misses - perf_before.branch_misses;
+      r.alloc_count_delta = obs::thread_alloc_count() - allocs_before;
+      r.alloc_bytes_delta = obs::thread_alloc_bytes() - alloc_bytes_before;
+    }
     table.add_row(
         {r.spec.id, kind_name(r.spec.kind), fmt_int(r.k),
          fmt_int(static_cast<std::int64_t>(r.cut)),

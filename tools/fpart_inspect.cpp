@@ -26,9 +26,21 @@
 //       throughput when timing is present. --no-timing drops the
 //       non-deterministic columns so same-seed outputs compare byte for
 //       byte (the golden-output ctest relies on this).
+//
+//   fpart_inspect profile --report run.json [--json] [--folded out.txt]
+//       Renders the per-phase hardware/heap counters of a --profile run
+//       report (fpart-run-report/1): cycles, IPC, cache-miss rate,
+//       branch misses, allocation count/bytes per phase-tree node.
+//       --folded emits folded-stack lines ("run;pass;phase weight",
+//       weight = cycles when perf was available, else wall microseconds)
+//       consumable by flamegraph.pl / inferno / speedscope. A report
+//       from a perf-denied host renders with available:false and the
+//       timing/alloc columns only — exit 0 either way.
 #include <algorithm>
 #include <cstdio>
+#include <fstream>
 #include <map>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -462,6 +474,251 @@ int cmd_convergence(const CliParser& cli) {
   return 0;
 }
 
+// ---------------------------------------------------------------------
+// profile: per-phase hardware/heap counter rendering + flamegraph export
+
+std::uint64_t profile_u64(const obs::JsonValue& phase, const char* key) {
+  const obs::JsonValue* p = phase.find("profile");
+  if (p == nullptr) return 0;
+  const obs::JsonValue* v = p->find(key);
+  return (v != nullptr && v->is_number()) ? v->as_u64() : 0;
+}
+
+double phase_wall(const obs::JsonValue& phase) {
+  const obs::JsonValue* v = phase.find("wall_seconds");
+  return (v != nullptr && v->is_number()) ? v->number : 0.0;
+}
+
+void profile_table_rows(const obs::JsonValue& phase, int depth,
+                        bool have_perf, Table& t) {
+  const obs::JsonValue* name = phase.find("name");
+  const obs::JsonValue* count = phase.find("count");
+  const std::uint64_t cycles = profile_u64(phase, "cycles");
+  const std::uint64_t instr = profile_u64(phase, "instructions");
+  const std::uint64_t cache_refs = profile_u64(phase, "cache_references");
+  const std::uint64_t cache_miss = profile_u64(phase, "cache_misses");
+  const std::uint64_t branch_miss = profile_u64(phase, "branch_misses");
+  const std::uint64_t allocs = profile_u64(phase, "alloc_count");
+  const std::uint64_t alloc_bytes = profile_u64(phase, "alloc_bytes");
+
+  t.add_row(
+      {std::string(static_cast<std::size_t>(depth) * 2, ' ') +
+           (name != nullptr ? name->string : "?"),
+       count != nullptr ? fmt_int(static_cast<std::int64_t>(count->as_u64()))
+                        : "-",
+       fmt_double(phase_wall(phase) * 1e3, 1),
+       have_perf ? fmt_int(static_cast<std::int64_t>(cycles)) : "-",
+       have_perf && cycles > 0
+           ? fmt_double(static_cast<double>(instr) /
+                            static_cast<double>(cycles),
+                        2)
+           : "-",
+       have_perf && cache_refs > 0
+           ? fmt_double(100.0 * static_cast<double>(cache_miss) /
+                            static_cast<double>(cache_refs),
+                        1) +
+                 "%"
+           : "-",
+       have_perf ? fmt_int(static_cast<std::int64_t>(branch_miss)) : "-",
+       fmt_int(static_cast<std::int64_t>(allocs)),
+       fmt_double(static_cast<double>(alloc_bytes) / (1024.0 * 1024.0), 2)});
+  const obs::JsonValue* children = phase.find("children");
+  if (children != nullptr && children->is_array()) {
+    for (const obs::JsonValue& c : children->array) {
+      profile_table_rows(c, depth + 1, have_perf, t);
+    }
+  }
+}
+
+/// Emits one folded-stack line per phase node: "path;to;node weight",
+/// weight = the node's SELF share (inclusive minus children) of cycles
+/// (perf available) or wall microseconds. Flamegraph tools re-aggregate
+/// inclusive weights from the paths.
+void emit_folded(const obs::JsonValue& phase, const std::string& prefix,
+                 bool use_cycles, std::FILE* out) {
+  const obs::JsonValue* name = phase.find("name");
+  const std::string path =
+      prefix.empty() ? (name != nullptr ? name->string : "?")
+                     : prefix + ";" + (name != nullptr ? name->string : "?");
+  const std::uint64_t inclusive =
+      use_cycles
+          ? profile_u64(phase, "cycles")
+          : static_cast<std::uint64_t>(phase_wall(phase) * 1e6);
+  std::uint64_t children_sum = 0;
+  const obs::JsonValue* children = phase.find("children");
+  if (children != nullptr && children->is_array()) {
+    for (const obs::JsonValue& c : children->array) {
+      children_sum +=
+          use_cycles ? profile_u64(c, "cycles")
+                     : static_cast<std::uint64_t>(phase_wall(c) * 1e6);
+    }
+  }
+  const std::uint64_t self =
+      inclusive > children_sum ? inclusive - children_sum : 0;
+  if (self > 0) {
+    std::fprintf(out, "%s %llu\n", path.c_str(),
+                 static_cast<unsigned long long>(self));
+  }
+  if (children != nullptr && children->is_array()) {
+    for (const obs::JsonValue& c : children->array) {
+      emit_folded(c, path, use_cycles, out);
+    }
+  }
+}
+
+/// Flattens the phase tree into path-keyed rows for machine consumers.
+void profile_flat_json(const obs::JsonValue& phase, const std::string& prefix,
+                       obs::JsonWriter& w) {
+  const obs::JsonValue* name = phase.find("name");
+  const std::string path =
+      prefix.empty() ? (name != nullptr ? name->string : "?")
+                     : prefix + ";" + (name != nullptr ? name->string : "?");
+  w.begin_object();
+  w.key("path");
+  w.value(path);
+  w.key("wall_seconds");
+  w.value(phase_wall(phase));
+  w.key("cycles");
+  w.value(profile_u64(phase, "cycles"));
+  w.key("instructions");
+  w.value(profile_u64(phase, "instructions"));
+  w.key("cache_references");
+  w.value(profile_u64(phase, "cache_references"));
+  w.key("cache_misses");
+  w.value(profile_u64(phase, "cache_misses"));
+  w.key("branch_misses");
+  w.value(profile_u64(phase, "branch_misses"));
+  w.key("alloc_count");
+  w.value(profile_u64(phase, "alloc_count"));
+  w.key("alloc_bytes");
+  w.value(profile_u64(phase, "alloc_bytes"));
+  w.end_object();
+  const obs::JsonValue* children = phase.find("children");
+  if (children != nullptr && children->is_array()) {
+    for (const obs::JsonValue& c : children->array) {
+      profile_flat_json(c, path, w);
+    }
+  }
+}
+
+int cmd_profile(const CliParser& cli) {
+  const std::string path = cli.get("report");
+  if (path.empty()) {
+    std::fprintf(stderr,
+                 "usage: fpart_inspect profile --report run.json "
+                 "[--json] [--folded out.txt]\n");
+    return 2;
+  }
+  std::ifstream is(path, std::ios::binary);
+  if (!is.good()) {
+    std::fprintf(stderr, "cannot read %s\n", path.c_str());
+    return 1;
+  }
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  const auto doc = obs::json_parse(buf.str());
+  if (!doc.has_value() || !doc->is_object()) {
+    std::fprintf(stderr, "%s is not valid JSON\n", path.c_str());
+    return 1;
+  }
+  const obs::JsonValue* schema = doc->find("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->string != "fpart-run-report/1") {
+    std::fprintf(stderr, "%s is not a fpart-run-report/1 document\n",
+                 path.c_str());
+    return 1;
+  }
+
+  // Availability verdicts come from the report's own "profile" section;
+  // a report without one (no --profile) still renders its wall times.
+  const obs::JsonValue* profile = doc->find("profile");
+  bool perf_available = false;
+  if (profile != nullptr) {
+    if (const obs::JsonValue* perf = profile->find("perf")) {
+      if (const obs::JsonValue* a = perf->find("available")) {
+        perf_available = a->is_bool() && a->boolean;
+      }
+    }
+  }
+  const obs::JsonValue* phases = doc->find("phases");
+
+  if (cli.has("json")) {
+    // Machine consumers get the profile-relevant slice: availability
+    // verdicts plus the phase tree flattened to path-keyed rows.
+    obs::JsonWriter w;
+    w.begin_object();
+    w.key("source");
+    w.value(path);
+    w.key("profiled");
+    w.value(profile != nullptr);
+    w.key("perf_available");
+    w.value(perf_available);
+    w.key("phases");
+    w.begin_array();
+    if (phases != nullptr && phases->is_array()) {
+      for (const obs::JsonValue& top : phases->array) {
+        profile_flat_json(top, "", w);
+      }
+    }
+    w.end_array();
+    w.end_object();
+    std::printf("%s\n", w.str().c_str());
+  } else {
+    if (profile == nullptr) {
+      std::printf(
+          "no \"profile\" section in %s (run fpart_cli with --profile); "
+          "showing wall times only\n",
+          path.c_str());
+    } else if (!perf_available) {
+      std::string reason;
+      if (const obs::JsonValue* perf = profile->find("perf")) {
+        if (const obs::JsonValue* r = perf->find("reason")) {
+          reason = r->string;
+        }
+      }
+      std::printf("hardware counters: available=false%s%s\n",
+                  reason.empty() ? "" : " — ", reason.c_str());
+    }
+    Table t({"phase", "count", "wall ms", "cycles", "IPC", "cache miss",
+             "br miss", "allocs", "alloc MiB"});
+    if (phases != nullptr && phases->is_array()) {
+      for (const obs::JsonValue& top : phases->array) {
+        profile_table_rows(top, 0, perf_available, t);
+      }
+    }
+    std::printf("%s", t.to_ascii().c_str());
+    if (profile != nullptr) {
+      const obs::JsonValue* heap = profile->find("heap");
+      const bool heap_avail =
+          heap != nullptr && heap->find("available") != nullptr &&
+          heap->find("available")->boolean;
+      const obs::JsonValue* rss = profile->find("peak_rss_bytes");
+      std::printf(
+          "heap: %s, peak_rss=%.1f MiB\n",
+          heap_avail ? "counting allocator linked" : "available=false",
+          rss != nullptr ? rss->number / (1024.0 * 1024.0) : 0.0);
+    }
+  }
+
+  if (cli.has("folded")) {
+    std::FILE* out = std::fopen(cli.get("folded").c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", cli.get("folded").c_str());
+      return 1;
+    }
+    if (phases != nullptr && phases->is_array()) {
+      for (const obs::JsonValue& top : phases->array) {
+        emit_folded(top, "", perf_available, out);
+      }
+    }
+    std::fclose(out);
+    std::printf("folded stacks written to %s (weight = %s)\n",
+                cli.get("folded").c_str(),
+                perf_available ? "cycles" : "wall microseconds");
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -472,17 +729,22 @@ int main(int argc, char** argv) {
   cli.add_flag("json", "machine-readable JSON output", "");
   cli.add_flag("curve", "gain-curve sample points (summary)", "16");
   cli.add_flag("limit", "max sample rows shown (convergence)", "64");
+  cli.add_flag("report", "fpart-run-report/1 JSON path (profile)", "");
+  cli.add_flag("folded", "write folded flamegraph stacks (profile)", "");
   cli.add_switch("no-timing",
                  "drop non-deterministic timing columns (convergence)");
   if (!cli.parse(argc, argv) || cli.positional().empty()) {
     std::fprintf(stderr,
-                 "usage: fpart_inspect <replay|diff|summary|convergence>"
+                 "usage: fpart_inspect "
+                 "<replay|diff|summary|convergence|profile>"
                  " [flags]\n"
                  "  replay      --events run.jsonl --in circuit.hgr [--json]\n"
                  "  diff        a.jsonl b.jsonl\n"
                  "  summary     --events run.jsonl [--json] [--curve N]\n"
                  "  convergence --series ts.json [--json] [--no-timing]"
-                 " [--limit N]\n%s%s",
+                 " [--limit N]\n"
+                 "  profile     --report run.json [--json]"
+                 " [--folded out.txt]\n%s%s",
                  cli.error().empty() ? "" : (cli.error() + "\n").c_str(),
                  cli.usage("fpart_inspect").c_str());
     return 2;
@@ -500,6 +762,7 @@ int main(int argc, char** argv) {
     }
     if (command == "summary") return cmd_summary(cli);
     if (command == "convergence") return cmd_convergence(cli);
+    if (command == "profile") return cmd_profile(cli);
     std::fprintf(stderr, "unknown command: %s\n", command.c_str());
     return 2;
   } catch (const std::exception& e) {

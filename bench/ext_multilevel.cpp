@@ -1,0 +1,277 @@
+// Extension bench: multilevel V-cycle scaling vs flat FPART.
+//
+// Flat FPART re-sweeps the full cell set every pass, so its wall time
+// grows super-linearly with circuit size; the multilevel engine
+// coarsens first and refines only boundary cells per level, which keeps
+// the per-level work near-linear. This bench measures that crossover on
+// Rent-style generated circuits:
+//
+//   * compare cases — flat FPART and multilevel both run (seed 0, same
+//     device); the gate at the largest compared circuit requires
+//     multilevel to be >= kMinSpeedup faster with a cut no worse, a
+//     feasible result, and no more devices than flat FPART;
+//   * multilevel-only cases — sizes where flat FPART is impractical
+//     (up to 10^6 cells in the full configuration), demonstrating the
+//     near-linear regime;
+//   * every multilevel case is solved twice through the solve() facade
+//     and the two assignment digests must match byte-for-byte — the
+//     determinism hard gate.
+//
+// Writes BENCH_multilevel.json (fpart-multilevel-bench/1); argv[1]
+// overrides the path, argv[2] == "small" restricts to the CI perf-smoke
+// configuration (10k compare + 80k multilevel-only).
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/solve.hpp"
+#include "device/device.hpp"
+#include "harness.hpp"
+#include "netlist/generator.hpp"
+#include "obs/json.hpp"
+#include "obs/provenance.hpp"
+#include "partition/replay.hpp"
+#include "report/table.hpp"
+#include "util/assert.hpp"
+#include "util/timer.hpp"
+
+using namespace fpart;
+
+namespace {
+
+constexpr const char* kSchema = "fpart-multilevel-bench/1";
+constexpr double kMinSpeedup = 5.0;
+
+struct ScaleCase {
+  const char* name;
+  std::uint32_t cells;
+  std::uint32_t terminals;
+  std::uint32_t smax;  // device s_datasheet (fill 0.9 applies on top)
+  std::uint32_t tmax;
+  bool compare_flat;  // also run flat FPART and gate the ratio
+};
+
+struct ScaleRecord {
+  std::string name;
+  std::size_t nodes = 0;
+  std::size_t nets = 0;
+  std::size_t pins = 0;
+  std::uint32_t lower_bound = 0;
+  // multilevel
+  std::uint32_t ml_k = 0;
+  std::uint64_t ml_cut = 0;
+  bool ml_feasible = false;
+  double ml_seconds = 0.0;
+  std::uint64_t ml_digest_first = 0;
+  std::uint64_t ml_digest_second = 0;
+  bool deterministic = false;
+  // flat FPART (compare cases only)
+  bool compared = false;
+  std::uint32_t flat_k = 0;
+  std::uint64_t flat_cut = 0;
+  bool flat_feasible = false;
+  double flat_seconds = 0.0;
+  double speedup = 0.0;
+};
+
+Hypergraph make_circuit(const ScaleCase& c) {
+  GeneratorConfig config;
+  config.num_cells = c.cells;
+  config.num_terminals = c.terminals;
+  config.seed = 0x517CA5E;
+  return generate_circuit(config);
+}
+
+PartitionResult run_method(const Hypergraph& h, const Device& device,
+                           Method method) {
+  SolveRequest req;
+  req.method = method;
+  req.options = Options{};  // canonical deterministic run, seed 0
+  return solve(h, device, req);
+}
+
+ScaleRecord run_case(const ScaleCase& c) {
+  const Hypergraph h = make_circuit(c);
+  const Device device(c.name, Family::kXC3000, c.smax, c.tmax, 0.9);
+
+  ScaleRecord rec;
+  rec.name = c.name;
+  rec.nodes = h.num_nodes();
+  rec.nets = h.num_nets();
+  rec.pins = h.num_pins();
+
+  {
+    Timer t;
+    const PartitionResult ml = run_method(h, device, Method::kMultilevel);
+    rec.ml_seconds = t.elapsed_seconds();
+    rec.ml_k = ml.k;
+    rec.ml_cut = ml.cut;
+    rec.ml_feasible = ml.feasible;
+    rec.lower_bound = ml.lower_bound;
+    rec.ml_digest_first = assignment_digest(ml.assignment);
+  }
+  {
+    const PartitionResult again = run_method(h, device, Method::kMultilevel);
+    rec.ml_digest_second = assignment_digest(again.assignment);
+  }
+  rec.deterministic = rec.ml_digest_first == rec.ml_digest_second;
+
+  if (c.compare_flat) {
+    rec.compared = true;
+    Timer t;
+    const PartitionResult flat = run_method(h, device, Method::kFpart);
+    rec.flat_seconds = t.elapsed_seconds();
+    rec.flat_k = flat.k;
+    rec.flat_cut = flat.cut;
+    rec.flat_feasible = flat.feasible;
+    rec.speedup = rec.ml_seconds > 0.0 ? rec.flat_seconds / rec.ml_seconds
+                                       : 0.0;
+  }
+  return rec;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::print_banner(
+      "Extension: multilevel V-cycle scaling (vs flat FPART)",
+      "Rent-style generated circuits, flat FPART vs the multilevel "
+      "engine through solve(); hard gates: same-seed digest determinism "
+      "on every case, and >= 5x wall-clock at the largest compared "
+      "circuit with an equal-or-better cut");
+
+  const bool small = argc > 2 && std::strcmp(argv[2], "small") == 0;
+
+  // Devices sized so both engines land near k ~= M ~= 13 (the regime
+  // the paper's tables live in); s_datasheet scales with the circuit so
+  // the block count stays comparable across sizes.
+  std::vector<ScaleCase> cases;
+  cases.push_back({"gen-10k", 10'000, 300, 926, 300, true});
+  if (small) {
+    cases.push_back({"gen-80k", 80'000, 1'200, 7'408, 1'100, false});
+  } else {
+    cases.push_back({"gen-40k", 40'000, 700, 3'704, 700, true});
+    cases.push_back({"gen-160k", 160'000, 1'800, 14'815, 1'800, false});
+    cases.push_back({"gen-1m", 1'000'000, 6'000, 92'600, 6'000, false});
+  }
+
+  std::vector<ScaleRecord> records;
+  Table table({"Circuit", "cells", "M", "flat t(s)*", "flat cut*", "ML t(s)*",
+               "ML cut*", "ML k*", "speedup*", "det"});
+  for (const ScaleCase& c : cases) {
+    ScaleRecord rec = run_case(c);
+    table.add_row({rec.name, fmt_int(static_cast<int>(c.cells)),
+                   fmt_int(rec.lower_bound),
+                   rec.compared ? fmt_double(rec.flat_seconds, 2) : "-",
+                   rec.compared ? fmt_int(static_cast<int>(rec.flat_cut))
+                                : "-",
+                   fmt_double(rec.ml_seconds, 2),
+                   fmt_int(static_cast<int>(rec.ml_cut)), fmt_int(rec.ml_k),
+                   rec.compared ? fmt_double(rec.speedup, 1) : "-",
+                   rec.deterministic ? "yes" : "NO"});
+    records.push_back(std::move(rec));
+  }
+  std::fputs(table.to_ascii().c_str(), stdout);
+
+  // Gates. Determinism is required on every case; the speedup/quality
+  // gate applies to the largest compared circuit.
+  bool all_deterministic = true;
+  const ScaleRecord* largest_compare = nullptr;
+  for (const ScaleRecord& rec : records) {
+    all_deterministic = all_deterministic && rec.deterministic;
+    if (rec.compared &&
+        (largest_compare == nullptr || rec.nodes > largest_compare->nodes)) {
+      largest_compare = &rec;
+    }
+  }
+  bool gate_ok = all_deterministic && largest_compare != nullptr;
+  if (largest_compare != nullptr) {
+    const ScaleRecord& g = *largest_compare;
+    const bool fast = g.speedup >= kMinSpeedup;
+    const bool quality = g.ml_cut <= g.flat_cut && g.ml_feasible &&
+                         (!g.flat_feasible || g.ml_k <= g.flat_k);
+    gate_ok = gate_ok && fast && quality;
+    std::printf(
+        "\ngate @ %s: speedup %.1fx (need >= %.1fx) %s; cut %llu vs flat "
+        "%llu, k %u vs %u, feasible=%s -> %s\n",
+        g.name.c_str(), g.speedup, kMinSpeedup, fast ? "ok" : "FAIL",
+        static_cast<unsigned long long>(g.ml_cut),
+        static_cast<unsigned long long>(g.flat_cut), g.ml_k, g.flat_k,
+        g.ml_feasible ? "yes" : "NO", quality ? "ok" : "FAIL");
+  }
+  std::printf("digest determinism: %s\n",
+              all_deterministic ? "ok (all cases)" : "FAIL");
+
+  const std::string path =
+      argc > 1 ? argv[1] : std::string("BENCH_multilevel.json");
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("schema");
+  w.value(kSchema);
+  w.key("provenance");
+  obs::write_provenance(w);
+  w.key("bench");
+  w.value("ext_multilevel");
+  w.key("mode");
+  w.value(small ? "small" : "full");
+  w.key("min_speedup");
+  w.value(kMinSpeedup);
+  w.key("records");
+  w.begin_array();
+  for (const ScaleRecord& rec : records) {
+    w.begin_object();
+    w.key("circuit");
+    w.value(rec.name);
+    w.key("nodes");
+    w.value(static_cast<std::uint64_t>(rec.nodes));
+    w.key("nets");
+    w.value(static_cast<std::uint64_t>(rec.nets));
+    w.key("pins");
+    w.value(static_cast<std::uint64_t>(rec.pins));
+    w.key("lower_bound");
+    w.value(rec.lower_bound);
+    w.key("multilevel_seconds");
+    w.value(rec.ml_seconds);
+    w.key("multilevel_cut");
+    w.value(rec.ml_cut);
+    w.key("multilevel_k");
+    w.value(rec.ml_k);
+    w.key("multilevel_feasible");
+    w.value(rec.ml_feasible);
+    w.key("digest_first");
+    w.value(rec.ml_digest_first);
+    w.key("digest_second");
+    w.value(rec.ml_digest_second);
+    w.key("deterministic");
+    w.value(rec.deterministic);
+    w.key("compared_flat");
+    w.value(rec.compared);
+    if (rec.compared) {
+      w.key("flat_seconds");
+      w.value(rec.flat_seconds);
+      w.key("flat_cut");
+      w.value(rec.flat_cut);
+      w.key("flat_k");
+      w.value(rec.flat_k);
+      w.key("flat_feasible");
+      w.value(rec.flat_feasible);
+      w.key("speedup");
+      w.value(rec.speedup);
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.key("gate_ok");
+  w.value(gate_ok);
+  w.end_object();
+
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  FPART_REQUIRE(f != nullptr, "cannot write " + path);
+  const std::string body = w.take();
+  std::fwrite(body.data(), 1, body.size(), f);
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+
+  return gate_ok ? 0 : 1;
+}

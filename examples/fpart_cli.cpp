@@ -291,7 +291,8 @@ int cmd_partition(const CliParser& cli) {
     return run_portfolio_partition(cli, h, device, method, attempts);
   }
 
-  const Options run_options;
+  Options run_options;
+  run_options.starts = starts;
   if (want_events) {
     obs::Recorder::instance().start(
         make_event_log_header(h, device, run_options, method));
@@ -307,12 +308,11 @@ int cmd_partition(const CliParser& cli) {
   SolveRequest req;
   try {
     req.method = parse_method(method);
-  } catch (const OptionError&) {
-    std::fprintf(stderr, "unknown --method %s\n", method.c_str());
+  } catch (const OptionError& e) {
+    std::fprintf(stderr, "%s\n", e.what());
     return 2;
   }
   req.options = run_options;
-  req.starts = starts;
   const PartitionResult r = solve(h, device, req);
   std::printf(
       "%s on %s: k=%u (M=%u), cut=%llu, %.2fs wall / %.2fs cpu, "
@@ -446,7 +446,8 @@ int main(int argc, char** argv) {
   cli.add_flag("smax", "custom device: datasheet cells", "");
   cli.add_flag("tmax", "custom device: I/O pins", "");
   cli.add_flag("fill", "filling ratio δ", "0.9");
-  cli.add_flag("method", "fpart | clustered | kwayx | fbb", "fpart");
+  cli.add_flag("method", "fpart | clustered | kwayx | fbb | multilevel",
+               "fpart");
   cli.add_flag("starts", "multistart count (fpart only)", "1");
   cli.add_flag("portfolio", "seeded attempts raced in parallel", "1");
   cli.add_flag("threads", "worker threads (0 = FPART_THREADS / hardware)",

@@ -56,8 +56,8 @@ int main(int argc, char** argv) {
   SolveRequest req;
   try {
     req.method = parse_method(method);
-  } catch (const PreconditionError&) {
-    std::fprintf(stderr, "unknown --method %s\n", method.c_str());
+  } catch (const PreconditionError& e) {
+    std::fprintf(stderr, "%s\n", e.what());
     return 2;
   }
   const PartitionResult r = solve(h, device, req);

@@ -14,8 +14,9 @@
 //     plus read_hgr_file/write_hgr_file for the hMETIS-style
 //     interchange format;
 //   * Device + xilinx::by_name — device capacity models;
-//   * Method / parse_method / method_name, Options, SolveRequest,
-//     solve() — the unified entry point over all four engines;
+//   * Method / parse_method / method_name / method_names, Options,
+//     SolveRequest (variant EngineConfig + configure<>()), solve() —
+//     the unified entry point over all five engines;
 //   * PartitionResult / BlockStats — the result model, and
 //     verify_partition() — the independent full-recompute checker;
 //   * runtime::run_portfolio — deterministic parallel multi-start over

@@ -1,0 +1,37 @@
+// The Method enum and its name table, split out of solve.hpp so engine
+// headers (notably multilevel/multilevel.hpp, whose options carry the
+// inner coarsest-level Method) can name an engine without pulling in the
+// full SolveRequest/solve() facade.
+#pragma once
+
+#include <span>
+#include <string_view>
+
+namespace fpart {
+
+/// The partitioning engines (paper: FPART §3, clustered FPART §5 /
+/// [5],[7], the k-way.x greedy baseline [9],[11], FBB-MW flow [3], and
+/// the multilevel V-cycle driver after Heuer/Sanders/Schlag).
+enum class Method {
+  kFpart,
+  kClustered,
+  kKwayx,
+  kFbb,
+  kMultilevel,
+};
+
+/// Parses a canonical method name ("fpart", "clustered", ...). Any other
+/// spelling fails with a PreconditionError enumerating the valid names —
+/// the single source of unknown-method errors (CI greps that no other
+/// method-string dispatch exists). The error message is generated from
+/// method_names(), so it cannot drift when an engine is added.
+Method parse_method(std::string_view name);
+
+/// Canonical lowercase name of `m`; inverse of parse_method().
+std::string_view method_name(Method m);
+
+/// All canonical method names, ordered to match the Method enumerators
+/// (method_names()[static_cast<size_t>(m)] == method_name(m)).
+std::span<const std::string_view> method_names();
+
+}  // namespace fpart

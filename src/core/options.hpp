@@ -38,6 +38,14 @@ struct Options {
   /// FM parameters the paper lists in §1).
   std::uint64_t seed = 0;
 
+  /// Multi-start count — "number of runs", one of the classical FM
+  /// parameters the paper lists in §1. When > 1, solve() runs seeded
+  /// starts with the canonical early-exit-at-lower-bound semantics of
+  /// run_fpart_multistart(). An FPART tunable: the other flat engines
+  /// ignore it; the multilevel driver forwards it to its coarsest-level
+  /// inner solve.
+  std::uint32_t starts = 1;
+
   /// Safety cap on Algorithm-1 iterations (0 = auto: 3·M + 100). The
   /// algorithm terminates well before this in practice; the cap guards
   /// against degenerate re-designation cycles.

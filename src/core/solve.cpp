@@ -7,28 +7,83 @@
 
 namespace fpart {
 
+namespace {
+
+/// Canonical names, aligned with the Method enumerators. The parse
+/// error, method_name() and method_names() all read this one table, so
+/// adding an engine cannot drift the error message or the round trip.
+constexpr std::string_view kMethodNames[] = {
+    "fpart", "clustered", "kwayx", "fbb", "multilevel",
+};
+
+std::string joined_method_names() {
+  std::string out;
+  for (const std::string_view name : kMethodNames) {
+    if (!out.empty()) out += '|';
+    out += name;
+  }
+  return out;
+}
+
+/// Name of the EngineConfig alternative a request currently holds, for
+/// the mismatch diagnostic. Alternative order mirrors the Method order.
+std::string_view engine_config_name(const EngineConfig& config) {
+  switch (config.index()) {
+    case 1:
+      return method_name(Method::kClustered);
+    case 2:
+      return method_name(Method::kKwayx);
+    case 3:
+      return method_name(Method::kFbb);
+    case 4:
+      return method_name(Method::kMultilevel);
+    default:
+      return "none";
+  }
+}
+
+/// Returns the held config for `Config`, nullptr when the request holds
+/// no config at all (engine defaults / deprecated flat members), and
+/// throws OptionError when it holds a config for a different engine.
+template <class Config>
+const Config* matching_config(const SolveRequest& req) {
+  if (const Config* config = std::get_if<Config>(&req.engine)) return config;
+  FPART_OPTION_REQUIRE(
+      std::holds_alternative<std::monostate>(req.engine),
+      "engine config '" + std::string(engine_config_name(req.engine)) +
+          "' does not match method '" +
+          std::string(method_name(req.method)) + "'");
+  return nullptr;
+}
+
+std::uint32_t effective_starts(const SolveRequest& req) {
+  // Deprecated SolveRequest::starts (> 1) overrides options.starts for
+  // one PR so legacy callers keep their multistart behavior.
+  const std::uint32_t starts =
+      req.starts > 1 ? req.starts : req.options.starts;
+  FPART_OPTION_REQUIRE(starts >= 1, "options.starts must be >= 1");
+  return starts;
+}
+
+}  // namespace
+
 Method parse_method(std::string_view name) {
-  if (name == "fpart") return Method::kFpart;
-  if (name == "clustered") return Method::kClustered;
-  if (name == "kwayx") return Method::kKwayx;
-  if (name == "fbb") return Method::kFbb;
+  for (std::size_t i = 0; i < std::size(kMethodNames); ++i) {
+    if (name == kMethodNames[i]) return static_cast<Method>(i);
+  }
   FPART_OPTION_REQUIRE(false, "unknown method '" + std::string(name) +
-                                  "' (expected fpart|clustered|kwayx|fbb)");
+                                  "' (expected " + joined_method_names() +
+                                  ")");
 }
 
 std::string_view method_name(Method m) {
-  switch (m) {
-    case Method::kFpart:
-      return "fpart";
-    case Method::kClustered:
-      return "clustered";
-    case Method::kKwayx:
-      return "kwayx";
-    case Method::kFbb:
-      return "fbb";
-  }
-  FPART_REQUIRE(false, "method_name: invalid Method enumerator");
+  const auto i = static_cast<std::size_t>(m);
+  FPART_REQUIRE(i < std::size(kMethodNames),
+                "method_name: invalid Method enumerator");
+  return kMethodNames[i];
 }
+
+std::span<const std::string_view> method_names() { return kMethodNames; }
 
 PartitionResult solve(const Hypergraph& h, const Device& device,
                       const SolveRequest& req) {
@@ -41,25 +96,42 @@ PartitionResult solve(const Hypergraph& h, const Device& device,
           " cells) exceeds device capacity S_MAX = " +
           std::to_string(device.s_max_cells()) + " on " + device.name());
   switch (req.method) {
-    case Method::kFpart:
-      if (req.starts > 1) {
-        return run_fpart_multistart(h, device, req.options, req.starts);
+    case Method::kFpart: {
+      // FPART's knobs all live in Options — any held engine config is a
+      // mismatch by definition.
+      FPART_OPTION_REQUIRE(
+          std::holds_alternative<std::monostate>(req.engine),
+          "engine config '" + std::string(engine_config_name(req.engine)) +
+              "' does not match method 'fpart'");
+      const std::uint32_t starts = effective_starts(req);
+      if (starts > 1) {
+        return run_fpart_multistart(h, device, req.options, starts);
       }
       return FpartPartitioner(req.options).run(h, device);
+    }
     case Method::kClustered: {
-      ClusteredOptions co = req.clustered;
+      const ClusteredOptions* held = matching_config<ClusteredOptions>(req);
+      ClusteredOptions co = held != nullptr ? *held : req.clustered;
       co.fpart = req.options;
       return ClusteredFpartPartitioner(co).run(h, device);
     }
     case Method::kKwayx: {
-      KwayxConfig config = req.kwayx;
+      const KwayxConfig* held = matching_config<KwayxConfig>(req);
+      KwayxConfig config = held != nullptr ? *held : req.kwayx;
       config.cancel = req.options.cancel;
       return KwayxPartitioner(config).run(h, device);
     }
     case Method::kFbb: {
-      FbbConfig config = req.fbb;
+      const FbbConfig* held = matching_config<FbbConfig>(req);
+      FbbConfig config = held != nullptr ? *held : req.fbb;
       config.cancel = req.options.cancel;
       return FbbPartitioner(config).run(h, device);
+    }
+    case Method::kMultilevel: {
+      const MultilevelOptions* held = matching_config<MultilevelOptions>(req);
+      MultilevelOptions mo = held != nullptr ? *held : MultilevelOptions{};
+      mo.fpart = req.options;
+      return MultilevelPartitioner(mo).run(h, device);
     }
   }
   FPART_REQUIRE(false, "solve: invalid Method enumerator");

@@ -1,4 +1,4 @@
-// Unified entry point over the four partitioning engines.
+// Unified entry point over the five partitioning engines.
 //
 // Every engine in the repo answers the same question — "partition this
 // hypergraph for this device" — but historically exposed its own config
@@ -7,57 +7,80 @@
 // Method (or parse one from a string with parse_method(), the ONLY place
 // an unknown method name turns into an error) and get a PartitionResult
 // with identical semantics to calling the engine directly.
+//
+// Engine-specific knobs travel in one std::variant-backed EngineConfig
+// instead of one flat member per engine: a request holds at most ONE
+// engine config, and holding a config whose type does not match `method`
+// is an OptionError at dispatch — it cannot be silently ignored the way
+// a stray flat member used to be.
 #pragma once
 
 #include <cstdint>
-#include <string_view>
+#include <variant>
 
 #include "baselines/kwayx.hpp"
 #include "core/clustered.hpp"
+#include "core/method.hpp"
 #include "core/options.hpp"
 #include "core/result.hpp"
 #include "device/device.hpp"
 #include "flow/fbb.hpp"
 #include "hypergraph/hypergraph.hpp"
+#include "multilevel/multilevel.hpp"
 
 namespace fpart {
 
-/// The partitioning engines (paper: FPART §3, clustered FPART §5 /
-/// [5],[7], the k-way.x greedy baseline [9],[11], FBB-MW flow [3]).
-enum class Method {
-  kFpart,
-  kClustered,
-  kKwayx,
-  kFbb,
-};
-
-/// Parses a canonical method name: "fpart" | "clustered" | "kwayx" |
-/// "fbb". Any other spelling fails with a PreconditionError listing the
-/// valid names — the single source of unknown-method errors (CI greps
-/// that no other method-string dispatch exists).
-Method parse_method(std::string_view name);
-
-/// Canonical lowercase name of `m`; inverse of parse_method().
-std::string_view method_name(Method m);
+/// At most one engine-specific config per request. std::monostate means
+/// "engine defaults". Alternatives are ordered like the Method
+/// enumerators they serve (kFpart has no config struct — its knobs ARE
+/// Options).
+using EngineConfig = std::variant<std::monostate, ClusteredOptions,
+                                  KwayxConfig, FbbConfig, MultilevelOptions>;
 
 /// One request against solve().
 struct SolveRequest {
   Method method = Method::kFpart;
 
   /// Base engine options. `options.seed` drives FPART's RNG (the other
-  /// engines are deterministic and ignore it); `options.cancel` is
-  /// honored by every engine.
+  /// engines are deterministic and ignore it); `options.starts`
+  /// multistarts FPART (directly, or at the multilevel coarsest level);
+  /// `options.cancel` is honored by every engine.
   Options options;
 
-  /// FPART multi-start count (kFpart only, ignored elsewhere): when > 1,
-  /// runs seeded starts with the canonical early-exit-at-lower-bound
-  /// semantics of run_fpart_multistart().
-  std::uint32_t starts = 1;
+  /// Engine-specific knobs for `method`. Shared state is injected at
+  /// dispatch time — clustered.fpart / multilevel.fpart are overwritten
+  /// with `options`, kwayx.cancel / fbb.cancel with options.cancel — so
+  /// the per-engine structs only carry what is genuinely
+  /// engine-specific. Holding a config whose type does not match
+  /// `method` (e.g. a KwayxConfig with method == kFbb, or any config
+  /// with method == kFpart) is an OptionError at dispatch.
+  EngineConfig engine;
 
-  /// Engine-specific knobs. Shared state is injected at dispatch time:
-  /// clustered.fpart is overwritten with `options`, and kwayx.cancel /
-  /// fbb.cancel with options.cancel — so the per-engine structs only
-  /// carry what is genuinely engine-specific.
+  /// Sets the engine config: req.configure(MultilevelOptions{...}).
+  /// Returns *this for chaining.
+  template <class Config>
+  SolveRequest& configure(Config config) {
+    engine = std::move(config);
+    return *this;
+  }
+
+  /// Typed accessor: the held config, or nullptr when `engine` holds a
+  /// different alternative (or monostate).
+  template <class Config>
+  const Config* engine_config() const {
+    return std::get_if<Config>(&engine);
+  }
+  template <class Config>
+  Config* engine_config() {
+    return std::get_if<Config>(&engine);
+  }
+
+  // --- Deprecated shim (removed next PR) ---------------------------------
+  // The pre-variant flat members. Honored only when their replacement is
+  // unset: `starts` when > 1 (overriding options.starts), the structs
+  // only when `engine` is monostate and `method` matches. New code uses
+  // options.starts and configure().
+  std::uint32_t starts = 1;
   ClusteredOptions clustered;
   KwayxConfig kwayx;
   FbbConfig fbb;

@@ -37,7 +37,7 @@ class ScopedAudit {
   bool prev_;
 };
 
-/// The engine variants a diff case sweeps: the four Methods plus the
+/// The engine variants a diff case sweeps: the five Methods plus the
 /// FPART multi-start path (its recording/replay shape differs from a
 /// single start, so it earns its own slot).
 struct Variant {
@@ -48,8 +48,9 @@ struct Variant {
   /// BEST start, and clustered logs contain coarse-graph partitions —
   /// in both cases the footer-vs-result digest check does not apply.
   bool footer_matches_result;
-  /// Clustered logs initialize partitions over coarse graphs, which the
-  /// replay contract rejects by design (replay.hpp digest guard).
+  /// Clustered and multilevel logs initialize partitions over coarse
+  /// graphs, which the replay contract rejects by design (replay.hpp
+  /// digest guard).
   bool replayable;
 };
 
@@ -59,12 +60,13 @@ constexpr Variant kVariants[] = {
     {"clustered", Method::kClustered, 1, true, false},
     {"kwayx", Method::kKwayx, 1, true, true},
     {"fbb", Method::kFbb, 1, true, true},
+    {"multilevel", Method::kMultilevel, 1, true, false},
 };
 
 SolveRequest make_request(const Variant& v, std::uint64_t seed) {
   SolveRequest req;
   req.method = v.method;
-  req.starts = v.starts;
+  req.options.starts = v.starts;
   req.options.seed = seed;
   return req;
 }

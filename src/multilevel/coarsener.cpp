@@ -1,0 +1,124 @@
+#include "multilevel/coarsener.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "hypergraph/builder.hpp"
+#include "util/assert.hpp"
+
+namespace fpart {
+
+namespace {
+
+/// Interior nodes in ascending-degree buckets, ascending id within each
+/// bucket. A counting sort keyed on degree: stable over the id scan, so
+/// the order is fully deterministic.
+std::vector<NodeId> degree_bucket_order(const Hypergraph& h) {
+  const std::size_t n = h.num_nodes();
+  const std::size_t max_deg = h.max_node_degree();
+  std::vector<std::size_t> bucket_start(max_deg + 2, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    if (!h.is_terminal(v)) ++bucket_start[h.degree(v) + 1];
+  }
+  for (std::size_t d = 1; d < bucket_start.size(); ++d) {
+    bucket_start[d] += bucket_start[d - 1];
+  }
+  std::vector<NodeId> order(h.num_interior());
+  for (NodeId v = 0; v < n; ++v) {
+    if (!h.is_terminal(v)) order[bucket_start[h.degree(v)]++] = v;
+  }
+  return order;
+}
+
+/// Nets above this pin count are skipped while rating: each contributes
+/// at most 1/(kRatingNetCap−1) per neighbour — noise — while costing
+/// O(|e|²) over a pass. Matching quality is unaffected in practice and
+/// the cap keeps pathological hub nets from quadratic blowup.
+constexpr std::size_t kRatingNetCap = 256;
+
+}  // namespace
+
+Coarsening coarsen_heavy_edge(const Hypergraph& fine,
+                              const CoarsenConfig& config) {
+  const std::size_t n = fine.num_nodes();
+  std::vector<NodeId> match(n, kInvalidNode);
+
+  const std::vector<NodeId> order = degree_bucket_order(fine);
+
+  // Heavy-edge matching: rate each unmatched interior neighbour of v by
+  // Σ 1/(|e|−1) over shared nets, pick the heaviest that fits the size
+  // cap (ties: lower node id).
+  std::vector<double> weight(n, 0.0);
+  std::vector<NodeId> touched;
+  for (const NodeId v : order) {
+    if (match[v] != kInvalidNode) continue;
+    touched.clear();
+    for (NetId e : fine.nets(v)) {
+      const auto pins = fine.interior_pins(e);
+      if (pins.size() < 2 || pins.size() > kRatingNetCap) continue;
+      const double w = 1.0 / static_cast<double>(fine.net_degree(e) - 1);
+      for (NodeId u : pins) {
+        if (u == v || match[u] != kInvalidNode) continue;
+        if (weight[u] == 0.0) touched.push_back(u);
+        weight[u] += w;
+      }
+    }
+    NodeId best = kInvalidNode;
+    for (NodeId u : touched) {
+      if (config.max_cluster_size != 0 &&
+          fine.node_size(v) + fine.node_size(u) > config.max_cluster_size) {
+        continue;
+      }
+      if (best == kInvalidNode || weight[u] > weight[best] ||
+          (weight[u] == weight[best] && u < best)) {
+        best = u;
+      }
+    }
+    if (best != kInvalidNode) {
+      match[v] = best;
+      match[best] = v;
+    }
+    for (NodeId u : touched) weight[u] = 0.0;
+  }
+
+  // Build the coarse circuit. Cell ids are assigned in ascending order of
+  // each pair's lower fine id, mirroring cluster/coarsen.cpp, so the
+  // mapping is independent of the visit order above.
+  Coarsening out;
+  out.fine_to_coarse.assign(n, kInvalidNode);
+  HypergraphBuilder b;
+  for (NodeId v = 0; v < n; ++v) {
+    if (fine.is_terminal(v)) continue;
+    if (out.fine_to_coarse[v] != kInvalidNode) continue;  // already merged
+    std::uint32_t size = fine.node_size(v);
+    if (match[v] != kInvalidNode) size += fine.node_size(match[v]);
+    const NodeId cv = b.add_cell(size);
+    out.fine_to_coarse[v] = cv;
+    if (match[v] != kInvalidNode) out.fine_to_coarse[match[v]] = cv;
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    if (!fine.is_terminal(v)) continue;
+    out.fine_to_coarse[v] = b.add_terminal();
+  }
+
+  std::vector<NodeId> pins;
+  for (NetId e = 0; e < fine.num_nets(); ++e) {
+    pins.clear();
+    bool has_terminal = false;
+    for (NodeId v : fine.pins(e)) {
+      pins.push_back(out.fine_to_coarse[v]);
+      has_terminal = has_terminal || fine.is_terminal(v);
+    }
+    std::sort(pins.begin(), pins.end());
+    pins.erase(std::unique(pins.begin(), pins.end()), pins.end());
+    // Nets entirely absorbed into one coarse cell (no pads) disappear —
+    // they can never be cut or demand a pin again.
+    if (pins.size() < 2 && !has_terminal) continue;
+    b.add_net(pins);
+  }
+
+  out.coarse = std::move(b).build();
+  return out;
+}
+
+}  // namespace fpart

@@ -1,0 +1,37 @@
+// Heavy-edge matching coarsener for the multilevel V-cycle.
+//
+// Differs from cluster/coarsen.cpp's heavy-connectivity matching in two
+// ways that matter when the coarsener runs a dozen times per solve on
+// circuits far beyond MCNC scale:
+//
+//  * rating: a net e contributes weight(e) / (|e|−1) to each pair of its
+//    pins (unit net weights here, |e| = total pin count including pads)
+//    — the standard heavy-edge rating, so small nets dominate and a
+//    matched pair absorbs as much cut potential as possible;
+//  * visit order: nodes are visited in ascending-degree buckets (the
+//    HepPartitioner idiom) instead of plain id order, so low-degree
+//    cells — whose only nets would otherwise be swallowed by high-degree
+//    hubs — pick their partners first. Within a bucket the order is
+//    ascending node id, and rating ties break toward the lower partner
+//    id, keeping the whole pass deterministic.
+//
+// The result reuses cluster/coarsen.hpp's Coarsening record (coarse
+// graph + fine→coarse map + projection); the same exactness invariants
+// hold: total logic size, terminal pads and pin demands are preserved,
+// so feasibility transfers verbatim under projection.
+#pragma once
+
+#include "cluster/coarsen.hpp"
+#include "hypergraph/hypergraph.hpp"
+
+namespace fpart {
+
+/// One level of heavy-edge matching over interior nodes, degree-bucketed
+/// visit order, deterministic tie-break by node id. Coarse cells are
+/// capped at config.max_cluster_size technology cells (0 = unlimited).
+/// Coarse node names are left empty — the hierarchy is transient and
+/// names are excluded from structural digests anyway.
+Coarsening coarsen_heavy_edge(const Hypergraph& fine,
+                              const CoarsenConfig& config = {});
+
+}  // namespace fpart

@@ -1,0 +1,122 @@
+#include "multilevel/multilevel.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "core/solve.hpp"
+#include "multilevel/coarsener.hpp"
+#include "multilevel/refine.hpp"
+#include "obs/phase.hpp"
+#include "obs/timeseries.hpp"
+#include "partition/audit.hpp"
+#include "partition/partition.hpp"
+#include "util/assert.hpp"
+#include "util/timer.hpp"
+
+namespace fpart {
+
+PartitionResult MultilevelPartitioner::run(const Hypergraph& h,
+                                           const Device& device) const {
+  obs::ScopedPhase phase("multilevel.run");
+  FPART_OPTION_REQUIRE(options_.inner != Method::kMultilevel,
+                       "multilevel inner method must not be multilevel");
+  Timer timer;
+  CpuTimer cpu_timer;
+  const std::uint32_t m = lower_bound_devices(h, device);
+
+  CoarsenConfig coarsen_config = options_.coarsen;
+  if (coarsen_config.max_cluster_size == 0) {
+    coarsen_config.max_cluster_size =
+        std::max(2u, static_cast<std::uint32_t>(device.s_max() / 16.0));
+  }
+  const std::uint32_t coarsest_cells =
+      options_.coarsest_max_cells != 0
+          ? options_.coarsest_max_cells
+          : std::max<std::uint32_t>(128, 32 * m);
+
+  // Descend: heavy-edge matching until the circuit is small, the shrink
+  // stalls, or the level cap is reached.
+  std::vector<Coarsening> ladder;
+  const Hypergraph* current = &h;
+  for (std::uint32_t level = 0; level < options_.max_levels; ++level) {
+    if (current->num_interior() <= coarsest_cells) break;
+    obs::ScopedPhase coarsen_phase("multilevel.coarsen");
+    Coarsening c = coarsen_heavy_edge(*current, coarsen_config);
+    const double shrink = static_cast<double>(c.coarse.num_interior()) /
+                          static_cast<double>(current->num_interior());
+    if (shrink >= options_.min_shrink) break;  // matching stall
+    ladder.push_back(std::move(c));
+    current = &ladder.back().coarse;
+  }
+
+  // Coarsest-level solve through the facade: the inner engine records
+  // into the same event log / phase tree / timeseries as the V-cycle,
+  // exactly as if it were called directly on the coarse circuit.
+  PartitionResult coarse_result;
+  {
+    obs::ScopedPhase solve_phase("multilevel.solve");
+    SolveRequest req;
+    req.method = options_.inner;
+    req.options = options_.fpart;
+    coarse_result = solve(*current, device, req);
+  }
+  bool cancelled = coarse_result.cancelled;
+  if (!cancelled) {
+    FPART_ASSERT_MSG(coarse_result.feasible,
+                     "multilevel: coarsest-level result must be feasible");
+  }
+  std::uint32_t iterations = coarse_result.iterations;
+
+  // Ascend: project one level at a time, boundary-refine, audit.
+  std::vector<BlockId> assignment = coarse_result.assignment;
+  std::uint32_t level_idx = 0;
+  for (auto it = ladder.rbegin(); it != ladder.rend(); ++it) {
+    ++level_idx;
+    assignment = it->project(assignment);
+    // The projected assignment refers to this coarsening's fine side:
+    // the original circuit for the outermost coarsening, else the
+    // next-outer coarse graph.
+    const Hypergraph& target =
+        (it + 1 == ladder.rend()) ? h : (it + 1)->coarse;
+    Partition p(target, assignment, coarse_result.k);
+    std::uint64_t level_moves = 0;
+    if (!cancelled) {
+      FPART_ASSERT_MSG(p.classify(device) == FeasibilityClass::kFeasible,
+                       "multilevel: projected partition must stay feasible");
+      {
+        obs::ScopedPhase refine_phase("multilevel.refine");
+        const BoundaryRefineStats rs =
+            refine_boundary(p, device, options_.refine_passes, level_idx);
+        level_moves = rs.moves;
+      }
+      if (audit_enabled()) audit_partition(p, "multilevel.level");
+      if (cancel_requested(options_.fpart.cancel)) cancelled = true;
+    }
+    ++iterations;
+    if (obs::timeseries_enabled()) {
+      obs::sample_point(obs::SampleKind::kPass, obs::Engine::kMultilevel,
+                        level_idx, p.cut_size(), p.cut_size(),
+                        p.count_feasible(device), p.num_blocks(),
+                        static_cast<std::uint32_t>(std::min<std::uint64_t>(
+                            level_moves, UINT32_MAX)),
+                        0, 0);
+    }
+    assignment = p.snapshot().assignment;
+  }
+
+  // Materialize the final fine partition for the result record (this
+  // also rewrites the event-log footer, so it describes the FINE
+  // partition — the coarse solve's footer is superseded).
+  Partition p(h, assignment, coarse_result.k);
+  if (!cancelled) {
+    FPART_ASSERT_MSG(p.classify(device) == FeasibilityClass::kFeasible,
+                     "multilevel: final partition must be feasible");
+  }
+  PartitionResult result =
+      summarize_partition(p, device, m, iterations, timer.elapsed_seconds(),
+                          cpu_timer.elapsed_seconds());
+  result.cancelled = cancelled;
+  return result;
+}
+
+}  // namespace fpart

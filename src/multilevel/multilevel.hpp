@@ -1,0 +1,83 @@
+// Multilevel V-cycle partitioner (Heuer/Sanders/Schlag framing): coarsen
+// with heavy-edge matching until the circuit is small, solve the
+// coarsest circuit with a configurable inner engine through the solve()
+// facade, then uncoarsen — project the partition up one level at a time
+// and polish each level with boundary-restricted refinement
+// (multilevel/refine.hpp).
+//
+// Contrast with core/clustered.hpp: clustered FPART is the paper-era
+// two-phase scheme (a level or two of clustering, full Sanchis refine on
+// projection). The V-cycle is the scale lever — O(log n) levels, each
+// refined only at block boundaries on the flat Φ arena, so circuits two
+// to three orders of magnitude beyond MCNC stay tractable while the flat
+// engines fall off a cliff.
+//
+// Feasibility transfers exactly under projection (cluster/coarsen.hpp
+// invariants), the boundary refiner preserves it, and every level is
+// instrumented: phase tree (multilevel.coarsen/solve/refine), flight-
+// recorder pass events, timeseries samples, and — under --audit — a
+// from-scratch invariant audit per level.
+#pragma once
+
+#include <cstdint>
+
+#include "cluster/coarsen.hpp"
+#include "core/method.hpp"
+#include "core/options.hpp"
+#include "core/result.hpp"
+#include "device/device.hpp"
+#include "hypergraph/hypergraph.hpp"
+
+namespace fpart {
+
+struct MultilevelOptions {
+  /// Base options for the V-cycle and its inner coarsest-level solve.
+  /// Injected from SolveRequest::options at dispatch (like
+  /// ClusteredOptions::fpart); `fpart.cancel` is polled at level
+  /// boundaries, `fpart.starts` multistarts the coarsest solve.
+  Options fpart;
+
+  /// Engine for the coarsest circuit, dispatched through solve().
+  /// kMultilevel itself is rejected (OptionError) — no recursion.
+  Method inner = Method::kFpart;
+
+  /// Heavy-edge matching size cap per level; max_cluster_size 0 = auto:
+  /// max(2, S_MAX / 16), so coarse cells stay small enough to pack
+  /// devices tightly.
+  CoarsenConfig coarsen;
+
+  /// Hard cap on coarsening levels (matching can at most halve the
+  /// interior count per level, so 24 covers any 32-bit circuit).
+  std::uint32_t max_levels = 24;
+
+  /// Stop descending once the coarse circuit has at most this many
+  /// interior cells. 0 = auto: max(128, 32 · M) — enough headroom that
+  /// the coarsest solve can still pack M devices from capped cells.
+  std::uint32_t coarsest_max_cells = 0;
+
+  /// Stall guard: stop descending when a level shrinks the interior
+  /// count by less than this factor (1.0 would demand any shrink at
+  /// all; matching-based coarsening normally achieves ~0.55).
+  double min_shrink = 0.95;
+
+  /// Boundary refinement passes per uncoarsening level (0 disables).
+  int refine_passes = 2;
+};
+
+class MultilevelPartitioner {
+ public:
+  explicit MultilevelPartitioner(MultilevelOptions options = {})
+      : options_(std::move(options)) {}
+
+  const MultilevelOptions& options() const { return options_; }
+
+  /// Same contract as the other engines: a feasible PartitionResult on
+  /// the FINE circuit's node ids (unless cancelled mid-cycle, in which
+  /// case `cancelled` is set and the partial projection is returned).
+  PartitionResult run(const Hypergraph& h, const Device& device) const;
+
+ private:
+  MultilevelOptions options_;
+};
+
+}  // namespace fpart

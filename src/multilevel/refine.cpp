@@ -1,0 +1,147 @@
+#include "multilevel/refine.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "fm/gains.hpp"
+#include "obs/recorder.hpp"
+#include "obs/timeseries.hpp"
+#include "util/assert.hpp"
+
+namespace fpart {
+
+namespace {
+
+/// Dry-run of Partition::move's pin-demand rules for v: f -> to. Returns
+/// the summed pin-demand delta of the two touched blocks through
+/// `df`/`dt`. O(degree(v)).
+void pin_demand_deltas(const Partition& p, NodeId v, BlockId f, BlockId to,
+                       int& df, int& dt) {
+  const Hypergraph& h = p.graph();
+  df = 0;
+  dt = 0;
+  for (NetId e : h.nets(v)) {
+    const std::uint32_t* row = p.net_row(e);
+    const std::uint32_t term = h.net_terminal_count(e);
+    const std::uint32_t total = h.net_interior_pin_count(e);
+    const std::uint32_t old_f = row[f];
+    const std::uint32_t old_t = row[to];
+    const bool req_f_old = old_f >= 1 && (term > 0 || old_f < total);
+    const bool req_t_old = old_t >= 1 && (term > 0 || old_t < total);
+    const std::uint32_t new_f = old_f - 1;
+    const std::uint32_t new_t = old_t + 1;
+    const bool req_f_new = new_f >= 1 && (term > 0 || new_f < total);
+    const bool req_t_new = new_t >= 1 && (term > 0 || new_t < total);
+    df += static_cast<int>(req_f_new) - static_cast<int>(req_f_old);
+    dt += static_cast<int>(req_t_new) - static_cast<int>(req_t_old);
+  }
+}
+
+}  // namespace
+
+BoundaryRefineStats refine_boundary(Partition& p, const Device& device,
+                                    int max_passes, std::uint32_t level) {
+  BoundaryRefineStats stats;
+  const Hypergraph& h = p.graph();
+  const std::uint32_t k = p.num_blocks();
+  if (max_passes <= 0 || k < 2) return stats;
+
+  std::vector<std::uint8_t> on_boundary(h.num_nodes());
+  std::vector<std::uint8_t> block_seen(k);
+  std::vector<BlockId> candidates;
+  candidates.reserve(k);
+
+  for (int pass = 0; pass < max_passes; ++pass) {
+    ++stats.passes;
+    // Only the spec-serialized slots (a = pass index, value = metric)
+    // may carry data — the parse round-trip must be lossless. The
+    // V-cycle level travels in the timeseries samples below instead.
+    obs::record_event(obs::EventKind::kPassBegin, obs::Engine::kMultilevel,
+                      static_cast<std::uint32_t>(pass), 0, 0, obs::kNoGain,
+                      p.cut_size());
+
+    // Boundary snapshot for this pass: interior pins of cut nets. Moves
+    // during the pass do not re-enqueue nodes — the next pass picks up
+    // newly exposed boundary cells.
+    std::fill(on_boundary.begin(), on_boundary.end(), 0);
+    for (NetId e = 0; e < h.num_nets(); ++e) {
+      if (p.net_span(e) < 2) continue;
+      for (NodeId v : h.interior_pins(e)) on_boundary[v] = 1;
+    }
+
+    std::uint32_t moves_this_pass = 0;
+    for (NodeId v = 0; v < h.num_nodes(); ++v) {
+      if (!on_boundary[v]) continue;
+      const BlockId f = p.block_of(v);
+      const std::uint32_t s = h.node_size(v);
+
+      // Adjacent blocks (Φ(e,b) > 0 on some incident net), ascending id
+      // for a deterministic scan order.
+      candidates.clear();
+      for (NetId e : h.nets(v)) {
+        if (p.net_span(e) < 2) continue;
+        const std::uint32_t* row = p.net_row(e);
+        for (BlockId b = 0; b < k; ++b) {
+          if (b == f || row[b] == 0 || block_seen[b]) continue;
+          block_seen[b] = 1;
+          candidates.push_back(b);
+        }
+      }
+      if (candidates.empty()) continue;
+      std::sort(candidates.begin(), candidates.end());
+      for (BlockId b : candidates) block_seen[b] = 0;
+
+      BlockId best_to = kInvalidBlock;
+      int best_gain = 0;
+      int best_pin_delta = 0;
+      for (const BlockId to : candidates) {
+        const int gain = move_gain(p, v, to);
+        if (gain < 0) continue;
+        if (!device.size_ok(p.block_size(to) + s)) continue;
+        int df = 0;
+        int dt = 0;
+        pin_demand_deltas(p, v, f, to, df, dt);
+        const int pin_delta = df + dt;
+        // Strict lexicographic improvement on (cut, total pin demand):
+        // the potential function that guarantees termination.
+        if (gain == 0 && pin_delta >= 0) continue;
+        const std::int64_t pins_f =
+            static_cast<std::int64_t>(p.block_pins(f)) + df;
+        const std::int64_t pins_t =
+            static_cast<std::int64_t>(p.block_pins(to)) + dt;
+        if (!device.pins_ok(static_cast<std::uint64_t>(pins_f)) ||
+            !device.pins_ok(static_cast<std::uint64_t>(pins_t))) {
+          continue;
+        }
+        if (best_to == kInvalidBlock || gain > best_gain ||
+            (gain == best_gain && pin_delta < best_pin_delta)) {
+          best_to = to;
+          best_gain = gain;
+          best_pin_delta = pin_delta;
+        }
+      }
+      if (best_to == kInvalidBlock) continue;
+      if (obs::recorder_enabled()) {
+        obs::Recorder::instance().stage_gain(best_gain);
+      }
+      p.move(v, best_to);
+      ++moves_this_pass;
+      stats.cut_gain += best_gain;
+    }
+
+    stats.moves += moves_this_pass;
+    obs::record_event(obs::EventKind::kPassEnd, obs::Engine::kMultilevel,
+                      moves_this_pass, 0, moves_this_pass > 0 ? 1u : 0u,
+                      obs::kNoGain, p.cut_size());
+    if (obs::timeseries_enabled()) {
+      obs::sample_point(obs::SampleKind::kPass, obs::Engine::kMultilevel,
+                        level, p.cut_size(), p.cut_size(),
+                        p.count_feasible(device), p.num_blocks(),
+                        moves_this_pass, 0, 0);
+    }
+    if (moves_this_pass == 0) break;
+  }
+  return stats;
+}
+
+}  // namespace fpart

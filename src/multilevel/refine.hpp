@@ -1,0 +1,47 @@
+// Boundary-restricted refinement for the multilevel V-cycle.
+//
+// The Sanchis refiner initializes gain buckets for EVERY cell of every
+// active block — O(n·k) per improve() call — which is exactly right for
+// the paper's MCNC-scale circuits and exactly wrong at 10⁶ nodes, where
+// a projected partition is already feasible and only the block
+// boundaries need polish. This pass therefore:
+//
+//  * visits only boundary cells (interior pins of nets spanning >= 2
+//    blocks), in ascending node id;
+//  * rates each adjacent block `to` by the exact cut gain (fm/gains.hpp
+//    move_gain, read straight off the flat Φ arena rows) plus the total
+//    pin-demand delta of the move, computed by a dry O(degree) scan that
+//    replays Partition::move's pin-demand rules without mutating
+//    anything;
+//  * applies a move only when it strictly improves (cut, total pin
+//    demand) lexicographically AND both touched blocks stay feasible —
+//    so a feasible partition stays feasible, no rollback machinery is
+//    needed, and the recorded event stream is pure kMove events (replay-
+//    compatible), each with its exact gain staged;
+//  * stops after max_passes or the first pass with no applied move
+//    (strict improvement makes termination a potential-function
+//    argument, not a heuristic).
+#pragma once
+
+#include <cstdint>
+
+#include "device/device.hpp"
+#include "partition/partition.hpp"
+
+namespace fpart {
+
+struct BoundaryRefineStats {
+  std::uint32_t passes = 0;  // passes executed (including the final empty one)
+  std::uint64_t moves = 0;   // moves applied across all passes
+  std::int64_t cut_gain = 0; // total cut reduction
+};
+
+/// Runs up to `max_passes` boundary passes on `p` (which must be
+/// feasible for `device`; it stays feasible). `level` tags the emitted
+/// timeseries samples with the V-cycle level index (the flight-recorder
+/// pass events carry the pass index, like the other engines).
+/// Deterministic.
+BoundaryRefineStats refine_boundary(Partition& p, const Device& device,
+                                    int max_passes, std::uint32_t level);
+
+}  // namespace fpart

@@ -72,9 +72,10 @@ constexpr KindSpec kKindSpecs[] = {
      nullptr, "rem_size"},
 };
 
-constexpr const char* kEngineNames[] = {"none",  "fm",     "sanchis",
-                                        "fbb",   "fpart",  "repair",
-                                        "kwayx", "clustered"};
+constexpr const char* kEngineNames[] = {"none",   "fm",    "sanchis",
+                                        "fbb",    "fpart", "repair",
+                                        "kwayx",  "clustered",
+                                        "multilevel"};
 
 const KindSpec& spec_of(EventKind kind) {
   for (const KindSpec& s : kKindSpecs) {

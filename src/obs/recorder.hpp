@@ -67,6 +67,7 @@ enum class Engine : std::uint8_t {
   kRepair,
   kKwayx,      // greedy k-way baseline (timeseries samples only)
   kClustered,  // clustered multilevel driver (timeseries samples only)
+  kMultilevel, // multilevel V-cycle boundary refinement
 };
 
 /// Gain sentinel for moves whose driver did not stage a gain

@@ -298,6 +298,8 @@ std::string options_json(const Options& opt) {
   w.value(static_cast<std::uint64_t>(opt.n_small));
   w.key("seed");
   w.value(opt.seed);
+  w.key("starts");
+  w.value(static_cast<std::uint64_t>(opt.starts));
   w.key("max_iterations");
   w.value(static_cast<std::uint64_t>(opt.max_iterations));
   w.key("schedule");

@@ -1,8 +1,9 @@
 // The facade contract: solve() is observably identical to constructing
 // the corresponding engine directly — same result, same assignment
-// digest, byte-identical flight-recorder event log — for all four
-// methods, and parse_method() is the single source of unknown-method
-// errors.
+// digest, byte-identical flight-recorder event log — for all five
+// methods; parse_method() is the single source of unknown-method
+// errors; and the variant EngineConfig rejects a config held for the
+// wrong engine instead of silently ignoring it.
 #include <gtest/gtest.h>
 
 #include <memory>
@@ -15,6 +16,7 @@
 #include "obs/recorder.hpp"
 #include "partition/replay.hpp"
 #include "report/run_report.hpp"
+#include "util/error.hpp"
 
 namespace fpart {
 namespace {
@@ -63,6 +65,11 @@ TEST_P(SolveEquivalenceTest, MatchesDirectEngineByteForByte) {
         return KwayxPartitioner().run(h, d);
       case Method::kFbb:
         return FbbPartitioner().run(h, d);
+      case Method::kMultilevel: {
+        MultilevelOptions mo;
+        mo.fpart = opt;
+        return MultilevelPartitioner(mo).run(h, d);
+      }
     }
     return PartitionResult{};
   });
@@ -87,12 +94,32 @@ TEST_P(SolveEquivalenceTest, MatchesDirectEngineByteForByte) {
 
 INSTANTIATE_TEST_SUITE_P(AllMethods, SolveEquivalenceTest,
                          ::testing::Values(Method::kFpart, Method::kClustered,
-                                           Method::kKwayx, Method::kFbb),
+                                           Method::kKwayx, Method::kFbb,
+                                           Method::kMultilevel),
                          [](const auto& info) {
                            return std::string(method_name(info.param));
                          });
 
 TEST(SolveTest, MultistartMatchesRunFpartMultistart) {
+  const Hypergraph h = test_circuit();
+  const Device d = xilinx::by_name("XC3042");
+  const Options opt;
+
+  const PartitionResult direct = run_fpart_multistart(h, d, opt, 3);
+
+  SolveRequest req;
+  req.options = opt;
+  req.options.starts = 3;
+  const PartitionResult unified = solve(h, d, req);
+
+  EXPECT_EQ(unified.k, direct.k);
+  EXPECT_EQ(unified.cut, direct.cut);
+  EXPECT_EQ(unified.assignment, direct.assignment);
+}
+
+TEST(SolveTest, DeprecatedFlatStartsStillHonored) {
+  // One-PR shim: the old flat SolveRequest::starts member keeps working
+  // until the next release; it overrides options.starts when > 1.
   const Hypergraph h = test_circuit();
   const Device d = xilinx::by_name("XC3042");
   const Options opt;
@@ -109,15 +136,90 @@ TEST(SolveTest, MultistartMatchesRunFpartMultistart) {
   EXPECT_EQ(unified.assignment, direct.assignment);
 }
 
+TEST(SolveTest, MethodNamesTableMatchesEnum) {
+  // Regression: the parse error, method_name() and method_names() must
+  // all read one table, covering every enumerator exactly once.
+  const auto names = method_names();
+  ASSERT_EQ(names.size(), 5u);
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    const auto m = static_cast<Method>(i);
+    EXPECT_EQ(method_name(m), names[i]);
+    EXPECT_EQ(parse_method(names[i]), m);
+  }
+  // The unknown-method diagnostic enumerates every valid name.
+  try {
+    parse_method("metis");
+    FAIL() << "parse_method should have thrown";
+  } catch (const OptionError& e) {
+    const std::string what = e.what();
+    for (const std::string_view name : names) {
+      EXPECT_NE(what.find(name), std::string::npos)
+          << "error message is missing '" << name << "': " << what;
+    }
+  }
+}
+
+TEST(SolveTest, MismatchedEngineConfigIsRejected) {
+  const Hypergraph h = test_circuit();
+  const Device d = xilinx::by_name("XC3042");
+
+  // A KwayxConfig held while dispatching FBB cannot be silently dropped.
+  SolveRequest req;
+  req.method = Method::kFbb;
+  req.configure(KwayxConfig{});
+  EXPECT_THROW(solve(h, d, req), OptionError);
+
+  // FPART has no config struct at all — any held config is a mismatch.
+  SolveRequest flat;
+  flat.method = Method::kFpart;
+  flat.configure(MultilevelOptions{});
+  EXPECT_THROW(solve(h, d, flat), OptionError);
+
+  // The matching config is accepted.
+  SolveRequest ok;
+  ok.method = Method::kKwayx;
+  ok.configure(KwayxConfig{});
+  EXPECT_TRUE(solve(h, d, ok).feasible);
+}
+
+TEST(SolveTest, EngineConfigAccessors) {
+  SolveRequest req;
+  EXPECT_EQ(req.engine_config<MultilevelOptions>(), nullptr);
+
+  MultilevelOptions mo;
+  mo.refine_passes = 5;
+  req.configure(mo);
+  ASSERT_NE(req.engine_config<MultilevelOptions>(), nullptr);
+  EXPECT_EQ(req.engine_config<MultilevelOptions>()->refine_passes, 5);
+  EXPECT_EQ(req.engine_config<KwayxConfig>(), nullptr);
+
+  // configure() replaces the held alternative wholesale.
+  req.configure(KwayxConfig{});
+  EXPECT_EQ(req.engine_config<MultilevelOptions>(), nullptr);
+  EXPECT_NE(req.engine_config<KwayxConfig>(), nullptr);
+}
+
+TEST(SolveTest, OptionsJsonIncludesStarts) {
+  const Hypergraph h = test_circuit();
+  const Device d = xilinx::by_name("XC3042");
+  Options opt;
+  opt.starts = 4;
+  const obs::RunHeader header =
+      make_event_log_header(h, d, opt, "fpart");
+  EXPECT_NE(header.options_json.find("\"starts\":4"), std::string::npos)
+      << header.options_json;
+}
+
 TEST(SolveTest, ParseMethodRoundTrip) {
   for (const Method m : {Method::kFpart, Method::kClustered, Method::kKwayx,
-                         Method::kFbb}) {
+                         Method::kFbb, Method::kMultilevel}) {
     EXPECT_EQ(parse_method(method_name(m)), m);
   }
   EXPECT_EQ(parse_method("fpart"), Method::kFpart);
   EXPECT_EQ(parse_method("clustered"), Method::kClustered);
   EXPECT_EQ(parse_method("kwayx"), Method::kKwayx);
   EXPECT_EQ(parse_method("fbb"), Method::kFbb);
+  EXPECT_EQ(parse_method("multilevel"), Method::kMultilevel);
 }
 
 TEST(SolveTest, UnknownMethodIsRejectedInOnePlace) {

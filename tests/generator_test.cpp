@@ -158,6 +158,26 @@ TEST(GeneratorTest, ValidatesConfig) {
   EXPECT_THROW(generate_circuit(config), PreconditionError);
 }
 
+TEST(GeneratorTest, ScalesToLargeCircuits) {
+  // The multilevel bench drives the generator to 10^6 cells; this keeps
+  // the large regime honest at a test-friendly size: exact counts, a
+  // valid connected structure, and byte-identical regeneration.
+  GeneratorConfig config;
+  config.num_cells = 200'000;
+  config.num_terminals = 2'000;
+  config.seed = 23;
+  const Hypergraph h = generate_circuit(config);
+  h.validate();
+  EXPECT_EQ(h.num_interior(), 200'000u);
+  EXPECT_EQ(h.num_terminals(), 2'000u);
+  EXPECT_EQ(connected_components(h).count, 1u);
+
+  const Hypergraph again = generate_circuit(config);
+  EXPECT_EQ(h.structural_digest(), again.structural_digest());
+  EXPECT_EQ(h.num_nets(), again.num_nets());
+  EXPECT_EQ(h.num_pins(), again.num_pins());
+}
+
 // --- MCNC table -----------------------------------------------------------
 
 TEST(McncTest, TableMatchesPaper) {

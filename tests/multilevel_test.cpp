@@ -1,0 +1,328 @@
+// Multilevel V-cycle engine: heavy-edge coarsener invariants, boundary
+// refiner guarantees (feasibility preserved, cut never worse,
+// deterministic), and the end-to-end engine contract through solve() —
+// feasible, near the lower bound, digest-deterministic, fully audited
+// and flight-recorded at every level.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/solve.hpp"
+#include "device/xilinx.hpp"
+#include "hypergraph/builder.hpp"
+#include "multilevel/coarsener.hpp"
+#include "multilevel/multilevel.hpp"
+#include "multilevel/refine.hpp"
+#include "netlist/generator.hpp"
+#include "netlist/mcnc.hpp"
+#include "obs/recorder.hpp"
+#include "partition/audit.hpp"
+#include "partition/partition.hpp"
+#include "partition/replay.hpp"
+#include "partition/verify.hpp"
+#include "report/run_report.hpp"
+#include "util/error.hpp"
+
+namespace fpart {
+namespace {
+
+TEST(HeavyEdgeCoarsenTest, PreservesTotalsAndTerminals) {
+  const Hypergraph h = mcnc::generate("s9234", Family::kXC3000);
+  const Coarsening c = coarsen_heavy_edge(h);
+  c.coarse.validate();
+  EXPECT_EQ(c.coarse.total_size(), h.total_size());
+  EXPECT_EQ(c.coarse.num_terminals(), h.num_terminals());
+  // Matching at most halves the interior count.
+  EXPECT_GE(c.coarse.num_interior(), h.num_interior() / 2);
+  EXPECT_LT(c.coarse.num_interior(), h.num_interior());
+}
+
+TEST(HeavyEdgeCoarsenTest, PrefersSmallSharedNets) {
+  // All seven cells have degree 2, so the visit order is plain id order
+  // and L (id 0) chooses first. Its candidates: b and c2 through one
+  // 3-pin net (rating 0.5 each, and the LOWEST ids), a through one
+  // 2-pin net (rating 1.0, the highest id). The heavy-edge rating must
+  // pick a; a shared-net-count or tie-break-driven choice would pick b.
+  HypergraphBuilder bl;
+  const NodeId L = bl.add_cell(1, "L");
+  const NodeId nb = bl.add_cell(1, "b");
+  const NodeId nc = bl.add_cell(1, "c");
+  const NodeId a = bl.add_cell(1, "a");
+  const NodeId z1 = bl.add_cell(1, "z1");
+  const NodeId z2 = bl.add_cell(1, "z2");
+  const NodeId z3 = bl.add_cell(1, "z3");
+  bl.add_net({L, a});
+  bl.add_net({L, nb, nc});
+  bl.add_net({a, z1});
+  bl.add_net({nb, z2});
+  bl.add_net({nc, z3});
+  bl.add_net({z1, z2, z3});
+  const Hypergraph h = std::move(bl).build();
+  const Coarsening c = coarsen_heavy_edge(h);
+  EXPECT_EQ(c.fine_to_coarse[L], c.fine_to_coarse[a]);
+  EXPECT_NE(c.fine_to_coarse[L], c.fine_to_coarse[nb]);
+}
+
+TEST(HeavyEdgeCoarsenTest, LowDegreeCellsPickPartnersFirst) {
+  // The hub h rates l2 higher (two shared 2-pin nets) than l1 (one),
+  // but l1 has degree 1 and is visited first in the degree-bucket
+  // order, so it claims the hub — its only net is not swallowed. A
+  // plain id-order visit would have paired h with l2 instead.
+  HypergraphBuilder b;
+  const NodeId hub = b.add_cell(1, "h");
+  const NodeId l1 = b.add_cell(1, "l1");
+  const NodeId l2 = b.add_cell(1, "l2");
+  b.add_net({hub, l1});
+  b.add_net({hub, l2});
+  b.add_net({hub, l2});
+  const Hypergraph h = std::move(b).build();
+  const Coarsening c = coarsen_heavy_edge(h);
+  EXPECT_EQ(c.fine_to_coarse[hub], c.fine_to_coarse[l1]);
+  EXPECT_NE(c.fine_to_coarse[hub], c.fine_to_coarse[l2]);
+}
+
+TEST(HeavyEdgeCoarsenTest, RespectsSizeCap) {
+  HypergraphBuilder b;
+  const NodeId x = b.add_cell(5);
+  const NodeId y = b.add_cell(5);
+  b.add_net({x, y});
+  const Hypergraph h = std::move(b).build();
+  CoarsenConfig config;
+  config.max_cluster_size = 8;  // 5+5 > 8: no merge allowed
+  const Coarsening c = coarsen_heavy_edge(h, config);
+  EXPECT_EQ(c.coarse.num_interior(), 2u);
+}
+
+TEST(HeavyEdgeCoarsenTest, DropsAbsorbedNetsButKeepsPadNets) {
+  HypergraphBuilder b;
+  const NodeId x = b.add_cell(1);
+  const NodeId y = b.add_cell(1);
+  const NodeId pad = b.add_terminal();
+  b.add_net({x, y});
+  b.add_net({x, y, pad});
+  const Hypergraph h = std::move(b).build();
+  const Coarsening c = coarsen_heavy_edge(h);
+  EXPECT_EQ(c.coarse.num_interior(), 1u);
+  // The pad net survives (the device still needs that I/O pin).
+  ASSERT_EQ(c.coarse.num_nets(), 1u);
+  EXPECT_EQ(c.coarse.net_terminal_count(0), 1u);
+}
+
+TEST(HeavyEdgeCoarsenTest, Deterministic) {
+  const Hypergraph h = mcnc::generate("s13207", Family::kXC3000);
+  const Coarsening a = coarsen_heavy_edge(h);
+  const Coarsening b = coarsen_heavy_edge(h);
+  EXPECT_EQ(a.fine_to_coarse, b.fine_to_coarse);
+  EXPECT_EQ(a.coarse.num_nets(), b.coarse.num_nets());
+  EXPECT_EQ(a.coarse.structural_digest(), b.coarse.structural_digest());
+}
+
+// ---------------------------------------------------------------------------
+
+TEST(BoundaryRefineTest, MovesStrayCellAndReportsGain) {
+  // Two 2-cell blocks plus one stray cell whose only net ties it to
+  // block 0 while it sits in block 1: the unique improving boundary move
+  // is stray -> block 0.
+  HypergraphBuilder b;
+  const NodeId a0 = b.add_cell(1);
+  const NodeId a1 = b.add_cell(1);
+  const NodeId b0 = b.add_cell(1);
+  const NodeId b1 = b.add_cell(1);
+  const NodeId stray = b.add_cell(1);
+  b.add_net({a0, a1});
+  b.add_net({b0, b1});
+  b.add_net({stray, a0});
+  const Hypergraph h = std::move(b).build();
+  const Device device("ml-refine", Family::kXC3000, /*s_datasheet=*/3,
+                      /*t_max=*/50, /*fill=*/1.0);
+  const std::vector<BlockId> assignment = {0, 0, 1, 1, 1};
+  Partition p(h, assignment, 2);
+  ASSERT_EQ(p.cut_size(), 1u);
+
+  const BoundaryRefineStats stats =
+      refine_boundary(p, device, /*max_passes=*/4, /*level=*/0);
+  EXPECT_EQ(p.cut_size(), 0u);
+  EXPECT_GE(stats.moves, 1u);
+  EXPECT_EQ(stats.cut_gain, 1);
+  const auto snap = p.snapshot();
+  EXPECT_EQ(snap.assignment[stray], 0u);
+}
+
+TEST(BoundaryRefineTest, PreservesFeasibilityAndNeverWorsensCut) {
+  const Device d = xilinx::xc3042();
+  const Hypergraph h = mcnc::generate("s9234", d.family());
+  SolveRequest req;
+  req.method = Method::kClustered;
+  const PartitionResult r = solve(h, d, req);
+  ASSERT_TRUE(r.feasible);
+
+  Partition p(h, r.assignment, r.k);
+  const std::uint64_t cut_before = p.cut_size();
+  refine_boundary(p, d, /*max_passes=*/3, /*level=*/0);
+  EXPECT_LE(p.cut_size(), cut_before);
+  const auto snap = p.snapshot();
+  const VerifyReport report = verify_partition(h, d, snap.assignment, r.k);
+  EXPECT_TRUE(report.ok) << report.summary();
+}
+
+TEST(BoundaryRefineTest, Deterministic) {
+  const Device d = xilinx::xc3042();
+  const Hypergraph h = mcnc::generate("s5378", d.family());
+  SolveRequest req;
+  req.method = Method::kKwayx;
+  const PartitionResult r = solve(h, d, req);
+  ASSERT_TRUE(r.feasible);
+
+  Partition p1(h, r.assignment, r.k);
+  Partition p2(h, r.assignment, r.k);
+  refine_boundary(p1, d, 3, 0);
+  refine_boundary(p2, d, 3, 0);
+  EXPECT_EQ(p1.snapshot().assignment, p2.snapshot().assignment);
+  EXPECT_EQ(p1.cut_size(), p2.cut_size());
+}
+
+// ---------------------------------------------------------------------------
+
+TEST(MultilevelEngineTest, FeasibleAndNearLowerBound) {
+  for (const char* circuit : {"c3540", "s9234", "s13207"}) {
+    const Device d = xilinx::xc3042();
+    const Hypergraph h = mcnc::generate(circuit, d.family());
+    SolveRequest req;
+    req.method = Method::kMultilevel;
+    const PartitionResult r = solve(h, d, req);
+    EXPECT_TRUE(r.feasible) << circuit;
+    EXPECT_GE(r.k, r.lower_bound) << circuit;
+    EXPECT_LE(r.k, r.lower_bound + r.lower_bound / 4 + 2) << circuit;
+    const VerifyReport report = verify_partition(h, d, r.assignment, r.k);
+    EXPECT_TRUE(report.ok) << circuit << ": " << report.summary();
+  }
+}
+
+TEST(MultilevelEngineTest, DigestDeterministicAcrossRuns) {
+  const Device d = xilinx::xc3042();
+  const Hypergraph h = mcnc::generate("s13207", d.family());
+  SolveRequest req;
+  req.method = Method::kMultilevel;
+  const PartitionResult a = solve(h, d, req);
+  const PartitionResult b = solve(h, d, req);
+  EXPECT_EQ(a.k, b.k);
+  EXPECT_EQ(a.cut, b.cut);
+  EXPECT_EQ(assignment_digest(a.assignment), assignment_digest(b.assignment));
+}
+
+TEST(MultilevelEngineTest, AuditedRunRecordsEveryLevel) {
+  // Audit on: every uncoarsening level recomputes the partition
+  // invariants from scratch (audit_partition throws on any divergence).
+  // The flight-recorder log must parse, carry multilevel pass events,
+  // and close with a footer matching the returned result.
+  const Device d = xilinx::xc3042();
+  const Hypergraph h = mcnc::generate("s13207", d.family());
+  set_audit_enabled(true);
+  obs::Recorder rec;
+  PartitionResult r;
+  {
+    const obs::ScopedRecorderInstall install(&rec);
+    const Options opt;
+    rec.start(make_event_log_header(h, d, opt, "multilevel"));
+    SolveRequest req;
+    req.method = Method::kMultilevel;
+    req.options = opt;
+    r = solve(h, d, req);
+    rec.stop();
+  }
+  set_audit_enabled(false);
+  ASSERT_TRUE(r.feasible);
+
+  const obs::EventLog log = obs::parse_event_log(rec.to_jsonl());
+  bool saw_multilevel_pass = false;
+  for (const obs::Event& e : log.events) {
+    if (e.kind == obs::EventKind::kPassBegin &&
+        e.engine == obs::Engine::kMultilevel) {
+      saw_multilevel_pass = true;
+    }
+  }
+  EXPECT_TRUE(saw_multilevel_pass);
+  ASSERT_TRUE(log.final_state.has_value());
+  EXPECT_EQ(log.final_state->k, r.k);
+  EXPECT_EQ(log.final_state->cut, r.cut);
+  EXPECT_EQ(log.final_state->assignment_digest,
+            assignment_digest(r.assignment));
+}
+
+TEST(MultilevelEngineTest, InnerClusteredEngineWorks) {
+  const Device d = xilinx::xc3042();
+  const Hypergraph h = mcnc::generate("s9234", d.family());
+  MultilevelOptions mo;
+  mo.inner = Method::kClustered;
+  SolveRequest req;
+  req.method = Method::kMultilevel;
+  req.configure(mo);
+  const PartitionResult r = solve(h, d, req);
+  EXPECT_TRUE(r.feasible);
+  const VerifyReport report = verify_partition(h, d, r.assignment, r.k);
+  EXPECT_TRUE(report.ok) << report.summary();
+}
+
+TEST(MultilevelEngineTest, RecursiveInnerMethodIsRejected) {
+  const Device d = xilinx::xc3042();
+  const Hypergraph h = mcnc::generate("c3540", d.family());
+  MultilevelOptions mo;
+  mo.inner = Method::kMultilevel;
+  SolveRequest req;
+  req.method = Method::kMultilevel;
+  req.configure(mo);
+  EXPECT_THROW(solve(h, d, req), OptionError);
+}
+
+TEST(MultilevelEngineTest, HonorsCancelToken) {
+  const Device d = xilinx::xc3042();
+  const Hypergraph h = mcnc::generate("s13207", d.family());
+  CancelToken cancel;
+  cancel.request();
+  SolveRequest req;
+  req.method = Method::kMultilevel;
+  req.options.cancel = &cancel;
+  const PartitionResult r = solve(h, d, req);
+  EXPECT_TRUE(r.cancelled);
+}
+
+TEST(MultilevelEngineTest, TinyCircuitSkipsCoarsening) {
+  // Below the coarsest-size floor the V-cycle degenerates to the inner
+  // engine on the original circuit; the contract must still hold.
+  GeneratorConfig config;
+  config.num_cells = 60;
+  config.num_terminals = 10;
+  config.seed = 3;
+  const Hypergraph h = generate_circuit(config);
+  const Device d = xilinx::xc3020();
+  SolveRequest req;
+  req.method = Method::kMultilevel;
+  const PartitionResult r = solve(h, d, req);
+  EXPECT_TRUE(r.feasible);
+  const VerifyReport report = verify_partition(h, d, r.assignment, r.k);
+  EXPECT_TRUE(report.ok) << report.summary();
+}
+
+TEST(MultilevelEngineTest, ScalesOnGeneratedCircuit) {
+  // A mid-size Rent-style circuit (beyond the MCNC suite) through the
+  // full V-cycle: several coarsening levels, coarsest solve, boundary
+  // refinement at each projection.
+  GeneratorConfig config;
+  config.num_cells = 20'000;
+  config.num_terminals = 400;
+  config.seed = 17;
+  const Hypergraph h = generate_circuit(config);
+  const Device d("ml-scale", Family::kXC3000, /*s_datasheet=*/2'000,
+                 /*t_max=*/400, /*fill=*/0.9);
+  SolveRequest req;
+  req.method = Method::kMultilevel;
+  const PartitionResult r = solve(h, d, req);
+  EXPECT_TRUE(r.feasible);
+  EXPECT_GE(r.k, r.lower_bound);
+  const VerifyReport report = verify_partition(h, d, r.assignment, r.k);
+  EXPECT_TRUE(report.ok) << report.summary();
+}
+
+}  // namespace
+}  // namespace fpart

@@ -146,7 +146,9 @@ TEST_F(ObsSchemaTest, RunReportIsParseableAndSchemaStable) {
   require(*remainder, "buckets", JsonValue::Type::kArray);
 
   // Phase tree: the root phase is the whole run and its wall time must
-  // agree with PartitionResult::seconds to within 5%.
+  // agree with PartitionResult::seconds to within 5%, plus a fixed
+  // scheduling allowance — under a parallel ctest run the two clock
+  // reads can be separated by a preemption worth several milliseconds.
   const JsonValue& phases = require(doc, "phases", JsonValue::Type::kArray);
   ASSERT_FALSE(phases.array.empty());
   const JsonValue& root = phases.array[0];
@@ -158,7 +160,7 @@ TEST_F(ObsSchemaTest, RunReportIsParseableAndSchemaStable) {
   require(root, "count", JsonValue::Type::kNumber);
   require(root, "children", JsonValue::Type::kArray);
   EXPECT_LE(std::abs(root_wall - r.seconds),
-            0.05 * r.seconds + 1e-4)
+            0.05 * r.seconds + 0.02)
       << "root phase wall=" << root_wall << " vs result=" << r.seconds;
 }
 

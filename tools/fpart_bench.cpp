@@ -153,7 +153,7 @@ CaseResult run_solve_case(const SuiteCase& c, int repeats) {
   const Hypergraph h = mcnc::generate(c.circuit, device.family());
   SolveRequest req;
   req.method = parse_method(c.method);
-  req.starts = c.starts;
+  req.options.starts = c.starts;
 
   CaseResult out;
   out.spec = c;

@@ -1,0 +1,353 @@
+// Extension bench: the partition-as-a-service layer (src/serve).
+//
+// Drives the in-process Server (the exact scheduling + caching stack
+// behind the fpart_serve daemon, minus socket framing) with a mixed
+// MCNC workload and measures the two numbers a serving deployment
+// cares about:
+//
+//   * sustained jobs/sec — one submit request carrying the full
+//     workload fans the single-attempt jobs across the shared
+//     ThreadPool; the cold round measures compute throughput, the warm
+//     rounds measure cache-served throughput;
+//   * cache hit rate — the identical workload is submitted
+//     kWarmRounds more times; every repeat job must be served from the
+//     content-addressed cache, and the aggregate hit rate is gated at
+//     >= kMinHitRate (0.5).
+//
+// Hard gate (soundness, not speed): for every job, the digest served
+// from the cache must equal the cold-round digest AND the digest an
+// independent cache-disabled server computes from scratch. A cache
+// that ever returns a result the engine would not have produced is a
+// correctness bug, whatever its hit rate.
+//
+// Writes BENCH_serve.json (fpart-serve-bench/1); argv[1] overrides the
+// path, argv[2] == "small" restricts the workload to the CI smoke
+// configuration (two circuits, two seeds).
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "harness.hpp"
+#include "netlist/hgr_io.hpp"
+#include "netlist/mcnc.hpp"
+#include "obs/json.hpp"
+#include "obs/provenance.hpp"
+#include "report/table.hpp"
+#include "serve/server.hpp"
+#include "util/assert.hpp"
+#include "util/timer.hpp"
+
+using namespace fpart;
+
+namespace {
+
+constexpr const char* kSchema = "fpart-serve-bench/1";
+constexpr double kMinHitRate = 0.5;
+constexpr int kWarmRounds = 2;
+
+struct BenchJob {
+  std::string id;
+  std::string circuit;
+  std::uint64_t seed = 0;
+  std::uint32_t portfolio = 1;
+};
+
+struct JobObservation {
+  bool ok = false;
+  bool cached = false;
+  std::uint64_t digest = 0;
+  std::uint64_t cut = 0;
+  std::uint64_t k = 0;
+  double seconds = 0.0;
+};
+
+struct RoundRecord {
+  std::string name;
+  double seconds = 0.0;
+  double jobs_per_sec = 0.0;
+  std::map<std::string, JobObservation> jobs;
+};
+
+std::string request_json(const std::vector<BenchJob>& jobs,
+                         const std::map<std::string, std::string>& inputs) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("schema");
+  w.value("fpart-serve-request/1");
+  w.key("client");
+  w.value("bench");
+  w.key("jobs");
+  w.begin_array();
+  for (const BenchJob& j : jobs) {
+    w.begin_object();
+    w.key("id");
+    w.value(j.id);
+    w.key("input");
+    w.value(inputs.at(j.circuit));
+    w.key("device");
+    w.value("XC3042");
+    w.key("seed");
+    w.value(j.seed);
+    w.key("portfolio");
+    w.value(j.portfolio);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.take();
+}
+
+/// Submits the workload once and decodes the per-job outcomes.
+RoundRecord run_round(serve::Server& server, const std::string& name,
+                      const std::string& request, std::size_t expect_jobs) {
+  Timer t;
+  const std::string response = server.handle_line(request, "bench");
+  RoundRecord rec;
+  rec.name = name;
+  rec.seconds = t.elapsed_seconds();
+  rec.jobs_per_sec = rec.seconds > 0.0
+                         ? static_cast<double>(expect_jobs) / rec.seconds
+                         : 0.0;
+
+  const std::optional<obs::JsonValue> doc = obs::json_parse(response);
+  FPART_REQUIRE(doc.has_value() && doc->is_object(),
+                "serve bench: unparsable response: " + response);
+  const obs::JsonValue* ok = doc->find("ok");
+  FPART_REQUIRE(ok != nullptr && ok->boolean,
+                "serve bench: request rejected: " + response);
+  const obs::JsonValue* jobs = doc->find("jobs");
+  FPART_REQUIRE(jobs != nullptr && jobs->is_array() &&
+                    jobs->array.size() == expect_jobs,
+                "serve bench: wrong job count in response");
+  for (const obs::JsonValue& job : jobs->array) {
+    JobObservation seen;
+    seen.ok = job.find("ok") != nullptr && job.find("ok")->boolean;
+    seen.cached =
+        job.find("cached") != nullptr && job.find("cached")->boolean;
+    if (const obs::JsonValue* v = job.find("assignment_digest")) {
+      seen.digest = v->as_u64();
+    }
+    if (const obs::JsonValue* v = job.find("cut")) seen.cut = v->as_u64();
+    if (const obs::JsonValue* v = job.find("k")) seen.k = v->as_u64();
+    if (const obs::JsonValue* v = job.find("seconds")) {
+      seen.seconds = v->number;
+    }
+    const obs::JsonValue* id = job.find("id");
+    FPART_REQUIRE(id != nullptr, "serve bench: job record without id");
+    rec.jobs[id->string] = seen;
+  }
+  return rec;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::print_banner(
+      "Extension: partition-as-a-service throughput + cache soundness",
+      "mixed MCNC workload through the serve::Server scheduling stack; "
+      "hard gates: cached digests byte-identical to cold-round AND "
+      "cache-disabled recomputation, repeat-submission hit rate >= 0.5");
+
+  const bool small = argc > 2 && std::strcmp(argv[2], "small") == 0;
+
+  const std::vector<std::string> circuits =
+      small ? std::vector<std::string>{"c3540", "c5315"}
+            : std::vector<std::string>{"c3540", "c5315", "c6288"};
+  const std::vector<std::uint64_t> seeds =
+      small ? std::vector<std::uint64_t>{1, 2}
+            : std::vector<std::uint64_t>{1, 2, 3};
+
+  // Stage the circuits as .hgr files — the daemon's input unit.
+  const std::string dir = "serve_bench_inputs";
+  std::filesystem::create_directories(dir);
+  std::map<std::string, std::string> inputs;
+  for (const std::string& name : circuits) {
+    const std::string path = dir + "/" + name + ".hgr";
+    write_hgr_file(path, mcnc::generate(name, Family::kXC3000));
+    inputs[name] = path;
+  }
+
+  // Unique content keys: circuit x seed, plus one portfolio job per
+  // circuit so the dedicated lane is part of the measured path.
+  std::vector<BenchJob> jobs;
+  for (const std::string& name : circuits) {
+    for (const std::uint64_t seed : seeds) {
+      jobs.push_back(
+          {name + "_s" + std::to_string(seed), name, seed, 1});
+    }
+    jobs.push_back({name + "_pf", name, 99, 2});
+  }
+  const std::string request = request_json(jobs, inputs);
+
+  serve::ServerConfig config;
+  config.cache_capacity = 256;
+  config.quota = 0;  // the bench client intentionally floods
+  std::vector<RoundRecord> rounds;
+  serve::ServeStatsSnapshot stats;
+  {
+    serve::Server server(config);
+    rounds.push_back(run_round(server, "cold", request, jobs.size()));
+    for (int r = 1; r <= kWarmRounds; ++r) {
+      rounds.push_back(run_round(server, "warm" + std::to_string(r),
+                                 request, jobs.size()));
+    }
+    stats = server.snapshot();
+  }
+
+  // Independent recomputation: capacity 0 disables the cache, so every
+  // digest below is straight out of the engine.
+  RoundRecord recompute;
+  {
+    serve::ServerConfig nocache = config;
+    nocache.cache_capacity = 0;
+    serve::Server server(nocache);
+    recompute = run_round(server, "recompute", request, jobs.size());
+  }
+
+  const RoundRecord& cold = rounds.front();
+  bool all_ok = true;
+  bool digest_identity = true;
+  bool warm_all_cached = true;
+  Table table({"Job", "cut*", "k*", "cold t(s)*", "cached", "digest"});
+  for (const BenchJob& j : jobs) {
+    const JobObservation& c = cold.jobs.at(j.id);
+    const JobObservation& r = recompute.jobs.at(j.id);
+    bool job_digest_ok = c.ok && r.ok && c.digest == r.digest;
+    bool job_cached_ok = true;
+    for (int w = 1; w <= kWarmRounds; ++w) {
+      const JobObservation& warm = rounds[static_cast<std::size_t>(w)]
+                                       .jobs.at(j.id);
+      job_digest_ok = job_digest_ok && warm.ok && warm.digest == c.digest;
+      job_cached_ok = job_cached_ok && warm.cached;
+    }
+    all_ok = all_ok && c.ok && r.ok;
+    digest_identity = digest_identity && job_digest_ok;
+    warm_all_cached = warm_all_cached && job_cached_ok;
+    table.add_row({j.id, fmt_int(static_cast<int>(c.cut)),
+                   fmt_int(static_cast<int>(c.k)),
+                   fmt_double(c.seconds, 3),
+                   job_cached_ok ? "hit" : "MISS",
+                   job_digest_ok ? "ok" : "MISMATCH"});
+  }
+  std::fputs(table.to_ascii().c_str(), stdout);
+
+  const double hit_rate = stats.cache_hit_rate();
+  const bool hit_rate_ok = hit_rate >= kMinHitRate;
+  const bool gate_ok =
+      all_ok && digest_identity && warm_all_cached && hit_rate_ok;
+
+  std::printf("\nsustained throughput: cold %.2f jobs/s", cold.jobs_per_sec);
+  for (int r = 1; r <= kWarmRounds; ++r) {
+    std::printf(", %s %.0f jobs/s",
+                rounds[static_cast<std::size_t>(r)].name.c_str(),
+                rounds[static_cast<std::size_t>(r)].jobs_per_sec);
+  }
+  std::printf("\ncache hit rate: %.3f (need >= %.2f) %s\n", hit_rate,
+              kMinHitRate, hit_rate_ok ? "ok" : "FAIL");
+  std::printf("digest identity (cached == cold == recomputed): %s\n",
+              digest_identity ? "ok (all jobs)" : "FAIL");
+  std::printf("warm rounds fully cached: %s\n",
+              warm_all_cached ? "ok" : "FAIL");
+
+  const std::string path =
+      argc > 1 ? argv[1] : std::string("BENCH_serve.json");
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("schema");
+  w.value(kSchema);
+  w.key("provenance");
+  obs::write_provenance(w);
+  w.key("bench");
+  w.value("ext_serve");
+  w.key("mode");
+  w.value(small ? "small" : "full");
+  w.key("min_hit_rate");
+  w.value(kMinHitRate);
+  w.key("warm_rounds");
+  w.value(static_cast<std::uint64_t>(kWarmRounds));
+  w.key("rounds");
+  w.begin_array();
+  for (const RoundRecord& rec : rounds) {
+    w.begin_object();
+    w.key("round");
+    w.value(rec.name);
+    w.key("jobs");
+    w.value(static_cast<std::uint64_t>(rec.jobs.size()));
+    w.key("seconds");
+    w.value(rec.seconds);
+    w.key("jobs_per_sec");
+    w.value(rec.jobs_per_sec);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("jobs");
+  w.begin_array();
+  for (const BenchJob& j : jobs) {
+    const JobObservation& c = cold.jobs.at(j.id);
+    const JobObservation& r = recompute.jobs.at(j.id);
+    const JobObservation& warm = rounds[1].jobs.at(j.id);
+    w.begin_object();
+    w.key("id");
+    w.value(j.id);
+    w.key("circuit");
+    w.value(j.circuit);
+    w.key("seed");
+    w.value(j.seed);
+    w.key("portfolio");
+    w.value(j.portfolio);
+    w.key("cut");
+    w.value(c.cut);
+    w.key("k");
+    w.value(c.k);
+    w.key("cold_seconds");
+    w.value(c.seconds);
+    w.key("cold_digest");
+    w.value(c.digest);
+    w.key("warm_cached");
+    w.value(warm.cached);
+    w.key("warm_digest");
+    w.value(warm.digest);
+    w.key("recompute_digest");
+    w.value(r.digest);
+    w.key("digest_identity");
+    w.value(c.ok && r.ok && warm.ok && c.digest == r.digest &&
+            c.digest == warm.digest);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("sustained_jobs_per_sec");
+  w.value(cold.jobs_per_sec);
+  w.key("cache_hit_rate");
+  w.value(hit_rate);
+  w.key("cache_hits");
+  w.value(stats.cache_hits);
+  w.key("cache_misses");
+  w.value(stats.cache_misses);
+  w.key("gates");
+  w.begin_object();
+  w.key("all_jobs_ok");
+  w.value(all_ok);
+  w.key("digest_identity");
+  w.value(digest_identity);
+  w.key("warm_all_cached");
+  w.value(warm_all_cached);
+  w.key("hit_rate_ok");
+  w.value(hit_rate_ok);
+  w.end_object();
+  w.key("gate_ok");
+  w.value(gate_ok);
+  w.end_object();
+
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  FPART_REQUIRE(f != nullptr, "cannot write " + path);
+  const std::string body = w.take();
+  std::fwrite(body.data(), 1, body.size(), f);
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+
+  return gate_ok ? 0 : 1;
+}

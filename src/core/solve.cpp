@@ -56,15 +56,6 @@ const Config* matching_config(const SolveRequest& req) {
   return nullptr;
 }
 
-std::uint32_t effective_starts(const SolveRequest& req) {
-  // Deprecated SolveRequest::starts (> 1) overrides options.starts for
-  // one PR so legacy callers keep their multistart behavior.
-  const std::uint32_t starts =
-      req.starts > 1 ? req.starts : req.options.starts;
-  FPART_OPTION_REQUIRE(starts >= 1, "options.starts must be >= 1");
-  return starts;
-}
-
 }  // namespace
 
 Method parse_method(std::string_view name) {
@@ -103,7 +94,8 @@ PartitionResult solve(const Hypergraph& h, const Device& device,
           std::holds_alternative<std::monostate>(req.engine),
           "engine config '" + std::string(engine_config_name(req.engine)) +
               "' does not match method 'fpart'");
-      const std::uint32_t starts = effective_starts(req);
+      const std::uint32_t starts = req.options.starts;
+      FPART_OPTION_REQUIRE(starts >= 1, "options.starts must be >= 1");
       if (starts > 1) {
         return run_fpart_multistart(h, device, req.options, starts);
       }
@@ -111,19 +103,19 @@ PartitionResult solve(const Hypergraph& h, const Device& device,
     }
     case Method::kClustered: {
       const ClusteredOptions* held = matching_config<ClusteredOptions>(req);
-      ClusteredOptions co = held != nullptr ? *held : req.clustered;
+      ClusteredOptions co = held != nullptr ? *held : ClusteredOptions{};
       co.fpart = req.options;
       return ClusteredFpartPartitioner(co).run(h, device);
     }
     case Method::kKwayx: {
       const KwayxConfig* held = matching_config<KwayxConfig>(req);
-      KwayxConfig config = held != nullptr ? *held : req.kwayx;
+      KwayxConfig config = held != nullptr ? *held : KwayxConfig{};
       config.cancel = req.options.cancel;
       return KwayxPartitioner(config).run(h, device);
     }
     case Method::kFbb: {
       const FbbConfig* held = matching_config<FbbConfig>(req);
-      FbbConfig config = held != nullptr ? *held : req.fbb;
+      FbbConfig config = held != nullptr ? *held : FbbConfig{};
       config.cancel = req.options.cancel;
       return FbbPartitioner(config).run(h, device);
     }

@@ -74,16 +74,6 @@ struct SolveRequest {
   Config* engine_config() {
     return std::get_if<Config>(&engine);
   }
-
-  // --- Deprecated shim (removed next PR) ---------------------------------
-  // The pre-variant flat members. Honored only when their replacement is
-  // unset: `starts` when > 1 (overriding options.starts), the structs
-  // only when `engine` is monostate and `method` matches. New code uses
-  // options.starts and configure().
-  std::uint32_t starts = 1;
-  ClusteredOptions clustered;
-  KwayxConfig kwayx;
-  FbbConfig fbb;
 };
 
 /// Runs req.method on (h, device). Byte-identical (results, event logs,

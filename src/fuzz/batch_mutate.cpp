@@ -1,0 +1,205 @@
+#include "fuzz/batch_mutate.hpp"
+
+#include <sstream>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace fpart::fuzz {
+
+namespace {
+
+/// The document split into physical lines plus the indices of the lines
+/// that carry a job record (non-blank after comment stripping).
+struct BatchLayout {
+  std::vector<std::string> lines;
+  std::vector<std::size_t> jobs;  // indices into `lines`
+
+  std::string& job_line(std::size_t j) { return lines[jobs[j]]; }
+};
+
+BatchLayout split(const std::string& text) {
+  BatchLayout layout;
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) {
+    std::string stripped = line;
+    if (const auto hash = stripped.find('#'); hash != std::string::npos) {
+      stripped.erase(hash);
+    }
+    std::istringstream tokens(stripped);
+    std::string tok;
+    const bool is_job = static_cast<bool>(tokens >> tok);
+    layout.lines.push_back(std::move(line));
+    if (is_job) layout.jobs.push_back(layout.lines.size() - 1);
+  }
+  FPART_REQUIRE(layout.jobs.size() >= 2,
+                "mutate_batch: need at least two job lines");
+  return layout;
+}
+
+std::string join(const BatchLayout& layout) {
+  std::string out;
+  for (const std::string& line : layout.lines) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+/// Appends `kv` to a random job line, BEFORE any end-of-line comment so
+/// the option actually reaches the parser.
+void append_option(BatchLayout& l, Rng& rng, const std::string& kv) {
+  std::string& line = l.job_line(rng.index(l.jobs.size()));
+  const auto hash = line.find('#');
+  if (hash == std::string::npos) {
+    line += " " + kv;
+  } else {
+    line.insert(hash, " " + kv + " ");
+  }
+}
+
+using MutateFn = BatchMutation (*)(BatchLayout&, Rng&);
+
+// --- targeted operators (must_reject = true) ------------------------------
+
+BatchMutation op_duplicate_explicit_id(BatchLayout& l, Rng& rng) {
+  // The same explicit id on two different job lines.
+  const std::size_t a = rng.index(l.jobs.size() - 1);
+  l.job_line(a) += " id=dup_target";
+  l.job_line(a + 1 + rng.index(l.jobs.size() - a - 1)) += " id=dup_target";
+  return {join(l), "duplicate_explicit_id", true, "parse"};
+}
+
+BatchMutation op_duplicate_default_id(BatchLayout& l, Rng& rng) {
+  // Job 0 carries no explicit id (mutate_batch precondition), so it
+  // defaults to "job0"; naming a later job "job0" collides with it.
+  l.job_line(1 + rng.index(l.jobs.size() - 1)) += " id=job0";
+  return {join(l), "duplicate_default_id", true, "parse"};
+}
+
+BatchMutation op_fill_zero(BatchLayout& l, Rng& rng) {
+  append_option(l, rng, "fill=0");
+  return {join(l), "fill_zero", true, "option"};
+}
+
+BatchMutation op_fill_negative(BatchLayout& l, Rng& rng) {
+  append_option(l, rng, "fill=-0." + std::to_string(rng.uniform(1, 9)));
+  return {join(l), "fill_negative", true, "option"};
+}
+
+BatchMutation op_fill_over_one(BatchLayout& l, Rng& rng) {
+  append_option(l, rng, "fill=1." + std::to_string(rng.uniform(1, 999)));
+  return {join(l), "fill_over_one", true, "option"};
+}
+
+BatchMutation op_portfolio_zero(BatchLayout& l, Rng& rng) {
+  append_option(l, rng, "portfolio=0");
+  return {join(l), "portfolio_zero", true, "parse"};
+}
+
+BatchMutation op_unknown_key(BatchLayout& l, Rng& rng) {
+  append_option(l, rng, "porfolio=8");  // the classic typo
+  return {join(l), "unknown_key", true, "parse"};
+}
+
+BatchMutation op_bare_token(BatchLayout& l, Rng& rng) {
+  append_option(l, rng, "justatoken");
+  return {join(l), "bare_token", true, "parse"};
+}
+
+BatchMutation op_unparsable_value(BatchLayout& l, Rng& rng) {
+  append_option(l, rng, rng.chance(0.5) ? "seed=xyz" : "fill=zero");
+  return {join(l), "unparsable_value", true, "parse"};
+}
+
+BatchMutation op_unknown_method(BatchLayout& l, Rng& rng) {
+  // Rejected inside the key=value loop, which wraps it as ParseError
+  // with the line diagnostic.
+  append_option(l, rng, "method=simulated-annealing");
+  return {join(l), "unknown_method", true, "parse"};
+}
+
+BatchMutation op_missing_device(BatchLayout& l, Rng& rng) {
+  std::string& line = l.job_line(rng.index(l.jobs.size()));
+  std::istringstream tokens(line);
+  std::string first;
+  tokens >> first;
+  line = first;
+  return {join(l), "missing_device", true, "parse"};
+}
+
+// --- chaos operators (must_reject = false) --------------------------------
+
+BatchMutation op_flip_byte(BatchLayout& l, Rng& rng) {
+  std::string text = join(l);
+  static constexpr char kBytes[] = "0123456789 =#-.\nx";
+  text[rng.uniform(0, text.size() - 1)] =
+      kBytes[rng.uniform(0, sizeof(kBytes) - 2)];
+  return {std::move(text), "flip_byte", false, ""};
+}
+
+BatchMutation op_duplicate_line(BatchLayout& l, Rng& rng) {
+  // Duplicating a line with an explicit id must be rejected (duplicate
+  // id); one without gets a fresh default id — outcome open.
+  const std::size_t at = rng.index(l.lines.size());
+  l.lines.insert(l.lines.begin() + static_cast<std::ptrdiff_t>(at),
+                 l.lines[at]);
+  return {join(l), "duplicate_line", false, ""};
+}
+
+BatchMutation op_delete_line(BatchLayout& l, Rng& rng) {
+  l.lines.erase(l.lines.begin() +
+                static_cast<std::ptrdiff_t>(rng.index(l.lines.size())));
+  return {join(l), "delete_line", false, ""};
+}
+
+BatchMutation op_truncate(BatchLayout& l, Rng& rng) {
+  std::string text = join(l);
+  text.resize(rng.uniform(0, text.size()));
+  return {std::move(text), "truncate", false, ""};
+}
+
+BatchMutation op_comment_out_line(BatchLayout& l, Rng& rng) {
+  l.job_line(rng.index(l.jobs.size())).insert(0, "# ");
+  return {join(l), "comment_out_line", false, ""};
+}
+
+constexpr MutateFn kOps[] = {
+    // targeted: the parser MUST reject these, with the recorded kind
+    op_duplicate_explicit_id,
+    op_duplicate_default_id,
+    op_fill_zero,
+    op_fill_negative,
+    op_fill_over_one,
+    op_portfolio_zero,
+    op_unknown_key,
+    op_bare_token,
+    op_unparsable_value,
+    op_unknown_method,
+    op_missing_device,
+    // chaos: accept-with-postconditions or typed rejection
+    op_flip_byte,
+    op_duplicate_line,
+    op_delete_line,
+    op_truncate,
+    op_comment_out_line,
+};
+
+}  // namespace
+
+std::size_t num_batch_mutation_ops() { return std::size(kOps); }
+
+BatchMutation mutate_batch_op(const std::string& valid,
+                              std::size_t op_index, Rng& rng) {
+  FPART_REQUIRE(op_index < std::size(kOps),
+                "mutate_batch_op: operator index out of range");
+  BatchLayout layout = split(valid);
+  return kOps[op_index](layout, rng);
+}
+
+BatchMutation mutate_batch(const std::string& valid, Rng& rng) {
+  return mutate_batch_op(valid, rng.index(std::size(kOps)), rng);
+}
+
+}  // namespace fpart::fuzz

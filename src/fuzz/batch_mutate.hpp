@@ -1,0 +1,51 @@
+// Structure-aware batch-file mutation for the differential fuzz harness
+// — the job-list sibling of hgr_mutate.hpp.
+//
+// mutate_batch() takes a well-formed fpart batch document (the
+// `<input.hgr> <device> [key=value ...]` text format parsed by
+// runtime::parse_batch_text) and applies one mutation operator:
+//
+//   * targeted corruptions that MUST be rejected with a specific
+//     taxonomy kind — duplicate job ids (explicit or colliding with a
+//     defaulted "job<i>") are ParseError, out-of-range fill values
+//     ((-inf,0] and (1,inf)) and portfolio == 0 are OptionError/
+//     ParseError per the documented reject matrix; silent acceptance is
+//     a harness failure, and so is the wrong error kind;
+//   * chaos edits (byte flips, line duplication/deletion, truncation)
+//     whose outcome is open — an accepted mutant must still satisfy the
+//     parser's postconditions (unique ids, validated specs), a rejected
+//     one must fail through the typed taxonomy, never crash.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "util/rng.hpp"
+
+namespace fpart::fuzz {
+
+struct BatchMutation {
+  /// The mutated document.
+  std::string text;
+  /// Operator name, for diagnostics ("duplicate_explicit_id", ...).
+  std::string op;
+  /// True iff parse_batch_text() is REQUIRED to reject `text`.
+  bool must_reject = false;
+  /// For must_reject operators: the required error_kind() of the thrown
+  /// exception ("parse" or "option"). Empty for chaos operators.
+  std::string expected_kind;
+};
+
+/// Applies one mutation operator (chosen via `rng`) to `valid`, which
+/// must be a well-formed batch document with at least two job lines,
+/// the first of which carries no explicit id.
+BatchMutation mutate_batch(const std::string& valid, Rng& rng);
+
+/// Number of distinct operators (exposed so tests sweep every one).
+std::size_t num_batch_mutation_ops();
+
+/// Applies operator `op_index` (in [0, num_batch_mutation_ops())).
+BatchMutation mutate_batch_op(const std::string& valid,
+                              std::size_t op_index, Rng& rng);
+
+}  // namespace fpart::fuzz

@@ -4,10 +4,12 @@
 #include <numeric>
 #include <sstream>
 #include <string>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
 #include "core/solve.hpp"
+#include "fuzz/batch_mutate.hpp"
 #include "fuzz/hgr_mutate.hpp"
 #include "hypergraph/builder.hpp"
 #include "netlist/generator.hpp"
@@ -17,6 +19,7 @@
 #include "partition/replay.hpp"
 #include "partition/verify.hpp"
 #include "report/run_report.hpp"
+#include "runtime/batch.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
 
@@ -370,6 +373,80 @@ std::vector<std::string> run_mutation_case(std::uint64_t seed,
       }
     } catch (const ParseError&) {
       // The documented rejection path — always acceptable.
+    } catch (const std::exception& e) {
+      disagreements.push_back(tag + "wrong exception type (" +
+                              error_kind(e) + "): " + e.what());
+    }
+  }
+  return disagreements;
+}
+
+std::vector<std::string> run_batch_mutation_case(std::uint64_t seed,
+                                                 DiffArtifacts* artifacts) {
+  Rng rng(seed ^ 0xBA7C8F11Eull);
+  // A seeded well-formed job list. Job 0 deliberately has no explicit
+  // id (the duplicate_default_id operator targets its "job0" default)
+  // and no job line carries an end-of-line comment (the duplicate-id
+  // operators append options directly).
+  std::ostringstream valid_os;
+  valid_os << "# differential batch fuzz seed " << seed << "\n"
+           << "a.hgr XC3020 seed=" << rng.uniform(0, 99) << "\n"
+           << "b.hgr XC3042 id=left fill=0." << rng.uniform(5, 9)
+           << " portfolio=" << rng.uniform(1, 4) << "\n"
+           << "c.hgr XC3030 id=right method="
+           << (rng.chance(0.5) ? "kwayx" : "fbb") << "\n";
+  const std::string valid = valid_os.str();
+  std::vector<std::string> disagreements;
+
+  // The unmutated document must parse — otherwise every "rejected"
+  // verdict below would be vacuous.
+  try {
+    (void)runtime::parse_batch_text(valid, "fuzz batch");
+  } catch (const std::exception& e) {
+    return {std::string("valid batch document rejected: ") + e.what()};
+  }
+
+  for (std::size_t round = 0; round < num_batch_mutation_ops() + 4;
+       ++round) {
+    const std::size_t op = round < num_batch_mutation_ops()
+                               ? round
+                               : rng.index(num_batch_mutation_ops());
+    const BatchMutation mutation = mutate_batch_op(valid, op, rng);
+    if (artifacts != nullptr && disagreements.empty()) {
+      artifacts->mutated = mutation.text;
+      artifacts->op = mutation.op;
+    }
+    const std::string tag = "batch mutation " + mutation.op + ": ";
+    try {
+      const std::vector<runtime::JobSpec> jobs =
+          runtime::parse_batch_text(mutation.text, "fuzz batch");
+      if (mutation.must_reject) {
+        disagreements.push_back(tag + "silently accepted");
+        continue;
+      }
+      // Accepted chaos mutants must satisfy the parser's documented
+      // postconditions: unique ids and fully validated specs.
+      std::unordered_set<std::string> ids;
+      for (const runtime::JobSpec& job : jobs) {
+        if (!ids.insert(job.id).second) {
+          disagreements.push_back(tag + "accepted duplicate id '" +
+                                  job.id + "'");
+        }
+        try {
+          runtime::validate_job_spec(job);
+        } catch (const std::exception& e) {
+          disagreements.push_back(tag + "accepted an invalid spec: " +
+                                  e.what());
+        }
+      }
+    } catch (const PreconditionError& e) {
+      if (mutation.must_reject &&
+          mutation.expected_kind != error_kind(e)) {
+        disagreements.push_back(tag + "wrong error kind (got " +
+                                error_kind(e) + ", want " +
+                                mutation.expected_kind + "): " + e.what());
+      }
+      // Chaos mutants may be rejected with any taxonomy kind.
     } catch (const std::exception& e) {
       disagreements.push_back(tag + "wrong exception type (" +
                               error_kind(e) + "): " + e.what());

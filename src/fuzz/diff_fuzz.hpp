@@ -74,4 +74,13 @@ std::vector<std::string> run_diff_case(std::uint64_t seed,
 std::vector<std::string> run_mutation_case(std::uint64_t seed,
                                            DiffArtifacts* artifacts = nullptr);
 
+/// Runs one malformed BATCH-FILE case (batch_mutate.hpp): sweeps every
+/// operator over a seeded valid job list and checks the reject matrix —
+/// duplicate job ids must raise ParseError, out-of-range fill must
+/// raise OptionError, chaos mutants must parse into jobs satisfying the
+/// parser's postconditions or fail through the typed taxonomy. Returns
+/// disagreements (empty = pass).
+std::vector<std::string> run_batch_mutation_case(
+    std::uint64_t seed, DiffArtifacts* artifacts = nullptr);
+
 }  // namespace fpart::fuzz

@@ -6,6 +6,7 @@
 #include <memory>
 #include <mutex>
 #include <sstream>
+#include <unordered_set>
 
 #include "core/solve.hpp"
 #include "device/xilinx.hpp"
@@ -53,10 +54,30 @@ void execute_job(const JobSpec& spec, ThreadPool* pool, JobResult& out) {
 
 }  // namespace
 
+void validate_job_spec(const JobSpec& spec) {
+  // Rejecting at parse/admission time is what keeps a bad job from ever
+  // occupying a worker (docs/SERVING.md, "admission control").
+  FPART_OPTION_REQUIRE(spec.fill > 0.0 && spec.fill <= 1.0,
+                       "job '" + spec.id + "': fill must be in (0, 1], got " +
+                           std::to_string(spec.fill));
+  (void)parse_method(spec.method);  // OptionError on unknown methods
+  FPART_OPTION_REQUIRE(spec.portfolio >= 1,
+                       "job '" + spec.id + "': portfolio must be >= 1");
+}
+
 std::vector<JobSpec> parse_batch_file(const std::string& path) {
   std::ifstream is(path);
   FPART_REQUIRE(is.good(), "cannot read batch file " + path);
+  std::ostringstream text;
+  text << is.rdbuf();
+  return parse_batch_text(text.str(), "batch file " + path);
+}
+
+std::vector<JobSpec> parse_batch_text(std::string_view text,
+                                      const std::string& origin) {
+  std::istringstream is{std::string(text)};
   std::vector<JobSpec> jobs;
+  std::unordered_set<std::string> seen_ids;
   std::string line;
   std::size_t line_no = 0;
   while (std::getline(is, line)) {
@@ -71,8 +92,7 @@ std::vector<JobSpec> parse_batch_file(const std::string& path) {
       tokens.clear();
       tokens.seekg(0);
       FPART_PARSE_REQUIRE(!(tokens >> rest),
-                          "batch file " + path + " line " +
-                              std::to_string(line_no) +
+                          origin + " line " + std::to_string(line_no) +
                               ": expected '<input.hgr> <device> "
                               "[key=value ...]'");
       continue;  // blank / comment-only line
@@ -82,9 +102,9 @@ std::vector<JobSpec> parse_batch_file(const std::string& path) {
     while (tokens >> kv) {
       const auto eq = kv.find('=');
       FPART_PARSE_REQUIRE(eq != std::string::npos && eq > 0,
-                          "batch file " + path + " line " +
-                              std::to_string(line_no) + ": bad option '" +
-                              kv + "' (expected key=value)");
+                          origin + " line " + std::to_string(line_no) +
+                              ": bad option '" + kv +
+                              "' (expected key=value)");
       const std::string key = kv.substr(0, eq);
       const std::string value = kv.substr(eq + 1);
       try {
@@ -106,10 +126,22 @@ std::vector<JobSpec> parse_batch_file(const std::string& path) {
           FPART_PARSE_REQUIRE(false, "unknown key '" + key + "'");
         }
       } catch (const std::exception& e) {
-        FPART_PARSE_REQUIRE(false, "batch file " + path + " line " +
+        FPART_PARSE_REQUIRE(false, origin + " line " +
                                        std::to_string(line_no) +
                                        ": option '" + kv + "': " + e.what());
       }
+    }
+    // A repeated id (explicit or defaulted) would make report rows and
+    // serve cache attributions ambiguous — reject instead of silently
+    // accepting the collision.
+    FPART_PARSE_REQUIRE(seen_ids.insert(spec.id).second,
+                        origin + " line " + std::to_string(line_no) +
+                            ": duplicate job id '" + spec.id + "'");
+    try {
+      validate_job_spec(spec);
+    } catch (const OptionError& e) {
+      throw OptionError(origin + " line " + std::to_string(line_no) + ": " +
+                        e.what());
     }
     jobs.push_back(std::move(spec));
   }
@@ -123,6 +155,13 @@ std::vector<JobResult> run_batch(const std::vector<JobSpec>& jobs,
     owned = std::make_unique<ThreadPool>();
     pool = owned.get();
   }
+  // Same self-deadlock shape as run_portfolio: run_batch() blocks on the
+  // pool's completion counter, so it must never run inside a task of the
+  // pool it fans out to.
+  FPART_ASSERT_MSG(ThreadPool::current() != pool,
+                   "run_batch called from inside a task of the pool it "
+                   "blocks on (self-deadlock); run it from outside the pool "
+                   "or on a dedicated thread");
   std::vector<JobResult> results(jobs.size());
 
   // Fan the single-attempt jobs out first so they overlap with the
@@ -154,6 +193,48 @@ std::vector<JobResult> run_batch(const std::vector<JobSpec>& jobs,
   return results;
 }
 
+void write_job_result_fields(obs::JsonWriter& w, const JobResult& r) {
+  w.key("id");
+  w.value(r.spec.id);
+  w.key("input");
+  w.value(r.spec.input);
+  w.key("device");
+  w.value(r.spec.device);
+  w.key("method");
+  w.value(r.spec.method);
+  w.key("portfolio");
+  w.value(r.spec.portfolio);
+  w.key("seed");
+  w.value(r.spec.seed);
+  w.key("ok");
+  w.value(r.ok);
+  if (!r.ok) {
+    w.key("error");
+    w.value(r.error);
+    w.key("error_kind");
+    w.value(r.error_kind);
+  } else {
+    w.key("feasible");
+    w.value(r.result.feasible);
+    w.key("k");
+    w.value(r.result.k);
+    w.key("lower_bound");
+    w.value(r.result.lower_bound);
+    w.key("cut");
+    w.value(r.result.cut);
+    w.key("km1");
+    w.value(r.result.km1);
+    if (r.spec.portfolio > 1) {
+      w.key("winner");
+      w.value(r.winner);
+      w.key("portfolio_digest");
+      w.value(r.portfolio_digest);
+    }
+  }
+  w.key("seconds");
+  w.value(r.seconds);
+}
+
 std::string batch_report_json(const std::vector<JobResult>& results) {
   obs::JsonWriter w;
   w.begin_object();
@@ -165,45 +246,7 @@ std::string batch_report_json(const std::vector<JobResult>& results) {
   w.begin_array();
   for (const JobResult& r : results) {
     w.begin_object();
-    w.key("id");
-    w.value(r.spec.id);
-    w.key("input");
-    w.value(r.spec.input);
-    w.key("device");
-    w.value(r.spec.device);
-    w.key("method");
-    w.value(r.spec.method);
-    w.key("portfolio");
-    w.value(r.spec.portfolio);
-    w.key("seed");
-    w.value(r.spec.seed);
-    w.key("ok");
-    w.value(r.ok);
-    if (!r.ok) {
-      w.key("error");
-      w.value(r.error);
-      w.key("error_kind");
-      w.value(r.error_kind);
-    } else {
-      w.key("feasible");
-      w.value(r.result.feasible);
-      w.key("k");
-      w.value(r.result.k);
-      w.key("lower_bound");
-      w.value(r.result.lower_bound);
-      w.key("cut");
-      w.value(r.result.cut);
-      w.key("km1");
-      w.value(r.result.km1);
-      if (r.spec.portfolio > 1) {
-        w.key("winner");
-        w.value(r.winner);
-        w.key("portfolio_digest");
-        w.value(r.portfolio_digest);
-      }
-    }
-    w.key("seconds");
-    w.value(r.seconds);
+    write_job_result_fields(w, r);
     w.end_object();
   }
   w.end_array();

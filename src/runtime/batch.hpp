@@ -7,8 +7,13 @@
 // one after another from the calling thread, each fanning its attempts
 // out to the same pool — run_portfolio() blocks, so it must never
 // execute inside a pool task (a 1-thread pool would deadlock on
-// itself). Each job's outcome is deterministic (the portfolio contract
-// in portfolio.hpp); only wall-clock timing depends on the schedule.
+// itself). Both run_batch() and run_portfolio() enforce this with a
+// nested-blocking-submission guard: called from a worker of the pool
+// they would block on, they throw InternalError instead of hanging
+// (the serve daemon routes portfolio jobs to a dedicated lane thread
+// for exactly this reason — see src/serve/server.hpp). Each job's
+// outcome is deterministic (the portfolio contract in portfolio.hpp);
+// only wall-clock timing depends on the schedule.
 //
 // A job that throws (unreadable input, unknown device/method, or an
 // engine bug) fails alone: its JobResult carries ok = false, the error
@@ -19,9 +24,11 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/result.hpp"
+#include "obs/json.hpp"
 #include "runtime/portfolio.hpp"
 #include "runtime/thread_pool.hpp"
 
@@ -60,8 +67,21 @@ struct JobResult {
 /// Parses a batch file: one job per line,
 ///   <input.hgr> <device> [key=value ...]
 /// with keys id, method, portfolio, seed, fill; '#' starts a comment.
-/// Throws ParseError on malformed lines (with the line number).
+/// Throws ParseError on malformed lines (with the line number), on a
+/// job id that repeats an earlier job's (explicit or defaulted), and
+/// OptionError on a filling ratio outside (0, 1].
 std::vector<JobSpec> parse_batch_file(const std::string& path);
+
+/// parse_batch_file on in-memory text; `origin` labels diagnostics (the
+/// fuzz harness and the serve request parser feed strings, not files).
+std::vector<JobSpec> parse_batch_text(std::string_view text,
+                                      const std::string& origin);
+
+/// Shared job-spec range checks: filling ratio in (0, 1] (OptionError)
+/// and a parseable method name (OptionError). The batch-file and serve
+/// request parsers both run this at parse time so a bad job is rejected
+/// before it can occupy a worker.
+void validate_job_spec(const JobSpec& spec);
 
 /// Runs every job and returns results in job order. Uses `pool` when
 /// non-null, otherwise a private default-sized pool for the call.
@@ -70,6 +90,11 @@ std::vector<JobResult> run_batch(const std::vector<JobSpec>& jobs,
 
 /// Serializes batch results as a fpart-batch/1 document.
 std::string batch_report_json(const std::vector<JobResult>& results);
+
+/// Writes one job's fields (the fpart-batch/1 per-job record) into an
+/// already-open JSON object. Shared with the serve response writer so
+/// both speak the same dialect.
+void write_job_result_fields(obs::JsonWriter& w, const JobResult& r);
 
 /// Writes batch_report_json() to `path`.
 void write_batch_report_file(const std::string& path,

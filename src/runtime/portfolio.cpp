@@ -88,6 +88,16 @@ PortfolioResult run_portfolio(const Hypergraph& h, const Device& device,
     owned = std::make_unique<ThreadPool>(opt.threads);
     pool = owned.get();
   }
+  // Nested-blocking-submission guard: run_portfolio() blocks the calling
+  // thread until every attempt completed. Invoked from inside a task of
+  // the SAME pool, the blocked caller is one of the workers the attempts
+  // need — a 1-thread pool deadlocks on itself outright, a wider pool
+  // silently loses a worker. That is a driver bug (batch.hpp documents
+  // the scheduling contract), so fail fast instead of hanging.
+  FPART_ASSERT_MSG(ThreadPool::current() != pool,
+                   "run_portfolio called from inside a task of the pool it "
+                   "blocks on (self-deadlock); run it from outside the pool "
+                   "or on a dedicated thread");
 
   const std::uint32_t n = opt.attempts;
   PortfolioResult out;

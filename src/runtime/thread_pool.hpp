@@ -26,7 +26,9 @@
 // Blocking on a future *inside* a task deadlocks a 1-thread pool (the
 // only worker would wait on work only it can run). Drivers therefore
 // either block from outside the pool (portfolio, batch) or use
-// fire-and-forget tasks with completion counters.
+// fire-and-forget tasks with completion counters. The blocking drivers
+// detect the self-deadlock shape via current() and throw InternalError
+// when invoked from a worker of the pool they would block on.
 #pragma once
 
 #include <functional>

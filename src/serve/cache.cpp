@@ -1,0 +1,113 @@
+#include "serve/cache.hpp"
+
+#include "core/options.hpp"
+#include "hypergraph/hypergraph.hpp"
+#include "obs/json.hpp"
+#include "report/run_report.hpp"
+
+namespace fpart::serve {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 14695981039346656037ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+void fnv_mix_u64(std::uint64_t& h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (i * 8)) & 0xFFu;
+    h *= kFnvPrime;
+  }
+}
+
+void fnv_mix_str(std::uint64_t& h, const std::string& s) {
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= kFnvPrime;
+  }
+  // Length terminator so ("ab","c") and ("a","bc") cannot collide into
+  // the same stream.
+  fnv_mix_u64(h, s.size());
+}
+
+}  // namespace
+
+std::uint64_t cache_key_hash(const CacheKey& key) {
+  std::uint64_t h = kFnvOffset;
+  fnv_mix_u64(h, key.circuit_digest);
+  fnv_mix_str(h, key.device);
+  fnv_mix_str(h, key.options_canonical);
+  fnv_mix_u64(h, key.seed);
+  return h;
+}
+
+std::string canonical_job_options(const runtime::JobSpec& spec) {
+  Options opt;
+  opt.seed = spec.seed;
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("fill");
+  w.value(spec.fill);
+  w.key("method");
+  w.value(spec.method);
+  w.key("options");
+  w.raw_value(options_json(opt));
+  w.key("portfolio");
+  w.value(spec.portfolio);
+  w.end_object();
+  return w.take();
+}
+
+CacheKey make_cache_key(const Hypergraph& h, const runtime::JobSpec& spec) {
+  CacheKey key;
+  key.circuit_digest = h.structural_digest();
+  key.device = spec.device;
+  key.options_canonical = canonical_job_options(spec);
+  key.seed = spec.seed;
+  return key;
+}
+
+ResultCache::ResultCache(std::size_t capacity) : capacity_(capacity) {}
+
+std::optional<CacheEntry> ResultCache::lookup(const CacheKey& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+  return it->second->second;
+}
+
+void ResultCache::insert(const CacheKey& key, CacheEntry entry) {
+  if (capacity_ == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  ++insertions_;
+  if (const auto it = index_.find(key); it != index_.end()) {
+    it->second->second = std::move(entry);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.emplace_front(key, std::move(entry));
+  index_.emplace(key, lru_.begin());
+  while (lru_.size() > capacity_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
+CacheStats ResultCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  CacheStats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.evictions = evictions_;
+  s.insertions = insertions_;
+  s.size = lru_.size();
+  s.capacity = capacity_;
+  return s;
+}
+
+}  // namespace fpart::serve

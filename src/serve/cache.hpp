@@ -1,0 +1,136 @@
+// Content-addressed result cache for the partition-as-a-service daemon.
+//
+// A partitioning job is a pure function of (circuit structure, device +
+// filling ratio, engine options, seed): every engine in the repo is
+// deterministic under those inputs (the portfolio/replay contracts), so
+// two jobs with equal keys MUST produce byte-identical assignments — and
+// the cache can answer the second one without recompute. The key is
+// content-addressed, never name-addressed:
+//
+//   * the circuit enters as Hypergraph::structural_digest() — node
+//     sizes, terminal flags and pin lists, names excluded — so the same
+//     netlist under a different file name or node labels hits, while a
+//     relabeled-but-rewired circuit misses;
+//   * the device enters as its name plus the filling ratio (fill scales
+//     S_MAX/T_MAX, so it changes the answer);
+//   * options enter as the canonical JSON produced by
+//     canonical_job_options() — one serialization path, so key equality
+//     is string equality, not float-comparison folklore;
+//   * the seed (and portfolio width) complete the key.
+//
+// Eviction is strict LRU with a fixed entry capacity. All operations are
+// thread-safe; hit/miss/eviction tallies feed the serve stats surface.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "core/result.hpp"
+#include "runtime/batch.hpp"
+
+namespace fpart {
+class Hypergraph;
+}
+
+namespace fpart::serve {
+
+/// Identity of one job's full input. Equality is exact member equality —
+/// the hash only buckets, it never decides a hit.
+struct CacheKey {
+  std::uint64_t circuit_digest = 0;  // Hypergraph::structural_digest()
+  std::string device;                // device name, e.g. "XC3042"
+  std::string options_canonical;     // canonical_job_options() JSON
+  std::uint64_t seed = 0;
+
+  bool operator==(const CacheKey&) const = default;
+};
+
+/// FNV-1a over every key component (bucketing only).
+std::uint64_t cache_key_hash(const CacheKey& key);
+
+/// Canonical options JSON for a job spec: method, filling ratio,
+/// portfolio width and the full engine Options serialization
+/// (report/run_report.hpp options_json) in one fixed key order. The
+/// single canonicalization path shared by the cache and the tests.
+std::string canonical_job_options(const runtime::JobSpec& spec);
+
+/// Key for `spec` against an already-loaded circuit.
+CacheKey make_cache_key(const Hypergraph& h, const runtime::JobSpec& spec);
+
+/// What a hit returns: the full result plus the artifact paths of the
+/// original computation (the daemon spools event logs and run reports
+/// per content key, so a hit can point at them without recompute).
+struct CacheEntry {
+  PartitionResult result;
+  /// FNV-1a digest of result.assignment (partition/replay.hpp).
+  std::uint64_t assignment_digest = 0;
+  /// Portfolio jobs: winning attempt index + outcome digest.
+  std::uint32_t winner = 0;
+  std::uint64_t portfolio_digest = 0;
+  /// The canonical options JSON the original compute ran with
+  /// (byte-identical to canonical_job_options() of any hitting spec).
+  std::string options_json;
+  /// Flight-recorder log / run report of the original compute ("" when
+  /// the daemon runs without a spool directory).
+  std::string events_path;
+  std::string report_path;
+};
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t insertions = 0;
+  std::size_t size = 0;
+  std::size_t capacity = 0;
+
+  double hit_rate() const {
+    const std::uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) /
+                                  static_cast<double>(total);
+  }
+};
+
+/// Thread-safe LRU map CacheKey -> CacheEntry with fixed capacity.
+class ResultCache {
+ public:
+  /// `capacity` = max resident entries; 0 disables caching (every
+  /// lookup misses, inserts are dropped).
+  explicit ResultCache(std::size_t capacity);
+
+  /// Returns a copy of the entry and refreshes its recency; counts a
+  /// hit or miss either way.
+  std::optional<CacheEntry> lookup(const CacheKey& key);
+
+  /// Inserts (or overwrites — identical keys compute identical results,
+  /// so a concurrent double-compute is harmless) and evicts the least
+  /// recently used entry when over capacity.
+  void insert(const CacheKey& key, CacheEntry entry);
+
+  CacheStats stats() const;
+
+ private:
+  struct KeyHash {
+    std::size_t operator()(const CacheKey& k) const {
+      return static_cast<std::size_t>(cache_key_hash(k));
+    }
+  };
+  using LruList = std::list<std::pair<CacheKey, CacheEntry>>;
+
+  mutable std::mutex mu_;
+  std::size_t capacity_;
+  LruList lru_;  // front = most recently used
+  std::unordered_map<CacheKey, LruList::iterator, KeyHash> index_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+  std::uint64_t insertions_ = 0;
+};
+
+}  // namespace fpart::serve

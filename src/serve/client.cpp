@@ -1,0 +1,131 @@
+#include "serve/client.hpp"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "util/assert.hpp"
+
+namespace fpart::serve {
+
+namespace {
+
+/// Runs `attempt` (returning a connected fd or -1) until it succeeds or
+/// the retry budget runs out.
+template <typename Fn>
+int connect_with_retries(Fn&& attempt, double retry_seconds,
+                         const std::string& what) {
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(retry_seconds));
+  while (true) {
+    const int fd = attempt();
+    if (fd >= 0) return fd;
+    FPART_REQUIRE(std::chrono::steady_clock::now() < deadline,
+                  "cannot connect to " + what + ": " + std::strerror(errno));
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+}
+
+}  // namespace
+
+Client Client::connect_unix(const std::string& path, double retry_seconds) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  FPART_OPTION_REQUIRE(!path.empty() && path.size() < sizeof(addr.sun_path),
+                       "bad unix socket path: " + path);
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  const int fd = connect_with_retries(
+      [&]() -> int {
+        const int s = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (s < 0) return -1;
+        if (::connect(s, reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof(addr)) == 0) {
+          return s;
+        }
+        ::close(s);
+        return -1;
+      },
+      retry_seconds, "unix socket " + path);
+  return Client(fd);
+}
+
+Client Client::connect_tcp(int port, double retry_seconds) {
+  FPART_OPTION_REQUIRE(port > 0 && port <= 0xFFFF,
+                       "bad tcp port " + std::to_string(port));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  const int fd = connect_with_retries(
+      [&]() -> int {
+        const int s = ::socket(AF_INET, SOCK_STREAM, 0);
+        if (s < 0) return -1;
+        if (::connect(s, reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof(addr)) == 0) {
+          return s;
+        }
+        ::close(s);
+        return -1;
+      },
+      retry_seconds, "tcp port " + std::to_string(port));
+  return Client(fd);
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Client::Client(Client&& other) noexcept
+    : fd_(other.fd_), buffer_(std::move(other.buffer_)) {
+  other.fd_ = -1;
+}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = other.fd_;
+    buffer_ = std::move(other.buffer_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+std::string Client::roundtrip(const std::string& line) {
+  FPART_REQUIRE(fd_ >= 0, "client is not connected");
+  std::string framed = line;
+  framed.push_back('\n');
+  std::size_t off = 0;
+  while (off < framed.size()) {
+    const ssize_t n = ::send(fd_, framed.data() + off, framed.size() - off,
+#ifdef MSG_NOSIGNAL
+                             MSG_NOSIGNAL
+#else
+                             0
+#endif
+    );
+    FPART_REQUIRE(n > 0, "serve connection closed while sending");
+    off += static_cast<std::size_t>(n);
+  }
+  while (true) {
+    const std::size_t nl = buffer_.find('\n');
+    if (nl != std::string::npos) {
+      std::string response = buffer_.substr(0, nl);
+      buffer_.erase(0, nl + 1);
+      return response;
+    }
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    FPART_REQUIRE(n > 0, "serve connection closed before the response line");
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+}  // namespace fpart::serve

@@ -1,0 +1,39 @@
+// Minimal blocking client for the fpart_serve wire protocol: connect to
+// a Unix-domain path or a loopback TCP port, write one request line,
+// read one response line. Shared by tools/fpart_submit, the serve bench
+// and the socket round-trip tests so none of them hand-roll framing.
+#pragma once
+
+#include <string>
+
+namespace fpart::serve {
+
+class Client {
+ public:
+  /// Connects to a Unix-domain socket path. Throws PreconditionError on
+  /// failure. `retry_seconds` keeps retrying the connect (100ms apart)
+  /// while the daemon is still binding — 0 means a single attempt.
+  static Client connect_unix(const std::string& path,
+                             double retry_seconds = 0.0);
+
+  /// Connects to a loopback TCP port; same retry contract.
+  static Client connect_tcp(int port, double retry_seconds = 0.0);
+
+  ~Client();
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Sends `line` (newline appended) and blocks until the matching
+  /// response line arrives. Throws PreconditionError when the daemon
+  /// hangs up mid-response.
+  std::string roundtrip(const std::string& line);
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+  int fd_ = -1;
+  std::string buffer_;  // bytes past the last returned response line
+};
+
+}  // namespace fpart::serve

@@ -1,0 +1,251 @@
+#include "serve/protocol.hpp"
+
+#include <unordered_set>
+
+#include "obs/json.hpp"
+#include "obs/provenance.hpp"
+#include "util/assert.hpp"
+
+namespace fpart::serve {
+
+namespace {
+
+using obs::JsonValue;
+
+/// Typed member access with ParseError diagnostics naming the path.
+const JsonValue& require_member(const JsonValue& obj, std::string_view key,
+                                std::string_view where) {
+  const JsonValue* v = obj.find(key);
+  FPART_PARSE_REQUIRE(v != nullptr, "serve request: " + std::string(where) +
+                                        " is missing required key '" +
+                                        std::string(key) + "'");
+  return *v;
+}
+
+std::string require_string(const JsonValue& obj, std::string_view key,
+                           std::string_view where) {
+  const JsonValue& v = require_member(obj, key, where);
+  FPART_PARSE_REQUIRE(v.is_string(), "serve request: " + std::string(where) +
+                                         "." + std::string(key) +
+                                         " must be a string");
+  return v.string;
+}
+
+std::uint64_t get_u64(const JsonValue& obj, std::string_view key,
+                      std::string_view where, std::uint64_t fallback) {
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr) return fallback;
+  FPART_PARSE_REQUIRE(v->is_number() && v->exact_integer,
+                      "serve request: " + std::string(where) + "." +
+                          std::string(key) + " must be an integer");
+  return v->integer;
+}
+
+ServeJob parse_job(const JsonValue& j, std::size_t index) {
+  const std::string where = "jobs[" + std::to_string(index) + "]";
+  FPART_PARSE_REQUIRE(j.is_object(),
+                      "serve request: " + where + " must be an object");
+  // Strict key set: a typo'd or unknown key is rejected, not ignored —
+  // silently dropping "porfolio":8 would cache under the wrong identity.
+  static const std::unordered_set<std::string_view> kKnown = {
+      "id", "input", "device", "method", "fill",
+      "seed", "portfolio", "priority"};
+  for (const auto& [key, value] : j.object) {
+    FPART_PARSE_REQUIRE(kKnown.contains(key), "serve request: " + where +
+                                                  " has unknown key '" + key +
+                                                  "'");
+  }
+
+  ServeJob job;
+  job.spec.id = "job" + std::to_string(index);
+  if (j.find("id") != nullptr) {
+    job.spec.id = require_string(j, "id", where);
+    FPART_PARSE_REQUIRE(!job.spec.id.empty(),
+                        "serve request: " + where + ".id must be non-empty");
+  }
+  job.spec.input = require_string(j, "input", where);
+  job.spec.device = require_string(j, "device", where);
+  if (j.find("method") != nullptr) {
+    job.spec.method = require_string(j, "method", where);
+  }
+  if (const JsonValue* fill = j.find("fill"); fill != nullptr) {
+    FPART_PARSE_REQUIRE(fill->is_number(), "serve request: " + where +
+                                               ".fill must be a number");
+    job.spec.fill = fill->number;
+  }
+  job.spec.seed = get_u64(j, "seed", where, 0);
+  const std::uint64_t portfolio = get_u64(j, "portfolio", where, 1);
+  FPART_PARSE_REQUIRE(portfolio <= 0xFFFFFFFFull,
+                      "serve request: " + where +
+                          ".portfolio must fit in 32 bits");
+  job.spec.portfolio = static_cast<std::uint32_t>(portfolio);
+  if (const JsonValue* prio = j.find("priority"); prio != nullptr) {
+    FPART_PARSE_REQUIRE(prio->is_number() && prio->exact_integer,
+                        "serve request: " + where +
+                            ".priority must be an integer");
+    job.priority = static_cast<std::int64_t>(prio->integer);
+  }
+  return job;
+}
+
+void write_stats(obs::JsonWriter& w, const ServeStatsSnapshot& s) {
+  w.begin_object();
+  w.key("queue_depth");
+  w.value(static_cast<std::uint64_t>(s.queue_depth));
+  w.key("inflight");
+  w.value(static_cast<std::uint64_t>(s.inflight));
+  w.key("requests");
+  w.value(s.requests);
+  w.key("jobs_submitted");
+  w.value(s.jobs_submitted);
+  w.key("jobs_completed");
+  w.value(s.jobs_completed);
+  w.key("jobs_failed");
+  w.value(s.jobs_failed);
+  w.key("rejected");
+  w.begin_object();
+  w.key("parse");
+  w.value(s.rejected_parse);
+  w.key("option");
+  w.value(s.rejected_option);
+  w.key("quota");
+  w.value(s.rejected_quota);
+  w.end_object();
+  w.key("cache");
+  w.begin_object();
+  w.key("hits");
+  w.value(s.cache_hits);
+  w.key("misses");
+  w.value(s.cache_misses);
+  w.key("evictions");
+  w.value(s.cache_evictions);
+  w.key("size");
+  w.value(static_cast<std::uint64_t>(s.cache_size));
+  w.key("capacity");
+  w.value(static_cast<std::uint64_t>(s.cache_capacity));
+  w.key("hit_rate");
+  w.value(s.cache_hit_rate());
+  w.end_object();
+  w.end_object();
+}
+
+void begin_response(obs::JsonWriter& w, bool ok) {
+  w.begin_object();
+  w.key("schema");
+  w.value(kServeResponseSchema);
+  w.key("provenance");
+  obs::write_provenance(w);
+  w.key("ok");
+  w.value(ok);
+}
+
+}  // namespace
+
+ServeRequest parse_serve_request(std::string_view line) {
+  const std::optional<JsonValue> doc = obs::json_parse(line);
+  FPART_PARSE_REQUIRE(doc.has_value() && doc->is_object(),
+                      "serve request: not a JSON object");
+  static const std::unordered_set<std::string_view> kKnown = {
+      "schema", "cmd", "client", "jobs"};
+  for (const auto& [key, value] : doc->object) {
+    FPART_PARSE_REQUIRE(kKnown.contains(key),
+                        "serve request: unknown key '" + key + "'");
+  }
+  if (const JsonValue* schema = doc->find("schema"); schema != nullptr) {
+    FPART_PARSE_REQUIRE(schema->is_string() &&
+                            schema->string == kServeRequestSchema,
+                        "serve request: schema must be '" +
+                            std::string(kServeRequestSchema) + "'");
+  }
+
+  ServeRequest req;
+  if (const JsonValue* client = doc->find("client"); client != nullptr) {
+    FPART_PARSE_REQUIRE(client->is_string(),
+                        "serve request: client must be a string");
+    req.client = client->string;
+  }
+
+  if (const JsonValue* cmd = doc->find("cmd"); cmd != nullptr) {
+    FPART_PARSE_REQUIRE(cmd->is_string(),
+                        "serve request: cmd must be a string");
+    if (cmd->string == "stats") {
+      req.kind = ServeRequest::Kind::kStats;
+    } else if (cmd->string == "shutdown") {
+      req.kind = ServeRequest::Kind::kShutdown;
+    } else {
+      FPART_OPTION_REQUIRE(false, "serve request: unknown cmd '" +
+                                      cmd->string +
+                                      "' (expected stats|shutdown)");
+    }
+    FPART_PARSE_REQUIRE(doc->find("jobs") == nullptr,
+                        "serve request: cmd requests carry no jobs");
+    return req;
+  }
+
+  const JsonValue& jobs = require_member(*doc, "jobs", "request");
+  FPART_PARSE_REQUIRE(jobs.is_array() && !jobs.array.empty(),
+                      "serve request: jobs must be a non-empty array");
+  std::unordered_set<std::string> seen_ids;
+  for (std::size_t i = 0; i < jobs.array.size(); ++i) {
+    ServeJob job = parse_job(jobs.array[i], i);
+    FPART_PARSE_REQUIRE(seen_ids.insert(job.spec.id).second,
+                        "serve request: duplicate job id '" + job.spec.id +
+                            "'");
+    // Semantic range checks shared with the batch-file parser: fill in
+    // (0,1], known method, portfolio >= 1 — OptionError, still before
+    // admission.
+    runtime::validate_job_spec(job.spec);
+    req.jobs.push_back(std::move(job));
+  }
+  return req;
+}
+
+std::string serve_response_json(const std::vector<ServeJobOutcome>& jobs,
+                                const ServeStatsSnapshot& stats) {
+  obs::JsonWriter w;
+  begin_response(w, true);
+  w.key("jobs");
+  w.begin_array();
+  for (const ServeJobOutcome& o : jobs) {
+    w.begin_object();
+    runtime::write_job_result_fields(w, o.result);
+    w.key("cached");
+    w.value(o.cached);
+    if (o.result.ok) {
+      w.key("assignment_digest");
+      w.value(o.assignment_digest);
+    }
+    if (!o.events_path.empty()) {
+      w.key("events_path");
+      w.value(o.events_path);
+    }
+    if (!o.report_path.empty()) {
+      w.key("report_path");
+      w.value(o.report_path);
+    }
+    w.key("queue_seconds");
+    w.value(o.queue_seconds);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("stats");
+  write_stats(w, stats);
+  w.end_object();
+  return w.take();
+}
+
+std::string serve_error_json(std::string_view error, std::string_view kind,
+                             const ServeStatsSnapshot& stats) {
+  obs::JsonWriter w;
+  begin_response(w, false);
+  w.key("error");
+  w.value(error);
+  w.key("error_kind");
+  w.value(kind);
+  w.key("stats");
+  write_stats(w, stats);
+  w.end_object();
+  return w.take();
+}
+
+}  // namespace fpart::serve

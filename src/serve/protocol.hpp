@@ -1,0 +1,112 @@
+// Wire protocol of the partition-as-a-service daemon (fpart_serve).
+//
+// Transport framing is newline-delimited JSON: a client writes one
+// request object per line and reads exactly one response object per
+// line, in order. The request dialect is the fpart-batch/1 job record
+// (id / input / device / method / fill / seed / portfolio) plus a
+// per-job scheduling priority and an optional client identity for
+// quota accounting:
+//
+//   {"schema":"fpart-serve-request/1","client":"ci","jobs":[
+//     {"id":"a","input":"c.hgr","device":"XC3042","seed":7,
+//      "method":"fpart","fill":0.9,"portfolio":1,"priority":5}]}
+//   {"schema":"fpart-serve-request/1","cmd":"stats"}
+//   {"schema":"fpart-serve-request/1","cmd":"shutdown"}
+//
+// Responses are fpart-serve-response/1: the per-job records reuse the
+// fpart-batch/1 fields verbatim (runtime/batch.hpp) and add the serving
+// dimensions — cached flag, assignment digest, artifact paths, queue
+// wait — plus a stats snapshot:
+//
+//   {"schema":"fpart-serve-response/1","ok":true,"provenance":{...},
+//    "jobs":[{...batch record...,"cached":true,"assignment_digest":...,
+//             "events_path":"...","report_path":"...",
+//             "queue_seconds":0.001}],
+//    "stats":{...}}
+//
+// Rejection happens at parse time with the typed taxonomy
+// (util/error.hpp): malformed JSON, wrong types, unknown keys and
+// duplicate job ids are ParseError; well-formed values naming an
+// invalid choice (unknown method, fill outside (0,1], portfolio == 0)
+// are OptionError. A rejected request never touches the job queue, so
+// bad inputs cannot occupy a worker; the response carries ok:false with
+// the error text and kind ("parse" / "option" / "quota").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "runtime/batch.hpp"
+
+namespace fpart::serve {
+
+inline constexpr const char* kServeRequestSchema = "fpart-serve-request/1";
+inline constexpr const char* kServeResponseSchema = "fpart-serve-response/1";
+
+/// One job plus its scheduling priority (higher runs first; ties run in
+/// admission order).
+struct ServeJob {
+  runtime::JobSpec spec;
+  std::int64_t priority = 0;
+};
+
+struct ServeRequest {
+  enum class Kind { kSubmit, kStats, kShutdown };
+  Kind kind = Kind::kSubmit;
+  /// Quota bucket; empty = the transport's per-connection identity.
+  std::string client;
+  std::vector<ServeJob> jobs;  // submit requests only
+};
+
+/// Parses and validates one request line (see the reject matrix above).
+/// Every job id is defaulted ("job<i>") when absent and guaranteed
+/// unique within the request on return.
+ServeRequest parse_serve_request(std::string_view line);
+
+/// One completed (or per-job-failed) job as the response reports it.
+struct ServeJobOutcome {
+  runtime::JobResult result;
+  bool cached = false;
+  std::uint64_t assignment_digest = 0;
+  std::string events_path;  // "" when the daemon spools no artifacts
+  std::string report_path;
+  double queue_seconds = 0.0;  // admission -> execution start
+};
+
+/// Live serving stats embedded in every response (and the whole payload
+/// of a stats request).
+struct ServeStatsSnapshot {
+  std::size_t queue_depth = 0;  // admitted, not yet executing
+  std::size_t inflight = 0;     // admitted, not yet completed
+  std::uint64_t requests = 0;
+  std::uint64_t jobs_submitted = 0;
+  std::uint64_t jobs_completed = 0;
+  std::uint64_t jobs_failed = 0;
+  std::uint64_t rejected_parse = 0;
+  std::uint64_t rejected_option = 0;
+  std::uint64_t rejected_quota = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_evictions = 0;
+  std::size_t cache_size = 0;
+  std::size_t cache_capacity = 0;
+
+  double cache_hit_rate() const {
+    const std::uint64_t total = cache_hits + cache_misses;
+    return total == 0 ? 0.0 : static_cast<double>(cache_hits) /
+                                  static_cast<double>(total);
+  }
+};
+
+/// ok:true response for a completed submit (or stats) request.
+std::string serve_response_json(const std::vector<ServeJobOutcome>& jobs,
+                                const ServeStatsSnapshot& stats);
+
+/// ok:false rejection response. `kind` is the taxonomy word ("parse",
+/// "option") or "quota" for admission-control rejection.
+std::string serve_error_json(std::string_view error, std::string_view kind,
+                             const ServeStatsSnapshot& stats);
+
+}  // namespace fpart::serve

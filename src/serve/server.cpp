@@ -1,0 +1,490 @@
+#include "serve/server.hpp"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "device/xilinx.hpp"
+#include "netlist/hgr_io.hpp"
+#include "obs/recorder.hpp"
+#include "obs/stats.hpp"
+#include "partition/replay.hpp"
+#include "report/run_report.hpp"
+#include "runtime/portfolio.hpp"
+#include "util/assert.hpp"
+#include "util/error.hpp"
+#include "util/timer.hpp"
+
+namespace fpart::serve {
+
+namespace {
+
+std::string key_stem(const std::string& spool_dir, const CacheKey& key) {
+  static const char* kHex = "0123456789abcdef";
+  const std::uint64_t h = cache_key_hash(key);
+  std::string hex(16, '0');
+  for (int i = 0; i < 16; ++i) {
+    hex[15 - i] = kHex[(h >> (i * 4)) & 0xF];
+  }
+  return spool_dir + "/" + hex;
+}
+
+}  // namespace
+
+/// One admitted request, shared by handle_line (which blocks on it) and
+/// the executors (which fill it in).
+struct Server::RequestState {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::size_t remaining = 0;
+  std::vector<ServeJobOutcome> outcomes;
+};
+
+/// One admitted job in a queue.
+struct Server::Pending {
+  ServeJob job;
+  std::string client;
+  std::uint64_t seq = 0;
+  Timer queued_at;  // admission -> execution start = queue_seconds
+  RequestState* request = nullptr;
+  std::size_t slot = 0;  // index into request->outcomes
+};
+
+bool Server::PendingOrder::operator()(
+    const std::shared_ptr<Pending>& a,
+    const std::shared_ptr<Pending>& b) const {
+  if (a->job.priority != b->job.priority) {
+    return a->job.priority > b->job.priority;  // higher priority first
+  }
+  return a->seq < b->seq;  // FIFO within a priority
+}
+
+Server::Server(const ServerConfig& config)
+    : config_(config),
+      cache_(config.cache_capacity),
+      pool_(config.threads) {
+  lane_thread_ = std::thread([this] { lane_loop(); });
+}
+
+Server::~Server() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_.store(true, std::memory_order_release);
+  }
+  lane_cv_.notify_all();
+  if (lane_thread_.joinable()) lane_thread_.join();
+  // pool_ (declared last) drains any remaining drain_one_single tasks
+  // in its destructor; the queues and cache above it are still alive.
+}
+
+std::string Server::handle_line(const std::string& line,
+                                const std::string& transport_client) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++requests_;
+  }
+  FPART_COUNTER_INC("serve.requests");
+
+  ServeRequest req;
+  try {
+    req = parse_serve_request(line);
+  } catch (const Error& e) {
+    const char* kind = e.kind();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (std::string_view(kind) == "option") {
+        ++rejected_option_;
+      } else {
+        ++rejected_parse_;
+      }
+    }
+    FPART_COUNTER_INC("serve.rejected");
+    return serve_error_json(e.what(), kind, snapshot());
+  }
+
+  if (req.kind == ServeRequest::Kind::kStats) {
+    return serve_response_json({}, snapshot());
+  }
+  if (req.kind == ServeRequest::Kind::kShutdown) {
+    shutdown_.store(true, std::memory_order_release);
+    return serve_response_json({}, snapshot());
+  }
+
+  const std::string client =
+      req.client.empty() ? transport_client : req.client;
+  RequestState state;
+  state.outcomes.resize(req.jobs.size());
+  state.remaining = req.jobs.size();
+  std::string quota_error;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Per-client in-flight quota: the whole request is admitted or
+    // rejected atomically, counting jobs already queued or executing.
+    // The rejection response is built OUTSIDE this block — snapshot()
+    // re-locks mu_ and the mutex is not recursive.
+    const std::size_t inflight = inflight_by_client_[client];
+    if (config_.quota > 0 &&
+        inflight + req.jobs.size() > config_.quota) {
+      if (inflight == 0) inflight_by_client_.erase(client);
+      ++rejected_quota_;
+      quota_error = "client '" + client +
+                    "' would exceed the in-flight quota (" +
+                    std::to_string(inflight) + " in flight + " +
+                    std::to_string(req.jobs.size()) + " submitted > " +
+                    std::to_string(config_.quota) + ")";
+    } else {
+      inflight_by_client_[client] += req.jobs.size();
+      inflight_total_ += req.jobs.size();
+      jobs_submitted_ += req.jobs.size();
+      for (std::size_t i = 0; i < req.jobs.size(); ++i) {
+        auto pending = std::make_shared<Pending>();
+        pending->job = std::move(req.jobs[i]);
+        pending->client = client;
+        pending->seq = next_seq_++;
+        pending->request = &state;
+        pending->slot = i;
+        if (pending->job.spec.portfolio > 1) {
+          lane_queue_.insert(std::move(pending));
+        } else {
+          single_queue_.insert(std::move(pending));
+          pool_.post([this] { drain_one_single(); });
+        }
+      }
+    }
+  }
+  if (!quota_error.empty()) {
+    FPART_COUNTER_INC("serve.rejected");
+    return serve_error_json(quota_error, "quota", snapshot());
+  }
+  lane_cv_.notify_all();
+  FPART_COUNTER_ADD("serve.jobs_submitted", req.jobs.size());
+
+  {
+    std::unique_lock<std::mutex> lock(state.mu);
+    state.cv.wait(lock, [&] { return state.remaining == 0; });
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = inflight_by_client_.find(client);
+    it->second -= state.outcomes.size();
+    if (it->second == 0) inflight_by_client_.erase(it);
+    inflight_total_ -= state.outcomes.size();
+  }
+  return serve_response_json(state.outcomes, snapshot());
+}
+
+void Server::drain_one_single() {
+  std::shared_ptr<Pending> p;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (single_queue_.empty()) return;  // races only with ~Server drain
+    p = *single_queue_.begin();
+    single_queue_.erase(single_queue_.begin());
+  }
+  execute(*p);
+}
+
+void Server::lane_loop() {
+  while (true) {
+    std::shared_ptr<Pending> p;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      lane_cv_.wait(lock, [&] {
+        return !lane_queue_.empty() ||
+               stopping_.load(std::memory_order_acquire);
+      });
+      if (lane_queue_.empty()) {
+        // stopping_, and nothing left to serve: handle_line callers all
+        // returned before ~Server runs, so an empty queue is final.
+        return;
+      }
+      p = *lane_queue_.begin();
+      lane_queue_.erase(lane_queue_.begin());
+    }
+    // Blocks here, OUTSIDE the pool, while run_portfolio fans attempts
+    // into it — the scheduling shape the nested-blocking guard demands.
+    execute(*p);
+  }
+}
+
+void Server::execute(Pending& p) {
+  const runtime::JobSpec& spec = p.job.spec;
+  ServeJobOutcome out;
+  out.queue_seconds = p.queued_at.elapsed_seconds();
+  out.result.spec = spec;
+  Timer timer;
+  try {
+    const Hypergraph h = read_hgr_file(spec.input);
+    const Device device = xilinx::by_name(spec.device).with_fill(spec.fill);
+    const CacheKey key = make_cache_key(h, spec);
+    std::optional<CacheEntry> entry = cache_.lookup(key);
+    if (entry.has_value()) {
+      out.cached = true;
+      FPART_COUNTER_INC("serve.cache_hits");
+    } else {
+      FPART_COUNTER_INC("serve.cache_misses");
+      entry.emplace();
+      compute(h, device, spec, key, *entry);
+      cache_.insert(key, *entry);
+    }
+    out.result.ok = true;
+    out.result.result = std::move(entry->result);
+    out.result.winner = entry->winner;
+    out.result.portfolio_digest = entry->portfolio_digest;
+    out.assignment_digest = entry->assignment_digest;
+    out.events_path = std::move(entry->events_path);
+    out.report_path = std::move(entry->report_path);
+  } catch (const std::exception& e) {
+    // Per-job failure isolation, batch-runner style: this job reports
+    // its taxonomy kind, the rest of the request proceeds.
+    out.result.ok = false;
+    out.result.error = e.what();
+    out.result.error_kind = error_kind(e);
+  }
+  out.result.seconds = timer.elapsed_seconds();
+  finish(p, std::move(out));
+}
+
+void Server::compute(const Hypergraph& h, const Device& device,
+                     const runtime::JobSpec& spec, const CacheKey& key,
+                     CacheEntry& entry) {
+  const std::string stem =
+      config_.spool_dir.empty() ? "" : key_stem(config_.spool_dir, key);
+  runtime::PortfolioOptions popt;
+  popt.attempts = spec.portfolio;
+  popt.method = spec.method;
+  popt.base.seed = spec.seed;
+  if (spec.portfolio > 1) {
+    if (!stem.empty()) popt.events_prefix = stem;
+    runtime::PortfolioResult pr =
+        runtime::run_portfolio(h, device, popt, &pool_);
+    entry.winner = pr.winner;
+    entry.portfolio_digest = pr.digest;
+    if (!stem.empty()) {
+      entry.events_path = pr.attempts[pr.winner].events_path;
+    }
+    entry.result = std::move(pr.best);
+  } else if (!stem.empty()) {
+    // Private thread-local recorder, exactly like a portfolio attempt:
+    // concurrent workers must not interleave event streams.
+    obs::Recorder recorder;
+    const obs::ScopedRecorderInstall install(&recorder);
+    Options header_opt;
+    header_opt.seed = spec.seed;
+    recorder.start(make_event_log_header(h, device, header_opt, spec.method));
+    entry.result = runtime::run_portfolio_attempt(h, device, popt, spec.seed);
+    recorder.stop();
+    entry.events_path = stem + ".events.jsonl";
+    recorder.write_jsonl(entry.events_path);
+  } else {
+    entry.result = runtime::run_portfolio_attempt(h, device, popt, spec.seed);
+  }
+  entry.assignment_digest = assignment_digest(entry.result.assignment);
+  entry.options_json = key.options_canonical;
+  if (!stem.empty()) {
+    RunMeta meta;
+    meta.circuit = spec.input;
+    meta.device = spec.device;
+    meta.method = spec.method;
+    meta.seed = spec.seed;
+    meta.events_path = entry.events_path;
+    entry.report_path = stem + ".report.json";
+    write_run_report_file(entry.report_path, meta, entry.result);
+  }
+}
+
+void Server::finish(Pending& p, ServeJobOutcome outcome) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (outcome.result.ok) {
+      ++jobs_completed_;
+    } else {
+      ++jobs_failed_;
+    }
+  }
+  RequestState& state = *p.request;
+  {
+    std::lock_guard<std::mutex> lock(state.mu);
+    state.outcomes[p.slot] = std::move(outcome);
+    --state.remaining;
+  }
+  state.cv.notify_all();
+}
+
+ServeStatsSnapshot Server::snapshot() const {
+  ServeStatsSnapshot s;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    s.queue_depth = single_queue_.size() + lane_queue_.size();
+    s.inflight = inflight_total_;
+    s.requests = requests_;
+    s.jobs_submitted = jobs_submitted_;
+    s.jobs_completed = jobs_completed_;
+    s.jobs_failed = jobs_failed_;
+    s.rejected_parse = rejected_parse_;
+    s.rejected_option = rejected_option_;
+    s.rejected_quota = rejected_quota_;
+  }
+  const CacheStats c = cache_.stats();
+  s.cache_hits = c.hits;
+  s.cache_misses = c.misses;
+  s.cache_evictions = c.evictions;
+  s.cache_size = c.size;
+  s.cache_capacity = c.capacity;
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// SocketListener
+
+namespace {
+
+void close_quietly(int fd) {
+  if (fd >= 0) ::close(fd);
+}
+
+/// Writes all of `data` + '\n', tolerating partial writes.
+bool write_line(int fd, const std::string& data) {
+  std::string framed = data;
+  framed.push_back('\n');
+  std::size_t off = 0;
+  while (off < framed.size()) {
+    const ssize_t n = ::send(fd, framed.data() + off, framed.size() - off,
+#ifdef MSG_NOSIGNAL
+                             MSG_NOSIGNAL
+#else
+                             0
+#endif
+    );
+    if (n <= 0) return false;
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Hard cap on one request line; longer input is a protocol violation
+/// (the connection is dropped, not the server).
+constexpr std::size_t kMaxLine = 16u << 20;
+
+}  // namespace
+
+SocketListener::SocketListener(Server& server, const Endpoints& endpoints)
+    : server_(server), endpoints_(endpoints) {
+  FPART_OPTION_REQUIRE(!endpoints_.unix_path.empty() ||
+                           endpoints_.tcp_port >= 0,
+                       "serve listener needs a Unix socket path or a TCP "
+                       "port");
+  if (!endpoints_.unix_path.empty()) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    FPART_OPTION_REQUIRE(
+        endpoints_.unix_path.size() < sizeof(addr.sun_path),
+        "unix socket path too long: " + endpoints_.unix_path);
+    unix_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    FPART_REQUIRE(unix_fd_ >= 0, "socket(AF_UNIX) failed");
+    std::strncpy(addr.sun_path, endpoints_.unix_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    ::unlink(endpoints_.unix_path.c_str());  // stale path from a crash
+    FPART_REQUIRE(::bind(unix_fd_, reinterpret_cast<sockaddr*>(&addr),
+                         sizeof(addr)) == 0,
+                  "bind(" + endpoints_.unix_path +
+                      ") failed: " + std::strerror(errno));
+    FPART_REQUIRE(::listen(unix_fd_, 64) == 0, "listen(unix) failed");
+  }
+  if (endpoints_.tcp_port >= 0) {
+    tcp_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    FPART_REQUIRE(tcp_fd_ >= 0, "socket(AF_INET) failed");
+    const int one = 1;
+    ::setsockopt(tcp_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(endpoints_.tcp_port));
+    FPART_REQUIRE(::bind(tcp_fd_, reinterpret_cast<sockaddr*>(&addr),
+                         sizeof(addr)) == 0,
+                  "bind(tcp port " + std::to_string(endpoints_.tcp_port) +
+                      ") failed: " + std::strerror(errno));
+    FPART_REQUIRE(::listen(tcp_fd_, 64) == 0, "listen(tcp) failed");
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    FPART_REQUIRE(::getsockname(tcp_fd_, reinterpret_cast<sockaddr*>(&bound),
+                                &len) == 0,
+                  "getsockname failed");
+    tcp_port_ = ntohs(bound.sin_port);
+  }
+}
+
+SocketListener::~SocketListener() {
+  close_quietly(unix_fd_);
+  close_quietly(tcp_fd_);
+  if (!endpoints_.unix_path.empty()) {
+    ::unlink(endpoints_.unix_path.c_str());
+  }
+  for (std::thread& t : conn_threads_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void SocketListener::serve_forever() {
+  while (!server_.shutdown_requested()) {
+    pollfd fds[2];
+    nfds_t n = 0;
+    if (unix_fd_ >= 0) fds[n++] = {unix_fd_, POLLIN, 0};
+    if (tcp_fd_ >= 0) fds[n++] = {tcp_fd_, POLLIN, 0};
+    // Finite timeout so a shutdown latched by another connection is
+    // noticed without a new connection arriving.
+    const int rc = ::poll(fds, n, 200);
+    if (rc <= 0) continue;
+    for (nfds_t i = 0; i < n; ++i) {
+      if ((fds[i].revents & POLLIN) == 0) continue;
+      const int fd = ::accept(fds[i].fd, nullptr, nullptr);
+      if (fd < 0) continue;
+      std::string client_id;
+      {
+        std::lock_guard<std::mutex> lock(conn_mu_);
+        client_id = "conn" + std::to_string(next_conn_++);
+        open_fds_.push_back(fd);
+        conn_threads_.emplace_back(
+            [this, fd, client_id] { handle_connection(fd, client_id); });
+      }
+    }
+  }
+  // Unblock readers so connection threads observe EOF and exit; the
+  // destructor joins them.
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  for (const int fd : open_fds_) ::shutdown(fd, SHUT_RDWR);
+}
+
+void SocketListener::handle_connection(int fd, std::string client_id) {
+  std::string buffer;
+  char chunk[4096];
+  bool alive = true;
+  while (alive) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) break;
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    if (buffer.size() > kMaxLine) break;  // protocol violation: drop
+    std::size_t start = 0;
+    for (std::size_t nl = buffer.find('\n', start);
+         nl != std::string::npos && alive;
+         nl = buffer.find('\n', start)) {
+      std::string line = buffer.substr(start, nl - start);
+      start = nl + 1;
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty()) continue;
+      alive = write_line(fd, server_.handle_line(line, client_id));
+    }
+    buffer.erase(0, start);
+  }
+  close_quietly(fd);
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  std::erase(open_fds_, fd);
+}
+
+}  // namespace fpart::serve

@@ -1,0 +1,185 @@
+// Partition-as-a-service daemon core.
+//
+// A Server is the long-lived heart of fpart_serve: it owns the shared
+// work-stealing ThreadPool, the content-addressed result cache, a
+// priority job queue, and the admission-control state. Transports are
+// layered on top — SocketListener speaks newline-delimited JSON over
+// Unix-domain and TCP sockets, tests and the bench call handle_line()
+// directly — so the scheduling and caching semantics are identical (and
+// testable) with or without a socket in the loop.
+//
+// Scheduling. Admitted jobs enter one of two priority queues, both
+// ordered by (priority desc, admission seq asc):
+//
+//   * single-attempt jobs (portfolio == 1) feed the shared ThreadPool —
+//     one "drain the best job" task is posted per admission, so the
+//     task that runs picks the CURRENT highest-priority job, not the
+//     one whose admission posted it;
+//   * portfolio jobs (portfolio > 1) go to a dedicated lane thread.
+//     run_portfolio() blocks until its attempts complete, and its
+//     nested-blocking-submission guard (runtime/batch.hpp) throws
+//     InternalError from inside a pool task — the lane thread blocks
+//     OUTSIDE the pool while the attempts fan out INTO it, which is the
+//     one scheduling shape that is both deadlock-free and keeps the
+//     pool fed.
+//
+// Admission control. A request is rejected before any of its jobs touch
+// a queue when (a) it fails the typed parse/validation matrix
+// (protocol.hpp — ParseError/OptionError), or (b) its client would
+// exceed the per-client in-flight quota ("quota"). Bad inputs therefore
+// never occupy a worker. Failures of admitted jobs (unreadable .hgr,
+// unknown device, engine errors) stay isolated per job, exactly like
+// the batch runner.
+//
+// Caching. Each executed job is keyed by (structural digest, device,
+// canonical options, seed) — serve/cache.hpp — and a later identical
+// job returns the cached PartitionResult plus the original event-log /
+// run-report paths without recompute. Engine determinism makes this
+// sound; bench/ext_serve.cpp hard-gates cached == recomputed digests.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "runtime/thread_pool.hpp"
+#include "serve/cache.hpp"
+#include "serve/protocol.hpp"
+
+namespace fpart::serve {
+
+struct ServerConfig {
+  /// Pool workers (0 = default_thread_count()).
+  unsigned threads = 0;
+  /// Result-cache entries (0 disables caching).
+  std::size_t cache_capacity = 256;
+  /// Max in-flight jobs per client, queued + executing (0 = unlimited).
+  std::uint32_t quota = 64;
+  /// Directory for per-request artifacts (event logs + run reports),
+  /// named by content key. Empty = no artifacts. Must already exist.
+  std::string spool_dir;
+};
+
+class Server {
+ public:
+  explicit Server(const ServerConfig& config);
+
+  /// Joins the portfolio lane and drains the pool. All handle_line()
+  /// calls must have returned (transports join their connection threads
+  /// first).
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Parses and serves one request line on behalf of `transport_client`
+  /// (overridden by the request's own "client" field). Submit requests
+  /// block until every admitted job completed; the returned line is the
+  /// full response. Never throws on bad requests — rejection becomes an
+  /// ok:false response.
+  std::string handle_line(const std::string& line,
+                          const std::string& transport_client);
+
+  /// Latched by a shutdown request; transports poll it.
+  bool shutdown_requested() const {
+    return shutdown_.load(std::memory_order_acquire);
+  }
+
+  ServeStatsSnapshot snapshot() const;
+
+  const ServerConfig& config() const { return config_; }
+
+ private:
+  struct RequestState;
+  struct Pending;
+  struct PendingOrder {
+    bool operator()(const std::shared_ptr<Pending>& a,
+                    const std::shared_ptr<Pending>& b) const;
+  };
+  using Queue = std::multiset<std::shared_ptr<Pending>, PendingOrder>;
+
+  void execute(Pending& p);
+  void compute(const Hypergraph& h, const Device& device,
+               const runtime::JobSpec& spec, const CacheKey& key,
+               CacheEntry& entry);
+  void drain_one_single();
+  void lane_loop();
+  void finish(Pending& p, ServeJobOutcome outcome);
+
+  ServerConfig config_;
+  ResultCache cache_;
+
+  mutable std::mutex mu_;
+  Queue single_queue_;
+  Queue lane_queue_;
+  std::condition_variable lane_cv_;
+  std::map<std::string, std::size_t> inflight_by_client_;
+  std::size_t inflight_total_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t requests_ = 0;
+  std::uint64_t jobs_submitted_ = 0;
+  std::uint64_t jobs_completed_ = 0;
+  std::uint64_t jobs_failed_ = 0;
+  std::uint64_t rejected_parse_ = 0;
+  std::uint64_t rejected_option_ = 0;
+  std::uint64_t rejected_quota_ = 0;
+
+  std::atomic<bool> shutdown_{false};
+  std::atomic<bool> stopping_{false};
+
+  std::thread lane_thread_;
+  /// Declared last: destroyed first, so queued drain tasks still see
+  /// live queues/cache while the pool drains in ~Server.
+  runtime::ThreadPool pool_;
+};
+
+/// Socket front end: newline-delimited requests on a Unix-domain socket
+/// path and/or a TCP port (loopback), one thread per connection, each
+/// line answered through Server::handle_line with a per-connection
+/// client identity ("conn<N>") as the quota fallback.
+class SocketListener {
+ public:
+  struct Endpoints {
+    std::string unix_path;  // "" = no Unix socket
+    int tcp_port = -1;      // -1 = no TCP; 0 = ephemeral (see tcp_port())
+  };
+
+  /// Binds and listens immediately; throws PreconditionError on any
+  /// socket failure (bad path, port in use).
+  SocketListener(Server& server, const Endpoints& endpoints);
+  ~SocketListener();
+
+  SocketListener(const SocketListener&) = delete;
+  SocketListener& operator=(const SocketListener&) = delete;
+
+  /// Accept loop; returns once the server latched shutdown (all
+  /// connection threads joined, listen sockets closed and the Unix
+  /// socket path unlinked).
+  void serve_forever();
+
+  /// The actually bound TCP port (resolves an ephemeral request), -1
+  /// when TCP is off.
+  int tcp_port() const { return tcp_port_; }
+
+ private:
+  void handle_connection(int fd, std::string client_id);
+
+  Server& server_;
+  Endpoints endpoints_;
+  int unix_fd_ = -1;
+  int tcp_fd_ = -1;
+  int tcp_port_ = -1;
+  std::mutex conn_mu_;
+  std::vector<int> open_fds_;
+  std::vector<std::thread> conn_threads_;
+  std::uint64_t next_conn_ = 0;
+};
+
+}  // namespace fpart::serve

@@ -117,23 +117,15 @@ TEST(SolveTest, MultistartMatchesRunFpartMultistart) {
   EXPECT_EQ(unified.assignment, direct.assignment);
 }
 
-TEST(SolveTest, DeprecatedFlatStartsStillHonored) {
-  // One-PR shim: the old flat SolveRequest::starts member keeps working
-  // until the next release; it overrides options.starts when > 1.
+TEST(SolveTest, ZeroStartsIsAnOptionError) {
+  // The flat per-engine members and the SolveRequest::starts shim are
+  // gone; options.starts is the only multistart knob and it is
+  // range-checked at dispatch.
   const Hypergraph h = test_circuit();
   const Device d = xilinx::by_name("XC3042");
-  const Options opt;
-
-  const PartitionResult direct = run_fpart_multistart(h, d, opt, 3);
-
   SolveRequest req;
-  req.options = opt;
-  req.starts = 3;
-  const PartitionResult unified = solve(h, d, req);
-
-  EXPECT_EQ(unified.k, direct.k);
-  EXPECT_EQ(unified.cut, direct.cut);
-  EXPECT_EQ(unified.assignment, direct.assignment);
+  req.options.starts = 0;
+  EXPECT_THROW(solve(h, d, req), OptionError);
 }
 
 TEST(SolveTest, MethodNamesTableMatchesEnum) {

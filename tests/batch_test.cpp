@@ -220,5 +220,49 @@ TEST_F(BatchTest, ReportJsonParses) {
   EXPECT_NE(jobs->array[1].find("error"), nullptr);
 }
 
+TEST_F(BatchTest, RejectsDuplicateJobIds) {
+  const std::string dup = write_temp(
+      "dup.txt", "a.hgr XC3020 id=x\nb.hgr XC3020 id=x\n");
+  EXPECT_THROW(parse_batch_file(dup), ParseError);
+  // A defaulted id colliding with an explicit one is the same ambiguity.
+  const std::string mixed = write_temp(
+      "dup_mixed.txt", "a.hgr XC3020\nb.hgr XC3020 id=job0\n");
+  EXPECT_THROW(parse_batch_file(mixed), ParseError);
+}
+
+TEST_F(BatchTest, RejectsOutOfRangeFill) {
+  EXPECT_THROW(
+      parse_batch_file(write_temp("f0.txt", "a.hgr XC3020 fill=0.0\n")),
+      OptionError);
+  EXPECT_THROW(
+      parse_batch_file(write_temp("fneg.txt", "a.hgr XC3020 fill=-0.5\n")),
+      OptionError);
+  EXPECT_THROW(
+      parse_batch_file(write_temp("fbig.txt", "a.hgr XC3020 fill=1.5\n")),
+      OptionError);
+  // fill == 1.0 is the legal boundary.
+  const std::vector<JobSpec> jobs = parse_batch_file(
+      write_temp("f1.txt", "a.hgr XC3020 fill=1.0\n"));
+  ASSERT_EQ(jobs.size(), 1u);
+  EXPECT_DOUBLE_EQ(jobs[0].fill, 1.0);
+}
+
+TEST_F(BatchTest, RunBatchInsideAPoolTaskThrowsInsteadOfDeadlocking) {
+  std::vector<JobSpec> jobs(1);
+  jobs[0].id = "a";
+  jobs[0].input = hgr_path_;
+  jobs[0].device = "XC3042";
+  // One worker makes the old behavior a guaranteed hang: run_batch would
+  // block that sole worker on tasks only it could execute. The guard
+  // turns the hang into a typed InternalError surfaced via the future.
+  ThreadPool pool(1);
+  auto nested = pool.async([&] { (void)run_batch(jobs, &pool); });
+  EXPECT_THROW(nested.get(), InternalError);
+  // The legal shape — blocking from outside the pool — still works.
+  const std::vector<JobResult> results = run_batch(jobs, &pool);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_TRUE(results[0].ok) << results[0].error;
+}
+
 }  // namespace
 }  // namespace fpart::runtime

@@ -6,9 +6,11 @@
 
 #include <sstream>
 
+#include "fuzz/batch_mutate.hpp"
 #include "fuzz/diff_fuzz.hpp"
 #include "fuzz/hgr_mutate.hpp"
 #include "netlist/hgr_io.hpp"
+#include "runtime/batch.hpp"
 #include "util/assert.hpp"
 #include "util/rng.hpp"
 
@@ -44,6 +46,19 @@ TEST_P(MutationFuzz, MalformedInputsAreTypedRejections) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, MutationFuzz, ::testing::Range(0, 48));
+
+// --- the malformed batch-file sweep ----------------------------------------
+
+class BatchMutationFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(BatchMutationFuzz, BatchRejectMatrixHolds) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  const std::vector<std::string> disagreements =
+      run_batch_mutation_case(seed);
+  EXPECT_TRUE(disagreements.empty()) << failure_text(disagreements);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BatchMutationFuzz, ::testing::Range(0, 48));
 
 // --- mutator unit checks --------------------------------------------------
 
@@ -99,6 +114,46 @@ TEST(HgrMutateTest, MutantsAlwaysDifferOrStayParseable) {
       std::stringstream ss(m.text);
       EXPECT_NO_THROW(read_hgr(ss));
     }
+  }
+}
+
+std::string small_valid_batch() {
+  return "# fuzz seed corpus\n"
+         "a.hgr XC3020 seed=1\n"
+         "b.hgr XC3042 id=left fill=0.85\n"
+         "c.hgr XC3030 id=right method=kwayx\n";
+}
+
+TEST(BatchMutateTest, EveryTargetedOperatorRejectsWithItsRecordedKind) {
+  const std::string valid = small_valid_batch();
+  // The base document really is valid.
+  EXPECT_NO_THROW(runtime::parse_batch_text(valid, "corpus"));
+  for (std::size_t op = 0; op < num_batch_mutation_ops(); ++op) {
+    Rng rng(op * 31 + 3);
+    const BatchMutation m = mutate_batch_op(valid, op, rng);
+    if (!m.must_reject) continue;
+    try {
+      runtime::parse_batch_text(m.text, "corpus");
+      ADD_FAILURE() << "operator " << m.op << " silently accepted:\n"
+                    << m.text;
+    } catch (const PreconditionError& e) {
+      EXPECT_EQ(m.expected_kind, error_kind(e))
+          << "operator " << m.op << " produced:\n" << m.text;
+    }
+  }
+}
+
+TEST(BatchMutateTest, DeterministicForEqualSeeds) {
+  const std::string valid = small_valid_batch();
+  Rng a(41);
+  Rng b(41);
+  for (int i = 0; i < 32; ++i) {
+    const BatchMutation ma = mutate_batch(valid, a);
+    const BatchMutation mb = mutate_batch(valid, b);
+    EXPECT_EQ(ma.text, mb.text);
+    EXPECT_EQ(ma.op, mb.op);
+    EXPECT_EQ(ma.must_reject, mb.must_reject);
+    EXPECT_EQ(ma.expected_kind, mb.expected_kind);
   }
 }
 

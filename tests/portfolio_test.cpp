@@ -242,5 +242,28 @@ TEST(PortfolioTest, BaselineMethodsRunUnderThePortfolio) {
   }
 }
 
+TEST(PortfolioTest, NestedBlockingSubmissionThrowsInsteadOfDeadlocking) {
+  const Device d = xilinx::xc3020();
+  const Hypergraph h = mcnc::generate("c3540", d.family());
+  PortfolioOptions opt;
+  opt.attempts = 2;
+  // One worker makes the old behavior a guaranteed hang: run_portfolio
+  // inside a task of `pool` would block the sole worker on attempts only
+  // it could execute. The guard turns that into a typed InternalError
+  // carried out through the future.
+  ThreadPool pool(1);
+  auto nested = pool.async([&] { (void)run_portfolio(h, d, opt, &pool); });
+  EXPECT_THROW(nested.get(), InternalError);
+
+  // Blocking from outside the pool is the supported shape...
+  EXPECT_TRUE(run_portfolio(h, d, opt, &pool).best.feasible);
+  // ...and blocking on a DIFFERENT pool from inside a task is fine too
+  // (the serve daemon's portfolio lane relies on this distinction).
+  ThreadPool other(1);
+  auto cross =
+      pool.async([&] { return run_portfolio(h, d, opt, &other).winner; });
+  EXPECT_NO_THROW((void)cross.get());
+}
+
 }  // namespace
 }  // namespace fpart::runtime

@@ -1,0 +1,424 @@
+// Partition-as-a-service layer: cache-key soundness, the protocol
+// reject matrix, admission control and the in-process + socket server
+// paths. Labeled `serve` (ctest -L serve).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "hypergraph/builder.hpp"
+#include "netlist/hgr_io.hpp"
+#include "netlist/mcnc.hpp"
+#include "obs/json.hpp"
+#include "serve/cache.hpp"
+#include "serve/client.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "util/error.hpp"
+
+namespace fpart::serve {
+namespace {
+
+/// A tiny fixed circuit; `swap_labels` renumbers two interior cells,
+/// which rewires the pin lists — same logical netlist shape, different
+/// structural labeling.
+Hypergraph tiny_circuit(bool swap_labels) {
+  HypergraphBuilder b;
+  const NodeId a = b.add_cell(1, "a");
+  const NodeId c = b.add_cell(swap_labels ? 3 : 2, "c");
+  const NodeId d = b.add_cell(swap_labels ? 2 : 3, "d");
+  const NodeId p0 = b.add_terminal("p0");
+  const NodeId p1 = b.add_terminal("p1");
+  b.add_net({a, c, p0}, "n0");
+  b.add_net({c, d, p1}, "n1");
+  b.add_net({a, d}, "n2");
+  return std::move(b).build();
+}
+
+runtime::JobSpec spec_for(const std::string& input, std::uint64_t seed = 7) {
+  runtime::JobSpec spec;
+  spec.id = "t";
+  spec.input = input;
+  spec.device = "XC3042";
+  spec.seed = seed;
+  return spec;
+}
+
+CacheEntry entry_with_digest(std::uint64_t digest) {
+  CacheEntry e;
+  e.assignment_digest = digest;
+  return e;
+}
+
+TEST(CacheKeyTest, RelabeledCircuitChangesDigestAndMisses) {
+  const Hypergraph original = tiny_circuit(false);
+  const Hypergraph relabeled = tiny_circuit(true);
+  const runtime::JobSpec spec = spec_for("same.hgr");
+  const CacheKey key_a = make_cache_key(original, spec);
+  const CacheKey key_b = make_cache_key(relabeled, spec);
+  // Assignments are indexed by node id, so a relabeled circuit must be
+  // a different content address even though the file name is the same.
+  EXPECT_NE(original.structural_digest(), relabeled.structural_digest());
+  EXPECT_NE(key_a, key_b);
+
+  ResultCache cache(4);
+  cache.insert(key_a, entry_with_digest(11));
+  EXPECT_FALSE(cache.lookup(key_b).has_value());
+  EXPECT_TRUE(cache.lookup(key_a).has_value());
+}
+
+TEST(CacheKeyTest, IdenticalKeyHitsWithByteIdenticalOptions) {
+  const Hypergraph h1 = tiny_circuit(false);
+  const Hypergraph h2 = tiny_circuit(false);  // separate construction
+  const CacheKey key1 = make_cache_key(h1, spec_for("a.hgr"));
+  const CacheKey key2 = make_cache_key(h2, spec_for("b.hgr"));
+  // Content addressing: the input file NAME is not part of the key.
+  EXPECT_EQ(key1, key2);
+  EXPECT_EQ(key1.options_canonical, key2.options_canonical);
+
+  ResultCache cache(4);
+  CacheEntry entry = entry_with_digest(42);
+  entry.options_json = key1.options_canonical;
+  cache.insert(key1, entry);
+  const std::optional<CacheEntry> hit = cache.lookup(key2);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->assignment_digest, 42u);
+  EXPECT_EQ(hit->options_json, canonical_job_options(spec_for("c.hgr")));
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 0u);
+}
+
+TEST(CacheKeyTest, KeyCoversDeviceOptionsAndSeed) {
+  const Hypergraph h = tiny_circuit(false);
+  const CacheKey base = make_cache_key(h, spec_for("a.hgr"));
+
+  runtime::JobSpec other_seed = spec_for("a.hgr", 8);
+  EXPECT_NE(make_cache_key(h, other_seed), base);
+
+  runtime::JobSpec other_device = spec_for("a.hgr");
+  other_device.device = "XC3020";
+  EXPECT_NE(make_cache_key(h, other_device), base);
+
+  runtime::JobSpec other_fill = spec_for("a.hgr");
+  other_fill.fill = 0.8;
+  EXPECT_NE(make_cache_key(h, other_fill).options_canonical,
+            base.options_canonical);
+
+  runtime::JobSpec other_method = spec_for("a.hgr");
+  other_method.method = "kwayx";
+  EXPECT_NE(make_cache_key(h, other_method).options_canonical,
+            base.options_canonical);
+
+  runtime::JobSpec other_portfolio = spec_for("a.hgr");
+  other_portfolio.portfolio = 4;
+  EXPECT_NE(make_cache_key(h, other_portfolio).options_canonical,
+            base.options_canonical);
+}
+
+TEST(CacheTest, EvictionRespectsCapacity) {
+  ResultCache cache(2);
+  const Hypergraph h = tiny_circuit(false);
+  const CacheKey k1 = make_cache_key(h, spec_for("x", 1));
+  const CacheKey k2 = make_cache_key(h, spec_for("x", 2));
+  const CacheKey k3 = make_cache_key(h, spec_for("x", 3));
+  cache.insert(k1, entry_with_digest(1));
+  cache.insert(k2, entry_with_digest(2));
+  cache.insert(k3, entry_with_digest(3));  // evicts k1 (LRU)
+
+  CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.size, 2u);
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_FALSE(cache.lookup(k1).has_value());
+  ASSERT_TRUE(cache.lookup(k3).has_value());
+  ASSERT_TRUE(cache.lookup(k2).has_value());
+
+  // k2 was just touched, so inserting k4 now evicts k3.
+  const CacheKey k4 = make_cache_key(h, spec_for("x", 4));
+  cache.insert(k4, entry_with_digest(4));
+  EXPECT_TRUE(cache.lookup(k2).has_value());
+  EXPECT_FALSE(cache.lookup(k3).has_value());
+  EXPECT_LE(cache.stats().size, 2u);
+}
+
+TEST(CacheTest, ZeroCapacityDisablesCaching) {
+  ResultCache cache(0);
+  const Hypergraph h = tiny_circuit(false);
+  const CacheKey k = make_cache_key(h, spec_for("x"));
+  cache.insert(k, entry_with_digest(1));
+  EXPECT_FALSE(cache.lookup(k).has_value());
+  EXPECT_EQ(cache.stats().size, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Protocol reject matrix
+
+TEST(ProtocolTest, ParsesSubmitRequestWithDefaults) {
+  const ServeRequest req = parse_serve_request(
+      R"({"schema":"fpart-serve-request/1","client":"ci","jobs":[)"
+      R"({"input":"a.hgr","device":"XC3042"},)"
+      R"({"id":"big","input":"b.hgr","device":"XC3020","seed":9,)"
+      R"("portfolio":4,"priority":-2,"fill":0.8,"method":"kwayx"}]})");
+  ASSERT_EQ(req.kind, ServeRequest::Kind::kSubmit);
+  EXPECT_EQ(req.client, "ci");
+  ASSERT_EQ(req.jobs.size(), 2u);
+  EXPECT_EQ(req.jobs[0].spec.id, "job0");
+  EXPECT_EQ(req.jobs[0].spec.method, "fpart");
+  EXPECT_EQ(req.jobs[0].priority, 0);
+  EXPECT_EQ(req.jobs[1].spec.id, "big");
+  EXPECT_EQ(req.jobs[1].spec.portfolio, 4u);
+  EXPECT_EQ(req.jobs[1].priority, -2);
+}
+
+TEST(ProtocolTest, RejectMatrix) {
+  const auto job = [](const std::string& extra) {
+    return R"({"jobs":[{"input":"a.hgr","device":"XC3042")" + extra +
+           "}]}";
+  };
+  // Malformed text / wrong types / unknown keys / duplicates: parse.
+  EXPECT_THROW(parse_serve_request("not json"), ParseError);
+  EXPECT_THROW(parse_serve_request(R"({"jobs":{}})"), ParseError);
+  EXPECT_THROW(parse_serve_request(R"({"jobs":[]})"), ParseError);
+  EXPECT_THROW(parse_serve_request(R"({"bogus":1,"jobs":[]})"), ParseError);
+  EXPECT_THROW(parse_serve_request(job(R"(,"porfolio":8)")), ParseError);
+  EXPECT_THROW(parse_serve_request(job(R"(,"seed":"seven")")), ParseError);
+  EXPECT_THROW(
+      parse_serve_request(
+          R"({"jobs":[{"id":"x","input":"a.hgr","device":"XC3042"},)"
+          R"({"id":"x","input":"b.hgr","device":"XC3042"}]})"),
+      ParseError);
+  EXPECT_THROW(parse_serve_request(
+                   R"({"cmd":"stats","jobs":[{"input":"a","device":"b"}]})"),
+               ParseError);
+  // Well-formed values naming invalid choices: option.
+  EXPECT_THROW(parse_serve_request(job(R"(,"fill":2.0)")), OptionError);
+  EXPECT_THROW(parse_serve_request(job(R"(,"fill":0.0)")), OptionError);
+  EXPECT_THROW(parse_serve_request(job(R"(,"fill":-0.5)")), OptionError);
+  EXPECT_THROW(parse_serve_request(job(R"(,"portfolio":0)")), OptionError);
+  EXPECT_THROW(parse_serve_request(job(R"(,"method":"simulated")")),
+               OptionError);
+  EXPECT_THROW(parse_serve_request(R"({"cmd":"restart"})"), OptionError);
+}
+
+TEST(ProtocolTest, SchemaMismatchIsParseError) {
+  EXPECT_THROW(
+      parse_serve_request(
+          R"({"schema":"fpart-batch/1","jobs":[{"input":"a","device":"b"}]})"),
+      ParseError);
+}
+
+// ---------------------------------------------------------------------------
+// Server (in-process transport)
+
+class ServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    prefix_ = std::string("/tmp/fpart_serve_test_") +
+              ::testing::UnitTest::GetInstance()->current_test_info()->name()
+              + "_";
+    hgr_path_ = prefix_ + "c3540.hgr";
+    write_hgr_file(hgr_path_, mcnc::generate("c3540", Family::kXC3000));
+    spool_dir_ = prefix_ + "spool";
+    std::filesystem::create_directories(spool_dir_);
+  }
+  void TearDown() override {
+    std::remove(hgr_path_.c_str());
+    std::filesystem::remove_all(spool_dir_);
+  }
+
+  std::string submit_line(const std::string& jobs,
+                          const std::string& client = "test") const {
+    return R"({"schema":"fpart-serve-request/1","client":")" + client +
+           R"(","jobs":[)" + jobs + "]}";
+  }
+
+  std::string job_json(const std::string& id, const std::string& extra = "",
+                       const std::string& input = "") const {
+    return R"({"id":")" + id + R"(","input":")" +
+           (input.empty() ? hgr_path_ : input) +
+           R"(","device":"XC3042")" + extra + "}";
+  }
+
+  static obs::JsonValue parse(const std::string& line) {
+    std::optional<obs::JsonValue> doc = obs::json_parse(line);
+    EXPECT_TRUE(doc.has_value() && doc->is_object()) << line;
+    return std::move(*doc);
+  }
+
+  std::string prefix_;
+  std::string hgr_path_;
+  std::string spool_dir_;
+};
+
+TEST_F(ServerTest, ComputesThenServesRepeatFromCache) {
+  ServerConfig config;
+  config.threads = 2;
+  config.spool_dir = spool_dir_;
+  Server server(config);
+
+  const std::string line = submit_line(job_json("a"));
+  const obs::JsonValue first = parse(server.handle_line(line, "t"));
+  ASSERT_TRUE(first.find("ok")->boolean);
+  const obs::JsonValue& job1 = first.find("jobs")->array.at(0);
+  EXPECT_TRUE(job1.find("ok")->boolean);
+  EXPECT_FALSE(job1.find("cached")->boolean);
+  ASSERT_NE(job1.find("assignment_digest"), nullptr);
+  const std::uint64_t digest1 = job1.find("assignment_digest")->integer;
+  ASSERT_NE(job1.find("events_path"), nullptr);
+  EXPECT_TRUE(
+      std::filesystem::exists(job1.find("events_path")->string));
+  EXPECT_TRUE(
+      std::filesystem::exists(job1.find("report_path")->string));
+
+  const obs::JsonValue second = parse(server.handle_line(line, "t"));
+  const obs::JsonValue& job2 = second.find("jobs")->array.at(0);
+  EXPECT_TRUE(job2.find("ok")->boolean);
+  EXPECT_TRUE(job2.find("cached")->boolean);
+  // The hard identity: a hit reports the exact digest of the original
+  // computation (and the original artifact paths).
+  EXPECT_EQ(job2.find("assignment_digest")->integer, digest1);
+  EXPECT_EQ(job2.find("events_path")->string,
+            job1.find("events_path")->string);
+
+  const ServeStatsSnapshot stats = server.snapshot();
+  EXPECT_EQ(stats.cache_hits, 1u);
+  EXPECT_EQ(stats.cache_misses, 1u);
+  EXPECT_EQ(stats.jobs_completed, 2u);
+  EXPECT_EQ(stats.inflight, 0u);
+}
+
+TEST_F(ServerTest, PortfolioJobsRunOnTheLane) {
+  ServerConfig config;
+  config.threads = 2;
+  Server server(config);
+  const std::string line =
+      submit_line(job_json("pf", R"(,"portfolio":3,"seed":5)"));
+  const obs::JsonValue resp = parse(server.handle_line(line, "t"));
+  ASSERT_TRUE(resp.find("ok")->boolean);
+  const obs::JsonValue& job = resp.find("jobs")->array.at(0);
+  ASSERT_TRUE(job.find("ok")->boolean) << job.find("error")->string;
+  ASSERT_NE(job.find("portfolio_digest"), nullptr);
+  const std::uint64_t digest = job.find("portfolio_digest")->integer;
+
+  // Repeat is a cache hit with the identical portfolio outcome.
+  const obs::JsonValue again = parse(server.handle_line(line, "t"));
+  const obs::JsonValue& job2 = again.find("jobs")->array.at(0);
+  EXPECT_TRUE(job2.find("cached")->boolean);
+  EXPECT_EQ(job2.find("portfolio_digest")->integer, digest);
+}
+
+TEST_F(ServerTest, QuotaRejectsWholeRequest) {
+  ServerConfig config;
+  config.threads = 1;
+  config.quota = 1;
+  Server server(config);
+  const std::string line =
+      submit_line(job_json("a") + "," + job_json("b", R"(,"seed":1)"));
+  const obs::JsonValue resp = parse(server.handle_line(line, "t"));
+  EXPECT_FALSE(resp.find("ok")->boolean);
+  EXPECT_EQ(resp.find("error_kind")->string, "quota");
+  const ServeStatsSnapshot stats = server.snapshot();
+  EXPECT_EQ(stats.rejected_quota, 1u);
+  EXPECT_EQ(stats.jobs_submitted, 0u);
+  EXPECT_EQ(stats.inflight, 0u);
+
+  // A request within the quota still works afterwards.
+  const obs::JsonValue ok_resp =
+      parse(server.handle_line(submit_line(job_json("a")), "t"));
+  EXPECT_TRUE(ok_resp.find("ok")->boolean);
+}
+
+TEST_F(ServerTest, ParseAndOptionRejectionsAreCountedByKind) {
+  ServerConfig config;
+  config.threads = 1;
+  Server server(config);
+  const obs::JsonValue bad_json = parse(server.handle_line("not json", "t"));
+  EXPECT_FALSE(bad_json.find("ok")->boolean);
+  EXPECT_EQ(bad_json.find("error_kind")->string, "parse");
+
+  const obs::JsonValue bad_fill =
+      parse(server.handle_line(submit_line(job_json("a", R"(,"fill":7.0)")),
+                               "t"));
+  EXPECT_FALSE(bad_fill.find("ok")->boolean);
+  EXPECT_EQ(bad_fill.find("error_kind")->string, "option");
+
+  const ServeStatsSnapshot stats = server.snapshot();
+  EXPECT_EQ(stats.rejected_parse, 1u);
+  EXPECT_EQ(stats.rejected_option, 1u);
+}
+
+TEST_F(ServerTest, ExecutionFailuresStayIsolatedPerJob) {
+  ServerConfig config;
+  config.threads = 2;
+  Server server(config);
+  const std::string line = submit_line(
+      job_json("good") + "," +
+      job_json("bad", "", prefix_ + "missing.hgr"));
+  const obs::JsonValue resp = parse(server.handle_line(line, "t"));
+  // The request as a whole succeeds; the broken job carries its error.
+  ASSERT_TRUE(resp.find("ok")->boolean);
+  const auto& jobs = resp.find("jobs")->array;
+  ASSERT_EQ(jobs.size(), 2u);
+  EXPECT_TRUE(jobs.at(0).find("ok")->boolean);
+  EXPECT_FALSE(jobs.at(1).find("ok")->boolean);
+  EXPECT_EQ(jobs.at(1).find("error_kind")->string, "precondition");
+  const ServeStatsSnapshot stats = server.snapshot();
+  EXPECT_EQ(stats.jobs_completed, 1u);
+  EXPECT_EQ(stats.jobs_failed, 1u);
+}
+
+TEST_F(ServerTest, StatsAndShutdownCommands) {
+  Server server(ServerConfig{});
+  EXPECT_FALSE(server.shutdown_requested());
+  const obs::JsonValue stats = parse(server.handle_line(
+      R"({"schema":"fpart-serve-request/1","cmd":"stats"})", "t"));
+  EXPECT_TRUE(stats.find("ok")->boolean);
+  ASSERT_NE(stats.find("stats"), nullptr);
+  EXPECT_NE(stats.find("stats")->find("cache"), nullptr);
+
+  const obs::JsonValue bye = parse(server.handle_line(
+      R"({"schema":"fpart-serve-request/1","cmd":"shutdown"})", "t"));
+  EXPECT_TRUE(bye.find("ok")->boolean);
+  EXPECT_TRUE(server.shutdown_requested());
+}
+
+TEST_F(ServerTest, SocketRoundTripOverUnixAndTcp) {
+  ServerConfig config;
+  config.threads = 2;
+  Server server(config);
+  SocketListener::Endpoints endpoints;
+  endpoints.unix_path = prefix_ + "sock";
+  endpoints.tcp_port = 0;  // ephemeral
+  SocketListener listener(server, endpoints);
+  ASSERT_GT(listener.tcp_port(), 0);
+  std::thread accept_thread([&] { listener.serve_forever(); });
+
+  {
+    Client unix_client = Client::connect_unix(endpoints.unix_path, 5.0);
+    const obs::JsonValue resp = parse(unix_client.roundtrip(
+        submit_line(job_json("a"), "unix-client")));
+    ASSERT_TRUE(resp.find("ok")->boolean);
+    EXPECT_TRUE(resp.find("jobs")->array.at(0).find("ok")->boolean);
+
+    Client tcp_client = Client::connect_tcp(listener.tcp_port(), 5.0);
+    const obs::JsonValue cached = parse(tcp_client.roundtrip(
+        submit_line(job_json("a"), "tcp-client")));
+    ASSERT_TRUE(cached.find("ok")->boolean);
+    // Same job over a different transport and client: content hit.
+    EXPECT_TRUE(
+        cached.find("jobs")->array.at(0).find("cached")->boolean);
+
+    const obs::JsonValue bye = parse(tcp_client.roundtrip(
+        R"({"schema":"fpart-serve-request/1","cmd":"shutdown"})"));
+    EXPECT_TRUE(bye.find("ok")->boolean);
+  }
+  accept_thread.join();
+  EXPECT_TRUE(server.shutdown_requested());
+}
+
+}  // namespace
+}  // namespace fpart::serve

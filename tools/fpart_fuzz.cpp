@@ -1,12 +1,14 @@
 // fpart_fuzz — command-line driver for the differential fuzz harness
 // (src/fuzz/diff_fuzz.hpp).
 //
-//   fpart_fuzz [--cases N] [--mutation-cases N] [--seed S]
-//              [--artifacts DIR]
+//   fpart_fuzz [--cases N] [--mutation-cases N]
+//              [--batch-mutation-cases N] [--seed S] [--artifacts DIR]
 //
 // Runs N differential cases (random circuit through every engine with
-// audit + verify + replay + metamorphic cross-checks) and N' mutation
-// cases (structure-aware malformed-input sweep) from base seed S.
+// audit + verify + replay + metamorphic cross-checks), N' mutation
+// cases (structure-aware malformed-input sweep), and N'' batch-file
+// mutation cases (job-list reject matrix: duplicate ids, out-of-range
+// fill, chaos edits) from base seed S.
 // Deterministic: the same flags always run the same cases. On the first
 // failure the offending case's artifacts (.hgr circuit, event log,
 // mutated document) are written into DIR for reproduction; the exit
@@ -42,6 +44,8 @@ int run(int argc, const char* const* argv) {
   fpart::CliParser cli;
   cli.add_flag("cases", "number of differential cases", "25");
   cli.add_flag("mutation-cases", "number of malformed-input cases", "25");
+  cli.add_flag("batch-mutation-cases",
+               "number of malformed batch-file cases", "25");
   cli.add_flag("seed", "base seed (case i uses seed + i)", "1");
   cli.add_flag("artifacts",
                "directory for failing-case artifacts (created if missing)",
@@ -53,10 +57,11 @@ int run(int argc, const char* const* argv) {
   }
   const std::int64_t cases = cli.get_int("cases");
   const std::int64_t mutation_cases = cli.get_int("mutation-cases");
+  const std::int64_t batch_cases = cli.get_int("batch-mutation-cases");
   const std::uint64_t base_seed =
       static_cast<std::uint64_t>(cli.get_int("seed"));
   const std::string artifacts_dir = cli.get("artifacts");
-  FPART_OPTION_REQUIRE(cases >= 0 && mutation_cases >= 0,
+  FPART_OPTION_REQUIRE(cases >= 0 && mutation_cases >= 0 && batch_cases >= 0,
                        "case counts must be non-negative");
   if (!artifacts_dir.empty()) {
     std::filesystem::create_directories(artifacts_dir);
@@ -83,7 +88,7 @@ int run(int argc, const char* const* argv) {
       write_artifact(artifacts_dir, stem + ".hgr", artifacts.hgr);
       write_artifact(artifacts_dir, stem + ".events.jsonl",
                      artifacts.event_log);
-      write_artifact(artifacts_dir, stem + ".mutated.hgr",
+      write_artifact(artifacts_dir, stem + ".mutated.txt",
                      artifacts.mutated);
     }
   };
@@ -100,11 +105,20 @@ int run(int argc, const char* const* argv) {
     report("mutation", seed,
            fpart::fuzz::run_mutation_case(seed, &artifacts), artifacts);
   }
+  for (std::int64_t i = 0; i < batch_cases; ++i) {
+    const std::uint64_t seed = base_seed + static_cast<std::uint64_t>(i);
+    fpart::fuzz::DiffArtifacts artifacts;
+    report("batch-mutation", seed,
+           fpart::fuzz::run_batch_mutation_case(seed, &artifacts),
+           artifacts);
+  }
 
-  std::printf("fpart_fuzz: %lld diff + %lld mutation cases, %llu failed\n",
-              static_cast<long long>(cases),
-              static_cast<long long>(mutation_cases),
-              static_cast<unsigned long long>(failures));
+  std::printf(
+      "fpart_fuzz: %lld diff + %lld mutation + %lld batch cases, "
+      "%llu failed\n",
+      static_cast<long long>(cases), static_cast<long long>(mutation_cases),
+      static_cast<long long>(batch_cases),
+      static_cast<unsigned long long>(failures));
   return failures == 0 ? 0 : 1;
 }
 

@@ -1,0 +1,92 @@
+// fpart_serve — long-lived partition-as-a-service daemon.
+//
+//   fpart_serve --socket /tmp/fpart.sock [--tcp PORT] [--threads N]
+//               [--cache N] [--quota N] [--spool DIR]
+//
+// Accepts newline-delimited fpart-serve-request/1 lines (the
+// fpart-batch/1 job dialect plus priority/client fields) over a
+// Unix-domain socket and/or a loopback TCP port, schedules admitted
+// jobs on a shared thread pool by (priority, admission order), and
+// answers every line with one fpart-serve-response/1 line. Identical
+// jobs — same circuit structure, device, canonical options and seed —
+// are answered from a content-addressed result cache without recompute
+// (see docs/SERVING.md). --tcp 0 binds an ephemeral port and prints the
+// real one on the ready line.
+//
+// The process runs until a client sends {"cmd":"shutdown"}; the ready
+// line ("fpart_serve: listening ...") is printed to stdout once both
+// endpoints are bound, so scripts can synchronize on it.
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "serve/server.hpp"
+#include "util/cli.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+int run(int argc, const char* const* argv) {
+  fpart::CliParser cli;
+  cli.add_flag("socket", "unix-domain socket path to listen on", "");
+  cli.add_flag("tcp", "loopback TCP port (-1 = off, 0 = ephemeral)", "-1");
+  cli.add_flag("threads", "pool workers (0 = hardware default)", "0");
+  cli.add_flag("cache", "result-cache capacity in entries (0 = off)", "256");
+  cli.add_flag("quota", "max in-flight jobs per client (0 = unlimited)",
+               "64");
+  cli.add_flag("spool",
+               "directory for event logs + run reports (created; empty = "
+               "no artifacts)",
+               "");
+  if (!cli.parse(argc, argv)) {
+    std::fprintf(stderr, "fpart_serve: %s\n%s", cli.error().c_str(),
+                 cli.usage("fpart_serve").c_str());
+    return 2;
+  }
+
+  fpart::serve::ServerConfig config;
+  config.threads = static_cast<unsigned>(cli.get_int("threads"));
+  config.cache_capacity = static_cast<std::size_t>(cli.get_int("cache"));
+  config.quota = static_cast<std::uint32_t>(cli.get_int("quota"));
+  config.spool_dir = cli.get("spool");
+  if (!config.spool_dir.empty()) {
+    std::filesystem::create_directories(config.spool_dir);
+  }
+
+  fpart::serve::Server server(config);
+  fpart::serve::SocketListener::Endpoints endpoints;
+  endpoints.unix_path = cli.get("socket");
+  endpoints.tcp_port = static_cast<int>(cli.get_int("tcp"));
+  fpart::serve::SocketListener listener(server, endpoints);
+
+  std::printf("fpart_serve: listening unix=%s tcp=%d\n",
+              endpoints.unix_path.empty() ? "-"
+                                          : endpoints.unix_path.c_str(),
+              listener.tcp_port());
+  std::fflush(stdout);
+
+  listener.serve_forever();
+
+  const fpart::serve::ServeStatsSnapshot s = server.snapshot();
+  std::printf("fpart_serve: shutdown after %llu requests, %llu jobs "
+              "(%llu cache hits / %llu misses)\n",
+              static_cast<unsigned long long>(s.requests),
+              static_cast<unsigned long long>(s.jobs_completed),
+              static_cast<unsigned long long>(s.cache_hits),
+              static_cast<unsigned long long>(s.cache_misses));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const fpart::Error& e) {
+    std::fprintf(stderr, "fpart_serve: %s error: %s\n", e.kind(), e.what());
+    return 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "fpart_serve: error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,175 @@
+// fpart_submit — one-shot client for the fpart_serve daemon.
+//
+//   fpart_submit --socket /tmp/fpart.sock --batch jobs.txt [--client ci]
+//                [--priority N] [--expect-cached]
+//   fpart_submit --socket /tmp/fpart.sock --json '<raw request line>'
+//   fpart_submit --tcp PORT --stats | --shutdown
+//
+// Builds one fpart-serve-request/1 line — from a fpart-batch job file
+// (--batch, same text format as fpart_cli batch), a raw line (--json,
+// sent verbatim; useful for protocol testing), or a command switch
+// (--stats / --shutdown) — sends it, and prints the daemon's response
+// line on stdout. Exit status: 0 when the response is ok:true (and
+// every --expect-* assertion holds), 1 when the daemon rejected the
+// request or an assertion failed, 2 on usage/connection errors. Connects
+// retry for --retry-seconds so scripts can race the daemon's startup.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "runtime/batch.hpp"
+#include "serve/client.hpp"
+#include "serve/protocol.hpp"
+#include "util/assert.hpp"
+#include "util/cli.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+std::string build_batch_request(const std::string& batch_path,
+                                const std::string& client,
+                                std::int64_t priority) {
+  const std::vector<fpart::runtime::JobSpec> jobs =
+      fpart::runtime::parse_batch_file(batch_path);
+  FPART_OPTION_REQUIRE(!jobs.empty(),
+                       "batch file " + batch_path + " contains no jobs");
+  fpart::obs::JsonWriter w;
+  w.begin_object();
+  w.key("schema");
+  w.value(fpart::serve::kServeRequestSchema);
+  if (!client.empty()) {
+    w.key("client");
+    w.value(client);
+  }
+  w.key("jobs");
+  w.begin_array();
+  for (const fpart::runtime::JobSpec& spec : jobs) {
+    w.begin_object();
+    w.key("id");
+    w.value(spec.id);
+    w.key("input");
+    w.value(spec.input);
+    w.key("device");
+    w.value(spec.device);
+    w.key("method");
+    w.value(spec.method);
+    w.key("fill");
+    w.value(spec.fill);
+    w.key("seed");
+    w.value(spec.seed);
+    w.key("portfolio");
+    w.value(spec.portfolio);
+    w.key("priority");
+    w.value(static_cast<std::int64_t>(priority));
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.take();
+}
+
+std::string build_cmd_request(const char* cmd) {
+  fpart::obs::JsonWriter w;
+  w.begin_object();
+  w.key("schema");
+  w.value(fpart::serve::kServeRequestSchema);
+  w.key("cmd");
+  w.value(cmd);
+  w.end_object();
+  return w.take();
+}
+
+/// ok:true plus every job cached when `expect_cached` — the smoke-test
+/// assertion that a repeated submission was served from the cache.
+int judge_response(const std::string& response, bool expect_cached) {
+  const std::optional<fpart::obs::JsonValue> doc =
+      fpart::obs::json_parse(response);
+  if (!doc.has_value() || !doc->is_object()) {
+    std::fprintf(stderr, "fpart_submit: unparseable response\n");
+    return 1;
+  }
+  const fpart::obs::JsonValue* ok = doc->find("ok");
+  if (ok == nullptr || !ok->is_bool() || !ok->boolean) {
+    return 1;
+  }
+  const fpart::obs::JsonValue* jobs = doc->find("jobs");
+  if (jobs != nullptr && jobs->is_array()) {
+    for (const fpart::obs::JsonValue& job : jobs->array) {
+      const fpart::obs::JsonValue* job_ok = job.find("ok");
+      if (job_ok == nullptr || !job_ok->is_bool() || !job_ok->boolean) {
+        return 1;  // a per-job failure fails the submission
+      }
+      if (expect_cached) {
+        const fpart::obs::JsonValue* cached = job.find("cached");
+        if (cached == nullptr || !cached->is_bool() || !cached->boolean) {
+          std::fprintf(stderr, "fpart_submit: job was not a cache hit\n");
+          return 1;
+        }
+      }
+    }
+  }
+  return 0;
+}
+
+int run(int argc, const char* const* argv) {
+  fpart::CliParser cli;
+  cli.add_flag("socket", "unix-domain socket path of the daemon", "");
+  cli.add_flag("tcp", "loopback TCP port of the daemon (-1 = off)", "-1");
+  cli.add_flag("batch", "fpart-batch job file to submit", "");
+  cli.add_flag("json", "raw request line to send verbatim", "");
+  cli.add_flag("client", "client identity for quota accounting", "");
+  cli.add_flag("priority", "priority for every submitted job", "0");
+  cli.add_flag("retry-seconds", "connect retry budget", "5");
+  cli.add_switch("stats", "request a stats snapshot");
+  cli.add_switch("shutdown", "ask the daemon to shut down");
+  cli.add_switch("expect-cached", "fail unless every job was a cache hit");
+  if (!cli.parse(argc, argv)) {
+    std::fprintf(stderr, "fpart_submit: %s\n%s", cli.error().c_str(),
+                 cli.usage("fpart_submit").c_str());
+    return 2;
+  }
+
+  std::string request;
+  if (cli.get_bool("stats")) {
+    request = build_cmd_request("stats");
+  } else if (cli.get_bool("shutdown")) {
+    request = build_cmd_request("shutdown");
+  } else if (!cli.get("json").empty()) {
+    request = cli.get("json");
+  } else if (!cli.get("batch").empty()) {
+    request = build_batch_request(cli.get("batch"), cli.get("client"),
+                                  cli.get_int("priority"));
+  } else {
+    std::fprintf(stderr,
+                 "fpart_submit: nothing to send (--batch, --json, --stats "
+                 "or --shutdown)\n");
+    return 2;
+  }
+
+  const std::string socket_path = cli.get("socket");
+  const int tcp_port = static_cast<int>(cli.get_int("tcp"));
+  const double retry = cli.get_double("retry-seconds");
+  fpart::serve::Client client =
+      socket_path.empty()
+          ? fpart::serve::Client::connect_tcp(tcp_port, retry)
+          : fpart::serve::Client::connect_unix(socket_path, retry);
+
+  const std::string response = client.roundtrip(request);
+  std::printf("%s\n", response.c_str());
+  return judge_response(response, cli.get_bool("expect-cached"));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const fpart::Error& e) {
+    std::fprintf(stderr, "fpart_submit: %s error: %s\n", e.kind(), e.what());
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "fpart_submit: error: %s\n", e.what());
+    return 2;
+  }
+}

@@ -29,6 +29,27 @@ void fnv_mix_str(std::uint64_t& h, const std::string& s) {
   fnv_mix_u64(h, s.size());
 }
 
+using u128 = unsigned __int128;
+
+constexpr u128 kFnv128Prime = (u128(1) << 88) + (u128(1) << 8) + 0x3b;
+constexpr u128 kFnv128Offset =
+    (u128(0x6c62272e07bb0142ull) << 64) | 0x62b821756295c58dull;
+
+void fnv128_mix_u64(u128& h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (i * 8)) & 0xFFu;
+    h *= kFnv128Prime;
+  }
+}
+
+void fnv128_mix_str(u128& h, const std::string& s) {
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= kFnv128Prime;
+  }
+  fnv128_mix_u64(h, s.size());
+}
+
 }  // namespace
 
 std::uint64_t cache_key_hash(const CacheKey& key) {
@@ -38,6 +59,20 @@ std::uint64_t cache_key_hash(const CacheKey& key) {
   fnv_mix_str(h, key.options_canonical);
   fnv_mix_u64(h, key.seed);
   return h;
+}
+
+std::string cache_key_hex128(const CacheKey& key) {
+  u128 h = kFnv128Offset;
+  fnv128_mix_u64(h, key.circuit_digest);
+  fnv128_mix_str(h, key.device);
+  fnv128_mix_str(h, key.options_canonical);
+  fnv128_mix_u64(h, key.seed);
+  static const char* kHex = "0123456789abcdef";
+  std::string hex(32, '0');
+  for (int i = 0; i < 32; ++i) {
+    hex[31 - i] = kHex[static_cast<unsigned>((h >> (i * 4)) & 0xF)];
+  }
+  return hex;
 }
 
 std::string canonical_job_options(const runtime::JobSpec& spec) {

@@ -54,6 +54,13 @@ struct CacheKey {
 /// FNV-1a over every key component (bucketing only).
 std::uint64_t cache_key_hash(const CacheKey& key);
 
+/// 32-hex-char FNV-1a-128 digest of every key component. Spool artifact
+/// stems are named by this digest: unlike the 64-bit bucketing hash, a
+/// collision here would cross-link two keys' on-disk artifacts, so the
+/// stem gets the full 128-bit margin. (The in-memory cache is unaffected
+/// either way — it compares complete keys.)
+std::string cache_key_hex128(const CacheKey& key);
+
 /// Canonical options JSON for a job spec: method, filling ratio,
 /// portfolio width and the full engine Options serialization
 /// (report/run_report.hpp options_json) in one fixed key order. The

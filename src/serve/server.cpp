@@ -26,13 +26,9 @@ namespace fpart::serve {
 namespace {
 
 std::string key_stem(const std::string& spool_dir, const CacheKey& key) {
-  static const char* kHex = "0123456789abcdef";
-  const std::uint64_t h = cache_key_hash(key);
-  std::string hex(16, '0');
-  for (int i = 0; i < 16; ++i) {
-    hex[15 - i] = kHex[(h >> (i * 4)) & 0xF];
-  }
-  return spool_dir + "/" + hex;
+  // 128-bit digest, not the 64-bit bucketing hash: a stem collision
+  // would cross-link two keys' artifacts on disk.
+  return spool_dir + "/" + cache_key_hex128(key);
 }
 
 }  // namespace
@@ -313,8 +309,13 @@ void Server::finish(Pending& p, ServeJobOutcome outcome) {
     std::lock_guard<std::mutex> lock(state.mu);
     state.outcomes[p.slot] = std::move(outcome);
     --state.remaining;
+    // Notify while still holding state.mu: the waiter owns the
+    // stack-allocated RequestState and destroys it as soon as it
+    // observes remaining == 0, so an unlocked notify could run on a
+    // dead condition_variable (another finisher may drop remaining to 0
+    // between this thread's unlock and its notify).
+    state.cv.notify_all();
   }
-  state.cv.notify_all();
 }
 
 ServeStatsSnapshot Server::snapshot() const {
@@ -426,13 +427,17 @@ SocketListener::~SocketListener() {
   if (!endpoints_.unix_path.empty()) {
     ::unlink(endpoints_.unix_path.c_str());
   }
-  for (std::thread& t : conn_threads_) {
-    if (t.joinable()) t.join();
+  // serve_forever has returned, so nothing erases list entries anymore;
+  // joining without conn_mu_ is safe (threads only mutate their own
+  // Conn fields, never the list).
+  for (Conn& c : conns_) {
+    if (c.thread.joinable()) c.thread.join();
   }
 }
 
 void SocketListener::serve_forever() {
   while (!server_.shutdown_requested()) {
+    reap_finished();
     pollfd fds[2];
     nfds_t n = 0;
     if (unix_fd_ >= 0) fds[n++] = {unix_fd_, POLLIN, 0};
@@ -449,19 +454,50 @@ void SocketListener::serve_forever() {
       {
         std::lock_guard<std::mutex> lock(conn_mu_);
         client_id = "conn" + std::to_string(next_conn_++);
-        open_fds_.push_back(fd);
-        conn_threads_.emplace_back(
-            [this, fd, client_id] { handle_connection(fd, client_id); });
+        conns_.emplace_back();
+        Conn& conn = conns_.back();
+        conn.fd = fd;
+        conn.done = std::make_shared<std::atomic<bool>>(false);
+        // The lambda holds its own ref on `done`: the flag outlives the
+        // list entry even if the reaper erases it immediately after the
+        // store below becomes visible.
+        conn.thread = std::thread(
+            [this, &conn, fd, client_id, done = conn.done] {
+              handle_connection(conn, fd, client_id);
+              // Last touch of `conn` was inside handle_connection; after
+              // this store the accept loop may join + erase the entry.
+              done->store(true, std::memory_order_release);
+            });
       }
     }
   }
   // Unblock readers so connection threads observe EOF and exit; the
-  // destructor joins them.
+  // destructor joins them. Read side only: the connection that carried
+  // the shutdown request may still be writing its response line, and
+  // SHUT_RDWR here would flakily truncate it.
   std::lock_guard<std::mutex> lock(conn_mu_);
-  for (const int fd : open_fds_) ::shutdown(fd, SHUT_RDWR);
+  for (const Conn& c : conns_) {
+    if (c.fd >= 0) ::shutdown(c.fd, SHUT_RD);
+  }
 }
 
-void SocketListener::handle_connection(int fd, std::string client_id) {
+void SocketListener::reap_finished() {
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  for (auto it = conns_.begin(); it != conns_.end();) {
+    if (it->done->load(std::memory_order_acquire)) {
+      // done is the thread's last store; join only waits for its
+      // epilogue, never for conn_mu_ (the thread is past its critical
+      // section), so holding the lock here cannot deadlock.
+      if (it->thread.joinable()) it->thread.join();
+      it = conns_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void SocketListener::handle_connection(Conn& conn, int fd,
+                                       std::string client_id) {
   std::string buffer;
   char chunk[4096];
   bool alive = true;
@@ -482,9 +518,11 @@ void SocketListener::handle_connection(int fd, std::string client_id) {
     }
     buffer.erase(0, start);
   }
-  close_quietly(fd);
+  // Untrack before close: once the kernel may reuse this fd number,
+  // the shutdown loop must no longer find it in conns_.
   std::lock_guard<std::mutex> lock(conn_mu_);
-  std::erase(open_fds_, fd);
+  conn.fd = -1;
+  close_quietly(fd);
 }
 
 }  // namespace fpart::serve

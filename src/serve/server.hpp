@@ -41,6 +41,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <list>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -169,7 +170,23 @@ class SocketListener {
   int tcp_port() const { return tcp_port_; }
 
  private:
-  void handle_connection(int fd, std::string client_id);
+  /// One accepted connection. The entry (stable in the std::list) is
+  /// shared between the accept loop and the connection's own thread:
+  /// the thread untracks its fd (fd = -1, under conn_mu_) BEFORE
+  /// closing it — so a kernel-reused fd number can never be confused
+  /// with a live one — and flags `done` as its very last action, after
+  /// which the accept loop may join + erase the entry.
+  struct Conn {
+    int fd = -1;
+    std::thread thread;
+    std::shared_ptr<std::atomic<bool>> done;
+  };
+
+  void handle_connection(Conn& conn, int fd, std::string client_id);
+  /// Joins and erases connections whose threads have finished; called
+  /// on every accept iteration so a long-lived daemon does not
+  /// accumulate one dead std::thread per connection ever served.
+  void reap_finished();
 
   Server& server_;
   Endpoints endpoints_;
@@ -177,8 +194,7 @@ class SocketListener {
   int tcp_fd_ = -1;
   int tcp_port_ = -1;
   std::mutex conn_mu_;
-  std::vector<int> open_fds_;
-  std::vector<std::thread> conn_threads_;
+  std::list<Conn> conns_;
   std::uint64_t next_conn_ = 0;
 };
 

@@ -120,6 +120,24 @@ TEST(CacheKeyTest, KeyCoversDeviceOptionsAndSeed) {
             base.options_canonical);
 }
 
+TEST(CacheKeyTest, Hex128DigestIsStableWideAndKeySensitive) {
+  const Hypergraph h = tiny_circuit(false);
+  const CacheKey base = make_cache_key(h, spec_for("a.hgr"));
+  const std::string digest = cache_key_hex128(base);
+  // Spool stems ride this digest: 32 lowercase hex chars (128 bits, a
+  // collision margin the 64-bit bucketing hash does not give) and
+  // deterministic for equal keys.
+  EXPECT_EQ(digest.size(), 32u);
+  EXPECT_EQ(digest.find_first_not_of("0123456789abcdef"),
+            std::string::npos);
+  EXPECT_EQ(cache_key_hex128(base), digest);
+  EXPECT_NE(cache_key_hex128(make_cache_key(h, spec_for("a.hgr", 8))),
+            digest);
+  CacheKey other_device = base;
+  other_device.device = "XC3020";
+  EXPECT_NE(cache_key_hex128(other_device), digest);
+}
+
 TEST(CacheTest, EvictionRespectsCapacity) {
   ResultCache cache(2);
   const Hypergraph h = tiny_circuit(false);
